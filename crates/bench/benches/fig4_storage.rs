@@ -1,0 +1,18 @@
+//! Criterion wrapper for Figure 4 storage growth: one full experiment pass per
+//! iteration at a small scale. The `reproduce` binary prints the
+//! paper-layout rows; this bench tracks the end-to-end cost over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_bench::fig4_storage;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_storage");
+    group.sample_size(10);
+    group.bench_function("scale_0.05", |b| {
+        b.iter(|| fig4_storage(0.05));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion wrapper for Figure 6 playback speedup: one full experiment pass per
+//! iteration at a small scale. The `reproduce` binary prints the
+//! paper-layout rows; this bench tracks the end-to-end cost over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_bench::fig6_playback;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_playback");
+    group.sample_size(10);
+    group.bench_function("scale_0.05", |b| {
+        b.iter(|| fig6_playback(0.05));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Component micro-benchmarks: the hot paths under each figure.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dv_checkpoint::{compress, decompress, Checkpointer, EngineConfig};
+use dv_display::{
+    decode_command, encode_command_vec, DisplayCommand, Framebuffer, Rect,
+};
+use dv_index::{parse_query, IndexedInstance, RankOrder, TextIndex};
+use dv_lsfs::{BlobStore, Filesystem, Lsfs};
+use dv_record::{decode_screenshot, encode_screenshot};
+use dv_time::{SimClock, Timestamp};
+use dv_vee::{HostPidAllocator, Prot, Vee};
+
+fn bench_display(c: &mut Criterion) {
+    let mut group = c.benchmark_group("display");
+    let raw = DisplayCommand::Raw {
+        rect: Rect::new(0, 0, 256, 256),
+        pixels: Arc::new((0..256 * 256).collect()),
+    };
+    group.bench_function("encode_raw_256x256", |b| {
+        b.iter(|| encode_command_vec(&raw));
+    });
+    let encoded = encode_command_vec(&raw);
+    group.bench_function("decode_raw_256x256", |b| {
+        b.iter(|| {
+            let mut slice = encoded.as_slice();
+            decode_command(&mut slice).unwrap()
+        });
+    });
+    group.bench_function("fb_apply_fill_1024x768", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        let cmd = DisplayCommand::SolidFill {
+            rect: Rect::new(0, 0, 1024, 768),
+            color: 7,
+        };
+        b.iter(|| fb.apply(&cmd));
+    });
+    group.bench_function("screenshot_rle_1024x768", |b| {
+        let mut fb = Framebuffer::new(1024, 768);
+        for i in 0..64u32 {
+            fb.apply(&DisplayCommand::SolidFill {
+                rect: Rect::new(i * 16, 0, 16, 768),
+                color: i % 5,
+            });
+        }
+        let shot = fb.snapshot();
+        b.iter(|| {
+            let encoded = encode_screenshot(&shot);
+            decode_screenshot(&encoded).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index");
+    let mut index = TextIndex::new();
+    let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+    for i in 0..5_000u64 {
+        let text = format!(
+            "{} {} {}",
+            words[i as usize % 6],
+            words[(i as usize + 1) % 6],
+            words[(i as usize * 7 + 2) % 6]
+        );
+        index.add_instance(IndexedInstance {
+            id: i,
+            app_id: (i % 4) as u32,
+            app: format!("app{}", i % 4),
+            window: "w".into(),
+            role: "paragraph".into(),
+            text,
+            shown: Timestamp::from_millis(i * 10),
+            hidden: Some(Timestamp::from_millis(i * 10 + 500)),
+            annotation: false,
+        });
+    }
+    index.advance_horizon(Timestamp::from_secs(60));
+    let simple = parse_query("alpha").unwrap();
+    let complex = parse_query("app:app1 alpha beta -gamma from:1 to:50").unwrap();
+    group.bench_function("query_single_term_5k_instances", |b| {
+        b.iter(|| dv_index::search(&index, &simple, RankOrder::Chronological));
+    });
+    group.bench_function("query_contextual_5k_instances", |b| {
+        b.iter(|| dv_index::search(&index, &complex, RankOrder::PersistenceAscending));
+    });
+    group.finish();
+}
+
+fn bench_lsfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsfs");
+    group.bench_function("create_write_sync_4k", |b| {
+        let mut fs = Lsfs::new();
+        let mut i = 0u64;
+        let data = vec![7u8; 4096];
+        b.iter(|| {
+            i += 1;
+            let path = format!("/f{i}");
+            fs.write_all(&path, &data).unwrap();
+            fs.sync().unwrap();
+        });
+    });
+    group.bench_function("snapshot_point_1k_files", |b| {
+        let mut fs = Lsfs::new();
+        for i in 0..1_000 {
+            fs.write_all(&format!("/file_{i}"), b"contents").unwrap();
+        }
+        fs.sync().unwrap();
+        let mut counter = 0;
+        b.iter(|| {
+            counter += 1;
+            fs.snapshot_point(counter).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(20);
+    // Full checkpoint of a 16 MiB process.
+    group.bench_function("full_checkpoint_16mb", |b| {
+        b.iter_batched(
+            || {
+                let clock = SimClock::new();
+                let mut vee = Vee::new(
+                    1,
+                    clock.shared(),
+                    Box::new(Lsfs::new()),
+                    HostPidAllocator::new(),
+                );
+                let p = vee.spawn(None, "app").unwrap();
+                let addr = vee.mmap(p, 16 << 20, Prot::ReadWrite).unwrap();
+                vee.mem_write(p, addr, &vec![3u8; 16 << 20]).unwrap();
+                let engine = Checkpointer::with_sim_clock(EngineConfig::default(), clock);
+                (vee, engine, BlobStore::in_memory())
+            },
+            |(mut vee, mut engine, mut store)| engine.checkpoint(&mut vee, &mut store).unwrap(),
+            BatchSize::LargeInput,
+        );
+    });
+    // Incremental with 64 dirty pages.
+    group.bench_function("incremental_checkpoint_64_dirty_pages", |b| {
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 16 << 20, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, &vec![3u8; 16 << 20]).unwrap();
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: u64::MAX,
+                ..EngineConfig::default()
+            },
+            clock,
+        );
+        let mut store = BlobStore::in_memory();
+        engine.checkpoint(&mut vee, &mut store).unwrap();
+        b.iter(|| {
+            for i in 0..64u64 {
+                vee.mem_write(p, addr + i * 4096, &[1]).unwrap();
+            }
+            engine.checkpoint(&mut vee, &mut store).unwrap()
+        });
+    });
+    group.bench_function("rle_compress_1mb_page_data", |b| {
+        let data: Vec<u8> = (0..1 << 20)
+            .map(|i| if i % 4096 < 3000 { 0 } else { (i % 251) as u8 })
+            .collect();
+        b.iter(|| {
+            let compressed = compress(&data);
+            decompress(&compressed).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_display, bench_index, bench_lsfs, bench_checkpoint);
+criterion_main!(benches);

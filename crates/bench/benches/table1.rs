@@ -1,0 +1,18 @@
+//! Criterion wrapper for Table 1 scenarios: one full experiment pass per
+//! iteration at a small scale. The `reproduce` binary prints the
+//! paper-layout rows; this bench tracks the end-to-end cost over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_bench::table1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("scale_0.05", |b| {
+        b.iter(|| table1(0.05));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [EXPERIMENT] [--scale S]
+//!
+//! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
+//!             policy | all   (default: all)
+//! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25)
+//! ```
+
+use dv_bench::{
+    ablation_checkpoint_optimizations, ablation_mirror_tree, fig2_overhead,
+    fig3_checkpoint_latency, fig4_storage, fig5_browse_search, fig6_playback, fig7_revive,
+    policy_effectiveness, print_ablation, print_fig2, print_fig3, print_fig4, print_fig5,
+    print_fig6, print_fig7, print_mirror_ablation, print_policy, print_quality, print_table1,
+    quality_tradeoff, table1,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = 0.25f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale requires a positive number");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|ablation|all] [--scale S]"
+                );
+                return;
+            }
+            other => experiment = other.to_string(),
+        }
+    }
+    if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        eprintln!("scale must be positive");
+        std::process::exit(2);
+    }
+    println!(
+        "DejaView reproduction — experiment {experiment:?} at scale {scale} (1.0 = paper-sized)\n"
+    );
+    let all = experiment == "all";
+    let started = std::time::Instant::now();
+    if all || experiment == "table1" {
+        print_table1(&table1(scale));
+        println!();
+    }
+    if all || experiment == "fig2" {
+        print_fig2(&fig2_overhead(scale));
+        println!();
+    }
+    if all || experiment == "fig3" {
+        print_fig3(&fig3_checkpoint_latency(scale));
+        println!();
+    }
+    if all || experiment == "fig4" {
+        print_fig4(&fig4_storage(scale));
+        println!();
+    }
+    if all || experiment == "fig5" {
+        print_fig5(&fig5_browse_search(scale));
+        println!();
+    }
+    if all || experiment == "fig6" {
+        print_fig6(&fig6_playback(scale));
+        println!();
+    }
+    if all || experiment == "fig7" {
+        print_fig7(&fig7_revive(scale));
+        println!();
+    }
+    if all || experiment == "policy" {
+        print_policy(&policy_effectiveness(scale));
+        println!();
+    }
+    if all || experiment == "quality" {
+        print_quality(&quality_tradeoff(scale));
+        println!();
+    }
+    if all || experiment == "ablation" {
+        print_ablation(&ablation_checkpoint_optimizations(scale));
+        println!();
+        print_mirror_ablation(&ablation_mirror_tree((400.0 * scale) as usize));
+        println!();
+    }
+    eprintln!("done in {:?}", started.elapsed());
+}

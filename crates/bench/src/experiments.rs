@@ -1,0 +1,843 @@
+//! The experiments, one function per table/figure.
+
+use std::time::Instant;
+
+use dejaview::{Config, DejaView};
+use dv_checkpoint::PolicyStats;
+use dv_index::{parse_query, RankOrder};
+use dv_lsfs::ReadLatency;
+use dv_record::PlaybackEngine;
+use dv_time::{Duration, SimClock, Timestamp};
+use dv_workloads::{
+    run_scenario, scenario_by_name, CheckpointMode, DesktopScenario, RunOptions, RunSummary,
+    Scenario,
+};
+
+/// The Table 1 application scenario names, paper order.
+pub const APP_SCENARIOS: &[&str] = &["web", "video", "untar", "gzip", "make", "octave", "cat"];
+
+/// All scenario names including the real-usage trace.
+pub const ALL_SCENARIOS: &[&str] = &[
+    "web", "video", "untar", "gzip", "make", "octave", "cat", "desktop",
+];
+
+/// Builds a server sized for a scenario with the given components.
+fn server_for(
+    scenario: &dyn Scenario,
+    display: bool,
+    text: bool,
+    compress: bool,
+    latency: Option<ReadLatency>,
+) -> DejaView {
+    let (width, height) = scenario.screen();
+    DejaView::with_clock(
+        Config {
+            width,
+            height,
+            enable_display_recording: display,
+            enable_text_capture: text,
+            engine: dv_checkpoint::EngineConfig {
+                compress,
+                full_every: 50,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+            store_latency: latency,
+            ..Config::default()
+        },
+        SimClock::new(),
+    )
+}
+
+fn checkpoint_mode(name: &str) -> CheckpointMode {
+    // The paper checkpoints application benchmarks once per second and
+    // uses the policy for the real-usage trace.
+    if name == "desktop" {
+        CheckpointMode::Policy
+    } else {
+        CheckpointMode::EverySecond
+    }
+}
+
+fn run_full(name: &str, scale: f64, dv: &mut DejaView) -> RunSummary {
+    let mut scenario = scenario_by_name(name, scale).expect("known scenario");
+    run_scenario(
+        dv,
+        &mut *scenario,
+        RunOptions {
+            checkpoints: checkpoint_mode(name),
+            ..RunOptions::default()
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// One Table 1 row plus the load the scenario actually generated.
+pub struct Table1Row {
+    /// Scenario name.
+    pub name: &'static str,
+    /// The paper's description.
+    pub description: String,
+    /// Steps executed at this scale.
+    pub steps: u64,
+    /// Virtual duration.
+    pub duration: Duration,
+    /// Display commands generated.
+    pub commands: u64,
+    /// Text instances indexed.
+    pub text_instances: u64,
+}
+
+/// Regenerates Table 1 with per-scenario load statistics.
+pub fn table1(scale: f64) -> Vec<Table1Row> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut scenario = scenario_by_name(name, scale).expect("known scenario");
+            let description = scenario.description().to_string();
+            let mut dv = server_for(&*scenario, true, true, false, None);
+            let summary = run_scenario(
+                &mut dv,
+                &mut *scenario,
+                RunOptions {
+                    checkpoints: CheckpointMode::Disabled,
+                    ..RunOptions::default()
+                },
+            );
+            let commands = dv.driver_mut().stats().commands;
+            let text_instances = dv.index().lock().stats().instances;
+            Table1Row {
+                name,
+                description,
+                steps: summary.steps,
+                duration: summary.virtual_elapsed,
+                commands,
+                text_instances,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: recording runtime overhead
+// ---------------------------------------------------------------------
+
+/// Normalized execution times for one scenario (baseline = 1.0).
+pub struct OverheadRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Baseline wall time (no recording).
+    pub baseline: std::time::Duration,
+    /// Display recording only.
+    pub display: f64,
+    /// Checkpointing only (1/s).
+    pub process: f64,
+    /// Text capture + indexing only.
+    pub index: f64,
+    /// Everything on.
+    pub full: f64,
+}
+
+/// Figure 2: runs each scenario five times — baseline, display-only,
+/// checkpoint-only, index-only, full recording — and reports wall time
+/// normalized to the baseline.
+pub fn fig2_overhead(scale: f64) -> Vec<OverheadRow> {
+    APP_SCENARIOS
+        .iter()
+        .map(|name| {
+            let time_with = |display: bool, text: bool, ckpt: bool| -> std::time::Duration {
+                let mut scenario = scenario_by_name(name, scale).expect("known scenario");
+                let mut dv = server_for(&*scenario, display, text, false, None);
+                let mode = if ckpt {
+                    checkpoint_mode(name)
+                } else {
+                    CheckpointMode::Disabled
+                };
+                let summary = run_scenario(
+                    &mut dv,
+                    &mut *scenario,
+                    RunOptions {
+                        checkpoints: mode,
+                        ..RunOptions::default()
+                    },
+                );
+                summary.wall
+            };
+            let baseline = time_with(false, false, false);
+            let norm = |t: std::time::Duration| t.as_secs_f64() / baseline.as_secs_f64();
+            OverheadRow {
+                name,
+                baseline,
+                display: norm(time_with(true, false, false)),
+                process: norm(time_with(false, false, true)),
+                index: norm(time_with(false, true, false)),
+                full: norm(time_with(true, true, true)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: checkpoint latency breakdown
+// ---------------------------------------------------------------------
+
+/// Mean per-phase checkpoint latency for one scenario.
+pub struct CheckpointRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Mean pre-checkpoint (pre-snapshot + pre-quiesce) time.
+    pub pre_checkpoint: Duration,
+    /// Mean quiesce time.
+    pub quiesce: Duration,
+    /// Mean capture time.
+    pub capture: Duration,
+    /// Mean file system snapshot time.
+    pub fs_snapshot: Duration,
+    /// Mean writeback time.
+    pub writeback: Duration,
+    /// Mean downtime (quiesce + capture + fs snapshot).
+    pub downtime: Duration,
+    /// Largest single downtime observed.
+    pub max_downtime: Duration,
+}
+
+/// Figure 3: average checkpoint time decomposed into the five phases.
+pub fn fig3_checkpoint_latency(scale: f64) -> Vec<CheckpointRow> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut scenario = scenario_by_name(name, scale).expect("known scenario");
+            let mut dv = server_for(&*scenario, true, true, false, None);
+            let summary = run_scenario(
+                &mut dv,
+                &mut *scenario,
+                RunOptions {
+                    checkpoints: checkpoint_mode(name),
+                    ..RunOptions::default()
+                },
+            );
+            let phases = summary.mean_phases();
+            CheckpointRow {
+                name,
+                checkpoints: summary.checkpoints,
+                pre_checkpoint: phases.get("pre-checkpoint"),
+                quiesce: phases.get("quiesce"),
+                capture: phases.get("capture"),
+                fs_snapshot: phases.get("fs-snapshot"),
+                writeback: phases.get("writeback"),
+                downtime: summary.mean_downtime(),
+                max_downtime: summary
+                    .downtimes
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(Duration::ZERO),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: storage growth rates
+// ---------------------------------------------------------------------
+
+/// Storage growth rates (MB/s of virtual time) for one scenario.
+pub struct StorageRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Display stream.
+    pub display_mbps: f64,
+    /// Index stream.
+    pub index_mbps: f64,
+    /// File system log.
+    pub fs_mbps: f64,
+    /// Uncompressed checkpoint images.
+    pub process_mbps: f64,
+    /// Compressed checkpoint images.
+    pub process_compressed_mbps: f64,
+}
+
+impl StorageRow {
+    /// Total with uncompressed checkpoints.
+    pub fn total_mbps(&self) -> f64 {
+        self.display_mbps + self.index_mbps + self.fs_mbps + self.process_mbps
+    }
+
+    /// Total with compressed checkpoints.
+    pub fn total_compressed_mbps(&self) -> f64 {
+        self.display_mbps + self.index_mbps + self.fs_mbps + self.process_compressed_mbps
+    }
+}
+
+/// Figure 4: per-stream storage growth per scenario, compressed
+/// checkpoints overlaid on raw.
+pub fn fig4_storage(scale: f64) -> Vec<StorageRow> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut scenario = scenario_by_name(name, scale).expect("known scenario");
+            let mut dv = server_for(&*scenario, true, true, true, None);
+            let summary = run_scenario(
+                &mut dv,
+                &mut *scenario,
+                RunOptions {
+                    checkpoints: checkpoint_mode(name),
+                    ..RunOptions::default()
+                },
+            );
+            dv.vee_mut().fs.sync().expect("sync");
+            // Growth during the measured window only: setup-time input
+            // seeding (gzip's access log, cat's syslog) is excluded.
+            let storage = dv.storage().delta_since(&summary.storage_at_setup);
+            let rates = storage.rates(summary.virtual_elapsed);
+            StorageRow {
+                name,
+                display_mbps: rates.display_mbps,
+                index_mbps: rates.index_mbps,
+                fs_mbps: rates.fs_mbps,
+                process_mbps: rates.checkpoint_raw_mbps,
+                process_compressed_mbps: rates.checkpoint_stored_mbps,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: browse and search latency
+// ---------------------------------------------------------------------
+
+/// Browse and search latency for one scenario.
+pub struct BrowseSearchRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Mean query latency.
+    pub search: std::time::Duration,
+    /// Mean browse (seek + reconstruct) latency.
+    pub browse: std::time::Duration,
+    /// Queries issued.
+    pub queries: usize,
+    /// Browse points probed.
+    pub browse_points: usize,
+}
+
+/// Figure 5: indexes each scenario, then measures single-word query
+/// latency (multi-word contextual for `desktop`, per §6) and browse
+/// latency at regular points with at least 100 commands in between.
+pub fn fig5_browse_search(scale: f64) -> Vec<BrowseSearchRow> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut dv = {
+                let scenario = scenario_by_name(name, scale).expect("known scenario");
+                server_for(&*scenario, true, true, false, None)
+            };
+            run_full(name, scale, &mut dv);
+
+            // --- Search: pick words actually present in the record. ----
+            let index = dv.index();
+            let queries: Vec<String> = {
+                let mut guard = index.lock();
+                guard.advance_horizon(dv.now());
+                let present: Vec<String> = dv_workloads::common::WORDS
+                    .iter()
+                    .filter(|w| !guard.term_instances(w).is_empty())
+                    .take(10)
+                    .map(|w| w.to_string())
+                    .collect();
+                if *name == "desktop" {
+                    // Ten multi-word contextual queries, as in §6.
+                    present
+                        .chunks(2)
+                        .take(5)
+                        .flat_map(|pair| {
+                            let joined = pair.join(" ");
+                            [
+                                format!("app:firefox {joined}"),
+                                format!("from:10 to:200 {joined}"),
+                            ]
+                        })
+                        .collect()
+                } else {
+                    present.into_iter().take(5).collect()
+                }
+            };
+            let search = if queries.is_empty() {
+                std::time::Duration::ZERO
+            } else {
+                let guard = index.lock();
+                let started = Instant::now();
+                for q in &queries {
+                    let query = parse_query(q).expect("valid query");
+                    let _ = dv_index::search(&guard, &query, RankOrder::Chronological);
+                }
+                started.elapsed() / queries.len() as u32
+            };
+
+            // --- Browse: points with >= 100 commands in between. -------
+            let record = dv.record();
+            let probes: Vec<Timestamp> = {
+                let store = record.read();
+                let mut probes = Vec::new();
+                let mut offset = 0u64;
+                let mut since_last = 0u64;
+                while let Ok(Some((time, _cmd, next))) = store.log.read_at(offset) {
+                    since_last += 1;
+                    if since_last >= 100 {
+                        probes.push(time);
+                        since_last = 0;
+                    }
+                    offset = next;
+                }
+                probes
+            };
+            let browse = if probes.is_empty() {
+                std::time::Duration::ZERO
+            } else {
+                let mut engine = PlaybackEngine::new(record);
+                let started = Instant::now();
+                for t in &probes {
+                    engine.seek(*t).expect("seek");
+                }
+                started.elapsed() / probes.len() as u32
+            };
+            BrowseSearchRow {
+                name,
+                search,
+                browse,
+                queries: queries.len(),
+                browse_points: probes.len(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: playback speedup
+// ---------------------------------------------------------------------
+
+/// Playback speedup for one scenario.
+pub struct PlaybackRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Recorded virtual span.
+    pub recorded: Duration,
+    /// Wall time to replay the entire record at the fastest rate.
+    pub wall: std::time::Duration,
+    /// `recorded / wall`.
+    pub speedup: f64,
+}
+
+/// Figure 6: replays each scenario's entire record as fast as possible.
+pub fn fig6_playback(scale: f64) -> Vec<PlaybackRow> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut dv = {
+                let scenario = scenario_by_name(name, scale).expect("known scenario");
+                server_for(&*scenario, true, true, false, None)
+            };
+            run_full(name, scale, &mut dv);
+            let record = dv.record();
+            let recorded = record.read().duration();
+            let end = Timestamp::ZERO + recorded + Duration::from_secs(1);
+            let mut engine = PlaybackEngine::new(record);
+            let started = Instant::now();
+            engine.seek(Timestamp::ZERO).expect("seek");
+            engine.play_until(end, None).expect("play");
+            let wall = started.elapsed();
+            PlaybackRow {
+                name,
+                recorded,
+                wall,
+                speedup: recorded.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: revive latency
+// ---------------------------------------------------------------------
+
+/// Revive latency at one point in a scenario's history.
+pub struct RevivePoint {
+    /// Checkpoint counter revived from.
+    pub counter: u64,
+    /// Wall time with cold checkpoint-store caches (disk-latency model).
+    pub uncached: std::time::Duration,
+    /// Wall time with warm caches.
+    pub cached: std::time::Duration,
+    /// Pages installed.
+    pub pages: usize,
+}
+
+/// Revive latencies for one scenario.
+pub struct ReviveRow {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Up to five evenly spaced points, chronological.
+    pub points: Vec<RevivePoint>,
+}
+
+/// Figure 7: revives each scenario at five evenly spaced checkpoints,
+/// cold (checkpoint files uncached, disk-latency model) and warm.
+pub fn fig7_revive(scale: f64) -> Vec<ReviveRow> {
+    ALL_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut dv = {
+                let scenario = scenario_by_name(name, scale).expect("known scenario");
+                server_for(
+                    &*scenario,
+                    true,
+                    true,
+                    false,
+                    Some(ReadLatency::desktop_disk_2007()),
+                )
+            };
+            run_full(name, scale, &mut dv);
+            let counters: Vec<u64> = dv.engine().images().map(|m| m.counter).collect();
+            let picks: Vec<u64> = if counters.len() <= 5 {
+                counters.clone()
+            } else {
+                (0..5)
+                    .map(|i| counters[i * (counters.len() - 1) / 4])
+                    .collect()
+            };
+            let points = picks
+                .iter()
+                .map(|&counter| {
+                    // Cold: drop the store cache first.
+                    dv.store_mut().drop_caches();
+                    let started = Instant::now();
+                    let sid = dv.revive_counter(counter).expect("revive");
+                    let uncached = started.elapsed();
+                    let pages = dv.session(sid).expect("session").report.pages_installed;
+                    dv.close_session(sid).expect("close");
+                    // Warm: the images were just read.
+                    let started = Instant::now();
+                    let sid = dv.revive_counter(counter).expect("revive");
+                    let cached = started.elapsed();
+                    dv.close_session(sid).expect("close");
+                    RevivePoint {
+                        counter,
+                        uncached,
+                        cached,
+                        pages,
+                    }
+                })
+                .collect();
+            ReviveRow { name, points }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation: the §5.1.2 downtime optimizations
+// ---------------------------------------------------------------------
+
+/// Downtime with one optimization disabled.
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Mean downtime per checkpoint.
+    pub mean_downtime: Duration,
+    /// Worst downtime.
+    pub max_downtime: Duration,
+    /// Mean total checkpoint time.
+    pub mean_total: Duration,
+}
+
+/// The "without these optimizations" comparison of §6: runs the
+/// memory-heavy `octave` scenario with each §5.1.2 optimization
+/// disabled in turn, and everything disabled at once.
+pub fn ablation_checkpoint_optimizations(scale: f64) -> Vec<AblationRow> {
+    let configs: Vec<(&'static str, dv_checkpoint::EngineConfig)> = vec![
+        ("all optimizations", dv_checkpoint::EngineConfig::default()),
+        (
+            "no incremental (full every ckpt)",
+            dv_checkpoint::EngineConfig {
+                full_every: 1,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+        ),
+        (
+            "no COW capture (eager copy)",
+            dv_checkpoint::EngineConfig {
+                disable_cow: true,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+        ),
+        (
+            "no deferred writeback",
+            dv_checkpoint::EngineConfig {
+                disable_deferred_writeback: true,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+        ),
+        (
+            "no pre-snapshot sync",
+            dv_checkpoint::EngineConfig {
+                disable_pre_snapshot: true,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+        ),
+        (
+            "none (unoptimized)",
+            dv_checkpoint::EngineConfig {
+                full_every: 1,
+                disable_cow: true,
+                disable_deferred_writeback: true,
+                disable_pre_snapshot: true,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, engine)| {
+            let mut scenario = scenario_by_name("octave", scale).expect("known scenario");
+            let (width, height) = scenario.screen();
+            let mut dv = DejaView::with_clock(
+                Config {
+                    width,
+                    height,
+                    engine,
+                    ..Config::default()
+                },
+                SimClock::new(),
+            );
+            let summary = run_scenario(
+                &mut dv,
+                &mut *scenario,
+                RunOptions {
+                    checkpoints: CheckpointMode::EverySecond,
+                    ..RunOptions::default()
+                },
+            );
+            let total = summary.mean_phases().total();
+            AblationRow {
+                config: label,
+                mean_downtime: summary.mean_downtime(),
+                max_downtime: summary
+                    .downtimes
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(Duration::ZERO),
+                mean_total: total,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Recording-quality trade-off (§2/§4.1)
+// ---------------------------------------------------------------------
+
+/// Display storage under one quality setting.
+pub struct QualityRow {
+    /// Setting label.
+    pub setting: &'static str,
+    /// Display stream bytes.
+    pub display_bytes: u64,
+    /// Commands logged.
+    pub commands: u64,
+    /// Commands merged away by frequency limiting.
+    pub merged_away: u64,
+}
+
+/// The §2 quality/storage trade-off: the web workload recorded at full
+/// fidelity, at half and quarter resolution, and with update-frequency
+/// limiting.
+pub fn quality_tradeoff(scale: f64) -> Vec<QualityRow> {
+    use dv_display::ScaleFactor;
+    use dv_record::RecorderConfig;
+    let settings: Vec<(&'static str, RecorderConfig)> = vec![
+        ("full fidelity", RecorderConfig::default()),
+        (
+            "half resolution",
+            RecorderConfig {
+                scale: ScaleFactor::new(1, 2),
+                ..RecorderConfig::default()
+            },
+        ),
+        (
+            "quarter resolution",
+            RecorderConfig {
+                scale: ScaleFactor::new(1, 4),
+                ..RecorderConfig::default()
+            },
+        ),
+        (
+            "updates merged over 2s",
+            RecorderConfig {
+                flush_interval: Duration::from_secs(2),
+                ..RecorderConfig::default()
+            },
+        ),
+        (
+            "quarter res + 2s merge",
+            RecorderConfig {
+                scale: ScaleFactor::new(1, 4),
+                flush_interval: Duration::from_secs(2),
+                ..RecorderConfig::default()
+            },
+        ),
+    ];
+    settings
+        .into_iter()
+        .map(|(setting, recorder)| {
+            let mut scenario = scenario_by_name("web", scale).expect("known scenario");
+            let (width, height) = scenario.screen();
+            let mut dv = DejaView::with_clock(
+                Config {
+                    width,
+                    height,
+                    recorder,
+                    ..Config::default()
+                },
+                SimClock::new(),
+            );
+            run_scenario(
+                &mut dv,
+                &mut *scenario,
+                RunOptions {
+                    checkpoints: CheckpointMode::Disabled,
+                    ..RunOptions::default()
+                },
+            );
+            let storage = dv.storage();
+            let record = dv.record();
+            let store = record.read();
+            QualityRow {
+                setting,
+                display_bytes: storage.display_bytes,
+                commands: store.log.len(),
+                merged_away: 0,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation: the mirror tree (§4.2)
+// ---------------------------------------------------------------------
+
+/// Event-processing cost with and without the mirror tree.
+pub struct MirrorAblationRow {
+    /// Daemon variant.
+    pub daemon: &'static str,
+    /// Events delivered.
+    pub events: u64,
+    /// Total synchronous delivery time charged to the application.
+    pub total_delivery: Duration,
+    /// Mean per-event cost.
+    pub per_event: Duration,
+    /// Charged accesses against the real tree.
+    pub tree_accesses: u64,
+}
+
+/// The §4.2 ablation: a text-heavy application (a tree growing to
+/// `nodes` components) updates text while the capture daemon listens —
+/// once with the mirror, once re-traversing the real tree per event.
+/// The per-access IPC delay makes the traversal cost real.
+pub fn ablation_mirror_tree(nodes: usize) -> Vec<MirrorAblationRow> {
+    use dv_access::{CaptureDaemon, Desktop, NaiveCaptureDaemon, Role, TextInstance, TextSink};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    struct NullSink;
+    impl TextSink for NullSink {
+        fn text_shown(&mut self, _instance: TextInstance) {}
+        fn text_hidden(&mut self, _id: u64, _time: Timestamp) {}
+        fn focus_changed(&mut self, _app: dv_access::AppId, _time: Timestamp) {}
+    }
+
+    let run = |naive: bool| -> MirrorAblationRow {
+        let clock = SimClock::new();
+        let mut desktop = Desktop::new();
+        if naive {
+            desktop.register_listener(Arc::new(Mutex::new(NaiveCaptureDaemon::new(
+                clock.shared(),
+                NullSink,
+            ))));
+        } else {
+            desktop.register_listener(Arc::new(Mutex::new(CaptureDaemon::new(
+                clock.shared(),
+                NullSink,
+            ))));
+        }
+        let app = desktop.register_app("texty");
+        // The modelled AT-SPI round trip.
+        desktop.set_access_delay(Some(Duration::from_micros(15)));
+        let root = desktop.root(app).expect("registered");
+        let win = desktop.add_node(app, root, Role::Window, "w");
+        let mut ids = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            ids.push(desktop.add_node(app, win, Role::Paragraph, &format!("line {i}")));
+        }
+        // The measured phase: text updates against the grown tree.
+        for (i, id) in ids.iter().enumerate() {
+            desktop.set_text(app, *id, &format!("update {i}"));
+        }
+        let (events, total_delivery) = desktop.delivery_stats();
+        let tree_accesses = desktop.tree(app).expect("registered").accesses();
+        MirrorAblationRow {
+            daemon: if naive { "naive (re-traverse per event)" } else { "mirror tree" },
+            events,
+            total_delivery,
+            per_event: Duration::from_nanos(total_delivery.as_nanos() / events.max(1)),
+            tree_accesses,
+        }
+    };
+    vec![run(false), run(true)]
+}
+
+// ---------------------------------------------------------------------
+// Policy effectiveness (the §6 analysis)
+// ---------------------------------------------------------------------
+
+/// §6's checkpoint-policy analysis: runs the desktop trace under the
+/// policy and returns its decision statistics.
+pub fn policy_effectiveness(scale: f64) -> PolicyStats {
+    let mut scenario = DesktopScenario::new(scale);
+    let mut dv = server_for(&scenario, true, true, false, None);
+    run_scenario(
+        &mut dv,
+        &mut scenario,
+        RunOptions {
+            checkpoints: CheckpointMode::Policy,
+            ..RunOptions::default()
+        },
+    );
+    dv.policy_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_smoke() {
+        // One cheap scenario end to end through the harness path.
+        let rows = fig3_checkpoint_latency(0.02);
+        assert_eq!(rows.len(), ALL_SCENARIOS.len());
+        for row in &rows {
+            if row.checkpoints > 0 {
+                assert!(row.downtime <= row.downtime + row.writeback);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_effectiveness_matches_paper_shape() {
+        let stats = policy_effectiveness(0.06);
+        let frac = stats.checkpoint_fraction();
+        assert!((0.1..0.4).contains(&frac), "checkpoint fraction {frac}");
+    }
+}

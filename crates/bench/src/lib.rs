@@ -1,0 +1,15 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! Each `figN_*` function runs the corresponding experiment over the
+//! Table 1 scenarios and returns structured rows; the `reproduce` binary
+//! prints them in the paper's layout, and the Criterion benches wrap the
+//! same functions. Absolute numbers come from real work on a simulator,
+//! so the *shapes* — who wins, by what rough factor, where the outliers
+//! are — are the reproduction target, as recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

@@ -1,0 +1,239 @@
+//! Paper-style table printing for the `reproduce` binary.
+
+use crate::experiments::{
+    AblationRow, BrowseSearchRow, CheckpointRow, MirrorAblationRow, OverheadRow, PlaybackRow,
+    QualityRow, ReviveRow, StorageRow, Table1Row,
+};
+use dv_checkpoint::PolicyStats;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn vms(d: dv_time::Duration) -> f64 {
+    d.as_nanos() as f64 / 1e6
+}
+
+/// Prints Table 1.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("Table 1: Application scenarios");
+    println!("{:-<100}", "");
+    for row in rows {
+        println!("{:<8} {}", row.name, row.description);
+        println!(
+            "{:<8}   -> {} steps over {}, {} display commands, {} text instances",
+            "", row.steps, row.duration, row.commands, row.text_instances
+        );
+    }
+}
+
+/// Prints Figure 2 as normalized execution times.
+pub fn print_fig2(rows: &[OverheadRow]) {
+    println!("Figure 2: Recording runtime overhead (normalized execution time, baseline = 1.00)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "scenario", "base(ms)", "display", "process", "index", "full"
+    );
+    println!("{:-<60}", "");
+    for row in rows {
+        println!(
+            "{:<8} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            row.name,
+            ms(row.baseline),
+            row.display,
+            row.process,
+            row.index,
+            row.full
+        );
+    }
+}
+
+/// Prints Figure 3 as per-phase mean latencies.
+pub fn print_fig3(rows: &[CheckpointRow]) {
+    println!("Figure 3: Total checkpoint latency (mean per checkpoint, ms)");
+    println!(
+        "{:<8} {:>6} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9}",
+        "scenario", "ckpts", "pre-ckpt", "quiesce", "capture", "fs-snap", "writeback", "downtime", "max-down"
+    );
+    println!("{:-<92}", "");
+    for row in rows {
+        println!(
+            "{:<8} {:>6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>9.3} {:>9.3}",
+            row.name,
+            row.checkpoints,
+            vms(row.pre_checkpoint),
+            vms(row.quiesce),
+            vms(row.capture),
+            vms(row.fs_snapshot),
+            vms(row.writeback),
+            vms(row.downtime),
+            vms(row.max_downtime),
+        );
+    }
+}
+
+/// Prints Figure 4 as per-stream storage growth rates.
+pub fn print_fig4(rows: &[StorageRow]) {
+    println!("Figure 4: Recording storage growth (MB/s of session time)");
+    println!(
+        "{:<8} {:>9} {:>7} {:>7} {:>9} {:>11} {:>8} {:>10}",
+        "scenario", "display", "index", "fs", "process", "proc(gz)", "total", "total(gz)"
+    );
+    println!("{:-<78}", "");
+    for row in rows {
+        println!(
+            "{:<8} {:>9.3} {:>7.3} {:>7.3} {:>9.3} {:>11.3} {:>8.3} {:>10.3}",
+            row.name,
+            row.display_mbps,
+            row.index_mbps,
+            row.fs_mbps,
+            row.process_mbps,
+            row.process_compressed_mbps,
+            row.total_mbps(),
+            row.total_compressed_mbps(),
+        );
+    }
+}
+
+/// Prints Figure 5 as browse/search latencies.
+pub fn print_fig5(rows: &[BrowseSearchRow]) {
+    println!("Figure 5: Browse and search latency (mean, ms)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>10} {:>13}",
+        "scenario", "search", "browse", "queries", "browse-points"
+    );
+    println!("{:-<55}", "");
+    for row in rows {
+        println!(
+            "{:<8} {:>10.3} {:>9.3} {:>10} {:>13}",
+            row.name,
+            ms(row.search),
+            ms(row.browse),
+            row.queries,
+            row.browse_points
+        );
+    }
+}
+
+/// Prints Figure 6 as playback speedups.
+pub fn print_fig6(rows: &[PlaybackRow]) {
+    println!("Figure 6: Playback speedup (entire record, fastest rate)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>9}",
+        "scenario", "recorded(s)", "wall(ms)", "speedup"
+    );
+    println!("{:-<45}", "");
+    for row in rows {
+        println!(
+            "{:<8} {:>12.2} {:>12.1} {:>8.0}x",
+            row.name,
+            row.recorded.as_secs_f64(),
+            ms(row.wall),
+            row.speedup
+        );
+    }
+}
+
+/// Prints Figure 7 as five revive points per scenario.
+pub fn print_fig7(rows: &[ReviveRow]) {
+    println!("Figure 7: Revive latency (ms) at five points, uncached / cached");
+    println!("{:-<76}", "");
+    for row in rows {
+        print!("{:<8}", row.name);
+        for point in &row.points {
+            print!(
+                "  [#{} {:.0}/{:.1}]",
+                point.counter,
+                ms(point.uncached),
+                ms(point.cached)
+            );
+        }
+        println!();
+    }
+    println!("(uncached = checkpoint-store cache dropped, 2007-disk latency model)");
+}
+
+/// Prints the §5.1.2 optimization ablation.
+pub fn print_ablation(rows: &[AblationRow]) {
+    println!("Ablation: checkpoint downtime with §5.1.2 optimizations disabled (octave, ms)");
+    println!(
+        "{:<36} {:>12} {:>12} {:>12}",
+        "configuration", "mean-down", "max-down", "mean-total"
+    );
+    println!("{:-<76}", "");
+    for row in rows {
+        println!(
+            "{:<36} {:>12.3} {:>12.3} {:>12.3}",
+            row.config,
+            vms(row.mean_downtime),
+            vms(row.max_downtime),
+            vms(row.mean_total)
+        );
+    }
+    println!("(the paper reports the unoptimized mechanism could not sustain 1 checkpoint/s)");
+}
+
+/// Prints the recording-quality trade-off.
+pub fn print_quality(rows: &[QualityRow]) {
+    println!("Recording quality vs storage (§2 trade-off, web workload)");
+    println!(
+        "{:<26} {:>14} {:>10} {:>10}",
+        "setting", "display(KB)", "commands", "rel-size"
+    );
+    println!("{:-<64}", "");
+    let full = rows.first().map(|r| r.display_bytes.max(1)).unwrap_or(1);
+    for row in rows {
+        println!(
+            "{:<26} {:>14.1} {:>10} {:>9.2}x",
+            row.setting,
+            row.display_bytes as f64 / 1e3,
+            row.commands,
+            row.display_bytes as f64 / full as f64
+        );
+    }
+}
+
+/// Prints the mirror-tree ablation.
+pub fn print_mirror_ablation(rows: &[MirrorAblationRow]) {
+    println!("Ablation: capture daemon with vs without the mirror tree (§4.2)");
+    println!(
+        "{:<32} {:>8} {:>14} {:>12} {:>14}",
+        "daemon", "events", "delivery(ms)", "per-evt(us)", "tree-accesses"
+    );
+    println!("{:-<84}", "");
+    for row in rows {
+        println!(
+            "{:<32} {:>8} {:>14.3} {:>12.1} {:>14}",
+            row.daemon,
+            row.events,
+            vms(row.total_delivery),
+            row.per_event.as_nanos() as f64 / 1e3,
+            row.tree_accesses
+        );
+    }
+    println!("(events are delivered synchronously: delivery time blocks the application)");
+}
+
+/// Prints the §6 policy-effectiveness analysis.
+pub fn print_policy(stats: &PolicyStats) {
+    let total = stats.total() as f64;
+    let skips = (stats.total() - stats.checkpoints) as f64;
+    println!("Checkpoint policy effectiveness (desktop trace, §6)");
+    println!("{:-<60}", "");
+    println!(
+        "evaluations: {}   checkpoints taken: {} ({:.0}% of the time; paper: ~20%)",
+        stats.total(),
+        stats.checkpoints,
+        100.0 * stats.checkpoint_fraction()
+    );
+    if skips > 0.0 {
+        println!(
+            "skips: {:.0}% no display activity (paper 13%), {:.0}% low display activity (paper 69%), {:.0}% text-edit rate (paper 18%), {:.0}% fullscreen/rate/other",
+            100.0 * stats.no_display as f64 / skips,
+            100.0 * stats.low_display as f64 / skips,
+            100.0 * stats.text_edit as f64 / skips,
+            100.0 * (stats.fullscreen + stats.rate_limited + stats.custom_rule) as f64 / skips,
+        );
+    }
+    let _ = total;
+}

@@ -1,0 +1,875 @@
+//! The checkpoint engine.
+//!
+//! Implements §5.1's four-step consistent checkpoint — quiesce, capture,
+//! file system snapshot, resume — with every optimization §5.1.2
+//! describes for keeping downtime out of the user's way:
+//!
+//! * **pre-snapshot**: sync the file system before quiescing;
+//! * **pre-quiesce**: wait (bounded) for uninterruptibly sleeping
+//!   processes to become signal-ready before stopping the session;
+//! * **COW capture**: page captures are `Arc` clones, the copy is paid
+//!   lazily by post-resume writers;
+//! * **relink**: unlinked-but-open files are relinked into a hidden
+//!   directory before the FS snapshot instead of being saved by value;
+//! * **incremental checkpoints**: only pages dirtied since the last
+//!   checkpoint are saved, via write-protect fault tracking;
+//! * **deferred writeback**: serialization and storage writes happen
+//!   after the session has resumed, into a preallocated buffer sized
+//!   from recent checkpoints.
+//!
+//! Each checkpoint reports a per-phase latency breakdown; *downtime* is
+//! quiesce + capture + FS snapshot, the quantity Figure 3 shows must
+//! stay in single-digit milliseconds.
+
+use std::collections::BTreeMap;
+
+use dv_lsfs::{BlobStore, FsError};
+use dv_time::{Duration, PhaseBreakdown, PhaseTimer, Timestamp};
+use dv_vee::{FdObject, Process, RunState, Signal, SockState, Vee};
+
+use crate::compress::compress;
+use crate::image::{
+    encode_image, CheckpointImage, FdRecord, ImageKind, ProcessRecord, SocketRecord,
+};
+
+/// Hidden directory unlinked-open files are relinked into.
+pub const RELINK_DIR: &str = "/.dejaview";
+
+/// Engine configuration.
+///
+/// The three `disable_*` flags ablate the §5.1.2 downtime optimizations
+/// for the "without these optimizations" comparison of §6; they exist
+/// for measurement, not production use.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Take a full checkpoint every `full_every` checkpoints; the rest
+    /// are incremental ("full checkpoints are taken periodically ...
+    /// for redundancy", §5.1.2). `1` disables incremental checkpoints.
+    pub full_every: u64,
+    /// Compress images before storing.
+    pub compress: bool,
+    /// Upper bound on pre-quiesce waiting.
+    pub pre_quiesce_timeout: Duration,
+    /// Step the waiter advances time by while pre-quiescing.
+    pub pre_quiesce_step: Duration,
+    /// Ablation: copy page contents eagerly during capture instead of
+    /// the deferred COW capture.
+    pub disable_cow: bool,
+    /// Ablation: serialize and store the image *before* resuming the
+    /// session, so writeback counts as downtime.
+    pub disable_deferred_writeback: bool,
+    /// Ablation: skip the pre-snapshot file system sync, leaving all
+    /// dirty data to be written during the snapshot (downtime) window.
+    pub disable_pre_snapshot: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            full_every: 100,
+            compress: false,
+            pre_quiesce_timeout: Duration::from_millis(100),
+            pre_quiesce_step: Duration::from_millis(1),
+            disable_cow: false,
+            disable_deferred_writeback: false,
+            disable_pre_snapshot: false,
+        }
+    }
+}
+
+/// Metadata the engine keeps about each stored image.
+#[derive(Clone, Debug)]
+pub struct ImageMeta {
+    /// Checkpoint counter.
+    pub counter: u64,
+    /// Session time.
+    pub time: Timestamp,
+    /// Full or incremental.
+    pub kind: ImageKind,
+    /// Blob name in the store.
+    pub blob: String,
+    /// Stored size in bytes.
+    pub stored_bytes: u64,
+    /// Uncompressed size in bytes.
+    pub raw_bytes: u64,
+}
+
+/// The result of one checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// Checkpoint counter assigned.
+    pub counter: u64,
+    /// Phase latency breakdown (pre-checkpoint, quiesce, capture,
+    /// fs-snapshot, writeback).
+    pub phases: PhaseBreakdown,
+    /// Time the session was unresponsive.
+    pub downtime: Duration,
+    /// Pages saved.
+    pub pages_saved: usize,
+    /// Stored image size.
+    pub stored_bytes: u64,
+    /// Uncompressed image size.
+    pub raw_bytes: u64,
+    /// Whether this was a full checkpoint.
+    pub full: bool,
+}
+
+/// Cumulative engine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Full checkpoints taken.
+    pub full_checkpoints: u64,
+    /// Total stored bytes.
+    pub stored_bytes: u64,
+    /// Total raw (uncompressed) bytes.
+    pub raw_bytes: u64,
+    /// Unlinked files relinked.
+    pub relinks: u64,
+}
+
+/// A function the engine calls to let session time pass while it waits
+/// (pre-quiesce). Tests and the simulation advance a `SimClock`; a
+/// wall-clock deployment would sleep.
+pub type WaitFn = Box<dyn FnMut(Duration) + Send>;
+
+/// The checkpoint engine for one session.
+pub struct Checkpointer {
+    config: EngineConfig,
+    blob_prefix: String,
+    counter: u64,
+    images: BTreeMap<u64, ImageMeta>,
+    buffer_estimate: usize,
+    recent_sizes: Vec<usize>,
+    stats: EngineStats,
+    waiter: WaitFn,
+    relink_seq: u64,
+}
+
+impl Checkpointer {
+    /// Creates an engine with the given waiter.
+    pub fn new(config: EngineConfig, waiter: WaitFn) -> Self {
+        Checkpointer {
+            config,
+            blob_prefix: "ckpt".to_string(),
+            counter: 0,
+            images: BTreeMap::new(),
+            buffer_estimate: 1 << 20,
+            recent_sizes: Vec::new(),
+            stats: EngineStats::default(),
+            waiter,
+            relink_seq: 0,
+        }
+    }
+
+    /// Creates an engine whose pre-quiesce wait advances a [`dv_time::SimClock`].
+    pub fn with_sim_clock(config: EngineConfig, clock: dv_time::SimClock) -> Self {
+        Checkpointer::new(config, Box::new(move |d| {
+            clock.advance(d);
+        }))
+    }
+
+    /// Sets the blob-name prefix, so several engines (the main session
+    /// and each revived session) can share one store without colliding.
+    pub fn with_blob_prefix(mut self, prefix: &str) -> Self {
+        self.blob_prefix = prefix.to_string();
+        self
+    }
+
+    /// Returns the blob-name prefix.
+    pub fn blob_prefix(&self) -> &str {
+        &self.blob_prefix
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Returns metadata for every stored image, in counter order.
+    pub fn images(&self) -> impl Iterator<Item = &ImageMeta> {
+        self.images.values()
+    }
+
+    /// Returns metadata for a specific counter.
+    pub fn image_meta(&self, counter: u64) -> Option<&ImageMeta> {
+        self.images.get(&counter)
+    }
+
+    /// Returns the latest checkpoint counter at or before `t`, the
+    /// lookup behind "Take me back" (§5.2).
+    pub fn counter_at_or_before(&self, t: Timestamp) -> Option<u64> {
+        self.images
+            .values()
+            .rev()
+            .find(|m| m.time <= t)
+            .map(|m| m.counter)
+    }
+
+    /// Returns the chain of counters needed to restore `counter`:
+    /// `[full, inc, ..., counter]`.
+    pub fn chain_for(&self, counter: u64) -> Option<Vec<u64>> {
+        let mut chain = Vec::new();
+        let mut cur = counter;
+        loop {
+            let meta = self.images.get(&cur)?;
+            chain.push(cur);
+            match meta.kind {
+                ImageKind::Full => break,
+                ImageKind::Incremental { prev } => cur = prev,
+            }
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Serializes the engine's image metadata (counters, kinds, blob
+    /// names, times) so a record can be reopened across restarts.
+    pub fn export_meta(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"DVENG001");
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        out.extend_from_slice(&self.relink_seq.to_le_bytes());
+        out.extend_from_slice(&(self.blob_prefix.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.blob_prefix.as_bytes());
+        out.extend_from_slice(&(self.images.len() as u64).to_le_bytes());
+        for meta in self.images.values() {
+            out.extend_from_slice(&meta.counter.to_le_bytes());
+            out.extend_from_slice(&meta.time.as_nanos().to_le_bytes());
+            match meta.kind {
+                ImageKind::Full => {
+                    out.push(0);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+                ImageKind::Incremental { prev } => {
+                    out.push(1);
+                    out.extend_from_slice(&prev.to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(meta.blob.len() as u32).to_le_bytes());
+            out.extend_from_slice(meta.blob.as_bytes());
+            out.extend_from_slice(&meta.stored_bytes.to_le_bytes());
+            out.extend_from_slice(&meta.raw_bytes.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores image metadata from [`Checkpointer::export_meta`] output,
+    /// replacing this engine's history. Returns `None` on malformed data.
+    pub fn import_meta(&mut self, mut data: &[u8]) -> Option<()> {
+        fn take<'a>(data: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if data.len() < n {
+                return None;
+            }
+            let (head, rest) = data.split_at(n);
+            *data = rest;
+            Some(head)
+        }
+        fn u64_of(data: &mut &[u8]) -> Option<u64> {
+            take(data, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+        if take(&mut data, 8)? != b"DVENG001" {
+            return None;
+        }
+        let counter = u64_of(&mut data)?;
+        let relink_seq = u64_of(&mut data)?;
+        let prefix_len =
+            u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes")) as usize;
+        let blob_prefix = std::str::from_utf8(take(&mut data, prefix_len)?)
+            .ok()?
+            .to_string();
+        let count = u64_of(&mut data)?;
+        let mut images = BTreeMap::new();
+        for _ in 0..count {
+            let meta_counter = u64_of(&mut data)?;
+            let time = Timestamp::from_nanos(u64_of(&mut data)?);
+            let tag = take(&mut data, 1)?[0];
+            let prev = u64_of(&mut data)?;
+            let kind = match tag {
+                0 => ImageKind::Full,
+                1 => ImageKind::Incremental { prev },
+                _ => return None,
+            };
+            let blob_len =
+                u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes")) as usize;
+            let blob = std::str::from_utf8(take(&mut data, blob_len)?)
+                .ok()?
+                .to_string();
+            let stored_bytes = u64_of(&mut data)?;
+            let raw_bytes = u64_of(&mut data)?;
+            images.insert(
+                meta_counter,
+                ImageMeta {
+                    counter: meta_counter,
+                    time,
+                    kind,
+                    blob,
+                    stored_bytes,
+                    raw_bytes,
+                },
+            );
+        }
+        if !data.is_empty() {
+            return None;
+        }
+        self.counter = counter;
+        self.relink_seq = relink_seq;
+        self.blob_prefix = blob_prefix;
+        self.images = images;
+        Some(())
+    }
+
+    /// Takes one checkpoint of `vee`, storing the image in `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the file system error if the snapshot point fails.
+    pub fn checkpoint(
+        &mut self,
+        vee: &mut Vee,
+        store: &mut BlobStore,
+    ) -> Result<CheckpointReport, FsError> {
+        let mut timer = PhaseTimer::new();
+        // A zero cadence would divide by zero; treat it as "always full".
+        let full = self
+            .counter
+            .is_multiple_of(self.config.full_every.max(1));
+        let counter = self.counter + 1;
+
+        // --- Pre-checkpoint: work done while the session still runs. ---
+        timer.enter("pre-checkpoint");
+        // Pre-snapshot: flush dirty file data so the snapshot point has
+        // little left to write.
+        if !self.config.disable_pre_snapshot {
+            vee.fs.sync()?;
+        }
+        // Pre-quiesce: wait for uninterruptible sleepers, bounded.
+        let mut waited = Duration::ZERO;
+        while !vee.all_signal_ready() && waited < self.config.pre_quiesce_timeout {
+            (self.waiter)(self.config.pre_quiesce_step);
+            waited += self.config.pre_quiesce_step;
+            vee.tick();
+        }
+
+        // --- Quiesce: stop every process. ---
+        timer.enter("quiesce");
+        let resume_states: Vec<(dv_vee::Vpid, RunState)> = vee
+            .processes()
+            .map(|p| (p.vpid, p.state))
+            .collect();
+        vee.stop_all();
+
+        // --- Capture: while stopped, gather state without copying. ---
+        timer.enter("capture");
+        let mut processes = Vec::with_capacity(vee.process_count());
+        let mut pages_saved = 0usize;
+        let vpids: Vec<dv_vee::Vpid> = vee.processes().map(|p| p.vpid).collect();
+        for vpid in &vpids {
+            // Relink unlinked-but-open files before the FS snapshot so
+            // their contents are reachable on revive without saving them
+            // to the image.
+            let mut relinks: Vec<(u32, String)> = Vec::new();
+            {
+                let process = vee.process(*vpid).expect("listed process");
+                for (fd, obj) in process.fds.iter() {
+                    if let FdObject::File { unlinked: true, .. } = obj {
+                        let relink_path =
+                            format!("{RELINK_DIR}/relink-{counter}-{}", self.relink_seq);
+                        self.relink_seq += 1;
+                        relinks.push((fd, relink_path));
+                    }
+                }
+            }
+            if !relinks.is_empty() {
+                match vee.fs.mkdir(RELINK_DIR) {
+                    Ok(()) | Err(FsError::AlreadyExists) => {}
+                    Err(e) => return Err(e),
+                }
+                for (fd, relink_path) in &relinks {
+                    let handle = {
+                        let process = vee.process(*vpid).expect("listed process");
+                        match process.fds.get(*fd) {
+                            Some(FdObject::File { handle, .. }) => *handle,
+                            _ => continue,
+                        }
+                    };
+                    vee.fs.link_handle(handle, relink_path)?;
+                    self.stats.relinks += 1;
+                }
+            }
+            let process = vee.process_mut(*vpid).expect("listed process");
+            let page_addrs = if full {
+                let addrs = process.mem.resident_page_addrs();
+                process.mem.arm_tracking();
+                addrs
+            } else {
+                process.mem.take_dirty()
+            };
+            let captured = process.mem.capture_pages(&page_addrs);
+            let pages: Vec<_> = if self.config.disable_cow {
+                // Ablation: pay the full memory copy while stopped.
+                captured
+                    .into_iter()
+                    .filter_map(|(addr, page)| {
+                        page.map(|p| (addr, std::sync::Arc::new(*p)))
+                    })
+                    .collect()
+            } else {
+                captured
+                    .into_iter()
+                    .filter_map(|(addr, page)| page.map(|p| (addr, p)))
+                    .collect()
+            };
+            pages_saved += pages.len();
+            let relink_of = |fd: u32| relinks.iter().find(|(f, _)| *f == fd).map(|(_, p)| p.clone());
+            let record = record_process(process, pages, relink_of);
+            processes.push(record);
+        }
+        let sockets: Vec<SocketRecord> = vee
+            .sockets
+            .iter()
+            .map(|s| SocketRecord {
+                id: s.id,
+                proto: match s.proto {
+                    dv_vee::Proto::Tcp => 0,
+                    dv_vee::Proto::Udp => 1,
+                },
+                local_port: s.local_port,
+                remote: s.remote.clone(),
+                state: match s.state {
+                    SockState::Unconnected => 0,
+                    SockState::Connected => 1,
+                    SockState::Reset => 2,
+                },
+                tx_bytes: s.tx_bytes,
+                rx_bytes: s.rx_bytes,
+            })
+            .collect();
+        let image = CheckpointImage {
+            counter,
+            time: vee.clock().now(),
+            kind: if full {
+                ImageKind::Full
+            } else {
+                ImageKind::Incremental { prev: self.counter }
+            },
+            hostname: vee.namespace.hostname.clone(),
+            network_enabled: vee.network_enabled(),
+            processes,
+            sockets,
+        };
+
+        // --- File system snapshot, tied to the counter. ---
+        timer.enter("fs-snapshot");
+        match vee.fs.snapshot_point(counter) {
+            Ok(()) | Err(FsError::Unsupported) => {}
+            Err(e) => return Err(e),
+        }
+
+        // --- Writeback: deferred past resume by default; the ablation
+        // pays it while the session is still stopped. ---
+        let mut do_writeback = |timer: &mut PhaseTimer| -> (u64, u64, String) {
+            timer.enter("writeback");
+            let mut buffer = Vec::with_capacity(self.buffer_estimate);
+            buffer.extend_from_slice(&encode_image(&image));
+            let raw_bytes = buffer.len() as u64;
+            let stored = if self.config.compress {
+                compress(&buffer)
+            } else {
+                buffer
+            };
+            let stored_bytes = stored.len() as u64;
+            let blob = format!("{}-{counter:08}", self.blob_prefix);
+            store.put(&blob, stored);
+            (raw_bytes, stored_bytes, blob)
+        };
+        let mut written = None;
+        if self.config.disable_deferred_writeback {
+            written = Some(do_writeback(&mut timer));
+        }
+
+        // --- Resume: the session runs again; downtime ends here. ---
+        timer.enter("resume");
+        for (vpid, state) in resume_states {
+            // Only processes that were runnable before the quiesce are
+            // continued; a process stopped by the user stays stopped.
+            if state == RunState::Runnable {
+                let _ = vee.send_signal(vpid, Signal::Cont);
+            }
+        }
+
+        let (raw_bytes, stored_bytes, blob) = match written {
+            Some(done) => done,
+            None => do_writeback(&mut timer),
+        };
+        self.recent_sizes.push(raw_bytes as usize);
+        if self.recent_sizes.len() > 8 {
+            self.recent_sizes.remove(0);
+        }
+        self.buffer_estimate =
+            self.recent_sizes.iter().sum::<usize>() / self.recent_sizes.len().max(1);
+
+        let phases = timer.finish();
+        let mut downtime = phases.subset_total(&["quiesce", "capture", "fs-snapshot"]);
+        if self.config.disable_deferred_writeback {
+            downtime += phases.get("writeback");
+        }
+        self.counter = counter;
+        self.images.insert(
+            counter,
+            ImageMeta {
+                counter,
+                time: image.time,
+                kind: image.kind,
+                blob,
+                stored_bytes,
+                raw_bytes,
+            },
+        );
+        self.stats.checkpoints += 1;
+        if full {
+            self.stats.full_checkpoints += 1;
+        }
+        self.stats.stored_bytes += stored_bytes;
+        self.stats.raw_bytes += raw_bytes;
+        Ok(CheckpointReport {
+            counter,
+            phases,
+            downtime,
+            pages_saved,
+            stored_bytes,
+            raw_bytes,
+            full,
+        })
+    }
+}
+
+fn record_process(
+    process: &Process,
+    pages: Vec<(u64, std::sync::Arc<dv_vee::PageBuf>)>,
+    relink_of: impl Fn(u32) -> Option<String>,
+) -> ProcessRecord {
+    ProcessRecord {
+        vpid: process.vpid.0,
+        parent: process.parent.map(|v| v.0),
+        name: process.name.clone(),
+        regs: process.regs,
+        fpu: process.fpu,
+        sched: process.sched,
+        creds: process.creds,
+        blocked: process.signals.blocked,
+        handled: process.signals.handled,
+        pending: process
+            .signals
+            .pending
+            .iter()
+            .map(|s| *s as u8)
+            .collect(),
+        ptraced_by: process.ptraced_by.map(|v| v.0),
+        cwd: process.cwd.clone(),
+        net_allowed: process.net_allowed,
+        regions: process.mem.regions().cloned().collect(),
+        pages,
+        fds: process
+            .fds
+            .iter()
+            .map(|(fd, obj)| match obj {
+                FdObject::File {
+                    path,
+                    offset,
+                    unlinked,
+                    ..
+                } => FdRecord::File {
+                    fd,
+                    path: path.clone(),
+                    offset: *offset,
+                    unlinked: *unlinked,
+                    relink: relink_of(fd),
+                },
+                FdObject::Socket { id } => FdRecord::Socket { fd, id: *id },
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_lsfs::Lsfs;
+    use dv_time::SimClock;
+    use dv_vee::{HostPidAllocator, Prot};
+
+    fn setup() -> (Vee, SimClock, Checkpointer, BlobStore) {
+        let clock = SimClock::new();
+        let vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: 4,
+                ..EngineConfig::default()
+            },
+            clock.clone(),
+        );
+        (vee, clock, engine, BlobStore::in_memory())
+    }
+
+    #[test]
+    fn checkpoint_produces_image_and_resumes() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 8192, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, b"state").unwrap();
+        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(report.counter, 1);
+        assert!(report.full);
+        assert_eq!(report.pages_saved, 1);
+        assert!(store.contains("ckpt-00000001"));
+        assert_eq!(
+            vee.process(p).unwrap().state,
+            RunState::Runnable,
+            "session resumed"
+        );
+    }
+
+    #[test]
+    fn incrementals_save_only_dirty_pages() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 16 * 4096, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, &vec![1u8; 16 * 4096]).unwrap();
+        let full = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(full.pages_saved, 16);
+        // Touch two pages.
+        vee.mem_write(p, addr + 4096, b"x").unwrap();
+        vee.mem_write(p, addr + 5 * 4096, b"y").unwrap();
+        let inc = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert!(!inc.full);
+        assert_eq!(inc.pages_saved, 2);
+        assert!(inc.raw_bytes < full.raw_bytes / 4);
+        // No writes: empty incremental.
+        let idle = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(idle.pages_saved, 0);
+    }
+
+    #[test]
+    fn full_checkpoints_recur_periodically() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        vee.spawn(None, "app").unwrap();
+        let mut fulls = Vec::new();
+        for _ in 0..9 {
+            fulls.push(engine.checkpoint(&mut vee, &mut store).unwrap().full);
+        }
+        assert_eq!(
+            fulls,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn chain_resolution() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        vee.spawn(None, "app").unwrap();
+        for _ in 0..6 {
+            engine.checkpoint(&mut vee, &mut store).unwrap();
+        }
+        assert_eq!(engine.chain_for(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(engine.chain_for(5).unwrap(), vec![5]);
+        assert_eq!(engine.chain_for(6).unwrap(), vec![5, 6]);
+        assert!(engine.chain_for(99).is_none());
+    }
+
+    #[test]
+    fn counter_lookup_by_time() {
+        let (mut vee, clock, mut engine, mut store) = setup();
+        vee.spawn(None, "app").unwrap();
+        for _ in 0..3 {
+            clock.advance(Duration::from_secs(1));
+            engine.checkpoint(&mut vee, &mut store).unwrap();
+        }
+        // Checkpoints at t=1s, 2s, 3s.
+        assert_eq!(engine.counter_at_or_before(Timestamp::from_millis(2_500)), Some(2));
+        assert_eq!(engine.counter_at_or_before(Timestamp::from_secs(3)), Some(3));
+        assert_eq!(engine.counter_at_or_before(Timestamp::from_millis(500)), None);
+    }
+
+    #[test]
+    fn pre_quiesce_waits_for_disk_sleepers() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        let p = vee.spawn(None, "io").unwrap();
+        vee.enter_disk_sleep(p, Duration::from_millis(20)).unwrap();
+        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        // The engine advanced the clock past the sleep and stopped the
+        // process cleanly.
+        assert!(report.phases.get("pre-checkpoint") > Duration::ZERO);
+        assert_eq!(vee.process(p).unwrap().state, RunState::Runnable);
+    }
+
+    #[test]
+    fn fs_snapshot_ties_to_counter() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        vee.spawn(None, "app").unwrap();
+        vee.fs.write_all("/doc", b"v1").unwrap();
+        engine.checkpoint(&mut vee, &mut store).unwrap();
+        vee.fs.write_all("/doc", b"v2").unwrap();
+        engine.checkpoint(&mut vee, &mut store).unwrap();
+        // The Lsfs inside the VEE has snapshots 1 and 2; verified at the
+        // session layer (core) which holds a typed handle. Here we check
+        // the counters advanced.
+        assert_eq!(engine.images().count(), 2);
+    }
+
+    #[test]
+    fn relinks_unlinked_open_files() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        let p = vee.spawn(None, "app").unwrap();
+        vee.fs.write_all("/tmp_scratch", b"precious bytes").unwrap();
+        let fd = vee.open(p, "/tmp_scratch").unwrap();
+        vee.unlink("/tmp_scratch").unwrap();
+        let _ = fd;
+        engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(engine.stats().relinks, 1);
+        // The relinked name exists in the live fs (and so in the
+        // snapshot taken at the same counter).
+        let entries = vee.fs.readdir(RELINK_DIR).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].name.starts_with("relink-1-"));
+    }
+
+    #[test]
+    fn compression_reduces_stored_size() {
+        let (mut vee, clock, _engine, mut store) = setup();
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                compress: true,
+                ..EngineConfig::default()
+            },
+            clock,
+        );
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 64 * 4096, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, &vec![7u8; 64 * 4096]).unwrap();
+        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert!(report.stored_bytes < report.raw_bytes / 10);
+    }
+
+    #[test]
+    fn engine_meta_round_trips() {
+        let (mut vee, clock, mut engine, mut store) = setup();
+        vee.spawn(None, "app").unwrap();
+        for _ in 0..6 {
+            clock.advance(Duration::from_secs(1));
+            engine.checkpoint(&mut vee, &mut store).unwrap();
+        }
+        let meta = engine.export_meta();
+        let mut restored =
+            Checkpointer::with_sim_clock(EngineConfig::default(), SimClock::new());
+        restored.import_meta(&meta).expect("import");
+        assert_eq!(
+            restored.images().map(|m| m.counter).collect::<Vec<_>>(),
+            engine.images().map(|m| m.counter).collect::<Vec<_>>()
+        );
+        assert_eq!(restored.chain_for(6), engine.chain_for(6));
+        assert_eq!(
+            restored.counter_at_or_before(Timestamp::from_secs(3)),
+            engine.counter_at_or_before(Timestamp::from_secs(3))
+        );
+        // A further checkpoint continues the numbering.
+        let report = restored.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(report.counter, 7);
+        assert!(restored.import_meta(&meta[..10]).is_none());
+    }
+
+    #[test]
+    fn ablations_increase_downtime() {
+        let run = |config: EngineConfig| -> Duration {
+            let clock = SimClock::new();
+            let mut vee = Vee::new(
+                1,
+                clock.shared(),
+                Box::new(Lsfs::new()),
+                HostPidAllocator::new(),
+            );
+            let mut engine = Checkpointer::with_sim_clock(config, clock);
+            let mut store = BlobStore::in_memory();
+            let p = vee.spawn(None, "app").unwrap();
+            let addr = vee.mmap(p, 8 << 20, Prot::ReadWrite).unwrap();
+            vee.mem_write(p, addr, &vec![5u8; 8 << 20]).unwrap();
+            // Warm up, then measure an incremental with a fresh dirty set.
+            engine.checkpoint(&mut vee, &mut store).unwrap();
+            vee.mem_write(p, addr, &vec![6u8; 4 << 20]).unwrap();
+            engine.checkpoint(&mut vee, &mut store).unwrap().downtime
+        };
+        let optimized = run(EngineConfig::default());
+        let no_incremental = run(EngineConfig {
+            full_every: 1,
+            ..EngineConfig::default()
+        });
+        let no_defer = run(EngineConfig {
+            disable_deferred_writeback: true,
+            ..EngineConfig::default()
+        });
+        let no_cow = run(EngineConfig {
+            disable_cow: true,
+            ..EngineConfig::default()
+        });
+        assert!(
+            no_defer > optimized,
+            "synchronous writeback must add downtime ({no_defer} vs {optimized})"
+        );
+        assert!(
+            no_cow > optimized,
+            "eager copy must add downtime ({no_cow} vs {optimized})"
+        );
+        // Full-every-time saves more pages than the dirty subset.
+        assert!(no_incremental >= optimized);
+    }
+
+    #[test]
+    fn disabled_cow_still_restores_correctly() {
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                disable_cow: true,
+                disable_deferred_writeback: true,
+                disable_pre_snapshot: true,
+                full_every: 1,
+                ..EngineConfig::default()
+            },
+            clock,
+        );
+        let mut store = BlobStore::in_memory();
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 4096, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, b"ablated but correct").unwrap();
+        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let image = crate::restore::load_image(&mut store, "ckpt", report.counter, false).unwrap();
+        assert_eq!(&image.processes[0].pages[0].1[..19], b"ablated but correct");
+    }
+
+    #[test]
+    fn downtime_excludes_writeback() {
+        let (mut vee, _clock, mut engine, mut store) = setup();
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 256 * 4096, Prot::ReadWrite).unwrap();
+        vee.mem_write(p, addr, &vec![3u8; 256 * 4096]).unwrap();
+        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        assert_eq!(
+            report.downtime,
+            report
+                .phases
+                .subset_total(&["quiesce", "capture", "fs-snapshot"])
+        );
+        assert!(report.phases.get("writeback") > Duration::ZERO);
+    }
+}

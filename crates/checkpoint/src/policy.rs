@@ -1,0 +1,372 @@
+//! The checkpoint policy.
+//!
+//! §5.1.3: rather than checkpointing at fixed intervals — which "would
+//! miss important updates that occurred in the interval, while
+//! wastefully recording during periods of inactivity" — DejaView
+//! checkpoints in response to display updates, capped at once per
+//! second, skipping checkpoints when a full-screen app is active without
+//! input (screensaver, video), when display activity is below a
+//! threshold (blinking cursor, clock), and reducing the rate to once per
+//! ten seconds during keyboard-driven, low-display activity (typing).
+//! All parameters are user-tunable and the rule set is extensible.
+
+use dv_time::{Duration, RateLimiter, Timestamp};
+
+/// A custom, user-supplied policy rule evaluated before the built-in
+/// rules; returning a reason skips the checkpoint.
+pub trait PolicyRule: Send {
+    /// Returns a skip reason, or `None` to let the decision continue.
+    fn evaluate(&self, input: &PolicyInput) -> Option<&'static str>;
+}
+
+/// The example extension rule from the paper: skip checkpoints when
+/// system load is above a threshold.
+pub struct LoadRule {
+    /// Maximum load average at which checkpoints are still taken.
+    pub max_load: f64,
+}
+
+impl PolicyRule for LoadRule {
+    fn evaluate(&self, input: &PolicyInput) -> Option<&'static str> {
+        (input.system_load > self.max_load).then_some("system-load")
+    }
+}
+
+/// Policy parameters (all §5.1.3 defaults).
+pub struct PolicyConfig {
+    /// Maximum checkpoint rate during display activity.
+    pub min_interval: Duration,
+    /// Reduced rate during keyboard-driven editing.
+    pub text_edit_interval: Duration,
+    /// Fraction of the screen that must change for "display activity".
+    pub min_display_fraction: f64,
+    /// Skip checkpoints when a full-screen application is active with no
+    /// user input.
+    pub skip_fullscreen: bool,
+    /// Additional user rules.
+    pub rules: Vec<Box<dyn PolicyRule>>,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            min_interval: Duration::from_secs(1),
+            text_edit_interval: Duration::from_secs(10),
+            min_display_fraction: 0.05,
+            skip_fullscreen: true,
+            rules: Vec::new(),
+        }
+    }
+}
+
+/// One evaluation's inputs, sampled by the server each policy tick.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolicyInput {
+    /// Evaluation time.
+    pub now: Timestamp,
+    /// Fraction of the screen changed since the last evaluation.
+    pub display_fraction: f64,
+    /// Whether any user input arrived since the last evaluation.
+    pub user_input: bool,
+    /// Whether keyboard input arrived since the last evaluation.
+    pub keyboard_input: bool,
+    /// Whether a full-screen application (video player, screensaver) is
+    /// active.
+    pub fullscreen_active: bool,
+    /// Current system load average.
+    pub system_load: f64,
+}
+
+/// The decision for one evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Take a checkpoint now.
+    Checkpoint,
+    /// Skip, with the reason.
+    Skip(SkipReason),
+}
+
+/// Why a checkpoint was skipped; the categories §6 reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SkipReason {
+    /// No display activity at all.
+    NoDisplayActivity,
+    /// Display activity below the threshold (and no keyboard input).
+    LowDisplayActivity,
+    /// Keyboard editing, held to the reduced text-edit rate.
+    TextEditRate,
+    /// Full-screen application active without user input.
+    Fullscreen,
+    /// The 1/s rate cap.
+    RateLimited,
+    /// A custom rule fired.
+    Rule(&'static str),
+}
+
+/// Decision counters for the policy-effectiveness analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolicyStats {
+    /// Evaluations ending in a checkpoint.
+    pub checkpoints: u64,
+    /// Skips: no display activity.
+    pub no_display: u64,
+    /// Skips: low display activity.
+    pub low_display: u64,
+    /// Skips: text-edit rate reduction.
+    pub text_edit: u64,
+    /// Skips: full-screen without input.
+    pub fullscreen: u64,
+    /// Skips: rate cap.
+    pub rate_limited: u64,
+    /// Skips: custom rules.
+    pub custom_rule: u64,
+}
+
+impl PolicyStats {
+    /// Total evaluations.
+    pub fn total(&self) -> u64 {
+        self.checkpoints
+            + self.no_display
+            + self.low_display
+            + self.text_edit
+            + self.fullscreen
+            + self.rate_limited
+            + self.custom_rule
+    }
+
+    /// Fraction of evaluations that took a checkpoint.
+    pub fn checkpoint_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.checkpoints as f64 / total as f64
+        }
+    }
+}
+
+/// The checkpoint policy engine.
+pub struct CheckpointPolicy {
+    config: PolicyConfig,
+    limiter: RateLimiter,
+    stats: PolicyStats,
+}
+
+impl CheckpointPolicy {
+    /// Creates a policy with the given configuration.
+    pub fn new(config: PolicyConfig) -> Self {
+        let limiter = RateLimiter::new(config.min_interval);
+        CheckpointPolicy {
+            config,
+            limiter,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Returns decision counters.
+    pub fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    /// Evaluates one tick. The caller samples display damage and input
+    /// since the previous call.
+    pub fn evaluate(&mut self, input: &PolicyInput) -> Decision {
+        let decision = self.decide(input);
+        match decision {
+            Decision::Checkpoint => self.stats.checkpoints += 1,
+            Decision::Skip(SkipReason::NoDisplayActivity) => self.stats.no_display += 1,
+            Decision::Skip(SkipReason::LowDisplayActivity) => self.stats.low_display += 1,
+            Decision::Skip(SkipReason::TextEditRate) => self.stats.text_edit += 1,
+            Decision::Skip(SkipReason::Fullscreen) => self.stats.fullscreen += 1,
+            Decision::Skip(SkipReason::RateLimited) => self.stats.rate_limited += 1,
+            Decision::Skip(SkipReason::Rule(_)) => self.stats.custom_rule += 1,
+        }
+        decision
+    }
+
+    fn decide(&mut self, input: &PolicyInput) -> Decision {
+        for rule in &self.config.rules {
+            if let Some(reason) = rule.evaluate(input) {
+                return Decision::Skip(SkipReason::Rule(reason));
+            }
+        }
+        // Full-screen app without input: the display record suffices.
+        if self.config.skip_fullscreen && input.fullscreen_active && !input.user_input {
+            return Decision::Skip(SkipReason::Fullscreen);
+        }
+        // Nothing changed at all and no typing: nothing to capture.
+        if input.display_fraction <= 0.0 && !input.keyboard_input {
+            return Decision::Skip(SkipReason::NoDisplayActivity);
+        }
+        if input.display_fraction < self.config.min_display_fraction {
+            // Trivial display updates; but typing still deserves
+            // checkpoints at the reduced rate.
+            if input.keyboard_input {
+                let due = match self.limiter.last_acquired() {
+                    None => true,
+                    Some(last) => {
+                        input.now.saturating_since(last) >= self.config.text_edit_interval
+                    }
+                };
+                if due {
+                    self.limiter.try_acquire(input.now);
+                    return Decision::Checkpoint;
+                }
+                return Decision::Skip(SkipReason::TextEditRate);
+            }
+            return Decision::Skip(SkipReason::LowDisplayActivity);
+        }
+        // Real display activity: checkpoint at up to the capped rate.
+        if self.limiter.try_acquire(input.now) {
+            Decision::Checkpoint
+        } else {
+            Decision::Skip(SkipReason::RateLimited)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(now_ms: u64) -> PolicyInput {
+        PolicyInput {
+            now: Timestamp::from_millis(now_ms),
+            ..PolicyInput::default()
+        }
+    }
+
+    #[test]
+    fn display_activity_triggers_checkpoints_at_capped_rate() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        let mut first = input(0);
+        first.display_fraction = 0.5;
+        assert_eq!(policy.evaluate(&first), Decision::Checkpoint);
+        let mut soon = input(400);
+        soon.display_fraction = 0.5;
+        assert_eq!(
+            policy.evaluate(&soon),
+            Decision::Skip(SkipReason::RateLimited)
+        );
+        let mut later = input(1_000);
+        later.display_fraction = 0.5;
+        assert_eq!(policy.evaluate(&later), Decision::Checkpoint);
+    }
+
+    #[test]
+    fn idle_screen_skips() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        assert_eq!(
+            policy.evaluate(&input(0)),
+            Decision::Skip(SkipReason::NoDisplayActivity)
+        );
+    }
+
+    #[test]
+    fn trivial_updates_skip() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        let mut tick = input(0);
+        tick.display_fraction = 0.01; // Blinking cursor, clock.
+        assert_eq!(
+            policy.evaluate(&tick),
+            Decision::Skip(SkipReason::LowDisplayActivity)
+        );
+    }
+
+    #[test]
+    fn typing_checkpoints_every_ten_seconds() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        let mut decisions = Vec::new();
+        for sec in 0..25 {
+            let mut tick = input(sec * 1_000);
+            tick.display_fraction = 0.002; // Characters appearing.
+            tick.keyboard_input = true;
+            tick.user_input = true;
+            decisions.push(policy.evaluate(&tick));
+        }
+        let checkpoints = decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::Checkpoint))
+            .count();
+        assert_eq!(checkpoints, 3, "t=0, t=10s, t=20s");
+        assert!(decisions
+            .iter()
+            .any(|d| matches!(d, Decision::Skip(SkipReason::TextEditRate))));
+    }
+
+    #[test]
+    fn fullscreen_video_skips_without_input() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        let mut tick = input(0);
+        tick.display_fraction = 1.0;
+        tick.fullscreen_active = true;
+        assert_eq!(
+            policy.evaluate(&tick),
+            Decision::Skip(SkipReason::Fullscreen)
+        );
+        // With input, the checkpoint goes ahead.
+        let mut tick = input(1_000);
+        tick.display_fraction = 1.0;
+        tick.fullscreen_active = true;
+        tick.user_input = true;
+        assert_eq!(policy.evaluate(&tick), Decision::Checkpoint);
+    }
+
+    #[test]
+    fn custom_load_rule_fires_first() {
+        let config = PolicyConfig {
+            rules: vec![Box::new(LoadRule { max_load: 4.0 })],
+            ..PolicyConfig::default()
+        };
+        let mut policy = CheckpointPolicy::new(config);
+        let mut tick = input(0);
+        tick.display_fraction = 1.0;
+        tick.system_load = 8.0;
+        assert_eq!(
+            policy.evaluate(&tick),
+            Decision::Skip(SkipReason::Rule("system-load"))
+        );
+        tick.system_load = 1.0;
+        assert_eq!(policy.evaluate(&tick), Decision::Checkpoint);
+    }
+
+    #[test]
+    fn tunable_parameters() {
+        let config = PolicyConfig {
+            min_interval: Duration::from_millis(100),
+            min_display_fraction: 0.5,
+            ..PolicyConfig::default()
+        };
+        let mut policy = CheckpointPolicy::new(config);
+        let mut tick = input(0);
+        tick.display_fraction = 0.4;
+        assert_eq!(
+            policy.evaluate(&tick),
+            Decision::Skip(SkipReason::LowDisplayActivity)
+        );
+        let mut tick = input(10);
+        tick.display_fraction = 0.6;
+        assert_eq!(policy.evaluate(&tick), Decision::Checkpoint);
+        let mut tick = input(120);
+        tick.display_fraction = 0.6;
+        assert_eq!(policy.evaluate(&tick), Decision::Checkpoint);
+    }
+
+    #[test]
+    fn stats_accumulate_by_reason() {
+        let mut policy = CheckpointPolicy::new(PolicyConfig::default());
+        let mut active = input(0);
+        active.display_fraction = 0.9;
+        policy.evaluate(&active);
+        policy.evaluate(&input(1_000));
+        let mut low = input(2_000);
+        low.display_fraction = 0.01;
+        policy.evaluate(&low);
+        let stats = policy.stats();
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.no_display, 1);
+        assert_eq!(stats.low_display, 1);
+        assert_eq!(stats.total(), 3);
+        assert!((stats.checkpoint_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Session archives: DejaView records across restarts.
+//!
+//! "Leveraging continued exponential improvements in storage capacity,
+//! DejaView records what a user has seen" (§1) — which presumes the
+//! records outlive the recorder process. A *session archive* bundles
+//! everything needed to reopen a record: the display record (command
+//! log, keyframes, timeline), the text index, the checkpoint image
+//! store and the engine's image metadata, and the session file system's
+//! journaled log. A restored server can browse, search, **and revive**
+//! from the archived history, then continue recording into it.
+//!
+//! Live runtime state — revived sessions, open descriptors, the
+//! accessibility mirror — is not archived; it is rebuilt as applications
+//! register, exactly as after a reboot of the original system.
+
+use bytes::{Buf, BufMut};
+
+use dv_lsfs::Lsfs;
+use dv_record::{decode_record, encode_record};
+use dv_time::Timestamp;
+
+use crate::config::Config;
+use crate::error::ServerError;
+use crate::server::DejaView;
+
+const MAGIC: &[u8; 8] = b"DVARC001";
+
+/// An archive decoding error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchiveError(pub &'static str);
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session archive error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<ArchiveError> for ServerError {
+    fn from(e: ArchiveError) -> Self {
+        ServerError::Query(dv_index::ParseError(e.0.to_string()))
+    }
+}
+
+fn put_section(out: &mut Vec<u8>, data: &[u8]) {
+    out.put_u64_le(data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+fn get_section<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], ArchiveError> {
+    if buf.len() < 8 {
+        return Err(ArchiveError("truncated section length"));
+    }
+    let len = buf.get_u64_le() as usize;
+    if buf.len() < len {
+        return Err(ArchiveError("truncated section"));
+    }
+    let (data, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(data)
+}
+
+impl DejaView {
+    /// Serializes the session's records into an archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file system errors from the final sync.
+    pub fn save_archive(&mut self) -> Result<Vec<u8>, ServerError> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.put_u32_le(self.screen_size().0);
+        out.put_u32_le(self.screen_size().1);
+        out.put_u64_le(self.now().as_nanos());
+        // Display record.
+        let record_bytes = {
+            let record = self.record();
+            let store = record.read();
+            encode_record(&store)
+        };
+        put_section(&mut out, &record_bytes);
+        // Text index.
+        let index_bytes = {
+            let index = self.index();
+            let mut guard = index.lock();
+            guard.advance_horizon(self.now());
+            dv_index::encode_index(&guard)
+        };
+        put_section(&mut out, &index_bytes);
+        // Checkpoint blobs + engine metadata.
+        let blob_bytes = self.store_mut().export();
+        put_section(&mut out, &blob_bytes);
+        let engine_bytes = self.engine().export_meta();
+        put_section(&mut out, &engine_bytes);
+        // Session file system.
+        let fs_bytes = self.session_fs_handle().with(|fs| fs.save())?;
+        put_section(&mut out, &fs_bytes);
+        Ok(out)
+    }
+
+    /// Reopens an archived session: a fresh server (built from `config`,
+    /// with the archive's screen size and clock position) whose display
+    /// record, text index, checkpoint history, and file system are
+    /// restored. The returned server can browse, search, revive, and
+    /// continue recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any archive section is corrupt.
+    pub fn load_archive(mut config: Config, mut buf: &[u8]) -> Result<DejaView, ServerError> {
+        if buf.len() < 8 || &buf[..8] != MAGIC {
+            return Err(ArchiveError("bad magic").into());
+        }
+        buf.advance(8);
+        if buf.len() < 16 {
+            return Err(ArchiveError("truncated header").into());
+        }
+        config.width = buf.get_u32_le();
+        config.height = buf.get_u32_le();
+        let now = Timestamp::from_nanos(buf.get_u64_le());
+
+        let record_bytes = get_section(&mut buf)?;
+        let record =
+            decode_record(record_bytes).map_err(|_| ArchiveError("corrupt display record"))?;
+        let index_bytes = get_section(&mut buf)?;
+        let index = dv_index::decode_index(index_bytes)
+            .map_err(|_| ArchiveError("corrupt text index"))?;
+        let blob_bytes = get_section(&mut buf)?.to_vec();
+        let engine_bytes = get_section(&mut buf)?.to_vec();
+        let fs_bytes = get_section(&mut buf)?;
+        let fs = Lsfs::load(fs_bytes).map_err(|_| ArchiveError("corrupt file system"))?;
+        if !buf.is_empty() {
+            return Err(ArchiveError("trailing bytes").into());
+        }
+
+        let mut dv = DejaView::with_clock(config, dv_time::SimClock::starting_at(now));
+        dv.install_record(record);
+        dv.install_index(index);
+        if dv.store_mut().import(&blob_bytes).is_none() {
+            return Err(ArchiveError("corrupt checkpoint store").into());
+        }
+        if dv.engine_mut().import_meta(&engine_bytes).is_none() {
+            return Err(ArchiveError("corrupt engine metadata").into());
+        }
+        dv.install_session_fs(fs);
+        Ok(dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_access::Role;
+    use dv_display::Rect;
+    use dv_index::RankOrder;
+    use dv_lsfs::Filesystem;
+    use dv_time::Duration;
+    use dv_vee::Vpid;
+
+    fn recorded_server() -> DejaView {
+        let mut dv = DejaView::new(Config::default());
+        let init = dv.init_vpid();
+        dv.vee_mut().spawn(Some(init), "editor").unwrap();
+        dv.vee_mut().fs.mkdir_all("/home").unwrap();
+        dv.vee_mut().fs.write_all("/home/doc", b"archived draft").unwrap();
+        let app = dv.desktop_mut().register_app("editor");
+        let root = dv.desktop_mut().root(app).unwrap();
+        let win = dv.desktop_mut().add_node(app, root, Role::Window, "w");
+        dv.desktop_mut()
+            .add_node(app, win, Role::Paragraph, "archive target phrase");
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), 0x445566);
+        dv.clock().advance(Duration::from_secs(1));
+        dv.policy_tick().unwrap();
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), 0x778899);
+        dv.clock().advance(Duration::from_secs(1));
+        dv.policy_tick().unwrap();
+        dv
+    }
+
+    #[test]
+    fn archive_restores_browse_search_and_revive() {
+        let mut original = recorded_server();
+        let archive = original.save_archive().unwrap();
+        let mut restored = DejaView::load_archive(Config::default(), &archive).unwrap();
+
+        // Browse reproduces the recorded screen.
+        let a = original.browse(Timestamp::from_millis(1_500)).unwrap();
+        let b = restored.browse(Timestamp::from_millis(1_500)).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Search works over the archived index.
+        let hits = restored
+            .search("archive phrase", RankOrder::Chronological)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+
+        // Revive works from archived checkpoints + file system.
+        let sid = restored.take_me_back(Timestamp::from_secs(2)).unwrap();
+        let session = restored.session(sid).unwrap();
+        assert_eq!(
+            session.vee.fs.read_all("/home/doc").unwrap(),
+            b"archived draft"
+        );
+        assert_eq!(session.vee.process(Vpid(2)).unwrap().name, "editor");
+    }
+
+    #[test]
+    fn restored_server_continues_recording() {
+        let mut original = recorded_server();
+        let archive = original.save_archive().unwrap();
+        let mut restored = DejaView::load_archive(Config::default(), &archive).unwrap();
+        // The clock resumed where the archive left off; new activity
+        // appends to the same record with increasing counters.
+        assert_eq!(restored.now(), Timestamp::from_secs(2));
+        restored
+            .driver_mut()
+            .fill_rect(Rect::new(0, 0, 1024, 768), 0xABCDEF);
+        restored.clock().advance(Duration::from_secs(1));
+        let tick = restored.policy_tick().unwrap();
+        let report = tick.report.expect("checkpoint");
+        assert_eq!(report.counter, 3, "counter continues after restore");
+        // And the new moment is browsable.
+        let shot = restored.browse(Timestamp::from_secs(3)).unwrap();
+        assert!(shot.pixels.contains(&0xABCDEF));
+    }
+
+    #[test]
+    fn corrupt_archives_are_rejected() {
+        let mut original = recorded_server();
+        let archive = original.save_archive().unwrap();
+        assert!(DejaView::load_archive(Config::default(), b"junk").is_err());
+        assert!(
+            DejaView::load_archive(Config::default(), &archive[..archive.len() / 3]).is_err()
+        );
+        let mut extra = archive.clone();
+        extra.push(0);
+        assert!(DejaView::load_archive(Config::default(), &extra).is_err());
+    }
+}

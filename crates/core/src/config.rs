@@ -1,0 +1,74 @@
+//! DejaView configuration.
+//!
+//! "DejaView users can choose to trade-off record quality versus storage
+//! consumption" (§2): display resolution and update frequency, the
+//! checkpoint policy parameters, full/incremental cadence, compression,
+//! search-cache size, and the revive-time network policy are all
+//! configurable here.
+
+use dv_checkpoint::{EngineConfig, NetworkPolicy, PolicyConfig};
+use dv_lsfs::ReadLatency;
+use dv_record::RecorderConfig;
+
+/// Top-level configuration for a DejaView server.
+pub struct Config {
+    /// Live screen width in pixels.
+    pub width: u32,
+    /// Live screen height in pixels.
+    pub height: u32,
+    /// Display recording quality (resolution scale, update frequency,
+    /// keyframe cadence).
+    pub recorder: RecorderConfig,
+    /// Checkpoint engine parameters (full cadence, compression,
+    /// pre-quiesce bounds).
+    pub engine: EngineConfig,
+    /// Checkpoint policy parameters and extension rules.
+    pub policy: PolicyConfig,
+    /// Network policy applied to revived sessions.
+    pub revive_network: NetworkPolicy,
+    /// Capacity of the search-result screenshot cache (the paper's
+    /// tunable LRU, §4.4).
+    pub search_cache: usize,
+    /// Optional read-latency model for the checkpoint store (used by the
+    /// Figure 7 cached/uncached comparison).
+    pub store_latency: Option<ReadLatency>,
+    /// Attach the display recorder (disable to measure a run without
+    /// display recording, as in Figure 2's component isolation).
+    pub enable_display_recording: bool,
+    /// Attach the text-capture daemon and index.
+    pub enable_text_capture: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            width: 1024,
+            height: 768,
+            recorder: RecorderConfig::default(),
+            engine: EngineConfig::default(),
+            policy: PolicyConfig::default(),
+            revive_network: NetworkPolicy::default(),
+            search_cache: 32,
+            store_latency: None,
+            enable_display_recording: true,
+            enable_text_capture: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = Config::default();
+        assert_eq!(config.width, 1024);
+        assert_eq!(config.height, 768);
+        assert_eq!(config.policy.min_interval.as_millis(), 1_000);
+        assert_eq!(config.policy.text_edit_interval.as_millis(), 10_000);
+        assert!((config.policy.min_display_fraction - 0.05).abs() < 1e-9);
+        assert!(!config.revive_network.default_enabled);
+        assert!(config.revive_network.new_apps_enabled);
+    }
+}

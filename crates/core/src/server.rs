@@ -1,0 +1,1032 @@
+//! The DejaView server.
+//!
+//! Owns and coordinates every component of §3's architecture for one
+//! user desktop: the virtual display driver (with the display recorder
+//! attached), the accessibility bus with the text-capture daemon feeding
+//! the index, the virtual execution environment over a snapshotting file
+//! system, the checkpoint engine driven by the display-activity policy,
+//! and the revive path producing concurrently running
+//! [`RevivedSession`]s.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_access::{CaptureDaemon, Desktop};
+use dv_checkpoint::{
+    revive, CheckpointPolicy, CheckpointReport, Checkpointer, Decision, NetworkPolicy,
+    PolicyInput,
+};
+use dv_display::{InputEvent, Screenshot, Viewer, VirtualDisplayDriver};
+use dv_index::{parse_query, RankOrder, SearchHit, TextIndex};
+use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedFs, UnionFs};
+use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
+use dv_time::{Duration, SimClock, Timestamp};
+use dv_vee::{HostPidAllocator, Vee, Vpid};
+
+use crate::config::Config;
+use crate::error::ServerError;
+use crate::session::RevivedSession;
+use crate::sink::IndexSink;
+use crate::stats::StorageBreakdown;
+
+/// One search result: a hit plus the screenshot portal the user clicks
+/// through, and — for substream results — the last screenshot of the
+/// matching period (§4.4's first-last pair).
+pub struct SearchResult {
+    /// The underlying index hit.
+    pub hit: SearchHit,
+    /// The desktop as it looked when the query became satisfied.
+    pub screenshot: Screenshot,
+    /// For results spanning a contiguous period, the desktop at the end
+    /// of the period.
+    pub last_screenshot: Option<Screenshot>,
+}
+
+/// The outcome of one policy tick.
+pub struct PolicyTick {
+    /// What the policy decided.
+    pub decision: Decision,
+    /// The checkpoint report, when one was taken.
+    pub report: Option<CheckpointReport>,
+}
+
+/// A DejaView server instance.
+pub struct DejaView {
+    clock: SimClock,
+    /// The accessibility bus; workloads register applications here.
+    desktop: Desktop,
+    driver: VirtualDisplayDriver,
+    recorder: Arc<Mutex<DisplayRecorder>>,
+    record: DisplayRecord,
+    index: Arc<Mutex<TextIndex>>,
+    /// The main session's virtual execution environment.
+    vee: Vee,
+    session_fs: SharedFs<Lsfs>,
+    engine: Checkpointer,
+    policy: CheckpointPolicy,
+    store: BlobStore,
+    host_pids: HostPidAllocator,
+    instance_counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    playback: PlaybackEngine,
+    search_cache: LruCache<u64, Screenshot>,
+    revived: std::collections::BTreeMap<u64, RevivedSession>,
+    next_session_id: u64,
+    revive_network: NetworkPolicy,
+    engine_config: dv_checkpoint::EngineConfig,
+    compress: bool,
+    width: u32,
+    height: u32,
+    clipboard: String,
+    // Signals sampled by the next policy tick.
+    pending_user_input: bool,
+    pending_keyboard_input: bool,
+    fullscreen_active: bool,
+    system_load: f64,
+    substream_threshold: Duration,
+}
+
+impl DejaView {
+    /// Creates a server with its own session clock.
+    pub fn new(config: Config) -> Self {
+        DejaView::with_clock(config, SimClock::new())
+    }
+
+    /// Creates a server over an existing session clock (shared with the
+    /// workload driver).
+    pub fn with_clock(config: Config, clock: SimClock) -> Self {
+        let Config {
+            width,
+            height,
+            recorder,
+            engine,
+            policy,
+            revive_network,
+            search_cache,
+            store_latency,
+            enable_display_recording,
+            enable_text_capture,
+        } = config;
+        let compress = engine.compress;
+        let mut driver = VirtualDisplayDriver::new(width, height, clock.shared());
+        let recorder = Arc::new(Mutex::new(DisplayRecorder::new(width, height, recorder)));
+        let record = recorder.lock().record();
+        if enable_display_recording {
+            driver.attach_sink(recorder.clone());
+        }
+
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let instance_counter = Arc::new(std::sync::atomic::AtomicU64::new(1));
+        let mut desktop = Desktop::new();
+        if enable_text_capture {
+            let daemon = CaptureDaemon::with_instance_counter(
+                clock.shared(),
+                IndexSink::new(index.clone()),
+                instance_counter.clone(),
+            );
+            desktop.register_listener(Arc::new(Mutex::new(daemon)));
+        }
+
+        let session_fs = SharedFs::new(Lsfs::new());
+        let host_pids = HostPidAllocator::new();
+        let mut vee = Vee::new(
+            0,
+            clock.shared(),
+            Box::new(session_fs.clone()),
+            host_pids.clone(),
+        );
+        // The session always has an init process anchoring the forest
+        // (the display server runs inside the environment, §3).
+        vee.spawn(None, "session-init").expect("empty namespace");
+
+        let store = match store_latency {
+            Some(latency) => BlobStore::with_latency(latency),
+            None => BlobStore::in_memory(),
+        };
+        let playback = PlaybackEngine::new(record.clone());
+        DejaView {
+            clipboard: String::new(),
+            engine_config: engine,
+            engine: Checkpointer::with_sim_clock(engine, clock.clone()),
+            policy: CheckpointPolicy::new(policy),
+            clock,
+            desktop,
+            driver,
+            recorder,
+            record,
+            index,
+            vee,
+            session_fs,
+            store,
+            host_pids,
+            instance_counter,
+            playback,
+            search_cache: LruCache::new(search_cache),
+            revived: std::collections::BTreeMap::new(),
+            next_session_id: 1,
+            revive_network,
+            compress,
+            width,
+            height,
+            pending_user_input: false,
+            pending_keyboard_input: false,
+            fullscreen_active: false,
+            system_load: 0.0,
+            substream_threshold: Duration::from_secs(5),
+        }
+    }
+
+    /// Returns the session clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Returns the current session time.
+    pub fn now(&self) -> Timestamp {
+        use dv_time::Clock;
+        self.clock.now()
+    }
+
+    /// Returns the accessibility bus (workloads register and mutate
+    /// their applications through it).
+    pub fn desktop_mut(&mut self) -> &mut Desktop {
+        &mut self.desktop
+    }
+
+    /// Returns the virtual display driver (workloads draw through it).
+    pub fn driver_mut(&mut self) -> &mut VirtualDisplayDriver {
+        &mut self.driver
+    }
+
+    /// Returns the main session's execution environment.
+    pub fn vee_mut(&mut self) -> &mut Vee {
+        &mut self.vee
+    }
+
+    /// Returns the main session's execution environment, read-only.
+    pub fn vee(&self) -> &Vee {
+        &self.vee
+    }
+
+    /// Returns the main session's init process.
+    pub fn init_vpid(&self) -> Vpid {
+        Vpid(1)
+    }
+
+    /// Returns the shared display record.
+    pub fn record(&self) -> DisplayRecord {
+        self.record.clone()
+    }
+
+    /// Returns the shared text index.
+    pub fn index(&self) -> Arc<Mutex<TextIndex>> {
+        self.index.clone()
+    }
+
+    /// Returns the checkpoint store (Figure 7's cached/uncached axis is
+    /// driven by [`BlobStore::drop_caches`]).
+    pub fn store_mut(&mut self) -> &mut BlobStore {
+        &mut self.store
+    }
+
+    /// Returns the checkpoint engine.
+    pub fn engine(&self) -> &Checkpointer {
+        &self.engine
+    }
+
+    /// Returns the checkpoint engine mutably (archive restore).
+    pub fn engine_mut(&mut self) -> &mut Checkpointer {
+        &mut self.engine
+    }
+
+    /// Returns the live screen size.
+    pub fn screen_size(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Returns the typed handle to the session file system.
+    pub fn session_fs_handle(&self) -> SharedFs<Lsfs> {
+        self.session_fs.clone()
+    }
+
+    /// Replaces the display record's contents (archive restore); the
+    /// recorder continues appending to it and playback state resets.
+    pub fn install_record(&mut self, store: dv_record::RecordStore) {
+        *self.record.write() = store;
+        self.playback = PlaybackEngine::new(self.record.clone());
+        self.search_cache.clear();
+    }
+
+    /// Replaces the text index's contents (archive restore) and bumps
+    /// the capture daemon's instance counter past the archived ids.
+    pub fn install_index(&mut self, index: TextIndex) {
+        let next = index.max_instance_id() + 1;
+        self.instance_counter
+            .store(next, std::sync::atomic::Ordering::Relaxed);
+        *self.index.lock() = index;
+    }
+
+    /// Replaces the session file system's contents (archive restore);
+    /// the VEE's shared handle observes the restored state.
+    pub fn install_session_fs(&mut self, fs: Lsfs) {
+        self.session_fs.with(|inner| *inner = fs);
+    }
+
+    /// The shared clipboard: "the user can copy and paste content
+    /// amongst her active sessions" (§2) — the live desktop and any
+    /// revived session read and write the same clipboard.
+    pub fn clipboard(&self) -> &str {
+        &self.clipboard
+    }
+
+    /// Places text on the shared clipboard.
+    pub fn set_clipboard(&mut self, text: &str) {
+        self.clipboard = text.to_string();
+    }
+
+    /// Compacts the session file system's log, reclaiming space from
+    /// overwritten data and dropped snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a `Busy` file system error while revived sessions
+    /// exist — their union mounts hold snapshot views into the log.
+    pub fn compact_storage(&mut self) -> Result<u64, ServerError> {
+        let reclaimed = self.session_fs.with(|fs| fs.compact())?;
+        Ok(reclaimed)
+    }
+
+    /// Drops the file system snapshot for checkpoints older than
+    /// `keep_from` (a retention policy), returning how many were
+    /// dropped. Dropped checkpoints can no longer be revived with a
+    /// consistent file system view.
+    pub fn retire_snapshots_before(&mut self, keep_from: u64) -> usize {
+        let counters: Vec<u64> = self
+            .session_fs
+            .with(|fs| fs.snapshot_counters())
+            .into_iter()
+            .filter(|c| *c < keep_from)
+            .collect();
+        let mut dropped = 0;
+        for counter in counters {
+            if self.session_fs.with(|fs| fs.drop_snapshot(counter)) {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Forwards one user input event from the viewer (§2). Input is not
+    /// recorded — it only informs the checkpoint policy — except the
+    /// annotation key combination (Ctrl+Alt+A), which tags the current
+    /// text selection as an annotation (§4.4).
+    pub fn input(&mut self, event: InputEvent) {
+        self.pending_user_input = true;
+        if event.is_keyboard() {
+            self.pending_keyboard_input = true;
+        }
+        if let InputEvent::Key {
+            ch: 'a',
+            ctrl: true,
+            alt: true,
+        } = event
+        {
+            self.desktop.annotate_current_selection();
+        }
+    }
+
+    /// Marks whether a full-screen application (video, screensaver) is
+    /// active, a policy input (§5.1.3).
+    pub fn set_fullscreen(&mut self, active: bool) {
+        self.fullscreen_active = active;
+    }
+
+    /// Sets the system load seen by custom policy rules.
+    pub fn set_system_load(&mut self, load: f64) {
+        self.system_load = load;
+    }
+
+    /// Takes a checkpoint unconditionally.
+    pub fn checkpoint_now(&mut self) -> Result<CheckpointReport, ServerError> {
+        let report = self.engine.checkpoint(&mut self.vee, &mut self.store)?;
+        Ok(report)
+    }
+
+    /// Runs one checkpoint-policy evaluation (the server calls this
+    /// roughly once per second). Samples display damage and input since
+    /// the last tick.
+    pub fn policy_tick(&mut self) -> Result<PolicyTick, ServerError> {
+        let now = self.now();
+        self.index.lock().advance_horizon(now);
+        let damage = self.driver.take_damage();
+        let input = PolicyInput {
+            now,
+            display_fraction: damage.coverage_of(self.width, self.height),
+            user_input: self.pending_user_input,
+            keyboard_input: self.pending_keyboard_input,
+            fullscreen_active: self.fullscreen_active,
+            system_load: self.system_load,
+        };
+        self.pending_user_input = false;
+        self.pending_keyboard_input = false;
+        let decision = self.policy.evaluate(&input);
+        let report = match decision {
+            Decision::Checkpoint => {
+                Some(self.engine.checkpoint(&mut self.vee, &mut self.store)?)
+            }
+            Decision::Skip(_) => None,
+        };
+        Ok(PolicyTick { decision, report })
+    }
+
+    /// Returns policy decision counters.
+    pub fn policy_stats(&self) -> dv_checkpoint::PolicyStats {
+        self.policy.stats()
+    }
+
+    /// Flushes pending display state and takes a keyframe (used during
+    /// idle periods).
+    pub fn force_keyframe(&mut self) {
+        let now = self.now();
+        self.recorder.lock().force_keyframe(now);
+    }
+
+    /// Creates a playback engine over the display record (PVR controls,
+    /// §4.3).
+    pub fn playback(&self) -> PlaybackEngine {
+        PlaybackEngine::new(self.record.clone())
+    }
+
+    /// Reconstructs the screen at time `t` (the browse slider).
+    pub fn browse(&mut self, t: Timestamp) -> Result<Screenshot, ServerError> {
+        self.playback.seek(t)?;
+        Ok(self.playback.screenshot())
+    }
+
+    /// Reconstructs the screen at time `t` resized for a smaller access
+    /// device — §4.1's example of viewing a full-resolution record "to
+    /// fit the screen of a PDA".
+    pub fn browse_at_scale(
+        &mut self,
+        t: Timestamp,
+        scale: dv_display::ScaleFactor,
+    ) -> Result<Screenshot, ServerError> {
+        let shot = self.browse(t)?;
+        Ok(dv_display::scale_screenshot(&shot, scale))
+    }
+
+    /// Searches the record (§4.4): parses the query, finds satisfied
+    /// intervals, and reconstructs a screenshot portal per hit —
+    /// offscreen, through the LRU screenshot cache.
+    pub fn search(
+        &mut self,
+        query: &str,
+        order: RankOrder,
+    ) -> Result<Vec<SearchResult>, ServerError> {
+        let query = parse_query(query)?;
+        self.search_query(&query, order)
+    }
+
+    /// Searches with a programmatically built [`dv_index::Query`], for
+    /// shapes the string syntax cannot express (e.g. different `app:`
+    /// constraints on different terms of one conjunction).
+    pub fn search_query(
+        &mut self,
+        query: &dv_index::Query,
+        order: RankOrder,
+    ) -> Result<Vec<SearchResult>, ServerError> {
+        let hits = {
+            let mut index = self.index.lock();
+            index.advance_horizon(self.now());
+            dv_index::search(&index, query, order)
+        };
+        let mut results = Vec::with_capacity(hits.len());
+        for hit in hits {
+            let screenshot = self.screenshot_at(hit.time)?;
+            // Long matching periods come back as substreams with a
+            // first-last screenshot pair.
+            let last_screenshot = if hit.persistence >= self.substream_threshold {
+                Some(self.screenshot_at(hit.until)?)
+            } else {
+                None
+            };
+            results.push(SearchResult {
+                hit,
+                screenshot,
+                last_screenshot,
+            });
+        }
+        Ok(results)
+    }
+
+    fn screenshot_at(&mut self, t: Timestamp) -> Result<Screenshot, ServerError> {
+        // Clamp to the recorded span: an interval may end at the open
+        // horizon, past the last display command.
+        let t = {
+            let store = self.record.read();
+            t.min(store.end)
+        };
+        if self.search_cache.get(&t.as_nanos()).is_none() {
+            self.playback.seek(t)?;
+            let shot = self.playback.screenshot();
+            self.search_cache.put(t.as_nanos(), shot);
+        }
+        Ok(self
+            .search_cache
+            .get(&t.as_nanos())
+            .expect("just inserted")
+            .clone())
+    }
+
+    /// Revives the desktop as it was at time `t` — the "Take me back"
+    /// button (§2, §5.2). Returns the new session id.
+    pub fn take_me_back(&mut self, t: Timestamp) -> Result<u64, ServerError> {
+        let counter = self
+            .engine
+            .counter_at_or_before(t)
+            .ok_or(ServerError::NoCheckpoint)?;
+        self.revive_counter(counter)
+    }
+
+    /// Revives directly from a checkpoint counter of the main session.
+    pub fn revive_counter(&mut self, counter: u64) -> Result<u64, ServerError> {
+        let chain = self
+            .engine
+            .chain_for(counter)
+            .ok_or(ServerError::NoCheckpoint)?;
+        let meta = self
+            .engine
+            .image_meta(counter)
+            .ok_or(ServerError::NoCheckpoint)?;
+        let revived_from = meta.time;
+        let blob_prefix = self.engine.blob_prefix().to_string();
+        // Branchable view: fresh writable layer over the read-only
+        // snapshot tied to this counter.
+        let snap = self.session_fs.with(|fs| fs.snapshot(counter))?;
+        let lower: Box<dyn ReadOnlyFs> = Box::new(snap);
+        self.spawn_session(&blob_prefix, &chain, counter, revived_from, lower)
+    }
+
+    /// Checkpoints a *revived* session with its own engine; the image
+    /// chain and the branch file system snapshots share the server's
+    /// store under the session's blob prefix (§5.2).
+    pub fn checkpoint_session(&mut self, id: u64) -> Result<CheckpointReport, ServerError> {
+        let session = self
+            .revived
+            .get_mut(&id)
+            .ok_or(ServerError::UnknownSession(id))?;
+        let report = session
+            .engine
+            .checkpoint(&mut session.vee, &mut self.store)?;
+        Ok(report)
+    }
+
+    /// Revives a new session from a checkpoint of a *revived* session —
+    /// a branch of a branch. The new session's read-only view stacks the
+    /// parent's view under a frozen snapshot of the parent's writable
+    /// layer.
+    pub fn revive_from_session(
+        &mut self,
+        parent_id: u64,
+        counter: u64,
+    ) -> Result<u64, ServerError> {
+        let (blob_prefix, chain, revived_from, lower) = {
+            let parent = self
+                .revived
+                .get(&parent_id)
+                .ok_or(ServerError::UnknownSession(parent_id))?;
+            let chain = parent
+                .engine
+                .chain_for(counter)
+                .ok_or(ServerError::NoCheckpoint)?;
+            let meta = parent
+                .engine
+                .image_meta(counter)
+                .ok_or(ServerError::NoCheckpoint)?;
+            let upper_snap = parent.fs.with(|u| u.upper().snapshot(counter))?;
+            let lower: Box<dyn ReadOnlyFs> =
+                Box::new(UnionFs::new(parent.lower.clone_ro(), upper_snap));
+            (
+                parent.engine.blob_prefix().to_string(),
+                chain,
+                meta.time,
+                lower,
+            )
+        };
+        self.spawn_session(&blob_prefix, &chain, counter, revived_from, lower)
+    }
+
+    fn spawn_session(
+        &mut self,
+        blob_prefix: &str,
+        chain: &[u64],
+        counter: u64,
+        revived_from: Timestamp,
+        lower: Box<dyn ReadOnlyFs>,
+    ) -> Result<u64, ServerError> {
+        let branch = SharedFs::new(UnionFs::new(lower.clone_ro(), Lsfs::new()));
+        let id = self.next_session_id;
+        self.next_session_id += 1;
+        let (vee, report) = revive(
+            &mut self.store,
+            blob_prefix,
+            chain,
+            self.compress,
+            id,
+            self.clock.shared(),
+            Box::new(branch.clone()),
+            self.host_pids.clone(),
+            &self.revive_network,
+        )?;
+        // The new viewer window opens showing the display as recorded at
+        // the checkpoint.
+        let mut viewer = Viewer::new(self.width, self.height);
+        if let Ok(shot) = self.screenshot_at(revived_from) {
+            viewer.present(&shot);
+        }
+        // The session's own engine writes under a distinct blob prefix.
+        let engine = Checkpointer::with_sim_clock(self.engine_config, self.clock.clone())
+            .with_blob_prefix(&format!("s{id}"));
+        self.revived.insert(
+            id,
+            RevivedSession {
+                id,
+                counter,
+                revived_from,
+                vee,
+                fs: branch,
+                lower,
+                viewer,
+                report,
+                engine,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Returns a revived session.
+    pub fn session(&self, id: u64) -> Result<&RevivedSession, ServerError> {
+        self.revived.get(&id).ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Returns a revived session mutably.
+    pub fn session_mut(&mut self, id: u64) -> Result<&mut RevivedSession, ServerError> {
+        self.revived
+            .get_mut(&id)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Returns all revived session ids.
+    pub fn sessions(&self) -> Vec<u64> {
+        self.revived.keys().copied().collect()
+    }
+
+    /// Closes a revived session.
+    pub fn close_session(&mut self, id: u64) -> Result<(), ServerError> {
+        self.revived
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Returns the storage breakdown across all four record streams
+    /// (Figure 4).
+    pub fn storage(&self) -> StorageBreakdown {
+        let rec = self.recorder.lock().stats();
+        let idx = self.index.lock().stats();
+        let eng = self.engine.stats();
+        let fs = self.session_fs.with(|fs| fs.stats());
+        StorageBreakdown {
+            display_bytes: rec.command_bytes + rec.screenshot_bytes + rec.timeline_bytes,
+            index_bytes: idx.bytes,
+            checkpoint_raw_bytes: eng.raw_bytes,
+            checkpoint_stored_bytes: eng.stored_bytes,
+            fs_bytes: fs.data_bytes + fs.journal_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_access::Role;
+    use dv_display::Rect;
+    use dv_vee::Prot;
+
+    fn server() -> DejaView {
+        DejaView::new(Config {
+            width: 64,
+            height: 64,
+            ..Config::default()
+        })
+    }
+
+    /// Paints, types and checkpoints a tiny session.
+    fn populated_server() -> DejaView {
+        let mut dv = server();
+        let clock = dv.clock();
+        let init = dv.init_vpid();
+        let editor = dv.vee_mut().spawn(Some(init), "editor").unwrap();
+        let addr = dv.vee_mut().mmap(editor, 8192, Prot::ReadWrite).unwrap();
+        dv.vee_mut().mem_write(editor, addr, b"buffer v1").unwrap();
+        dv.vee_mut().fs.mkdir_all("/home").unwrap();
+        dv.vee_mut().fs.write_all("/home/doc.txt", b"draft one").unwrap();
+
+        let app = dv.desktop_mut().register_app("editor");
+        let root = dv.desktop_mut().root(app).unwrap();
+        let win = dv
+            .desktop_mut()
+            .add_node(app, root, Role::Window, "doc.txt - editor");
+        dv.desktop_mut()
+            .add_node(app, win, Role::Paragraph, "the quick brown fox");
+        dv.desktop_mut().focus(app);
+
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 0x202020);
+        dv.driver_mut().draw_text(4, 4, "the quick brown fox", 0xFFFFFF, 0);
+        clock.advance(Duration::from_secs(1));
+        dv.policy_tick().unwrap();
+        dv
+    }
+
+    #[test]
+    fn policy_tick_checkpoints_on_display_activity() {
+        let mut dv = server();
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 1);
+        dv.clock().advance(Duration::from_secs(1));
+        let tick = dv.policy_tick().unwrap();
+        assert_eq!(tick.decision, Decision::Checkpoint);
+        assert!(tick.report.is_some());
+        // Idle tick: skip.
+        dv.clock().advance(Duration::from_secs(1));
+        let tick = dv.policy_tick().unwrap();
+        assert!(tick.report.is_none());
+    }
+
+    #[test]
+    fn search_returns_screenshot_portals() {
+        let mut dv = populated_server();
+        let results = dv.search("quick fox", RankOrder::Chronological).unwrap();
+        assert_eq!(results.len(), 1);
+        let shot = &results[0].screenshot;
+        assert_eq!((shot.width, shot.height), (64, 64));
+        // The screenshot shows the painted background, not a blank
+        // screen.
+        assert!(shot.pixels.contains(&0x202020));
+    }
+
+    #[test]
+    fn contextual_search_by_app() {
+        let mut dv = populated_server();
+        assert_eq!(
+            dv.search("app:editor fox", RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert!(dv
+            .search("app:firefox fox", RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn browse_reconstructs_history() {
+        let mut dv = populated_server();
+        let clock = dv.clock();
+        // Overwrite the screen after the first checkpoint.
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 0xFF0000);
+        clock.advance(Duration::from_secs(1));
+        dv.policy_tick().unwrap();
+        // Browse back to 0.5s: the original background (the red fill
+        // happened at t=1s).
+        let shot = dv.browse(Timestamp::from_millis(500)).unwrap();
+        assert!(shot.pixels.contains(&0x202020));
+        assert!(!shot.pixels.contains(&0xFF0000));
+    }
+
+    #[test]
+    fn browse_scales_for_small_devices() {
+        let mut dv = populated_server();
+        let full = dv.browse(Timestamp::from_millis(500)).unwrap();
+        let pda = dv
+            .browse_at_scale(
+                Timestamp::from_millis(500),
+                dv_display::ScaleFactor::new(1, 4),
+            )
+            .unwrap();
+        assert_eq!((full.width, full.height), (64, 64));
+        assert_eq!((pda.width, pda.height), (16, 16));
+        // Content survives downsampling (the dark background remains).
+        assert!(pda.pixels.contains(&0x202020));
+    }
+
+    #[test]
+    fn take_me_back_revives_state() {
+        let mut dv = populated_server();
+        let clock = dv.clock();
+        let editor = Vpid(2);
+        // Diverge after the checkpoint.
+        dv.vee_mut().fs.write_all("/home/doc.txt", b"draft two, changed").unwrap();
+        clock.advance(Duration::from_secs(5));
+
+        let id = dv.take_me_back(Timestamp::from_secs(2)).unwrap();
+        let session = dv.session(id).unwrap();
+        assert_eq!(session.counter, 1);
+        // Revived file system sees the snapshot.
+        assert_eq!(
+            session.vee.fs.read_all("/home/doc.txt").unwrap(),
+            b"draft one"
+        );
+        // Revived memory matches checkpoint time.
+        let revived_mem = session.vee.mem_read(editor, 0x1000_0000, 9).unwrap();
+        assert_eq!(revived_mem, b"buffer v1");
+        // The main session is untouched.
+        assert_eq!(
+            dv.vee().fs.read_all("/home/doc.txt").unwrap(),
+            b"draft two, changed"
+        );
+    }
+
+    #[test]
+    fn multiple_concurrent_revives_diverge() {
+        let mut dv = populated_server();
+        let a = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+        let b = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+        assert_ne!(a, b);
+        dv.session_mut(a)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/home/doc.txt", b"branch A")
+            .unwrap();
+        dv.session_mut(b)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/home/doc.txt", b"branch B wins")
+            .unwrap();
+        assert_eq!(
+            dv.session(a).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            b"branch A"
+        );
+        assert_eq!(
+            dv.session(b).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            b"branch B wins"
+        );
+        assert_eq!(dv.sessions(), vec![a, b]);
+        dv.close_session(a).unwrap();
+        assert_eq!(dv.sessions(), vec![b]);
+    }
+
+    #[test]
+    fn revived_sessions_have_network_disabled_by_default() {
+        let mut dv = populated_server();
+        let id = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+        let session = dv.session_mut(id).unwrap();
+        assert!(!session.vee.network_enabled());
+        session.set_network_enabled(true);
+        assert!(session.vee.network_enabled());
+    }
+
+    #[test]
+    fn take_me_back_before_any_checkpoint_fails() {
+        let mut dv = server();
+        assert_eq!(
+            dv.take_me_back(Timestamp::from_secs(1)),
+            Err(ServerError::NoCheckpoint)
+        );
+    }
+
+    #[test]
+    fn storage_breakdown_covers_all_streams() {
+        let mut dv = populated_server();
+        dv.vee_mut().fs.sync().unwrap();
+        let storage = dv.storage();
+        assert!(storage.display_bytes > 0, "display stream recorded");
+        assert!(storage.index_bytes > 0, "text indexed");
+        assert!(storage.checkpoint_raw_bytes > 0, "checkpoint stored");
+        assert!(storage.fs_bytes > 0, "file data logged");
+    }
+
+    #[test]
+    fn revived_sessions_checkpoint_and_revive_again() {
+        let mut dv = populated_server();
+        let clock = dv.clock();
+        let gen1 = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+
+        // Generation 1 diverges and is checkpointed with its own engine.
+        dv.session_mut(gen1)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/home/doc.txt", b"gen1 edits")
+            .unwrap();
+        clock.advance(Duration::from_secs(1));
+        let report = dv.checkpoint_session(gen1).unwrap();
+        assert_eq!(report.counter, 1);
+
+        // Generation 1 keeps working after its checkpoint.
+        dv.session_mut(gen1)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/home/doc.txt", b"gen1 post-checkpoint")
+            .unwrap();
+
+        // Generation 2 revives from generation 1's checkpoint: it sees
+        // gen1's checkpointed state, not its later edits.
+        let gen2 = dv.revive_from_session(gen1, report.counter).unwrap();
+        assert_eq!(
+            dv.session(gen2).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            b"gen1 edits"
+        );
+        // All three lineages stay independent.
+        dv.session_mut(gen2)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/home/doc.txt", b"gen2 divergence")
+            .unwrap();
+        assert_eq!(
+            dv.session(gen1).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            b"gen1 post-checkpoint"
+        );
+        assert_eq!(
+            dv.vee().fs.read_all("/home/doc.txt").unwrap(),
+            b"draft one"
+        );
+        // Processes and memory carried through both generations.
+        let editor = Vpid(2);
+        assert_eq!(
+            dv.session(gen2).unwrap().vee.mem_read(editor, 0x1000_0000, 9).unwrap(),
+            b"buffer v1"
+        );
+    }
+
+    #[test]
+    fn third_generation_revive_stacks_layers() {
+        let mut dv = populated_server();
+        let clock = dv.clock();
+        let gen1 = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+        dv.session_mut(gen1)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/layer1", b"from gen1")
+            .unwrap();
+        clock.advance(Duration::from_secs(1));
+        let c1 = dv.checkpoint_session(gen1).unwrap().counter;
+        let gen2 = dv.revive_from_session(gen1, c1).unwrap();
+        dv.session_mut(gen2)
+            .unwrap()
+            .vee
+            .fs
+            .write_all("/layer2", b"from gen2")
+            .unwrap();
+        clock.advance(Duration::from_secs(1));
+        let c2 = dv.checkpoint_session(gen2).unwrap().counter;
+        let gen3 = dv.revive_from_session(gen2, c2).unwrap();
+        let fs = &dv.session(gen3).unwrap().vee.fs;
+        assert_eq!(fs.read_all("/home/doc.txt").unwrap(), b"draft one");
+        assert_eq!(fs.read_all("/layer1").unwrap(), b"from gen1");
+        assert_eq!(fs.read_all("/layer2").unwrap(), b"from gen2");
+    }
+
+    #[test]
+    fn annotations_are_searchable() {
+        let mut dv = populated_server();
+        let app = dv_access::AppId(1);
+        let node = dv_access::NodeId(3);
+        dv.desktop_mut().annotate_selection(app, node, "important meeting");
+        dv.clock().advance(Duration::from_secs(1));
+        let results = dv
+            .search("annotation:meeting", RankOrder::Chronological)
+            .unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn clipboard_crosses_sessions() {
+        let mut dv = populated_server();
+        let sid = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+        // Copy from the revived session's file, paste in the live one.
+        let old_text = dv
+            .session(sid)
+            .unwrap()
+            .vee
+            .fs
+            .read_all("/home/doc.txt")
+            .unwrap();
+        let old_text = String::from_utf8(old_text).unwrap();
+        dv.set_clipboard(&old_text);
+        let pasted = dv.clipboard().to_string();
+        dv.vee_mut()
+            .fs
+            .write_all("/home/pasted.txt", pasted.as_bytes())
+            .unwrap();
+        assert_eq!(dv.vee().fs.read_all("/home/pasted.txt").unwrap(), b"draft one");
+    }
+
+    #[test]
+    fn storage_compaction_and_snapshot_retirement() {
+        let mut dv = populated_server();
+        let clock = dv.clock();
+        // Churn the same file across several checkpoints.
+        for i in 0..5u8 {
+            dv.vee_mut()
+                .fs
+                .write_all("/home/doc.txt", &vec![i; 32 << 10])
+                .unwrap();
+            dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), i as u32);
+            clock.advance(Duration::from_secs(1));
+            dv.policy_tick().unwrap();
+        }
+        // Compaction is blocked while a revived session exists.
+        let sid = dv.take_me_back(Timestamp::from_secs(2)).unwrap();
+        assert!(matches!(
+            dv.compact_storage(),
+            Err(ServerError::Fs(dv_lsfs::FsError::Busy))
+        ));
+        dv.close_session(sid).unwrap();
+        // Retire early snapshots, compact, and verify late revive works.
+        let dropped = dv.retire_snapshots_before(4);
+        assert!(dropped >= 2);
+        let reclaimed = dv.compact_storage().unwrap();
+        assert!(reclaimed > 0);
+        let sid = dv.revive_counter(5).unwrap();
+        assert!(dv.session(sid).is_ok());
+        // Reviving a retired checkpoint fails on the fs snapshot.
+        assert!(dv.revive_counter(1).is_err());
+    }
+
+    #[test]
+    fn key_combo_annotates_selection() {
+        let mut dv = populated_server();
+        let app = dv_access::AppId(1);
+        let node = dv_access::NodeId(3);
+        // The user selects text with the mouse, then presses Ctrl+Alt+A.
+        dv.desktop_mut().set_selection(app, node, "brown fox");
+        dv.input(dv_display::InputEvent::Key {
+            ch: 'a',
+            ctrl: true,
+            alt: true,
+        });
+        dv.clock().advance(Duration::from_secs(1));
+        let results = dv
+            .search("annotation:brown", RankOrder::Chronological)
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        // A plain keystroke must not annotate.
+        dv.desktop_mut().set_selection(app, node, "quick");
+        dv.input(dv_display::InputEvent::Key {
+            ch: 'a',
+            ctrl: false,
+            alt: false,
+        });
+        dv.clock().advance(Duration::from_secs(1));
+        assert!(dv
+            .search("annotation:quick", RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! The bridge from the capture daemon to the text index.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_access::{AppId, Role, TextInstance, TextSink};
+use dv_index::{IndexedInstance, TextIndex};
+use dv_time::Timestamp;
+
+/// Returns the index tag for an accessibility role — the "special
+/// properties about the text (e.g. if it is a menu item or an HTML
+/// link)" §4.2 captures.
+pub fn role_tag(role: Role) -> &'static str {
+    match role {
+        Role::Application => "application",
+        Role::Window => "window",
+        Role::Document => "document",
+        Role::Paragraph => "paragraph",
+        Role::MenuItem => "menuitem",
+        Role::Link => "link",
+        Role::Button => "button",
+        Role::TextInput => "textinput",
+        Role::Label => "label",
+        Role::Terminal => "terminal",
+    }
+}
+
+/// A [`TextSink`] writing into a shared [`TextIndex`].
+pub struct IndexSink {
+    index: Arc<Mutex<TextIndex>>,
+}
+
+impl IndexSink {
+    /// Creates a sink over the shared index.
+    pub fn new(index: Arc<Mutex<TextIndex>>) -> Self {
+        IndexSink { index }
+    }
+}
+
+impl TextSink for IndexSink {
+    fn text_shown(&mut self, instance: TextInstance) {
+        self.index.lock().add_instance(IndexedInstance {
+            id: instance.id,
+            app_id: instance.app.0,
+            app: instance.app_name,
+            window: instance.window,
+            role: role_tag(instance.role).to_string(),
+            text: instance.text,
+            shown: instance.time,
+            hidden: None,
+            annotation: instance.annotation,
+        });
+    }
+
+    fn text_hidden(&mut self, id: u64, time: Timestamp) {
+        self.index.lock().close_instance(id, time);
+    }
+
+    fn focus_changed(&mut self, app: AppId, time: Timestamp) {
+        self.index.lock().focus_change(app.0, time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_feeds_the_index() {
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let mut sink = IndexSink::new(index.clone());
+        sink.text_shown(TextInstance {
+            id: 1,
+            time: Timestamp::from_secs(1),
+            app: AppId(7),
+            app_name: "firefox".into(),
+            window: "tab".into(),
+            role: Role::Link,
+            text: "click here".into(),
+            annotation: false,
+        });
+        sink.text_hidden(1, Timestamp::from_secs(5));
+        sink.focus_changed(AppId(7), Timestamp::from_secs(2));
+        let index = index.lock();
+        let hits = index.term_instances("click");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].app, "firefox");
+        assert_eq!(hits[0].role, "link");
+        assert_eq!(hits[0].hidden, Some(Timestamp::from_secs(5)));
+        assert_eq!(index.focus_history(), &[(7, Timestamp::from_secs(2))]);
+    }
+
+    #[test]
+    fn role_tags_are_distinct() {
+        let all = [
+            Role::Application,
+            Role::Window,
+            Role::Document,
+            Role::Paragraph,
+            Role::MenuItem,
+            Role::Link,
+            Role::Button,
+            Role::TextInput,
+            Role::Label,
+            Role::Terminal,
+        ];
+        let tags: std::collections::HashSet<&str> = all.iter().map(|r| role_tag(*r)).collect();
+        assert_eq!(tags.len(), all.len());
+    }
+}

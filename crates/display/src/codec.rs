@@ -1,0 +1,340 @@
+//! Wire format for display commands.
+//!
+//! The same encoding serves both purposes the paper gives the protocol:
+//! shipping commands to (possibly remote) viewers, and appending them to
+//! the on-disk display record. The format is a tagged binary layout:
+//!
+//! ```text
+//! [tag: u8][rect: 4 x u32 LE][payload_len: u32 LE][payload...]
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+
+use crate::command::{DisplayCommand, Pattern, YuvFrame};
+use crate::rect::Rect;
+
+/// Encoded size of the fixed per-command header.
+pub const HEADER_LEN: usize = 1 + 16 + 4;
+
+const TAG_RAW: u8 = 1;
+const TAG_COPY: u8 = 2;
+const TAG_SFILL: u8 = 3;
+const TAG_PFILL: u8 = 4;
+const TAG_GLYPH: u8 = 5;
+const TAG_VIDEO: u8 = 6;
+
+/// Errors produced while decoding a command stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The buffer ended before a complete command was read.
+    UnexpectedEof,
+    /// An unknown command tag was encountered.
+    BadTag(u8),
+    /// A payload was internally inconsistent (for example, a raw payload
+    /// whose length does not match its rectangle).
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of command stream"),
+            CodecError::BadTag(t) => write!(f, "unknown command tag {t}"),
+            CodecError::BadPayload(why) => write!(f, "malformed command payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends the encoded form of `cmd` to `out`.
+pub fn encode_command(cmd: &DisplayCommand, out: &mut Vec<u8>) {
+    let tag = match cmd {
+        DisplayCommand::Raw { .. } => TAG_RAW,
+        DisplayCommand::CopyArea { .. } => TAG_COPY,
+        DisplayCommand::SolidFill { .. } => TAG_SFILL,
+        DisplayCommand::PatternFill { .. } => TAG_PFILL,
+        DisplayCommand::Glyph { .. } => TAG_GLYPH,
+        DisplayCommand::Video { .. } => TAG_VIDEO,
+    };
+    out.put_u8(tag);
+    let rect = cmd.rect();
+    out.put_u32_le(rect.x);
+    out.put_u32_le(rect.y);
+    out.put_u32_le(rect.w);
+    out.put_u32_le(rect.h);
+    out.put_u32_le(cmd.payload_size() as u32);
+    match cmd {
+        DisplayCommand::Raw { pixels, .. } => {
+            for px in pixels.iter() {
+                out.put_u32_le(*px);
+            }
+        }
+        DisplayCommand::CopyArea { src_x, src_y, .. } => {
+            out.put_u32_le(*src_x);
+            out.put_u32_le(*src_y);
+        }
+        DisplayCommand::SolidFill { color, .. } => out.put_u32_le(*color),
+        DisplayCommand::PatternFill { pattern, .. } => {
+            out.put_u64_le(pattern.bits);
+            out.put_u32_le(pattern.fg);
+            out.put_u32_le(pattern.bg);
+        }
+        DisplayCommand::Glyph { bits, fg, bg, .. } => {
+            out.put_u32_le(*fg);
+            out.put_u32_le(*bg);
+            out.extend_from_slice(bits);
+        }
+        DisplayCommand::Video { frame, .. } => {
+            out.put_u32_le(frame.width);
+            out.put_u32_le(frame.height);
+            out.extend_from_slice(&frame.y);
+            out.extend_from_slice(&frame.u);
+            out.extend_from_slice(&frame.v);
+        }
+    }
+}
+
+/// Encodes a command into a fresh buffer.
+pub fn encode_command_vec(cmd: &DisplayCommand) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cmd.wire_size());
+    encode_command(cmd, &mut out);
+    out
+}
+
+/// Decodes one command from the front of `buf`, advancing it.
+pub fn decode_command(buf: &mut &[u8]) -> Result<DisplayCommand, CodecError> {
+    if buf.len() < HEADER_LEN {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    let rect = Rect::new(
+        buf.get_u32_le(),
+        buf.get_u32_le(),
+        buf.get_u32_le(),
+        buf.get_u32_le(),
+    );
+    let payload_len = buf.get_u32_le() as usize;
+    if buf.len() < payload_len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (mut payload, rest) = buf.split_at(payload_len);
+    *buf = rest;
+    match tag {
+        TAG_RAW => {
+            if payload.len() != rect.area() as usize * 4 {
+                return Err(CodecError::BadPayload("raw payload size mismatch"));
+            }
+            let mut pixels = Vec::with_capacity(rect.area() as usize);
+            while payload.remaining() >= 4 {
+                pixels.push(payload.get_u32_le());
+            }
+            Ok(DisplayCommand::Raw {
+                rect,
+                pixels: Arc::new(pixels),
+            })
+        }
+        TAG_COPY => {
+            if payload.len() != 8 {
+                return Err(CodecError::BadPayload("copy payload size mismatch"));
+            }
+            Ok(DisplayCommand::CopyArea {
+                src_x: payload.get_u32_le(),
+                src_y: payload.get_u32_le(),
+                rect,
+            })
+        }
+        TAG_SFILL => {
+            if payload.len() != 4 {
+                return Err(CodecError::BadPayload("sfill payload size mismatch"));
+            }
+            Ok(DisplayCommand::SolidFill {
+                rect,
+                color: payload.get_u32_le(),
+            })
+        }
+        TAG_PFILL => {
+            if payload.len() != 16 {
+                return Err(CodecError::BadPayload("pfill payload size mismatch"));
+            }
+            Ok(DisplayCommand::PatternFill {
+                rect,
+                pattern: Pattern {
+                    bits: payload.get_u64_le(),
+                    fg: payload.get_u32_le(),
+                    bg: payload.get_u32_le(),
+                },
+            })
+        }
+        TAG_GLYPH => {
+            if payload.len() < 8 {
+                return Err(CodecError::BadPayload("glyph payload too short"));
+            }
+            let fg = payload.get_u32_le();
+            let bg = payload.get_u32_le();
+            let expected = (rect.w as usize).div_ceil(8) * rect.h as usize;
+            if payload.len() != expected {
+                return Err(CodecError::BadPayload("glyph bitmap size mismatch"));
+            }
+            Ok(DisplayCommand::Glyph {
+                rect,
+                bits: Arc::new(payload.to_vec()),
+                fg,
+                bg,
+            })
+        }
+        TAG_VIDEO => {
+            if payload.len() < 8 {
+                return Err(CodecError::BadPayload("video payload too short"));
+            }
+            let width = payload.get_u32_le();
+            let height = payload.get_u32_le();
+            let y_len = (width as usize) * (height as usize);
+            let c_len = (width.div_ceil(2) as usize) * (height.div_ceil(2) as usize);
+            if payload.len() != y_len + 2 * c_len {
+                return Err(CodecError::BadPayload("video plane size mismatch"));
+            }
+            let y = payload[..y_len].to_vec();
+            let u = payload[y_len..y_len + c_len].to_vec();
+            let v = payload[y_len + c_len..].to_vec();
+            Ok(DisplayCommand::Video {
+                rect,
+                frame: Arc::new(YuvFrame {
+                    width,
+                    height,
+                    y,
+                    u,
+                    v,
+                }),
+            })
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::rgb;
+
+    fn round_trip(cmd: DisplayCommand) {
+        let encoded = encode_command_vec(&cmd);
+        assert_eq!(encoded.len(), cmd.wire_size(), "wire_size must be exact");
+        let mut slice = encoded.as_slice();
+        let decoded = decode_command(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "decoder must consume the whole command");
+        assert_eq!(decoded, cmd);
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        round_trip(DisplayCommand::Raw {
+            rect: Rect::new(1, 2, 3, 2),
+            pixels: Arc::new((0..6).collect()),
+        });
+        round_trip(DisplayCommand::CopyArea {
+            src_x: 9,
+            src_y: 8,
+            rect: Rect::new(0, 0, 4, 4),
+        });
+        round_trip(DisplayCommand::SolidFill {
+            rect: Rect::new(5, 5, 2, 2),
+            color: rgb(1, 2, 3),
+        });
+        round_trip(DisplayCommand::PatternFill {
+            rect: Rect::new(0, 0, 8, 8),
+            pattern: Pattern {
+                bits: 0xDEAD_BEEF_F00D_CAFE,
+                fg: 1,
+                bg: 2,
+            },
+        });
+        round_trip(DisplayCommand::Glyph {
+            rect: Rect::new(2, 2, 9, 3),
+            bits: Arc::new(vec![0xFF, 0x80, 0x01, 0x00, 0xAA, 0x55]),
+            fg: 3,
+            bg: 4,
+        });
+        round_trip(DisplayCommand::Video {
+            rect: Rect::new(0, 0, 16, 16),
+            frame: Arc::new(YuvFrame::from_luma(3, 3, vec![1; 9])),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let cmd = DisplayCommand::SolidFill {
+            rect: Rect::new(0, 0, 1, 1),
+            color: 7,
+        };
+        let encoded = encode_command_vec(&cmd);
+        for cut in 0..encoded.len() {
+            let mut slice = &encoded[..cut];
+            assert_eq!(
+                decode_command(&mut slice),
+                Err(CodecError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut encoded = encode_command_vec(&DisplayCommand::SolidFill {
+            rect: Rect::new(0, 0, 1, 1),
+            color: 7,
+        });
+        encoded[0] = 99;
+        let mut slice = encoded.as_slice();
+        assert_eq!(decode_command(&mut slice), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_raw() {
+        // A raw command whose rect says 2x2 but carries 1 pixel.
+        let mut out = Vec::new();
+        out.put_u8(1);
+        for v in [0u32, 0, 2, 2] {
+            out.put_u32_le(v);
+        }
+        out.put_u32_le(4);
+        out.put_u32_le(0xAABB);
+        let mut slice = out.as_slice();
+        assert!(matches!(
+            decode_command(&mut slice),
+            Err(CodecError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn stream_of_commands_decodes_in_order() {
+        let cmds = vec![
+            DisplayCommand::SolidFill {
+                rect: Rect::new(0, 0, 2, 2),
+                color: 1,
+            },
+            DisplayCommand::CopyArea {
+                src_x: 1,
+                src_y: 1,
+                rect: Rect::new(3, 3, 2, 2),
+            },
+            DisplayCommand::SolidFill {
+                rect: Rect::new(4, 4, 1, 1),
+                color: 2,
+            },
+        ];
+        let mut buf = Vec::new();
+        for c in &cmds {
+            encode_command(c, &mut buf);
+        }
+        let mut slice = buf.as_slice();
+        let mut decoded = Vec::new();
+        while !slice.is_empty() {
+            decoded.push(decode_command(&mut slice).unwrap());
+        }
+        assert_eq!(decoded, cmds);
+    }
+}

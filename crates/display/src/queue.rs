@@ -1,0 +1,245 @@
+//! Command queueing and merging.
+//!
+//! THINC queues display commands and merges them "so that only the result
+//! of the last update is logged" (§4.1). DejaView uses this to let users
+//! trade recording frequency against storage: commands accumulate in a
+//! [`CommandQueue`] and, when the queue is flushed at the configured
+//! recording frequency, updates that a later command completely overwrote
+//! are discarded.
+//!
+//! Dropping a queued command is only sound if nothing that remains in the
+//! queue *reads* the pixels it would have produced — a later `CopyArea`
+//! may source from the overwritten area. The queue tracks read
+//! dependencies and keeps such commands.
+
+use dv_time::Timestamp;
+
+use crate::command::DisplayCommand;
+use crate::rect::Rect;
+
+/// A timestamped command held in the queue.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueuedCommand {
+    /// Session time at which the driver produced the command.
+    pub time: Timestamp,
+    /// The command.
+    pub command: DisplayCommand,
+}
+
+/// A merging command queue.
+///
+/// # Examples
+///
+/// ```
+/// use dv_display::{CommandQueue, DisplayCommand, Rect};
+/// use dv_time::Timestamp;
+///
+/// let mut queue = CommandQueue::new();
+/// let rect = Rect::new(0, 0, 10, 10);
+/// queue.push(Timestamp::from_millis(1), DisplayCommand::SolidFill { rect, color: 1 });
+/// queue.push(Timestamp::from_millis(2), DisplayCommand::SolidFill { rect, color: 2 });
+/// // The first fill was completely overwritten and is merged away.
+/// assert_eq!(queue.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CommandQueue {
+    entries: Vec<QueuedCommand>,
+    merged_away: u64,
+}
+
+impl CommandQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CommandQueue::default()
+    }
+
+    /// Returns the number of queued commands.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns how many commands merging has discarded over the queue's
+    /// lifetime.
+    pub fn merged_away(&self) -> u64 {
+        self.merged_away
+    }
+
+    /// Appends a command, discarding queued commands it makes irrelevant.
+    ///
+    /// A queued command is discarded when the new command's rectangle
+    /// fully covers it and no command between the two reads pixels from
+    /// the covered area.
+    pub fn push(&mut self, time: Timestamp, command: DisplayCommand) {
+        let cover = command.rect();
+        if !cover.is_empty() && command.is_opaque() {
+            // Walk backwards accumulating the read-set of commands that
+            // stay; a command may be dropped only if nothing later reads
+            // what it wrote.
+            let mut reads: Vec<Rect> = match command.reads() {
+                Some(r) => vec![r],
+                None => Vec::new(),
+            };
+            let mut keep = Vec::with_capacity(self.entries.len());
+            for entry in self.entries.drain(..).rev() {
+                let target = entry.command.rect();
+                let read_conflict = reads.iter().any(|r| r.overlaps(&target));
+                if cover.contains(&target) && !read_conflict {
+                    self.merged_away += 1;
+                    continue;
+                }
+                if let Some(r) = entry.command.reads() {
+                    reads.push(r);
+                }
+                keep.push(entry);
+            }
+            keep.reverse();
+            self.entries = keep;
+        }
+        self.entries.push(QueuedCommand { time, command });
+    }
+
+    /// Removes and returns all queued commands in order.
+    pub fn flush(&mut self) -> Vec<QueuedCommand> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Returns the queued commands without removing them.
+    pub fn peek(&self) -> &[QueuedCommand] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fill(rect: Rect, color: u32) -> DisplayCommand {
+        DisplayCommand::SolidFill { rect, color }
+    }
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn overwritten_commands_merge_away() {
+        let mut q = CommandQueue::new();
+        q.push(ts(1), fill(Rect::new(0, 0, 4, 4), 1));
+        q.push(ts(2), fill(Rect::new(1, 1, 2, 2), 2));
+        q.push(ts(3), fill(Rect::new(0, 0, 8, 8), 3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.merged_away(), 2);
+        assert_eq!(q.peek()[0].time, ts(3));
+    }
+
+    #[test]
+    fn partial_overlap_is_kept() {
+        let mut q = CommandQueue::new();
+        q.push(ts(1), fill(Rect::new(0, 0, 4, 4), 1));
+        q.push(ts(2), fill(Rect::new(2, 2, 4, 4), 2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn copy_source_blocks_merge() {
+        let mut q = CommandQueue::new();
+        q.push(ts(1), fill(Rect::new(0, 0, 4, 4), 1));
+        // This copy reads the filled area...
+        q.push(
+            ts(2),
+            DisplayCommand::CopyArea {
+                src_x: 0,
+                src_y: 0,
+                rect: Rect::new(10, 10, 4, 4),
+            },
+        );
+        // ...so a later fill over the same area must not delete the
+        // original fill, whose output the copy depends on.
+        q.push(ts(3), fill(Rect::new(0, 0, 4, 4), 2));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn copy_destination_can_merge() {
+        let mut q = CommandQueue::new();
+        q.push(
+            ts(1),
+            DisplayCommand::CopyArea {
+                src_x: 20,
+                src_y: 20,
+                rect: Rect::new(0, 0, 4, 4),
+            },
+        );
+        q.push(ts(2), fill(Rect::new(0, 0, 4, 4), 1));
+        assert_eq!(q.len(), 1, "copy output fully overwritten");
+    }
+
+    #[test]
+    fn copy_never_merges_earlier_commands_away() {
+        // A copy's effective write area shrinks when its source is
+        // clamped at the screen edge, so it is not opaque: earlier
+        // commands under its destination must survive.
+        let mut q = CommandQueue::new();
+        q.push(ts(1), fill(Rect::new(0, 0, 4, 4), 1));
+        q.push(
+            ts(2),
+            DisplayCommand::CopyArea {
+                src_x: 100,
+                src_y: 100,
+                rect: Rect::new(0, 0, 8, 8),
+            },
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn flush_drains_in_order() {
+        let mut q = CommandQueue::new();
+        q.push(ts(1), fill(Rect::new(0, 0, 1, 1), 1));
+        q.push(ts(2), fill(Rect::new(5, 5, 1, 1), 2));
+        let drained = q.flush();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].time < drained[1].time);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_replay_result() {
+        use crate::framebuffer::Framebuffer;
+        // Applying the merged stream must produce the same screen as the
+        // unmerged stream.
+        let cmds = vec![
+            fill(Rect::new(0, 0, 8, 8), 1),
+            fill(Rect::new(2, 2, 2, 2), 2),
+            DisplayCommand::Raw {
+                rect: Rect::new(1, 1, 2, 2),
+                pixels: Arc::new(vec![7, 8, 9, 10]),
+            },
+            DisplayCommand::CopyArea {
+                src_x: 1,
+                src_y: 1,
+                rect: Rect::new(8, 8, 2, 2),
+            },
+            fill(Rect::new(0, 0, 8, 8), 3),
+        ];
+        let mut direct = Framebuffer::new(16, 16);
+        for c in &cmds {
+            direct.apply(c);
+        }
+        let mut q = CommandQueue::new();
+        for (i, c) in cmds.iter().enumerate() {
+            q.push(ts(i as u64), c.clone());
+        }
+        let mut merged = Framebuffer::new(16, 16);
+        for entry in q.flush() {
+            merged.apply(&entry.command);
+        }
+        assert_eq!(direct, merged);
+    }
+}

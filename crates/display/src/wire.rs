@@ -1,0 +1,365 @@
+//! The viewer wire protocol.
+//!
+//! "By allowing display output to be redirected anywhere, this approach
+//! also enables the desktop to be accessed both locally and remotely"
+//! (§3). The same command encoding used for the on-disk record carries
+//! the live stream to remote viewers: a [`StreamEncoder`] is a
+//! [`CommandSink`] that frames commands into a byte channel, and a
+//! [`RemoteViewer`] consumes bytes — in arbitrary chunks, as a network
+//! would deliver them — and drives a stateless [`Viewer`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_time::Timestamp;
+
+use crate::codec::{decode_command, encode_command, CodecError, HEADER_LEN};
+use crate::command::DisplayCommand;
+use crate::driver::CommandSink;
+use crate::viewer::{InputEvent, Viewer};
+
+/// A byte channel between server and viewer (a TCP socket stand-in).
+#[derive(Clone, Default)]
+pub struct ByteChannel {
+    inner: Arc<Mutex<VecDeque<u8>>>,
+}
+
+impl ByteChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        ByteChannel::default()
+    }
+
+    /// Appends bytes to the channel.
+    pub fn send(&self, bytes: &[u8]) {
+        self.inner.lock().extend(bytes.iter().copied());
+    }
+
+    /// Removes and returns up to `max` bytes.
+    pub fn recv(&self, max: usize) -> Vec<u8> {
+        let mut queue = self.inner.lock();
+        let take = max.min(queue.len());
+        queue.drain(..take).collect()
+    }
+
+    /// Returns the number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Returns whether the channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// A [`CommandSink`] that frames the command stream onto a byte channel:
+/// `[time u64 LE][encoded command]` per event, the record format reused
+/// as the wire format.
+pub struct StreamEncoder {
+    channel: ByteChannel,
+    sent: u64,
+}
+
+impl StreamEncoder {
+    /// Creates an encoder writing to `channel`.
+    pub fn new(channel: ByteChannel) -> Self {
+        StreamEncoder { channel, sent: 0 }
+    }
+
+    /// Returns how many commands have been sent.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl CommandSink for StreamEncoder {
+    fn submit(&mut self, ts: Timestamp, cmd: &DisplayCommand) {
+        let mut frame = Vec::with_capacity(8 + cmd.wire_size());
+        frame.extend_from_slice(&ts.as_nanos().to_le_bytes());
+        encode_command(cmd, &mut frame);
+        self.channel.send(&frame);
+        self.sent += 1;
+    }
+}
+
+/// A remote viewer: buffers incoming bytes, decodes complete frames, and
+/// applies them to its local framebuffer.
+pub struct RemoteViewer {
+    /// The stateless viewer being driven.
+    pub viewer: Viewer,
+    buffer: Vec<u8>,
+    received: u64,
+}
+
+impl RemoteViewer {
+    /// Creates a remote viewer with a `width` x `height` framebuffer.
+    pub fn new(width: u32, height: u32) -> Self {
+        RemoteViewer {
+            viewer: Viewer::new(width, height),
+            buffer: Vec::new(),
+            received: 0,
+        }
+    }
+
+    /// Returns how many commands have been applied.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Feeds a chunk of bytes (any framing the transport produced) and
+    /// applies every complete command it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the stream is corrupt; the viewer
+    /// should disconnect.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
+        self.buffer.extend_from_slice(bytes);
+        let mut applied = 0;
+        loop {
+            if self.buffer.len() < 8 + HEADER_LEN {
+                break;
+            }
+            let ts = Timestamp::from_nanos(u64::from_le_bytes(
+                self.buffer[..8].try_into().expect("8 bytes"),
+            ));
+            let mut slice = &self.buffer[8..];
+            let before = slice.len();
+            match decode_command(&mut slice) {
+                Ok(cmd) => {
+                    let consumed = 8 + (before - slice.len());
+                    self.viewer.submit(ts, &cmd);
+                    self.buffer.drain(..consumed);
+                    self.received += 1;
+                    applied += 1;
+                }
+                Err(CodecError::UnexpectedEof) => break, // Partial frame.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Pumps all currently available bytes from a channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream corruption.
+    pub fn pump(&mut self, channel: &ByteChannel) -> Result<usize, CodecError> {
+        let mut applied = 0;
+        loop {
+            let chunk = channel.recv(1400); // MTU-ish chunks.
+            if chunk.is_empty() {
+                break;
+            }
+            applied += self.feed(&chunk)?;
+        }
+        Ok(applied)
+    }
+}
+
+/// Encodes one input event for the viewer-to-server direction of the
+/// wire (input is forwarded, never recorded — §2).
+pub fn encode_input(event: &InputEvent, out: &mut Vec<u8>) {
+    match event {
+        InputEvent::Key { ch, ctrl, alt } => {
+            out.push(1);
+            out.extend_from_slice(&(*ch as u32).to_le_bytes());
+            out.push(*ctrl as u8);
+            out.push(*alt as u8);
+        }
+        InputEvent::MouseMove { x, y } => {
+            out.push(2);
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+        }
+        InputEvent::MouseButton {
+            x,
+            y,
+            button,
+            pressed,
+        } => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+            out.extend_from_slice(&y.to_le_bytes());
+            out.push(*button);
+            out.push(*pressed as u8);
+        }
+    }
+}
+
+/// Decodes one input event from the front of `buf`, advancing it.
+/// Returns `Ok(None)` when the buffer holds only a partial frame.
+pub fn decode_input(buf: &mut &[u8]) -> Result<Option<InputEvent>, CodecError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let tag = buf[0];
+    let event = match tag {
+        1 => {
+            if buf.len() < 7 {
+                return Ok(None);
+            }
+            let code = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes"));
+            let ch = char::from_u32(code).ok_or(CodecError::BadPayload("invalid char"))?;
+            let event = InputEvent::Key {
+                ch,
+                ctrl: buf[5] != 0,
+                alt: buf[6] != 0,
+            };
+            *buf = &buf[7..];
+            event
+        }
+        2 => {
+            if buf.len() < 9 {
+                return Ok(None);
+            }
+            let event = InputEvent::MouseMove {
+                x: u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")),
+                y: u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")),
+            };
+            *buf = &buf[9..];
+            event
+        }
+        3 => {
+            if buf.len() < 11 {
+                return Ok(None);
+            }
+            let event = InputEvent::MouseButton {
+                x: u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")),
+                y: u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")),
+                button: buf[9],
+                pressed: buf[10] != 0,
+            };
+            *buf = &buf[11..];
+            event
+        }
+        other => return Err(CodecError::BadTag(other)),
+    };
+    Ok(Some(event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::VirtualDisplayDriver;
+    use crate::rect::Rect;
+    use dv_time::SimClock;
+
+    #[test]
+    fn remote_viewer_mirrors_driver_exactly() {
+        let clock = SimClock::new();
+        let mut driver = VirtualDisplayDriver::new(64, 64, clock.shared());
+        let channel = ByteChannel::new();
+        driver.attach_sink(Arc::new(Mutex::new(StreamEncoder::new(channel.clone()))));
+
+        driver.fill_rect(Rect::new(0, 0, 64, 64), 0x223344);
+        driver.draw_text(4, 4, "remote desktop", 0xFFFFFF, 0);
+        driver.copy_area(0, 0, Rect::new(32, 32, 16, 16));
+
+        let mut remote = RemoteViewer::new(64, 64);
+        let applied = remote.pump(&channel).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(
+            remote.viewer.screenshot().content_hash(),
+            driver.snapshot().content_hash()
+        );
+        assert!(channel.is_empty());
+    }
+
+    #[test]
+    fn fragmented_delivery_reassembles() {
+        let clock = SimClock::new();
+        let mut driver = VirtualDisplayDriver::new(32, 32, clock.shared());
+        let channel = ByteChannel::new();
+        driver.attach_sink(Arc::new(Mutex::new(StreamEncoder::new(channel.clone()))));
+        for i in 0..10u32 {
+            driver.fill_rect(Rect::new(i, 0, 1, 32), i + 1);
+        }
+        // Deliver one byte at a time: worst-case fragmentation.
+        let mut remote = RemoteViewer::new(32, 32);
+        loop {
+            let chunk = channel.recv(1);
+            if chunk.is_empty() {
+                break;
+            }
+            remote.feed(&chunk).unwrap();
+        }
+        assert_eq!(remote.received(), 10);
+        assert_eq!(
+            remote.viewer.screenshot().content_hash(),
+            driver.snapshot().content_hash()
+        );
+    }
+
+    #[test]
+    fn corrupt_stream_is_detected() {
+        let channel = ByteChannel::new();
+        let mut encoder = StreamEncoder::new(channel.clone());
+        encoder.submit(
+            Timestamp::ZERO,
+            &DisplayCommand::SolidFill {
+                rect: Rect::new(0, 0, 4, 4),
+                color: 1,
+            },
+        );
+        let mut bytes = channel.recv(usize::MAX);
+        bytes[8] = 99; // Clobber the command tag.
+        let mut remote = RemoteViewer::new(8, 8);
+        assert!(remote.feed(&bytes).is_err());
+    }
+
+    #[test]
+    fn input_events_round_trip_the_wire() {
+        let events = [
+            InputEvent::Key {
+                ch: 'ф',
+                ctrl: true,
+                alt: false,
+            },
+            InputEvent::MouseMove { x: 800, y: 600 },
+            InputEvent::MouseButton {
+                x: 10,
+                y: 20,
+                button: 2,
+                pressed: true,
+            },
+        ];
+        let mut wire = Vec::new();
+        for event in &events {
+            encode_input(event, &mut wire);
+        }
+        let mut slice = wire.as_slice();
+        let mut decoded = Vec::new();
+        while let Some(event) = decode_input(&mut slice).unwrap() {
+            decoded.push(event);
+        }
+        assert_eq!(decoded, events);
+        // Partial frames wait for more bytes; bad tags error.
+        let mut partial = &wire[..3];
+        assert_eq!(decode_input(&mut partial).unwrap(), None);
+        let bad = [9u8, 0, 0];
+        let mut bad_slice = &bad[..];
+        assert!(decode_input(&mut bad_slice).is_err());
+    }
+
+    #[test]
+    fn multiple_viewers_share_one_session() {
+        // The same session can be viewed locally and remotely at once.
+        let clock = SimClock::new();
+        let mut driver = VirtualDisplayDriver::new(16, 16, clock.shared());
+        let local = Arc::new(Mutex::new(Viewer::new(16, 16)));
+        let channel = ByteChannel::new();
+        driver.attach_sink(local.clone());
+        driver.attach_sink(Arc::new(Mutex::new(StreamEncoder::new(channel.clone()))));
+        driver.fill_rect(Rect::new(2, 2, 8, 8), 5);
+        let mut remote = RemoteViewer::new(16, 16);
+        remote.pump(&channel).unwrap();
+        let expected = driver.snapshot().content_hash();
+        assert_eq!(local.lock().screenshot().content_hash(), expected);
+        assert_eq!(remote.viewer.screenshot().content_hash(), expected);
+    }
+}

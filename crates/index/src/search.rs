@@ -1,0 +1,484 @@
+//! Query evaluation and result ranking.
+//!
+//! Evaluation turns a [`Query`] into the [`IntervalSet`] of times at
+//! which it is satisfied; each maximal interval becomes a search hit
+//! that the DejaView client renders as a screenshot portal, "ordered
+//! according to several user-defined criteria ... chronological ordering,
+//! persistence information (ie. how long the text was on the screen),
+//! number of times the words appear" (§4.4).
+
+use dv_time::{Duration, Timestamp};
+
+use crate::index::{IndexedInstance, TextIndex};
+use crate::interval::{Interval, IntervalSet};
+use crate::query::Query;
+
+/// Context filters accumulated while descending the query tree.
+#[derive(Clone, Default, Debug)]
+struct Ctx {
+    app: Option<String>,
+    window: Option<String>,
+    focused: bool,
+    annotated: bool,
+}
+
+impl Ctx {
+    fn admits(&self, instance: &IndexedInstance) -> bool {
+        if let Some(app) = &self.app {
+            if !instance.app.to_lowercase().contains(app) {
+                return false;
+            }
+        }
+        if let Some(window) = &self.window {
+            if !instance.window.to_lowercase().contains(window) {
+                return false;
+            }
+        }
+        if self.annotated && !instance.annotation {
+            return false;
+        }
+        true
+    }
+}
+
+/// Evaluates a query to the set of times it is satisfied.
+pub fn evaluate(index: &TextIndex, query: &Query) -> IntervalSet {
+    eval(index, query, &Ctx::default())
+}
+
+fn instance_times(index: &TextIndex, instance: &IndexedInstance, ctx: &Ctx) -> IntervalSet {
+    let visible = IntervalSet::from_intervals([index.visibility(instance)]);
+    if ctx.focused {
+        visible.intersect(&index.focus_intervals(instance.app_id))
+    } else {
+        visible
+    }
+}
+
+fn eval(index: &TextIndex, query: &Query, ctx: &Ctx) -> IntervalSet {
+    match query {
+        Query::Any => {
+            let sets = index
+                .all_instances()
+                .filter(|i| ctx.admits(i))
+                .map(|i| instance_times(index, i, ctx));
+            sets.fold(IntervalSet::new(), |acc, s| acc.union(&s))
+        }
+        Query::Term(term) => {
+            let sets = index
+                .term_instances(term)
+                .into_iter()
+                .filter(|i| ctx.admits(i))
+                .map(|i| instance_times(index, i, ctx));
+            sets.fold(IntervalSet::new(), |acc, s| acc.union(&s))
+        }
+        Query::Phrase(words) => {
+            // Candidates come from the rarest-looking term's postings;
+            // adjacency is verified against the instance text.
+            let first = match words.first() {
+                Some(w) => w,
+                None => return IntervalSet::new(),
+            };
+            let sets = index
+                .term_instances(first)
+                .into_iter()
+                .filter(|i| ctx.admits(i) && contains_phrase(&i.text, words))
+                .map(|i| instance_times(index, i, ctx));
+            sets.fold(IntervalSet::new(), |acc, s| acc.union(&s))
+        }
+        Query::And(a, b) => eval(index, a, ctx).intersect(&eval(index, b, ctx)),
+        Query::Or(a, b) => eval(index, a, ctx).union(&eval(index, b, ctx)),
+        Query::Not(q) => eval(index, q, ctx).complement(Timestamp::ZERO, index.horizon()),
+        Query::App(name, q) => {
+            let mut ctx = ctx.clone();
+            ctx.app = Some(name.clone());
+            eval(index, q, &ctx)
+        }
+        Query::Window(title, q) => {
+            let mut ctx = ctx.clone();
+            ctx.window = Some(title.clone());
+            eval(index, q, &ctx)
+        }
+        Query::Focused(q) => {
+            let mut ctx = ctx.clone();
+            ctx.focused = true;
+            eval(index, q, &ctx)
+        }
+        Query::Annotated(q) => {
+            let mut ctx = ctx.clone();
+            ctx.annotated = true;
+            eval(index, q, &ctx)
+        }
+        Query::During { from, to, q } => eval(index, q, ctx).clip(*from, *to),
+    }
+}
+
+/// One search result: a maximal interval over which the query held.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SearchHit {
+    /// When the query first became satisfied.
+    pub time: Timestamp,
+    /// When it stopped being satisfied.
+    pub until: Timestamp,
+    /// How long the matching text persisted.
+    pub persistence: Duration,
+    /// Number of matching text instances overlapping the interval.
+    pub matches: usize,
+    /// A text snippet from a matching instance.
+    pub snippet: String,
+    /// Applications contributing matches.
+    pub apps: Vec<String>,
+}
+
+/// Result orderings from §4.4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RankOrder {
+    /// Oldest hit first.
+    #[default]
+    Chronological,
+    /// Most recent hit first.
+    ReverseChronological,
+    /// Briefest-on-screen first — "a user could be less interested in
+    /// those parts of the record when certain text was always visible,
+    /// and more interested in the records where the text appeared only
+    /// briefly".
+    PersistenceAscending,
+    /// Most matching instances first.
+    MatchCount,
+}
+
+/// Evaluates a query and builds ranked hits.
+pub fn search(index: &TextIndex, query: &Query, order: RankOrder) -> Vec<SearchHit> {
+    let satisfied = evaluate(index, query);
+    let mut term_instances = collect_matching_instances(index, query);
+    term_instances.sort_by_key(|i| i.shown);
+    let mut hits: Vec<SearchHit> = satisfied
+        .intervals()
+        .iter()
+        .map(|iv| build_hit(index, *iv, &term_instances))
+        .collect();
+    match order {
+        RankOrder::Chronological => hits.sort_by_key(|h| h.time),
+        RankOrder::ReverseChronological => hits.sort_by_key(|h| std::cmp::Reverse(h.time)),
+        RankOrder::PersistenceAscending => hits.sort_by_key(|h| h.persistence),
+        RankOrder::MatchCount => hits.sort_by_key(|h| std::cmp::Reverse(h.matches)),
+    }
+    hits
+}
+
+fn collect_matching_instances<'a>(
+    index: &'a TextIndex,
+    query: &Query,
+) -> Vec<&'a IndexedInstance> {
+    let mut out = Vec::new();
+    let mut terms = Vec::new();
+    collect_terms(query, &mut terms);
+    if terms.is_empty() {
+        out.extend(index.all_instances());
+    } else {
+        for term in terms {
+            out.extend(index.term_instances(&term));
+        }
+    }
+    out.sort_by_key(|i| i.id);
+    out.dedup_by_key(|i| i.id);
+    out
+}
+
+/// Returns whether `text` contains the words adjacently (ignoring
+/// stopwords, matching the indexing-side normalization).
+fn contains_phrase(text: &str, words: &[String]) -> bool {
+    let tokens = crate::tokenizer::index_tokens(text);
+    if words.is_empty() || tokens.len() < words.len() {
+        return false;
+    }
+    tokens
+        .windows(words.len())
+        .any(|window| window.iter().zip(words).all(|(a, b)| a == b))
+}
+
+fn collect_terms(query: &Query, out: &mut Vec<String>) {
+    match query {
+        Query::Any => {}
+        Query::Term(t) => out.push(t.clone()),
+        Query::Phrase(words) => out.extend(words.iter().cloned()),
+        Query::And(a, b) | Query::Or(a, b) => {
+            collect_terms(a, out);
+            collect_terms(b, out);
+        }
+        // Text under a NOT is what must be absent; it contributes no
+        // snippet material.
+        Query::Not(_) => {}
+        Query::App(_, q)
+        | Query::Window(_, q)
+        | Query::Focused(q)
+        | Query::Annotated(q)
+        | Query::During { q, .. } => collect_terms(q, out),
+    }
+}
+
+fn build_hit(index: &TextIndex, iv: Interval, candidates: &[&IndexedInstance]) -> SearchHit {
+    let mut snippet = String::new();
+    let mut apps: Vec<String> = Vec::new();
+    let mut matches = 0;
+    for instance in candidates {
+        let vis = index.visibility(instance);
+        let overlaps = vis.start < iv.end && iv.start < vis.end;
+        if overlaps {
+            matches += 1;
+            if snippet.is_empty() {
+                snippet = snippet_of(&instance.text);
+            }
+            if !apps.contains(&instance.app) {
+                apps.push(instance.app.clone());
+            }
+        }
+    }
+    SearchHit {
+        time: iv.start,
+        until: iv.end,
+        persistence: iv.end.saturating_since(iv.start),
+        matches,
+        snippet,
+        apps,
+    }
+}
+
+fn snippet_of(text: &str) -> String {
+    const MAX: usize = 120;
+    if text.len() <= MAX {
+        return text.to_string();
+    }
+    let mut end = MAX;
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &text[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexedInstance;
+    use crate::query::parse_query;
+
+    fn inst(
+        id: u64,
+        app_id: u32,
+        app: &str,
+        window: &str,
+        text: &str,
+        shown_ms: u64,
+        hidden_ms: Option<u64>,
+    ) -> IndexedInstance {
+        IndexedInstance {
+            id,
+            app_id,
+            app: app.into(),
+            window: window.into(),
+            role: "paragraph".into(),
+            text: text.into(),
+            shown: Timestamp::from_millis(shown_ms),
+            hidden: hidden_ms.map(Timestamp::from_millis),
+            annotation: false,
+        }
+    }
+
+    /// Builds the paper's running example: a web page and a paper open
+    /// at overlapping times in different applications.
+    fn sample_index() -> TextIndex {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(
+            1,
+            1,
+            "firefox",
+            "conference site - firefox",
+            "virtual machines conference program",
+            1_000,
+            Some(8_000),
+        ));
+        index.add_instance(inst(
+            2,
+            2,
+            "acroread",
+            "dejaview.pdf - acroread",
+            "personal virtual computer recorder paper",
+            5_000,
+            Some(20_000),
+        ));
+        index.add_instance(inst(
+            3,
+            2,
+            "acroread",
+            "dejaview.pdf - acroread",
+            "evaluation section checkpoint latency",
+            9_000,
+            Some(12_000),
+        ));
+        index.focus_change(1, Timestamp::from_millis(0));
+        index.focus_change(2, Timestamp::from_millis(6_000));
+        index.advance_horizon(Timestamp::from_millis(30_000));
+        index
+    }
+
+    fn eval_str(index: &TextIndex, q: &str) -> IntervalSet {
+        evaluate(index, &parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn single_term_matches_visibility_window() {
+        let index = sample_index();
+        let set = eval_str(&index, "conference");
+        assert!(set.contains(Timestamp::from_millis(1_000)));
+        assert!(set.contains(Timestamp::from_millis(7_999)));
+        assert!(!set.contains(Timestamp::from_millis(8_000)));
+    }
+
+    #[test]
+    fn and_requires_temporal_overlap() {
+        let index = sample_index();
+        // "the time when she started reading a paper ... a particular
+        // web page was open at the same time": both visible in 5s..8s.
+        let set = eval_str(&index, "conference paper");
+        assert_eq!(set.intervals().len(), 1);
+        assert_eq!(set.intervals()[0].start, Timestamp::from_millis(5_000));
+        assert_eq!(set.intervals()[0].end, Timestamp::from_millis(8_000));
+    }
+
+    #[test]
+    fn or_unions_times() {
+        let index = sample_index();
+        let set = eval_str(&index, "conference OR evaluation");
+        assert!(set.contains(Timestamp::from_millis(2_000)));
+        assert!(set.contains(Timestamp::from_millis(10_000)));
+        assert!(!set.contains(Timestamp::from_millis(25_000)));
+    }
+
+    #[test]
+    fn not_complements_within_horizon() {
+        let index = sample_index();
+        let set = eval_str(&index, "paper -conference");
+        // Paper visible 5s..20s, conference visible 1s..8s.
+        assert!(!set.contains(Timestamp::from_millis(6_000)));
+        assert!(set.contains(Timestamp::from_millis(9_000)));
+    }
+
+    #[test]
+    fn app_filter_restricts_source() {
+        let index = sample_index();
+        let set = eval_str(&index, "app:acroread virtual");
+        // "virtual" appears in both apps; only acroread's counts.
+        assert!(!set.contains(Timestamp::from_millis(2_000)));
+        assert!(set.contains(Timestamp::from_millis(10_000)));
+    }
+
+    #[test]
+    fn window_filter_restricts_titles() {
+        let index = sample_index();
+        let set = eval_str(&index, "window:dejaview checkpoint");
+        assert!(set.contains(Timestamp::from_millis(9_500)));
+        let none = eval_str(&index, "window:inbox checkpoint");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn focused_restricts_to_focus_intervals() {
+        let index = sample_index();
+        // Firefox text while firefox had focus: 1s..6s only.
+        let set = eval_str(&index, "focused: conference");
+        assert!(set.contains(Timestamp::from_millis(2_000)));
+        assert!(!set.contains(Timestamp::from_millis(7_000)));
+    }
+
+    #[test]
+    fn time_range_clips() {
+        let index = sample_index();
+        let set = eval_str(&index, "from:6 to:7 conference");
+        assert_eq!(set.intervals().len(), 1);
+        assert_eq!(set.intervals()[0].start, Timestamp::from_secs(6));
+        assert_eq!(set.intervals()[0].end, Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn search_builds_ranked_hits() {
+        let index = sample_index();
+        let q = parse_query("virtual").unwrap();
+        let hits = search(&index, &q, RankOrder::Chronological);
+        assert_eq!(hits.len(), 1, "overlapping visibilities merge");
+        let hit = &hits[0];
+        assert_eq!(hit.time, Timestamp::from_millis(1_000));
+        assert_eq!(hit.matches, 2);
+        assert!(hit.apps.contains(&"firefox".to_string()));
+        assert!(hit.apps.contains(&"acroread".to_string()));
+        assert!(!hit.snippet.is_empty());
+    }
+
+    #[test]
+    fn persistence_ranking_puts_brief_text_first() {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(1, 1, "a", "w", "needle long", 0, Some(100_000)));
+        index.add_instance(inst(2, 1, "a", "w", "needle brief", 200_000, Some(201_000)));
+        index.advance_horizon(Timestamp::from_millis(300_000));
+        let q = parse_query("needle").unwrap();
+        let hits = search(&index, &q, RankOrder::PersistenceAscending);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].time, Timestamp::from_millis(200_000), "brief first");
+    }
+
+    #[test]
+    fn match_count_ranking() {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(1, 1, "a", "w", "solo needle", 0, Some(10)));
+        index.add_instance(inst(2, 1, "a", "w", "needle one", 100, Some(200)));
+        index.add_instance(inst(3, 1, "a", "w", "needle two", 150, Some(200)));
+        index.advance_horizon(Timestamp::from_millis(300));
+        let q = parse_query("needle").unwrap();
+        let hits = search(&index, &q, RankOrder::MatchCount);
+        assert_eq!(hits[0].matches, 2);
+        assert_eq!(hits[1].matches, 1);
+    }
+
+    #[test]
+    fn phrase_queries_require_adjacency() {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(1, 1, "a", "w", "virtual computer recorder demo", 0, Some(100)));
+        index.add_instance(inst(2, 1, "a", "w", "recorder for a virtual computer", 200, Some(300)));
+        index.advance_horizon(Timestamp::from_millis(400));
+        // "computer recorder" is adjacent only in the first instance.
+        let q = parse_query("\"computer recorder\"").unwrap();
+        let set = evaluate(&index, &q);
+        assert!(set.contains(Timestamp::from_millis(50)));
+        assert!(!set.contains(Timestamp::from_millis(250)));
+        // Individual terms match both.
+        let q = parse_query("computer recorder").unwrap();
+        let set = evaluate(&index, &q);
+        assert!(set.contains(Timestamp::from_millis(250)));
+    }
+
+    #[test]
+    fn phrases_skip_stopwords_like_indexing() {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(1, 1, "a", "w", "state of the art recorder", 0, Some(100)));
+        index.advance_horizon(Timestamp::from_millis(200));
+        // Indexing drops "of"/"the"; the phrase matcher does too.
+        let q = parse_query("\"state art recorder\"").unwrap();
+        assert!(evaluate(&index, &q).contains(Timestamp::from_millis(10)));
+    }
+
+    #[test]
+    fn phrase_with_context_filter() {
+        let index = sample_index();
+        let q = parse_query("app:acroread \"computer recorder\"").unwrap();
+        let set = evaluate(&index, &q);
+        assert!(set.contains(Timestamp::from_millis(10_000)));
+        let q = parse_query("app:firefox \"computer recorder\"").unwrap();
+        assert!(evaluate(&index, &q).is_empty());
+    }
+
+    #[test]
+    fn snippet_truncates_long_text() {
+        let long = "x".repeat(500);
+        assert!(snippet_of(&long).chars().count() <= 121);
+        assert!(snippet_of("short").eq("short"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Index persistence.
+//!
+//! Serializes a [`TextIndex`] to a flat binary segment and back. The
+//! inverted postings are not stored — they are rebuilt from the instance
+//! records on load, which keeps the format simple and the invariant
+//! "postings are derived state" explicit.
+
+use bytes::{Buf, BufMut};
+
+use dv_time::Timestamp;
+
+use crate::index::{IndexedInstance, TextIndex};
+
+const MAGIC: &[u8; 8] = b"DVIDX001";
+
+/// A decoding error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreError(pub &'static str);
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "index store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, StoreError> {
+    if buf.len() < 4 {
+        return Err(StoreError("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.len() < len {
+        return Err(StoreError("truncated string body"));
+    }
+    let (s, rest) = buf.split_at(len);
+    let out = String::from_utf8(s.to_vec()).map_err(|_| StoreError("invalid utf-8"))?;
+    *buf = rest;
+    Ok(out)
+}
+
+/// Serializes the index.
+pub fn encode_index(index: &TextIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.put_u64_le(index.horizon().as_nanos());
+    let mut instances: Vec<&IndexedInstance> = index.all_instances().collect();
+    instances.sort_by_key(|i| i.id);
+    out.put_u64_le(instances.len() as u64);
+    for inst in instances {
+        out.put_u64_le(inst.id);
+        out.put_u32_le(inst.app_id);
+        put_str(&mut out, &inst.app);
+        put_str(&mut out, &inst.window);
+        put_str(&mut out, &inst.role);
+        put_str(&mut out, &inst.text);
+        out.put_u64_le(inst.shown.as_nanos());
+        match inst.hidden {
+            Some(t) => {
+                out.put_u8(1);
+                out.put_u64_le(t.as_nanos());
+            }
+            None => out.put_u8(0),
+        }
+        out.put_u8(inst.annotation as u8);
+    }
+    let focus = index.focus_history();
+    out.put_u64_le(focus.len() as u64);
+    for (app, t) in focus {
+        out.put_u32_le(*app);
+        out.put_u64_le(t.as_nanos());
+    }
+    out
+}
+
+/// Deserializes an index, rebuilding the inverted postings.
+pub fn decode_index(mut buf: &[u8]) -> Result<TextIndex, StoreError> {
+    if buf.len() < 8 || &buf[..8] != MAGIC {
+        return Err(StoreError("bad magic"));
+    }
+    buf.advance(8);
+    if buf.len() < 16 {
+        return Err(StoreError("truncated header"));
+    }
+    let horizon = Timestamp::from_nanos(buf.get_u64_le());
+    let count = buf.get_u64_le();
+    let mut index = TextIndex::new();
+    for _ in 0..count {
+        if buf.len() < 12 {
+            return Err(StoreError("truncated instance"));
+        }
+        let id = buf.get_u64_le();
+        let app_id = buf.get_u32_le();
+        let app = get_str(&mut buf)?;
+        let window = get_str(&mut buf)?;
+        let role = get_str(&mut buf)?;
+        let text = get_str(&mut buf)?;
+        if buf.len() < 9 {
+            return Err(StoreError("truncated instance times"));
+        }
+        let shown = Timestamp::from_nanos(buf.get_u64_le());
+        let hidden = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.len() < 8 {
+                    return Err(StoreError("truncated hidden time"));
+                }
+                Some(Timestamp::from_nanos(buf.get_u64_le()))
+            }
+            _ => return Err(StoreError("bad hidden flag")),
+        };
+        if buf.is_empty() {
+            return Err(StoreError("truncated annotation flag"));
+        }
+        let annotation = buf.get_u8() != 0;
+        index.add_instance(IndexedInstance {
+            id,
+            app_id,
+            app,
+            window,
+            role,
+            text,
+            shown,
+            hidden,
+            annotation,
+        });
+    }
+    if buf.len() < 8 {
+        return Err(StoreError("truncated focus history"));
+    }
+    let focus_count = buf.get_u64_le();
+    for _ in 0..focus_count {
+        if buf.len() < 12 {
+            return Err(StoreError("truncated focus entry"));
+        }
+        let app = buf.get_u32_le();
+        let t = Timestamp::from_nanos(buf.get_u64_le());
+        index.focus_change(app, t);
+    }
+    if !buf.is_empty() {
+        return Err(StoreError("trailing bytes"));
+    }
+    index.advance_horizon(horizon);
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use crate::search::evaluate;
+
+    fn sample() -> TextIndex {
+        let mut index = TextIndex::new();
+        index.add_instance(IndexedInstance {
+            id: 1,
+            app_id: 7,
+            app: "firefox".into(),
+            window: "tab - firefox".into(),
+            role: "link".into(),
+            text: "click here for schedule".into(),
+            shown: Timestamp::from_millis(100),
+            hidden: Some(Timestamp::from_millis(900)),
+            annotation: false,
+        });
+        index.add_instance(IndexedInstance {
+            id: 2,
+            app_id: 8,
+            app: "editor".into(),
+            window: "notes".into(),
+            role: "paragraph".into(),
+            text: "schedule draft".into(),
+            shown: Timestamp::from_millis(500),
+            hidden: None,
+            annotation: true,
+        });
+        index.focus_change(7, Timestamp::from_millis(0));
+        index.focus_change(8, Timestamp::from_millis(400));
+        index.advance_horizon(Timestamp::from_millis(2_000));
+        index
+    }
+
+    #[test]
+    fn round_trip_preserves_query_results() {
+        let index = sample();
+        let decoded = decode_index(&encode_index(&index)).unwrap();
+        assert_eq!(decoded.horizon(), index.horizon());
+        for q in ["schedule", "app:firefox schedule", "annotation: schedule", "focused: click"] {
+            let query = parse_query(q).unwrap();
+            assert_eq!(
+                evaluate(&decoded, &query),
+                evaluate(&index, &query),
+                "query {q:?} diverged after round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_stats() {
+        let index = sample();
+        let decoded = decode_index(&encode_index(&index)).unwrap();
+        let a = index.stats();
+        let b = decoded.stats();
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.terms, b.terms);
+        assert_eq!(a.postings, b.postings);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(decode_index(b"not an index").is_err());
+        let encoded = encode_index(&sample());
+        for cut in [0, 8, 20, encoded.len() - 1] {
+            assert!(decode_index(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extra = encoded.clone();
+        extra.push(0);
+        assert!(decode_index(&extra).is_err());
+    }
+}

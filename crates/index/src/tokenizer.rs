@@ -1,0 +1,105 @@
+//! Text tokenization.
+//!
+//! The original used PostgreSQL's Tsearch2; this reproduction uses a
+//! simple, deterministic tokenizer: Unicode-alphanumeric runs, lowercased
+//! (ASCII fold), with a small English stopword list applied at indexing
+//! time so pervasive words don't bloat the postings.
+
+/// Words too common to index.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+];
+
+/// Splits text into lowercase alphanumeric tokens, keeping stopwords.
+///
+/// # Examples
+///
+/// ```
+/// use dv_index::tokenizer::tokenize;
+///
+/// assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Tokenizes and removes stopwords — the indexing-side tokenizer.
+pub fn index_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .collect()
+}
+
+/// Normalizes one query term the same way indexed tokens are normalized.
+pub fn normalize_term(term: &str) -> String {
+    tokenize(term).into_iter().next().unwrap_or_default()
+}
+
+/// Returns whether a (lowercased) token is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics() {
+        assert_eq!(
+            tokenize("foo-bar_baz.qux 42!x"),
+            vec!["foo", "bar", "baz", "qux", "42", "x"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("MiXeD CaSe"), vec!["mixed", "case"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_produce_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ---").is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn index_tokens_drop_stopwords() {
+        assert_eq!(
+            index_tokens("the quick brown fox is at the door"),
+            vec!["quick", "brown", "fox", "door"]
+        );
+    }
+
+    #[test]
+    fn normalize_term_matches_indexing() {
+        assert_eq!(normalize_term("Firefox!"), "firefox");
+        assert_eq!(normalize_term(""), "");
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        assert_eq!(tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+}

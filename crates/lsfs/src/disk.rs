@@ -1,0 +1,203 @@
+//! The append-only storage device underlying the log-structured FS.
+//!
+//! A log-structured file system never overwrites live data: all writes —
+//! data blocks, metadata journal records, snapshot marks — append to the
+//! head of the log (§5.1.1). The device is segmented like NILFS: the
+//! virtual byte log is carved into fixed-capacity segments allocated on
+//! demand. Old offsets stay readable forever, which is exactly the
+//! property snapshots need.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Default segment capacity: 1 MiB, mirroring NILFS-scale segments.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 1 << 20;
+
+/// An append-only, segment-backed byte log.
+#[derive(Debug)]
+pub struct Disk {
+    segments: Vec<Vec<u8>>,
+    seg_capacity: usize,
+    len: u64,
+}
+
+impl Disk {
+    /// Creates an empty disk with the default segment capacity.
+    pub fn new() -> Self {
+        Disk::with_segment_capacity(DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Creates an empty disk with the given segment capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_capacity` is zero.
+    pub fn with_segment_capacity(seg_capacity: usize) -> Self {
+        assert!(seg_capacity > 0, "segment capacity must be positive");
+        Disk {
+            segments: Vec::new(),
+            seg_capacity,
+            len: 0,
+        }
+    }
+
+    /// Appends `data` to the log, returning the offset it was written at.
+    pub fn append(&mut self, data: &[u8]) -> u64 {
+        let offset = self.len;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let within = (self.len % self.seg_capacity as u64) as usize;
+            if within == 0 && self.len / self.seg_capacity as u64 >= self.segments.len() as u64 {
+                self.segments.push(Vec::with_capacity(self.seg_capacity));
+            }
+            let seg = self
+                .segments
+                .last_mut()
+                .expect("segment allocated on demand");
+            let room = self.seg_capacity - within;
+            let take = room.min(remaining.len());
+            seg.extend_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            self.len += take as u64;
+        }
+        offset
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past the end of the log; offsets come
+    /// from [`Disk::append`], so an out-of-range read is a logic error.
+    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        assert!(
+            offset + len as u64 <= self.len,
+            "read past end of log ({offset}+{len} > {})",
+            self.len
+        );
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let seg_idx = (pos / self.seg_capacity as u64) as usize;
+            let within = (pos % self.seg_capacity as u64) as usize;
+            let seg = &self.segments[seg_idx];
+            let take = (seg.len() - within).min(remaining);
+            out.extend_from_slice(&seg[within..within + take]);
+            pos += take as u64;
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Returns the total bytes ever written; this drives the storage
+    /// growth accounting in Figure 4.
+    pub fn bytes_written(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns the number of allocated segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Serializes the log: `[seg_capacity u64][len u64][bytes...]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.len as usize);
+        out.extend_from_slice(&(self.seg_capacity as u64).to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+
+    /// Reconstructs a log from [`Disk::to_bytes`] output. Returns
+    /// `None` on malformed data.
+    pub fn from_bytes(data: &[u8]) -> Option<Disk> {
+        if data.len() < 16 {
+            return None;
+        }
+        let seg_capacity = u64::from_le_bytes(data[..8].try_into().ok()?) as usize;
+        let len = u64::from_le_bytes(data[8..16].try_into().ok()?);
+        if seg_capacity == 0 || data.len() as u64 != 16 + len {
+            return None;
+        }
+        let mut disk = Disk::with_segment_capacity(seg_capacity);
+        disk.append(&data[16..]);
+        Some(disk)
+    }
+}
+
+impl Default for Disk {
+    fn default() -> Self {
+        Disk::new()
+    }
+}
+
+/// A disk shared between a live file system and its snapshot views.
+pub type SharedDisk = Arc<RwLock<Disk>>;
+
+/// Creates a new shared disk.
+pub fn shared_disk() -> SharedDisk {
+    Arc::new(RwLock::new(Disk::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_returns_sequential_offsets() {
+        let mut disk = Disk::new();
+        assert_eq!(disk.append(b"abc"), 0);
+        assert_eq!(disk.append(b"defg"), 3);
+        assert_eq!(disk.bytes_written(), 7);
+    }
+
+    #[test]
+    fn read_round_trips() {
+        let mut disk = Disk::new();
+        let off = disk.append(b"hello world");
+        assert_eq!(disk.read(off, 11), b"hello world");
+        assert_eq!(disk.read(off + 6, 5), b"world");
+    }
+
+    #[test]
+    fn appends_span_segments() {
+        let mut disk = Disk::with_segment_capacity(4);
+        let off = disk.append(b"0123456789");
+        assert_eq!(disk.segment_count(), 3);
+        assert_eq!(disk.read(off, 10), b"0123456789");
+        assert_eq!(disk.read(3, 4), b"3456");
+    }
+
+    #[test]
+    fn old_data_survives_later_appends() {
+        let mut disk = Disk::with_segment_capacity(8);
+        let a = disk.append(b"old-data");
+        for _ in 0..100 {
+            disk.append(b"newer and newer data");
+        }
+        assert_eq!(disk.read(a, 8), b"old-data");
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut disk = Disk::with_segment_capacity(16);
+        let a = disk.append(b"first record");
+        let b = disk.append(&[7u8; 40]);
+        let restored = Disk::from_bytes(&disk.to_bytes()).unwrap();
+        assert_eq!(restored.bytes_written(), disk.bytes_written());
+        assert_eq!(restored.read(a, 12), b"first record");
+        assert_eq!(restored.read(b, 40), vec![7u8; 40]);
+        assert!(Disk::from_bytes(&disk.to_bytes()[..10]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn read_past_end_panics() {
+        let disk = Disk::new();
+        let _ = disk.read(0, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Path handling.
+//!
+//! Paths are absolute, `/`-separated UTF-8 strings. No `.`/`..`
+//! components, no empty components, no trailing slash (except the root
+//! itself). Keeping the grammar strict keeps every file system
+//! implementation's resolution logic identical.
+
+use crate::error::{FsError, FsResult};
+
+/// Splits an absolute path into its components.
+///
+/// The root path `/` yields an empty component list.
+///
+/// # Examples
+///
+/// ```
+/// use dv_lsfs::path::components;
+///
+/// assert_eq!(components("/a/b").unwrap(), vec!["a", "b"]);
+/// assert!(components("relative").is_err());
+/// ```
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    let rest = path.strip_prefix('/').ok_or(FsError::InvalidPath)?;
+    if rest.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for comp in rest.split('/') {
+        if comp.is_empty() || comp == "." || comp == ".." {
+            return Err(FsError::InvalidPath);
+        }
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Splits a path into `(parent_components, basename)`.
+///
+/// Fails on the root path, which has no parent.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    let name = comps.pop().ok_or(FsError::InvalidPath)?;
+    Ok((comps, name))
+}
+
+/// Returns the parent path of `path`, or an error for the root.
+pub fn parent(path: &str) -> FsResult<String> {
+    let (comps, _) = split_parent(path)?;
+    if comps.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", comps.join("/")))
+    }
+}
+
+/// Joins a directory path and a child name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// Returns whether `path` equals `ancestor` or lies beneath it.
+pub fn starts_with(path: &str, ancestor: &str) -> bool {
+    if ancestor == "/" {
+        return path.starts_with('/');
+    }
+    path == ancestor || path.strip_prefix(ancestor).is_some_and(|r| r.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn nested_paths_split() {
+        assert_eq!(components("/usr/lib/x").unwrap(), vec!["usr", "lib", "x"]);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for p in ["", "a/b", "/a//b", "/a/./b", "/a/../b", "/a/"] {
+            assert_eq!(components(p), Err(FsError::InvalidPath), "path {p:?}");
+        }
+    }
+
+    #[test]
+    fn split_parent_basics() {
+        let (dirs, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(dirs, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert_eq!(split_parent("/"), Err(FsError::InvalidPath));
+    }
+
+    #[test]
+    fn parent_of_top_level_is_root() {
+        assert_eq!(parent("/a").unwrap(), "/");
+        assert_eq!(parent("/a/b").unwrap(), "/a");
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a", "x"), "/a/x");
+    }
+
+    #[test]
+    fn starts_with_is_component_aware() {
+        assert!(starts_with("/a/b", "/a"));
+        assert!(starts_with("/a", "/a"));
+        assert!(!starts_with("/ab", "/a"));
+        assert!(starts_with("/a", "/"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Display-record persistence.
+//!
+//! The original stores the display record as three on-disk files — the
+//! command log, the screenshot file, and the timeline index (§4.1). This
+//! module serializes a whole [`RecordStore`] into one archival blob and
+//! back, validating all three files on load.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use parking_lot::RwLock;
+
+use dv_time::Timestamp;
+
+use crate::log::CommandLog;
+use crate::recorder::{DisplayRecord, RecordStore};
+use crate::screenshot::ScreenshotStore;
+use crate::timeline::Timeline;
+
+const MAGIC: &[u8; 8] = b"DVREC001";
+
+/// A record decoding error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecordError(pub &'static str);
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "display record error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Serializes a record store to an archival blob.
+pub fn encode_record(store: &RecordStore) -> Vec<u8> {
+    let log = store.log.as_bytes();
+    let shots = store.shots.as_bytes();
+    let timeline = store.timeline.encode();
+    let mut out =
+        Vec::with_capacity(MAGIC.len() + 50 + log.len() + shots.len() + timeline.len());
+    out.extend_from_slice(MAGIC);
+    out.put_u32_le(store.width);
+    out.put_u32_le(store.height);
+    match store.start {
+        Some(t) => {
+            out.put_u8(1);
+            out.put_u64_le(t.as_nanos());
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u64_le(store.end.as_nanos());
+    out.put_u64_le(log.len() as u64);
+    out.extend_from_slice(log);
+    out.put_u64_le(shots.len() as u64);
+    out.extend_from_slice(shots);
+    out.put_u64_le(timeline.len() as u64);
+    out.extend_from_slice(&timeline);
+    out
+}
+
+/// Deserializes a record store, validating the log, every screenshot,
+/// and the timeline ordering.
+pub fn decode_record(mut buf: &[u8]) -> Result<RecordStore, RecordError> {
+    if buf.len() < 8 || &buf[..8] != MAGIC {
+        return Err(RecordError("bad magic"));
+    }
+    buf.advance(8);
+    if buf.len() < 9 {
+        return Err(RecordError("truncated header"));
+    }
+    let width = buf.get_u32_le();
+    let height = buf.get_u32_le();
+    let start = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.len() < 8 {
+                return Err(RecordError("truncated start time"));
+            }
+            Some(Timestamp::from_nanos(buf.get_u64_le()))
+        }
+        _ => return Err(RecordError("bad start flag")),
+    };
+    if buf.len() < 8 {
+        return Err(RecordError("truncated end time"));
+    }
+    let end = Timestamp::from_nanos(buf.get_u64_le());
+    let section = |buf: &mut &[u8]| -> Result<Vec<u8>, RecordError> {
+        if buf.len() < 8 {
+            return Err(RecordError("truncated section length"));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.len() < len {
+            return Err(RecordError("truncated section"));
+        }
+        let (data, rest) = buf.split_at(len);
+        let out = data.to_vec();
+        *buf = rest;
+        Ok(out)
+    };
+    let log = CommandLog::from_bytes(section(&mut buf)?)
+        .map_err(|_| RecordError("corrupt command log"))?;
+    let shots = ScreenshotStore::from_bytes(section(&mut buf)?)
+        .ok_or(RecordError("corrupt screenshot store"))?;
+    let timeline =
+        Timeline::decode(&section(&mut buf)?).ok_or(RecordError("corrupt timeline"))?;
+    if !buf.is_empty() {
+        return Err(RecordError("trailing bytes"));
+    }
+    Ok(RecordStore {
+        log,
+        shots,
+        timeline,
+        width,
+        height,
+        start,
+        end,
+    })
+}
+
+/// Loads an archived record into a shareable handle for playback.
+pub fn open_record(bytes: &[u8]) -> Result<DisplayRecord, RecordError> {
+    Ok(Arc::new(RwLock::new(decode_record(bytes)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::playback::PlaybackEngine;
+    use crate::recorder::{DisplayRecorder, RecorderConfig};
+    use dv_display::{CommandSink, DisplayCommand, Rect};
+    use dv_time::Duration;
+
+    fn recorded() -> DisplayRecord {
+        let config = RecorderConfig {
+            keyframe_interval: Duration::from_secs(1),
+            keyframe_min_change: 0.0,
+            ..RecorderConfig::default()
+        };
+        let mut rec = DisplayRecorder::new(32, 32, config);
+        for i in 0..30u32 {
+            rec.submit(
+                Timestamp::from_millis(i as u64 * 100),
+                &DisplayCommand::SolidFill {
+                    rect: Rect::new(i % 32, 0, 1, 32),
+                    color: i,
+                },
+            );
+        }
+        rec.record()
+    }
+
+    #[test]
+    fn archive_round_trips_with_identical_playback() {
+        let record = recorded();
+        let bytes = {
+            let store = record.read();
+            encode_record(&store)
+        };
+        let restored = open_record(&bytes).unwrap();
+        for probe in [0u64, 500, 1_500, 2_900] {
+            let mut a = PlaybackEngine::new(record.clone());
+            let mut b = PlaybackEngine::new(restored.clone());
+            a.seek(Timestamp::from_millis(probe)).unwrap();
+            b.seek(Timestamp::from_millis(probe)).unwrap();
+            assert_eq!(
+                a.screenshot().content_hash(),
+                b.screenshot().content_hash(),
+                "probe {probe}ms"
+            );
+        }
+        let (a, b) = (record.read(), restored.read());
+        assert_eq!(a.width, b.width);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.end, b.end);
+        assert_eq!(a.log.len(), b.log.len());
+        assert_eq!(a.shots.len(), b.shots.len());
+        assert_eq!(a.timeline.len(), b.timeline.len());
+    }
+
+    #[test]
+    fn corrupt_archives_are_rejected() {
+        let record = recorded();
+        let bytes = encode_record(&record.read());
+        assert!(decode_record(b"not a record").is_err());
+        assert!(decode_record(&bytes[..bytes.len() / 2]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(7);
+        assert!(decode_record(&extra).is_err());
+        // Flipping a byte inside the screenshot section breaks
+        // validation rather than silently corrupting playback.
+        let mut flipped = bytes.clone();
+        let log_len = record.read().log.byte_len() as usize;
+        let idx = 8 + 17 + 8 + log_len + 8 + 4; // Into the first screenshot.
+        flipped[idx] ^= 0xFF;
+        assert!(decode_record(&flipped).is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! The display recorder.
+//!
+//! The recorder is a [`CommandSink`] attached to the virtual display
+//! driver (§4.1): it receives the duplicated command stream, optionally
+//! rescales it to the recording resolution, merges bursts through a
+//! [`CommandQueue`] when recording frequency is limited, appends the
+//! survivors to the command log, and takes periodic keyframe screenshots
+//! — "only at long intervals (e.g. every 10 minutes) and only if the
+//! screen has changed enough since the previous one".
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dv_display::{
+    scale_command, CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Region,
+    ScaleFactor,
+};
+use dv_time::{Duration, Timestamp};
+
+use crate::log::CommandLog;
+use crate::screenshot::ScreenshotStore;
+use crate::timeline::{Timeline, TimelineEntry};
+
+/// The persistent display record: command log, keyframes and timeline.
+///
+/// Shared between the recorder (writer) and any number of playback
+/// engines (readers), mirroring how the original's on-disk record files
+/// are read while still being appended to.
+#[derive(Debug)]
+pub struct RecordStore {
+    /// The append-only command log.
+    pub log: CommandLog,
+    /// Keyframe screenshots.
+    pub shots: ScreenshotStore,
+    /// The timeline index over keyframes.
+    pub timeline: Timeline,
+    /// Recording resolution width.
+    pub width: u32,
+    /// Recording resolution height.
+    pub height: u32,
+    /// Session time of the first recorded command.
+    pub start: Option<Timestamp>,
+    /// Session time of the last recorded command.
+    pub end: Timestamp,
+}
+
+impl RecordStore {
+    /// Returns the recorded wall-span of the session.
+    pub fn duration(&self) -> Duration {
+        match self.start {
+            Some(start) => self.end.saturating_since(start),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// A shareable handle to a record store.
+pub type DisplayRecord = Arc<RwLock<RecordStore>>;
+
+/// Recorder configuration: the quality/storage trade-offs §4.1 exposes.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Recording resolution relative to the live display.
+    pub scale: ScaleFactor,
+    /// Minimum interval between log flushes; commands arriving faster
+    /// are queued and merged so "only the result of the last update is
+    /// logged". Zero records every command.
+    pub flush_interval: Duration,
+    /// Minimum interval between keyframe screenshots.
+    pub keyframe_interval: Duration,
+    /// Minimum fraction of the screen that must have changed since the
+    /// previous keyframe for a new one to be taken.
+    pub keyframe_min_change: f64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            scale: ScaleFactor::ONE,
+            flush_interval: Duration::ZERO,
+            keyframe_interval: Duration::from_secs(600),
+            keyframe_min_change: 0.01,
+        }
+    }
+}
+
+/// Cumulative recorder statistics (Figure 4's display series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecordStats {
+    /// Commands appended to the log.
+    pub commands: u64,
+    /// Commands merged away by frequency limiting.
+    pub merged_away: u64,
+    /// Bytes in the command log.
+    pub command_bytes: u64,
+    /// Bytes in the screenshot store.
+    pub screenshot_bytes: u64,
+    /// Keyframes taken.
+    pub keyframes: u64,
+    /// Bytes in the timeline index.
+    pub timeline_bytes: u64,
+}
+
+/// The display recorder sink.
+///
+/// The reconstruction framebuffer is maintained *lazily*: commands are
+/// only encoded and appended on the hot path, and the framebuffer
+/// catches up by replaying the log tail when a keyframe is due. This
+/// keeps per-command recording cost at its wire cost, which is what
+/// makes display recording overhead small (§6).
+pub struct DisplayRecorder {
+    config: RecorderConfig,
+    record: DisplayRecord,
+    fb: Framebuffer,
+    /// Log offset up to which `fb` is current.
+    fb_offset: u64,
+    queue: CommandQueue,
+    last_flush: Option<Timestamp>,
+    last_keyframe: Option<Timestamp>,
+    damage_since_keyframe: Region,
+}
+
+impl DisplayRecorder {
+    /// Creates a recorder for a live display of `width` x `height`.
+    ///
+    /// The record is kept at the scaled resolution from `config`.
+    pub fn new(width: u32, height: u32, config: RecorderConfig) -> Self {
+        let rw = config.scale.apply(width).max(1);
+        let rh = config.scale.apply(height).max(1);
+        let record = Arc::new(RwLock::new(RecordStore {
+            log: CommandLog::new(),
+            shots: ScreenshotStore::new(),
+            timeline: Timeline::new(),
+            width: rw,
+            height: rh,
+            start: None,
+            end: Timestamp::ZERO,
+        }));
+        DisplayRecorder {
+            config,
+            record,
+            fb: Framebuffer::new(rw, rh),
+            fb_offset: 0,
+            queue: CommandQueue::new(),
+            last_flush: None,
+            last_keyframe: None,
+            damage_since_keyframe: Region::new(),
+        }
+    }
+
+    /// Returns the shared record handle for playback and search.
+    pub fn record(&self) -> DisplayRecord {
+        self.record.clone()
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> RecordStats {
+        let store = self.record.read();
+        RecordStats {
+            commands: store.log.len(),
+            merged_away: self.queue.merged_away(),
+            command_bytes: store.log.byte_len(),
+            screenshot_bytes: store.shots.byte_len(),
+            keyframes: store.shots.len(),
+            timeline_bytes: store.timeline.byte_len(),
+        }
+    }
+
+    /// Returns the total record size in bytes across all three files.
+    pub fn total_bytes(&self) -> u64 {
+        let stats = self.stats();
+        stats.command_bytes + stats.screenshot_bytes + stats.timeline_bytes
+    }
+
+    /// Flushes queued commands to the log.
+    pub fn flush(&mut self) {
+        let entries = self.queue.flush();
+        if entries.is_empty() {
+            return;
+        }
+        let mut store = self.record.write();
+        for entry in entries {
+            store.log.append(entry.time, &entry.command);
+            self.damage_since_keyframe
+                .add(entry.command.rect().intersect(&self.fb.screen_rect()));
+        }
+    }
+
+    /// Catches the reconstruction framebuffer up to the log head by
+    /// replaying the tail it has not yet seen.
+    fn sync_fb(&mut self) {
+        let store = self.record.read();
+        let mut offset = self.fb_offset;
+        while let Ok(Some((_, cmd, next))) = store.log.read_at(offset) {
+            self.fb.apply(&cmd);
+            offset = next;
+        }
+        self.fb_offset = offset;
+    }
+
+    /// Takes a keyframe now, regardless of the change threshold; the
+    /// server calls this during idle periods for redundancy.
+    pub fn force_keyframe(&mut self, now: Timestamp) {
+        self.flush();
+        self.sync_fb();
+        let mut store = self.record.write();
+        let shot = self.fb.snapshot();
+        let screenshot_offset = store.shots.append(&shot);
+        let command_offset = store.log.end_offset();
+        store.timeline.push(TimelineEntry {
+            time: now,
+            screenshot_offset,
+            command_offset,
+        });
+        self.last_keyframe = Some(now);
+        self.damage_since_keyframe.clear();
+    }
+
+    fn maybe_keyframe(&mut self, now: Timestamp) {
+        match self.last_keyframe {
+            None => self.force_keyframe(now),
+            Some(last) => {
+                if now.saturating_since(last) >= self.config.keyframe_interval
+                    && self
+                        .damage_since_keyframe
+                        .coverage_of(self.fb.width(), self.fb.height())
+                        >= self.config.keyframe_min_change
+                {
+                    self.force_keyframe(now);
+                }
+            }
+        }
+    }
+}
+
+impl CommandSink for DisplayRecorder {
+    fn submit(&mut self, ts: Timestamp, cmd: &DisplayCommand) {
+        {
+            let mut store = self.record.write();
+            if store.start.is_none() {
+                store.start = Some(ts);
+            }
+            store.end = store.end.max(ts);
+        }
+        // The initial keyframe provides "the initial state of the display
+        // that subsequent recorded commands modify".
+        if self.last_keyframe.is_none() {
+            self.force_keyframe(ts);
+        }
+        let scaled = scale_command(cmd, self.config.scale);
+        if scaled.rect().intersect(&Rect::screen(self.fb.width(), self.fb.height())).is_empty() {
+            return;
+        }
+        self.queue.push(ts, scaled);
+        let due = match self.last_flush {
+            None => true,
+            Some(last) => ts.saturating_since(last) >= self.config.flush_interval,
+        };
+        if due {
+            self.flush();
+            self.last_flush = Some(ts);
+            self.maybe_keyframe(ts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(rect: Rect, color: u32) -> DisplayCommand {
+        DisplayCommand::SolidFill { rect, color }
+    }
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn first_command_takes_initial_keyframe() {
+        let mut rec = DisplayRecorder::new(64, 64, RecorderConfig::default());
+        rec.submit(ts(5), &fill(Rect::new(0, 0, 4, 4), 1));
+        let stats = rec.stats();
+        assert_eq!(stats.keyframes, 1);
+        assert_eq!(stats.commands, 1);
+        let store = rec.record();
+        let store = store.read();
+        let entry = &store.timeline.entries()[0];
+        assert_eq!(entry.time, ts(5));
+        assert_eq!(entry.command_offset, 0, "keyframe precedes first command");
+        // The initial keyframe is the blank screen.
+        let shot = store.shots.load(entry.screenshot_offset).unwrap();
+        assert_eq!(shot.pixels.iter().filter(|&&p| p != 0).count(), 0);
+    }
+
+    #[test]
+    fn every_command_logged_with_zero_flush_interval() {
+        let mut rec = DisplayRecorder::new(64, 64, RecorderConfig::default());
+        for i in 0..20 {
+            rec.submit(ts(i), &fill(Rect::new(0, 0, 8, 8), i as u32));
+        }
+        assert_eq!(rec.stats().commands, 20);
+    }
+
+    #[test]
+    fn frequency_limiting_merges_overwrites() {
+        let config = RecorderConfig {
+            flush_interval: Duration::from_millis(100),
+            ..RecorderConfig::default()
+        };
+        let mut rec = DisplayRecorder::new(64, 64, config);
+        // 10 overwriting fills within one flush window.
+        for i in 0..10 {
+            rec.submit(ts(i), &fill(Rect::new(0, 0, 64, 64), i as u32));
+        }
+        rec.submit(ts(150), &fill(Rect::new(0, 0, 64, 64), 99));
+        // Only the first (flushed immediately) and the final state of the
+        // window survive.
+        let stats = rec.stats();
+        assert!(stats.commands < 12);
+        assert!(stats.merged_away > 0);
+    }
+
+    #[test]
+    fn keyframes_respect_interval_and_change_threshold() {
+        let config = RecorderConfig {
+            keyframe_interval: Duration::from_secs(1),
+            keyframe_min_change: 0.5,
+            ..RecorderConfig::default()
+        };
+        let mut rec = DisplayRecorder::new(100, 100, config);
+        // The initial keyframe precedes this small fill.
+        rec.submit(ts(0), &fill(Rect::new(0, 0, 2, 2), 1));
+        // Another tiny change after the interval: below threshold.
+        rec.submit(ts(1_100), &fill(Rect::new(0, 0, 2, 2), 2));
+        assert_eq!(rec.stats().keyframes, 1);
+        // Big change after the interval: keyframe.
+        rec.submit(ts(2_300), &fill(Rect::new(0, 0, 100, 80), 3));
+        assert_eq!(rec.stats().keyframes, 2);
+        // Big change but too soon: no keyframe.
+        rec.submit(ts(2_400), &fill(Rect::new(0, 0, 100, 100), 4));
+        assert_eq!(rec.stats().keyframes, 2);
+    }
+
+    #[test]
+    fn scaled_recording_shrinks_payloads() {
+        let full = {
+            let mut rec = DisplayRecorder::new(128, 128, RecorderConfig::default());
+            rec.submit(
+                ts(0),
+                &DisplayCommand::Raw {
+                    rect: Rect::new(0, 0, 128, 128),
+                    pixels: Arc::new(vec![5; 128 * 128]),
+                },
+            );
+            rec.stats().command_bytes
+        };
+        let half = {
+            let config = RecorderConfig {
+                scale: ScaleFactor::new(1, 2),
+                ..RecorderConfig::default()
+            };
+            let mut rec = DisplayRecorder::new(128, 128, config);
+            rec.submit(
+                ts(0),
+                &DisplayCommand::Raw {
+                    rect: Rect::new(0, 0, 128, 128),
+                    pixels: Arc::new(vec![5; 128 * 128]),
+                },
+            );
+            rec.stats().command_bytes
+        };
+        assert!(half * 3 < full, "half-res record should be ~4x smaller");
+    }
+
+    #[test]
+    fn record_tracks_session_span() {
+        let mut rec = DisplayRecorder::new(32, 32, RecorderConfig::default());
+        rec.submit(ts(100), &fill(Rect::new(0, 0, 1, 1), 1));
+        rec.submit(ts(900), &fill(Rect::new(0, 0, 1, 1), 2));
+        let record = rec.record();
+        let store = record.read();
+        assert_eq!(store.start, Some(ts(100)));
+        assert_eq!(store.end, ts(900));
+        assert_eq!(store.duration(), Duration::from_millis(800));
+    }
+}

@@ -1,0 +1,233 @@
+//! Keyframe screenshot storage with run-length compression.
+//!
+//! "DejaView also periodically saves full screenshots of the display ...
+//! screenshots represent self-contained independent frames from which
+//! playback can start" (§4.1). Desktop content is synthetic — large
+//! uniform areas — so a simple run-length encoding of identical pixels
+//! compresses it well without the cost or loss of a video codec, which
+//! the paper explicitly argues against.
+
+use std::sync::Arc;
+
+use dv_display::Screenshot;
+
+/// Encodes a screenshot as `[w u32][h u32]` followed by
+/// `[run_len u32][pixel u32]` pairs.
+pub fn encode_screenshot(shot: &Screenshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&shot.width.to_le_bytes());
+    out.extend_from_slice(&shot.height.to_le_bytes());
+    let mut pixels = shot.pixels.iter();
+    if let Some(&first) = pixels.next() {
+        let mut run_pixel = first;
+        let mut run_len: u32 = 1;
+        for &px in pixels {
+            if px == run_pixel && run_len < u32::MAX {
+                run_len += 1;
+            } else {
+                out.extend_from_slice(&run_len.to_le_bytes());
+                out.extend_from_slice(&run_pixel.to_le_bytes());
+                run_pixel = px;
+                run_len = 1;
+            }
+        }
+        out.extend_from_slice(&run_len.to_le_bytes());
+        out.extend_from_slice(&run_pixel.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a screenshot produced by [`encode_screenshot`].
+///
+/// Returns `None` if the data is malformed.
+pub fn decode_screenshot(data: &[u8]) -> Option<Screenshot> {
+    if data.len() < 8 {
+        return None;
+    }
+    let width = u32::from_le_bytes(data[..4].try_into().ok()?);
+    let height = u32::from_le_bytes(data[4..8].try_into().ok()?);
+    // Reject implausible dimensions before allocating: corrupt data
+    // must not drive allocation size.
+    if width > 16_384 || height > 16_384 {
+        return None;
+    }
+    let total = width as usize * height as usize;
+    let mut pixels = Vec::with_capacity(total);
+    let mut rest = &data[8..];
+    while pixels.len() < total {
+        if rest.len() < 8 {
+            return None;
+        }
+        let run_len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+        let pixel = u32::from_le_bytes(rest[4..8].try_into().ok()?);
+        rest = &rest[8..];
+        if pixels.len() + run_len > total {
+            return None;
+        }
+        pixels.extend(std::iter::repeat_n(pixel, run_len));
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(Screenshot {
+        width,
+        height,
+        pixels: Arc::new(pixels),
+    })
+}
+
+/// Append-only storage for encoded screenshots.
+#[derive(Debug, Default)]
+pub struct ScreenshotStore {
+    data: Vec<u8>,
+    count: u64,
+}
+
+impl ScreenshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ScreenshotStore::default()
+    }
+
+    /// Appends a screenshot, returning its byte offset.
+    pub fn append(&mut self, shot: &Screenshot) -> u64 {
+        let offset = self.data.len() as u64;
+        let encoded = encode_screenshot(shot);
+        self.data
+            .extend_from_slice(&(encoded.len() as u64).to_le_bytes());
+        self.data.extend_from_slice(&encoded);
+        self.count += 1;
+        offset
+    }
+
+    /// Loads the screenshot stored at `offset`.
+    pub fn load(&self, offset: u64) -> Option<Screenshot> {
+        let start = offset as usize;
+        if start + 8 > self.data.len() {
+            return None;
+        }
+        let len = u64::from_le_bytes(self.data[start..start + 8].try_into().ok()?) as usize;
+        decode_screenshot(self.data.get(start + 8..start + 8 + len)?)
+    }
+
+    /// Returns the number of stored screenshots.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns total stored bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Returns the raw on-disk bytes of the store.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reconstructs a store from its on-disk bytes, validating every
+    /// screenshot. Returns `None` on malformed data.
+    pub fn from_bytes(data: Vec<u8>) -> Option<ScreenshotStore> {
+        let mut store = ScreenshotStore { data, count: 0 };
+        let mut offset = 0u64;
+        while offset < store.data.len() as u64 {
+            store.load(offset)?;
+            let len = u64::from_le_bytes(
+                store.data[offset as usize..offset as usize + 8]
+                    .try_into()
+                    .ok()?,
+            );
+            offset += 8 + len;
+            store.count += 1;
+        }
+        Some(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_display::{DisplayCommand, Framebuffer, Rect};
+
+    fn test_shot() -> Screenshot {
+        let mut fb = Framebuffer::new(64, 48);
+        fb.apply(&DisplayCommand::SolidFill {
+            rect: Rect::new(0, 0, 64, 48),
+            color: 7,
+        });
+        fb.apply(&DisplayCommand::SolidFill {
+            rect: Rect::new(10, 10, 20, 20),
+            color: 3,
+        });
+        fb.snapshot()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let shot = test_shot();
+        let encoded = encode_screenshot(&shot);
+        let decoded = decode_screenshot(&encoded).unwrap();
+        assert_eq!(decoded, shot);
+    }
+
+    #[test]
+    fn uniform_screens_compress_well() {
+        let fb = Framebuffer::new(1024, 768);
+        let shot = fb.snapshot();
+        let encoded = encode_screenshot(&shot);
+        // One run covers the whole screen: 8 bytes header + 8 bytes run.
+        assert_eq!(encoded.len(), 16);
+        assert_eq!(decode_screenshot(&encoded).unwrap(), shot);
+    }
+
+    #[test]
+    fn noisy_screens_still_round_trip() {
+        let pixels: Vec<u32> = (0..32 * 32).map(|i| (i as u32).wrapping_mul(2_654_435_761)).collect();
+        let shot = Screenshot {
+            width: 32,
+            height: 32,
+            pixels: Arc::new(pixels),
+        };
+        assert_eq!(decode_screenshot(&encode_screenshot(&shot)).unwrap(), shot);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let encoded = encode_screenshot(&test_shot());
+        assert!(decode_screenshot(&encoded[..encoded.len() - 1]).is_none());
+        let mut extra = encoded.clone();
+        extra.extend_from_slice(&[0; 8]);
+        assert!(decode_screenshot(&extra).is_none());
+        assert!(decode_screenshot(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn store_bytes_round_trip() {
+        let mut store = ScreenshotStore::new();
+        let shot = test_shot();
+        let offsets: Vec<u64> = (0..3).map(|_| store.append(&shot)).collect();
+        let restored = ScreenshotStore::from_bytes(store.as_bytes().to_vec()).unwrap();
+        assert_eq!(restored.len(), 3);
+        for off in offsets {
+            assert_eq!(restored.load(off).unwrap(), shot);
+        }
+        assert!(ScreenshotStore::from_bytes(store.as_bytes()[..5].to_vec()).is_none());
+    }
+
+    #[test]
+    fn store_appends_and_loads_many() {
+        let mut store = ScreenshotStore::new();
+        let shot = test_shot();
+        let offsets: Vec<u64> = (0..5).map(|_| store.append(&shot)).collect();
+        assert_eq!(store.len(), 5);
+        for off in offsets {
+            assert_eq!(store.load(off).unwrap(), shot);
+        }
+        assert!(store.load(store.byte_len()).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Substreams: PVR access restricted to a time range.
+//!
+//! "When the query is satisfied over a contiguous period of time, the
+//! result is displayed in the form of a first-last screenshot, which ...
+//! represents a substream in the display record. Substreams behave like a
+//! typical recording, where all the PVR functionality is available, but
+//! restricted to that portion of time" (§4.4).
+
+use dv_display::{CommandSink, Screenshot};
+use dv_time::Timestamp;
+
+use crate::playback::{PlayStats, PlaybackEngine, PlaybackError};
+use crate::recorder::DisplayRecord;
+
+/// A view of the display record clamped to `[start, end]`.
+pub struct Substream {
+    engine: PlaybackEngine,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl Substream {
+    /// Creates a substream over `[start, end]` of the record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(record: DisplayRecord, start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "substream range must be ordered");
+        Substream {
+            engine: PlaybackEngine::new(record),
+            start,
+            end,
+        }
+    }
+
+    /// Returns the substream's start time.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Returns the substream's end time.
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    fn clamp(&self, t: Timestamp) -> Timestamp {
+        t.max(self.start).min(self.end)
+    }
+
+    /// Returns the screen as it was at the start of the range — the
+    /// "first" of the first-last result pair.
+    pub fn first_screenshot(&mut self) -> Result<Screenshot, PlaybackError> {
+        self.engine.seek(self.start)?;
+        Ok(self.engine.screenshot())
+    }
+
+    /// Returns the screen as it was at the end of the range — the "last"
+    /// of the first-last result pair.
+    pub fn last_screenshot(&mut self) -> Result<Screenshot, PlaybackError> {
+        self.engine.seek(self.end)?;
+        Ok(self.engine.screenshot())
+    }
+
+    /// Seeks within the range; out-of-range times clamp to the range.
+    pub fn seek(&mut self, t: Timestamp) -> Result<PlayStats, PlaybackError> {
+        let t = self.clamp(t);
+        self.engine.seek(t)
+    }
+
+    /// Plays up to `t`, clamped to the range end.
+    pub fn play_until(
+        &mut self,
+        t: Timestamp,
+        sink: Option<&mut dyn CommandSink>,
+    ) -> Result<PlayStats, PlaybackError> {
+        let t = self.clamp(t);
+        if self.engine.position() < self.start {
+            self.engine.seek(self.start)?;
+        }
+        self.engine.play_until(t, sink)
+    }
+
+    /// Returns the current position within the range.
+    pub fn position(&self) -> Timestamp {
+        self.engine.position()
+    }
+
+    /// Returns the current reconstructed screenshot.
+    pub fn screenshot(&self) -> Screenshot {
+        self.engine.screenshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{DisplayRecorder, RecorderConfig};
+    use dv_display::{DisplayCommand, Rect};
+    use dv_time::Duration;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn record() -> DisplayRecord {
+        let config = RecorderConfig {
+            keyframe_interval: Duration::from_secs(1),
+            keyframe_min_change: 0.0,
+            ..RecorderConfig::default()
+        };
+        let mut rec = DisplayRecorder::new(32, 32, config);
+        for i in 0..30u32 {
+            rec.submit(
+                ts(i as u64 * 100),
+                &DisplayCommand::SolidFill {
+                    rect: Rect::new(i, 0, 1, 32),
+                    color: i + 1,
+                },
+            );
+        }
+        rec.record()
+    }
+
+    #[test]
+    fn first_and_last_screenshots_differ() {
+        let mut sub = Substream::new(record(), ts(500), ts(2_000));
+        let first = sub.first_screenshot().unwrap();
+        let last = sub.last_screenshot().unwrap();
+        assert_ne!(first.content_hash(), last.content_hash());
+    }
+
+    #[test]
+    fn seeks_clamp_to_range() {
+        let mut sub = Substream::new(record(), ts(500), ts(2_000));
+        sub.seek(ts(0)).unwrap();
+        assert_eq!(sub.position(), ts(500));
+        sub.seek(ts(99_999)).unwrap();
+        assert_eq!(sub.position(), ts(2_000));
+    }
+
+    #[test]
+    fn play_does_not_cross_the_end() {
+        let mut sub = Substream::new(record(), ts(500), ts(1_000));
+        sub.seek(ts(500)).unwrap();
+        sub.play_until(ts(5_000), None).unwrap();
+        assert_eq!(sub.position(), ts(1_000));
+        // Column 10 (t=1000) painted, column 11 (t=1100) not.
+        let shot = sub.screenshot();
+        assert_eq!(shot.pixels[10], 11);
+        assert_eq!(shot.pixels[11], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_range_rejected() {
+        let _ = Substream::new(record(), ts(10), ts(5));
+    }
+}

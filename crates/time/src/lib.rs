@@ -1,0 +1,30 @@
+//! Virtual time for the DejaView reproduction.
+//!
+//! Every stream DejaView records (display commands, text snapshots,
+//! checkpoints, file system transactions) is stamped with a session
+//! timestamp. The original system used the machine's wall clock; this
+//! reproduction separates the *session clock* (which drives workloads and
+//! stamps records, and must be deterministic for tests) from the wall
+//! clock (used only to measure real engine costs in the benchmarks).
+//!
+//! The crate provides:
+//!
+//! * [`Timestamp`] / [`Duration`] — nanosecond-resolution session time.
+//! * [`Clock`] — the time source abstraction.
+//! * [`SimClock`] — a shared, manually advanced clock for deterministic
+//!   simulation.
+//! * [`WallClock`] — a thin adapter over [`std::time::Instant`].
+//! * [`RateLimiter`] — token-style limiter used by the checkpoint policy
+//!   ("at most once per second").
+//! * [`PhaseTimer`] — wall-clock stopwatch used to attribute checkpoint
+//!   latency to phases (Figure 3).
+
+mod clock;
+mod rate;
+mod stamp;
+mod stopwatch;
+
+pub use clock::{Clock, SharedClock, SimClock, WallClock};
+pub use rate::RateLimiter;
+pub use stamp::{Duration, Timestamp};
+pub use stopwatch::{PhaseBreakdown, PhaseTimer};

@@ -1,0 +1,139 @@
+//! The `cat` scenario: dumping a large log file to the terminal.
+//!
+//! Table 1: "cat a 17 MB system log file". Display-intensive: a fast
+//! full-screen scroll with many glyph lines — one of the two scenarios
+//! the paper calls "quite display intensive" (with video) yet whose
+//! recording overhead stays small because scrolls and glyphs are cheap
+//! protocol commands.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dejaview::DejaView;
+use dv_display::Rect;
+use dv_time::Duration;
+use dv_vee::Vpid;
+
+use crate::common::{loggy_bytes, TermWindow};
+use crate::scenario::Scenario;
+
+/// Bytes consumed from the file per step.
+const CHUNK: usize = 64 << 10;
+
+/// Lines rendered per step (the visible effect of a fast scroll).
+const LINES_PER_STEP: usize = 12;
+
+/// The cat scenario.
+pub struct CatScenario {
+    total_bytes: u64,
+    consumed: u64,
+    line_no: u64,
+    term: Option<TermWindow>,
+    cat: Option<Vpid>,
+    fd: Option<u32>,
+    rng: StdRng,
+}
+
+impl CatScenario {
+    /// Creates the scenario; `scale` = 1.0 dumps a 17 MB file.
+    pub fn new(scale: f64) -> Self {
+        CatScenario {
+            total_bytes: ((17.0 * scale) * 1048576.0).ceil() as u64,
+            consumed: 0,
+            line_no: 0,
+            term: None,
+            cat: None,
+            fd: None,
+            rng: StdRng::seed_from_u64(0xca7),
+        }
+    }
+}
+
+impl Scenario for CatScenario {
+    fn name(&self) -> &'static str {
+        "cat"
+    }
+
+    fn description(&self) -> &'static str {
+        "cat a 17 MB system log file"
+    }
+
+    fn setup(&mut self, dv: &mut DejaView) {
+        let (w, h) = (dv.driver_mut().width(), dv.driver_mut().height());
+        self.term = Some(TermWindow::open(
+            dv,
+            "xterm",
+            "cat /var/log/syslog - xterm",
+            Rect::new(0, 0, w, h),
+        ));
+        dv.vee_mut().fs.mkdir_all("/var/log").expect("mkdir");
+        dv.vee_mut().fs.create("/var/log/syslog").expect("create");
+        let mut offset = 0u64;
+        while offset < self.total_bytes {
+            let n = (256 << 10).min((self.total_bytes - offset) as usize);
+            let data = loggy_bytes(&mut self.rng, n);
+            dv.vee_mut()
+                .fs
+                .write_at("/var/log/syslog", offset, &data)
+                .expect("seed log");
+            offset += n as u64;
+        }
+        dv.vee_mut().fs.sync().expect("sync");
+        let init = dv.init_vpid();
+        let cat = dv.vee_mut().spawn(Some(init), "cat").expect("spawn");
+        let fd = dv.vee_mut().open(cat, "/var/log/syslog").expect("open");
+        self.cat = Some(cat);
+        self.fd = Some(fd);
+    }
+
+    fn step(&mut self, dv: &mut DejaView) -> bool {
+        let cat = self.cat.expect("setup ran");
+        let chunk = dv
+            .vee_mut()
+            .fd_read(cat, self.fd.expect("setup"), CHUNK)
+            .expect("read");
+        if chunk.is_empty() {
+            return false;
+        }
+        self.consumed += chunk.len() as u64;
+        // The terminal renders the tail of the burst: one scroll jump
+        // and a batch of fresh lines, as terminals repaint under fast
+        // output.
+        let term = self.term.as_ref().expect("setup ran");
+        let mut lines = Vec::with_capacity(LINES_PER_STEP);
+        for i in 0..LINES_PER_STEP {
+            self.line_no += 1;
+            let start = (i * 60).min(chunk.len().saturating_sub(60));
+            let text: String = chunk[start..(start + 60).min(chunk.len())]
+                .iter()
+                .map(|&b| if b.is_ascii_graphic() { b as char } else { ' ' })
+                .collect();
+            lines.push(format!("{:>8}: {}", self.line_no, text));
+        }
+        term.print_lines(dv, &lines);
+        self.consumed < self.total_bytes
+    }
+
+    fn step_duration(&self) -> Duration {
+        Duration::from_millis(30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, RunOptions};
+    use dejaview::Config;
+
+    #[test]
+    fn cat_is_display_intensive() {
+        let mut dv = DejaView::new(Config::default());
+        let mut scenario = CatScenario::new(0.02); // ~360 KB, 6 steps.
+        let summary = run_scenario(&mut dv, &mut scenario, RunOptions::default());
+        assert!(summary.steps >= 5);
+        let stats = dv.driver_mut().stats();
+        // Scrolls and glyph lines dominate.
+        assert!(stats.copies >= summary.steps);
+        assert!(stats.glyphs >= summary.steps * LINES_PER_STEP as u64);
+    }
+}

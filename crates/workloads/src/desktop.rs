@@ -1,0 +1,255 @@
+//! The `desktop` scenario: real mixed desktop usage.
+//!
+//! Table 1: "16 hr of desktop usage by multiple users, including
+//! Firefox, GAIM, OpenOffice, Adobe Acrobat Reader, etc." — the
+//! representative workload, with the bursty structure §5.1.3 describes:
+//! short bursts of real activity, long stretches of reading with
+//! trivial display updates, periods of typing, and idle gaps. Run under
+//! [`crate::scenario::CheckpointMode::Policy`], it reproduces the §6
+//! policy analysis (checkpoints taken ~20% of the time; skips split
+//! between no-display, low-display and text-edit reasons).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejaview::DejaView;
+use dv_access::{AppId, NodeId, Role};
+use dv_display::{rgb, InputEvent, Rect};
+use dv_time::Duration;
+use dv_vee::{Prot, Vpid};
+
+use crate::common::words;
+use crate::scenario::Scenario;
+
+/// One second of the repeating 100-second usage cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Window switches, page loads, large redraws.
+    Active,
+    /// Reading: occasional small scrolls (below the 5% threshold).
+    Reading,
+    /// Typing into the editor: keyboard input, tiny display changes.
+    Typing,
+    /// Away from the keyboard.
+    Idle,
+}
+
+fn phase_of(second: u64) -> Phase {
+    match second % 100 {
+        0..=19 => Phase::Active,
+        20..=74 => Phase::Reading,
+        75..=89 => Phase::Typing,
+        _ => Phase::Idle,
+    }
+}
+
+struct DesktopApp {
+    app: AppId,
+    window: NodeId,
+    body: NodeId,
+    vpid: Vpid,
+    heap: u64,
+    rect: Rect,
+}
+
+/// The mixed-desktop scenario.
+pub struct DesktopScenario {
+    seconds_remaining: u64,
+    second: u64,
+    rng: StdRng,
+    apps: Vec<DesktopApp>,
+    editor_text: String,
+}
+
+impl DesktopScenario {
+    /// Creates the scenario; `scale` = 1.0 runs one hour of usage (the
+    /// paper's 16 h aggregated trace, scaled).
+    pub fn new(scale: f64) -> Self {
+        DesktopScenario {
+            seconds_remaining: ((3_600.0 * scale).ceil() as u64).max(100),
+            second: 0,
+            rng: StdRng::seed_from_u64(0xde57),
+            apps: Vec::new(),
+            editor_text: String::new(),
+        }
+    }
+}
+
+impl Scenario for DesktopScenario {
+    fn name(&self) -> &'static str {
+        "desktop"
+    }
+
+    fn description(&self) -> &'static str {
+        "16 hr of desktop usage by multiple users, including Firefox 2.0.0.1, GAIM 1.5, OpenOffice 2.0.1, Adobe Acrobat Reader 7.0, etc."
+    }
+
+    fn screen(&self) -> (u32, u32) {
+        // The paper's real-usage measurements ran at 1280x1024.
+        (1280, 1024)
+    }
+
+    fn setup(&mut self, dv: &mut DejaView) {
+        let names = ["firefox", "gaim", "openoffice", "acroread"];
+        let init = dv.init_vpid();
+        for (i, name) in names.iter().enumerate() {
+            let vpid = dv.vee_mut().spawn(Some(init), name).expect("spawn");
+            let heap = dv
+                .vee_mut()
+                .mmap(vpid, 8 << 20, Prot::ReadWrite)
+                .expect("mmap");
+            let desktop = dv.desktop_mut();
+            let app = desktop.register_app(name);
+            let root = desktop.root(app).expect("registered");
+            let window = desktop.add_node(app, root, Role::Window, &format!("{name} - main"));
+            let body = desktop.add_node(app, window, Role::Document, "");
+            let rect = Rect::new((i as u32 % 2) * 640, (i as u32 / 2) * 512, 640, 512);
+            dv.driver_mut().fill_rect(rect, rgb(30 + 20 * i as u8, 40, 50));
+            self.apps.push(DesktopApp {
+                app,
+                window,
+                body,
+                vpid,
+                heap,
+                rect,
+            });
+        }
+        dv.desktop_mut().focus(self.apps[0].app);
+    }
+
+    fn step(&mut self, dv: &mut DejaView) -> bool {
+        let phase = phase_of(self.second);
+        self.second += 1;
+        match phase {
+            Phase::Active => {
+                // Switch focus and repaint a whole window with content.
+                let idx = self.rng.gen_range(0..self.apps.len());
+                let heap_pos = self.rng.gen_range(0..7 << 20);
+                let (app, window, body, rect, vpid, heap) = {
+                    let a = &self.apps[idx];
+                    (a.app, a.window, a.body, a.rect, a.vpid, a.heap)
+                };
+                dv.desktop_mut().focus(app);
+                let fill = rgb(self.rng.gen(), self.rng.gen(), self.rng.gen());
+                dv.driver_mut().fill_rect(rect, fill);
+                // Content area paints with raw pixels (images, rendered
+                // text) like a real window switch.
+                let seed: u32 = self.rng.gen();
+                let content: Vec<u32> = (0..320 * 256)
+                    .map(|i| (i as u32).wrapping_mul(seed | 1))
+                    .collect();
+                dv.driver_mut().put_image(
+                    Rect::new(rect.x + 16, rect.y + 32, 320, 256),
+                    content,
+                );
+                let title = format!("{} - {}", words(&mut self.rng, 2), self.second);
+                dv.desktop_mut().set_text(app, window, &title);
+                let text = words(&mut self.rng, 30);
+                dv.desktop_mut().set_text(app, body, &text);
+                dv.driver_mut()
+                    .draw_text(rect.x + 8, rect.y + 8, &text[..40.min(text.len())], 0xFFFFFF, fill);
+                // The app does some real work.
+                let work = vec![(self.second % 251) as u8; 256 << 10];
+                dv.vee_mut().mem_write(vpid, heap + heap_pos, &work).expect("work");
+                dv.input(InputEvent::MouseButton {
+                    x: rect.x + 5,
+                    y: rect.y + 5,
+                    button: 0,
+                    pressed: true,
+                });
+            }
+            Phase::Reading => {
+                // A small scroll: ~2% of the screen.
+                let a = &self.apps[0];
+                let r = a.rect;
+                // Scroll ~3% of the 1280x1024 screen: below the policy's
+                // 5% threshold, so reading defers checkpoints.
+                dv.driver_mut().copy_area(
+                    r.x,
+                    r.y + 16,
+                    Rect::new(r.x, r.y, r.w, 56),
+                );
+                if self.second.is_multiple_of(7) {
+                    let text = words(&mut self.rng, 12);
+                    dv.desktop_mut().set_text(a.app, a.body, &text);
+                }
+                if self.second.is_multiple_of(11) {
+                    dv.input(InputEvent::MouseMove { x: 10, y: 10 });
+                }
+            }
+            Phase::Typing => {
+                // ~40 words/minute: a fraction of a word per second, a
+                // tiny glyph update, and keyboard input every second.
+                let word = words(&mut self.rng, 1);
+                self.editor_text.push(' ');
+                self.editor_text.push_str(&word);
+                if self.editor_text.len() > 400 {
+                    let cut = self.editor_text.len() - 400;
+                    self.editor_text.drain(..cut);
+                }
+                let a = &self.apps[2]; // openoffice
+                let text = self.editor_text.clone();
+                dv.desktop_mut().set_text(a.app, a.body, &text);
+                let y = a.rect.y + 40;
+                dv.driver_mut()
+                    .draw_text(a.rect.x + 8, y, &word, 0xFFFFFF, rgb(30, 40, 50));
+                for ch in word.chars().take(6) {
+                    dv.input(InputEvent::Key {
+                        ch,
+                        ctrl: false,
+                        alt: false,
+                    });
+                }
+            }
+            Phase::Idle => {
+                // Away: the screen is static.
+            }
+        }
+        self.seconds_remaining -= 1;
+        self.seconds_remaining > 0
+    }
+
+    fn step_duration(&self) -> Duration {
+        Duration::from_secs(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, CheckpointMode, RunOptions};
+    use dejaview::Config;
+
+    #[test]
+    fn desktop_reproduces_the_policy_split() {
+        let mut dv = DejaView::new(Config {
+            width: 1280,
+            height: 1024,
+            ..Config::default()
+        });
+        let mut scenario = DesktopScenario::new(0.084); // ~300 seconds.
+        let summary = run_scenario(
+            &mut dv,
+            &mut scenario,
+            RunOptions {
+                checkpoints: CheckpointMode::Policy,
+                ..RunOptions::default()
+            },
+        );
+        assert!(summary.steps >= 300);
+        let stats = dv.policy_stats();
+        let total = stats.total() as f64;
+        assert!(total > 0.0);
+        // Checkpoints roughly 20% of evaluations.
+        let ckpt_frac = stats.checkpoints as f64 / total;
+        assert!(
+            (0.1..0.35).contains(&ckpt_frac),
+            "checkpoint fraction {ckpt_frac}"
+        );
+        // Low-display skips dominate the skip mix.
+        let skips = total - stats.checkpoints as f64;
+        assert!(stats.low_display as f64 / skips > 0.4);
+        assert!(stats.no_display > 0);
+        assert!(stats.text_edit > 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 1 application scenarios for the DejaView reproduction.
+//!
+//! Each scenario reproduces the load *shape* of one of the paper's
+//! evaluation workloads — display command mix, accessibility text
+//! volume, file system activity, process churn, and memory dirtying —
+//! by doing real work through a [`dejaview::DejaView`] server's
+//! interfaces. The [`run_scenario`] driver advances virtual time and
+//! runs the checkpoint machinery at the §6 cadence (once per second for
+//! application benchmarks, the policy for the desktop trace).
+
+pub mod cat;
+pub mod common;
+pub mod desktop;
+pub mod gzip;
+pub mod make;
+pub mod octave;
+pub mod scenario;
+pub mod untar;
+pub mod video;
+pub mod web;
+
+pub use cat::CatScenario;
+pub use common::TermWindow;
+pub use desktop::DesktopScenario;
+pub use gzip::GzipScenario;
+pub use make::MakeScenario;
+pub use octave::OctaveScenario;
+pub use scenario::{run_scenario, CheckpointMode, RunOptions, RunSummary, Scenario};
+pub use untar::UntarScenario;
+pub use video::VideoScenario;
+pub use web::WebScenario;
+
+/// Builds the seven individual application scenarios of Table 1 (the
+/// `desktop` trace is created separately, as it runs under the policy).
+pub fn application_scenarios(scale: f64) -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(WebScenario::new(scale)),
+        Box::new(VideoScenario::new(scale)),
+        Box::new(UntarScenario::new(scale)),
+        Box::new(GzipScenario::new(scale)),
+        Box::new(MakeScenario::new(scale)),
+        Box::new(OctaveScenario::new(scale)),
+        Box::new(CatScenario::new(scale)),
+    ]
+}
+
+/// Creates one application scenario by Table 1 name; `None` for unknown
+/// names.
+pub fn scenario_by_name(name: &str, scale: f64) -> Option<Box<dyn Scenario>> {
+    Some(match name {
+        "web" => Box::new(WebScenario::new(scale)) as Box<dyn Scenario>,
+        "video" => Box::new(VideoScenario::new(scale)),
+        "untar" => Box::new(UntarScenario::new(scale)),
+        "gzip" => Box::new(GzipScenario::new(scale)),
+        "make" => Box::new(MakeScenario::new(scale)),
+        "octave" => Box::new(OctaveScenario::new(scale)),
+        "cat" => Box::new(CatScenario::new(scale)),
+        "desktop" => Box::new(DesktopScenario::new(scale)),
+        _ => return None,
+    })
+}

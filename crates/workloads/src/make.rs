@@ -1,0 +1,117 @@
+//! The `make` scenario: building the Linux kernel.
+//!
+//! Table 1: "Build the 2.6.16.3 Linux kernel". A process-forest
+//! workload: make forks a short-lived compiler per translation unit,
+//! each allocating real memory, emitting an object file, and printing a
+//! compile line. §6 reports make has the largest checkpoint overhead
+//! (13%) — driven by the constant process churn and fresh dirty memory
+//! between checkpoints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejaview::DejaView;
+use dv_display::Rect;
+use dv_time::Duration;
+use dv_vee::{Prot, Vpid};
+
+use crate::common::TermWindow;
+use crate::scenario::Scenario;
+
+/// The kernel-build scenario.
+pub struct MakeScenario {
+    units_remaining: u32,
+    unit_no: u32,
+    rng: StdRng,
+    term: Option<TermWindow>,
+    make: Option<Vpid>,
+}
+
+impl MakeScenario {
+    /// Creates the scenario; `scale` = 1.0 compiles ~200 units.
+    pub fn new(scale: f64) -> Self {
+        MakeScenario {
+            units_remaining: ((200.0 * scale).ceil() as u32).max(4),
+            unit_no: 0,
+            rng: StdRng::seed_from_u64(0x3a4e),
+            term: None,
+            make: None,
+        }
+    }
+}
+
+impl Scenario for MakeScenario {
+    fn name(&self) -> &'static str {
+        "make"
+    }
+
+    fn description(&self) -> &'static str {
+        "Build the 2.6.16.3 Linux kernel"
+    }
+
+    fn setup(&mut self, dv: &mut DejaView) {
+        let (w, h) = (dv.driver_mut().width(), dv.driver_mut().height());
+        self.term = Some(TermWindow::open(
+            dv,
+            "xterm",
+            "make -j1 vmlinux - xterm",
+            Rect::new(0, 0, w, h),
+        ));
+        dv.vee_mut().fs.mkdir_all("/usr/src/build").expect("mkdir");
+        let init = dv.init_vpid();
+        self.make = Some(dv.vee_mut().spawn(Some(init), "make").expect("spawn"));
+    }
+
+    fn step(&mut self, dv: &mut DejaView) -> bool {
+        self.unit_no += 1;
+        let make = self.make.expect("setup ran");
+        // Fork a compiler.
+        let cc = dv.vee_mut().spawn(Some(make), "cc1").expect("fork");
+        // The compiler allocates and fills working memory — real dirty
+        // pages the next checkpoint must save.
+        let work = dv
+            .vee_mut()
+            .mmap(cc, 2 << 20, Prot::ReadWrite)
+            .expect("mmap");
+        let unit = self.unit_no;
+        let object: Vec<u8> = (0..1 << 20)
+            .map(|i| ((i as u32).wrapping_mul(unit.wrapping_mul(2_654_435_761)) >> 11) as u8)
+            .collect();
+        dv.vee_mut().mem_write(cc, work, &object).expect("compile");
+        // Emit the object file.
+        let obj_path = format!("/usr/src/build/unit_{unit}.o");
+        dv.vee_mut()
+            .fs
+            .write_all(&obj_path, &object[..self.rng.gen_range(40_000..120_000)])
+            .expect("write object");
+        // The compiler exits; make prints the compile line.
+        dv.vee_mut().exit(cc).expect("exit");
+        let term = self.term.as_ref().expect("setup ran");
+        term.println(dv, &format!("  CC      kernel/unit_{unit}.o"));
+        self.units_remaining -= 1;
+        self.units_remaining > 0
+    }
+
+    fn step_duration(&self) -> Duration {
+        Duration::from_millis(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, RunOptions};
+    use dejaview::Config;
+
+    #[test]
+    fn make_forks_compilers_and_emits_objects() {
+        let mut dv = DejaView::new(Config::default());
+        let mut scenario = MakeScenario::new(0.05); // 10 units.
+        let summary = run_scenario(&mut dv, &mut scenario, RunOptions::default());
+        assert_eq!(summary.steps, 10);
+        // All compilers exited; only init + term-less make remain.
+        assert_eq!(dv.vee().process_count(), 2);
+        assert!(dv.vee().fs.exists("/usr/src/build/unit_10.o"));
+        assert!(summary.checkpoints >= 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The scenario abstraction and workload driver.
+//!
+//! A [`Scenario`] is one Table 1 application workload: it sets up its
+//! applications in a [`DejaView`] server and then advances in fixed
+//! virtual-time steps, doing *real* work (drawing, file system I/O,
+//! memory writes, computation) through the server's interfaces. The
+//! [`run_scenario`] driver advances the session clock, runs the
+//! checkpoint machinery at the configured cadence, and reports wall
+//! time and checkpoint statistics.
+
+use dejaview::{DejaView, StorageBreakdown};
+use dv_checkpoint::CheckpointReport;
+use dv_time::{Duration, PhaseBreakdown, Timestamp};
+
+/// One Table 1 workload.
+pub trait Scenario: Send {
+    /// Short name ("web", "video", ...).
+    fn name(&self) -> &'static str;
+
+    /// The Table 1 description.
+    fn description(&self) -> &'static str;
+
+    /// Screen resolution the scenario runs at.
+    fn screen(&self) -> (u32, u32) {
+        (1024, 768)
+    }
+
+    /// Registers applications and paints the initial screen.
+    fn setup(&mut self, dv: &mut DejaView);
+
+    /// Advances one step of real work; returns `false` when done.
+    fn step(&mut self, dv: &mut DejaView) -> bool;
+
+    /// Virtual time per step.
+    fn step_duration(&self) -> Duration;
+}
+
+/// How checkpoints are driven during a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointMode {
+    /// No checkpoints (baseline and display/index-only runs).
+    Disabled,
+    /// Force one checkpoint per virtual second — the conservative
+    /// application-benchmark setting of §6.
+    EverySecond,
+    /// Evaluate the §5.1.3 policy once per virtual second — the real
+    /// desktop-usage setting.
+    Policy,
+}
+
+/// Run options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Checkpoint cadence.
+    pub checkpoints: CheckpointMode,
+    /// Stop after this much virtual time even if the scenario has more
+    /// work.
+    pub max_virtual: Option<Duration>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            checkpoints: CheckpointMode::EverySecond,
+            max_virtual: None,
+        }
+    }
+}
+
+/// The result of one scenario run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Steps executed.
+    pub steps: u64,
+    /// Virtual time elapsed.
+    pub virtual_elapsed: Duration,
+    /// Real wall-clock time spent executing.
+    pub wall: std::time::Duration,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Accumulated per-phase checkpoint latency.
+    pub phase_total: PhaseBreakdown,
+    /// Downtime of each checkpoint.
+    pub downtimes: Vec<Duration>,
+    /// Individual checkpoint reports.
+    pub reports: Vec<CheckpointReport>,
+    /// Storage at the end of scenario setup (excludes seeded input
+    /// data, so growth deltas measure only the recorded activity).
+    pub storage_at_setup: StorageBreakdown,
+}
+
+impl RunSummary {
+    /// Mean downtime across checkpoints.
+    pub fn mean_downtime(&self) -> Duration {
+        if self.downtimes.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u64 = self.downtimes.iter().map(|d| d.as_nanos()).sum();
+        Duration::from_nanos(total / self.downtimes.len() as u64)
+    }
+
+    /// Mean per-phase breakdown across checkpoints.
+    pub fn mean_phases(&self) -> PhaseBreakdown {
+        let mut phases = self.phase_total.clone();
+        if !self.downtimes.is_empty() {
+            phases.divide(self.downtimes.len() as u64);
+        }
+        phases
+    }
+}
+
+/// Runs a scenario to completion (or `max_virtual`).
+pub fn run_scenario(
+    dv: &mut DejaView,
+    scenario: &mut dyn Scenario,
+    options: RunOptions,
+) -> RunSummary {
+    let clock = dv.clock();
+    let start_virtual = dv.now();
+    let started = std::time::Instant::now();
+    scenario.setup(dv);
+    let _ = dv.vee_mut().fs.sync();
+    let storage_at_setup = dv.storage();
+    let mut summary = RunSummary {
+        name: scenario.name(),
+        steps: 0,
+        virtual_elapsed: Duration::ZERO,
+        wall: std::time::Duration::ZERO,
+        checkpoints: 0,
+        phase_total: PhaseBreakdown::default(),
+        downtimes: Vec::new(),
+        reports: Vec::new(),
+        storage_at_setup,
+    };
+    let mut last_policy: Timestamp = start_virtual;
+    loop {
+        let more = scenario.step(dv);
+        summary.steps += 1;
+        clock.advance(scenario.step_duration());
+        dv.vee_mut().tick();
+        let now = dv.now();
+        if now.saturating_since(last_policy) >= Duration::from_secs(1) {
+            last_policy = now;
+            let report = match options.checkpoints {
+                CheckpointMode::Disabled => None,
+                CheckpointMode::EverySecond => Some(dv.checkpoint_now().expect("checkpoint")),
+                CheckpointMode::Policy => dv.policy_tick().expect("policy tick").report,
+            };
+            if let Some(report) = report {
+                summary.checkpoints += 1;
+                summary.phase_total.accumulate(&report.phases);
+                summary.downtimes.push(report.downtime);
+                summary.reports.push(report);
+            }
+        }
+        summary.virtual_elapsed = now.saturating_since(start_virtual);
+        if !more {
+            break;
+        }
+        if let Some(max) = options.max_virtual {
+            if summary.virtual_elapsed >= max {
+                break;
+            }
+        }
+    }
+    summary.wall = started.elapsed();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejaview::Config;
+    use dv_display::Rect;
+
+    struct Painter {
+        remaining: u32,
+    }
+
+    impl Scenario for Painter {
+        fn name(&self) -> &'static str {
+            "painter"
+        }
+        fn description(&self) -> &'static str {
+            "test scenario"
+        }
+        fn setup(&mut self, dv: &mut DejaView) {
+            dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 1);
+        }
+        fn step(&mut self, dv: &mut DejaView) -> bool {
+            dv.driver_mut()
+                .fill_rect(Rect::new(0, 0, 64, 64), self.remaining);
+            self.remaining -= 1;
+            self.remaining > 0
+        }
+        fn step_duration(&self) -> Duration {
+            Duration::from_millis(250)
+        }
+    }
+
+    fn server() -> DejaView {
+        DejaView::new(Config {
+            width: 64,
+            height: 64,
+            ..Config::default()
+        })
+    }
+
+    #[test]
+    fn driver_advances_time_and_checkpoints() {
+        let mut dv = server();
+        let mut scenario = Painter { remaining: 12 };
+        let summary = run_scenario(&mut dv, &mut scenario, RunOptions::default());
+        assert_eq!(summary.steps, 12);
+        assert_eq!(summary.virtual_elapsed, Duration::from_secs(3));
+        assert_eq!(summary.checkpoints, 3, "one per virtual second");
+        assert_eq!(summary.downtimes.len(), 3);
+        assert!(summary.mean_downtime() > Duration::ZERO);
+    }
+
+    #[test]
+    fn disabled_mode_takes_no_checkpoints() {
+        let mut dv = server();
+        let mut scenario = Painter { remaining: 8 };
+        let summary = run_scenario(
+            &mut dv,
+            &mut scenario,
+            RunOptions {
+                checkpoints: CheckpointMode::Disabled,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(summary.checkpoints, 0);
+    }
+
+    #[test]
+    fn max_virtual_bounds_the_run() {
+        let mut dv = server();
+        let mut scenario = Painter { remaining: 1000 };
+        let summary = run_scenario(
+            &mut dv,
+            &mut scenario,
+            RunOptions {
+                max_virtual: Some(Duration::from_secs(2)),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(summary.virtual_elapsed, Duration::from_secs(2));
+        assert!(summary.steps < 1000);
+    }
+
+    #[test]
+    fn policy_mode_consults_the_policy() {
+        let mut dv = server();
+        // Painter changes the whole screen: the policy should checkpoint.
+        let mut scenario = Painter { remaining: 12 };
+        let summary = run_scenario(
+            &mut dv,
+            &mut scenario,
+            RunOptions {
+                checkpoints: CheckpointMode::Policy,
+                ..RunOptions::default()
+            },
+        );
+        assert!(summary.checkpoints >= 2);
+        assert!(dv.policy_stats().checkpoints >= 2);
+    }
+}

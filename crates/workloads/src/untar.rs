@@ -1,0 +1,123 @@
+//! The `untar` scenario: verbose extraction of a kernel source tree.
+//!
+//! Table 1: "Verbose untar of 2.6.16.3 Linux kernel source tree".
+//! Dominated by file system state growth — "lots of small files", each
+//! a creation transaction in the log-structured file system (§6 singles
+//! untar out as the scenario where FS storage dominates) — plus a
+//! scrolling terminal line per file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejaview::DejaView;
+use dv_display::Rect;
+use dv_time::Duration;
+
+use crate::common::{loggy_bytes, TermWindow};
+use crate::scenario::Scenario;
+
+/// Files extracted per step.
+const FILES_PER_STEP: u32 = 4;
+
+/// Kernel-ish top-level directories.
+const DIRS: &[&str] = &[
+    "arch", "block", "drivers", "fs", "include", "init", "ipc", "kernel", "lib", "mm", "net",
+    "scripts", "sound",
+];
+
+/// The untar scenario.
+pub struct UntarScenario {
+    files_remaining: u32,
+    file_no: u32,
+    rng: StdRng,
+    term: Option<TermWindow>,
+}
+
+impl UntarScenario {
+    /// Creates the scenario; `scale` = 1.0 extracts ~2000 files (the
+    /// kernel tree scaled down by an order of magnitude).
+    pub fn new(scale: f64) -> Self {
+        UntarScenario {
+            files_remaining: ((2_000.0 * scale).ceil() as u32).max(8),
+            file_no: 0,
+            rng: StdRng::seed_from_u64(0x7a7),
+            term: None,
+        }
+    }
+}
+
+impl Scenario for UntarScenario {
+    fn name(&self) -> &'static str {
+        "untar"
+    }
+
+    fn description(&self) -> &'static str {
+        "Verbose untar of 2.6.16.3 Linux kernel source tree"
+    }
+
+    fn setup(&mut self, dv: &mut DejaView) {
+        let (w, h) = (dv.driver_mut().width(), dv.driver_mut().height());
+        self.term = Some(TermWindow::open(
+            dv,
+            "xterm",
+            "tar xvf linux-2.6.16.3.tar - xterm",
+            Rect::new(0, 0, w, h),
+        ));
+        dv.vee_mut().fs.mkdir_all("/usr/src/linux").expect("mkdir");
+        for dir in DIRS {
+            dv.vee_mut()
+                .fs
+                .mkdir_all(&format!("/usr/src/linux/{dir}"))
+                .expect("mkdir");
+        }
+    }
+
+    fn step(&mut self, dv: &mut DejaView) -> bool {
+        for _ in 0..FILES_PER_STEP {
+            self.file_no += 1;
+            let dir = DIRS[self.rng.gen_range(0..DIRS.len())];
+            let sub = self.file_no / 64;
+            let path = format!("/usr/src/linux/{dir}/sub{sub}/file_{}.c", self.file_no);
+            let parent = format!("/usr/src/linux/{dir}/sub{sub}");
+            dv.vee_mut().fs.mkdir_all(&parent).expect("mkdir");
+            // Kernel sources are mostly small files.
+            let len = self.rng.gen_range(512..12_288);
+            let contents = loggy_bytes(&mut self.rng, len);
+            dv.vee_mut().fs.write_all(&path, &contents).expect("write");
+            let term = self.term.as_ref().expect("setup ran");
+            term.println(dv, &format!("linux-2.6.16.3/{dir}/sub{sub}/file_{}.c", self.file_no));
+            self.files_remaining -= 1;
+            if self.files_remaining == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn step_duration(&self) -> Duration {
+        Duration::from_millis(40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, RunOptions};
+    use dejaview::Config;
+
+    #[test]
+    fn untar_creates_many_files_and_scrolls() {
+        let mut dv = DejaView::new(Config::default());
+        let mut scenario = UntarScenario::new(0.05); // 100 files.
+        let summary = run_scenario(&mut dv, &mut scenario, RunOptions::default());
+        assert_eq!(summary.steps, 25);
+        // The tree exists and file data reached the log.
+        assert_eq!(
+            dv.vee().fs.stat("/usr/src/linux").unwrap().ftype,
+            dv_lsfs::FileType::Directory
+        );
+        assert!(dv.storage().fs_bytes > 100 * 512, "file data logged");
+        // The terminal scrolled one line per file.
+        assert!(dv.driver_mut().stats().copies >= 100);
+    }
+}

@@ -1,0 +1,218 @@
+//! The `web` scenario: Firefox running the iBench page-download suite.
+//!
+//! Table 1: "Firefox 2.0.0.1 running iBench web browsing benchmark to
+//! download 54 web pages", in "rapid fire succession instead of having
+//! delays between web page downloads for user think time". Each page:
+//! network receive, a near-full-screen raw content paint, heavy
+//! *on-demand* accessibility churn (the property §6 blames for the web
+//! indexing overhead), and browser memory growth (the revive-latency
+//! driver in Figure 7).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dejaview::DejaView;
+use dv_access::{AppId, NodeId, Role};
+use dv_display::{rgb, Rect};
+use dv_time::Duration;
+use dv_vee::{Proto, Prot, Vpid};
+
+use crate::common::words;
+use crate::scenario::Scenario;
+
+/// The web-browsing scenario.
+pub struct WebScenario {
+    pages_remaining: u32,
+    page_no: u32,
+    rng: StdRng,
+    app: Option<AppId>,
+    window: Option<NodeId>,
+    content_nodes: Vec<NodeId>,
+    browser: Option<Vpid>,
+    sock_fd: Option<u32>,
+    heap: Option<u64>,
+    heap_len: u64,
+}
+
+impl WebScenario {
+    /// Creates the scenario; `scale` = 1.0 is the paper's 54 pages.
+    pub fn new(scale: f64) -> Self {
+        WebScenario {
+            pages_remaining: ((54.0 * scale).ceil() as u32).max(2),
+            page_no: 0,
+            rng: StdRng::seed_from_u64(0x3eb),
+            app: None,
+            window: None,
+            content_nodes: Vec::new(),
+            browser: None,
+            sock_fd: None,
+            heap: None,
+            heap_len: 0,
+        }
+    }
+}
+
+impl Scenario for WebScenario {
+    fn name(&self) -> &'static str {
+        "web"
+    }
+
+    fn description(&self) -> &'static str {
+        "Firefox 2.0.0.1 running iBench web browsing benchmark to download 54 web pages"
+    }
+
+    fn setup(&mut self, dv: &mut DejaView) {
+        let init = dv.init_vpid();
+        let browser = dv.vee_mut().spawn(Some(init), "firefox").expect("spawn");
+        // Initial browser heap.
+        self.heap_len = 16 << 20;
+        let heap = dv
+            .vee_mut()
+            .mmap(browser, self.heap_len, Prot::ReadWrite)
+            .expect("mmap");
+        let fd = dv.vee_mut().socket(browser, Proto::Tcp).expect("socket");
+        dv.vee_mut()
+            .connect(browser, fd, "www.ibench.example.com", 80)
+            .expect("connect");
+        let desktop = dv.desktop_mut();
+        let app = desktop.register_app("firefox");
+        // Firefox generates its accessibility information on demand; each
+        // component fetch crosses the AT-SPI IPC boundary. The per-access
+        // delay models that round trip and is what makes text indexing
+        // the dominant recording overhead for this scenario (§6).
+        desktop.set_access_delay(Some(Duration::from_micros(15)));
+        let root = desktop.root(app).expect("registered");
+        let window = desktop.add_node(app, root, Role::Window, "iBench - firefox");
+        desktop.focus(app);
+        // Chrome (toolbar) area.
+        dv.driver_mut()
+            .fill_rect(Rect::new(0, 0, 1024, 30), rgb(60, 60, 70));
+        dv.driver_mut()
+            .draw_text(8, 11, "firefox: ibench start", 0xFFFFFF, 0);
+        self.browser = Some(browser);
+        self.sock_fd = Some(fd);
+        self.heap = Some(heap);
+        self.app = Some(app);
+        self.window = Some(window);
+    }
+
+    fn step(&mut self, dv: &mut DejaView) -> bool {
+        let app = self.app.expect("setup ran");
+        let window = self.window.expect("setup ran");
+        let browser = self.browser.expect("setup ran");
+        self.page_no += 1;
+
+        // Network: the page body arrives.
+        let body_bytes = self.rng.gen_range(40_000..160_000);
+        let _ = dv
+            .vee_mut()
+            .receive(browser, self.sock_fd.expect("setup"), body_bytes);
+
+        // Render: almost the entire screen repaints with raw content,
+        // progressively in horizontal bands as the page loads (as a real
+        // browser paints), plus a toolbar update.
+        let (w, h) = (dv.driver_mut().width(), dv.driver_mut().height().saturating_sub(30));
+        let seed = self.page_no;
+        dv.driver_mut().fill_rect(Rect::new(0, 0, w, 30), rgb(60, 60, 70));
+        dv.driver_mut().draw_text(
+            8,
+            11,
+            &format!("http://ibench.example.com/page{}", self.page_no),
+            0xFFFFFF,
+            rgb(60, 60, 70),
+        );
+        const BANDS: u32 = 12;
+        for band in 0..BANDS {
+            let y0 = band * h / BANDS;
+            let y1 = (band + 1) * h / BANDS;
+            let bh = y1 - y0;
+            if bh == 0 {
+                continue;
+            }
+            let pixels: Vec<u32> = (0..w as usize * bh as usize)
+                .map(|i| {
+                    let v = (i as u32)
+                        .wrapping_mul(2_654_435_761)
+                        .wrapping_add(seed * 97 + band * 13);
+                    rgb(
+                        (v >> 16) as u8 & 0x7F | 0x80,
+                        (v >> 8) as u8,
+                        v as u8 & 0x3F,
+                    )
+                })
+                .collect();
+            dv.driver_mut().put_image(Rect::new(0, 30 + y0, w, bh), pixels);
+        }
+
+        // Accessibility: Firefox builds the page's accessible subtree on
+        // demand, node by node, with redundant text updates — the
+        // behaviour behind the paper's 99% web indexing overhead.
+        for node in self.content_nodes.drain(..) {
+            dv.desktop_mut().remove_subtree(app, node);
+        }
+        let title = format!("page {} - {} - firefox", self.page_no, words(&mut self.rng, 2));
+        dv.desktop_mut().set_text(app, window, &title);
+        let paragraphs = self.rng.gen_range(25..45);
+        for i in 0..paragraphs {
+            let role = if i % 5 == 0 { Role::Link } else { Role::Paragraph };
+            let n_words = self.rng.gen_range(6..14);
+            let text = words(&mut self.rng, n_words);
+            let node = dv.desktop_mut().add_node(app, window, role, &text);
+            // On-demand regeneration: the text is revised as layout
+            // completes, doubling the event traffic.
+            let revised = format!("{text} {}", words(&mut self.rng, 2));
+            dv.desktop_mut().set_text(app, node, &revised);
+            self.content_nodes.push(node);
+        }
+
+        // Memory: the browser grows by more than 2x over the run (§6's
+        // revive analysis); write into fresh heap to dirty real pages.
+        let grow: u64 = 512 << 10;
+        let heap = self.heap.expect("setup");
+        let heap = dv
+            .vee_mut()
+            .mremap(browser, heap, self.heap_len + grow)
+            .expect("mremap")
+            .expect("heap mapped");
+        self.heap = Some(heap);
+        let chunk = vec![(self.page_no % 251) as u8; grow as usize];
+        dv.vee_mut()
+            .mem_write(browser, heap + self.heap_len, &chunk)
+            .expect("heap write");
+        self.heap_len += grow;
+
+        self.pages_remaining -= 1;
+        self.pages_remaining > 0
+    }
+
+    fn step_duration(&self) -> Duration {
+        // One page download per step; the paper's baseline is ~0.28s per
+        // page, ~0.5s with full recording.
+        Duration::from_millis(500)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, RunOptions};
+    use dejaview::Config;
+    use dv_index::RankOrder;
+
+    #[test]
+    fn web_generates_pages_text_and_memory_growth() {
+        let mut dv = DejaView::new(Config::default());
+        let mut scenario = WebScenario::new(0.1); // ~6 pages.
+        let summary = run_scenario(&mut dv, &mut scenario, RunOptions::default());
+        assert!(summary.steps >= 5);
+        assert!(summary.checkpoints >= 2);
+        // Raw page paints dominated the display stream.
+        assert!(dv.driver_mut().stats().raw >= 5);
+        // Text was captured and is searchable with app context.
+        let results = dv.search("app:firefox kernel OR app:firefox paper OR app:firefox virtual", RankOrder::Chronological);
+        assert!(results.is_ok());
+        // Browser memory grew.
+        let mem = dv.vee().process(dv_vee::Vpid(2)).unwrap().mem.mapped_bytes();
+        assert!(mem > 16 << 20);
+    }
+}

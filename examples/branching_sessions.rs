@@ -1,0 +1,93 @@
+//! Branching: several revived sessions diverge from one checkpoint
+//! (§5.2's branchable file system + private namespaces).
+//!
+//! "This enables the user to start with the same information, but to
+//! process it in separate revived sessions in different directions."
+//!
+//! Run with: `cargo run --example branching_sessions`
+
+use dejaview::{Config, DejaView};
+use dv_time::Duration;
+
+fn main() {
+    let mut dv = DejaView::new(Config::default());
+    let clock = dv.clock();
+    let init = dv.init_vpid();
+
+    // The original session drafts a report.
+    dv.vee_mut().spawn(Some(init), "openoffice").unwrap();
+    dv.vee_mut().fs.mkdir_all("/home/user").unwrap();
+    dv.vee_mut()
+        .fs
+        .write_all("/home/user/report.txt", b"Common introduction.\n")
+        .unwrap();
+    dv.driver_mut().fill_rect(
+        dv_display::Rect::new(0, 0, 1024, 768),
+        dv_display::rgb(50, 50, 50),
+    );
+    clock.advance(Duration::from_secs(1));
+    let tick = dv.policy_tick().unwrap();
+    let counter = tick.report.expect("checkpoint taken").counter;
+    println!("checkpointed the draft at counter {counter}");
+
+    // Three branches from the same checkpoint.
+    let optimistic = dv.revive_counter(counter).unwrap();
+    let cautious = dv.revive_counter(counter).unwrap();
+    let archive = dv.revive_counter(counter).unwrap();
+    println!("revived sessions: {:?}", dv.sessions());
+
+    // Each branch edits the same file differently; none interfere.
+    dv.session_mut(optimistic)
+        .unwrap()
+        .vee
+        .fs
+        .write_at("/home/user/report.txt", 21, b"We will ship in Q3!\n")
+        .unwrap();
+    dv.session_mut(cautious)
+        .unwrap()
+        .vee
+        .fs
+        .write_at("/home/user/report.txt", 21, b"Risks remain; defer.\n")
+        .unwrap();
+    dv.session_mut(archive)
+        .unwrap()
+        .vee
+        .fs
+        .unlink("/home/user/report.txt")
+        .unwrap();
+
+    for id in dv.sessions() {
+        let session = dv.session(id).unwrap();
+        match session.vee.fs.read_all("/home/user/report.txt") {
+            Ok(contents) => println!(
+                "session {id}: report.txt = {:?}",
+                String::from_utf8_lossy(&contents)
+            ),
+            Err(e) => println!("session {id}: report.txt deleted ({e})"),
+        }
+    }
+
+    // The virtual namespaces reuse identical virtual PIDs concurrently.
+    let a = dv.session(optimistic).unwrap();
+    let b = dv.session(cautious).unwrap();
+    let vpids_a: Vec<_> = a.vee.processes().map(|p| p.vpid).collect();
+    let vpids_b: Vec<_> = b.vee.processes().map(|p| p.vpid).collect();
+    assert_eq!(vpids_a, vpids_b, "same virtual names in both branches");
+    let host_a: Vec<_> = a.vee.processes().map(|p| p.host_pid).collect();
+    let host_b: Vec<_> = b.vee.processes().map(|p| p.host_pid).collect();
+    assert_ne!(host_a, host_b, "different host resources underneath");
+    println!(
+        "branches share virtual pids {vpids_a:?} over distinct host pids {host_a:?} / {host_b:?}"
+    );
+
+    // The live session's file is untouched by any branch.
+    let live = dv.vee().fs.read_all("/home/user/report.txt").unwrap();
+    println!("live session: report.txt = {:?}", String::from_utf8_lossy(&live));
+    assert_eq!(live, b"Common introduction.\n");
+
+    // A branch can launch new work: new apps get network by default.
+    let session = dv.session_mut(optimistic).unwrap();
+    let new_app = session.launch(None, "browser").unwrap();
+    assert!(session.vee.process(new_app).unwrap().net_allowed);
+    println!("launched vpid {new_app:?} in branch {optimistic} with network access");
+}

@@ -1,0 +1,109 @@
+//! Quickstart: record a tiny desktop session, then play back, search,
+//! and revive it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dejaview::{Config, DejaView};
+use dv_access::Role;
+use dv_display::{rgb, Rect};
+use dv_index::RankOrder;
+use dv_time::{Duration, Timestamp};
+
+fn main() {
+    // A DejaView server owns the whole recording stack: virtual display,
+    // accessibility capture + text index, checkpointed execution
+    // environment, snapshotting file system.
+    let mut dv = DejaView::new(Config::default());
+    let clock = dv.clock();
+
+    // --- A user session: an editor writes a shopping list. -------------
+    let init = dv.init_vpid();
+    let _editor_proc = dv.vee_mut().spawn(Some(init), "editor").unwrap();
+    dv.vee_mut().fs.mkdir_all("/home/user").unwrap();
+
+    let app = dv.desktop_mut().register_app("editor");
+    let root = dv.desktop_mut().root(app).unwrap();
+    let win = dv
+        .desktop_mut()
+        .add_node(app, root, Role::Window, "shopping.txt - editor");
+    let para = dv
+        .desktop_mut()
+        .add_node(app, win, Role::Paragraph, "shopping: milk eggs bread");
+    dv.desktop_mut().focus(app);
+
+    dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), rgb(24, 24, 32));
+    dv.driver_mut()
+        .draw_text(20, 20, "shopping: milk eggs bread", 0xFFFFFF, 0);
+    dv.vee_mut()
+        .fs
+        .write_all("/home/user/shopping.txt", b"milk eggs bread")
+        .unwrap();
+
+    // Time passes; the checkpoint policy records the session.
+    clock.advance(Duration::from_secs(1));
+    let tick = dv.policy_tick().unwrap();
+    println!("policy decision: {:?}", tick.decision);
+    if let Some(report) = &tick.report {
+        println!(
+            "checkpoint #{} took {} downtime ({} pages saved)",
+            report.counter, report.downtime, report.pages_saved
+        );
+    }
+
+    // The user edits the list and the session moves on.
+    dv.desktop_mut()
+        .set_text(app, para, "shopping: milk eggs bread coffee");
+    dv.driver_mut()
+        .draw_text(20, 20, "shopping: milk eggs bread coffee", 0xFFFF00, 0);
+    dv.vee_mut()
+        .fs
+        .write_all("/home/user/shopping.txt", b"milk eggs bread coffee")
+        .unwrap();
+    clock.advance(Duration::from_secs(1));
+    dv.policy_tick().unwrap();
+
+    // --- Playback: reconstruct any moment of the display record. -------
+    let shot = dv.browse(Timestamp::from_millis(500)).unwrap();
+    println!(
+        "browse t=0.5s -> {}x{} screenshot, hash {:#018x}",
+        shot.width,
+        shot.height,
+        shot.content_hash()
+    );
+
+    // --- WYSIWYS search: find when "coffee" was on screen. --------------
+    let results = dv.search("coffee", RankOrder::Chronological).unwrap();
+    println!("search \"coffee\": {} hit(s)", results.len());
+    for r in &results {
+        println!(
+            "  at {} for {} — snippet: {:?} (apps: {:?})",
+            r.hit.time, r.hit.persistence, r.hit.snippet, r.hit.apps
+        );
+    }
+
+    // --- Take me back: revive the session before the edit. -------------
+    let session_id = dv.take_me_back(Timestamp::from_secs(1)).unwrap();
+    let session = dv.session(session_id).unwrap();
+    let old = session.vee.fs.read_all("/home/user/shopping.txt").unwrap();
+    println!(
+        "revived session {} from checkpoint {}: shopping.txt = {:?}",
+        session_id,
+        session.counter,
+        String::from_utf8_lossy(&old)
+    );
+    assert_eq!(old, b"milk eggs bread");
+
+    // The live session is unaffected.
+    let live = dv.vee().fs.read_all("/home/user/shopping.txt").unwrap();
+    assert_eq!(live, b"milk eggs bread coffee");
+    println!("live session still reads: {:?}", String::from_utf8_lossy(&live));
+
+    let storage = dv.storage();
+    println!(
+        "storage: display {} B, index {} B, checkpoints {} B, fs {} B",
+        storage.display_bytes,
+        storage.index_bytes,
+        storage.checkpoint_stored_bytes,
+        storage.fs_bytes
+    );
+}

@@ -1,0 +1,116 @@
+//! Contextual WYSIWYS search and session revival (§4.4, §5.2).
+//!
+//! Recreates the paper's motivating example: "a user that is looking for
+//! the time when she started reading a paper, but all she recalls is
+//! that a particular web page was open at the same time". Two
+//! applications show overlapping content; temporal AND search finds the
+//! moment, and "Take me back" revives the desktop there.
+//!
+//! Run with: `cargo run --example search_and_revive`
+
+use dejaview::{Config, DejaView};
+use dv_access::Role;
+use dv_display::{rgb, Rect};
+use dv_index::{Query, RankOrder};
+use dv_time::Duration;
+
+fn main() {
+    let mut dv = DejaView::new(Config::default());
+    let clock = dv.clock();
+    let init = dv.init_vpid();
+
+    // Firefox opens the conference page at t=0.
+    dv.vee_mut().spawn(Some(init), "firefox").unwrap();
+    let firefox = dv.desktop_mut().register_app("firefox");
+    let froot = dv.desktop_mut().root(firefox).unwrap();
+    let fwin = dv
+        .desktop_mut()
+        .add_node(firefox, froot, Role::Window, "SOSP program - firefox");
+    let fbody = dv.desktop_mut().add_node(
+        firefox,
+        fwin,
+        Role::Paragraph,
+        "sosp conference program and registration deadline",
+    );
+    dv.desktop_mut().focus(firefox);
+    dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), rgb(40, 40, 80));
+    clock.advance(Duration::from_secs(2));
+    dv.policy_tick().unwrap();
+
+    // At t=2 the user opens the DejaView paper in acroread.
+    dv.vee_mut().spawn(Some(init), "acroread").unwrap();
+    let acro = dv.desktop_mut().register_app("acroread");
+    let aroot = dv.desktop_mut().root(acro).unwrap();
+    let awin = dv
+        .desktop_mut()
+        .add_node(acro, aroot, Role::Window, "dejaview.pdf - acroread");
+    dv.desktop_mut().add_node(
+        acro,
+        awin,
+        Role::Paragraph,
+        "dejaview a personal virtual computer recorder checkpoint revive",
+    );
+    dv.desktop_mut().focus(acro);
+    dv.driver_mut().fill_rect(Rect::new(512, 0, 512, 768), rgb(90, 90, 90));
+    clock.advance(Duration::from_secs(3));
+    dv.policy_tick().unwrap();
+
+    // At t=5 the web page is closed; the paper stays open.
+    dv.desktop_mut().remove_subtree(firefox, fbody);
+    dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), rgb(10, 10, 10));
+    clock.advance(Duration::from_secs(3));
+    dv.policy_tick().unwrap();
+
+    // "When did I start reading the paper while the conference page was
+    // still open?" — a temporal conjunction binding different terms to
+    // different applications, built with the query AST.
+    let query = Query::And(
+        Box::new(Query::App(
+            "acroread".into(),
+            Box::new(Query::Term("recorder".into())),
+        )),
+        Box::new(Query::App(
+            "firefox".into(),
+            Box::new(Query::Term("conference".into())),
+        )),
+    );
+    let results = dv.search_query(&query, RankOrder::Chronological).unwrap();
+    println!("conjunction query: {} hit(s)", results.len());
+    let hit = &results[0].hit;
+    println!(
+        "  satisfied from {} to {} (persistence {})",
+        hit.time, hit.until, hit.persistence
+    );
+
+    // Narrow by window title and by focus, as §4.4 describes.
+    let by_window = dv
+        .search("window:dejaview checkpoint", RankOrder::Chronological)
+        .unwrap();
+    println!("window-title query: {} hit(s)", by_window.len());
+    let focused = dv
+        .search("focused: conference", RankOrder::PersistenceAscending)
+        .unwrap();
+    println!(
+        "focused-only query: {} hit(s) (conference page focused until t=2s)",
+        focused.len()
+    );
+
+    // Revive at the found moment; both windows are as they were.
+    let sid = dv.take_me_back(hit.time).unwrap();
+    let session = dv.session(sid).unwrap();
+    println!(
+        "revived session {} from checkpoint {} (t={})",
+        sid, session.counter, session.revived_from
+    );
+    println!(
+        "  {} processes restored, {} pages installed, {} connections reset",
+        session.report.processes, session.report.pages_installed, session.report.connections_reset
+    );
+    // Network is disabled by default so the revived mail/browser state
+    // cannot sync against the outside world (§5.2)...
+    assert!(!session.vee.network_enabled());
+    // ...but the user can re-enable it per application.
+    let session = dv.session_mut(sid).unwrap();
+    let enabled = session.set_app_network("firefox", true);
+    println!("  re-enabled network for {enabled} firefox process(es)");
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the DejaView reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual
+//! functionality lives in the `dejaview` crate and its substrates.
+
+pub use dejaview;
+pub use dv_access;
+pub use dv_checkpoint;
+pub use dv_display;
+pub use dv_index;
+pub use dv_lsfs;
+pub use dv_record;
+pub use dv_time;
+pub use dv_vee;
+pub use dv_workloads;

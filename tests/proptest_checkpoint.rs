@@ -1,0 +1,222 @@
+//! Property tests for incremental checkpointing.
+//!
+//! The §5.1.2 completeness invariant: restoring from a chain of
+//! full + incremental checkpoint images must reproduce the address-space
+//! contents exactly as they were at the last checkpoint, under arbitrary
+//! interleavings of memory writes and the region operations DejaView
+//! intercepts (`mmap`, `munmap`, `mprotect`, `mremap`).
+
+use proptest::prelude::*;
+
+use dv_checkpoint::{revive, Checkpointer, EngineConfig, NetworkPolicy};
+use dv_lsfs::{BlobStore, Lsfs};
+use dv_time::SimClock;
+use dv_vee::{HostPidAllocator, Prot, Vee, Vpid, PAGE_SIZE};
+
+/// A memory operation over a bounded set of region slots.
+#[derive(Clone, Debug)]
+enum MemOp {
+    /// Write `data` at `offset` within region `slot`.
+    Write { slot: usize, offset: u64, data: Vec<u8> },
+    /// Map a new region into `slot` (unmapping any previous one).
+    Map { slot: usize, pages: u64 },
+    /// Unmap the region in `slot`.
+    Unmap { slot: usize },
+    /// Grow/shrink the region in `slot`.
+    Remap { slot: usize, pages: u64 },
+    /// Toggle protection of `slot`.
+    Protect { slot: usize, writable: bool },
+    /// Take a checkpoint here.
+    Checkpoint,
+}
+
+const SLOTS: usize = 3;
+const MAX_PAGES: u64 = 6;
+
+fn arb_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        4 => (0..SLOTS, 0..(MAX_PAGES * PAGE_SIZE as u64 - 600), prop::collection::vec(any::<u8>(), 1..600))
+            .prop_map(|(slot, offset, data)| MemOp::Write { slot, offset, data }),
+        1 => (0..SLOTS, 1..=MAX_PAGES).prop_map(|(slot, pages)| MemOp::Map { slot, pages }),
+        1 => (0..SLOTS).prop_map(|slot| MemOp::Unmap { slot }),
+        1 => (0..SLOTS, 1..=MAX_PAGES).prop_map(|(slot, pages)| MemOp::Remap { slot, pages }),
+        1 => (0..SLOTS, any::<bool>()).prop_map(|(slot, writable)| MemOp::Protect { slot, writable }),
+        2 => Just(MemOp::Checkpoint),
+    ]
+}
+
+struct Harness {
+    vee: Vee,
+    clock: SimClock,
+    engine: Checkpointer,
+    store: BlobStore,
+    p: Vpid,
+    slots: [Option<(u64, u64, Prot)>; SLOTS], // (addr, pages, prot)
+    checkpoints: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let p = vee.spawn(None, "app").unwrap();
+        let engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: 3,
+                ..EngineConfig::default()
+            },
+            clock.clone(),
+        );
+        Harness {
+            vee,
+            clock,
+            engine,
+            store: BlobStore::in_memory(),
+            p,
+            slots: [None; SLOTS],
+            checkpoints: 0,
+        }
+    }
+
+    fn apply(&mut self, op: &MemOp) {
+        match op {
+            MemOp::Write { slot, offset, data } => {
+                if let Some((addr, pages, prot)) = self.slots[*slot] {
+                    if prot == Prot::ReadWrite {
+                        let len = pages * PAGE_SIZE as u64;
+                        if *offset + data.len() as u64 <= len {
+                            self.vee.mem_write(self.p, addr + offset, data).unwrap();
+                        }
+                    }
+                }
+            }
+            MemOp::Map { slot, pages } => {
+                if let Some((addr, old_pages, _)) = self.slots[*slot].take() {
+                    self.vee
+                        .munmap(self.p, addr, old_pages * PAGE_SIZE as u64)
+                        .unwrap();
+                }
+                let addr = self
+                    .vee
+                    .mmap(self.p, pages * PAGE_SIZE as u64, Prot::ReadWrite)
+                    .unwrap();
+                self.slots[*slot] = Some((addr, *pages, Prot::ReadWrite));
+            }
+            MemOp::Unmap { slot } => {
+                if let Some((addr, pages, _)) = self.slots[*slot].take() {
+                    self.vee
+                        .munmap(self.p, addr, pages * PAGE_SIZE as u64)
+                        .unwrap();
+                }
+            }
+            MemOp::Remap { slot, pages } => {
+                if let Some((addr, _, prot)) = self.slots[*slot] {
+                    let new_addr = self
+                        .vee
+                        .mremap(self.p, addr, pages * PAGE_SIZE as u64)
+                        .unwrap()
+                        .expect("region mapped");
+                    self.slots[*slot] = Some((new_addr, *pages, prot));
+                }
+            }
+            MemOp::Protect { slot, writable } => {
+                if let Some((addr, pages, _)) = self.slots[*slot] {
+                    let prot = if *writable {
+                        Prot::ReadWrite
+                    } else {
+                        Prot::ReadOnly
+                    };
+                    self.vee.mprotect(self.p, addr, prot).unwrap();
+                    self.slots[*slot] = Some((addr, pages, prot));
+                }
+            }
+            MemOp::Checkpoint => {
+                self.clock.advance(dv_time::Duration::from_secs(1));
+                self.engine.checkpoint(&mut self.vee, &mut self.store).unwrap();
+                self.checkpoints += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After any op sequence ending in a checkpoint, reviving from the
+    /// incremental chain reproduces every mapped byte.
+    #[test]
+    fn incremental_chain_restores_exact_memory(ops in prop::collection::vec(arb_op(), 1..50)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        // Final checkpoint so the restore target covers everything.
+        h.apply(&MemOp::Checkpoint);
+        let counter = h.checkpoints;
+        let chain = h.engine.chain_for(counter).expect("chain");
+
+        let (revived, _) = revive(
+            &mut h.store,
+            "ckpt",
+            &chain,
+            false,
+            2,
+            h.clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+            &NetworkPolicy::default(),
+        )
+        .expect("revive");
+
+        // Every mapped region's full contents must match.
+        for (slot, entry) in h.slots.iter().enumerate() {
+            if let Some((addr, pages, _)) = entry {
+                let len = (pages * PAGE_SIZE as u64) as usize;
+                let live = h.vee.mem_read(h.p, *addr, len).unwrap();
+                let restored = revived.mem_read(h.p, *addr, len).unwrap();
+                prop_assert_eq!(
+                    live, restored,
+                    "slot {} at {:#x} ({} pages) diverged", slot, addr, pages
+                );
+            }
+        }
+        // Region tables must match too.
+        let live_regions: Vec<_> = h
+            .vee
+            .process(h.p)
+            .unwrap()
+            .mem
+            .regions()
+            .map(|r| (r.start, r.len, r.prot))
+            .collect();
+        let revived_regions: Vec<_> = revived
+            .process(h.p)
+            .unwrap()
+            .mem
+            .regions()
+            .map(|r| (r.start, r.len, r.prot))
+            .collect();
+        prop_assert_eq!(live_regions, revived_regions);
+    }
+
+    /// Checkpoint image encode/decode round-trips byte-for-byte at the
+    /// page level for arbitrary memory states.
+    #[test]
+    fn image_round_trip_under_random_state(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op);
+        }
+        h.apply(&MemOp::Checkpoint);
+        let meta = h.engine.image_meta(h.checkpoints).unwrap();
+        let blob = h.store.get(&meta.blob).unwrap();
+        let image = dv_checkpoint::decode_image(&blob).expect("decode");
+        let reencoded = dv_checkpoint::encode_image(&image);
+        prop_assert_eq!(&*blob, &reencoded);
+    }
+}

@@ -1,0 +1,294 @@
+//! Property tests for the text index and the accessibility mirror.
+//!
+//! * Query evaluation must agree with a naive per-instant scan of the
+//!   text record ("is the query satisfied at time t?") for arbitrary
+//!   indexed content and query shapes.
+//! * The capture daemon's mirror tree must stay an exact replica of the
+//!   real accessible trees under arbitrary event sequences (§4.2).
+
+use proptest::prelude::*;
+
+use dv_access::{AccessibleTree, AppId, MirrorTree, NodeId, Role};
+use dv_index::{evaluate, Interval, IntervalSet, IndexedInstance, Query, TextIndex};
+use dv_time::Timestamp;
+
+// ---------------------------------------------------------------------
+// Index evaluation vs naive oracle.
+// ---------------------------------------------------------------------
+
+const VOCAB: &[&str] = &["alpha", "beta", "gamma", "delta"];
+const APPS: &[&str] = &["firefox", "editor"];
+const HORIZON_MS: u64 = 1_000;
+
+#[derive(Clone, Debug)]
+struct Spec {
+    app_idx: usize,
+    words: Vec<usize>,
+    shown: u64,
+    len: u64,
+    annotation: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Spec> {
+    (
+        0..APPS.len(),
+        prop::collection::vec(0..VOCAB.len(), 1..4),
+        0..HORIZON_MS - 10,
+        1..300u64,
+        prop::bool::weighted(0.1),
+    )
+        .prop_map(|(app_idx, words, shown, len, annotation)| Spec {
+            app_idx,
+            words,
+            shown,
+            len,
+            annotation,
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    let term = prop_oneof![
+        (0..VOCAB.len()).prop_map(|i| Query::Term(VOCAB[i].to_string())),
+        (0..VOCAB.len(), 0..VOCAB.len()).prop_map(|(a, b)| {
+            Query::Phrase(vec![VOCAB[a].to_string(), VOCAB[b].to_string()])
+        }),
+    ];
+    term.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Query::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|q| Query::Not(Box::new(q))),
+            (0..APPS.len(), inner.clone())
+                .prop_map(|(i, q)| Query::App(APPS[i].to_string(), Box::new(q))),
+            inner.clone().prop_map(|q| Query::Annotated(Box::new(q))),
+            (0..HORIZON_MS, 0..HORIZON_MS, inner.clone()).prop_map(|(a, b, q)| {
+                let (from, to) = if a <= b { (a, b) } else { (b, a) };
+                Query::During {
+                    from: Timestamp::from_millis(from),
+                    to: Timestamp::from_millis(to),
+                    q: Box::new(q),
+                }
+            }),
+        ]
+    })
+}
+
+fn build_index(specs: &[Spec]) -> (TextIndex, Vec<IndexedInstance>) {
+    let mut index = TextIndex::new();
+    let mut instances = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let text: Vec<&str> = spec.words.iter().map(|&w| VOCAB[w]).collect();
+        let instance = IndexedInstance {
+            id: i as u64 + 1,
+            app_id: spec.app_idx as u32,
+            app: APPS[spec.app_idx].to_string(),
+            window: format!("{} window", APPS[spec.app_idx]),
+            role: "paragraph".to_string(),
+            text: text.join(" "),
+            shown: Timestamp::from_millis(spec.shown),
+            hidden: Some(Timestamp::from_millis(spec.shown + spec.len)),
+            annotation: spec.annotation,
+        };
+        index.add_instance(instance.clone());
+        instances.push(instance);
+    }
+    index.advance_horizon(Timestamp::from_millis(HORIZON_MS));
+    (index, instances)
+}
+
+/// The oracle: is `q` satisfied at `t`, by definition?
+fn naive_satisfied(
+    index: &TextIndex,
+    instances: &[IndexedInstance],
+    q: &Query,
+    t: Timestamp,
+    app: Option<&str>,
+    annotated: bool,
+) -> bool {
+    match q {
+        Query::Any => instances.iter().any(|i| {
+            visible(index, i, t) && ctx_ok(i, app, annotated)
+        }),
+        Query::Term(term) => instances.iter().any(|i| {
+            i.text.split(' ').any(|w| w == term)
+                && visible(index, i, t)
+                && ctx_ok(i, app, annotated)
+        }),
+        Query::And(a, b) => {
+            naive_satisfied(index, instances, a, t, app, annotated)
+                && naive_satisfied(index, instances, b, t, app, annotated)
+        }
+        Query::Or(a, b) => {
+            naive_satisfied(index, instances, a, t, app, annotated)
+                || naive_satisfied(index, instances, b, t, app, annotated)
+        }
+        Query::Not(inner) => !naive_satisfied(index, instances, inner, t, app, annotated),
+        Query::App(name, inner) => naive_satisfied(index, instances, inner, t, Some(name), annotated),
+        Query::Annotated(inner) => naive_satisfied(index, instances, inner, t, app, true),
+        Query::During { from, to, q } => {
+            t >= *from && t < *to && naive_satisfied(index, instances, q, t, app, annotated)
+        }
+        Query::Phrase(words) => instances.iter().any(|i| {
+            let tokens: Vec<&str> = i.text.split(' ').collect();
+            tokens.len() >= words.len()
+                && tokens
+                    .windows(words.len())
+                    .any(|w| w.iter().zip(words).all(|(a, b)| a == b))
+                && visible(index, i, t)
+                && ctx_ok(i, app, annotated)
+        }),
+        Query::Window(..) | Query::Focused(..) => unreachable!("not generated"),
+    }
+}
+
+fn visible(index: &TextIndex, i: &IndexedInstance, t: Timestamp) -> bool {
+    index.visibility(i).contains(t)
+}
+
+fn ctx_ok(i: &IndexedInstance, app: Option<&str>, annotated: bool) -> bool {
+    if let Some(app) = app {
+        if !i.app.to_lowercase().contains(app) {
+            return false;
+        }
+    }
+    if annotated && !i.annotation {
+        return false;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interval-algebra evaluation agrees with the naive per-instant
+    /// oracle at sampled times (including interval boundaries).
+    #[test]
+    fn evaluation_matches_naive_scan(
+        specs in prop::collection::vec(arb_instance(), 0..8),
+        query in arb_query(),
+        probes in prop::collection::vec(0..HORIZON_MS, 8),
+    ) {
+        let (index, instances) = build_index(&specs);
+        let satisfied = evaluate(&index, &query);
+        // Probe at random times plus every boundary.
+        let mut times: Vec<u64> = probes;
+        for spec in &specs {
+            times.push(spec.shown);
+            times.push(spec.shown + spec.len);
+            times.push(spec.shown.saturating_sub(1));
+        }
+        for ms in times {
+            if ms >= HORIZON_MS {
+                continue;
+            }
+            let t = Timestamp::from_millis(ms);
+            let expected = naive_satisfied(&index, &instances, &query, t, None, false);
+            prop_assert_eq!(
+                satisfied.contains(t),
+                expected,
+                "query {:?} at t={}ms", query, ms
+            );
+        }
+    }
+
+    /// Interval set algebra laws: union/intersect/complement behave like
+    /// pointwise boolean algebra.
+    #[test]
+    fn interval_algebra_is_boolean(
+        a in prop::collection::vec((0..1_000u64, 1..100u64), 0..6),
+        b in prop::collection::vec((0..1_000u64, 1..100u64), 0..6),
+        probes in prop::collection::vec(0..1_200u64, 16),
+    ) {
+        let mk = |pairs: &[(u64, u64)]| {
+            IntervalSet::from_intervals(pairs.iter().map(|&(s, l)| {
+                Interval::new(Timestamp::from_millis(s), Timestamp::from_millis(s + l))
+            }))
+        };
+        let sa = mk(&a);
+        let sb = mk(&b);
+        let horizon = Timestamp::from_millis(1_200);
+        let union = sa.union(&sb);
+        let inter = sa.intersect(&sb);
+        let comp = sa.complement(Timestamp::ZERO, horizon);
+        for ms in probes {
+            let t = Timestamp::from_millis(ms);
+            prop_assert_eq!(union.contains(t), sa.contains(t) || sb.contains(t));
+            prop_assert_eq!(inter.contains(t), sa.contains(t) && sb.contains(t));
+            if t < horizon {
+                prop_assert_eq!(comp.contains(t), !sa.contains(t));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mirror fidelity under random event sequences.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Add { parent_seed: usize, role_seed: usize, text_seed: usize },
+    SetText { node_seed: usize, text_seed: usize },
+    Remove { node_seed: usize },
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        3 => (any::<usize>(), 0..4usize, any::<usize>())
+            .prop_map(|(parent_seed, role_seed, text_seed)| TreeOp::Add {
+                parent_seed,
+                role_seed,
+                text_seed
+            }),
+        2 => (any::<usize>(), any::<usize>())
+            .prop_map(|(node_seed, text_seed)| TreeOp::SetText { node_seed, text_seed }),
+        1 => any::<usize>().prop_map(|node_seed| TreeOp::Remove { node_seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The mirror stays an exact replica under arbitrary add/set/remove
+    /// sequences, using only incremental updates.
+    #[test]
+    fn mirror_stays_exact(ops in prop::collection::vec(arb_tree_op(), 1..60)) {
+        let app = AppId(1);
+        let mut tree = AccessibleTree::new("app");
+        let mut mirror = MirrorTree::new();
+        mirror.mirror_app(app, &tree);
+        let roles = [Role::Paragraph, Role::Link, Role::MenuItem, Role::Label];
+        let mut live: Vec<NodeId> = vec![tree.root()];
+        for op in &ops {
+            match op {
+                TreeOp::Add { parent_seed, role_seed, text_seed } => {
+                    let parent = live[parent_seed % live.len()];
+                    let node = tree.add_node(
+                        parent,
+                        roles[*role_seed],
+                        &format!("text {}", text_seed % 7),
+                    );
+                    mirror.mirror_added(app, node, &tree);
+                    live.push(node);
+                }
+                TreeOp::SetText { node_seed, text_seed } => {
+                    let node = live[node_seed % live.len()];
+                    tree.set_text(node, &format!("updated {}", text_seed % 11));
+                    mirror.mirror_text_changed(app, node, &tree);
+                }
+                TreeOp::Remove { node_seed } => {
+                    let node = live[node_seed % live.len()];
+                    if node == tree.root() {
+                        continue;
+                    }
+                    let removed = tree.remove_subtree(node);
+                    mirror.mirror_removed(app, node);
+                    live.retain(|n| !removed.contains(n));
+                }
+            }
+            prop_assert!(mirror.matches(app, &tree), "mirror drift after {:?}", op);
+        }
+    }
+}
