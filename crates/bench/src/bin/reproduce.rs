@@ -6,16 +6,16 @@
 //! reproduce [EXPERIMENT] [--scale S]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
-//!             policy | all   (default: all)
+//!             policy | quality | faults | ablation | all   (default: all)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25)
 //! ```
 
 use dv_bench::{
-    ablation_checkpoint_optimizations, ablation_mirror_tree, fig2_overhead,
-    fig3_checkpoint_latency, fig4_storage, fig5_browse_search, fig6_playback, fig7_revive,
-    policy_effectiveness, print_ablation, print_fig2, print_fig3, print_fig4, print_fig5,
-    print_fig6, print_fig7, print_mirror_ablation, print_policy, print_quality, print_table1,
-    quality_tradeoff, table1,
+    ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency, faults_experiment,
+    fig2_overhead, fig3_checkpoint_latency, fig4_storage, fig5_browse_search, fig6_playback,
+    fig7_revive, policy_effectiveness, print_ablation, print_crash, print_faults, print_fig2,
+    print_fig3, print_fig4, print_fig5, print_fig6, print_fig7, print_mirror_ablation,
+    print_policy, print_quality, print_table1, quality_tradeoff, table1,
 };
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|ablation|all] [--scale S]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|ablation|all] [--scale S]"
                 );
                 return;
             }
@@ -86,6 +86,12 @@ fn main() {
     }
     if all || experiment == "quality" {
         print_quality(&quality_tradeoff(scale));
+        println!();
+    }
+    if all || experiment == "faults" {
+        print_faults(&faults_experiment(scale));
+        println!();
+        print_crash(&crash_consistency(scale));
         println!();
     }
     if all || experiment == "ablation" {

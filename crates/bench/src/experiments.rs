@@ -818,9 +818,182 @@ pub fn policy_effectiveness(scale: f64) -> PolicyStats {
     dv.policy_stats()
 }
 
+// ---------------------------------------------------------------------
+// Fault injection and crash consistency
+// ---------------------------------------------------------------------
+
+/// One fault-injection run: a single site × fault pair armed against a
+/// live session, every other check at the site failing.
+pub struct FaultRow {
+    /// Injection site.
+    pub site: &'static str,
+    /// Fault kind injected.
+    pub fault: &'static str,
+    /// Faults actually injected.
+    pub injected: u64,
+    /// Degradation events the server absorbed (retried or dropped work).
+    pub degraded: u64,
+    /// Checkpoints that still completed under fault.
+    pub checkpoints: u64,
+    /// Whether browsing the pre-fault record still works afterwards.
+    pub browse_ok: bool,
+    /// Whether search still works afterwards.
+    pub search_ok: bool,
+}
+
+/// Drives mixed activity — painting, file writes, syncs, policy ticks —
+/// tolerating injected storage errors the way the server does.
+fn drive_activity(dv: &mut DejaView, steps: u64, phase: u64) {
+    for i in 0..steps {
+        let color = 0x10_10_10 + (phase + i) as u32 * 37;
+        dv.driver_mut()
+            .fill_rect(dv_display::Rect::new(0, 0, 128, 96), color);
+        let _ = dv
+            .vee_mut()
+            .fs
+            .write_all("/data/file", &vec![(phase + i) as u8; 4 << 10]);
+        let _ = dv.vee_mut().fs.sync();
+        dv.clock().advance(Duration::from_secs(1));
+        let _ = dv.policy_tick();
+        // An explicit keyframe per step keeps the screenshot/timeline
+        // persistence sites hot regardless of the keyframe cadence.
+        dv.force_keyframe();
+    }
+}
+
+/// Exercises every fault site with every fault kind against a live
+/// session: the session must absorb the faults as degradation (never a
+/// panic) and keep its pre-fault record browsable and searchable.
+pub fn faults_experiment(scale: f64) -> Vec<FaultRow> {
+    use dv_fault::{sites, FaultPlan, IoFault};
+    let kinds = [
+        (IoFault::Enospc, "enospc"),
+        (IoFault::TornWrite, "torn-write"),
+        (IoFault::ShortRead, "short-read"),
+        (IoFault::Corrupt, "corrupt"),
+        (IoFault::LatencySpike, "latency"),
+    ];
+    let steps = ((20.0 * scale) as u64).max(5);
+    let mut rows = Vec::new();
+    for (si, site) in sites::ALL.iter().enumerate() {
+        for (ki, (fault, fault_name)) in kinds.iter().enumerate() {
+            let plane = FaultPlan::new(((si as u64) << 8) | ki as u64)
+                .every_nth(site, 2, *fault)
+                .build();
+            plane.disarm();
+            let mut dv = DejaView::with_clock(
+                Config {
+                    width: 128,
+                    height: 96,
+                    fault_plane: plane.clone(),
+                    ..Config::default()
+                },
+                SimClock::new(),
+            );
+            dv.vee_mut().fs.mkdir_all("/data").expect("clean mkdir");
+            // Clean pre-fault history the record must retain.
+            drive_activity(&mut dv, 3, 0);
+            plane.arm();
+            drive_activity(&mut dv, steps, 3);
+            // A revive under fault reads checkpoint blobs back
+            // (exercising the get path); it may legitimately fail.
+            if let Ok(sid) = dv.take_me_back(dv.now()) {
+                let _ = dv.close_session(sid);
+            }
+            // Two archive saves so every-other-check sites (e.g. the
+            // single index flush per save) get at least one injection.
+            let _ = dv.save_archive();
+            let _ = dv.save_archive();
+            plane.disarm();
+            rows.push(FaultRow {
+                site,
+                fault: fault_name,
+                injected: plane.injected_at(site),
+                degraded: dv.storage().degraded_events,
+                checkpoints: dv.engine().stats().checkpoints,
+                browse_ok: dv.browse(Timestamp::from_millis(1_500)).is_ok(),
+                search_ok: dv.search("data", RankOrder::Chronological).is_ok(),
+            });
+        }
+    }
+    rows
+}
+
+/// One power-cut recovery run: the session file system image truncated
+/// after `cut_bytes` of its log.
+pub struct CrashRow {
+    /// Fraction of the log that reached stable storage.
+    pub cut_fraction: f64,
+    /// Bytes of log kept.
+    pub cut_bytes: u64,
+    /// Whether `Lsfs::load` recovered a state that passes `check()`.
+    pub recovered: bool,
+    /// Snapshots still resolvable in the recovered state.
+    pub snapshots: usize,
+}
+
+/// Crash-consistency sweep: records a session, then simulates power
+/// cuts at increasing log prefixes and reopens each truncated image.
+pub fn crash_consistency(scale: f64) -> Vec<CrashRow> {
+    use dv_fault::crash;
+    let steps = ((30.0 * scale) as u64).max(8);
+    let mut dv = DejaView::new(Config {
+        width: 128,
+        height: 96,
+        ..Config::default()
+    });
+    dv.vee_mut().fs.mkdir_all("/data").expect("mkdir");
+    drive_activity(&mut dv, steps, 0);
+    let image = dv
+        .session_fs_handle()
+        .with(|fs| fs.save())
+        .expect("serialize fs");
+    let log_len = crash::log_len(&image);
+    [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|fraction| {
+            let cut = (log_len as f64 * fraction) as usize;
+            let cut_image = crash::power_cut(&image, cut);
+            let (recovered, snapshots) = match dv_lsfs::Lsfs::load(&cut_image) {
+                Ok(fs) => (fs.check().is_ok(), fs.snapshot_counters().len()),
+                Err(_) => (false, 0),
+            };
+            CrashRow {
+                cut_fraction: *fraction,
+                cut_bytes: cut as u64,
+                recovered,
+                snapshots,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn faults_smoke() {
+        let rows = faults_experiment(0.02);
+        assert_eq!(rows.len(), dv_fault::sites::ALL.len() * 5);
+        for row in &rows {
+            assert!(row.browse_ok, "{}/{}: browse survived", row.site, row.fault);
+            assert!(row.search_ok, "{}/{}: search survived", row.site, row.fault);
+        }
+        // At least some rows actually injected faults.
+        assert!(rows.iter().any(|r| r.injected > 0));
+    }
+
+    #[test]
+    fn crash_smoke() {
+        let rows = crash_consistency(0.02);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.recovered, "cut at {} bytes recovered", row.cut_bytes);
+        }
+        // The full image keeps the most snapshots.
+        assert!(rows.last().unwrap().snapshots >= rows[0].snapshots);
+    }
 
     #[test]
     fn fig3_smoke() {

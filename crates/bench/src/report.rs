@@ -1,8 +1,8 @@
 //! Paper-style table printing for the `reproduce` binary.
 
 use crate::experiments::{
-    AblationRow, BrowseSearchRow, CheckpointRow, MirrorAblationRow, OverheadRow, PlaybackRow,
-    QualityRow, ReviveRow, StorageRow, Table1Row,
+    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, FaultRow, MirrorAblationRow,
+    OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow, Table1Row,
 };
 use dv_checkpoint::PolicyStats;
 
@@ -12,6 +12,47 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn vms(d: dv_time::Duration) -> f64 {
     d.as_nanos() as f64 / 1e6
+}
+
+/// Prints the fault-injection matrix.
+pub fn print_faults(rows: &[FaultRow]) {
+    println!("Fault injection: every storage site x every fault kind (every 2nd check fails)");
+    println!(
+        "{:<26} {:<11} {:>8} {:>8} {:>6} {:>7} {:>7}",
+        "site", "fault", "injected", "degraded", "ckpts", "browse", "search"
+    );
+    println!("{:-<80}", "");
+    for row in rows {
+        println!(
+            "{:<26} {:<11} {:>8} {:>8} {:>6} {:>7} {:>7}",
+            row.site,
+            row.fault,
+            row.injected,
+            row.degraded,
+            row.checkpoints,
+            if row.browse_ok { "ok" } else { "FAIL" },
+            if row.search_ok { "ok" } else { "FAIL" },
+        );
+    }
+}
+
+/// Prints the power-cut recovery sweep.
+pub fn print_crash(rows: &[CrashRow]) {
+    println!("Crash consistency: power cut at increasing log prefixes, then reopen");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "cut", "log-bytes", "recovered", "snapshots"
+    );
+    println!("{:-<44}", "");
+    for row in rows {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            format!("{:.0}%", row.cut_fraction * 100.0),
+            row.cut_bytes,
+            if row.recovered { "ok" } else { "FAIL" },
+            row.snapshots,
+        );
+    }
 }
 
 /// Prints Table 1.

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 
+use dv_fault::{sites, FaultPlane, IoFault};
 use dv_lsfs::{BlobStore, FsError};
 use dv_time::{Duration, PhaseBreakdown, PhaseTimer, Timestamp};
 use dv_vee::{FdObject, Process, RunState, Signal, SockState, Vee};
@@ -127,6 +128,9 @@ pub struct EngineStats {
     pub raw_bytes: u64,
     /// Unlinked files relinked.
     pub relinks: u64,
+    /// Checkpoints whose writeback failed after the session resumed
+    /// (the session keeps running; the image is not retained).
+    pub write_failures: u64,
 }
 
 /// A function the engine calls to let session time pass while it waits
@@ -145,6 +149,7 @@ pub struct Checkpointer {
     stats: EngineStats,
     waiter: WaitFn,
     relink_seq: u64,
+    plane: FaultPlane,
 }
 
 impl Checkpointer {
@@ -160,7 +165,14 @@ impl Checkpointer {
             stats: EngineStats::default(),
             waiter,
             relink_seq: 0,
+            plane: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs the fault-injection plane (sites
+    /// `checkpoint.image.encode` and `checkpoint.writeback`).
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.plane = plane;
     }
 
     /// Creates an engine whose pre-quiesce wait advances a [`dv_time::SimClock`].
@@ -469,27 +481,42 @@ impl Checkpointer {
 
         // --- Writeback: deferred past resume by default; the ablation
         // pays it while the session is still stopped. ---
-        let mut do_writeback = |timer: &mut PhaseTimer| -> (u64, u64, String) {
+        let plane = self.plane.clone();
+        let mut do_writeback = |timer: &mut PhaseTimer| -> Result<(u64, u64, String), FsError> {
             timer.enter("writeback");
             let mut buffer = Vec::with_capacity(self.buffer_estimate);
             buffer.extend_from_slice(&encode_image(&image));
+            match plane.check(sites::CHECKPOINT_IMAGE_ENCODE) {
+                None | Some(IoFault::LatencySpike) => {}
+                Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+                Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
+                Some(IoFault::Corrupt) => plane.mangle(&mut buffer),
+            }
             let raw_bytes = buffer.len() as u64;
-            let stored = if self.config.compress {
+            let mut stored = if self.config.compress {
                 compress(&buffer)
             } else {
                 buffer
             };
+            match plane.check(sites::CHECKPOINT_WRITEBACK) {
+                None | Some(IoFault::LatencySpike) => {}
+                Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+                Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
+                Some(IoFault::Corrupt) => plane.mangle(&mut stored),
+            }
             let stored_bytes = stored.len() as u64;
             let blob = format!("{}-{counter:08}", self.blob_prefix);
-            store.put(&blob, stored);
-            (raw_bytes, stored_bytes, blob)
+            store.put(&blob, stored)?;
+            Ok((raw_bytes, stored_bytes, blob))
         };
         let mut written = None;
         if self.config.disable_deferred_writeback {
             written = Some(do_writeback(&mut timer));
         }
 
-        // --- Resume: the session runs again; downtime ends here. ---
+        // --- Resume: the session runs again; downtime ends here. Resume
+        // happens before a writeback failure propagates, so a storage
+        // fault never leaves the session stopped. ---
         timer.enter("resume");
         for (vpid, state) in resume_states {
             // Only processes that were runnable before the quiesce are
@@ -499,9 +526,15 @@ impl Checkpointer {
             }
         }
 
-        let (raw_bytes, stored_bytes, blob) = match written {
-            Some(done) => done,
-            None => do_writeback(&mut timer),
+        let (raw_bytes, stored_bytes, blob) = match written.unwrap_or_else(|| do_writeback(&mut timer)) {
+            Ok(done) => done,
+            Err(e) => {
+                // The checkpoint is lost but the session runs on: the
+                // counter is not consumed, no metadata is recorded, and
+                // the caller decides whether to retry.
+                self.stats.write_failures += 1;
+                return Err(e);
+            }
         };
         self.recent_sizes.push(raw_bytes as usize);
         if self.recent_sizes.len() > 8 {

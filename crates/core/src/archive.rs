@@ -80,13 +80,9 @@ impl DejaView {
             encode_record(&store)
         };
         put_section(&mut out, &record_bytes);
-        // Text index.
-        let index_bytes = {
-            let index = self.index();
-            let mut guard = index.lock();
-            guard.advance_horizon(self.now());
-            dv_index::encode_index(&guard)
-        };
+        // Text index, flushed through the fault plane with the server's
+        // retry policy.
+        let index_bytes = self.flush_index_with_retry()?;
         put_section(&mut out, &index_bytes);
         // Checkpoint blobs + engine metadata.
         let blob_bytes = self.store_mut().export();

@@ -7,8 +7,10 @@
 //! configurable here.
 
 use dv_checkpoint::{EngineConfig, NetworkPolicy, PolicyConfig};
+use dv_fault::FaultPlane;
 use dv_lsfs::ReadLatency;
 use dv_record::RecorderConfig;
+use dv_time::Duration;
 
 /// Top-level configuration for a DejaView server.
 pub struct Config {
@@ -37,6 +39,17 @@ pub struct Config {
     pub enable_display_recording: bool,
     /// Attach the text-capture daemon and index.
     pub enable_text_capture: bool,
+    /// Fault-injection plane installed into every storage component
+    /// (disk log, journal, blob store, checkpoint writeback, recorder
+    /// persistence, index flush). Disabled by default: the sites are
+    /// no-ops until a test arms a plan.
+    pub fault_plane: FaultPlane,
+    /// How many times a failed checkpoint or index flush is retried
+    /// before the server gives up on that attempt and degrades.
+    pub io_retry_limit: u32,
+    /// Initial backoff between storage retries; doubles per attempt
+    /// (advanced on the session clock, so it is deterministic).
+    pub io_retry_backoff: Duration,
 }
 
 impl Default for Config {
@@ -52,6 +65,9 @@ impl Default for Config {
             store_latency: None,
             enable_display_recording: true,
             enable_text_capture: true,
+            fault_plane: FaultPlane::disabled(),
+            io_retry_limit: 3,
+            io_retry_backoff: Duration::from_millis(50),
         }
     }
 }

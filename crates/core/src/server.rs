@@ -18,6 +18,7 @@ use dv_checkpoint::{
     PolicyInput,
 };
 use dv_display::{InputEvent, Screenshot, Viewer, VirtualDisplayDriver};
+use dv_fault::FaultPlane;
 use dv_index::{parse_query, RankOrder, SearchHit, TextIndex};
 use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedFs, UnionFs};
 use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
@@ -84,6 +85,10 @@ pub struct DejaView {
     fullscreen_active: bool,
     system_load: f64,
     substream_threshold: Duration,
+    fault_plane: FaultPlane,
+    io_retry_limit: u32,
+    io_retry_backoff: Duration,
+    degraded_events: u64,
 }
 
 impl DejaView {
@@ -106,10 +111,14 @@ impl DejaView {
             store_latency,
             enable_display_recording,
             enable_text_capture,
+            fault_plane,
+            io_retry_limit,
+            io_retry_backoff,
         } = config;
         let compress = engine.compress;
         let mut driver = VirtualDisplayDriver::new(width, height, clock.shared());
         let recorder = Arc::new(Mutex::new(DisplayRecorder::new(width, height, recorder)));
+        recorder.lock().set_fault_plane(fault_plane.clone());
         let record = recorder.lock().record();
         if enable_display_recording {
             driver.attach_sink(recorder.clone());
@@ -128,6 +137,7 @@ impl DejaView {
         }
 
         let session_fs = SharedFs::new(Lsfs::new());
+        session_fs.with(|fs| fs.set_fault_plane(fault_plane.clone()));
         let host_pids = HostPidAllocator::new();
         let mut vee = Vee::new(
             0,
@@ -139,15 +149,18 @@ impl DejaView {
         // (the display server runs inside the environment, §3).
         vee.spawn(None, "session-init").expect("empty namespace");
 
-        let store = match store_latency {
+        let mut store = match store_latency {
             Some(latency) => BlobStore::with_latency(latency),
             None => BlobStore::in_memory(),
         };
+        store.set_fault_plane(fault_plane.clone());
+        let mut checkpointer = Checkpointer::with_sim_clock(engine, clock.clone());
+        checkpointer.set_fault_plane(fault_plane.clone());
         let playback = PlaybackEngine::new(record.clone());
         DejaView {
             clipboard: String::new(),
             engine_config: engine,
-            engine: Checkpointer::with_sim_clock(engine, clock.clone()),
+            engine: checkpointer,
             policy: CheckpointPolicy::new(policy),
             clock,
             desktop,
@@ -173,6 +186,10 @@ impl DejaView {
             fullscreen_active: false,
             system_load: 0.0,
             substream_threshold: Duration::from_secs(5),
+            fault_plane,
+            io_retry_limit,
+            io_retry_backoff,
+            degraded_events: 0,
         }
     }
 
@@ -346,10 +363,69 @@ impl DejaView {
         self.system_load = load;
     }
 
-    /// Takes a checkpoint unconditionally.
+    /// Takes a checkpoint, retrying with exponential backoff (on the
+    /// session clock) when the storage layer fails. Each failed attempt
+    /// counts as one degradation event; the error is returned only once
+    /// the retry budget is exhausted.
+    fn checkpoint_with_retry(&mut self) -> Result<CheckpointReport, ServerError> {
+        let mut backoff = self.io_retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            match self.engine.checkpoint(&mut self.vee, &mut self.store) {
+                Ok(report) => return Ok(report),
+                Err(e) => {
+                    self.degraded_events += 1;
+                    if attempt >= self.io_retry_limit {
+                        return Err(e.into());
+                    }
+                    attempt += 1;
+                    self.clock.advance(backoff);
+                    backoff = Duration::from_nanos(backoff.as_nanos().saturating_mul(2));
+                }
+            }
+        }
+    }
+
+    /// Flushes the text index as a storable segment, retrying failed
+    /// flushes with the same backoff policy as checkpoints. Corrupt
+    /// flushes succeed here (silent corruption) and are caught by
+    /// `decode_index` on reload.
+    pub(crate) fn flush_index_with_retry(&mut self) -> Result<Vec<u8>, ServerError> {
+        let mut backoff = self.io_retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let flushed = {
+                let now = self.now();
+                let mut index = self.index.lock();
+                index.advance_horizon(now);
+                dv_index::flush_segment(&index, &self.fault_plane)
+            };
+            match flushed {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    self.degraded_events += 1;
+                    if attempt >= self.io_retry_limit {
+                        return Err(ServerError::Query(dv_index::ParseError(e.to_string())));
+                    }
+                    attempt += 1;
+                    self.clock.advance(backoff);
+                    backoff = Duration::from_nanos(backoff.as_nanos().saturating_mul(2));
+                }
+            }
+        }
+    }
+
+    /// Takes a checkpoint unconditionally (with the storage retry
+    /// policy).
     pub fn checkpoint_now(&mut self) -> Result<CheckpointReport, ServerError> {
-        let report = self.engine.checkpoint(&mut self.vee, &mut self.store)?;
-        Ok(report)
+        self.checkpoint_with_retry()
+    }
+
+    /// Counts storage failures the server absorbed without stopping the
+    /// session: failed checkpoint attempts and failed index flushes
+    /// (each retry that failed counts once).
+    pub fn degraded_events(&self) -> u64 {
+        self.degraded_events
     }
 
     /// Runs one checkpoint-policy evaluation (the server calls this
@@ -371,9 +447,11 @@ impl DejaView {
         self.pending_keyboard_input = false;
         let decision = self.policy.evaluate(&input);
         let report = match decision {
-            Decision::Checkpoint => {
-                Some(self.engine.checkpoint(&mut self.vee, &mut self.store)?)
-            }
+            // A checkpoint that still fails after retries degrades the
+            // record (this moment is not revivable) but never stops
+            // recording: the tick reports no checkpoint and the failure
+            // is visible in `degraded_events` / engine `write_failures`.
+            Decision::Checkpoint => self.checkpoint_with_retry().ok(),
             Decision::Skip(_) => None,
         };
         Ok(PolicyTick { decision, report })
@@ -460,10 +538,15 @@ impl DejaView {
     }
 
     fn screenshot_at(&mut self, t: Timestamp) -> Result<Screenshot, ServerError> {
-        // Clamp to the recorded span: an interval may end at the open
-        // horizon, past the last display command.
+        // Clamp to the recorded span: an interval may begin before the
+        // first display command (text captured before any paint) or end
+        // at the open horizon, past the last one.
         let t = {
             let store = self.record.read();
+            let t = match store.start {
+                Some(start) => t.max(start),
+                None => t,
+            };
             t.min(store.end)
         };
         if self.search_cache.get(&t.as_nanos()).is_none() {
@@ -585,8 +668,9 @@ impl DejaView {
             viewer.present(&shot);
         }
         // The session's own engine writes under a distinct blob prefix.
-        let engine = Checkpointer::with_sim_clock(self.engine_config, self.clock.clone())
+        let mut engine = Checkpointer::with_sim_clock(self.engine_config, self.clock.clone())
             .with_blob_prefix(&format!("s{id}"));
+        engine.set_fault_plane(self.fault_plane.clone());
         self.revived.insert(
             id,
             RevivedSession {
@@ -642,6 +726,9 @@ impl DejaView {
             checkpoint_raw_bytes: eng.raw_bytes,
             checkpoint_stored_bytes: eng.stored_bytes,
             fs_bytes: fs.data_bytes + fs.journal_bytes,
+            degraded_events: self.degraded_events
+                + rec.dropped_commands
+                + rec.dropped_keyframes,
         }
     }
 }
@@ -997,6 +1084,53 @@ mod tests {
         assert!(dv.session(sid).is_ok());
         // Reviving a retired checkpoint fails on the fs snapshot.
         assert!(dv.revive_counter(1).is_err());
+    }
+
+    #[test]
+    fn checkpoint_failure_is_retried_and_counted() {
+        use dv_fault::{sites, FaultPlan, IoFault};
+        // First writeback attempt fails; the backoff retry succeeds.
+        let plane = FaultPlan::new(7)
+            .fail_nth(sites::CHECKPOINT_WRITEBACK, 1, IoFault::Enospc)
+            .build();
+        let mut dv = DejaView::new(Config {
+            width: 64,
+            height: 64,
+            fault_plane: plane,
+            ..Config::default()
+        });
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 1);
+        dv.clock().advance(Duration::from_secs(1));
+        let tick = dv.policy_tick().unwrap();
+        assert!(tick.report.is_some(), "retry recovered the checkpoint");
+        assert_eq!(dv.degraded_events(), 1);
+        assert_eq!(dv.storage().degraded_events, 1);
+        assert_eq!(dv.engine().stats().write_failures, 1);
+    }
+
+    #[test]
+    fn persistent_checkpoint_failure_degrades_without_stopping() {
+        use dv_fault::{sites, FaultPlan, IoFault};
+        let plane = FaultPlan::new(9)
+            .always(sites::CHECKPOINT_WRITEBACK, IoFault::Enospc)
+            .build();
+        let mut dv = DejaView::new(Config {
+            width: 64,
+            height: 64,
+            fault_plane: plane,
+            ..Config::default()
+        });
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 2);
+        dv.clock().advance(Duration::from_secs(1));
+        let tick = dv.policy_tick().unwrap();
+        assert_eq!(tick.decision, Decision::Checkpoint);
+        assert!(tick.report.is_none(), "exhausted retries degrade the tick");
+        // Initial attempt plus the full retry budget, all counted.
+        assert_eq!(dv.degraded_events(), 1 + Config::default().io_retry_limit as u64);
+        // Recording and browsing continue past the degraded moment.
+        assert!(dv.browse(Timestamp::from_millis(500)).is_ok());
+        // An explicit checkpoint propagates the error instead.
+        assert!(dv.checkpoint_now().is_err());
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct StorageBreakdown {
     pub checkpoint_stored_bytes: u64,
     /// File system log growth (data + journal).
     pub fs_bytes: u64,
+    /// Storage failures absorbed as graceful degradation: failed
+    /// checkpoint attempts, failed index flushes, and recorder batches
+    /// or keyframes dropped by injected faults. Zero in a healthy run.
+    pub degraded_events: u64,
 }
 
 impl StorageBreakdown {
@@ -42,6 +46,7 @@ impl StorageBreakdown {
                 .checkpoint_stored_bytes
                 .saturating_sub(earlier.checkpoint_stored_bytes),
             fs_bytes: self.fs_bytes.saturating_sub(earlier.fs_bytes),
+            degraded_events: self.degraded_events.saturating_sub(earlier.degraded_events),
         }
     }
 
@@ -104,6 +109,7 @@ mod tests {
             checkpoint_raw_bytes: 40_000_000,
             checkpoint_stored_bytes: 8_000_000,
             fs_bytes: 2_000_000,
+            degraded_events: 0,
         };
         let r = b.rates(Duration::from_secs(10));
         assert!((r.display_mbps - 1.0).abs() < 1e-9);
@@ -121,6 +127,7 @@ mod tests {
             checkpoint_raw_bytes: 100,
             checkpoint_stored_bytes: 4,
             fs_bytes: 8,
+            degraded_events: 0,
         };
         assert_eq!(b.total_stored(), 15);
     }

@@ -1,0 +1,67 @@
+//! CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! checksum guarding journal record frames in `dv-lsfs`. Lives here so
+//! both the filesystem and the crash harness agree on one
+//! implementation without a dependency cycle.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed chunks into `state` (start from
+/// `0xFFFF_FFFF`, finish by XOR with `0xFFFF_FFFF`).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state = (state >> 8) ^ TABLE[((state ^ byte as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32-IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"journal record body with some length to it";
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = b"sensitive".to_vec();
+        let before = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,115 @@
+//! Power-cut surgery on serialized `Lsfs` images.
+//!
+//! Crash-consistency testing needs to simulate a machine dying mid-write
+//! and then prove recovery lands on a valid prior state. Because
+//! `dv-fault` is a leaf crate (the filesystem depends on *it*), this
+//! module edits the serialized container byte-for-byte instead of using
+//! `dv-lsfs` types. The layout is therefore a contract:
+//!
+//! ```text
+//! Lsfs::save() container ("DVLSF002"):
+//!   [0..8)    magic  b"DVLSF002"
+//!   [8..16)   head   u64 LE — offset of the last journal record
+//!   [16..24)  seg_capacity u64 LE   ┐
+//!   [24..32)  log_len      u64 LE   ├ Disk::to_bytes()
+//!   [32..)    log bytes              ┘
+//! ```
+//!
+//! A power cut at byte `cut` of the *log* keeps the first `cut` log
+//! bytes and discards the rest. The stored head may then point past the
+//! cut — exactly like a real crash where the superblock was written
+//! before the tail it references — and `Lsfs::load` must fall back to
+//! scanning for the newest intact journal record. A contract test in
+//! `dv-lsfs` asserts this module and `Lsfs::save` agree on the layout.
+
+/// Byte offset of the log area within a serialized image.
+pub const LOG_START: usize = 32;
+const MAGIC: &[u8; 8] = b"DVLSF002";
+
+/// Length in bytes of the log area of a serialized image.
+///
+/// # Panics
+///
+/// Panics if `image` is not a `DVLSF002` container.
+pub fn log_len(image: &[u8]) -> usize {
+    parse(image).1
+}
+
+fn parse(image: &[u8]) -> (u64, usize) {
+    assert!(image.len() >= LOG_START, "container too short for header");
+    assert_eq!(&image[0..8], MAGIC, "not a DVLSF002 container");
+    let head = u64::from_le_bytes(image[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(image[24..32].try_into().unwrap()) as usize;
+    assert_eq!(
+        image.len(),
+        LOG_START + len,
+        "container log length disagrees with image size"
+    );
+    (head, len)
+}
+
+/// Simulate a power cut after `cut` bytes of the log reached stable
+/// storage: everything past it is lost, and the recorded log length is
+/// rewritten to match. The stored head pointer is deliberately left
+/// alone — recovery must not trust it.
+///
+/// `cut` is clamped to the actual log length, so sweeping
+/// `0..=log_len(image)` exercises every boundary.
+pub fn power_cut(image: &[u8], cut: usize) -> Vec<u8> {
+    let (_head, len) = parse(image);
+    let cut = cut.min(len);
+    let mut out = Vec::with_capacity(LOG_START + cut);
+    out.extend_from_slice(&image[..LOG_START]);
+    out.extend_from_slice(&image[LOG_START..LOG_START + cut]);
+    out[24..32].copy_from_slice(&(cut as u64).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_image(head: u64, seg_capacity: u64, log: &[u8]) -> Vec<u8> {
+        let mut image = Vec::new();
+        image.extend_from_slice(MAGIC);
+        image.extend_from_slice(&head.to_le_bytes());
+        image.extend_from_slice(&seg_capacity.to_le_bytes());
+        image.extend_from_slice(&(log.len() as u64).to_le_bytes());
+        image.extend_from_slice(log);
+        image
+    }
+
+    #[test]
+    fn cut_truncates_log_and_fixes_length() {
+        let image = fake_image(40, 1 << 20, &[7u8; 100]);
+        assert_eq!(log_len(&image), 100);
+        let cut = power_cut(&image, 33);
+        assert_eq!(log_len(&cut), 33);
+        assert_eq!(cut.len(), LOG_START + 33);
+        // Header magic, head, and capacity are untouched.
+        assert_eq!(&cut[..24], &image[..24]);
+    }
+
+    #[test]
+    fn cut_beyond_end_is_identity() {
+        let image = fake_image(0, 4096, b"short log");
+        let cut = power_cut(&image, 10_000);
+        assert_eq!(cut, image);
+    }
+
+    #[test]
+    fn cut_at_zero_keeps_only_header() {
+        let image = fake_image(12, 4096, &[1, 2, 3, 4]);
+        let cut = power_cut(&image, 0);
+        assert_eq!(log_len(&cut), 0);
+        assert_eq!(cut.len(), LOG_START);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DVLSF002 container")]
+    fn wrong_magic_is_rejected() {
+        let mut image = fake_image(0, 4096, b"x");
+        image[0..8].copy_from_slice(b"DVLSF001");
+        power_cut(&image, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Injection-site names, one per instrumented IO path in the storage
+//! stack. Constants (rather than free strings) keep call sites and
+//! fault-matrix tests in lockstep.
+
+/// `Disk::append` in `dv-lsfs` — the raw log write under everything.
+pub const LSFS_DISK_APPEND: &str = "lsfs.disk.append";
+/// Journal record commit in `dv-lsfs` (`Lsfs::commit`).
+pub const LSFS_JOURNAL_COMMIT: &str = "lsfs.journal.commit";
+/// `BlobStore::put` in `dv-lsfs` — checkpoint/archive blob writes.
+pub const LSFS_BLOB_PUT: &str = "lsfs.blob.put";
+/// `BlobStore::get` in `dv-lsfs` — blob reads (revive path).
+pub const LSFS_BLOB_GET: &str = "lsfs.blob.get";
+/// Checkpoint image writeback to the blob store in `dv-checkpoint`.
+pub const CHECKPOINT_WRITEBACK: &str = "checkpoint.writeback";
+/// Checkpoint image encoding in `dv-checkpoint`.
+pub const CHECKPOINT_IMAGE_ENCODE: &str = "checkpoint.image.encode";
+/// Display-command log append in `dv-record`.
+pub const RECORD_LOG_APPEND: &str = "record.log.append";
+/// Screenshot persistence in `dv-record` (`force_keyframe`).
+pub const RECORD_SCREENSHOT_PERSIST: &str = "record.screenshot.persist";
+/// Timeline entry persistence in `dv-record`.
+pub const RECORD_TIMELINE_PERSIST: &str = "record.timeline.persist";
+/// Index segment flush in `dv-index` (archive save path).
+pub const INDEX_SEGMENT_FLUSH: &str = "index.segment.flush";
+
+/// Every instrumented site, for exhaustive fault-matrix tests.
+pub const ALL: [&str; 10] = [
+    LSFS_DISK_APPEND,
+    LSFS_JOURNAL_COMMIT,
+    LSFS_BLOB_PUT,
+    LSFS_BLOB_GET,
+    CHECKPOINT_WRITEBACK,
+    CHECKPOINT_IMAGE_ENCODE,
+    RECORD_LOG_APPEND,
+    RECORD_SCREENSHOT_PERSIST,
+    RECORD_TIMELINE_PERSIST,
+    INDEX_SEGMENT_FLUSH,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_are_unique() {
+        let mut names: Vec<&str> = ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

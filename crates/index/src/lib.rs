@@ -20,4 +20,4 @@ pub use index::{IndexStats, IndexedInstance, TextIndex};
 pub use interval::{Interval, IntervalSet};
 pub use query::{parse_query, ParseError, Query};
 pub use search::{evaluate, search, RankOrder, SearchHit};
-pub use store::{decode_index, encode_index, StoreError};
+pub use store::{decode_index, encode_index, flush_segment, StoreError};

@@ -78,6 +78,31 @@ pub fn encode_index(index: &TextIndex) -> Vec<u8> {
     out
 }
 
+/// Serializes the index as a flushable segment, checking the fault
+/// plane at site `index.segment.flush`.
+///
+/// `Enospc`/`TornWrite`/`ShortRead` fail the flush (nothing usable is
+/// produced); `Corrupt` yields a full-length segment with one mangled
+/// byte and reports success — [`decode_index`] catches it on reload.
+pub fn flush_segment(
+    index: &TextIndex,
+    plane: &dv_fault::FaultPlane,
+) -> Result<Vec<u8>, StoreError> {
+    use dv_fault::{sites, IoFault};
+    let mut out = encode_index(index);
+    match plane.check(sites::INDEX_SEGMENT_FLUSH) {
+        None | Some(IoFault::LatencySpike) => Ok(out),
+        Some(IoFault::Enospc) => Err(StoreError("no space left for index segment")),
+        Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
+            Err(StoreError("index segment flush failed"))
+        }
+        Some(IoFault::Corrupt) => {
+            plane.mangle(&mut out);
+            Ok(out)
+        }
+    }
+}
+
 /// Deserializes an index, rebuilding the inverted postings.
 pub fn decode_index(mut buf: &[u8]) -> Result<TextIndex, StoreError> {
     if buf.len() < 8 || &buf[..8] != MAGIC {
@@ -209,6 +234,26 @@ mod tests {
         assert_eq!(a.instances, b.instances);
         assert_eq!(a.terms, b.terms);
         assert_eq!(a.postings, b.postings);
+    }
+
+    #[test]
+    fn flush_segment_faults_fail_or_corrupt_detectably() {
+        use dv_fault::{sites, FaultPlan, FaultPlane, IoFault};
+        let index = sample();
+        // Disabled plane: identical to encode_index.
+        let clean = flush_segment(&index, &FaultPlane::disabled()).unwrap();
+        assert_eq!(clean, encode_index(&index));
+        // Failed flush.
+        let plane = FaultPlan::new(1)
+            .always(sites::INDEX_SEGMENT_FLUSH, IoFault::Enospc)
+            .build();
+        assert!(flush_segment(&index, &plane).is_err());
+        // Silent corruption is caught by decode.
+        let plane = FaultPlan::new(2)
+            .always(sites::INDEX_SEGMENT_FLUSH, IoFault::Corrupt)
+            .build();
+        let corrupt = flush_segment(&index, &plane).unwrap();
+        assert_ne!(corrupt, clean);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dv_fault::{sites, FaultPlane, IoFault};
 use dv_time::Duration;
+
+use crate::error::{FsError, FsResult};
 
 /// A disk read-latency model applied to cache misses.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +63,7 @@ pub struct BlobStats {
 /// use dv_lsfs::BlobStore;
 ///
 /// let mut store = BlobStore::in_memory();
-/// store.put("ckpt.0001", vec![1, 2, 3]);
+/// store.put("ckpt.0001", vec![1, 2, 3]).unwrap();
 /// assert_eq!(&*store.get("ckpt.0001").unwrap(), &[1, 2, 3]);
 /// ```
 pub struct BlobStore {
@@ -68,6 +71,7 @@ pub struct BlobStore {
     cache: HashMap<String, Arc<Vec<u8>>>,
     latency: Option<ReadLatency>,
     stats: BlobStats,
+    plane: FaultPlane,
 }
 
 impl BlobStore {
@@ -78,7 +82,14 @@ impl BlobStore {
             cache: HashMap::new(),
             latency: None,
             stats: BlobStats::default(),
+            plane: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs the fault-injection plane (sites `lsfs.blob.put` and
+    /// `lsfs.blob.get`).
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.plane = plane;
     }
 
     /// Creates a store whose cache misses pay `latency`.
@@ -90,27 +101,71 @@ impl BlobStore {
     }
 
     /// Stores (or replaces) a blob; the new contents are cached.
-    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+    ///
+    /// Injectable failures (site [`sites::LSFS_BLOB_PUT`]): `Enospc`
+    /// persists nothing; `TornWrite`/`ShortRead` leave a truncated
+    /// object behind and error; `Corrupt` stores the full length with
+    /// one mangled byte and reports success.
+    pub fn put(&mut self, name: &str, data: Vec<u8>) -> FsResult<()> {
+        let mut data = data;
+        match self.plane.check(sites::LSFS_BLOB_PUT) {
+            None | Some(IoFault::LatencySpike) => {}
+            Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+            Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
+                let keep = self.plane.short_len(data.len());
+                data.truncate(keep);
+                let torn = Arc::new(data);
+                self.stats.bytes_written += torn.len() as u64;
+                self.backing.insert(name.to_string(), torn);
+                self.cache.remove(name);
+                return Err(FsError::Io);
+            }
+            Some(IoFault::Corrupt) => self.plane.mangle(&mut data),
+        }
         let data = Arc::new(data);
         self.stats.bytes_written += data.len() as u64;
         self.backing.insert(name.to_string(), data.clone());
         self.cache.insert(name.to_string(), data);
+        Ok(())
     }
 
     /// Retrieves a blob, filling the cache on a miss. A miss pays the
     /// configured read latency.
+    ///
+    /// Injectable failures (site [`sites::LSFS_BLOB_GET`]):
+    /// `ShortRead`/`TornWrite` return a truncated copy and `Corrupt` a
+    /// mangled copy — uncached in both cases, so the stored blob and
+    /// the page cache stay intact; `Enospc` surfaces as a failed read
+    /// (`None`).
     pub fn get(&mut self, name: &str) -> Option<Arc<Vec<u8>>> {
-        if let Some(data) = self.cache.get(name) {
+        let fault = self.plane.check(sites::LSFS_BLOB_GET);
+        if let Some(IoFault::Enospc) = fault {
+            return None;
+        }
+        let data = if let Some(data) = self.cache.get(name) {
             self.stats.cache_hits += 1;
-            return Some(data.clone());
+            data.clone()
+        } else {
+            let data = self.backing.get(name)?.clone();
+            self.stats.cache_misses += 1;
+            if let Some(model) = self.latency {
+                std::thread::sleep(model.cost(data.len()).to_std());
+            }
+            self.cache.insert(name.to_string(), data.clone());
+            data
+        };
+        match fault {
+            Some(IoFault::ShortRead) | Some(IoFault::TornWrite) => {
+                let keep = self.plane.short_len(data.len());
+                Some(Arc::new(data[..keep].to_vec()))
+            }
+            Some(IoFault::Corrupt) => {
+                let mut copy = (*data).clone();
+                self.plane.mangle(&mut copy);
+                Some(Arc::new(copy))
+            }
+            _ => Some(data),
         }
-        let data = self.backing.get(name)?.clone();
-        self.stats.cache_misses += 1;
-        if let Some(model) = self.latency {
-            std::thread::sleep(model.cost(data.len()).to_std());
-        }
-        self.cache.insert(name.to_string(), data.clone());
-        Some(data)
     }
 
     /// Returns whether a blob exists (no latency, metadata only).
@@ -181,7 +236,7 @@ impl BlobStore {
             if data.len() < blob_len {
                 return None;
             }
-            self.put(&name, data[..blob_len].to_vec());
+            self.put(&name, data[..blob_len].to_vec()).ok()?;
             data = &data[blob_len..];
         }
         if !data.is_empty() {
@@ -204,7 +259,7 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let mut store = BlobStore::in_memory();
-        store.put("a", b"hello".to_vec());
+        store.put("a", b"hello".to_vec()).unwrap();
         assert_eq!(&**store.get("a").unwrap(), b"hello");
         assert!(store.get("missing").is_none());
     }
@@ -212,7 +267,7 @@ mod tests {
     #[test]
     fn cache_hit_miss_accounting() {
         let mut store = BlobStore::in_memory();
-        store.put("a", vec![0; 100]);
+        store.put("a", vec![0; 100]).unwrap();
         store.get("a");
         assert_eq!(store.stats().cache_hits, 1);
         store.drop_caches();
@@ -228,7 +283,7 @@ mod tests {
             seek: Duration::from_millis(5),
             per_mib: Duration::from_millis(1),
         });
-        store.put("a", vec![0; 1024]);
+        store.put("a", vec![0; 1024]).unwrap();
         let t0 = std::time::Instant::now();
         store.get("a");
         let cached = t0.elapsed();
@@ -243,7 +298,7 @@ mod tests {
     #[test]
     fn delete_removes_blob() {
         let mut store = BlobStore::in_memory();
-        store.put("a", vec![1]);
+        store.put("a", vec![1]).unwrap();
         assert!(store.delete("a"));
         assert!(!store.contains("a"));
         assert!(!store.delete("a"));
@@ -252,8 +307,8 @@ mod tests {
     #[test]
     fn export_import_round_trip() {
         let mut store = BlobStore::in_memory();
-        store.put("ckpt-0001", vec![1, 2, 3]);
-        store.put("s1-0001", vec![9; 100]);
+        store.put("ckpt-0001", vec![1, 2, 3]).unwrap();
+        store.put("s1-0001", vec![9; 100]).unwrap();
         let image = store.export();
         let mut restored = BlobStore::in_memory();
         assert_eq!(restored.import(&image), Some(2));
@@ -265,9 +320,9 @@ mod tests {
     #[test]
     fn bytes_written_accumulates() {
         let mut store = BlobStore::in_memory();
-        store.put("a", vec![0; 10]);
-        store.put("b", vec![0; 30]);
-        store.put("a", vec![0; 5]);
+        store.put("a", vec![0; 10]).unwrap();
+        store.put("b", vec![0; 30]).unwrap();
+        store.put("a", vec![0; 5]).unwrap();
         assert_eq!(store.stats().bytes_written, 45);
     }
 }

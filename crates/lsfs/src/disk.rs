@@ -10,6 +10,10 @@
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+use dv_fault::{sites, FaultPlane, IoFault};
+
+use crate::error::{FsError, FsResult};
+
 /// Default segment capacity: 1 MiB, mirroring NILFS-scale segments.
 pub const DEFAULT_SEGMENT_CAPACITY: usize = 1 << 20;
 
@@ -19,6 +23,7 @@ pub struct Disk {
     segments: Vec<Vec<u8>>,
     seg_capacity: usize,
     len: u64,
+    plane: FaultPlane,
 }
 
 impl Disk {
@@ -38,11 +43,53 @@ impl Disk {
             segments: Vec::new(),
             seg_capacity,
             len: 0,
+            plane: FaultPlane::disabled(),
         }
     }
 
+    /// Installs the fault-injection plane checked by [`Disk::append`]
+    /// (site `lsfs.disk.append`).
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.plane = plane;
+    }
+
+    /// Returns a handle to the installed fault plane.
+    pub fn fault_plane(&self) -> FaultPlane {
+        self.plane.clone()
+    }
+
     /// Appends `data` to the log, returning the offset it was written at.
-    pub fn append(&mut self, data: &[u8]) -> u64 {
+    ///
+    /// Injectable failures (site [`sites::LSFS_DISK_APPEND`]):
+    /// * `TornWrite` — a prefix of `data` lands on the device, then the
+    ///   write errors; the torn tail is only discoverable by recovery.
+    /// * `ShortRead` — the write errors before anything is persisted.
+    /// * `Enospc` — the device is full; nothing is written.
+    /// * `Corrupt` — the full length is written but one byte is mangled;
+    ///   the call reports success (silent corruption).
+    /// * `LatencySpike` — the write succeeds (latency is modeled by the
+    ///   caller's clock, not here).
+    pub fn append(&mut self, data: &[u8]) -> FsResult<u64> {
+        match self.plane.check(sites::LSFS_DISK_APPEND) {
+            None | Some(IoFault::LatencySpike) => Ok(self.append_raw(data)),
+            Some(IoFault::Enospc) => Err(FsError::NoSpace),
+            Some(IoFault::TornWrite) => {
+                let keep = self.plane.short_len(data.len());
+                self.append_raw(&data[..keep]);
+                Err(FsError::Io)
+            }
+            Some(IoFault::ShortRead) => Err(FsError::Io),
+            Some(IoFault::Corrupt) => {
+                let mut copy = data.to_vec();
+                self.plane.mangle(&mut copy);
+                Ok(self.append_raw(&copy))
+            }
+        }
+    }
+
+    /// Appends without fault injection: internal relocations (log
+    /// compaction, deserialization) that do not model device IO.
+    pub(crate) fn append_raw(&mut self, data: &[u8]) -> u64 {
         let offset = self.len;
         let mut remaining = data;
         while !remaining.is_empty() {
@@ -124,7 +171,7 @@ impl Disk {
             return None;
         }
         let mut disk = Disk::with_segment_capacity(seg_capacity);
-        disk.append(&data[16..]);
+        disk.append_raw(&data[16..]);
         Some(disk)
     }
 }
@@ -150,15 +197,15 @@ mod tests {
     #[test]
     fn append_returns_sequential_offsets() {
         let mut disk = Disk::new();
-        assert_eq!(disk.append(b"abc"), 0);
-        assert_eq!(disk.append(b"defg"), 3);
+        assert_eq!(disk.append(b"abc").unwrap(), 0);
+        assert_eq!(disk.append(b"defg").unwrap(), 3);
         assert_eq!(disk.bytes_written(), 7);
     }
 
     #[test]
     fn read_round_trips() {
         let mut disk = Disk::new();
-        let off = disk.append(b"hello world");
+        let off = disk.append(b"hello world").unwrap();
         assert_eq!(disk.read(off, 11), b"hello world");
         assert_eq!(disk.read(off + 6, 5), b"world");
     }
@@ -166,7 +213,7 @@ mod tests {
     #[test]
     fn appends_span_segments() {
         let mut disk = Disk::with_segment_capacity(4);
-        let off = disk.append(b"0123456789");
+        let off = disk.append(b"0123456789").unwrap();
         assert_eq!(disk.segment_count(), 3);
         assert_eq!(disk.read(off, 10), b"0123456789");
         assert_eq!(disk.read(3, 4), b"3456");
@@ -175,9 +222,9 @@ mod tests {
     #[test]
     fn old_data_survives_later_appends() {
         let mut disk = Disk::with_segment_capacity(8);
-        let a = disk.append(b"old-data");
+        let a = disk.append(b"old-data").unwrap();
         for _ in 0..100 {
-            disk.append(b"newer and newer data");
+            disk.append(b"newer and newer data").unwrap();
         }
         assert_eq!(disk.read(a, 8), b"old-data");
     }
@@ -185,8 +232,8 @@ mod tests {
     #[test]
     fn bytes_round_trip() {
         let mut disk = Disk::with_segment_capacity(16);
-        let a = disk.append(b"first record");
-        let b = disk.append(&[7u8; 40]);
+        let a = disk.append(b"first record").unwrap();
+        let b = disk.append(&[7u8; 40]).unwrap();
         let restored = Disk::from_bytes(&disk.to_bytes()).unwrap();
         assert_eq!(restored.bytes_written(), disk.bytes_written());
         assert_eq!(restored.read(a, 12), b"first record");
@@ -199,5 +246,48 @@ mod tests {
     fn read_past_end_panics() {
         let disk = Disk::new();
         let _ = disk.read(0, 1);
+    }
+
+    #[test]
+    fn enospc_writes_nothing() {
+        use dv_fault::FaultPlan;
+        let mut disk = Disk::new();
+        disk.set_fault_plane(
+            FaultPlan::new(1)
+                .fail_nth(sites::LSFS_DISK_APPEND, 2, IoFault::Enospc)
+                .build(),
+        );
+        disk.append(b"ok").unwrap();
+        assert_eq!(disk.append(b"fails"), Err(FsError::NoSpace));
+        assert_eq!(disk.bytes_written(), 2, "nothing written on ENOSPC");
+        disk.append(b"ok again").unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix() {
+        use dv_fault::FaultPlan;
+        let mut disk = Disk::new();
+        disk.set_fault_plane(
+            FaultPlan::new(7)
+                .fail_nth(sites::LSFS_DISK_APPEND, 1, IoFault::TornWrite)
+                .build(),
+        );
+        assert_eq!(disk.append(&[9u8; 100]), Err(FsError::Io));
+        assert!(disk.bytes_written() < 100, "a strict prefix landed");
+    }
+
+    #[test]
+    fn corrupt_write_succeeds_with_one_mangled_byte() {
+        use dv_fault::FaultPlan;
+        let mut disk = Disk::new();
+        disk.set_fault_plane(
+            FaultPlan::new(3)
+                .fail_nth(sites::LSFS_DISK_APPEND, 1, IoFault::Corrupt)
+                .build(),
+        );
+        let off = disk.append(&[0u8; 64]).unwrap();
+        let stored = disk.read(off, 64);
+        let flipped = stored.iter().filter(|&&b| b != 0).count();
+        assert_eq!(flipped, 1, "exactly one byte mangled");
     }
 }

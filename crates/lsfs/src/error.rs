@@ -31,6 +31,11 @@ pub enum FsError {
     Unsupported,
     /// The operation cannot run while the resource is in use (`EBUSY`).
     Busy,
+    /// A low-level input/output failure (`EIO`) — torn or failed device
+    /// write, unreadable journal record.
+    Io,
+    /// The device is out of space (`ENOSPC`).
+    NoSpace,
 }
 
 impl fmt::Display for FsError {
@@ -47,6 +52,8 @@ impl fmt::Display for FsError {
             FsError::CrossDevice => "cross-device link",
             FsError::Unsupported => "operation not supported",
             FsError::Busy => "resource busy",
+            FsError::Io => "input/output error",
+            FsError::NoSpace => "no space left on device",
         };
         f.write_str(msg)
     }

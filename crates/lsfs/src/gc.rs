@@ -118,7 +118,7 @@ impl Lsfs {
             live.sort_unstable();
             for block in live {
                 let data = old_disk.read(block, BLOCK_SIZE);
-                remap.insert(block, new_disk.append(&data));
+                remap.insert(block, new_disk.append_raw(&data));
             }
         }
 
@@ -143,12 +143,14 @@ impl Lsfs {
             self.snapshots_mut().insert(counter, state);
         }
 
-        // Install the fresh log and re-journal the live state.
+        // Install the fresh log — keeping the fault plane wired to the
+        // device — and re-journal the live state.
+        new_disk.set_fault_plane(self.disk().read().fault_plane());
         *self.disk().write() = new_disk;
         self.reset_journal();
         let ops = dump_state_ops(self.state_ref());
         for op in &ops {
-            self.append_journal(op);
+            self.append_journal(op)?;
         }
         let new_len = self.disk().read().bytes_written();
         Ok(old_len.saturating_sub(new_len))

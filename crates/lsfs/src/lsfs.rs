@@ -16,9 +16,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use dv_fault::{checksum, sites, FaultPlane, IoFault};
 use dv_time::Timestamp;
 
-use crate::disk::{shared_disk, SharedDisk};
+use crate::disk::{shared_disk, Disk, SharedDisk};
 use crate::error::{FsError, FsResult};
 use crate::journal::{FsOp, NO_PREV};
 use crate::path;
@@ -33,6 +34,14 @@ pub(crate) const HOLE: u64 = u64::MAX;
 
 /// Inode number of the root directory.
 pub(crate) const ROOT_INO: u64 = 1;
+
+/// Magic prefix of every journal record on the log.
+pub(crate) const JOURNAL_MAGIC: &[u8; 4] = b"DVJR";
+
+/// Journal record header: `magic(4) | crc32(4) | prev(8) | len(4)`.
+/// The CRC covers `prev_le || len_le || body`, so a torn or mangled
+/// record — header or body — fails validation during recovery.
+pub(crate) const JOURNAL_HEADER: usize = 20;
 
 /// An inode in the log-structured file system.
 ///
@@ -239,6 +248,7 @@ pub struct Lsfs {
     snapshots: BTreeMap<u64, FsState>,
     last_journal: u64,
     stats: LsfsStats,
+    plane: FaultPlane,
 }
 
 impl Lsfs {
@@ -260,23 +270,37 @@ impl Lsfs {
             snapshots: BTreeMap::new(),
             last_journal: NO_PREV,
             stats: LsfsStats::default(),
+            plane: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs the fault-injection plane. The journal commit path
+    /// checks site `lsfs.journal.commit`; the plane is also installed
+    /// into the underlying disk for `lsfs.disk.append`.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.disk.write().set_fault_plane(plane.clone());
+        self.plane = plane;
     }
 
     /// Recovers a file system by replaying the journal chain whose most
     /// recent record is at `head` (the pointer a superblock checkpoint
     /// region would hold in a real LFS). Snapshot points are
     /// re-materialized during replay.
+    ///
+    /// Every record on the chain is validated — magic, CRC, bounds, and
+    /// a strictly-decreasing back-pointer — so a torn or corrupted
+    /// record anywhere on the chain yields [`FsError::Io`] instead of
+    /// replaying garbage. Callers fall back to [`Lsfs::recover_scan`].
     pub fn recover(disk: SharedDisk, head: u64) -> FsResult<Self> {
         let mut ops = Vec::new();
         {
             let d = disk.read();
             let mut offset = head;
             while offset != NO_PREV {
-                let header = d.read(offset, 12);
-                let prev = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
-                let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
-                let body = d.read(offset + 12, len);
+                let (prev, body) = read_journal_record(&d, offset).ok_or(FsError::Io)?;
+                if prev != NO_PREV && prev >= offset {
+                    return Err(FsError::Io);
+                }
                 ops.push(FsOp::decode(&body)?);
                 offset = prev;
             }
@@ -295,6 +319,34 @@ impl Lsfs {
         Ok(fs)
     }
 
+    /// Power-cut recovery without a trusted head pointer: scans the raw
+    /// log for journal-record candidates and recovers from the newest
+    /// one whose whole chain validates and whose recovered tree passes
+    /// [`Lsfs::check`](crate::gc). Because each record back-points to
+    /// its predecessor, the result is exactly the state after the last
+    /// intact committed transaction — a prefix of the pre-crash history.
+    /// Falls back to an empty file system on the same disk when no
+    /// intact record exists.
+    pub fn recover_scan(disk: SharedDisk) -> Self {
+        let candidates: Vec<u64> = {
+            let d = disk.read();
+            let len = d.bytes_written() as usize;
+            let bytes = if len == 0 { Vec::new() } else { d.read(0, len) };
+            (0..len.saturating_sub(JOURNAL_HEADER - 1))
+                .filter(|&i| &bytes[i..i + 4] == JOURNAL_MAGIC)
+                .map(|i| i as u64)
+                .collect()
+        };
+        for &head in candidates.iter().rev() {
+            if let Ok(fs) = Lsfs::recover(disk.clone(), head) {
+                if fs.check().is_ok() {
+                    return fs;
+                }
+            }
+        }
+        Lsfs::on_disk(disk)
+    }
+
     /// Returns the shared disk.
     pub fn disk(&self) -> SharedDisk {
         self.disk.clone()
@@ -306,7 +358,7 @@ impl Lsfs {
     pub fn save(&mut self) -> FsResult<Vec<u8>> {
         self.sync()?;
         let mut out = Vec::new();
-        out.extend_from_slice(b"DVLSF001");
+        out.extend_from_slice(b"DVLSF002");
         out.extend_from_slice(&self.last_journal.to_le_bytes());
         out.extend_from_slice(&self.disk.read().to_bytes());
         Ok(out)
@@ -315,13 +367,26 @@ impl Lsfs {
     /// Reconstructs a file system from [`Lsfs::save`] output by
     /// replaying the journal; retained snapshots are re-materialized at
     /// their marks.
+    ///
+    /// The stored head pointer is advisory: if the chain it names fails
+    /// validation or fsck — a torn tail after a power cut, a mangled
+    /// record — recovery falls back to [`Lsfs::recover_scan`] and lands
+    /// on the newest intact prefix of the journal.
     pub fn load(data: &[u8]) -> FsResult<Lsfs> {
-        if data.len() < 16 || &data[..8] != b"DVLSF001" {
+        if data.len() < 16 || &data[..8] != b"DVLSF002" {
             return Err(FsError::InvalidPath);
         }
         let head = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
         let disk = crate::disk::Disk::from_bytes(&data[16..]).ok_or(FsError::InvalidPath)?;
-        Lsfs::recover(std::sync::Arc::new(parking_lot::RwLock::new(disk)), head)
+        let disk = std::sync::Arc::new(parking_lot::RwLock::new(disk));
+        if head != NO_PREV {
+            if let Ok(fs) = Lsfs::recover(disk.clone(), head) {
+                if fs.check().is_ok() {
+                    return Ok(fs);
+                }
+            }
+        }
+        Ok(Lsfs::recover_scan(disk))
     }
 
     /// Returns storage accounting counters.
@@ -374,25 +439,55 @@ impl Lsfs {
 
     /// Appends a journal record without re-applying the operation (the
     /// cleaner journals state that is already in place).
-    pub(crate) fn append_journal(&mut self, op: &FsOp) {
-        self.log_op(op);
+    pub(crate) fn append_journal(&mut self, op: &FsOp) -> FsResult<()> {
+        self.log_op(op)
     }
 
-    fn log_op(&mut self, op: &FsOp) {
+    /// Appends one framed journal record:
+    /// `DVJR | crc32 | prev | len | body`. On any failure — injected at
+    /// site `lsfs.journal.commit` or surfaced by the disk — the head
+    /// pointer is left unchanged, so a torn record is invisible to the
+    /// live chain and rejected by CRC during recovery.
+    fn log_op(&mut self, op: &FsOp) -> FsResult<()> {
         let body = op.encode();
-        let mut record = Vec::with_capacity(12 + body.len());
-        record.extend_from_slice(&self.last_journal.to_le_bytes());
-        record.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        record.extend_from_slice(&body);
-        let offset = self.disk.write().append(&record);
+        let mut payload = Vec::with_capacity(12 + body.len());
+        payload.extend_from_slice(&self.last_journal.to_le_bytes());
+        payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&body);
+        let mut record = Vec::with_capacity(JOURNAL_HEADER + body.len());
+        record.extend_from_slice(JOURNAL_MAGIC);
+        record.extend_from_slice(&checksum::crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        match self.plane.check(sites::LSFS_JOURNAL_COMMIT) {
+            None | Some(IoFault::LatencySpike) => {}
+            Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+            Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
+                let keep = self.plane.short_len(record.len());
+                self.disk.write().append_raw(&record[..keep]);
+                return Err(FsError::Io);
+            }
+            Some(IoFault::Corrupt) => {
+                // Silent corruption: the record lands full-length with a
+                // mangled byte and the commit reports success; the CRC
+                // catches it at recovery time.
+                self.plane.mangle(&mut record);
+            }
+        }
+        let offset = self.disk.write().append(&record)?;
         self.last_journal = offset;
         self.stats.journal_bytes += record.len() as u64;
+        Ok(())
     }
 
-    /// Validates, applies and journals a metadata transaction.
-    fn commit(&mut self, op: FsOp) {
+    /// Validates, journals and applies a metadata transaction.
+    ///
+    /// Write-ahead ordering: the record must be durable before the
+    /// in-memory state changes, so a failed append leaves the live tree
+    /// exactly as recovery would rebuild it.
+    fn commit(&mut self, op: FsOp) -> FsResult<()> {
+        self.log_op(&op)?;
         self.state.apply(&op);
-        self.log_op(&op);
+        Ok(())
     }
 
     fn effective_size(&self, ino: u64) -> u64 {
@@ -483,7 +578,7 @@ impl Lsfs {
         self.pins.get(&ino).copied().unwrap_or(0) > 0
     }
 
-    fn release_if_orphan(&mut self, ino: u64) {
+    fn release_if_orphan(&mut self, ino: u64) -> FsResult<()> {
         if let Some(node) = self.state.inodes.get(&ino) {
             if node.ftype == FileType::Regular && node.nlink == 0 && !self.pinned(ino) {
                 // Orphan data cannot be reached again; discard its
@@ -497,14 +592,41 @@ impl Lsfs {
                     self.dirty.remove(&key);
                 }
                 self.dirty_sizes.remove(&ino);
-                self.commit(FsOp::Release { ino });
+                self.commit(FsOp::Release { ino })?;
             }
         }
+        Ok(())
     }
 
     fn handle_ino(&self, h: Handle) -> FsResult<u64> {
         self.handles.get(&h.0).copied().ok_or(FsError::BadHandle)
     }
+}
+
+/// Reads and validates the journal record at `offset`, returning its
+/// back-pointer and body. `None` when the bytes there are not an intact
+/// record: bad magic, out-of-bounds length, or CRC mismatch.
+fn read_journal_record(d: &Disk, offset: u64) -> Option<(u64, Vec<u8>)> {
+    let disk_len = d.bytes_written();
+    if offset.checked_add(JOURNAL_HEADER as u64)? > disk_len {
+        return None;
+    }
+    let header = d.read(offset, JOURNAL_HEADER);
+    if &header[..4] != JOURNAL_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as u64;
+    if offset + JOURNAL_HEADER as u64 + len > disk_len {
+        return None;
+    }
+    // The CRC covers prev || len || body: bytes 8.. of the record.
+    let payload = d.read(offset + 8, 12 + len as usize);
+    if checksum::crc32(&payload) != crc {
+        return None;
+    }
+    let prev = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Some((prev, payload[12..].to_vec()))
 }
 
 impl Default for Lsfs {
@@ -524,8 +646,7 @@ impl Filesystem for Lsfs {
             parent,
             name: name.to_string(),
             ino,
-        });
-        Ok(())
+        })
     }
 
     fn mkdir(&mut self, p: &str) -> FsResult<()> {
@@ -538,8 +659,7 @@ impl Filesystem for Lsfs {
             parent,
             name: name.to_string(),
             ino,
-        });
-        Ok(())
+        })
     }
 
     fn write_at(&mut self, p: &str, offset: u64, data: &[u8]) -> FsResult<()> {
@@ -580,9 +700,8 @@ impl Filesystem for Lsfs {
         self.commit(FsOp::Unlink {
             parent,
             name: name.to_string(),
-        });
-        self.release_if_orphan(ino);
-        Ok(())
+        })?;
+        self.release_if_orphan(ino)
     }
 
     fn rmdir(&mut self, p: &str) -> FsResult<()> {
@@ -601,8 +720,7 @@ impl Filesystem for Lsfs {
         self.commit(FsOp::Rmdir {
             parent,
             name: name.to_string(),
-        });
-        Ok(())
+        })
     }
 
     fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
@@ -646,7 +764,7 @@ impl Filesystem for Lsfs {
             from_name: from_name.to_string(),
             to_parent,
             to_name: to_name.to_string(),
-        });
+        })?;
         if let Some((ino, mut node)) = survivor {
             node.nlink = 0;
             self.state.inodes.insert(ino, node);
@@ -724,8 +842,7 @@ impl Filesystem for Lsfs {
             ino,
             parent,
             name: name.to_string(),
-        });
-        Ok(())
+        })
     }
 
     fn close(&mut self, h: Handle) -> FsResult<()> {
@@ -735,8 +852,7 @@ impl Filesystem for Lsfs {
         if *count == 0 {
             self.pins.remove(&ino);
         }
-        self.release_if_orphan(ino);
-        Ok(())
+        self.release_if_orphan(ino)
     }
 
     /// Commits a snapshot point tagged with the checkpoint `counter`.
@@ -744,7 +860,7 @@ impl Filesystem for Lsfs {
     /// Buffered data is synced first so the snapshot is self-consistent.
     fn snapshot_point(&mut self, counter: u64) -> FsResult<()> {
         self.sync()?;
-        self.log_op(&FsOp::SnapshotMark { counter });
+        self.log_op(&FsOp::SnapshotMark { counter })?;
         self.snapshots.insert(counter, self.state.clone());
         self.stats.snapshots += 1;
         Ok(())
@@ -764,25 +880,50 @@ impl Filesystem for Lsfs {
         inos.dedup();
         let dirty = std::mem::take(&mut self.dirty);
         let dirty_sizes = std::mem::take(&mut self.dirty_sizes);
-        for ino in inos {
+        for (i, &ino) in inos.iter().enumerate() {
             let Some(node) = self.state.inodes.get(&ino) else {
                 continue; // Released while dirty; nothing to persist.
             };
             let size = dirty_sizes.get(&ino).copied().unwrap_or(node.size);
             let nblocks = (size as usize).div_ceil(BLOCK_SIZE) as u64;
             let mut extents = Vec::new();
+            let mut failed = None;
             {
                 let mut disk = self.disk.write();
                 for ((_, idx), block) in dirty.range((ino, 0)..(ino + 1, 0)) {
                     if *idx >= nblocks {
                         continue;
                     }
-                    let off = disk.append(block);
-                    self.stats.data_bytes += block.len() as u64;
-                    extents.push((*idx, off));
+                    match disk.append(block) {
+                        Ok(off) => {
+                            self.stats.data_bytes += block.len() as u64;
+                            extents.push((*idx, off));
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
                 }
             }
-            self.commit(FsOp::Write { ino, size, extents });
+            let result = match failed {
+                Some(e) => Err(e),
+                None => self.commit(FsOp::Write { ino, size, extents }),
+            };
+            if let Err(e) = result {
+                // Re-buffer everything not yet committed — this inode
+                // and all later ones — so the data survives in memory
+                // and a retry can complete the sync.
+                for &ino in &inos[i..] {
+                    for (key, block) in dirty.range((ino, 0)..(ino + 1, 0)) {
+                        self.dirty.insert(*key, block.clone());
+                    }
+                    if let Some(&size) = dirty_sizes.get(&ino) {
+                        self.dirty_sizes.insert(ino, size);
+                    }
+                }
+                return Err(e);
+            }
         }
         self.stats.syncs += 1;
         Ok(())
@@ -982,6 +1123,87 @@ mod tests {
         let after = fs.stats();
         assert_eq!(before.data_bytes, after.data_bytes);
         assert_eq!(before.syncs, after.syncs);
+    }
+
+    #[test]
+    fn failed_journal_commit_leaves_state_unchanged() {
+        use dv_fault::FaultPlan;
+        let mut fs = Lsfs::new();
+        fs.set_fault_plane(
+            FaultPlan::new(2)
+                .fail_nth(sites::LSFS_JOURNAL_COMMIT, 2, IoFault::TornWrite)
+                .build(),
+        );
+        fs.create("/a").unwrap();
+        assert_eq!(fs.create("/b"), Err(FsError::Io));
+        assert!(!fs.exists("/b"), "write-ahead: state unchanged on torn commit");
+        fs.create("/b").unwrap();
+        // The chain skips the torn record and replays cleanly.
+        let recovered = Lsfs::recover(fs.disk(), fs.journal_head()).unwrap();
+        assert!(recovered.exists("/a"));
+        assert!(recovered.exists("/b"));
+    }
+
+    #[test]
+    fn corrupt_journal_record_is_caught_by_scan_recovery() {
+        use dv_fault::FaultPlan;
+        let mut fs = Lsfs::new();
+        fs.write_all("/keep", b"good data").unwrap();
+        fs.sync().unwrap();
+        fs.set_fault_plane(
+            FaultPlan::new(9)
+                .always(sites::LSFS_JOURNAL_COMMIT, IoFault::Corrupt)
+                .build(),
+        );
+        fs.create("/bad").unwrap(); // Reports success; mangled on disk.
+        fs.set_fault_plane(FaultPlane::disabled());
+        let saved = fs.save().unwrap();
+        let loaded = Lsfs::load(&saved).unwrap();
+        loaded.check().unwrap();
+        assert_eq!(loaded.read_all("/keep").unwrap(), b"good data");
+        assert!(!loaded.exists("/bad"), "corrupt commit rolled back by CRC");
+    }
+
+    #[test]
+    fn power_cut_recovers_the_newest_intact_prefix() {
+        use dv_fault::crash;
+        let mut fs = Lsfs::new();
+        fs.mkdir("/d").unwrap();
+        fs.write_all("/d/a", b"stable").unwrap();
+        fs.snapshot_point(1).unwrap();
+        fs.write_all("/d/b", b"later data").unwrap();
+        let saved = fs.save().unwrap();
+        // Tear the last journal record (the Write for /d/b).
+        let image = crash::power_cut(&saved, crash::log_len(&saved) - 3);
+        let recovered = Lsfs::load(&image).unwrap();
+        recovered.check().unwrap();
+        assert_eq!(recovered.read_all("/d/a").unwrap(), b"stable");
+        let snap = recovered.snapshot(1).unwrap();
+        assert_eq!(snap.read_all("/d/a").unwrap(), b"stable");
+        // /d/b's Create committed but its data Write was torn.
+        if recovered.exists("/d/b") {
+            assert_eq!(recovered.stat("/d/b").unwrap().size, 0);
+        }
+    }
+
+    #[test]
+    fn crash_harness_layout_matches_save() {
+        use dv_fault::crash;
+        let mut fs = Lsfs::new();
+        fs.write_all("/f", b"data").unwrap();
+        let saved = fs.save().unwrap();
+        // The harness' view of the log length is the disk's.
+        assert_eq!(
+            crash::log_len(&saved) as u64,
+            fs.disk().read().bytes_written()
+        );
+        // Cutting everything yields a loadable empty file system.
+        let wiped = crash::power_cut(&saved, 0);
+        let empty = Lsfs::load(&wiped).unwrap();
+        empty.check().unwrap();
+        assert!(!empty.exists("/f"));
+        // Cutting nothing is the identity.
+        assert_eq!(crash::power_cut(&saved, usize::MAX), saved);
     }
 
     #[test]

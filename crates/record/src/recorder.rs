@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use dv_fault::{sites, FaultPlane, IoFault};
+
 use dv_display::{
     scale_command, CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Region,
     ScaleFactor,
@@ -100,6 +102,12 @@ pub struct RecordStats {
     pub keyframes: u64,
     /// Bytes in the timeline index.
     pub timeline_bytes: u64,
+    /// Commands lost to injected log-append failures; recording
+    /// continued past them.
+    pub dropped_commands: u64,
+    /// Keyframes skipped because persisting the screenshot or timeline
+    /// entry failed.
+    pub dropped_keyframes: u64,
 }
 
 /// The display recorder sink.
@@ -119,6 +127,9 @@ pub struct DisplayRecorder {
     last_flush: Option<Timestamp>,
     last_keyframe: Option<Timestamp>,
     damage_since_keyframe: Region,
+    plane: FaultPlane,
+    dropped_commands: u64,
+    dropped_keyframes: u64,
 }
 
 impl DisplayRecorder {
@@ -146,7 +157,16 @@ impl DisplayRecorder {
             last_flush: None,
             last_keyframe: None,
             damage_since_keyframe: Region::new(),
+            plane: FaultPlane::disabled(),
+            dropped_commands: 0,
+            dropped_keyframes: 0,
         }
+    }
+
+    /// Installs the fault-injection plane (sites `record.log.append`,
+    /// `record.screenshot.persist`, `record.timeline.persist`).
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.plane = plane;
     }
 
     /// Returns the shared record handle for playback and search.
@@ -164,6 +184,8 @@ impl DisplayRecorder {
             screenshot_bytes: store.shots.byte_len(),
             keyframes: store.shots.len(),
             timeline_bytes: store.timeline.byte_len(),
+            dropped_commands: self.dropped_commands,
+            dropped_keyframes: self.dropped_keyframes,
         }
     }
 
@@ -178,6 +200,16 @@ impl DisplayRecorder {
         let entries = self.queue.flush();
         if entries.is_empty() {
             return;
+        }
+        // A failed log append drops the batch but never stops recording;
+        // `Corrupt` models silent corruption below this layer and is left
+        // to the storage-level checksums, so the append proceeds.
+        match self.plane.check(sites::RECORD_LOG_APPEND) {
+            Some(IoFault::Enospc) | Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
+                self.dropped_commands += entries.len() as u64;
+                return;
+            }
+            None | Some(IoFault::LatencySpike) | Some(IoFault::Corrupt) => {}
         }
         let mut store = self.record.write();
         for entry in entries {
@@ -204,10 +236,32 @@ impl DisplayRecorder {
     pub fn force_keyframe(&mut self, now: Timestamp) {
         self.flush();
         self.sync_fb();
+        // A keyframe that cannot persist its screenshot or timeline entry
+        // is skipped: `last_keyframe` still advances so cadence continues,
+        // but accumulated damage is kept so the next interval retries.
+        let screenshot_fault = matches!(
+            self.plane.check(sites::RECORD_SCREENSHOT_PERSIST),
+            Some(IoFault::Enospc) | Some(IoFault::TornWrite) | Some(IoFault::ShortRead)
+        );
+        if screenshot_fault {
+            self.dropped_keyframes += 1;
+            self.last_keyframe = Some(now);
+            return;
+        }
         let mut store = self.record.write();
         let shot = self.fb.snapshot();
         let screenshot_offset = store.shots.append(&shot);
         let command_offset = store.log.end_offset();
+        match self.plane.check(sites::RECORD_TIMELINE_PERSIST) {
+            Some(IoFault::Enospc) | Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
+                // The screenshot bytes are orphaned but unreferenced; the
+                // timeline stays consistent with only complete keyframes.
+                self.dropped_keyframes += 1;
+                self.last_keyframe = Some(now);
+                return;
+            }
+            None | Some(IoFault::LatencySpike) | Some(IoFault::Corrupt) => {}
+        }
         store.timeline.push(TimelineEntry {
             time: now,
             screenshot_offset,

@@ -1,0 +1,204 @@
+//! Offline drop-in replacement for the `criterion` API subset this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and prints the median
+//! per-iteration time. Good enough to smoke-run `cargo bench` offline;
+//! not a statistics engine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; the shim only uses it to
+/// pick a batch iteration count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_recorded: u64,
+    sample_target: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            self.iters_recorded += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch();
+        let mut remaining = self.sample_target;
+        while remaining > 0 {
+            let n = per_batch.min(remaining);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / n as u32);
+            self.iters_recorded += n;
+            remaining -= n;
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size.min(self.criterion.max_samples);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_recorded: 0,
+            sample_target: samples,
+        };
+        // Warm-up pass, unmeasured.
+        let mut warm = Bencher {
+            samples: Vec::new(),
+            iters_recorded: 0,
+            sample_target: 1,
+        };
+        f(&mut warm);
+        f(&mut bencher);
+        let median = bencher.median();
+        println!(
+            "{}/{}: median {:?} over {} iterations",
+            self.name, id, median, bencher.iters_recorded
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Criterion {
+    max_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `DV_BENCH_SAMPLES` caps work so CI smoke runs stay fast.
+        let max_samples = std::env::var("DV_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion { max_samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { max_samples: 3 };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5).bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // warm-up (1) + min(5, 3) samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_recorded: 0,
+            sample_target: 10,
+        };
+        let mut sum = 0u64;
+        b.iter_batched(|| 2u64, |v| sum += v, BatchSize::LargeInput);
+        assert_eq!(b.iters_recorded, 10);
+        assert_eq!(sum, 20);
+    }
+}

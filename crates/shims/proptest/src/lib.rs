@@ -1,0 +1,677 @@
+//! Offline drop-in replacement for the `proptest` API subset this
+//! workspace uses: `proptest!`, `prop_oneof!` (plain and weighted),
+//! `prop_assert!`/`prop_assert_eq!`, `Strategy::prop_map`, `Just`,
+//! integer-range strategies, tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::bool::weighted`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its seed and the generated
+//!   inputs; re-running with `PROPTEST_RNG_SEED=<seed> PROPTEST_CASES=1`
+//!   reproduces it exactly.
+//! - **Deterministic by default.** Every run uses a fixed base seed
+//!   (overridable via `PROPTEST_RNG_SEED`), so CI and local runs explore
+//!   the same cases. `PROPTEST_CASES` overrides the per-test case count.
+//! - `*.proptest-regressions` files are still honoured: the trailing
+//!   16 hex digits of each `cc <hex>` line are replayed as an extra seed
+//!   before novel cases, and new failures are appended in the same
+//!   format.
+
+use std::fmt::Debug;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies (splitmix64 stream).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x6A09_E667_F3BC_C909 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value` from a seeded RNG.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::sync::Arc::new(self))
+    }
+
+    /// Recursive strategies: `depth` levels of `recurse` over `self` as
+    /// the leaf. The size-tuning parameters of the real crate are
+    /// accepted but ignored; each level picks the leaf 1/3 of the time,
+    /// so generated trees stay small.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            level = Union::new_weighted(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        level
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, the glue inside `prop_oneof!`.
+pub struct BoxedStrategy<T>(std::sync::Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+// Integer ranges as strategies: `0..n` and `1..=n`.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + v as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                ((start as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Full-domain strategy for an [`Arbitrary`] type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collections and primitive modules (reached as `prop::collection`, ...)
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Inclusive length bounds; built from `usize`, `a..b`, or `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_f64() < self.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + runner
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestRng};
+}
+
+pub mod runner {
+    use super::{ProptestConfig, TestRng};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    const DEFAULT_BASE_SEED: u64 = 0x00DE_7AC7_EDC0_FFEE;
+
+    fn base_seed() -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(v) => v
+                .trim()
+                .parse::<u64>()
+                .or_else(|_| u64::from_str_radix(v.trim().trim_start_matches("0x"), 16))
+                .unwrap_or_else(|_| panic!("unparseable PROPTEST_RNG_SEED: {v:?}")),
+            Err(_) => DEFAULT_BASE_SEED,
+        }
+    }
+
+    fn case_count(config: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(config.cases)
+    }
+
+    fn regression_path(source_file: &str) -> Option<PathBuf> {
+        // `file!()` is relative to the workspace root, which is the CWD
+        // during `cargo test`; skip persistence when that doesn't hold.
+        let source = PathBuf::from(source_file);
+        if !source.exists() {
+            return None;
+        }
+        Some(source.with_extension("proptest-regressions"))
+    }
+
+    fn stored_seeds(path: &PathBuf) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let hex = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+                let tail = &hex[hex.len().saturating_sub(16)..];
+                u64::from_str_radix(tail, 16).ok()
+            })
+            .collect()
+    }
+
+    fn persist_failure(path: Option<PathBuf>, seed: u64) {
+        let Some(path) = path else { return };
+        let mut text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.\n"
+                .to_string()
+        });
+        let line = format!("cc {seed:064x}");
+        if !text.lines().any(|l| l.trim() == line) {
+            text.push_str(&line);
+            text.push('\n');
+            let _ = std::fs::write(&path, text);
+        }
+    }
+
+    /// Drives one `proptest!` test: replays regression seeds, then runs
+    /// the configured number of novel cases. `case` returns `Err` on
+    /// property violation (from `prop_assert!`); panics are caught and
+    /// treated the same.
+    pub fn run<F>(config: &ProptestConfig, source_file: &str, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let base = base_seed();
+        let path = regression_path(source_file);
+        let replay = path.as_ref().map(stored_seeds).unwrap_or_default();
+        let novel = (0..case_count(config)).map(|i| {
+            // Mix test name and case index into the base seed so each
+            // test explores an independent deterministic stream.
+            let mut h = base;
+            for b in test_name.bytes() {
+                h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+            }
+            h.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+
+        for (kind, seed) in replay
+            .into_iter()
+            .map(|s| ("regression", s))
+            .chain(novel.map(|s| ("case", s)))
+        {
+            let mut rng = TestRng::from_seed(seed);
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| case(&mut rng))).unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic".to_string());
+                    Err(format!("panicked: {msg}"))
+                });
+            if let Err(why) = outcome {
+                persist_failure(path.clone(), seed);
+                panic!(
+                    "proptest {test_name} ({source_file}) failed on {kind} seed \
+                     {seed:#018x}:\n{why}\nreproduce with PROPTEST_RNG_SEED={seed} \
+                     PROPTEST_CASES=1"
+                );
+            }
+        }
+    }
+}
+
+// Re-exported so `prelude::*` users get the pieces macro expansions need.
+pub use collection::SizeRange;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    // Weighted arms: `w => strategy, ...`
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    // Unweighted arms.
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::runner::run(&config, file!(), stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let _ = ::std::fmt::Write::write_fmt(
+                        &mut __inputs,
+                        format_args!("  {} = {:?}\n", stringify!($arg), &$arg),
+                    );
+                )+
+                let __outcome = (move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __outcome.map_err(|e| format!("{e}\ninputs:\n{__inputs}"))
+            });
+        }
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_word() -> impl Strategy<Value = String> {
+        prop_oneof![
+            3 => Just("alpha"),
+            1 => Just("beta"),
+        ]
+        .prop_map(|s| format!("/{s}"))
+    }
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (0..5usize).generate(&mut rng);
+            assert!(v < 5);
+            let w = (1..=3u64).generate(&mut rng);
+            assert!((1..=3).contains(&w));
+            let bytes = prop::collection::vec(any::<u8>(), 2..6).generate(&mut rng);
+            assert!((2..6).contains(&bytes.len()));
+            let exact = prop::collection::vec(0..10u32, 4).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+            let word = arb_word().generate(&mut rng);
+            assert!(word == "/alpha" || word == "/beta");
+            let (a, b, c) = (0..2u8, 0..3u8, any::<bool>()).generate(&mut rng);
+            assert!(a < 2 && b < 3);
+            let _ = c;
+            let _ = prop::bool::weighted(0.25).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec((0..100u64, any::<u8>()), 1..20);
+        let a = strat.generate(&mut TestRng::from_seed(99));
+        let b = strat.generate(&mut TestRng::from_seed(99));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro pipeline itself: parsing, generation, asserts.
+        #[test]
+        fn macro_round_trip(xs in prop::collection::vec(any::<u8>(), 0..16), n in 1..50usize) {
+            prop_assert!(n < 50, "n out of range: {}", n);
+            prop_assert_eq!(xs.len(), xs.iter().count());
+            let doubled: Vec<u16> = xs.iter().map(|&x| x as u16 * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len(), "length changed for {:?}", xs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_reports_seed() {
+        let config = ProptestConfig::with_cases(8);
+        crate::runner::run(&config, "nonexistent-source.rs", "always_fails", |rng| {
+            let v = (0..10u64).generate(rng);
+            Err(format!("forced failure on {v}"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn panicking_property_is_caught() {
+        let config = ProptestConfig::with_cases(2);
+        crate::runner::run(&config, "nonexistent-source.rs", "panics", |_rng| {
+            panic!("boom");
+        });
+    }
+}

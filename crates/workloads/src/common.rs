@@ -34,11 +34,11 @@ pub fn loggy_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
         if rng.gen_bool(0.5) {
-            let run = rng.gen_range(8..64).min(len - out.len());
+            let run = rng.gen_range(8usize..64).min(len - out.len());
             let b = rng.gen_range(b' '..b'z');
             out.extend(std::iter::repeat_n(b, run));
         } else {
-            let n = rng.gen_range(4..32).min(len - out.len());
+            let n = rng.gen_range(4usize..32).min(len - out.len());
             for _ in 0..n {
                 out.push(rng.gen_range(b' '..b'z'));
             }

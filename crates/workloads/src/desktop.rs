@@ -124,7 +124,7 @@ impl Scenario for DesktopScenario {
             Phase::Active => {
                 // Switch focus and repaint a whole window with content.
                 let idx = self.rng.gen_range(0..self.apps.len());
-                let heap_pos = self.rng.gen_range(0..7 << 20);
+                let heap_pos = self.rng.gen_range(0u64..7 << 20);
                 let (app, window, body, rect, vpid, heap) = {
                     let a = &self.apps[idx];
                     (a.app, a.window, a.body, a.rect, a.vpid, a.heap)

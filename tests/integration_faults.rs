@@ -1,0 +1,147 @@
+//! Fault-injection integration matrix: every storage fault site crossed
+//! with every fault kind, armed against a live recording DejaView
+//! session.
+//!
+//! For each combination the session must (1) never panic, (2) surface
+//! injected failures as counted degradation rather than silent loss,
+//! and (3) keep every byte of the pre-fault record usable: browse
+//! reproduces the same screen, search still finds the recorded text,
+//! and revive restores the pre-fault checkpoint.
+
+mod common;
+
+use dejaview::{Config, DejaView};
+use dv_access::Role;
+use dv_display::Rect;
+use dv_fault::{sites, FaultPlan, FaultPlane, IoFault};
+use dv_index::RankOrder;
+use dv_time::Duration;
+
+const W: u32 = 96;
+const H: u32 = 64;
+
+fn server_with(plane: FaultPlane) -> DejaView {
+    DejaView::new(Config {
+        width: W,
+        height: H,
+        fault_plane: plane,
+        ..Config::default()
+    })
+}
+
+/// Paints, writes files, syncs, ticks the policy, and takes a keyframe,
+/// tolerating injected storage errors; returns how many fs operations
+/// reported an error to this caller.
+fn activity(dv: &mut DejaView, phase: u64, steps: u64) -> u64 {
+    let mut fs_errors = 0u64;
+    for i in 0..steps {
+        // Advance first so this step's commands land strictly after the
+        // previous phase's end time (browse at a phase boundary must not
+        // pick up the next phase's paint).
+        dv.clock().advance(Duration::from_secs(1));
+        let shade = 0x20_20_20 + (phase + i) as u32 * 41;
+        dv.driver_mut().fill_rect(Rect::new(0, 0, W, H), shade);
+        if dv
+            .vee_mut()
+            .fs
+            .write_all("/data/file", &vec![(phase + i) as u8; 2 << 10])
+            .is_err()
+        {
+            fs_errors += 1;
+        }
+        if dv.vee_mut().fs.sync().is_err() {
+            fs_errors += 1;
+        }
+        let _ = dv.policy_tick();
+        dv.force_keyframe();
+    }
+    fs_errors
+}
+
+#[test]
+fn every_site_and_fault_degrades_gracefully() {
+    let kinds = [
+        IoFault::Enospc,
+        IoFault::TornWrite,
+        IoFault::ShortRead,
+        IoFault::Corrupt,
+        IoFault::LatencySpike,
+    ];
+    for site in sites::ALL {
+        for (ki, fault) in kinds.iter().enumerate() {
+            let label = format!("{site}/{fault:?}");
+            let plane = FaultPlan::new(common::seed_for(site) ^ ki as u64)
+                .every_nth(site, 2, *fault)
+                .build();
+            plane.disarm();
+            let mut dv = server_with(plane.clone());
+
+            // --- Clean pre-fault history the record must retain. ---
+            dv.vee_mut().fs.mkdir_all("/data").expect("clean mkdir");
+            let app = dv.desktop_mut().register_app("editor");
+            let root = dv.desktop_mut().root(app).expect("app root");
+            let win = dv
+                .desktop_mut()
+                .add_node(app, root, Role::Window, "notes - editor");
+            dv.desktop_mut()
+                .add_node(app, win, Role::Paragraph, "prefault sentinel text");
+            dv.desktop_mut().focus(app);
+            assert_eq!(activity(&mut dv, 0, 3), 0, "{label}: clean run erred");
+            let pre_time = dv.now();
+            let pre_shot = dv
+                .browse(pre_time)
+                .expect("pre-fault browse")
+                .content_hash();
+
+            // --- Armed phase: the session absorbs the faults. ---
+            plane.arm();
+            let fs_errors = activity(&mut dv, 3, 4);
+            // A revive under fault reads blobs back; it may fail, but
+            // must not panic or corrupt the live session.
+            if let Ok(sid) = dv.take_me_back(dv.now()) {
+                let _ = dv.close_session(sid);
+            }
+            let _ = dv.save_archive();
+            let _ = dv.save_archive();
+            plane.disarm();
+
+            let injected = plane.injected_at(site);
+            assert!(injected > 0, "{label}: site was never exercised");
+
+            // --- Failures are visible, not silent. ---
+            let damaging = matches!(
+                fault,
+                IoFault::Enospc | IoFault::TornWrite | IoFault::ShortRead
+            );
+            if damaging && site != sites::LSFS_BLOB_GET {
+                let visible = dv.storage().degraded_events
+                    + dv.engine().stats().write_failures
+                    + fs_errors;
+                assert!(visible > 0, "{label}: {injected} faults left no trace");
+            }
+
+            // --- Zero lost pre-fault data. ---
+            let post_shot = dv
+                .browse(pre_time)
+                .unwrap_or_else(|e| panic!("{label}: pre-fault browse broke: {e}"))
+                .content_hash();
+            assert_eq!(pre_shot, post_shot, "{label}: pre-fault screen changed");
+
+            let hits = dv
+                .search("sentinel", RankOrder::Chronological)
+                .unwrap_or_else(|e| panic!("{label}: search broke: {e}"));
+            assert!(!hits.is_empty(), "{label}: pre-fault text unsearchable");
+
+            let sid = dv
+                .take_me_back(pre_time)
+                .unwrap_or_else(|e| panic!("{label}: pre-fault revive broke: {e:?}"));
+            let revived = dv.session(sid).expect("revived session");
+            assert_eq!(
+                revived.vee.fs.read_all("/data/file").expect("revived file")[0],
+                2,
+                "{label}: revived file is not the pre-fault version"
+            );
+            dv.close_session(sid).expect("close revived session");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Crash-consistency property tests for the log-structured file system.
+//!
+//! The invariant (DESIGN.md §5): for ANY sequence of committed
+//! transactions and ANY power-cut point in the serialized log,
+//! `Lsfs::load` recovers a state that (a) equals the state after some
+//! prefix of the committed transactions, (b) passes the `check()` fsck,
+//! and (c) resolves every snapshot it still reports. A cut at the full
+//! log length must recover the final state exactly.
+
+mod common;
+
+use proptest::prelude::*;
+
+use dv_fault::crash;
+use dv_lsfs::{FileType, Filesystem, Lsfs};
+
+/// A committed transaction: every op here reaches the journal before it
+/// returns, so the live tree always equals the recoverable state.
+#[derive(Clone, Debug)]
+enum Txn {
+    Mkdir(String),
+    Create(String),
+    /// Write then sync — the data blocks and the Write journal record
+    /// are both on disk when this op completes.
+    WriteSync(String, u64, Vec<u8>),
+    Snapshot,
+    Unlink(String),
+    Rename(String, String),
+}
+
+/// Small path universe so operations collide often.
+fn arb_path() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("dir")].prop_map(|s| format!("/{s}")),
+        (
+            prop_oneof![Just("dir"), Just("deep")],
+            prop_oneof![Just("x"), Just("y"), Just("z")]
+        )
+            .prop_map(|(d, f)| format!("/{d}/{f}")),
+    ]
+}
+
+fn arb_txn() -> impl Strategy<Value = Txn> {
+    prop_oneof![
+        arb_path().prop_map(Txn::Mkdir),
+        arb_path().prop_map(Txn::Create),
+        (arb_path(), 0..4_000u64, prop::collection::vec(any::<u8>(), 1..400))
+            .prop_map(|(p, off, data)| Txn::WriteSync(p, off, data)),
+        Just(Txn::Snapshot),
+        arb_path().prop_map(Txn::Unlink),
+        (arb_path(), arb_path()).prop_map(|(a, b)| Txn::Rename(a, b)),
+    ]
+}
+
+/// Applies one transaction; errors (missing paths, non-empty dirs) are
+/// legitimate outcomes of random sequences and leave no journal record.
+fn apply(fs: &mut Lsfs, txn: &Txn, next_snapshot: &mut u64) {
+    match txn {
+        Txn::Mkdir(p) => {
+            let _ = fs.mkdir(p);
+        }
+        Txn::Create(p) => {
+            let _ = fs.create(p);
+        }
+        Txn::WriteSync(p, off, data) => {
+            if fs.write_at(p, *off, data).is_ok() {
+                fs.sync().expect("sync without faults");
+            }
+        }
+        Txn::Snapshot => {
+            fs.snapshot_point(*next_snapshot).expect("snapshot");
+            *next_snapshot += 1;
+        }
+        Txn::Unlink(p) => {
+            let _ = fs.unlink(p);
+        }
+        Txn::Rename(a, b) => {
+            let _ = fs.rename(a, b);
+        }
+    }
+}
+
+/// A layout-independent fingerprint of the entire visible state: the
+/// tree (paths, types, contents) plus the resolvable snapshot set.
+fn fingerprint(fs: &Lsfs) -> String {
+    let mut out = String::new();
+    walk(fs, "/", &mut out);
+    out.push_str("snapshots:");
+    for c in fs.snapshot_counters() {
+        out.push_str(&format!(" {c}"));
+    }
+    out
+}
+
+fn walk(fs: &Lsfs, path: &str, out: &mut String) {
+    let meta = fs.stat(path).expect("stat of listed path");
+    if meta.ftype == FileType::Regular {
+        let data = fs.read_all(path).expect("read of listed file");
+        out.push_str(&format!("f {path} {} {:08x}\n", meta.size, fnv(&data)));
+    } else {
+        out.push_str(&format!("d {path}\n"));
+        for entry in fs.readdir(path).expect("readdir of listed dir") {
+            let child = if path == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{path}/{}", entry.name)
+            };
+            walk(fs, &child, out);
+        }
+    }
+}
+
+fn fnv(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn recovery_lands_on_a_committed_prefix(
+        txns in prop::collection::vec(arb_txn(), 1..20),
+        cut_sel in any::<u64>(),
+    ) {
+        let mut fs = Lsfs::new();
+        let mut next_snapshot = 1u64;
+        // The valid recovery targets: the state after each committed
+        // prefix of the transaction sequence (including the empty one).
+        let mut prefixes = vec![fingerprint(&fs)];
+        for txn in &txns {
+            apply(&mut fs, txn, &mut next_snapshot);
+            prefixes.push(fingerprint(&fs));
+        }
+
+        let image = fs.save().expect("serialize");
+        let log_len = crash::log_len(&image);
+        let cut = (cut_sel % (log_len as u64 + 1)) as usize;
+        let cut_image = crash::power_cut(&image, cut);
+
+        // Reopening never fails: the scan falls back to the newest
+        // intact journal record (or an empty file system).
+        let recovered = Lsfs::load(&cut_image).expect("load after power cut");
+
+        // (b) fsck passes.
+        prop_assert!(
+            recovered.check().is_ok(),
+            "fsck failed after cut at {cut}/{log_len}: {:?}",
+            recovered.check()
+        );
+
+        // (a) the recovered state is exactly some committed prefix.
+        let fp = fingerprint(&recovered);
+        prop_assert!(
+            prefixes.contains(&fp),
+            "recovered state after cut at {cut}/{log_len} matches no committed prefix:\n{fp}"
+        );
+
+        // A full-length cut is not a crash at all: the final state.
+        if cut == log_len {
+            prop_assert_eq!(&fp, prefixes.last().unwrap());
+        }
+
+        // (c) every snapshot the recovered fs reports still resolves.
+        for counter in recovered.snapshot_counters() {
+            prop_assert!(
+                recovered.snapshot(counter).is_ok(),
+                "snapshot {counter} no longer resolves after cut at {cut}"
+            );
+        }
+    }
+}
