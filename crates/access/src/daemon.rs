@@ -203,8 +203,7 @@ impl<S: TextSink> AccessListener for CaptureDaemon<S> {
             }
             AccessEvent::TextChanged { app, node } => {
                 if let Some(tree) = tree {
-                    if let Some((_old, new)) = self.mirror.mirror_text_changed(*app, *node, tree)
-                    {
+                    if let Some((_old, new)) = self.mirror.mirror_text_changed(*app, *node, tree) {
                         self.emit_hidden(*app, *node, now);
                         let role = self
                             .mirror
@@ -310,7 +309,10 @@ mod tests {
         clock.advance(dv_time::Duration::from_secs(3));
         desktop.focus(b);
         let s = sink.lock();
-        assert_eq!(s.focus, vec![(a, Timestamp::ZERO), (b, Timestamp::from_secs(3))]);
+        assert_eq!(
+            s.focus,
+            vec![(a, Timestamp::ZERO), (b, Timestamp::from_secs(3))]
+        );
     }
 
     #[test]

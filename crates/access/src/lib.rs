@@ -8,6 +8,8 @@
 //! intervals to the text index. It also implements the explicit
 //! annotation path (select text + key combination).
 
+#![deny(unsafe_code)]
+
 pub mod daemon;
 pub mod mirror;
 pub mod naive;

@@ -97,7 +97,12 @@ impl MirrorTree {
     ///
     /// Returns the mirrored node, or `None` if the real component has
     /// already disappeared again.
-    pub fn mirror_added(&mut self, app: AppId, id: NodeId, tree: &AccessibleTree) -> Option<&MirrorNode> {
+    pub fn mirror_added(
+        &mut self,
+        app: AppId,
+        id: NodeId,
+        tree: &AccessibleTree,
+    ) -> Option<&MirrorNode> {
         self.queries += 1;
         let node = tree.node(id)?;
         let mirrored = MirrorNode {
@@ -191,11 +196,7 @@ impl MirrorTree {
     /// returns `false` on any divergence.
     pub fn matches(&self, app: AppId, tree: &AccessibleTree) -> bool {
         let real = tree.full_traversal();
-        let mirrored: Vec<&MirrorNode> = self
-            .nodes
-            .values()
-            .filter(|n| n.app == app)
-            .collect();
+        let mirrored: Vec<&MirrorNode> = self.nodes.values().filter(|n| n.app == app).collect();
         if real.len() != mirrored.len() {
             return false;
         }

@@ -73,7 +73,10 @@ impl<S: TextSink> NaiveCaptureDaemon<S> {
         let gone: Vec<(AppId, NodeId)> = self
             .seen
             .keys()
-            .filter(|(a, n)| *a == app && present.get(n).map(|(_, t)| t) != self.seen.get(&(*a, *n)).map(|(_, t)| t))
+            .filter(|(a, n)| {
+                *a == app
+                    && present.get(n).map(|(_, t)| t) != self.seen.get(&(*a, *n)).map(|(_, t)| t)
+            })
             .copied()
             .collect();
         for key in gone {
@@ -193,6 +196,9 @@ mod tests {
         // nodes and 5 events the naive daemon pays ~20 charged accesses
         // where the mirror daemon pays ~1 per event.
         let accesses = desktop.tree(app).unwrap().accesses();
-        assert!(accesses > 10, "naive traversals should dominate: {accesses}");
+        assert!(
+            accesses > 10,
+            "naive traversals should dominate: {accesses}"
+        );
     }
 }

@@ -4,12 +4,10 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use dv_checkpoint::{compress, decompress, Checkpointer, EngineConfig};
-use dv_display::{
-    decode_command, encode_command_vec, DisplayCommand, Framebuffer, Rect,
-};
+use dv_checkpoint::{compress, compress_parallel, decompress, Checkpointer, EngineConfig};
+use dv_display::{decode_command, encode_command_vec, DisplayCommand, Framebuffer, Rect};
 use dv_index::{parse_query, IndexedInstance, RankOrder, TextIndex};
-use dv_lsfs::{BlobStore, Filesystem, Lsfs};
+use dv_lsfs::{Filesystem, Lsfs, SharedBlobStore};
 use dv_record::{decode_screenshot, encode_screenshot};
 use dv_time::{SimClock, Timestamp};
 use dv_vee::{HostPidAllocator, Prot, Vee};
@@ -136,9 +134,9 @@ fn bench_checkpoint(c: &mut Criterion) {
                 let addr = vee.mmap(p, 16 << 20, Prot::ReadWrite).unwrap();
                 vee.mem_write(p, addr, &vec![3u8; 16 << 20]).unwrap();
                 let engine = Checkpointer::with_sim_clock(EngineConfig::default(), clock);
-                (vee, engine, BlobStore::in_memory())
+                (vee, engine, SharedBlobStore::in_memory())
             },
-            |(mut vee, mut engine, mut store)| engine.checkpoint(&mut vee, &mut store).unwrap(),
+            |(mut vee, mut engine, store)| engine.checkpoint(&mut vee, &store).unwrap(),
             BatchSize::LargeInput,
         );
     });
@@ -161,13 +159,13 @@ fn bench_checkpoint(c: &mut Criterion) {
             },
             clock,
         );
-        let mut store = BlobStore::in_memory();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        let store = SharedBlobStore::in_memory();
+        engine.checkpoint(&mut vee, &store).unwrap();
         b.iter(|| {
             for i in 0..64u64 {
                 vee.mem_write(p, addr + i * 4096, &[1]).unwrap();
             }
-            engine.checkpoint(&mut vee, &mut store).unwrap()
+            engine.checkpoint(&mut vee, &store).unwrap()
         });
     });
     group.bench_function("rle_compress_1mb_page_data", |b| {
@@ -179,8 +177,33 @@ fn bench_checkpoint(c: &mut Criterion) {
             decompress(&compressed).unwrap()
         });
     });
+    group.bench_function("rle_compress_parallel_8x256k_sections", |b| {
+        let sections: Vec<Vec<u8>> = (0..8)
+            .map(|k: u32| {
+                (0..256u32 << 10)
+                    .map(|i| {
+                        if i % 4096 < 2048 {
+                            0
+                        } else {
+                            (i.wrapping_mul(k + 3) % 251) as u8
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        b.iter(|| {
+            let container = compress_parallel(&sections, 4);
+            decompress(&container).unwrap()
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_display, bench_index, bench_lsfs, bench_checkpoint);
+criterion_group!(
+    benches,
+    bench_display,
+    bench_index,
+    bench_lsfs,
+    bench_checkpoint
+);
 criterion_main!(benches);

@@ -6,43 +6,204 @@
 //! reproduce [EXPERIMENT] [--scale S]
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
-//!             policy | quality | faults | ablation | all   (default: all)
-//! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25)
+//!             policy | quality | faults | deferred | ablation |
+//!             ci | all   (default: all; `ci` is not part of `all`)
+//! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
+//!             `ci` defaults to 1.0)
+//! --out P:      ci: where to write the metrics JSON (BENCH_ci.json)
+//! --baseline P: ci: checked-in baseline to gate against
+//!               (BENCH_baseline.json)
 //! ```
+//!
+//! The `ci` experiment runs the deferred write-back comparison and the
+//! fault/crash matrix, writes machine-independent metrics (ratios and
+//! fractions, never absolute times) to `--out`, and exits nonzero if a
+//! lower-is-better metric regressed more than 20% over the baseline or
+//! a higher-is-better metric dropped below it.
 
 use dv_bench::{
-    ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency, faults_experiment,
-    fig2_overhead, fig3_checkpoint_latency, fig4_storage, fig5_browse_search, fig6_playback,
-    fig7_revive, policy_effectiveness, print_ablation, print_crash, print_faults, print_fig2,
-    print_fig3, print_fig4, print_fig5, print_fig6, print_fig7, print_mirror_ablation,
-    print_policy, print_quality, print_table1, quality_tradeoff, table1,
+    ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency,
+    deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
+    fig5_browse_search, fig6_playback, fig7_revive, policy_effectiveness, print_ablation,
+    print_crash, print_deferred, print_faults, print_fig2, print_fig3, print_fig4, print_fig5,
+    print_fig6, print_fig7, print_mirror_ablation, print_policy, print_quality, print_table1,
+    quality_tradeoff, table1,
 };
+
+/// How much a lower-is-better metric may grow over its baseline before
+/// the gate fails.
+const REGRESSION_TOLERANCE: f64 = 1.20;
+
+/// Serializes metrics as a flat JSON object, one metric per line.
+fn to_flat_json(metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {value:.6}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat JSON produced by [`to_flat_json`] (string keys to
+/// numbers only — not a general JSON parser).
+fn parse_flat_json(text: &str) -> Option<Vec<(String, f64)>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut metrics = Vec::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value: f64 = value.trim().parse().ok()?;
+        metrics.push((key.to_string(), value));
+    }
+    Some(metrics)
+}
+
+/// Gates `current` against `baseline`: metrics ending in `_ratio` are
+/// lower-is-better (fail over baseline x1.2); everything else is
+/// higher-is-better (fail under baseline). Metrics missing from the
+/// baseline pass. Returns the failures.
+fn gate(current: &[(String, f64)], baseline: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, value) in current {
+        let Some((_, base)) = baseline.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        if key.ends_with("_ratio") {
+            let limit = base * REGRESSION_TOLERANCE;
+            if *value > limit {
+                failures.push(format!(
+                    "{key}: {value:.4} exceeds baseline {base:.4} +20% ({limit:.4})"
+                ));
+            }
+        } else if *value < *base {
+            failures.push(format!(
+                "{key}: {value:.4} dropped below baseline {base:.4}"
+            ));
+        }
+    }
+    failures
+}
+
+/// Runs the CI benchmark suite and returns its metrics.
+fn ci_metrics(scale: f64) -> Vec<(String, f64)> {
+    let deferred = deferred_experiment(scale);
+    print_deferred(&deferred);
+    println!();
+    let faults = faults_experiment(scale.min(0.25));
+    print_faults(&faults);
+    println!();
+    let crash = crash_consistency(scale.min(0.25));
+    print_crash(&crash);
+    println!();
+
+    let mut metrics = Vec::new();
+    let inline = deferred
+        .iter()
+        .find(|r| r.workers == 0)
+        .expect("inline row");
+    for row in deferred.iter().filter(|r| r.workers >= 1) {
+        // Sync-downtime ratio: deferred stall over inline stall. A
+        // ratio, so one machine's baseline gates another machine's run.
+        metrics.push((
+            format!("deferred_stall_w{}_ratio", row.workers),
+            row.mean_stall.as_secs_f64() / inline.mean_stall.as_secs_f64().max(1e-12),
+        ));
+    }
+    let identical = deferred.iter().all(|r| r.fingerprint == inline.fingerprint);
+    metrics.push((
+        "deferred_restore_identical".to_string(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+    let n = faults.len().max(1) as f64;
+    metrics.push((
+        "faults_browse_ok_fraction".to_string(),
+        faults.iter().filter(|r| r.browse_ok).count() as f64 / n,
+    ));
+    metrics.push((
+        "faults_search_ok_fraction".to_string(),
+        faults.iter().filter(|r| r.search_ok).count() as f64 / n,
+    ));
+    metrics.push((
+        "crash_recovered_fraction".to_string(),
+        crash.iter().filter(|r| r.recovered).count() as f64 / crash.len().max(1) as f64,
+    ));
+    metrics
+}
+
+fn run_ci(scale: f64, out: &str, baseline_path: &str) {
+    let metrics = ci_metrics(scale);
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => {
+            let Some(baseline) = parse_flat_json(&text) else {
+                eprintln!("{baseline_path} is not valid metrics JSON");
+                std::process::exit(2);
+            };
+            let failures = gate(&metrics, &baseline);
+            if failures.is_empty() {
+                println!("bench gate: all metrics within 20% of {baseline_path}");
+            } else {
+                eprintln!("bench gate FAILED against {baseline_path}:");
+                for failure in &failures {
+                    eprintln!("  {failure}");
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            eprintln!("no baseline at {baseline_path}; wrote metrics without gating");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
-    let mut scale = 0.25f64;
+    let mut scale: Option<f64> = None;
+    let mut out = "BENCH_ci.json".to_string();
+    let mut baseline = "BENCH_baseline.json".to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = iter
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale requires a positive number");
-                        std::process::exit(2);
-                    });
+                scale = Some(iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale requires a positive number");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => {
+                baseline = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|ablation|all] [--scale S]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|ci|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
             other => experiment = other.to_string(),
         }
     }
+    // `ci` favors a paper-sized deferred run for stable ratios.
+    let scale = scale.unwrap_or(if experiment == "ci" { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
         std::process::exit(2);
@@ -52,6 +213,11 @@ fn main() {
     );
     let all = experiment == "all";
     let started = std::time::Instant::now();
+    if experiment == "ci" {
+        run_ci(scale, &out, &baseline);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
     if all || experiment == "table1" {
         print_table1(&table1(scale));
         println!();
@@ -86,6 +252,10 @@ fn main() {
     }
     if all || experiment == "quality" {
         print_quality(&quality_tradeoff(scale));
+        println!();
+    }
+    if all || experiment == "deferred" {
+        print_deferred(&deferred_experiment(scale));
         println!();
     }
     if all || experiment == "faults" {

@@ -788,7 +788,11 @@ pub fn ablation_mirror_tree(nodes: usize) -> Vec<MirrorAblationRow> {
         let (events, total_delivery) = desktop.delivery_stats();
         let tree_accesses = desktop.tree(app).expect("registered").accesses();
         MirrorAblationRow {
-            daemon: if naive { "naive (re-traverse per event)" } else { "mirror tree" },
+            daemon: if naive {
+                "naive (re-traverse per event)"
+            } else {
+                "mirror tree"
+            },
             events,
             total_delivery,
             per_event: Duration::from_nanos(total_delivery.as_nanos() / events.max(1)),
@@ -816,6 +820,189 @@ pub fn policy_effectiveness(scale: f64) -> PolicyStats {
         },
     );
     dv.policy_stats()
+}
+
+// ---------------------------------------------------------------------
+// Deferred write-back pipeline (§5.1.2's deferred writeback, taken off
+// the session thread entirely)
+// ---------------------------------------------------------------------
+
+/// One deferred-pipeline configuration's measurements.
+pub struct DeferredRow {
+    /// Configuration label.
+    pub config: String,
+    /// Commit workers (0 = inline commit on the session thread).
+    pub workers: usize,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Mean session-thread stall per checkpoint call (wall time the
+    /// session is held off the CPU by `checkpoint()` itself).
+    pub mean_stall: std::time::Duration,
+    /// Worst single stall.
+    pub max_stall: std::time::Duration,
+    /// Wall time from the first capture until the pipeline flushed.
+    pub total_wall: std::time::Duration,
+    /// Raw image bytes committed per wall second.
+    pub throughput_mbps: f64,
+    /// Captures committed inline because the queue was full.
+    pub inline_fallbacks: u64,
+    /// FNV-1a hash over every committed chain's decompressed plaintext
+    /// and the revived final state — identical across configurations if
+    /// and only if deferral changes nothing but timing.
+    pub fingerprint: u64,
+    /// Pages installed reviving the final checkpoint.
+    pub pages_restored: usize,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Runs one memory-heavy session under a pipeline configuration: every
+/// configuration dirties byte-identical pages, so the committed blobs
+/// must decompress to identical plaintexts and revive identically.
+fn deferred_run(workers: usize, scale: f64) -> DeferredRow {
+    use dv_vee::{HostPidAllocator, Prot, Vee};
+    const PAGE: usize = 4096;
+    let procs = 4usize;
+    let pages_per_proc = ((192.0 * scale) as usize).max(24);
+    let rounds = ((12.0 * scale) as u64).max(6);
+
+    let clock = SimClock::new();
+    let mut vee = Vee::new(
+        1,
+        clock.shared(),
+        Box::new(dv_lsfs::Lsfs::new()),
+        HostPidAllocator::new(),
+    );
+    let mut engine = dv_checkpoint::Checkpointer::with_sim_clock(
+        dv_checkpoint::EngineConfig {
+            compress: true,
+            full_every: 4,
+            commit_workers: workers,
+            commit_queue_depth: rounds as usize + 1,
+            ..dv_checkpoint::EngineConfig::default()
+        },
+        clock.clone(),
+    );
+    let store = dv_lsfs::SharedBlobStore::in_memory();
+
+    // Deterministic, poorly compressible page contents (xorshift64) —
+    // the same in every configuration.
+    let fill = |proc_i: usize, page: usize, round: u64| -> Vec<u8> {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64
+            ^ ((proc_i as u64 + 1) << 40)
+            ^ ((page as u64 + 1) << 20)
+            ^ (round + 1);
+        (0..PAGE)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    };
+
+    let mut mappings: Vec<(dv_vee::Vpid, u64)> = Vec::with_capacity(procs);
+    for i in 0..procs {
+        let parent = mappings.first().map(|&(p, _)| p);
+        let p = vee.spawn(parent, &format!("worker-{i}")).expect("spawn");
+        let addr = vee
+            .mmap(p, (pages_per_proc * PAGE) as u64, Prot::ReadWrite)
+            .expect("mmap");
+        for page in 0..pages_per_proc {
+            vee.mem_write(p, addr + (page * PAGE) as u64, &fill(i, page, 0))
+                .expect("seed pages");
+        }
+        mappings.push((p, addr));
+    }
+
+    let started_total = Instant::now();
+    let mut stalls = Vec::with_capacity(rounds as usize);
+    for round in 1..=rounds {
+        // Dirty half the pages in every process.
+        for (i, &(p, addr)) in mappings.iter().enumerate() {
+            for page in (0..pages_per_proc).filter(|pg| (pg + round as usize).is_multiple_of(2)) {
+                vee.mem_write(p, addr + (page * PAGE) as u64, &fill(i, page, round))
+                    .expect("dirty pages");
+            }
+        }
+        let started = Instant::now();
+        engine.checkpoint(&mut vee, &store).expect("checkpoint");
+        stalls.push(started.elapsed());
+        clock.advance(Duration::from_secs(1));
+    }
+    engine.flush().expect("flush");
+    let total_wall = started_total.elapsed();
+    let stats = engine.stats();
+
+    // Fingerprint the committed history: every chain's plaintext...
+    let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+    let metas: Vec<(u64, String)> = engine
+        .images()
+        .map(|m| (m.counter, m.blob.clone()))
+        .collect();
+    for (counter, blob) in &metas {
+        fnv1a(&mut fingerprint, &counter.to_le_bytes());
+        let data = store
+            .with(|s| s.get(blob).map(|d| d.to_vec()))
+            .expect("committed blob present");
+        let plain = dv_checkpoint::decompress(&data).expect("valid container");
+        fnv1a(&mut fingerprint, &plain);
+    }
+    // ...and the state revived from the final checkpoint.
+    let last = metas.last().expect("at least one checkpoint").0;
+    let chain = engine.chain_for(last).expect("chain");
+    let (revived, report) = dv_checkpoint::revive(
+        &mut store.lock(),
+        engine.blob_prefix(),
+        &chain,
+        true,
+        99,
+        clock.shared(),
+        Box::new(dv_lsfs::Lsfs::new()),
+        HostPidAllocator::new(),
+        &dv_checkpoint::NetworkPolicy::default(),
+    )
+    .expect("revive");
+    for (i, &(p, addr)) in mappings.iter().enumerate() {
+        fnv1a(&mut fingerprint, format!("proc-{i}").as_bytes());
+        let memory = revived
+            .mem_read(p, addr, pages_per_proc * PAGE)
+            .expect("revived memory");
+        fnv1a(&mut fingerprint, &memory);
+    }
+
+    let sum: std::time::Duration = stalls.iter().sum();
+    DeferredRow {
+        config: if workers == 0 {
+            "inline".to_string()
+        } else {
+            format!("deferred x{workers}")
+        },
+        workers,
+        checkpoints: stats.checkpoints,
+        mean_stall: sum / stalls.len().max(1) as u32,
+        max_stall: stalls.iter().copied().max().unwrap_or_default(),
+        total_wall,
+        throughput_mbps: stats.raw_bytes as f64 / 1e6 / total_wall.as_secs_f64().max(1e-9),
+        inline_fallbacks: stats.inline_fallbacks,
+        fingerprint,
+        pages_restored: report.pages_installed,
+    }
+}
+
+/// The deferred write-back comparison: inline commits versus the
+/// pipeline at 1, 2 and 4 workers, over byte-identical sessions.
+pub fn deferred_experiment(scale: f64) -> Vec<DeferredRow> {
+    [0usize, 1, 2, 4]
+        .iter()
+        .map(|&workers| deferred_run(workers, scale))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -971,6 +1158,22 @@ pub fn crash_consistency(scale: f64) -> Vec<CrashRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deferred_modes_commit_identical_histories() {
+        let rows = deferred_experiment(0.05);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].workers, 0);
+        for row in &rows[1..] {
+            assert_eq!(
+                row.fingerprint, rows[0].fingerprint,
+                "{} diverged from inline",
+                row.config
+            );
+            assert_eq!(row.checkpoints, rows[0].checkpoints);
+            assert_eq!(row.pages_restored, rows[0].pages_restored);
+        }
+    }
 
     #[test]
     fn faults_smoke() {

@@ -8,6 +8,8 @@
 //! so the *shapes* — who wins, by what rough factor, where the outliers
 //! are — are the reproduction target, as recorded in EXPERIMENTS.md.
 
+#![deny(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 

@@ -1,8 +1,8 @@
 //! Paper-style table printing for the `reproduce` binary.
 
 use crate::experiments::{
-    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, FaultRow, MirrorAblationRow,
-    OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow, Table1Row,
+    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow,
+    MirrorAblationRow, OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow, Table1Row,
 };
 use dv_checkpoint::PolicyStats;
 
@@ -12,6 +12,43 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn vms(d: dv_time::Duration) -> f64 {
     d.as_nanos() as f64 / 1e6
+}
+
+/// Prints the deferred write-back comparison.
+pub fn print_deferred(rows: &[DeferredRow]) {
+    println!("Deferred write-back: per-checkpoint session-thread stall, inline vs pipeline");
+    println!(
+        "{:<14} {:>6} {:>11} {:>11} {:>10} {:>8} {:>9}  {:<18}",
+        "config", "ckpts", "stall(ms)", "max(ms)", "wall(ms)", "MB/s", "fallback", "fingerprint"
+    );
+    println!("{:-<96}", "");
+    for row in rows {
+        println!(
+            "{:<14} {:>6} {:>11.3} {:>11.3} {:>10.1} {:>8.1} {:>9}  {:016x}",
+            row.config,
+            row.checkpoints,
+            ms(row.mean_stall),
+            ms(row.max_stall),
+            ms(row.total_wall),
+            row.throughput_mbps,
+            row.inline_fallbacks,
+            row.fingerprint,
+        );
+    }
+    if let Some(inline) = rows.iter().find(|r| r.workers == 0) {
+        let matched = rows.iter().all(|r| r.fingerprint == inline.fingerprint);
+        for row in rows.iter().filter(|r| r.workers >= 1) {
+            println!(
+                "  {}: stall {:.2}x lower than inline",
+                row.config,
+                inline.mean_stall.as_secs_f64() / row.mean_stall.as_secs_f64().max(1e-12),
+            );
+        }
+        println!(
+            "  restore results across configurations: {}",
+            if matched { "identical" } else { "DIVERGED" }
+        );
+    }
 }
 
 /// Prints the fault-injection matrix.
@@ -94,7 +131,15 @@ pub fn print_fig3(rows: &[CheckpointRow]) {
     println!("Figure 3: Total checkpoint latency (mean per checkpoint, ms)");
     println!(
         "{:<8} {:>6} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9}",
-        "scenario", "ckpts", "pre-ckpt", "quiesce", "capture", "fs-snap", "writeback", "downtime", "max-down"
+        "scenario",
+        "ckpts",
+        "pre-ckpt",
+        "quiesce",
+        "capture",
+        "fs-snap",
+        "writeback",
+        "downtime",
+        "max-down"
     );
     println!("{:-<92}", "");
     for row in rows {

@@ -9,6 +9,16 @@
 //!
 //! Format: a stream of chunks, either `[0x00][len u32][literal bytes]`
 //! or `[0x01][len u32][byte]` (a run).
+//!
+//! The deferred write-back pipeline compresses the sections of an image
+//! (header, one per process, sockets) on parallel worker subtasks. The
+//! results are framed in a *chunked container*:
+//! `[0x02][chunk count u32]` then, per chunk,
+//! `[compressed len u32][compressed RLE stream]`. Decompressing the
+//! container concatenates the chunks' plaintexts, so it is
+//! interchangeable with a plain stream over the concatenated input.
+//! The leading `0x02` cannot open a plain stream (whose chunks start
+//! `0x00`/`0x01`), so [`decompress`] auto-detects the format.
 
 /// Minimum run length worth encoding as a run chunk.
 const MIN_RUN: usize = 8;
@@ -54,12 +64,100 @@ fn flush_literal(out: &mut Vec<u8>, lit: &[u8]) {
 /// not drive unbounded allocation. Checkpoint images are far smaller.
 pub const MAX_DECOMPRESSED: usize = 1 << 30;
 
-/// Decompresses a [`compress`] stream.
+/// Frames independently [`compress`]ed chunks into one container blob.
+/// [`decompress`] of the result yields the concatenation of the chunks'
+/// plaintexts.
+pub fn assemble_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(5 + chunks.len() * 4 + total);
+    out.push(0x02);
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for chunk in chunks {
+        out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Compresses `sections` on up to `threads` OS threads and frames the
+/// results with [`assemble_chunks`]. With `threads <= 1` (or a single
+/// section) everything runs on the calling thread; output bytes are
+/// identical either way.
+pub fn compress_parallel(sections: &[Vec<u8>], threads: usize) -> Vec<u8> {
+    let workers = threads.min(sections.len());
+    if workers <= 1 {
+        let chunks: Vec<Vec<u8>> = sections.iter().map(|s| compress(s)).collect();
+        return assemble_chunks(&chunks);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<u8>> = vec![Vec::new(); sections.len()];
+    let done = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(section) = sections.get(i) else {
+                            break;
+                        };
+                        mine.push((i, compress(section)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("compress worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (i, chunk) in done {
+        chunks[i] = chunk;
+    }
+    assemble_chunks(&chunks)
+}
+
+/// Decompresses a [`compress`] stream or an [`assemble_chunks`]
+/// container (auto-detected by the leading byte).
 ///
 /// Returns `None` on malformed input or if the output would exceed
 /// [`MAX_DECOMPRESSED`].
-pub fn decompress(mut data: &[u8]) -> Option<Vec<u8>> {
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    if data.first() == Some(&0x02) {
+        return decompress_container(&data[1..]);
+    }
     let mut out = Vec::new();
+    decompress_stream(&mut out, data)?;
+    Some(out)
+}
+
+fn decompress_container(mut data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(data[..4].try_into().ok()?) as usize;
+    data = &data[4..];
+    let mut out = Vec::new();
+    for _ in 0..count {
+        if data.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(data[..4].try_into().ok()?) as usize;
+        data = &data[4..];
+        if data.len() < len {
+            return None;
+        }
+        decompress_stream(&mut out, &data[..len])?;
+        data = &data[len..];
+    }
+    if !data.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+fn decompress_stream(out: &mut Vec<u8>, mut data: &[u8]) -> Option<()> {
     while !data.is_empty() {
         if data.len() < 5 {
             return None;
@@ -88,7 +186,7 @@ pub fn decompress(mut data: &[u8]) -> Option<Vec<u8>> {
             _ => return None,
         }
     }
-    Some(out)
+    Some(())
 }
 
 #[cfg(test)]
@@ -117,7 +215,9 @@ mod tests {
 
     #[test]
     fn incompressible_data_grows_bounded() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let compressed = compress(&data);
         assert!(compressed.len() <= data.len() + data.len() / 100 + 64);
         assert_eq!(decompress(&compressed).unwrap(), data);
@@ -136,5 +236,58 @@ mod tests {
         assert!(decompress(&[9, 9, 9]).is_none());
         assert!(decompress(&[0x00, 255, 0, 0, 0, 1]).is_none());
         assert!(decompress(&[0x01, 1, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn chunked_container_round_trips_to_concatenation() {
+        let sections = vec![
+            vec![0u8; 5000],
+            (0..200u8).collect::<Vec<u8>>(),
+            Vec::new(),
+            vec![7u8; 64],
+        ];
+        let chunks: Vec<Vec<u8>> = sections.iter().map(|s| compress(s)).collect();
+        let container = assemble_chunks(&chunks);
+        assert_eq!(container[0], 0x02);
+        assert_eq!(decompress(&container).unwrap(), sections.concat());
+    }
+
+    #[test]
+    fn parallel_compression_is_deterministic() {
+        let sections: Vec<Vec<u8>> = (0..9)
+            .map(|k| {
+                (0..4096u32)
+                    .map(|i| (i.wrapping_mul(2654435761 + k) >> (7 + k % 5)) as u8)
+                    .collect()
+            })
+            .collect();
+        let serial = compress_parallel(&sections, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(compress_parallel(&sections, threads), serial);
+        }
+        assert_eq!(decompress(&serial).unwrap(), sections.concat());
+    }
+
+    #[test]
+    fn malformed_containers_rejected() {
+        assert!(decompress(&[0x02]).is_none(), "truncated count");
+        assert!(
+            decompress(&[0x02, 1, 0, 0, 0]).is_none(),
+            "missing chunk header"
+        );
+        assert!(
+            decompress(&[0x02, 1, 0, 0, 0, 9, 0, 0, 0, 0x00]).is_none(),
+            "chunk shorter than its length"
+        );
+        let good = assemble_chunks(&[compress(&[1, 2, 3])]);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decompress(&trailing).is_none(), "trailing bytes");
+        assert_eq!(decompress(&good).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            decompress(&assemble_chunks(&[])).unwrap(),
+            Vec::<u8>::new(),
+            "empty container is the empty plaintext"
+        );
     }
 }

@@ -24,14 +24,15 @@
 use std::collections::BTreeMap;
 
 use dv_fault::{sites, FaultPlane, IoFault};
-use dv_lsfs::{BlobStore, FsError};
-use dv_time::{Duration, PhaseBreakdown, PhaseTimer, Timestamp};
+use dv_lsfs::{FsError, SharedBlobStore};
+use dv_time::{Duration, PhaseBreakdown, PhaseTimer, Sleeper, Timestamp};
 use dv_vee::{FdObject, Process, RunState, Signal, SockState, Vee};
 
 use crate::compress::compress;
 use crate::image::{
     encode_image, CheckpointImage, FdRecord, ImageKind, ProcessRecord, SocketRecord,
 };
+use crate::writeback::{encode_fault_of, CommitPipeline, PipelineConfig};
 
 /// Hidden directory unlinked-open files are relinked into.
 pub const RELINK_DIR: &str = "/.dejaview";
@@ -62,6 +63,19 @@ pub struct EngineConfig {
     /// Ablation: skip the pre-snapshot file system sync, leaving all
     /// dirty data to be written during the snapshot (downtime) window.
     pub disable_pre_snapshot: bool,
+    /// Worker threads for the deferred commit pipeline. `0` (the
+    /// default) commits inline on the session thread after resume, the
+    /// pre-pipeline behavior; `>= 1` hands captures to a worker pool
+    /// that encodes, compresses per-process sections in parallel, and
+    /// writes blobs in counter order off the session thread.
+    pub commit_workers: usize,
+    /// Maximum captures queued to the pipeline before backpressure
+    /// drains it and commits inline (bounds captured-page memory).
+    pub commit_queue_depth: usize,
+    /// Store-write retries a pipeline worker attempts per commit.
+    pub commit_retry_limit: u32,
+    /// Backoff before a commit retry; doubles per attempt.
+    pub commit_retry_backoff: Duration,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +88,10 @@ impl Default for EngineConfig {
             disable_cow: false,
             disable_deferred_writeback: false,
             disable_pre_snapshot: false,
+            commit_workers: 0,
+            commit_queue_depth: 4,
+            commit_retry_limit: 3,
+            commit_retry_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -113,6 +131,11 @@ pub struct CheckpointReport {
     pub raw_bytes: u64,
     /// Whether this was a full checkpoint.
     pub full: bool,
+    /// Whether the commit was handed to the pipeline. If so,
+    /// `stored_bytes`/`raw_bytes` are 0 here and land in
+    /// [`EngineStats`] once the commit resolves (see
+    /// [`Checkpointer::flush`]).
+    pub deferred: bool,
 }
 
 /// Cumulative engine statistics.
@@ -131,6 +154,19 @@ pub struct EngineStats {
     /// Checkpoints whose writeback failed after the session resumed
     /// (the session keeps running; the image is not retained).
     pub write_failures: u64,
+    /// Captures handed to the deferred commit pipeline.
+    pub queued: u64,
+    /// Deferred commits that resolved successfully.
+    pub committed: u64,
+    /// Captures committed inline because the pipeline queue was full.
+    pub inline_fallbacks: u64,
+    /// Total session-thread unresponsiveness (quiesce + capture +
+    /// fs-snapshot) across all checkpoints, in wall nanoseconds.
+    pub sync_downtime_nanos: u64,
+    /// Total time spent committing images outside the downtime window
+    /// (inline post-resume writeback, or pipeline enqueue-to-resolve),
+    /// in wall nanoseconds.
+    pub async_commit_nanos: u64,
 }
 
 /// A function the engine calls to let session time pass while it waits
@@ -150,6 +186,10 @@ pub struct Checkpointer {
     waiter: WaitFn,
     relink_seq: u64,
     plane: FaultPlane,
+    pipeline: Option<CommitPipeline>,
+    force_full: bool,
+    sleeper: Sleeper,
+    last_async_error: Option<FsError>,
 }
 
 impl Checkpointer {
@@ -166,20 +206,41 @@ impl Checkpointer {
             waiter,
             relink_seq: 0,
             plane: FaultPlane::disabled(),
+            pipeline: None,
+            force_full: false,
+            sleeper: Sleeper::Wall,
+            last_async_error: None,
         }
     }
 
     /// Installs the fault-injection plane (sites
     /// `checkpoint.image.encode` and `checkpoint.writeback`).
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.teardown_pipeline();
         self.plane = plane;
     }
 
     /// Creates an engine whose pre-quiesce wait advances a [`dv_time::SimClock`].
+    /// Commit-retry backoff in the pipeline also advances the clock
+    /// instead of really sleeping.
     pub fn with_sim_clock(config: EngineConfig, clock: dv_time::SimClock) -> Self {
-        Checkpointer::new(config, Box::new(move |d| {
-            clock.advance(d);
-        }))
+        let waiter_clock = clock.clone();
+        let mut engine = Checkpointer::new(
+            config,
+            Box::new(move |d| {
+                waiter_clock.advance(d);
+            }),
+        );
+        engine.sleeper = Sleeper::Sim(clock);
+        engine
+    }
+
+    /// Chooses how the commit pipeline pays retry backoff and injected
+    /// latency spikes: really sleeping (default) or advancing a sim
+    /// clock. [`Checkpointer::with_sim_clock`] installs the sim variant.
+    pub fn set_sleeper(&mut self, sleeper: Sleeper) {
+        self.teardown_pipeline();
+        self.sleeper = sleeper;
     }
 
     /// Sets the blob-name prefix, so several engines (the main session
@@ -197,6 +258,115 @@ impl Checkpointer {
     /// Returns cumulative statistics.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Deferred commits still pending in the pipeline.
+    pub fn inflight(&self) -> usize {
+        self.pipeline.as_ref().map_or(0, CommitPipeline::inflight)
+    }
+
+    /// Barrier: blocks until every deferred commit has resolved, then
+    /// folds the outcomes into the image metadata and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first asynchronous commit failure observed since the
+    /// previous flush (the session keeps running either way; the failed
+    /// image and any incrementals chained through it are not retained,
+    /// and the next checkpoint re-anchors with a forced full).
+    pub fn flush(&mut self) -> Result<(), FsError> {
+        if let Some(pipe) = self.pipeline.as_ref() {
+            pipe.drain();
+        }
+        self.reap();
+        match self.last_async_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Folds already-resolved deferred commits into the engine without
+    /// blocking. Successful commits become visible in
+    /// [`Checkpointer::images`] here — and only here — so the metadata
+    /// map grows in counter order.
+    fn reap(&mut self) {
+        let Some(outcomes) = self.pipeline.as_ref().map(CommitPipeline::take_finished) else {
+            return;
+        };
+        for outcome in outcomes {
+            self.stats.async_commit_nanos += outcome.commit_nanos;
+            match outcome.result {
+                Ok((raw_bytes, stored_bytes)) => {
+                    self.images.insert(
+                        outcome.counter,
+                        ImageMeta {
+                            counter: outcome.counter,
+                            time: outcome.time,
+                            kind: outcome.kind,
+                            blob: outcome.blob,
+                            stored_bytes,
+                            raw_bytes,
+                        },
+                    );
+                    self.stats.committed += 1;
+                    self.stats.stored_bytes += stored_bytes;
+                    self.stats.raw_bytes += raw_bytes;
+                    self.note_raw_size(raw_bytes as usize);
+                }
+                Err(e) => {
+                    self.stats.write_failures += 1;
+                    self.force_full = true;
+                    if self.last_async_error.is_none() {
+                        self.last_async_error = Some(e.as_fs_error());
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_raw_size(&mut self, raw: usize) {
+        self.recent_sizes.push(raw);
+        if self.recent_sizes.len() > 8 {
+            self.recent_sizes.remove(0);
+        }
+        self.buffer_estimate =
+            self.recent_sizes.iter().sum::<usize>() / self.recent_sizes.len().max(1);
+    }
+
+    /// Lazily builds the pipeline bound to `store`, rebuilding if the
+    /// caller switched stores.
+    fn ensure_pipeline(&mut self, store: &SharedBlobStore) {
+        let rebuild = match &self.pipeline {
+            Some(pipe) => !pipe.writes_to(store),
+            None => true,
+        };
+        if rebuild {
+            self.teardown_pipeline();
+            self.pipeline = Some(CommitPipeline::new(
+                PipelineConfig {
+                    workers: self.config.commit_workers,
+                    queue_depth: self.config.commit_queue_depth,
+                    retry_limit: self.config.commit_retry_limit,
+                    retry_backoff: self.config.commit_retry_backoff,
+                    compress: self.config.compress,
+                },
+                store.clone(),
+                self.plane.clone(),
+                self.sleeper.clone(),
+            ));
+        }
+    }
+
+    /// Drains and absorbs the current pipeline, if any. Any failure is
+    /// kept for the next [`Checkpointer::flush`] to report.
+    fn teardown_pipeline(&mut self) {
+        if self.pipeline.is_some() {
+            if let Some(pipe) = self.pipeline.as_ref() {
+                pipe.drain();
+            }
+            self.reap();
+            self.pipeline = None;
+        }
     }
 
     /// Returns metadata for every stored image, in counter order.
@@ -334,19 +504,29 @@ impl Checkpointer {
 
     /// Takes one checkpoint of `vee`, storing the image in `store`.
     ///
+    /// With `commit_workers == 0` this is the classic synchronous path:
+    /// capture, snapshot, resume, then encode/compress/write inline on
+    /// this thread. With workers configured, the call returns right
+    /// after resume ([`CheckpointReport::deferred`] is set) and the
+    /// commit pipeline finishes the image off-thread; call
+    /// [`Checkpointer::flush`] to wait for (and account) those commits.
+    ///
     /// # Errors
     ///
-    /// Returns the file system error if the snapshot point fails.
+    /// Returns the file system error if the snapshot point fails, or if
+    /// an inline commit fails. Deferred commit failures surface through
+    /// [`Checkpointer::flush`].
     pub fn checkpoint(
         &mut self,
         vee: &mut Vee,
-        store: &mut BlobStore,
+        store: &SharedBlobStore,
     ) -> Result<CheckpointReport, FsError> {
+        // Absorb any commits that resolved since the last call: a failed
+        // one forces this checkpoint full so the chain re-anchors.
+        self.reap();
         let mut timer = PhaseTimer::new();
         // A zero cadence would divide by zero; treat it as "always full".
-        let full = self
-            .counter
-            .is_multiple_of(self.config.full_every.max(1));
+        let full = self.force_full || self.counter.is_multiple_of(self.config.full_every.max(1));
         let counter = self.counter + 1;
 
         // --- Pre-checkpoint: work done while the session still runs. ---
@@ -366,10 +546,8 @@ impl Checkpointer {
 
         // --- Quiesce: stop every process. ---
         timer.enter("quiesce");
-        let resume_states: Vec<(dv_vee::Vpid, RunState)> = vee
-            .processes()
-            .map(|p| (p.vpid, p.state))
-            .collect();
+        let resume_states: Vec<(dv_vee::Vpid, RunState)> =
+            vee.processes().map(|p| (p.vpid, p.state)).collect();
         vee.stop_all();
 
         // --- Capture: while stopped, gather state without copying. ---
@@ -423,9 +601,7 @@ impl Checkpointer {
                 // Ablation: pay the full memory copy while stopped.
                 captured
                     .into_iter()
-                    .filter_map(|(addr, page)| {
-                        page.map(|p| (addr, std::sync::Arc::new(*p)))
-                    })
+                    .filter_map(|(addr, page)| page.map(|p| (addr, std::sync::Arc::new(*p))))
                     .collect()
             } else {
                 captured
@@ -434,7 +610,12 @@ impl Checkpointer {
                     .collect()
             };
             pages_saved += pages.len();
-            let relink_of = |fd: u32| relinks.iter().find(|(f, _)| *f == fd).map(|(_, p)| p.clone());
+            let relink_of = |fd: u32| {
+                relinks
+                    .iter()
+                    .find(|(f, _)| *f == fd)
+                    .map(|(_, p)| p.clone())
+            };
             let record = record_process(process, pages, relink_of);
             processes.push(record);
         }
@@ -481,37 +662,10 @@ impl Checkpointer {
 
         // --- Writeback: deferred past resume by default; the ablation
         // pays it while the session is still stopped. ---
-        let plane = self.plane.clone();
-        let mut do_writeback = |timer: &mut PhaseTimer| -> Result<(u64, u64, String), FsError> {
-            timer.enter("writeback");
-            let mut buffer = Vec::with_capacity(self.buffer_estimate);
-            buffer.extend_from_slice(&encode_image(&image));
-            match plane.check(sites::CHECKPOINT_IMAGE_ENCODE) {
-                None | Some(IoFault::LatencySpike) => {}
-                Some(IoFault::Enospc) => return Err(FsError::NoSpace),
-                Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
-                Some(IoFault::Corrupt) => plane.mangle(&mut buffer),
-            }
-            let raw_bytes = buffer.len() as u64;
-            let mut stored = if self.config.compress {
-                compress(&buffer)
-            } else {
-                buffer
-            };
-            match plane.check(sites::CHECKPOINT_WRITEBACK) {
-                None | Some(IoFault::LatencySpike) => {}
-                Some(IoFault::Enospc) => return Err(FsError::NoSpace),
-                Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
-                Some(IoFault::Corrupt) => plane.mangle(&mut stored),
-            }
-            let stored_bytes = stored.len() as u64;
-            let blob = format!("{}-{counter:08}", self.blob_prefix);
-            store.put(&blob, stored)?;
-            Ok((raw_bytes, stored_bytes, blob))
-        };
-        let mut written = None;
+        let blob = format!("{}-{counter:08}", self.blob_prefix);
+        let mut inline_result: Option<Result<(u64, u64), FsError>> = None;
         if self.config.disable_deferred_writeback {
-            written = Some(do_writeback(&mut timer));
+            inline_result = Some(self.write_inline(&mut timer, &image, store, &blob));
         }
 
         // --- Resume: the session runs again; downtime ends here. Resume
@@ -526,29 +680,85 @@ impl Checkpointer {
             }
         }
 
-        let (raw_bytes, stored_bytes, blob) = match written.unwrap_or_else(|| do_writeback(&mut timer)) {
+        // --- Commit: hand the capture to the pipeline if configured,
+        // otherwise write inline on this thread. ---
+        let deferred = self.config.commit_workers > 0 && !self.config.disable_deferred_writeback;
+        if deferred {
+            timer.enter("enqueue");
+            self.ensure_pipeline(store);
+            let pipe = self.pipeline.as_ref().expect("pipeline just ensured");
+            if pipe.has_capacity() {
+                // The encode fault site is consulted here, on the
+                // session thread, so injection schedules do not depend
+                // on worker interleaving.
+                let encode_fault =
+                    encode_fault_of(self.plane.check(sites::CHECKPOINT_IMAGE_ENCODE));
+                pipe.enqueue(image, blob, full, encode_fault);
+                self.stats.queued += 1;
+                self.counter = counter;
+                self.force_full = false;
+                self.stats.checkpoints += 1;
+                if full {
+                    self.stats.full_checkpoints += 1;
+                }
+                let phases = timer.finish();
+                let downtime = phases.subset_total(&["quiesce", "capture", "fs-snapshot"]);
+                self.stats.sync_downtime_nanos += downtime.as_nanos();
+                return Ok(CheckpointReport {
+                    counter,
+                    phases,
+                    downtime,
+                    pages_saved,
+                    stored_bytes: 0,
+                    raw_bytes: 0,
+                    full,
+                    deferred: true,
+                });
+            }
+            // Backpressure: the queue is full. Drain it (preserving
+            // strict commit order), absorb the outcomes, and commit this
+            // capture inline.
+            pipe.drain();
+            self.reap();
+            self.stats.inline_fallbacks += 1;
+            // A drained failure may have severed this capture's chain;
+            // committing it would leave an unrestorable incremental.
+            if let ImageKind::Incremental { prev } = image.kind {
+                if !self.images.contains_key(&prev) {
+                    self.stats.write_failures += 1;
+                    self.force_full = true;
+                    return Err(FsError::Io);
+                }
+            }
+        }
+
+        let (raw_bytes, stored_bytes) = match inline_result
+            .unwrap_or_else(|| self.write_inline(&mut timer, &image, store, &blob))
+        {
             Ok(done) => done,
             Err(e) => {
                 // The checkpoint is lost but the session runs on: the
                 // counter is not consumed, no metadata is recorded, and
-                // the caller decides whether to retry.
+                // the caller decides whether to retry. The next
+                // checkpoint is forced full because this capture's
+                // dirty-page set is gone.
                 self.stats.write_failures += 1;
+                self.force_full = true;
                 return Err(e);
             }
         };
-        self.recent_sizes.push(raw_bytes as usize);
-        if self.recent_sizes.len() > 8 {
-            self.recent_sizes.remove(0);
-        }
-        self.buffer_estimate =
-            self.recent_sizes.iter().sum::<usize>() / self.recent_sizes.len().max(1);
+        self.note_raw_size(raw_bytes as usize);
 
         let phases = timer.finish();
         let mut downtime = phases.subset_total(&["quiesce", "capture", "fs-snapshot"]);
         if self.config.disable_deferred_writeback {
             downtime += phases.get("writeback");
+        } else {
+            self.stats.async_commit_nanos += phases.get("writeback").as_nanos();
         }
+        self.stats.sync_downtime_nanos += downtime.as_nanos();
         self.counter = counter;
+        self.force_full = false;
         self.images.insert(
             counter,
             ImageMeta {
@@ -574,7 +784,43 @@ impl Checkpointer {
             stored_bytes,
             raw_bytes,
             full,
+            deferred: false,
         })
+    }
+
+    /// The synchronous commit: encode, (optionally) compress, fault
+    /// checks, and the store write, all on the calling thread.
+    fn write_inline(
+        &self,
+        timer: &mut PhaseTimer,
+        image: &CheckpointImage,
+        store: &SharedBlobStore,
+        blob: &str,
+    ) -> Result<(u64, u64), FsError> {
+        timer.enter("writeback");
+        let mut buffer = Vec::with_capacity(self.buffer_estimate);
+        buffer.extend_from_slice(&encode_image(image));
+        match self.plane.check(sites::CHECKPOINT_IMAGE_ENCODE) {
+            None | Some(IoFault::LatencySpike) => {}
+            Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+            Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
+            Some(IoFault::Corrupt) => self.plane.mangle(&mut buffer),
+        }
+        let raw_bytes = buffer.len() as u64;
+        let mut stored = if self.config.compress {
+            compress(&buffer)
+        } else {
+            buffer
+        };
+        match self.plane.check(sites::CHECKPOINT_WRITEBACK) {
+            None | Some(IoFault::LatencySpike) => {}
+            Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+            Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
+            Some(IoFault::Corrupt) => self.plane.mangle(&mut stored),
+        }
+        let stored_bytes = stored.len() as u64;
+        store.with(|s| s.put(blob, stored))?;
+        Ok((raw_bytes, stored_bytes))
     }
 }
 
@@ -593,12 +839,7 @@ fn record_process(
         creds: process.creds,
         blocked: process.signals.blocked,
         handled: process.signals.handled,
-        pending: process
-            .signals
-            .pending
-            .iter()
-            .map(|s| *s as u8)
-            .collect(),
+        pending: process.signals.pending.iter().map(|s| *s as u8).collect(),
         ptraced_by: process.ptraced_by.map(|v| v.0),
         cwd: process.cwd.clone(),
         net_allowed: process.net_allowed,
@@ -633,7 +874,7 @@ mod tests {
     use dv_time::SimClock;
     use dv_vee::{HostPidAllocator, Prot};
 
-    fn setup() -> (Vee, SimClock, Checkpointer, BlobStore) {
+    fn setup() -> (Vee, SimClock, Checkpointer, SharedBlobStore) {
         let clock = SimClock::new();
         let vee = Vee::new(
             1,
@@ -648,20 +889,20 @@ mod tests {
             },
             clock.clone(),
         );
-        (vee, clock, engine, BlobStore::in_memory())
+        (vee, clock, engine, SharedBlobStore::in_memory())
     }
 
     #[test]
     fn checkpoint_produces_image_and_resumes() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 8192, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, b"state").unwrap();
-        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(report.counter, 1);
         assert!(report.full);
         assert_eq!(report.pages_saved, 1);
-        assert!(store.contains("ckpt-00000001"));
+        assert!(store.lock().contains("ckpt-00000001"));
         assert_eq!(
             vee.process(p).unwrap().state,
             RunState::Runnable,
@@ -671,31 +912,31 @@ mod tests {
 
     #[test]
     fn incrementals_save_only_dirty_pages() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 16 * 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, &vec![1u8; 16 * 4096]).unwrap();
-        let full = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let full = engine.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(full.pages_saved, 16);
         // Touch two pages.
         vee.mem_write(p, addr + 4096, b"x").unwrap();
         vee.mem_write(p, addr + 5 * 4096, b"y").unwrap();
-        let inc = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let inc = engine.checkpoint(&mut vee, &store).unwrap();
         assert!(!inc.full);
         assert_eq!(inc.pages_saved, 2);
         assert!(inc.raw_bytes < full.raw_bytes / 4);
         // No writes: empty incremental.
-        let idle = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let idle = engine.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(idle.pages_saved, 0);
     }
 
     #[test]
     fn full_checkpoints_recur_periodically() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         vee.spawn(None, "app").unwrap();
         let mut fulls = Vec::new();
         for _ in 0..9 {
-            fulls.push(engine.checkpoint(&mut vee, &mut store).unwrap().full);
+            fulls.push(engine.checkpoint(&mut vee, &store).unwrap().full);
         }
         assert_eq!(
             fulls,
@@ -705,10 +946,10 @@ mod tests {
 
     #[test]
     fn chain_resolution() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         vee.spawn(None, "app").unwrap();
         for _ in 0..6 {
-            engine.checkpoint(&mut vee, &mut store).unwrap();
+            engine.checkpoint(&mut vee, &store).unwrap();
         }
         assert_eq!(engine.chain_for(3).unwrap(), vec![1, 2, 3]);
         assert_eq!(engine.chain_for(5).unwrap(), vec![5]);
@@ -718,24 +959,33 @@ mod tests {
 
     #[test]
     fn counter_lookup_by_time() {
-        let (mut vee, clock, mut engine, mut store) = setup();
+        let (mut vee, clock, mut engine, store) = setup();
         vee.spawn(None, "app").unwrap();
         for _ in 0..3 {
             clock.advance(Duration::from_secs(1));
-            engine.checkpoint(&mut vee, &mut store).unwrap();
+            engine.checkpoint(&mut vee, &store).unwrap();
         }
         // Checkpoints at t=1s, 2s, 3s.
-        assert_eq!(engine.counter_at_or_before(Timestamp::from_millis(2_500)), Some(2));
-        assert_eq!(engine.counter_at_or_before(Timestamp::from_secs(3)), Some(3));
-        assert_eq!(engine.counter_at_or_before(Timestamp::from_millis(500)), None);
+        assert_eq!(
+            engine.counter_at_or_before(Timestamp::from_millis(2_500)),
+            Some(2)
+        );
+        assert_eq!(
+            engine.counter_at_or_before(Timestamp::from_secs(3)),
+            Some(3)
+        );
+        assert_eq!(
+            engine.counter_at_or_before(Timestamp::from_millis(500)),
+            None
+        );
     }
 
     #[test]
     fn pre_quiesce_waits_for_disk_sleepers() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         let p = vee.spawn(None, "io").unwrap();
         vee.enter_disk_sleep(p, Duration::from_millis(20)).unwrap();
-        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
         // The engine advanced the clock past the sleep and stopped the
         // process cleanly.
         assert!(report.phases.get("pre-checkpoint") > Duration::ZERO);
@@ -744,12 +994,12 @@ mod tests {
 
     #[test]
     fn fs_snapshot_ties_to_counter() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         vee.spawn(None, "app").unwrap();
         vee.fs.write_all("/doc", b"v1").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         vee.fs.write_all("/doc", b"v2").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         // The Lsfs inside the VEE has snapshots 1 and 2; verified at the
         // session layer (core) which holds a typed handle. Here we check
         // the counters advanced.
@@ -758,13 +1008,13 @@ mod tests {
 
     #[test]
     fn relinks_unlinked_open_files() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         let p = vee.spawn(None, "app").unwrap();
         vee.fs.write_all("/tmp_scratch", b"precious bytes").unwrap();
         let fd = vee.open(p, "/tmp_scratch").unwrap();
         vee.unlink("/tmp_scratch").unwrap();
         let _ = fd;
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(engine.stats().relinks, 1);
         // The relinked name exists in the live fs (and so in the
         // snapshot taken at the same counter).
@@ -775,7 +1025,7 @@ mod tests {
 
     #[test]
     fn compression_reduces_stored_size() {
-        let (mut vee, clock, _engine, mut store) = setup();
+        let (mut vee, clock, _engine, store) = setup();
         let mut engine = Checkpointer::with_sim_clock(
             EngineConfig {
                 compress: true,
@@ -786,21 +1036,20 @@ mod tests {
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 64 * 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, &vec![7u8; 64 * 4096]).unwrap();
-        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
         assert!(report.stored_bytes < report.raw_bytes / 10);
     }
 
     #[test]
     fn engine_meta_round_trips() {
-        let (mut vee, clock, mut engine, mut store) = setup();
+        let (mut vee, clock, mut engine, store) = setup();
         vee.spawn(None, "app").unwrap();
         for _ in 0..6 {
             clock.advance(Duration::from_secs(1));
-            engine.checkpoint(&mut vee, &mut store).unwrap();
+            engine.checkpoint(&mut vee, &store).unwrap();
         }
         let meta = engine.export_meta();
-        let mut restored =
-            Checkpointer::with_sim_clock(EngineConfig::default(), SimClock::new());
+        let mut restored = Checkpointer::with_sim_clock(EngineConfig::default(), SimClock::new());
         restored.import_meta(&meta).expect("import");
         assert_eq!(
             restored.images().map(|m| m.counter).collect::<Vec<_>>(),
@@ -812,7 +1061,7 @@ mod tests {
             engine.counter_at_or_before(Timestamp::from_secs(3))
         );
         // A further checkpoint continues the numbering.
-        let report = restored.checkpoint(&mut vee, &mut store).unwrap();
+        let report = restored.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(report.counter, 7);
         assert!(restored.import_meta(&meta[..10]).is_none());
     }
@@ -828,14 +1077,14 @@ mod tests {
                 HostPidAllocator::new(),
             );
             let mut engine = Checkpointer::with_sim_clock(config, clock);
-            let mut store = BlobStore::in_memory();
+            let store = SharedBlobStore::in_memory();
             let p = vee.spawn(None, "app").unwrap();
             let addr = vee.mmap(p, 8 << 20, Prot::ReadWrite).unwrap();
             vee.mem_write(p, addr, &vec![5u8; 8 << 20]).unwrap();
             // Warm up, then measure an incremental with a fresh dirty set.
-            engine.checkpoint(&mut vee, &mut store).unwrap();
+            engine.checkpoint(&mut vee, &store).unwrap();
             vee.mem_write(p, addr, &vec![6u8; 4 << 20]).unwrap();
-            engine.checkpoint(&mut vee, &mut store).unwrap().downtime
+            engine.checkpoint(&mut vee, &store).unwrap().downtime
         };
         let optimized = run(EngineConfig::default());
         let no_incremental = run(EngineConfig {
@@ -881,22 +1130,186 @@ mod tests {
             },
             clock,
         );
-        let mut store = BlobStore::in_memory();
+        let store = SharedBlobStore::in_memory();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, b"ablated but correct").unwrap();
-        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
-        let image = crate::restore::load_image(&mut store, "ckpt", report.counter, false).unwrap();
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
+        let image =
+            crate::restore::load_image(&mut store.lock(), "ckpt", report.counter, false).unwrap();
         assert_eq!(&image.processes[0].pages[0].1[..19], b"ablated but correct");
     }
 
     #[test]
+    fn deferred_commit_matches_inline() {
+        let run = |workers: usize| -> Vec<(u64, Vec<u8>)> {
+            let clock = SimClock::new();
+            let mut vee = Vee::new(
+                1,
+                clock.shared(),
+                Box::new(Lsfs::new()),
+                HostPidAllocator::new(),
+            );
+            let mut engine = Checkpointer::with_sim_clock(
+                EngineConfig {
+                    compress: true,
+                    full_every: 3,
+                    commit_workers: workers,
+                    // Deep enough that no capture ever falls back
+                    // inline, even when test-suite load delays workers.
+                    commit_queue_depth: 8,
+                    ..EngineConfig::default()
+                },
+                clock,
+            );
+            let store = SharedBlobStore::in_memory();
+            let p = vee.spawn(None, "app").unwrap();
+            let addr = vee.mmap(p, 32 * 4096, Prot::ReadWrite).unwrap();
+            for i in 0..5u8 {
+                vee.mem_write(p, addr + u64::from(i) * 4096, &vec![i + 1; 4096])
+                    .unwrap();
+                let report = engine.checkpoint(&mut vee, &store).unwrap();
+                assert_eq!(report.deferred, workers > 0);
+            }
+            engine.flush().unwrap();
+            let stats = engine.stats();
+            if workers > 0 {
+                assert_eq!(stats.queued, 5);
+                assert_eq!(stats.committed, 5);
+            }
+            assert_eq!(stats.write_failures, 0);
+            assert!(stats.stored_bytes > 0 && stats.raw_bytes > stats.stored_bytes);
+            engine
+                .images()
+                .map(|m| {
+                    let blob = store.lock().get(&m.blob).unwrap();
+                    let plain = crate::compress::decompress(&blob).unwrap();
+                    (m.counter, plain)
+                })
+                .collect()
+        };
+        let inline = run(0);
+        let deferred = run(2);
+        assert_eq!(inline.len(), 5);
+        assert_eq!(
+            inline, deferred,
+            "deferred commits must decompress to the same image bytes"
+        );
+    }
+
+    #[test]
+    fn backpressure_falls_back_to_inline_commit() {
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: 100,
+                commit_workers: 1,
+                commit_queue_depth: 1,
+                commit_retry_backoff: Duration::from_millis(40),
+                ..EngineConfig::default()
+            },
+            clock,
+        );
+        // Wall sleeper + a latency spike on every writeback: each
+        // pipeline commit stalls its worker for 40 ms, so the session
+        // thread reliably finds the depth-1 queue full.
+        engine.set_sleeper(Sleeper::Wall);
+        engine.set_fault_plane(
+            dv_fault::FaultPlan::new(11)
+                .every_nth(sites::CHECKPOINT_WRITEBACK, 1, IoFault::LatencySpike)
+                .build(),
+        );
+        let store = SharedBlobStore::in_memory();
+        vee.spawn(None, "app").unwrap();
+        for _ in 0..4 {
+            engine.checkpoint(&mut vee, &store).unwrap();
+        }
+        engine.flush().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.checkpoints, 4);
+        assert!(
+            stats.inline_fallbacks >= 2,
+            "queue-full captures must commit inline (got {})",
+            stats.inline_fallbacks
+        );
+        assert_eq!(
+            engine.images().map(|m| m.counter).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4],
+            "fallbacks must not break counter order"
+        );
+    }
+
+    #[test]
+    fn async_failure_forces_full_reanchor() {
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: 100,
+                commit_workers: 2,
+                commit_retry_limit: 1,
+                commit_retry_backoff: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+            clock,
+        );
+        // Checkpoint 2's commit fails on both attempts (checks 2 and 3
+        // at the writeback site); checkpoint 3 chains through it and
+        // must cascade-fail without a store write.
+        engine.set_fault_plane(
+            dv_fault::FaultPlan::new(3)
+                .fail_nth(sites::CHECKPOINT_WRITEBACK, 2, IoFault::Enospc)
+                .fail_nth(sites::CHECKPOINT_WRITEBACK, 3, IoFault::Enospc)
+                .build(),
+        );
+        let store = SharedBlobStore::in_memory();
+        let p = vee.spawn(None, "app").unwrap();
+        let addr = vee.mmap(p, 4096, Prot::ReadWrite).unwrap();
+        for i in 0..3u8 {
+            vee.mem_write(p, addr, &[i + 1]).unwrap();
+            engine.checkpoint(&mut vee, &store).unwrap();
+        }
+        assert_eq!(
+            engine.flush(),
+            Err(FsError::NoSpace),
+            "flush surfaces the async commit failure"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.write_failures, 2, "direct failure + cascade");
+        assert!(!store.lock().contains("ckpt-00000002"));
+        assert!(!store.lock().contains("ckpt-00000003"));
+        // The chain re-anchors: the next checkpoint is forced full and
+        // restorable on its own.
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
+        assert!(report.full, "re-anchor after a lost incremental");
+        assert_eq!(report.counter, 4);
+        engine.flush().unwrap();
+        assert_eq!(
+            engine.images().map(|m| m.counter).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        assert_eq!(engine.chain_for(4).unwrap(), vec![4]);
+    }
+
+    #[test]
     fn downtime_excludes_writeback() {
-        let (mut vee, _clock, mut engine, mut store) = setup();
+        let (mut vee, _clock, mut engine, store) = setup();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 256 * 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, &vec![3u8; 256 * 4096]).unwrap();
-        let report = engine.checkpoint(&mut vee, &mut store).unwrap();
+        let report = engine.checkpoint(&mut vee, &store).unwrap();
         assert_eq!(
             report.downtime,
             report

@@ -16,9 +16,7 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut};
 
 use dv_time::Timestamp;
-use dv_vee::{
-    Credentials, FpuState, MemRegion, PageBuf, Prot, Registers, SchedParams, PAGE_SIZE,
-};
+use dv_vee::{Credentials, FpuState, MemRegion, PageBuf, Prot, Registers, SchedParams, PAGE_SIZE};
 
 /// Whether an image is self-contained or a delta.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -190,28 +188,59 @@ fn need(buf: &[u8], n: usize) -> Result<(), ImageError> {
 
 /// Serializes an image.
 pub fn encode_image(image: &CheckpointImage) -> Vec<u8> {
-    let mut out = Vec::with_capacity(image.page_bytes() as usize + 4096);
-    out.extend_from_slice(MAGIC);
-    out.put_u64_le(image.counter);
-    out.put_u64_le(image.time.as_nanos());
+    let sections = encode_image_sections(image);
+    let total = sections.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for section in sections {
+        out.extend_from_slice(&section);
+    }
+    out
+}
+
+/// Serializes an image as independent byte sections: one header, one
+/// per process, one socket table. Concatenated in order they are
+/// byte-identical to [`encode_image`]; kept separate they are the unit
+/// of parallel compression in the deferred write-back pipeline (each
+/// worker subtask compresses one process's pages).
+pub fn encode_image_sections(image: &CheckpointImage) -> Vec<Vec<u8>> {
+    let mut sections = Vec::with_capacity(image.processes.len() + 2);
+
+    let mut header = Vec::with_capacity(64 + image.hostname.len());
+    header.extend_from_slice(MAGIC);
+    header.put_u64_le(image.counter);
+    header.put_u64_le(image.time.as_nanos());
     match image.kind {
         ImageKind::Full => {
-            out.put_u8(0);
-            out.put_u64_le(0);
+            header.put_u8(0);
+            header.put_u64_le(0);
         }
         ImageKind::Incremental { prev } => {
-            out.put_u8(1);
-            out.put_u64_le(prev);
+            header.put_u8(1);
+            header.put_u64_le(prev);
         }
     }
-    put_str(&mut out, &image.hostname);
-    out.put_u8(image.network_enabled as u8);
+    put_str(&mut header, &image.hostname);
+    header.put_u8(image.network_enabled as u8);
+    header.put_u32_le(image.processes.len() as u32);
+    sections.push(header);
 
-    out.put_u32_le(image.processes.len() as u32);
     for p in &image.processes {
+        let mut out = Vec::with_capacity(p.pages.len() * (8 + PAGE_SIZE) + 512);
+        encode_process(&mut out, p);
+        sections.push(out);
+    }
+
+    let mut socks = Vec::with_capacity(4 + image.sockets.len() * 64);
+    encode_sockets(&mut socks, &image.sockets);
+    sections.push(socks);
+    sections
+}
+
+fn encode_process(out: &mut Vec<u8>, p: &ProcessRecord) {
+    {
         out.put_u64_le(p.vpid);
         out.put_u64_le(p.parent.map(|v| v + 1).unwrap_or(0));
-        put_str(&mut out, &p.name);
+        put_str(out, &p.name);
         out.put_u64_le(p.regs.pc);
         out.put_u64_le(p.regs.sp);
         for r in p.regs.gpr {
@@ -230,7 +259,7 @@ pub fn encode_image(image: &CheckpointImage) -> Vec<u8> {
         out.put_u32_le(p.pending.len() as u32);
         out.extend_from_slice(&p.pending);
         out.put_u64_le(p.ptraced_by.map(|v| v + 1).unwrap_or(0));
-        put_str(&mut out, &p.cwd);
+        put_str(out, &p.cwd);
         out.put_u8(p.net_allowed as u8);
 
         out.put_u32_le(p.regions.len() as u32);
@@ -256,13 +285,13 @@ pub fn encode_image(image: &CheckpointImage) -> Vec<u8> {
                 } => {
                     out.put_u8(0);
                     out.put_u32_le(*fd);
-                    put_str(&mut out, path);
+                    put_str(out, path);
                     out.put_u64_le(*offset);
                     out.put_u8(*unlinked as u8);
                     match relink {
                         Some(r) => {
                             out.put_u8(1);
-                            put_str(&mut out, r);
+                            put_str(out, r);
                         }
                         None => out.put_u8(0),
                     }
@@ -275,16 +304,18 @@ pub fn encode_image(image: &CheckpointImage) -> Vec<u8> {
             }
         }
     }
+}
 
-    out.put_u32_le(image.sockets.len() as u32);
-    for s in &image.sockets {
+fn encode_sockets(out: &mut Vec<u8>, sockets: &[SocketRecord]) {
+    out.put_u32_le(sockets.len() as u32);
+    for s in sockets {
         out.put_u64_le(s.id);
         out.put_u8(s.proto);
         out.put_u16_le(s.local_port);
         match &s.remote {
             Some((host, port)) => {
                 out.put_u8(1);
-                put_str(&mut out, host);
+                put_str(out, host);
                 out.put_u16_le(*port);
             }
             None => out.put_u8(0),
@@ -293,7 +324,6 @@ pub fn encode_image(image: &CheckpointImage) -> Vec<u8> {
         out.put_u64_le(s.tx_bytes);
         out.put_u64_le(s.rx_bytes);
     }
-    out
 }
 
 /// Deserializes an image.
@@ -524,7 +554,10 @@ mod tests {
                     nice: -5,
                     rt_priority: 0,
                 },
-                creds: Credentials { uid: 1000, gid: 100 },
+                creds: Credentials {
+                    uid: 1000,
+                    gid: 100,
+                },
                 blocked: 0b1010,
                 handled: 0b0100,
                 pending: vec![1, 7],
@@ -613,6 +646,20 @@ mod tests {
         let mut extra = encoded.clone();
         extra.push(1);
         assert!(decode_image(&extra).is_err());
+    }
+
+    #[test]
+    fn sections_concatenate_to_the_monolithic_encoding() {
+        let image = sample_image();
+        let sections = encode_image_sections(&image);
+        assert_eq!(
+            sections.len(),
+            image.processes.len() + 2,
+            "header + one per process + sockets"
+        );
+        let concat: Vec<u8> = sections.concat();
+        assert_eq!(concat, encode_image(&image));
+        assert!(decode_image(&concat).is_ok());
     }
 
     #[test]

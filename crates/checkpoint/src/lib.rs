@@ -9,13 +9,16 @@
 //! path (process-forest reconstruction, incremental chain resolution,
 //! socket reset policy, per-application network policy).
 
+#![deny(unsafe_code)]
+
 pub mod compress;
 pub mod engine;
 pub mod image;
 pub mod policy;
 pub mod restore;
+pub mod writeback;
 
-pub use compress::{compress, decompress};
+pub use compress::{assemble_chunks, compress, compress_parallel, decompress};
 pub use engine::{
     CheckpointReport, Checkpointer, EngineConfig, EngineStats, ImageMeta, WaitFn, RELINK_DIR,
 };
@@ -28,3 +31,4 @@ pub use policy::{
     SkipReason,
 };
 pub use restore::{load_image, revive, NetworkPolicy, ReviveError, ReviveReport};
+pub use writeback::{CommitError, CommitOutcome, CommitPipeline, PipelineConfig};

@@ -70,7 +70,9 @@ impl std::fmt::Display for ReviveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReviveError::MissingImage(c) => write!(f, "checkpoint image {c} missing"),
-            ReviveError::BadCompression(c) => write!(f, "checkpoint image {c} corrupt (compression)"),
+            ReviveError::BadCompression(c) => {
+                write!(f, "checkpoint image {c} corrupt (compression)")
+            }
             ReviveError::BadImage(e) => write!(f, "checkpoint image corrupt: {e}"),
             ReviveError::FileRestore(path, e) => write!(f, "cannot restore file {path}: {e}"),
         }
@@ -102,9 +104,7 @@ pub fn load_image(
     compressed: bool,
 ) -> Result<CheckpointImage, ReviveError> {
     let blob = format!("{blob_prefix}-{counter:08}");
-    let data = store
-        .get(&blob)
-        .ok_or(ReviveError::MissingImage(counter))?;
+    let data = store.get(&blob).ok_or(ReviveError::MissingImage(counter))?;
     let raw;
     let bytes: &[u8] = if compressed {
         raw = decompress(&data).ok_or(ReviveError::BadCompression(counter))?;
@@ -285,20 +285,15 @@ pub fn revive(
 mod tests {
     use super::*;
     use crate::engine::{Checkpointer, EngineConfig};
-    use dv_lsfs::Lsfs;
+    use dv_lsfs::{Lsfs, SharedBlobStore};
     use dv_time::{Duration, SimClock};
     use dv_vee::Prot;
 
     /// Builds a session, mutates it over several checkpoints, and
     /// returns everything needed to revive.
-    fn session() -> (Vee, SimClock, Checkpointer, BlobStore) {
+    fn session() -> (Vee, SimClock, Checkpointer, SharedBlobStore) {
         let clock = SimClock::new();
-        let vee = Vee::new(
-            1,
-            clock.shared(),
-            Box::new(Lsfs::new()),
-            host_pids(),
-        );
+        let vee = Vee::new(1, clock.shared(), Box::new(Lsfs::new()), host_pids());
         let engine = Checkpointer::with_sim_clock(
             EngineConfig {
                 full_every: 3,
@@ -306,7 +301,7 @@ mod tests {
             },
             clock.clone(),
         );
-        (vee, clock, engine, BlobStore::in_memory())
+        (vee, clock, engine, SharedBlobStore::in_memory())
     }
 
     /// One "machine"-wide host PID allocator shared by the original and
@@ -325,19 +320,19 @@ mod tests {
 
     #[test]
     fn revive_restores_process_forest_and_memory() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         let init = vee.spawn(None, "session-init").unwrap();
         let child = vee.spawn(Some(init), "editor").unwrap();
         let addr = vee.mmap(child, 8 * 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(child, addr, b"document text v1").unwrap();
         vee.process_mut(child).unwrap().regs.pc = 0x1234;
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         // Mutate after the checkpoint: the revive must not see this.
         vee.mem_write(child, addr, b"DOCUMENT TEXT V2").unwrap();
 
         let chain = engine.chain_for(1).unwrap();
         let (revived, report) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -372,20 +367,20 @@ mod tests {
 
     #[test]
     fn revive_from_incremental_chain_merges_pages() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 4 * 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, &[1u8; 4 * 4096]).unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap(); // full (1)
+        engine.checkpoint(&mut vee, &store).unwrap(); // full (1)
         vee.mem_write(p, addr + 4096, &[2u8; 4096]).unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap(); // inc (2)
+        engine.checkpoint(&mut vee, &store).unwrap(); // inc (2)
         vee.mem_write(p, addr + 2 * 4096, &[3u8; 4096]).unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap(); // inc (3)
+        engine.checkpoint(&mut vee, &store).unwrap(); // inc (3)
 
         let chain = engine.chain_for(3).unwrap();
         assert_eq!(chain, vec![1, 2, 3]);
         let (revived, report) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -405,19 +400,19 @@ mod tests {
 
     #[test]
     fn revive_to_intermediate_point_ignores_later_images() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, b"v1").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         vee.mem_write(p, addr, b"v2").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         vee.mem_write(p, addr, b"v3").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
 
         let chain = engine.chain_for(2).unwrap();
         let (revived, _) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -433,7 +428,7 @@ mod tests {
 
     #[test]
     fn external_tcp_reset_udp_and_localhost_kept() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         let p = vee.spawn(None, "browser").unwrap();
         let web = vee.socket(p, Proto::Tcp).unwrap();
         vee.connect(p, web, "example.com", 443).unwrap();
@@ -441,11 +436,11 @@ mod tests {
         vee.connect(p, db, "localhost", 5432).unwrap();
         let dns = vee.socket(p, Proto::Udp).unwrap();
         vee.connect(p, dns, "8.8.8.8", 53).unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
 
         let chain = engine.chain_for(1).unwrap();
         let (mut revived, report) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -459,7 +454,10 @@ mod tests {
         assert_eq!(report.connections_reset, 1);
         // Web connection dropped: the app sees a reset, reconnect is
         // blocked while the network is disabled.
-        assert_eq!(revived.send(p, web, 10), Err(dv_vee::VeeError::ConnectionReset));
+        assert_eq!(
+            revived.send(p, web, 10),
+            Err(dv_vee::VeeError::ConnectionReset)
+        );
         // Localhost TCP and UDP connections kept.
         revived.send(p, db, 10).unwrap();
         revived.send(p, dns, 10).unwrap();
@@ -467,10 +465,10 @@ mod tests {
 
     #[test]
     fn network_policy_applies_per_app() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         vee.spawn(None, "mailer").unwrap();
         vee.spawn(None, "browser").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         let mut policy = NetworkPolicy {
             default_enabled: true,
             ..NetworkPolicy::default()
@@ -478,7 +476,7 @@ mod tests {
         policy.per_app.insert("mailer".into(), false);
         let chain = engine.chain_for(1).unwrap();
         let (revived, _) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -502,7 +500,7 @@ mod tests {
 
     #[test]
     fn files_reopen_with_offsets_and_relinked_orphans() {
-        let (mut vee, clock, mut engine, mut store) = session();
+        let (mut vee, clock, mut engine, store) = session();
         let p = vee.spawn(None, "app").unwrap();
         vee.fs.write_all("/doc", b"hello world").unwrap();
         let fd = vee.open(p, "/doc").unwrap();
@@ -510,7 +508,7 @@ mod tests {
         vee.fs.write_all("/scratch", b"orphan contents").unwrap();
         let sfd = vee.open(p, "/scratch").unwrap();
         vee.unlink("/scratch").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
 
         // Build the revive fs view: for the test, a fresh Lsfs populated
         // from the live fs snapshot (the session manager normally mounts
@@ -524,7 +522,7 @@ mod tests {
 
         let chain = engine.chain_for(1).unwrap();
         let (mut revived, report) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &chain,
             false,
@@ -545,9 +543,9 @@ mod tests {
 
     #[test]
     fn missing_image_is_an_error() {
-        let (_vee, clock, _engine, mut store) = session();
+        let (_vee, clock, _engine, store) = session();
         let result = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &[7],
             false,
@@ -579,14 +577,14 @@ mod tests {
             },
             clock.clone(),
         );
-        let mut store = BlobStore::in_memory();
+        let store = SharedBlobStore::in_memory();
         let p = vee.spawn(None, "app").unwrap();
         let addr = vee.mmap(p, 4096, Prot::ReadWrite).unwrap();
         vee.mem_write(p, addr, b"compressed state").unwrap();
-        engine.checkpoint(&mut vee, &mut store).unwrap();
+        engine.checkpoint(&mut vee, &store).unwrap();
         clock.advance(Duration::from_secs(1));
         let (revived, _) = revive(
-            &mut store,
+            &mut store.lock(),
             "ckpt",
             &[1],
             true,
@@ -597,9 +595,6 @@ mod tests {
             &NetworkPolicy::default(),
         )
         .unwrap();
-        assert_eq!(
-            revived.mem_read(p, addr, 16).unwrap(),
-            b"compressed state"
-        );
+        assert_eq!(revived.mem_read(p, addr, 16).unwrap(), b"compressed state");
     }
 }

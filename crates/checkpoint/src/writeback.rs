@@ -1,0 +1,637 @@
+//! The deferred commit pipeline.
+//!
+//! §5.1.2's deferred writeback keeps serialization and storage writes
+//! out of the downtime window; this module moves them off the *session
+//! thread* entirely. [`Checkpointer::checkpoint`](crate::Checkpointer)
+//! splits into a cheap synchronous **capture** (COW page grab, process
+//! forest walk, FS snapshot pin) and an asynchronous **commit**: the
+//! captured image is handed to a [`CommitPipeline`], whose worker pool
+//! encodes the image sections, compresses them in parallel (one subtask
+//! per process section), and writes the blob through the
+//! fault-instrumented store.
+//!
+//! Invariants:
+//!
+//! * **In-order commit.** Blobs land in checkpoint-counter order, one
+//!   at a time, no matter how compression subtasks interleave. A single
+//!   "committer" token plus a next-counter gate serializes the final
+//!   fault-site check and store write, so fault-injection schedules on
+//!   `checkpoint.writeback` observe the same call order as the inline
+//!   path and the incremental chain never references a later image.
+//! * **Bounded queue.** At most `queue_depth` captures may be pending;
+//!   the engine drains and falls back to an inline commit when full, so
+//!   memory stays bounded and ordering stays strict.
+//! * **Failure cascade.** A commit that exhausts its retries marks its
+//!   counter failed; queued incrementals chaining through it are failed
+//!   without touching the store (their pages would be unreachable), and
+//!   the engine re-anchors with a forced full checkpoint.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use dv_fault::{sites, FaultPlane, IoFault};
+use dv_lsfs::{FsError, SharedBlobStore};
+use dv_time::{Duration, Sleeper, Timestamp};
+
+use crate::compress::{assemble_chunks, compress};
+use crate::image::{encode_image_sections, CheckpointImage, ImageKind};
+
+/// Commit-pipeline tuning, lifted from the engine config.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Worker threads encoding, compressing, and committing images.
+    pub workers: usize,
+    /// Maximum captures pending before backpressure kicks in.
+    pub queue_depth: usize,
+    /// Store-write retries before a commit is declared failed.
+    pub retry_limit: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Whether images are compressed (chunked container format).
+    pub compress: bool,
+}
+
+/// What the engine needs back once a deferred commit resolves.
+#[derive(Clone, Debug)]
+pub struct CommitOutcome {
+    /// Checkpoint counter of the image.
+    pub counter: u64,
+    /// Session time of the capture.
+    pub time: Timestamp,
+    /// Full or incremental.
+    pub kind: ImageKind,
+    /// Blob name the image was (or would have been) stored under.
+    pub blob: String,
+    /// Whether this was a full checkpoint.
+    pub full: bool,
+    /// `Ok((raw_bytes, stored_bytes))`, or why the commit failed.
+    pub result: Result<(u64, u64), CommitError>,
+    /// Wall nanoseconds from enqueue to commit resolution.
+    pub commit_nanos: u64,
+}
+
+/// Why a deferred commit failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// The store write (or image encode) failed after all retries.
+    Io(FsError),
+    /// The image chains through counter `.0`, whose commit failed; the
+    /// blob was never written.
+    Cascaded(u64),
+}
+
+impl CommitError {
+    /// Collapses to the underlying storage error kind.
+    pub fn as_fs_error(&self) -> FsError {
+        match self {
+            CommitError::Io(e) => *e,
+            CommitError::Cascaded(_) => FsError::Io,
+        }
+    }
+}
+
+/// Encode-site fault decided on the session thread at enqueue time, so
+/// the `checkpoint.image.encode` schedule is independent of worker
+/// interleaving.
+#[derive(Clone, Copy, Debug)]
+pub enum EncodeFault {
+    /// Encode "fails"; the commit resolves as this error.
+    Fail(FsError),
+    /// Encode succeeds but one byte of the image is mangled.
+    Corrupt,
+}
+
+/// Maps a raw fault at the encode site to its realization.
+pub fn encode_fault_of(fault: Option<IoFault>) -> Option<EncodeFault> {
+    match fault {
+        None | Some(IoFault::LatencySpike) => None,
+        Some(IoFault::Enospc) => Some(EncodeFault::Fail(FsError::NoSpace)),
+        Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => Some(EncodeFault::Fail(FsError::Io)),
+        Some(IoFault::Corrupt) => Some(EncodeFault::Corrupt),
+    }
+}
+
+enum Task {
+    /// Turn job `seq`'s image into sections, then fan out compression.
+    Encode(u64),
+    /// Compress section `.1` of job `.0`.
+    Compress(u64, usize),
+}
+
+struct Job {
+    counter: u64,
+    time: Timestamp,
+    kind: ImageKind,
+    blob: String,
+    full: bool,
+    image: Option<CheckpointImage>,
+    encode_fault: Option<EncodeFault>,
+    /// Raw (encoded, uncompressed) sections awaiting compression.
+    sections: Vec<Vec<u8>>,
+    /// Per-section output; `None` until its subtask finishes.
+    chunks: Vec<Option<Vec<u8>>>,
+    remaining: usize,
+    encoded: bool,
+    raw_bytes: u64,
+    started: std::time::Instant,
+}
+
+impl Job {
+    fn ready(&self) -> bool {
+        self.encoded && self.remaining == 0
+    }
+}
+
+struct State {
+    tasks: VecDeque<Task>,
+    jobs: BTreeMap<u64, Job>,
+    next_commit: u64,
+    committing: bool,
+    inflight: usize,
+    failed: HashSet<u64>,
+    finished: Vec<CommitOutcome>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for tasks / commit turns.
+    work: Condvar,
+    /// `drain` waits here for `inflight == 0`.
+    done: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("commit pipeline state poisoned")
+    }
+}
+
+/// The worker pool behind deferred checkpoint commits.
+pub struct CommitPipeline {
+    shared: Arc<Shared>,
+    store: SharedBlobStore,
+    config: PipelineConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CommitPipeline {
+    /// Spawns `config.workers` (at least 1) worker threads writing into
+    /// `store`, with fault checks against `plane` and retry backoff paid
+    /// through `sleeper`.
+    pub fn new(
+        config: PipelineConfig,
+        store: SharedBlobStore,
+        plane: FaultPlane,
+        sleeper: Sleeper,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                tasks: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                next_commit: 0,
+                committing: false,
+                inflight: 0,
+                failed: HashSet::new(),
+                finished: Vec::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let store = store.clone();
+                let plane = plane.clone();
+                let sleeper = sleeper.clone();
+                std::thread::Builder::new()
+                    .name(format!("dv-commit-{i}"))
+                    .spawn(move || worker(shared, store, plane, sleeper, config))
+                    .expect("spawn commit worker")
+            })
+            .collect();
+        CommitPipeline {
+            shared,
+            store,
+            config,
+            workers,
+        }
+    }
+
+    /// Whether this pipeline writes into `store`.
+    pub fn writes_to(&self, store: &SharedBlobStore) -> bool {
+        self.store.ptr_eq(store)
+    }
+
+    /// Captures pending (enqueued, not yet resolved).
+    pub fn inflight(&self) -> usize {
+        self.shared.lock().inflight
+    }
+
+    /// Whether another capture fits under the queue-depth bound.
+    pub fn has_capacity(&self) -> bool {
+        self.shared.lock().inflight < self.config.queue_depth.max(1)
+    }
+
+    /// Hands a captured image to the workers. `encode_fault` carries the
+    /// session-thread decision for the `checkpoint.image.encode` site.
+    ///
+    /// Counters must be enqueued in increasing order; they commit in
+    /// that order.
+    pub fn enqueue(
+        &self,
+        image: CheckpointImage,
+        blob: String,
+        full: bool,
+        encode_fault: Option<EncodeFault>,
+    ) {
+        let mut state = self.shared.lock();
+        let seq = image.counter;
+        if state.inflight == 0 {
+            state.next_commit = seq;
+        } else {
+            debug_assert!(seq > state.next_commit, "counters must be monotone");
+        }
+        state.jobs.insert(
+            seq,
+            Job {
+                counter: seq,
+                time: image.time,
+                kind: image.kind,
+                blob,
+                full,
+                image: Some(image),
+                encode_fault,
+                sections: Vec::new(),
+                chunks: Vec::new(),
+                remaining: 0,
+                encoded: false,
+                raw_bytes: 0,
+                started: std::time::Instant::now(),
+            },
+        );
+        state.inflight += 1;
+        state.tasks.push_back(Task::Encode(seq));
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every enqueued capture has resolved (committed or
+    /// failed). Outcomes stay queued for [`CommitPipeline::take_finished`].
+    pub fn drain(&self) {
+        let mut state = self.shared.lock();
+        while state.inflight > 0 {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .expect("commit pipeline state poisoned");
+        }
+    }
+
+    /// Removes and returns resolved outcomes, oldest first.
+    pub fn take_finished(&self) -> Vec<CommitOutcome> {
+        let mut state = self.shared.lock();
+        std::mem::take(&mut state.finished)
+    }
+}
+
+impl Drop for CommitPipeline {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+enum Step {
+    Run(Task),
+    Commit(Box<Job>),
+    Exit,
+}
+
+fn worker(
+    shared: Arc<Shared>,
+    store: SharedBlobStore,
+    plane: FaultPlane,
+    sleeper: Sleeper,
+    config: PipelineConfig,
+) {
+    loop {
+        let step = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(task) = state.tasks.pop_front() {
+                    break Step::Run(task);
+                }
+                let commit_ready =
+                    !state.committing && state.jobs.get(&state.next_commit).is_some_and(Job::ready);
+                if commit_ready {
+                    let next = state.next_commit;
+                    let job = state.jobs.remove(&next).expect("ready job present");
+                    state.committing = true;
+                    break Step::Commit(Box::new(job));
+                }
+                if state.shutdown && state.jobs.is_empty() && !state.committing {
+                    break Step::Exit;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .expect("commit pipeline state poisoned");
+            }
+        };
+        match step {
+            Step::Run(Task::Encode(seq)) => run_encode(&shared, &plane, &config, seq),
+            Step::Run(Task::Compress(seq, i)) => run_compress(&shared, seq, i),
+            Step::Commit(job) => run_commit(&shared, &store, &plane, &sleeper, &config, *job),
+            Step::Exit => return,
+        }
+    }
+}
+
+fn run_encode(shared: &Arc<Shared>, plane: &FaultPlane, config: &PipelineConfig, seq: u64) {
+    let (image, prefailed) = {
+        let mut state = shared.lock();
+        let job = state.jobs.get_mut(&seq).expect("encode job present");
+        let prefailed = matches!(job.encode_fault, Some(EncodeFault::Fail(_)));
+        (job.image.take(), prefailed)
+    };
+    let mut sections = Vec::new();
+    let mut raw_bytes = 0u64;
+    if !prefailed {
+        let image = image.expect("image present until encode");
+        sections = encode_image_sections(&image);
+        drop(image); // release the COW page references promptly
+        raw_bytes = sections.iter().map(|s| s.len() as u64).sum();
+        if matches!(
+            shared.lock().jobs.get(&seq).expect("job").encode_fault,
+            Some(EncodeFault::Corrupt)
+        ) {
+            // One mangled byte in the largest section, mirroring the
+            // inline path's whole-buffer mangle.
+            if let Some(victim) = sections.iter_mut().max_by_key(|s| s.len()) {
+                plane.mangle(victim);
+            }
+        }
+    }
+    let mut state = shared.lock();
+    let job = state.jobs.get_mut(&seq).expect("encode job present");
+    job.raw_bytes = raw_bytes;
+    job.encoded = true;
+    if prefailed || !config.compress {
+        // Failed jobs have nothing to compress; uncompressed jobs pass
+        // their sections straight through to the commit concatenation.
+        job.chunks = sections.into_iter().map(Some).collect();
+        job.remaining = 0;
+        drop(state);
+        shared.work.notify_one();
+    } else {
+        job.chunks = vec![None; sections.len()];
+        job.remaining = sections.len();
+        job.sections = sections;
+        for i in 0..job.remaining {
+            state.tasks.push_back(Task::Compress(seq, i));
+        }
+        drop(state);
+        shared.work.notify_all();
+    }
+}
+
+fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize) {
+    let section = {
+        let mut state = shared.lock();
+        let job = state.jobs.get_mut(&seq).expect("compress job present");
+        std::mem::take(&mut job.sections[index])
+    };
+    let compressed = compress(&section);
+    drop(section);
+    let mut state = shared.lock();
+    let job = state.jobs.get_mut(&seq).expect("compress job present");
+    job.chunks[index] = Some(compressed);
+    job.remaining -= 1;
+    let ready = job.ready();
+    drop(state);
+    if ready {
+        shared.work.notify_one();
+    }
+}
+
+fn run_commit(
+    shared: &Arc<Shared>,
+    store: &SharedBlobStore,
+    plane: &FaultPlane,
+    sleeper: &Sleeper,
+    config: &PipelineConfig,
+    job: Job,
+) {
+    let cascade_from = match job.kind {
+        ImageKind::Incremental { prev } if shared.lock().failed.contains(&prev) => Some(prev),
+        _ => None,
+    };
+    let result: Result<(u64, u64), CommitError> = if let Some(prev) = cascade_from {
+        Err(CommitError::Cascaded(prev))
+    } else if let Some(EncodeFault::Fail(e)) = job.encode_fault {
+        Err(CommitError::Io(e))
+    } else {
+        let chunks: Vec<Vec<u8>> = job
+            .chunks
+            .into_iter()
+            .map(|c| c.expect("all sections resolved"))
+            .collect();
+        let stored = if config.compress {
+            assemble_chunks(&chunks)
+        } else {
+            chunks.concat()
+        };
+        let stored_bytes = stored.len() as u64;
+        let mut backoff = config.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let write = (|| -> Result<(), FsError> {
+                let mut bytes = stored.clone();
+                match plane.check(sites::CHECKPOINT_WRITEBACK) {
+                    None => {}
+                    // A spike stalls the worker, not the session: the
+                    // cost lands on the commit pipeline's clock.
+                    Some(IoFault::LatencySpike) => sleeper.sleep(config.retry_backoff),
+                    Some(IoFault::Enospc) => return Err(FsError::NoSpace),
+                    Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
+                    Some(IoFault::Corrupt) => plane.mangle(&mut bytes),
+                }
+                store.with(|s| s.put(&job.blob, bytes))
+            })();
+            match write {
+                Ok(()) => break Ok((job.raw_bytes, stored_bytes)),
+                Err(e) if attempt >= config.retry_limit => break Err(CommitError::Io(e)),
+                Err(_) => {
+                    attempt += 1;
+                    sleeper.sleep(backoff);
+                    backoff = backoff + backoff;
+                }
+            }
+        }
+    };
+    let outcome = CommitOutcome {
+        counter: job.counter,
+        time: job.time,
+        kind: job.kind,
+        blob: job.blob,
+        full: job.full,
+        commit_nanos: job.started.elapsed().as_nanos() as u64,
+        result,
+    };
+    let failed = outcome.result.is_err();
+    let mut state = shared.lock();
+    if failed {
+        state.failed.insert(job.counter);
+    }
+    state.finished.push(outcome);
+    state.next_commit += 1;
+    state.committing = false;
+    state.inflight -= 1;
+    let idle = state.inflight == 0;
+    drop(state);
+    // The next counter may already be fully compressed and waiting.
+    shared.work.notify_all();
+    if idle {
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::decode_image;
+    use dv_fault::FaultPlan;
+    use dv_time::SimClock;
+
+    fn tiny_image(counter: u64, kind: ImageKind) -> CheckpointImage {
+        CheckpointImage {
+            counter,
+            time: Timestamp::from_millis(counter),
+            kind,
+            hostname: "t".into(),
+            network_enabled: false,
+            processes: Vec::new(),
+            sockets: Vec::new(),
+        }
+    }
+
+    fn config(workers: usize) -> PipelineConfig {
+        PipelineConfig {
+            workers,
+            queue_depth: 8,
+            retry_limit: 2,
+            retry_backoff: Duration::from_millis(1),
+            compress: true,
+        }
+    }
+
+    #[test]
+    fn commits_land_in_counter_order() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(4),
+            store.clone(),
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+        );
+        for c in 1..=6u64 {
+            let kind = if c == 1 {
+                ImageKind::Full
+            } else {
+                ImageKind::Incremental { prev: c - 1 }
+            };
+            pipe.enqueue(tiny_image(c, kind), format!("ckpt-{c:08}"), c == 1, None);
+        }
+        pipe.drain();
+        let outcomes = pipe.take_finished();
+        let counters: Vec<u64> = outcomes.iter().map(|o| o.counter).collect();
+        assert_eq!(counters, vec![1, 2, 3, 4, 5, 6], "in-order resolution");
+        for o in &outcomes {
+            assert!(o.result.is_ok());
+            assert!(store.lock().contains(&o.blob));
+        }
+        let blob = store.lock().get("ckpt-00000003").unwrap();
+        let plain = crate::compress::decompress(&blob).unwrap();
+        assert_eq!(decode_image(&plain).unwrap().counter, 3);
+    }
+
+    #[test]
+    fn failed_commit_cascades_to_dependents() {
+        let store = SharedBlobStore::in_memory();
+        // Every writeback from the 2nd onward fails, exhausting retries.
+        let plane = FaultPlan::new(7)
+            .from_nth(sites::CHECKPOINT_WRITEBACK, 2, IoFault::Enospc)
+            .build();
+        let pipe = CommitPipeline::new(
+            config(2),
+            store.clone(),
+            plane,
+            Sleeper::Sim(SimClock::new()),
+        );
+        pipe.enqueue(
+            tiny_image(1, ImageKind::Full),
+            "ckpt-00000001".into(),
+            true,
+            None,
+        );
+        pipe.enqueue(
+            tiny_image(2, ImageKind::Incremental { prev: 1 }),
+            "ckpt-00000002".into(),
+            false,
+            None,
+        );
+        pipe.enqueue(
+            tiny_image(3, ImageKind::Incremental { prev: 2 }),
+            "ckpt-00000003".into(),
+            false,
+            None,
+        );
+        pipe.drain();
+        let outcomes = pipe.take_finished();
+        assert!(outcomes[0].result.is_ok());
+        assert_eq!(
+            outcomes[1].result,
+            Err(CommitError::Io(FsError::NoSpace)),
+            "retries exhausted"
+        );
+        assert_eq!(
+            outcomes[2].result,
+            Err(CommitError::Cascaded(2)),
+            "dependent fails without touching the store"
+        );
+        assert!(store.lock().contains("ckpt-00000001"));
+        assert!(!store.lock().contains("ckpt-00000002"));
+        assert!(!store.lock().contains("ckpt-00000003"));
+    }
+
+    #[test]
+    fn encode_fault_resolves_without_store_write() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(1),
+            store.clone(),
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+        );
+        pipe.enqueue(
+            tiny_image(1, ImageKind::Full),
+            "ckpt-00000001".into(),
+            true,
+            Some(EncodeFault::Fail(FsError::NoSpace)),
+        );
+        pipe.drain();
+        let outcomes = pipe.take_finished();
+        assert_eq!(outcomes[0].result, Err(CommitError::Io(FsError::NoSpace)));
+        assert!(!store.lock().contains("ckpt-00000001"));
+    }
+}

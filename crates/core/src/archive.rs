@@ -68,6 +68,10 @@ impl DejaView {
     ///
     /// Propagates file system errors from the final sync.
     pub fn save_archive(&mut self) -> Result<Vec<u8>, ServerError> {
+        // Deferred checkpoint commits must land before the store and the
+        // engine metadata are exported, or the archive would reference
+        // images that are still in flight.
+        self.flush_checkpoints()?;
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.put_u32_le(self.screen_size().0);
@@ -120,8 +124,8 @@ impl DejaView {
         let record =
             decode_record(record_bytes).map_err(|_| ArchiveError("corrupt display record"))?;
         let index_bytes = get_section(&mut buf)?;
-        let index = dv_index::decode_index(index_bytes)
-            .map_err(|_| ArchiveError("corrupt text index"))?;
+        let index =
+            dv_index::decode_index(index_bytes).map_err(|_| ArchiveError("corrupt text index"))?;
         let blob_bytes = get_section(&mut buf)?.to_vec();
         let engine_bytes = get_section(&mut buf)?.to_vec();
         let fs_bytes = get_section(&mut buf)?;
@@ -159,16 +163,21 @@ mod tests {
         let init = dv.init_vpid();
         dv.vee_mut().spawn(Some(init), "editor").unwrap();
         dv.vee_mut().fs.mkdir_all("/home").unwrap();
-        dv.vee_mut().fs.write_all("/home/doc", b"archived draft").unwrap();
+        dv.vee_mut()
+            .fs
+            .write_all("/home/doc", b"archived draft")
+            .unwrap();
         let app = dv.desktop_mut().register_app("editor");
         let root = dv.desktop_mut().root(app).unwrap();
         let win = dv.desktop_mut().add_node(app, root, Role::Window, "w");
         dv.desktop_mut()
             .add_node(app, win, Role::Paragraph, "archive target phrase");
-        dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), 0x445566);
+        dv.driver_mut()
+            .fill_rect(Rect::new(0, 0, 1024, 768), 0x445566);
         dv.clock().advance(Duration::from_secs(1));
         dv.policy_tick().unwrap();
-        dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), 0x778899);
+        dv.driver_mut()
+            .fill_rect(Rect::new(0, 0, 512, 768), 0x778899);
         dv.clock().advance(Duration::from_secs(1));
         dv.policy_tick().unwrap();
         dv
@@ -226,9 +235,7 @@ mod tests {
         let mut original = recorded_server();
         let archive = original.save_archive().unwrap();
         assert!(DejaView::load_archive(Config::default(), b"junk").is_err());
-        assert!(
-            DejaView::load_archive(Config::default(), &archive[..archive.len() / 3]).is_err()
-        );
+        assert!(DejaView::load_archive(Config::default(), &archive[..archive.len() / 3]).is_err());
         let mut extra = archive.clone();
         extra.push(0);
         assert!(DejaView::load_archive(Config::default(), &extra).is_err());

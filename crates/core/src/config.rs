@@ -22,7 +22,9 @@ pub struct Config {
     /// keyframe cadence).
     pub recorder: RecorderConfig,
     /// Checkpoint engine parameters (full cadence, compression,
-    /// pre-quiesce bounds).
+    /// pre-quiesce bounds, and the deferred write-back pipeline's
+    /// worker count and queue depth — `commit_workers == 0` keeps the
+    /// classic synchronous write path).
     pub engine: EngineConfig,
     /// Checkpoint policy parameters and extension rules.
     pub policy: PolicyConfig,
@@ -86,5 +88,11 @@ mod tests {
         assert!((config.policy.min_display_fraction - 0.05).abs() < 1e-9);
         assert!(!config.revive_network.default_enabled);
         assert!(config.revive_network.new_apps_enabled);
+        // Deferred write-back ships disabled: the synchronous path stays
+        // the default until a deployment opts into commit workers.
+        assert_eq!(config.engine.commit_workers, 0);
+        assert_eq!(config.engine.commit_queue_depth, 4);
+        assert_eq!(config.engine.commit_retry_limit, 3);
+        assert_eq!(config.engine.commit_retry_backoff.as_millis(), 50);
     }
 }

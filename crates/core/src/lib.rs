@@ -48,6 +48,8 @@
 //! assert!(dv.session(session).is_ok());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod archive;
 pub mod config;
 pub mod error;
@@ -63,5 +65,5 @@ pub use error::ServerError;
 pub use server::{DejaView, PolicyTick, SearchResult};
 pub use session::{BranchFs, RevivedSession};
 pub use sink::{role_tag, IndexSink};
-pub use stats::{StorageBreakdown, StorageRates};
+pub use stats::{PipelineBreakdown, StorageBreakdown, StorageRates};
 pub use ui::{ViewMode, ViewerUi};

@@ -10,17 +10,16 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use dv_access::{CaptureDaemon, Desktop};
 use dv_checkpoint::{
-    revive, CheckpointPolicy, CheckpointReport, Checkpointer, Decision, NetworkPolicy,
-    PolicyInput,
+    revive, CheckpointPolicy, CheckpointReport, Checkpointer, Decision, NetworkPolicy, PolicyInput,
 };
 use dv_display::{InputEvent, Screenshot, Viewer, VirtualDisplayDriver};
 use dv_fault::FaultPlane;
 use dv_index::{parse_query, RankOrder, SearchHit, TextIndex};
-use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedFs, UnionFs};
+use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedBlobStore, SharedFs, UnionFs};
 use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
 use dv_time::{Duration, SimClock, Timestamp};
 use dv_vee::{HostPidAllocator, Vee, Vpid};
@@ -29,7 +28,7 @@ use crate::config::Config;
 use crate::error::ServerError;
 use crate::session::RevivedSession;
 use crate::sink::IndexSink;
-use crate::stats::StorageBreakdown;
+use crate::stats::{PipelineBreakdown, StorageBreakdown};
 
 /// One search result: a hit plus the screenshot portal the user clicks
 /// through, and — for substream results — the last screenshot of the
@@ -66,7 +65,7 @@ pub struct DejaView {
     session_fs: SharedFs<Lsfs>,
     engine: Checkpointer,
     policy: CheckpointPolicy,
-    store: BlobStore,
+    store: SharedBlobStore,
     host_pids: HostPidAllocator,
     instance_counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
     playback: PlaybackEngine,
@@ -149,11 +148,11 @@ impl DejaView {
         // (the display server runs inside the environment, §3).
         vee.spawn(None, "session-init").expect("empty namespace");
 
-        let mut store = match store_latency {
-            Some(latency) => BlobStore::with_latency(latency),
-            None => BlobStore::in_memory(),
+        let store = match store_latency {
+            Some(latency) => SharedBlobStore::with_latency(latency),
+            None => SharedBlobStore::in_memory(),
         };
-        store.set_fault_plane(fault_plane.clone());
+        store.with(|s| s.set_fault_plane(fault_plane.clone()));
         let mut checkpointer = Checkpointer::with_sim_clock(engine, clock.clone());
         checkpointer.set_fault_plane(fault_plane.clone());
         let playback = PlaybackEngine::new(record.clone());
@@ -240,10 +239,28 @@ impl DejaView {
         self.index.clone()
     }
 
-    /// Returns the checkpoint store (Figure 7's cached/uncached axis is
-    /// driven by [`BlobStore::drop_caches`]).
-    pub fn store_mut(&mut self) -> &mut BlobStore {
-        &mut self.store
+    /// Returns the checkpoint store, locked (Figure 7's cached/uncached
+    /// axis is driven by [`BlobStore::drop_caches`]). The deferred
+    /// write-back pipeline holds the same store; keep the guard short.
+    pub fn store_mut(&mut self) -> MutexGuard<'_, BlobStore> {
+        self.store.lock()
+    }
+
+    /// Returns a cloneable handle to the checkpoint store shared with
+    /// the deferred write-back pipeline.
+    pub fn store_handle(&self) -> SharedBlobStore {
+        self.store.clone()
+    }
+
+    /// Drains the checkpoint engine's deferred write-back pipeline,
+    /// blocking until every captured image has committed (or failed).
+    /// The first asynchronous commit failure since the last flush is
+    /// surfaced here and counted as one degradation event.
+    pub fn flush_checkpoints(&mut self) -> Result<(), ServerError> {
+        self.engine.flush().map_err(|e| {
+            self.degraded_events += 1;
+            ServerError::from(e)
+        })
     }
 
     /// Returns the checkpoint engine.
@@ -371,7 +388,7 @@ impl DejaView {
         let mut backoff = self.io_retry_backoff;
         let mut attempt = 0u32;
         loop {
-            match self.engine.checkpoint(&mut self.vee, &mut self.store) {
+            match self.engine.checkpoint(&mut self.vee, &self.store) {
                 Ok(report) => return Ok(report),
                 Err(e) => {
                     self.degraded_events += 1;
@@ -564,6 +581,9 @@ impl DejaView {
     /// Revives the desktop as it was at time `t` — the "Take me back"
     /// button (§2, §5.2). Returns the new session id.
     pub fn take_me_back(&mut self, t: Timestamp) -> Result<u64, ServerError> {
+        // Deferred commits may still be in flight; the revivable set is
+        // only complete once the pipeline drains.
+        self.flush_checkpoints()?;
         let counter = self
             .engine
             .counter_at_or_before(t)
@@ -573,6 +593,7 @@ impl DejaView {
 
     /// Revives directly from a checkpoint counter of the main session.
     pub fn revive_counter(&mut self, counter: u64) -> Result<u64, ServerError> {
+        self.flush_checkpoints()?;
         let chain = self
             .engine
             .chain_for(counter)
@@ -598,9 +619,7 @@ impl DejaView {
             .revived
             .get_mut(&id)
             .ok_or(ServerError::UnknownSession(id))?;
-        let report = session
-            .engine
-            .checkpoint(&mut session.vee, &mut self.store)?;
+        let report = session.engine.checkpoint(&mut session.vee, &self.store)?;
         Ok(report)
     }
 
@@ -613,6 +632,12 @@ impl DejaView {
         parent_id: u64,
         counter: u64,
     ) -> Result<u64, ServerError> {
+        // The parent's own engine may also defer commits.
+        self.revived
+            .get_mut(&parent_id)
+            .ok_or(ServerError::UnknownSession(parent_id))?
+            .engine
+            .flush()?;
         let (blob_prefix, chain, revived_from, lower) = {
             let parent = self
                 .revived
@@ -651,7 +676,7 @@ impl DejaView {
         let id = self.next_session_id;
         self.next_session_id += 1;
         let (vee, report) = revive(
-            &mut self.store,
+            &mut self.store.lock(),
             blob_prefix,
             chain,
             self.compress,
@@ -713,6 +738,20 @@ impl DejaView {
             .ok_or(ServerError::UnknownSession(id))
     }
 
+    /// Returns the deferred write-back pipeline accounting for the main
+    /// session's engine.
+    pub fn pipeline_stats(&self) -> PipelineBreakdown {
+        let s = self.engine.stats();
+        PipelineBreakdown {
+            queued: s.queued,
+            committed: s.committed,
+            inflight: self.engine.inflight() as u64,
+            inline_fallbacks: s.inline_fallbacks,
+            sync_downtime: Duration::from_nanos(s.sync_downtime_nanos),
+            async_commit: Duration::from_nanos(s.async_commit_nanos),
+        }
+    }
+
     /// Returns the storage breakdown across all four record streams
     /// (Figure 4).
     pub fn storage(&self) -> StorageBreakdown {
@@ -726,9 +765,7 @@ impl DejaView {
             checkpoint_raw_bytes: eng.raw_bytes,
             checkpoint_stored_bytes: eng.stored_bytes,
             fs_bytes: fs.data_bytes + fs.journal_bytes,
-            degraded_events: self.degraded_events
-                + rec.dropped_commands
-                + rec.dropped_keyframes,
+            degraded_events: self.degraded_events + rec.dropped_commands + rec.dropped_keyframes,
         }
     }
 }
@@ -757,7 +794,10 @@ mod tests {
         let addr = dv.vee_mut().mmap(editor, 8192, Prot::ReadWrite).unwrap();
         dv.vee_mut().mem_write(editor, addr, b"buffer v1").unwrap();
         dv.vee_mut().fs.mkdir_all("/home").unwrap();
-        dv.vee_mut().fs.write_all("/home/doc.txt", b"draft one").unwrap();
+        dv.vee_mut()
+            .fs
+            .write_all("/home/doc.txt", b"draft one")
+            .unwrap();
 
         let app = dv.desktop_mut().register_app("editor");
         let root = dv.desktop_mut().root(app).unwrap();
@@ -769,7 +809,8 @@ mod tests {
         dv.desktop_mut().focus(app);
 
         dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 0x202020);
-        dv.driver_mut().draw_text(4, 4, "the quick brown fox", 0xFFFFFF, 0);
+        dv.driver_mut()
+            .draw_text(4, 4, "the quick brown fox", 0xFFFFFF, 0);
         clock.advance(Duration::from_secs(1));
         dv.policy_tick().unwrap();
         dv
@@ -853,7 +894,10 @@ mod tests {
         let clock = dv.clock();
         let editor = Vpid(2);
         // Diverge after the checkpoint.
-        dv.vee_mut().fs.write_all("/home/doc.txt", b"draft two, changed").unwrap();
+        dv.vee_mut()
+            .fs
+            .write_all("/home/doc.txt", b"draft two, changed")
+            .unwrap();
         clock.advance(Duration::from_secs(5));
 
         let id = dv.take_me_back(Timestamp::from_secs(2)).unwrap();
@@ -893,11 +937,21 @@ mod tests {
             .write_all("/home/doc.txt", b"branch B wins")
             .unwrap();
         assert_eq!(
-            dv.session(a).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            dv.session(a)
+                .unwrap()
+                .vee
+                .fs
+                .read_all("/home/doc.txt")
+                .unwrap(),
             b"branch A"
         );
         assert_eq!(
-            dv.session(b).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            dv.session(b)
+                .unwrap()
+                .vee
+                .fs
+                .read_all("/home/doc.txt")
+                .unwrap(),
             b"branch B wins"
         );
         assert_eq!(dv.sessions(), vec![a, b]);
@@ -964,7 +1018,12 @@ mod tests {
         // gen1's checkpointed state, not its later edits.
         let gen2 = dv.revive_from_session(gen1, report.counter).unwrap();
         assert_eq!(
-            dv.session(gen2).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            dv.session(gen2)
+                .unwrap()
+                .vee
+                .fs
+                .read_all("/home/doc.txt")
+                .unwrap(),
             b"gen1 edits"
         );
         // All three lineages stay independent.
@@ -975,17 +1034,23 @@ mod tests {
             .write_all("/home/doc.txt", b"gen2 divergence")
             .unwrap();
         assert_eq!(
-            dv.session(gen1).unwrap().vee.fs.read_all("/home/doc.txt").unwrap(),
+            dv.session(gen1)
+                .unwrap()
+                .vee
+                .fs
+                .read_all("/home/doc.txt")
+                .unwrap(),
             b"gen1 post-checkpoint"
         );
-        assert_eq!(
-            dv.vee().fs.read_all("/home/doc.txt").unwrap(),
-            b"draft one"
-        );
+        assert_eq!(dv.vee().fs.read_all("/home/doc.txt").unwrap(), b"draft one");
         // Processes and memory carried through both generations.
         let editor = Vpid(2);
         assert_eq!(
-            dv.session(gen2).unwrap().vee.mem_read(editor, 0x1000_0000, 9).unwrap(),
+            dv.session(gen2)
+                .unwrap()
+                .vee
+                .mem_read(editor, 0x1000_0000, 9)
+                .unwrap(),
             b"buffer v1"
         );
     }
@@ -1024,7 +1089,8 @@ mod tests {
         let mut dv = populated_server();
         let app = dv_access::AppId(1);
         let node = dv_access::NodeId(3);
-        dv.desktop_mut().annotate_selection(app, node, "important meeting");
+        dv.desktop_mut()
+            .annotate_selection(app, node, "important meeting");
         dv.clock().advance(Duration::from_secs(1));
         let results = dv
             .search("annotation:meeting", RankOrder::Chronological)
@@ -1051,7 +1117,10 @@ mod tests {
             .fs
             .write_all("/home/pasted.txt", pasted.as_bytes())
             .unwrap();
-        assert_eq!(dv.vee().fs.read_all("/home/pasted.txt").unwrap(), b"draft one");
+        assert_eq!(
+            dv.vee().fs.read_all("/home/pasted.txt").unwrap(),
+            b"draft one"
+        );
     }
 
     #[test]
@@ -1126,7 +1195,10 @@ mod tests {
         assert_eq!(tick.decision, Decision::Checkpoint);
         assert!(tick.report.is_none(), "exhausted retries degrade the tick");
         // Initial attempt plus the full retry budget, all counted.
-        assert_eq!(dv.degraded_events(), 1 + Config::default().io_retry_limit as u64);
+        assert_eq!(
+            dv.degraded_events(),
+            1 + Config::default().io_retry_limit as u64
+        );
         // Recording and browsing continue past the degraded moment.
         assert!(dv.browse(Timestamp::from_millis(500)).is_ok());
         // An explicit checkpoint propagates the error instead.

@@ -69,6 +69,40 @@ impl StorageBreakdown {
     }
 }
 
+/// Deferred write-back pipeline accounting for one checkpoint engine
+/// (§5.1.2: "deferring writing the checkpoint image to disk until after
+/// the session resumes").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineBreakdown {
+    /// Captures handed to the asynchronous commit pipeline.
+    pub queued: u64,
+    /// Deferred captures whose blobs have committed.
+    pub committed: u64,
+    /// Captures currently queued or committing.
+    pub inflight: u64,
+    /// Captures written inline because the queue was full.
+    pub inline_fallbacks: u64,
+    /// Session-thread downtime: quiesce + capture + snapshot (and, for
+    /// inline writes, encode + write-back).
+    pub sync_downtime: Duration,
+    /// Time spent encoding/compressing/writing after the session
+    /// resumed — work the deferred pipeline hides from downtime.
+    pub async_commit: Duration,
+}
+
+impl PipelineBreakdown {
+    /// Fraction of total checkpoint work overlapped with the running
+    /// session (0.0 when everything was written inline).
+    pub fn overlap_fraction(&self) -> f64 {
+        let sync = self.sync_downtime.as_secs_f64();
+        let async_ = self.async_commit.as_secs_f64();
+        if sync + async_ == 0.0 {
+            return 0.0;
+        }
+        async_ / (sync + async_)
+    }
+}
+
 /// Per-stream growth rates in MB/s.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StorageRates {
@@ -136,5 +170,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_elapsed_panics() {
         let _ = StorageBreakdown::default().rates(Duration::ZERO);
+    }
+
+    #[test]
+    fn overlap_fraction_splits_sync_and_async_work() {
+        let p = PipelineBreakdown {
+            sync_downtime: Duration::from_millis(10),
+            async_commit: Duration::from_millis(30),
+            ..PipelineBreakdown::default()
+        };
+        assert!((p.overlap_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(PipelineBreakdown::default().overlap_fraction(), 0.0);
     }
 }

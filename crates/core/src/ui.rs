@@ -163,7 +163,9 @@ mod tests {
         let mut ui = ViewerUi::new();
         assert_eq!(ui.mode(), ViewMode::Live);
         assert_eq!(ui.position(&dv), dv.now());
-        let shot = ui.slider_seek(&mut dv, Timestamp::from_millis(500)).unwrap();
+        let shot = ui
+            .slider_seek(&mut dv, Timestamp::from_millis(500))
+            .unwrap();
         assert!(shot.pixels.contains(&0x111111));
         assert_eq!(ui.mode(), ViewMode::Paused(Timestamp::from_millis(500)));
         ui.resume_live();
@@ -198,7 +200,8 @@ mod tests {
     fn take_me_back_uses_the_displayed_time() {
         let mut dv = recorded_server();
         let mut ui = ViewerUi::new();
-        ui.slider_seek(&mut dv, Timestamp::from_millis(1_500)).unwrap();
+        ui.slider_seek(&mut dv, Timestamp::from_millis(1_500))
+            .unwrap();
         let sid = ui.take_me_back_button(&mut dv).unwrap();
         let session = dv.session(sid).unwrap();
         // The checkpoint at t=1s is the last one before the paused view.

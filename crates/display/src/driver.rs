@@ -179,7 +179,8 @@ impl VirtualDisplayDriver {
     pub fn submit(&mut self, cmd: DisplayCommand) {
         let ts = self.clock.now();
         self.fb.apply(&cmd);
-        self.damage.add(cmd.rect().intersect(&self.fb.screen_rect()));
+        self.damage
+            .add(cmd.rect().intersect(&self.fb.screen_rect()));
         self.stats.commands += 1;
         self.stats.bytes += cmd.wire_size() as u64;
         match &cmd {

@@ -167,12 +167,7 @@ impl Framebuffer {
                     }
                 }
             }
-            DisplayCommand::Glyph {
-                rect,
-                bits,
-                fg,
-                bg,
-            } => self.apply_glyph(rect, bits, *fg, *bg),
+            DisplayCommand::Glyph { rect, bits, fg, bg } => self.apply_glyph(rect, bits, *fg, *bg),
             DisplayCommand::Video { rect, frame } => {
                 let r = rect.intersect(&self.screen_rect());
                 if rect.is_empty() || r.is_empty() {
@@ -235,8 +230,8 @@ impl Framebuffer {
         );
         let r = dst_rect.intersect(&self.screen_rect());
         for y in r.y..r.bottom() {
-            let src_row = (y - dst_rect.y) as usize * clamped_src.w as usize
-                + (r.x - dst_rect.x) as usize;
+            let src_row =
+                (y - dst_rect.y) as usize * clamped_src.w as usize + (r.x - dst_rect.x) as usize;
             let dst = (y * self.width + r.x) as usize;
             self.pixels[dst..dst + r.w as usize]
                 .copy_from_slice(&src[src_row..src_row + r.w as usize]);
@@ -251,7 +246,11 @@ impl Framebuffer {
             for x in r.x..r.right() {
                 let col = (x - rect.x) as usize;
                 let byte = bits.get(row * stride + col / 8).copied().unwrap_or(0);
-                let px = if byte >> (7 - col % 8) & 1 == 1 { fg } else { bg };
+                let px = if byte >> (7 - col % 8) & 1 == 1 {
+                    fg
+                } else {
+                    bg
+                };
                 self.pixels[(y * self.width + x) as usize] = px;
             }
         }

@@ -30,6 +30,8 @@
 //! );
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod codec;
 pub mod command;
 pub mod driver;

@@ -157,12 +157,7 @@ impl Rect {
         let y = self.y as u64 * num as u64 / den as u64;
         let right = (self.right() as u64 * num as u64).div_ceil(den as u64);
         let bottom = (self.bottom() as u64 * num as u64).div_ceil(den as u64);
-        Rect::new(
-            x as u32,
-            y as u32,
-            (right - x) as u32,
-            (bottom - y) as u32,
-        )
+        Rect::new(x as u32, y as u32, (right - x) as u32, (bottom - y) as u32)
     }
 }
 

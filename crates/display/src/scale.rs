@@ -80,12 +80,7 @@ pub fn scale_command(cmd: &DisplayCommand, scale: ScaleFactor) -> DisplayCommand
             rect: rect.scale(scale.num, scale.den),
             pattern: *pattern,
         },
-        DisplayCommand::Glyph {
-            rect,
-            bits,
-            fg,
-            bg,
-        } => {
+        DisplayCommand::Glyph { rect, bits, fg, bg } => {
             let out_rect = rect.scale(scale.num, scale.den);
             let out_bits = resample_bits(bits, rect.w, rect.h, out_rect.w, out_rect.h);
             DisplayCommand::Glyph {

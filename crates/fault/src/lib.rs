@@ -24,6 +24,8 @@
 //! on-disk container layout directly rather than importing `dv-lsfs`
 //! types; a cross-crate test in `dv-lsfs` pins that contract.
 
+#![deny(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -64,6 +66,8 @@ impl IoFault {
 enum Trigger {
     /// Fire on exactly the `n`-th check of the site (1-based), once.
     Nth(u64),
+    /// Fire on the `n`-th check of the site and every one after it.
+    FromNth(u64),
     /// Fire on every `n`-th check of the site.
     EveryNth(u64),
     /// Fire with probability `p` per check, from the plan's seed.
@@ -172,6 +176,7 @@ impl FaultPlane {
         for rule in &rules {
             let hit = match rule.trigger {
                 Trigger::Nth(n) => nth == n,
+                Trigger::FromNth(n) => nth >= n,
                 Trigger::EveryNth(n) => nth % n == 0,
                 Trigger::Probability(p) => {
                     let roll =
@@ -286,11 +291,17 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, rules: BTreeMap::new() }
+        FaultPlan {
+            seed,
+            rules: BTreeMap::new(),
+        }
     }
 
     fn push(mut self, site: &'static str, trigger: Trigger, fault: IoFault) -> Self {
-        self.rules.entry(site).or_default().push(Rule { trigger, fault });
+        self.rules
+            .entry(site)
+            .or_default()
+            .push(Rule { trigger, fault });
         self
     }
 
@@ -298,6 +309,13 @@ impl FaultPlan {
     pub fn fail_nth(self, site: &'static str, n: u64, fault: IoFault) -> Self {
         assert!(n > 0, "nth is 1-based");
         self.push(site, Trigger::Nth(n), fault)
+    }
+
+    /// Fail the `n`-th operation at `site` (1-based) and every later
+    /// one — "the disk fills up at this point and stays full".
+    pub fn from_nth(self, site: &'static str, n: u64, fault: IoFault) -> Self {
+        assert!(n > 0, "nth is 1-based");
+        self.push(site, Trigger::FromNth(n), fault)
     }
 
     /// Fail every `n`-th operation at `site`.
@@ -353,10 +371,24 @@ mod tests {
             .fail_nth(sites::LSFS_JOURNAL_COMMIT, 2, IoFault::Enospc)
             .build();
         assert_eq!(plane.check(sites::LSFS_JOURNAL_COMMIT), None);
-        assert_eq!(plane.check(sites::LSFS_JOURNAL_COMMIT), Some(IoFault::Enospc));
+        assert_eq!(
+            plane.check(sites::LSFS_JOURNAL_COMMIT),
+            Some(IoFault::Enospc)
+        );
         assert_eq!(plane.check(sites::LSFS_JOURNAL_COMMIT), None);
         assert_eq!(plane.injected_at(sites::LSFS_JOURNAL_COMMIT), 1);
         assert_eq!(plane.stats().sites[sites::LSFS_JOURNAL_COMMIT].checks, 3);
+    }
+
+    #[test]
+    fn from_nth_fires_from_the_cutover_onward() {
+        let plane = FaultPlan::new(1)
+            .from_nth(sites::LSFS_BLOB_PUT, 3, IoFault::Enospc)
+            .build();
+        let hits: Vec<bool> = (0..6)
+            .map(|_| plane.check(sites::LSFS_BLOB_PUT).is_some())
+            .collect();
+        assert_eq!(hits, [false, false, true, true, true, true]);
     }
 
     #[test]
@@ -367,7 +399,10 @@ mod tests {
         let hits: Vec<bool> = (0..9)
             .map(|_| plane.check(sites::RECORD_LOG_APPEND).is_some())
             .collect();
-        assert_eq!(hits, [false, false, true, false, false, true, false, false, true]);
+        assert_eq!(
+            hits,
+            [false, false, true, false, false, true, false, false, true]
+        );
     }
 
     #[test]
@@ -408,7 +443,10 @@ mod tests {
             .build();
         let clone = plane.clone();
         assert_eq!(plane.check(sites::INDEX_SEGMENT_FLUSH), None);
-        assert_eq!(clone.check(sites::INDEX_SEGMENT_FLUSH), Some(IoFault::Enospc));
+        assert_eq!(
+            clone.check(sites::INDEX_SEGMENT_FLUSH),
+            Some(IoFault::Enospc)
+        );
         assert_eq!(plane.stats().sites[sites::INDEX_SEGMENT_FLUSH].checks, 2);
     }
 

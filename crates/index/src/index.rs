@@ -169,10 +169,7 @@ impl TextIndex {
     /// normalized), in indexing order.
     pub fn term_instances(&self, term: &str) -> Vec<&IndexedInstance> {
         match self.postings.get(term) {
-            Some(ids) => ids
-                .iter()
-                .filter_map(|id| self.instances.get(id))
-                .collect(),
+            Some(ids) => ids.iter().filter_map(|id| self.instances.get(id)).collect(),
             None => Vec::new(),
         }
     }
@@ -231,7 +228,13 @@ impl TextIndex {
 mod tests {
     use super::*;
 
-    fn inst(id: u64, app: &str, text: &str, shown_ms: u64, hidden_ms: Option<u64>) -> IndexedInstance {
+    fn inst(
+        id: u64,
+        app: &str,
+        text: &str,
+        shown_ms: u64,
+        hidden_ms: Option<u64>,
+    ) -> IndexedInstance {
         IndexedInstance {
             id,
             app_id: app.len() as u32,

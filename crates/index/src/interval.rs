@@ -89,12 +89,7 @@ impl IntervalSet {
 
     /// Set union.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.intervals
-                .iter()
-                .chain(other.intervals.iter())
-                .copied(),
-        )
+        IntervalSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// Set intersection.

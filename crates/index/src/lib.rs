@@ -9,6 +9,8 @@
 //! query is satisfied"), ranked results, and a binary persistence
 //! format.
 
+#![deny(unsafe_code)]
+
 pub mod index;
 pub mod interval;
 pub mod query;

@@ -306,10 +306,7 @@ mod tests {
         let q = parse_query("app:Firefox checkpoint").unwrap();
         assert_eq!(
             q,
-            Query::App(
-                "firefox".into(),
-                Box::new(Query::Term("checkpoint".into()))
-            )
+            Query::App("firefox".into(), Box::new(Query::Term("checkpoint".into())))
         );
     }
 
@@ -322,15 +319,9 @@ mod tests {
     #[test]
     fn focused_and_annotation() {
         let q = parse_query("focused: report").unwrap();
-        assert_eq!(
-            q,
-            Query::Focused(Box::new(Query::Term("report".into())))
-        );
+        assert_eq!(q, Query::Focused(Box::new(Query::Term("report".into()))));
         let q = parse_query("annotation:todo").unwrap();
-        assert_eq!(
-            q,
-            Query::Annotated(Box::new(Query::Term("todo".into())))
-        );
+        assert_eq!(q, Query::Annotated(Box::new(Query::Term("todo".into()))));
     }
 
     #[test]
@@ -362,11 +353,7 @@ mod tests {
         let q = parse_query("\"virtual computer recorder\"").unwrap();
         assert_eq!(
             q,
-            Query::Phrase(vec![
-                "virtual".into(),
-                "computer".into(),
-                "recorder".into()
-            ])
+            Query::Phrase(vec!["virtual".into(), "computer".into(), "recorder".into()])
         );
         // Single-word quotes collapse to terms.
         assert_eq!(parse_query("\"milk\"").unwrap(), Query::Term("milk".into()));

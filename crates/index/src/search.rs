@@ -166,10 +166,7 @@ pub fn search(index: &TextIndex, query: &Query, order: RankOrder) -> Vec<SearchH
     hits
 }
 
-fn collect_matching_instances<'a>(
-    index: &'a TextIndex,
-    query: &Query,
-) -> Vec<&'a IndexedInstance> {
+fn collect_matching_instances<'a>(index: &'a TextIndex, query: &Query) -> Vec<&'a IndexedInstance> {
     let mut out = Vec::new();
     let mut terms = Vec::new();
     collect_terms(query, &mut terms);
@@ -441,8 +438,24 @@ mod tests {
     #[test]
     fn phrase_queries_require_adjacency() {
         let mut index = TextIndex::new();
-        index.add_instance(inst(1, 1, "a", "w", "virtual computer recorder demo", 0, Some(100)));
-        index.add_instance(inst(2, 1, "a", "w", "recorder for a virtual computer", 200, Some(300)));
+        index.add_instance(inst(
+            1,
+            1,
+            "a",
+            "w",
+            "virtual computer recorder demo",
+            0,
+            Some(100),
+        ));
+        index.add_instance(inst(
+            2,
+            1,
+            "a",
+            "w",
+            "recorder for a virtual computer",
+            200,
+            Some(300),
+        ));
         index.advance_horizon(Timestamp::from_millis(400));
         // "computer recorder" is adjacent only in the first instance.
         let q = parse_query("\"computer recorder\"").unwrap();
@@ -458,7 +471,15 @@ mod tests {
     #[test]
     fn phrases_skip_stopwords_like_indexing() {
         let mut index = TextIndex::new();
-        index.add_instance(inst(1, 1, "a", "w", "state of the art recorder", 0, Some(100)));
+        index.add_instance(inst(
+            1,
+            1,
+            "a",
+            "w",
+            "state of the art recorder",
+            0,
+            Some(100),
+        ));
         index.advance_horizon(Timestamp::from_millis(200));
         // Indexing drops "of"/"the"; the phrase matcher does too.
         let q = parse_query("\"state art recorder\"").unwrap();

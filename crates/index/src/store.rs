@@ -215,7 +215,12 @@ mod tests {
         let index = sample();
         let decoded = decode_index(&encode_index(&index)).unwrap();
         assert_eq!(decoded.horizon(), index.horizon());
-        for q in ["schedule", "app:firefox schedule", "annotation: schedule", "focused: click"] {
+        for q in [
+            "schedule",
+            "app:firefox schedule",
+            "annotation: schedule",
+            "focused: click",
+        ] {
             let query = parse_query(q).unwrap();
             assert_eq!(
                 evaluate(&decoded, &query),

@@ -15,7 +15,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dv_fault::{sites, FaultPlane, IoFault};
-use dv_time::Duration;
+use dv_time::{Duration, Sleeper};
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::{FsError, FsResult};
 
@@ -72,6 +73,7 @@ pub struct BlobStore {
     latency: Option<ReadLatency>,
     stats: BlobStats,
     plane: FaultPlane,
+    sleeper: Sleeper,
 }
 
 impl BlobStore {
@@ -83,7 +85,16 @@ impl BlobStore {
             latency: None,
             stats: BlobStats::default(),
             plane: FaultPlane::disabled(),
+            sleeper: Sleeper::Wall,
         }
+    }
+
+    /// Chooses how modelled latency (the [`ReadLatency`] cost and
+    /// [`IoFault::LatencySpike`] injections) is paid: really sleeping
+    /// (the default, for wall-clock benchmarks like Figure 7) or
+    /// advancing a simulation clock so deterministic tests never stall.
+    pub fn set_sleeper(&mut self, sleeper: Sleeper) {
+        self.sleeper = sleeper;
     }
 
     /// Installs the fault-injection plane (sites `lsfs.blob.put` and
@@ -149,7 +160,11 @@ impl BlobStore {
             let data = self.backing.get(name)?.clone();
             self.stats.cache_misses += 1;
             if let Some(model) = self.latency {
-                std::thread::sleep(model.cost(data.len()).to_std());
+                let mut cost = model.cost(data.len());
+                if let Some(IoFault::LatencySpike) = fault {
+                    cost = cost + cost;
+                }
+                self.sleeper.sleep(cost);
             }
             self.cache.insert(name.to_string(), data.clone());
             data
@@ -252,6 +267,49 @@ impl Default for BlobStore {
     }
 }
 
+/// A [`BlobStore`] behind `Arc<Mutex<..>>` so the deferred-commit worker
+/// threads of the checkpoint engine can write blobs while the session
+/// thread keeps recording. Cheap to clone; every clone addresses the
+/// same store.
+#[derive(Clone, Default)]
+pub struct SharedBlobStore {
+    inner: Arc<Mutex<BlobStore>>,
+}
+
+impl SharedBlobStore {
+    /// Wraps an existing store.
+    pub fn new(store: BlobStore) -> Self {
+        SharedBlobStore {
+            inner: Arc::new(Mutex::new(store)),
+        }
+    }
+
+    /// A shared store with no latency model.
+    pub fn in_memory() -> Self {
+        SharedBlobStore::new(BlobStore::in_memory())
+    }
+
+    /// A shared store whose cache misses pay `latency`.
+    pub fn with_latency(latency: ReadLatency) -> Self {
+        SharedBlobStore::new(BlobStore::with_latency(latency))
+    }
+
+    /// Whether two handles address the same underlying store.
+    pub fn ptr_eq(&self, other: &SharedBlobStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Locks the store for a sequence of operations.
+    pub fn lock(&self) -> MutexGuard<'_, BlobStore> {
+        self.inner.lock()
+    }
+
+    /// Runs `f` with the store locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BlobStore) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +351,37 @@ mod tests {
         let uncached = t1.elapsed();
         assert!(uncached >= std::time::Duration::from_millis(5));
         assert!(uncached > cached);
+    }
+
+    #[test]
+    fn sim_sleeper_pays_latency_in_session_time() {
+        use dv_time::{Clock, SimClock};
+        let clock = SimClock::new();
+        let mut store = BlobStore::with_latency(ReadLatency {
+            seek: Duration::from_secs(30),
+            per_mib: Duration::from_millis(1),
+        });
+        store.set_sleeper(Sleeper::Sim(clock.clone()));
+        store.put("a", vec![0; 1024]).unwrap();
+        store.drop_caches();
+        let t0 = std::time::Instant::now();
+        store.get("a");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(1),
+            "sim sleeper must not stall the thread"
+        );
+        assert!(
+            clock.now().as_nanos() >= Duration::from_secs(30).as_nanos(),
+            "latency cost must land on the session clock"
+        );
+    }
+
+    #[test]
+    fn shared_store_is_usable_from_clones() {
+        let shared = SharedBlobStore::in_memory();
+        let other = shared.clone();
+        shared.with(|s| s.put("a", vec![7; 3]).unwrap());
+        assert_eq!(&*other.lock().get("a").unwrap(), &[7, 7, 7]);
     }
 
     #[test]

@@ -423,7 +423,8 @@ mod tests {
     fn recovery_works_after_compaction() {
         let mut fs = Lsfs::new();
         fs.mkdir("/d").unwrap();
-        fs.write_all("/d/keep", b"survives compaction and recovery").unwrap();
+        fs.write_all("/d/keep", b"survives compaction and recovery")
+            .unwrap();
         // Hard link via handle relink.
         let h = fs.open("/d/keep").unwrap();
         fs.link_handle(h, "/d/alias").unwrap();

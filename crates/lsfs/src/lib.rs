@@ -17,6 +17,8 @@
 //! * [`BlobStore`] — checkpoint-image storage with a droppable cache and
 //!   a disk-latency model (the cached/uncached axis of Figure 7).
 
+#![deny(unsafe_code)]
+
 pub mod device;
 pub mod disk;
 pub mod error;
@@ -32,7 +34,7 @@ pub mod snapshot;
 pub mod union;
 pub mod vfs;
 
-pub use device::{BlobStats, BlobStore, ReadLatency};
+pub use device::{BlobStats, BlobStore, ReadLatency, SharedBlobStore};
 pub use disk::{shared_disk, Disk, SharedDisk};
 pub use error::{FsError, FsResult};
 pub use gc::GcStats;

@@ -521,8 +521,7 @@ impl Lsfs {
             let from = offset.max(block_start);
             let to = end.min(block_start + BLOCK_SIZE as u64);
             let src = &data[(from - offset) as usize..(to - offset) as usize];
-            block[(from - block_start) as usize..(to - block_start) as usize]
-                .copy_from_slice(src);
+            block[(from - block_start) as usize..(to - block_start) as usize].copy_from_slice(src);
             self.dirty.insert((ino, idx), block);
         }
         if end > self.effective_size(ino) {
@@ -1136,7 +1135,10 @@ mod tests {
         );
         fs.create("/a").unwrap();
         assert_eq!(fs.create("/b"), Err(FsError::Io));
-        assert!(!fs.exists("/b"), "write-ahead: state unchanged on torn commit");
+        assert!(
+            !fs.exists("/b"),
+            "write-ahead: state unchanged on torn commit"
+        );
         fs.create("/b").unwrap();
         // The chain skips the torn record and replays cleanly.
         let recovered = Lsfs::recover(fs.disk(), fs.journal_head()).unwrap();

@@ -67,7 +67,10 @@ pub fn starts_with(path: &str, ancestor: &str) -> bool {
     if ancestor == "/" {
         return path.starts_with('/');
     }
-    path == ancestor || path.strip_prefix(ancestor).is_some_and(|r| r.starts_with('/'))
+    path == ancestor
+        || path
+            .strip_prefix(ancestor)
+            .is_some_and(|r| r.starts_with('/'))
 }
 
 #[cfg(test)]

@@ -60,8 +60,7 @@ mod tests {
         // The middle layer (a frozen branch upper) overrides /a and
         // whiteouts... here simply overrides /a and adds /c.
         let middle = snapshot_with(&[("/a", b"middle a"), ("/c", b"middle c")]);
-        let stack: Box<dyn ReadOnlyFs> =
-            Box::new(UnionFs::new(base.clone_ro(), middle));
+        let stack: Box<dyn ReadOnlyFs> = Box::new(UnionFs::new(base.clone_ro(), middle));
         assert_eq!(stack.read_all("/a").unwrap(), b"middle a");
         assert_eq!(stack.read_all("/b").unwrap(), b"base b");
         assert_eq!(stack.read_all("/c").unwrap(), b"middle c");
@@ -98,8 +97,7 @@ mod tests {
         branch.unlink("/gone").unwrap();
         branch.upper_mut().snapshot_point(7).unwrap();
         let frozen_upper = branch.upper().snapshot(7).unwrap();
-        let stack: Box<dyn ReadOnlyFs> =
-            Box::new(UnionFs::new(base.clone_ro(), frozen_upper));
+        let stack: Box<dyn ReadOnlyFs> = Box::new(UnionFs::new(base.clone_ro(), frozen_upper));
         assert!(!stack.exists("/gone"), "whiteout applies through the stack");
         assert_eq!(stack.read_all("/kept").unwrap(), b"ok");
     }

@@ -385,12 +385,8 @@ impl<L: Filesystem, U: Filesystem> Filesystem for UnionFs<L, U> {
                     self.upper.unlink(&opq)?;
                 }
                 // Remove any child whiteout markers left in the upper dir.
-                let markers: Vec<String> = self
-                    .upper
-                    .readdir(p)?
-                    .into_iter()
-                    .map(|e| e.name)
-                    .collect();
+                let markers: Vec<String> =
+                    self.upper.readdir(p)?.into_iter().map(|e| e.name).collect();
                 for name in markers {
                     self.upper.unlink(&path::join(p, &name))?;
                 }
@@ -554,7 +550,8 @@ impl<L: Filesystem, U: Filesystem> Filesystem for UnionFs<L, U> {
                         buf.resize(end, 0);
                     }
                     buf[offset as usize..end].copy_from_slice(data);
-                    self.handles.insert(h.0, UnionHandle::Detached { data: buf });
+                    self.handles
+                        .insert(h.0, UnionHandle::Detached { data: buf });
                     Ok(())
                 }
             }

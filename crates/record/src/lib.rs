@@ -10,6 +10,8 @@
 //! forwards and rewinds over it; [`Substream`] exposes PVR controls
 //! restricted to a query-result time range.
 
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod log;
 pub mod persist;

@@ -71,9 +71,8 @@ impl CommandLog {
         if slice.len() < 8 {
             return Err(CodecError::UnexpectedEof);
         }
-        let time = Timestamp::from_nanos(u64::from_le_bytes(
-            slice[..8].try_into().expect("8 bytes"),
-        ));
+        let time =
+            Timestamp::from_nanos(u64::from_le_bytes(slice[..8].try_into().expect("8 bytes")));
         slice = &slice[8..];
         let before = slice.len();
         let cmd = decode_command(&mut slice)?;

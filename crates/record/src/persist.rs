@@ -36,8 +36,7 @@ pub fn encode_record(store: &RecordStore) -> Vec<u8> {
     let log = store.log.as_bytes();
     let shots = store.shots.as_bytes();
     let timeline = store.timeline.encode();
-    let mut out =
-        Vec::with_capacity(MAGIC.len() + 50 + log.len() + shots.len() + timeline.len());
+    let mut out = Vec::with_capacity(MAGIC.len() + 50 + log.len() + shots.len() + timeline.len());
     out.extend_from_slice(MAGIC);
     out.put_u32_le(store.width);
     out.put_u32_le(store.height);
@@ -101,8 +100,7 @@ pub fn decode_record(mut buf: &[u8]) -> Result<RecordStore, RecordError> {
         .map_err(|_| RecordError("corrupt command log"))?;
     let shots = ScreenshotStore::from_bytes(section(&mut buf)?)
         .ok_or(RecordError("corrupt screenshot store"))?;
-    let timeline =
-        Timeline::decode(&section(&mut buf)?).ok_or(RecordError("corrupt timeline"))?;
+    let timeline = Timeline::decode(&section(&mut buf)?).ok_or(RecordError("corrupt timeline"))?;
     if !buf.is_empty() {
         return Err(RecordError("trailing bytes"));
     }

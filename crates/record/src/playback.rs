@@ -7,9 +7,7 @@
 
 use std::sync::Arc;
 
-use dv_display::{
-    CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Screenshot,
-};
+use dv_display::{CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Screenshot};
 use dv_time::{Duration, Timestamp};
 
 use crate::cache::LruCache;
@@ -106,11 +104,7 @@ impl PlaybackEngine {
             let shot = store.shots.load(offset).ok_or(PlaybackError::Corrupt)?;
             self.shot_cache.put(offset, shot);
         }
-        Ok(self
-            .shot_cache
-            .get(&offset)
-            .expect("just inserted")
-            .clone())
+        Ok(self.shot_cache.get(&offset).expect("just inserted").clone())
     }
 
     /// Skips directly to time `t` (§4.3): binary-search the timeline for

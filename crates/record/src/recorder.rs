@@ -303,7 +303,11 @@ impl CommandSink for DisplayRecorder {
             self.force_keyframe(ts);
         }
         let scaled = scale_command(cmd, self.config.scale);
-        if scaled.rect().intersect(&Rect::screen(self.fb.width(), self.fb.height())).is_empty() {
+        if scaled
+            .rect()
+            .intersect(&Rect::screen(self.fb.width(), self.fb.height()))
+            .is_empty()
+        {
             return;
         }
         self.queue.push(ts, scaled);

@@ -187,7 +187,9 @@ mod tests {
 
     #[test]
     fn noisy_screens_still_round_trip() {
-        let pixels: Vec<u32> = (0..32 * 32).map(|i| (i as u32).wrapping_mul(2_654_435_761)).collect();
+        let pixels: Vec<u32> = (0..32 * 32)
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761))
+            .collect();
         let shot = Screenshot {
             width: 32,
             height: 32,

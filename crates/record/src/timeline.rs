@@ -155,7 +155,8 @@ mod tests {
             &entry(100)
         );
         assert_eq!(
-            t.entry_at_or_before(Timestamp::from_millis(10_000)).unwrap(),
+            t.entry_at_or_before(Timestamp::from_millis(10_000))
+                .unwrap(),
             &entry(600)
         );
     }

@@ -182,7 +182,8 @@ mod tests {
         let mut ran = 0u64;
         {
             let mut g = c.benchmark_group("shim");
-            g.sample_size(5).bench_function("count", |b| b.iter(|| ran += 1));
+            g.sample_size(5)
+                .bench_function("count", |b| b.iter(|| ran += 1));
             g.finish();
         }
         // warm-up (1) + min(5, 3) samples

@@ -19,12 +19,16 @@
 //! * [`PhaseTimer`] — wall-clock stopwatch used to attribute checkpoint
 //!   latency to phases (Figure 3).
 
+#![deny(unsafe_code)]
+
 mod clock;
 mod rate;
+mod sleep;
 mod stamp;
 mod stopwatch;
 
 pub use clock::{Clock, SharedClock, SimClock, WallClock};
 pub use rate::RateLimiter;
+pub use sleep::Sleeper;
 pub use stamp::{Duration, Timestamp};
 pub use stopwatch::{PhaseBreakdown, PhaseTimer};

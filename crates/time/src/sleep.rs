@@ -1,0 +1,66 @@
+//! Sleeping that respects the session clock.
+//!
+//! Storage models (the [`crate::SimClock`]-driven tests and the
+//! `BlobStore` read-latency model) need to "pay" a latency cost. Under a
+//! wall clock that is a real `std::thread::sleep`; under a simulated
+//! clock the cost should advance session time instantly instead of
+//! stalling the test run. [`Sleeper`] is that choice, made once where
+//! the component is constructed instead of at every sleep site.
+
+use crate::{Duration, SimClock};
+
+/// How a component pays a modelled latency cost.
+#[derive(Clone, Debug, Default)]
+pub enum Sleeper {
+    /// Really sleep on the OS clock (interactive runs, wall-clock
+    /// benchmarks such as the Figure 7 revive-latency measurement).
+    #[default]
+    Wall,
+    /// Advance a simulation clock by the cost and return immediately
+    /// (deterministic tests; no wall-clock stall).
+    Sim(SimClock),
+}
+
+impl Sleeper {
+    /// Pays `cost`: blocks the calling thread (wall) or advances the
+    /// simulated session clock (sim).
+    pub fn sleep(&self, cost: Duration) {
+        match self {
+            Sleeper::Wall => std::thread::sleep(cost.to_std()),
+            Sleeper::Sim(clock) => {
+                clock.advance(cost);
+            }
+        }
+    }
+
+    /// Whether this sleeper stalls the calling thread for real.
+    pub fn is_wall(&self) -> bool {
+        matches!(self, Sleeper::Wall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, Timestamp};
+
+    #[test]
+    fn sim_sleeper_advances_clock_without_stalling() {
+        let clock = SimClock::new();
+        let sleeper = Sleeper::Sim(clock.clone());
+        let started = std::time::Instant::now();
+        sleeper.sleep(Duration::from_secs(3600));
+        assert!(started.elapsed() < std::time::Duration::from_secs(1));
+        assert_eq!(clock.now(), Timestamp::from_secs(3600));
+        assert!(!sleeper.is_wall());
+    }
+
+    #[test]
+    fn wall_sleeper_really_sleeps() {
+        let sleeper = Sleeper::Wall;
+        let started = std::time::Instant::now();
+        sleeper.sleep(Duration::from_millis(5));
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        assert!(sleeper.is_wall());
+    }
+}

@@ -109,7 +109,9 @@ impl PhaseBreakdown {
     /// Returns the sum over the named subset of phases; used to compute
     /// "downtime" (quiesce + capture + fs snapshot) from a full breakdown.
     pub fn subset_total(&self, names: &[&str]) -> Duration {
-        names.iter().fold(Duration::ZERO, |acc, n| acc + self.get(n))
+        names
+            .iter()
+            .fold(Duration::ZERO, |acc, n| acc + self.get(n))
     }
 
     /// Merges another breakdown into this one, phase by phase; used to

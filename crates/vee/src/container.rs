@@ -234,7 +234,10 @@ impl Vee {
     /// registers and FPU state, fresh address space; descriptors stay
     /// open (no close-on-exec modelling) and credentials persist.
     pub fn exec(&mut self, vpid: Vpid, name: &str) -> VeeResult<()> {
-        let process = self.processes.get_mut(&vpid).ok_or(VeeError::NoSuchProcess)?;
+        let process = self
+            .processes
+            .get_mut(&vpid)
+            .ok_or(VeeError::NoSuchProcess)?;
         process.name = name.to_string();
         process.regs = crate::process::Registers::default();
         process.fpu = crate::process::FpuState::default();
@@ -249,7 +252,10 @@ impl Vee {
             Ok(_) => return Err(VeeError::Fs(FsError::NotADirectory)),
             Err(e) => return Err(VeeError::Fs(e)),
         }
-        let process = self.processes.get_mut(&vpid).ok_or(VeeError::NoSuchProcess)?;
+        let process = self
+            .processes
+            .get_mut(&vpid)
+            .ok_or(VeeError::NoSuchProcess)?;
         process.cwd = path.to_string();
         Ok(())
     }
@@ -259,7 +265,10 @@ impl Vee {
     /// Sends a signal. Processes in uninterruptible sleep queue it and
     /// handle it on wake (§5.1.2's pre-quiesce concern).
     pub fn send_signal(&mut self, vpid: Vpid, sig: Signal) -> VeeResult<()> {
-        let process = self.processes.get_mut(&vpid).ok_or(VeeError::NoSuchProcess)?;
+        let process = self
+            .processes
+            .get_mut(&vpid)
+            .ok_or(VeeError::NoSuchProcess)?;
         if !process.signal_ready() || process.signals.is_blocked(sig) {
             process.signals.pending.push_back(sig);
             return Ok(());
@@ -292,13 +301,11 @@ impl Vee {
     /// Blocks or unblocks a signal for a process. Unblocking delivers
     /// any pending instances of the signal immediately, as `sigprocmask`
     /// semantics require.
-    pub fn set_signal_blocked(
-        &mut self,
-        vpid: Vpid,
-        sig: Signal,
-        blocked: bool,
-    ) -> VeeResult<()> {
-        let process = self.processes.get_mut(&vpid).ok_or(VeeError::NoSuchProcess)?;
+    pub fn set_signal_blocked(&mut self, vpid: Vpid, sig: Signal, blocked: bool) -> VeeResult<()> {
+        let process = self
+            .processes
+            .get_mut(&vpid)
+            .ok_or(VeeError::NoSuchProcess)?;
         process.signals.set_blocked(sig, blocked);
         if !blocked && process.signal_ready() {
             // Drain first: delivery of a queued-default signal re-queues
@@ -318,7 +325,10 @@ impl Vee {
     /// Puts a process into uninterruptible (disk) sleep for `d`.
     pub fn enter_disk_sleep(&mut self, vpid: Vpid, d: Duration) -> VeeResult<()> {
         let until = self.clock.now() + d;
-        let process = self.processes.get_mut(&vpid).ok_or(VeeError::NoSuchProcess)?;
+        let process = self
+            .processes
+            .get_mut(&vpid)
+            .ok_or(VeeError::NoSuchProcess)?;
         process.state = RunState::DiskSleep { until };
         Ok(())
     }
@@ -410,15 +420,12 @@ impl Vee {
     pub fn open(&mut self, vpid: Vpid, path: &str) -> VeeResult<u32> {
         self.process(vpid)?;
         let handle = self.fs.open(path)?;
-        let fd = self
-            .process_mut(vpid)?
-            .fds
-            .insert(FdObject::File {
-                path: path.to_string(),
-                handle,
-                offset: 0,
-                unlinked: false,
-            });
+        let fd = self.process_mut(vpid)?.fds.insert(FdObject::File {
+            path: path.to_string(),
+            handle,
+            offset: 0,
+            unlinked: false,
+        });
         Ok(fd)
     }
 
@@ -509,10 +516,7 @@ impl Vee {
     pub fn socket(&mut self, vpid: Vpid, proto: Proto) -> VeeResult<u32> {
         self.process(vpid)?;
         let id = self.sockets.create(proto);
-        Ok(self
-            .process_mut(vpid)?
-            .fds
-            .insert(FdObject::Socket { id }))
+        Ok(self.process_mut(vpid)?.fds.insert(FdObject::Socket { id }))
     }
 
     fn socket_id(&self, vpid: Vpid, fd: u32) -> VeeResult<u64> {
@@ -791,10 +795,7 @@ mod tests {
             vee.chdir(p, "/home/user/f"),
             Err(VeeError::Fs(FsError::NotADirectory))
         );
-        assert_eq!(
-            vee.chdir(p, "/nope"),
-            Err(VeeError::Fs(FsError::NotFound))
-        );
+        assert_eq!(vee.chdir(p, "/nope"), Err(VeeError::Fs(FsError::NotFound)));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! semantics, and private namespaces that keep virtual resource names
 //! stable across revives.
 
+#![deny(unsafe_code)]
+
 pub mod container;
 pub mod files;
 pub mod memory;

@@ -541,7 +541,10 @@ mod tests {
         let addr = mem.mmap(4 * PAGE_SIZE as u64, Prot::ReadWrite);
         mem.write(addr, &[7; 4 * PAGE_SIZE]).unwrap();
         assert_eq!(mem.mremap(addr, 2 * PAGE_SIZE as u64), Some(addr));
-        assert_eq!(mem.read(addr + 3 * PAGE_SIZE as u64, 1), Err(MemFault::NotMapped));
+        assert_eq!(
+            mem.read(addr + 3 * PAGE_SIZE as u64, 1),
+            Err(MemFault::NotMapped)
+        );
         assert_eq!(mem.mremap(addr, 4 * PAGE_SIZE as u64), Some(addr));
         assert_eq!(mem.read(addr, 1).unwrap(), vec![7], "kept prefix");
         assert_eq!(

@@ -10,14 +10,72 @@ use dv_display::{rgb, Rect};
 
 /// A small vocabulary so captured text is realistic and searchable.
 pub const WORDS: &[&str] = &[
-    "kernel", "driver", "module", "object", "symbol", "build", "linker", "header", "source",
-    "config", "patch", "branch", "commit", "merge", "review", "paper", "draft", "figure",
-    "table", "section", "latency", "throughput", "storage", "display", "record", "index",
-    "search", "session", "checkpoint", "snapshot", "restore", "revive", "desktop", "window",
-    "browser", "editor", "terminal", "archive", "compress", "extract", "buffer", "memory",
-    "process", "thread", "signal", "socket", "network", "packet", "server", "client",
-    "virtual", "machine", "schedule", "meeting", "deadline", "notes", "report", "inbox",
-    "message", "reply", "forward", "attach", "download", "upload", "install", "update",
+    "kernel",
+    "driver",
+    "module",
+    "object",
+    "symbol",
+    "build",
+    "linker",
+    "header",
+    "source",
+    "config",
+    "patch",
+    "branch",
+    "commit",
+    "merge",
+    "review",
+    "paper",
+    "draft",
+    "figure",
+    "table",
+    "section",
+    "latency",
+    "throughput",
+    "storage",
+    "display",
+    "record",
+    "index",
+    "search",
+    "session",
+    "checkpoint",
+    "snapshot",
+    "restore",
+    "revive",
+    "desktop",
+    "window",
+    "browser",
+    "editor",
+    "terminal",
+    "archive",
+    "compress",
+    "extract",
+    "buffer",
+    "memory",
+    "process",
+    "thread",
+    "signal",
+    "socket",
+    "network",
+    "packet",
+    "server",
+    "client",
+    "virtual",
+    "machine",
+    "schedule",
+    "meeting",
+    "deadline",
+    "notes",
+    "report",
+    "inbox",
+    "message",
+    "reply",
+    "forward",
+    "attach",
+    "download",
+    "upload",
+    "install",
+    "update",
 ];
 
 /// Returns `n` pseudo-random words joined by spaces.
@@ -118,11 +176,8 @@ impl TermWindow {
         let r = self.rect;
         let jump = (lines.len() as u32 * LINE_HEIGHT).min(r.h);
         if r.h > jump {
-            dv.driver_mut().copy_area(
-                r.x,
-                r.y + jump,
-                Rect::new(r.x, r.y, r.w, r.h - jump),
-            );
+            dv.driver_mut()
+                .copy_area(r.x, r.y + jump, Rect::new(r.x, r.y, r.w, r.h - jump));
         }
         dv.driver_mut()
             .fill_rect(Rect::new(r.x, r.y + r.h - jump, r.w, jump), self.bg);
@@ -131,7 +186,8 @@ impl TermWindow {
         for (i, line) in lines[lines.len() - shown..].iter().enumerate() {
             let y = r.y + r.h - jump + i as u32 * LINE_HEIGHT;
             let clipped: String = line.chars().take(max_chars).collect();
-            dv.driver_mut().draw_text(r.x, y, &clipped, self.fg, self.bg);
+            dv.driver_mut()
+                .draw_text(r.x, y, &clipped, self.fg, self.bg);
             dv.desktop_mut().set_text(self.app, self.output, line);
         }
     }

@@ -104,7 +104,8 @@ impl Scenario for DesktopScenario {
             let window = desktop.add_node(app, root, Role::Window, &format!("{name} - main"));
             let body = desktop.add_node(app, window, Role::Document, "");
             let rect = Rect::new((i as u32 % 2) * 640, (i as u32 / 2) * 512, 640, 512);
-            dv.driver_mut().fill_rect(rect, rgb(30 + 20 * i as u8, 40, 50));
+            dv.driver_mut()
+                .fill_rect(rect, rgb(30 + 20 * i as u8, 40, 50));
             self.apps.push(DesktopApp {
                 app,
                 window,
@@ -138,19 +139,24 @@ impl Scenario for DesktopScenario {
                 let content: Vec<u32> = (0..320 * 256)
                     .map(|i| (i as u32).wrapping_mul(seed | 1))
                     .collect();
-                dv.driver_mut().put_image(
-                    Rect::new(rect.x + 16, rect.y + 32, 320, 256),
-                    content,
-                );
+                dv.driver_mut()
+                    .put_image(Rect::new(rect.x + 16, rect.y + 32, 320, 256), content);
                 let title = format!("{} - {}", words(&mut self.rng, 2), self.second);
                 dv.desktop_mut().set_text(app, window, &title);
                 let text = words(&mut self.rng, 30);
                 dv.desktop_mut().set_text(app, body, &text);
-                dv.driver_mut()
-                    .draw_text(rect.x + 8, rect.y + 8, &text[..40.min(text.len())], 0xFFFFFF, fill);
+                dv.driver_mut().draw_text(
+                    rect.x + 8,
+                    rect.y + 8,
+                    &text[..40.min(text.len())],
+                    0xFFFFFF,
+                    fill,
+                );
                 // The app does some real work.
                 let work = vec![(self.second % 251) as u8; 256 << 10];
-                dv.vee_mut().mem_write(vpid, heap + heap_pos, &work).expect("work");
+                dv.vee_mut()
+                    .mem_write(vpid, heap + heap_pos, &work)
+                    .expect("work");
                 dv.input(InputEvent::MouseButton {
                     x: rect.x + 5,
                     y: rect.y + 5,
@@ -164,11 +170,8 @@ impl Scenario for DesktopScenario {
                 let r = a.rect;
                 // Scroll ~3% of the 1280x1024 screen: below the policy's
                 // 5% threshold, so reading defers checkpoints.
-                dv.driver_mut().copy_area(
-                    r.x,
-                    r.y + 16,
-                    Rect::new(r.x, r.y, r.w, 56),
-                );
+                dv.driver_mut()
+                    .copy_area(r.x, r.y + 16, Rect::new(r.x, r.y, r.w, 56));
                 if self.second.is_multiple_of(7) {
                     let text = words(&mut self.rng, 12);
                     dv.desktop_mut().set_text(a.app, a.body, &text);

@@ -86,7 +86,10 @@ impl Scenario for GzipScenario {
         dv.vee_mut().fs.sync().expect("sync");
         let init = dv.init_vpid();
         let gzip = dv.vee_mut().spawn(Some(init), "gzip").expect("spawn");
-        let in_fd = dv.vee_mut().open(gzip, "/var/log/access.log").expect("open");
+        let in_fd = dv
+            .vee_mut()
+            .open(gzip, "/var/log/access.log")
+            .expect("open");
         dv.vee_mut()
             .fs
             .create("/var/log/access.log.gz")

@@ -8,6 +8,8 @@
 //! runs the checkpoint machinery at the §6 cadence (once per second for
 //! application benchmarks, the policy for the desktop trace).
 
+#![deny(unsafe_code)]
+
 pub mod cat;
 pub mod common;
 pub mod desktop;

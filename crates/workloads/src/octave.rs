@@ -85,13 +85,12 @@ impl Scenario for OctaveScenario {
             })
             .collect();
         let target = self.matrices[(self.iteration % 2) as usize];
-        dv.vee_mut().mem_write(octave, target, &buf).expect("matrix");
+        dv.vee_mut()
+            .mem_write(octave, target, &buf)
+            .expect("matrix");
         if self.iteration.is_multiple_of(10) {
             let term = self.term.as_ref().expect("setup ran");
-            term.println(
-                dv,
-                &format!("ans = {:.6}", (acc % 1_000_000) as f64 / 1e6),
-            );
+            term.println(dv, &format!("ans = {:.6}", (acc % 1_000_000) as f64 / 1e6));
         }
         self.iterations_remaining -= 1;
         self.iterations_remaining > 0

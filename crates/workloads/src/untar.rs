@@ -85,7 +85,10 @@ impl Scenario for UntarScenario {
             let contents = loggy_bytes(&mut self.rng, len);
             dv.vee_mut().fs.write_all(&path, &contents).expect("write");
             let term = self.term.as_ref().expect("setup ran");
-            term.println(dv, &format!("linux-2.6.16.3/{dir}/sub{sub}/file_{}.c", self.file_no));
+            term.println(
+                dv,
+                &format!("linux-2.6.16.3/{dir}/sub{sub}/file_{}.c", self.file_no),
+            );
             self.files_remaining -= 1;
             if self.files_remaining == 0 {
                 return false;

@@ -73,8 +73,12 @@ impl Scenario for VideoScenario {
             .expect("mmap");
         let app = dv.desktop_mut().register_app("mplayer");
         let root = dv.desktop_mut().root(app).expect("registered");
-        dv.desktop_mut()
-            .add_node(app, root, dv_access::Role::Window, "Life of David Gale - mplayer");
+        dv.desktop_mut().add_node(
+            app,
+            root,
+            dv_access::Role::Window,
+            "Life of David Gale - mplayer",
+        );
         dv.desktop_mut().focus(app);
         dv.set_fullscreen(true);
         self.player = Some(player);

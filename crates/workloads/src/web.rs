@@ -15,7 +15,7 @@ use dejaview::DejaView;
 use dv_access::{AppId, NodeId, Role};
 use dv_display::{rgb, Rect};
 use dv_time::Duration;
-use dv_vee::{Proto, Prot, Vpid};
+use dv_vee::{Prot, Proto, Vpid};
 
 use crate::common::words;
 use crate::scenario::Scenario;
@@ -111,9 +111,13 @@ impl Scenario for WebScenario {
         // Render: almost the entire screen repaints with raw content,
         // progressively in horizontal bands as the page loads (as a real
         // browser paints), plus a toolbar update.
-        let (w, h) = (dv.driver_mut().width(), dv.driver_mut().height().saturating_sub(30));
+        let (w, h) = (
+            dv.driver_mut().width(),
+            dv.driver_mut().height().saturating_sub(30),
+        );
         let seed = self.page_no;
-        dv.driver_mut().fill_rect(Rect::new(0, 0, w, 30), rgb(60, 60, 70));
+        dv.driver_mut()
+            .fill_rect(Rect::new(0, 0, w, 30), rgb(60, 60, 70));
         dv.driver_mut().draw_text(
             8,
             11,
@@ -141,7 +145,8 @@ impl Scenario for WebScenario {
                     )
                 })
                 .collect();
-            dv.driver_mut().put_image(Rect::new(0, 30 + y0, w, bh), pixels);
+            dv.driver_mut()
+                .put_image(Rect::new(0, 30 + y0, w, bh), pixels);
         }
 
         // Accessibility: Firefox builds the page's accessible subtree on
@@ -150,11 +155,19 @@ impl Scenario for WebScenario {
         for node in self.content_nodes.drain(..) {
             dv.desktop_mut().remove_subtree(app, node);
         }
-        let title = format!("page {} - {} - firefox", self.page_no, words(&mut self.rng, 2));
+        let title = format!(
+            "page {} - {} - firefox",
+            self.page_no,
+            words(&mut self.rng, 2)
+        );
         dv.desktop_mut().set_text(app, window, &title);
         let paragraphs = self.rng.gen_range(25..45);
         for i in 0..paragraphs {
-            let role = if i % 5 == 0 { Role::Link } else { Role::Paragraph };
+            let role = if i % 5 == 0 {
+                Role::Link
+            } else {
+                Role::Paragraph
+            };
             let n_words = self.rng.gen_range(6..14);
             let text = words(&mut self.rng, n_words);
             let node = dv.desktop_mut().add_node(app, window, role, &text);
@@ -209,10 +222,18 @@ mod tests {
         // Raw page paints dominated the display stream.
         assert!(dv.driver_mut().stats().raw >= 5);
         // Text was captured and is searchable with app context.
-        let results = dv.search("app:firefox kernel OR app:firefox paper OR app:firefox virtual", RankOrder::Chronological);
+        let results = dv.search(
+            "app:firefox kernel OR app:firefox paper OR app:firefox virtual",
+            RankOrder::Chronological,
+        );
         assert!(results.is_ok());
         // Browser memory grew.
-        let mem = dv.vee().process(dv_vee::Vpid(2)).unwrap().mem.mapped_bytes();
+        let mem = dv
+            .vee()
+            .process(dv_vee::Vpid(2))
+            .unwrap()
+            .mem
+            .mapped_bytes();
         assert!(mem > 16 << 20);
     }
 }

@@ -35,7 +35,8 @@ fn main() {
         .add_node(app, root, Role::Window, "thesis.txt - editor");
     dv.desktop_mut()
         .add_node(app, win, Role::Paragraph, "chapter one introduction draft");
-    dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), rgb(20, 24, 28));
+    dv.driver_mut()
+        .fill_rect(Rect::new(0, 0, 1024, 768), rgb(20, 24, 28));
     dv.driver_mut()
         .draw_text(20, 20, "chapter one: introduction", 0xFFFFFF, 0);
     clock.advance(Duration::from_secs(1));
@@ -75,7 +76,8 @@ fn main() {
     );
 
     // And recording continues into the same history.
-    dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), rgb(60, 24, 28));
+    dv.driver_mut()
+        .fill_rect(Rect::new(0, 0, 1024, 768), rgb(60, 24, 28));
     dv.clock().advance(Duration::from_secs(1));
     let tick = dv.policy_tick().unwrap();
     println!(

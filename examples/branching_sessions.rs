@@ -82,7 +82,10 @@ fn main() {
 
     // The live session's file is untouched by any branch.
     let live = dv.vee().fs.read_all("/home/user/report.txt").unwrap();
-    println!("live session: report.txt = {:?}", String::from_utf8_lossy(&live));
+    println!(
+        "live session: report.txt = {:?}",
+        String::from_utf8_lossy(&live)
+    );
     assert_eq!(live, b"Common introduction.\n");
 
     // A branch can launch new work: new apps get network by default.

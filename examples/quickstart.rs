@@ -31,7 +31,8 @@ fn main() {
         .add_node(app, win, Role::Paragraph, "shopping: milk eggs bread");
     dv.desktop_mut().focus(app);
 
-    dv.driver_mut().fill_rect(Rect::new(0, 0, 1024, 768), rgb(24, 24, 32));
+    dv.driver_mut()
+        .fill_rect(Rect::new(0, 0, 1024, 768), rgb(24, 24, 32));
     dv.driver_mut()
         .draw_text(20, 20, "shopping: milk eggs bread", 0xFFFFFF, 0);
     dv.vee_mut()
@@ -96,7 +97,10 @@ fn main() {
     // The live session is unaffected.
     let live = dv.vee().fs.read_all("/home/user/shopping.txt").unwrap();
     assert_eq!(live, b"milk eggs bread coffee");
-    println!("live session still reads: {:?}", String::from_utf8_lossy(&live));
+    println!(
+        "live session still reads: {:?}",
+        String::from_utf8_lossy(&live)
+    );
 
     let storage = dv.storage();
     println!(

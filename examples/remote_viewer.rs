@@ -30,7 +30,9 @@ fn main() {
     // A session produces output.
     let app = dv.desktop_mut().register_app("dashboard");
     let root = dv.desktop_mut().root(app).unwrap();
-    let win = dv.desktop_mut().add_node(app, root, Role::Window, "metrics - dashboard");
+    let win = dv
+        .desktop_mut()
+        .add_node(app, root, Role::Window, "metrics - dashboard");
     for i in 0..8u32 {
         dv.driver_mut().fill_rect(
             Rect::new(i * 128, 0, 128, 768),

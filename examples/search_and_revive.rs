@@ -33,7 +33,8 @@ fn main() {
         "sosp conference program and registration deadline",
     );
     dv.desktop_mut().focus(firefox);
-    dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), rgb(40, 40, 80));
+    dv.driver_mut()
+        .fill_rect(Rect::new(0, 0, 512, 768), rgb(40, 40, 80));
     clock.advance(Duration::from_secs(2));
     dv.policy_tick().unwrap();
 
@@ -51,13 +52,15 @@ fn main() {
         "dejaview a personal virtual computer recorder checkpoint revive",
     );
     dv.desktop_mut().focus(acro);
-    dv.driver_mut().fill_rect(Rect::new(512, 0, 512, 768), rgb(90, 90, 90));
+    dv.driver_mut()
+        .fill_rect(Rect::new(512, 0, 512, 768), rgb(90, 90, 90));
     clock.advance(Duration::from_secs(3));
     dv.policy_tick().unwrap();
 
     // At t=5 the web page is closed; the paper stays open.
     dv.desktop_mut().remove_subtree(firefox, fbody);
-    dv.driver_mut().fill_rect(Rect::new(0, 0, 512, 768), rgb(10, 10, 10));
+    dv.driver_mut()
+        .fill_rect(Rect::new(0, 0, 512, 768), rgb(10, 10, 10));
     clock.advance(Duration::from_secs(3));
     dv.policy_tick().unwrap();
 

@@ -38,7 +38,10 @@ fn web_session_full_lifecycle() {
     // ~3000 word draws from a 64-word vocabulary (fixed seed), common
     // words are certainly present.
     let results = dv
-        .search("app:firefox kernel OR app:firefox driver OR app:firefox module", RankOrder::Chronological)
+        .search(
+            "app:firefox kernel OR app:firefox driver OR app:firefox module",
+            RankOrder::Chronological,
+        )
         .unwrap();
     assert!(!results.is_empty());
 
@@ -117,10 +120,7 @@ fn make_process_forest_revives_mid_build() {
     // Revive at an early checkpoint: make exists, most objects don't.
     let sid = dv.revive_counter(1).unwrap();
     let session = dv.session(sid).unwrap();
-    assert!(session
-        .vee
-        .processes()
-        .any(|p| p.name == "make"));
+    assert!(session.vee.processes().any(|p| p.name == "make"));
     assert!(session.vee.fs.exists("/usr/src/build/unit_1.o"));
     assert!(!session.vee.fs.exists("/usr/src/build/unit_30.o"));
     assert!(dv.vee().fs.exists("/usr/src/build/unit_30.o"));

@@ -114,9 +114,8 @@ fn every_site_and_fault_degrades_gracefully() {
                 IoFault::Enospc | IoFault::TornWrite | IoFault::ShortRead
             );
             if damaging && site != sites::LSFS_BLOB_GET {
-                let visible = dv.storage().degraded_events
-                    + dv.engine().stats().write_failures
-                    + fs_errors;
+                let visible =
+                    dv.storage().degraded_events + dv.engine().stats().write_failures + fs_errors;
                 assert!(visible > 0, "{label}: {injected} faults left no trace");
             }
 

@@ -11,8 +11,11 @@ mod common;
 
 use proptest::prelude::*;
 
-use dv_fault::crash;
-use dv_lsfs::{FileType, Filesystem, Lsfs};
+use dv_checkpoint::{revive, Checkpointer, EngineConfig, NetworkPolicy};
+use dv_fault::{crash, sites, FaultPlan, IoFault};
+use dv_lsfs::{FileType, Filesystem, Lsfs, SharedBlobStore};
+use dv_time::SimClock;
+use dv_vee::{HostPidAllocator, Prot, Vee, PAGE_SIZE};
 
 /// A committed transaction: every op here reaches the journal before it
 /// returns, so the live tree always equals the recoverable state.
@@ -44,7 +47,11 @@ fn arb_txn() -> impl Strategy<Value = Txn> {
     prop_oneof![
         arb_path().prop_map(Txn::Mkdir),
         arb_path().prop_map(Txn::Create),
-        (arb_path(), 0..4_000u64, prop::collection::vec(any::<u8>(), 1..400))
+        (
+            arb_path(),
+            0..4_000u64,
+            prop::collection::vec(any::<u8>(), 1..400)
+        )
             .prop_map(|(p, off, data)| Txn::WriteSync(p, off, data)),
         Just(Txn::Snapshot),
         arb_path().prop_map(Txn::Unlink),
@@ -172,5 +179,101 @@ proptest! {
                 "snapshot {counter} no longer resolves after cut at {cut}"
             );
         }
+    }
+
+    /// Deferred write-back crash consistency: if the store dies between
+    /// a capture and its commit (every write-back from check `crash_at`
+    /// onward fails), the retained history is exactly the chain up to
+    /// the last committed counter — and a fresh engine restarted from
+    /// the exported metadata revives that counter to the state the
+    /// session had at capture time.
+    #[test]
+    fn deferred_crash_recovers_the_last_committed_chain(
+        rounds in 3..7u64,
+        crash_sel in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let crash_at = 2 + (crash_sel % (rounds - 1)); // in 2..=rounds
+        let plane = FaultPlan::new(common::seed_for("deferred-crash"))
+            .from_nth(sites::CHECKPOINT_WRITEBACK, crash_at, IoFault::Enospc)
+            .build();
+
+        let clock = SimClock::new();
+        let mut vee = Vee::new(
+            1,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+        );
+        let p = vee.spawn(None, "app").unwrap();
+        const PAGES: u64 = 8;
+        let addr = vee.mmap(p, PAGES * PAGE_SIZE as u64, Prot::ReadWrite).unwrap();
+        let mut engine = Checkpointer::with_sim_clock(
+            EngineConfig {
+                full_every: 3,
+                compress: true,
+                commit_workers: 2,
+                commit_queue_depth: 16,
+                commit_retry_limit: 0,
+                ..EngineConfig::default()
+            },
+            clock.clone(),
+        );
+        engine.set_fault_plane(plane);
+        let store = SharedBlobStore::in_memory();
+
+        // Deterministic writes per round, captured-state snapshots taken
+        // at checkpoint time (what each capture must preserve).
+        let mut x = data_seed | 1;
+        let mut captured: Vec<Vec<u8>> = Vec::new();
+        for _round in 1..=rounds {
+            for _ in 0..6 {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                let page = x % PAGES;
+                let byte = (x >> 8) as u8;
+                vee.mem_write(p, addr + page * PAGE_SIZE as u64 + (x % 100), &[byte; 64]).unwrap();
+            }
+            engine.checkpoint(&mut vee, &store).expect("capture never fails");
+            captured.push(vee.mem_read(p, addr, (PAGES * PAGE_SIZE as u64) as usize).unwrap());
+            clock.advance(dv_time::Duration::from_secs(1));
+        }
+
+        // The crash: at least one deferred commit failed.
+        prop_assert!(engine.flush().is_err());
+        let stats = engine.stats();
+        prop_assert_eq!(stats.write_failures, rounds - crash_at + 1);
+
+        // Retained history is exactly the committed prefix; failed and
+        // cascaded counters leave no metadata and no blob behind.
+        let retained: Vec<u64> = engine.images().map(|m| m.counter).collect();
+        let expected: Vec<u64> = (1..crash_at).collect();
+        prop_assert_eq!(&retained, &expected);
+        for counter in crash_at..=rounds {
+            prop_assert!(
+                !store.lock().contains(&format!("ckpt-{counter:08}")),
+                "failed commit {counter} left a blob"
+            );
+        }
+
+        // Restart: a fresh engine over the exported metadata revives
+        // the last committed counter to its capture-time state.
+        let mut restarted = Checkpointer::with_sim_clock(EngineConfig::default(), clock.clone());
+        prop_assert!(restarted.import_meta(&engine.export_meta()).is_some());
+        let last = crash_at - 1;
+        let chain = restarted.chain_for(last).expect("committed chain resolves");
+        let (revived, _) = revive(
+            &mut store.lock(),
+            "ckpt",
+            &chain,
+            true,
+            2,
+            clock.shared(),
+            Box::new(Lsfs::new()),
+            HostPidAllocator::new(),
+            &NetworkPolicy::default(),
+        )
+        .expect("revive from committed chain");
+        let restored = revived.mem_read(p, addr, (PAGES * PAGE_SIZE as u64) as usize).unwrap();
+        prop_assert_eq!(&restored, &captured[last as usize - 1]);
     }
 }

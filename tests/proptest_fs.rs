@@ -39,7 +39,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         arb_path().prop_map(Op::Create),
         arb_path().prop_map(Op::Mkdir),
-        (arb_path(), 0..6_000u64, prop::collection::vec(any::<u8>(), 1..600))
+        (
+            arb_path(),
+            0..6_000u64,
+            prop::collection::vec(any::<u8>(), 1..600)
+        )
             .prop_map(|(p, off, data)| Op::Write(p, off, data)),
         (arb_path(), 0..8_000u64).prop_map(|(p, size)| Op::Truncate(p, size)),
         arb_path().prop_map(Op::Unlink),

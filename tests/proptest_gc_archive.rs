@@ -13,9 +13,17 @@ use dv_lsfs::{FileType, Filesystem, Lsfs};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Write { path_seed: usize, size: usize, fill: u8 },
-    Mkdir { path_seed: usize },
-    Unlink { path_seed: usize },
+    Write {
+        path_seed: usize,
+        size: usize,
+        fill: u8,
+    },
+    Mkdir {
+        path_seed: usize,
+    },
+    Unlink {
+        path_seed: usize,
+    },
     Snapshot,
     Sync,
 }
@@ -35,7 +43,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 fn apply(fs: &mut Lsfs, op: &Op, next_snapshot: &mut u64) {
     match op {
-        Op::Write { path_seed, size, fill } => {
+        Op::Write {
+            path_seed,
+            size,
+            fill,
+        } => {
             let path = PATHS[path_seed % PATHS.len()];
             let _ = fs.mkdir_all("/d");
             let _ = fs.write_all(path, &vec![*fill; *size]);

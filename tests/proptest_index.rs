@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use dv_access::{AccessibleTree, AppId, MirrorTree, NodeId, Role};
-use dv_index::{evaluate, Interval, IntervalSet, IndexedInstance, Query, TextIndex};
+use dv_index::{evaluate, IndexedInstance, Interval, IntervalSet, Query, TextIndex};
 use dv_time::Timestamp;
 
 // ---------------------------------------------------------------------
@@ -49,16 +49,13 @@ fn arb_instance() -> impl Strategy<Value = Spec> {
 fn arb_query() -> impl Strategy<Value = Query> {
     let term = prop_oneof![
         (0..VOCAB.len()).prop_map(|i| Query::Term(VOCAB[i].to_string())),
-        (0..VOCAB.len(), 0..VOCAB.len()).prop_map(|(a, b)| {
-            Query::Phrase(vec![VOCAB[a].to_string(), VOCAB[b].to_string()])
-        }),
+        (0..VOCAB.len(), 0..VOCAB.len())
+            .prop_map(|(a, b)| { Query::Phrase(vec![VOCAB[a].to_string(), VOCAB[b].to_string()]) }),
     ];
     term.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Query::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Query::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Query::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|q| Query::Not(Box::new(q))),
             (0..APPS.len(), inner.clone())
                 .prop_map(|(i, q)| Query::App(APPS[i].to_string(), Box::new(q))),
@@ -108,9 +105,9 @@ fn naive_satisfied(
     annotated: bool,
 ) -> bool {
     match q {
-        Query::Any => instances.iter().any(|i| {
-            visible(index, i, t) && ctx_ok(i, app, annotated)
-        }),
+        Query::Any => instances
+            .iter()
+            .any(|i| visible(index, i, t) && ctx_ok(i, app, annotated)),
         Query::Term(term) => instances.iter().any(|i| {
             i.text.split(' ').any(|w| w == term)
                 && visible(index, i, t)
@@ -125,7 +122,9 @@ fn naive_satisfied(
                 || naive_satisfied(index, instances, b, t, app, annotated)
         }
         Query::Not(inner) => !naive_satisfied(index, instances, inner, t, app, annotated),
-        Query::App(name, inner) => naive_satisfied(index, instances, inner, t, Some(name), annotated),
+        Query::App(name, inner) => {
+            naive_satisfied(index, instances, inner, t, Some(name), annotated)
+        }
         Query::Annotated(inner) => naive_satisfied(index, instances, inner, t, app, true),
         Query::During { from, to, q } => {
             t >= *from && t < *to && naive_satisfied(index, instances, q, t, app, annotated)
@@ -229,9 +228,18 @@ proptest! {
 
 #[derive(Clone, Debug)]
 enum TreeOp {
-    Add { parent_seed: usize, role_seed: usize, text_seed: usize },
-    SetText { node_seed: usize, text_seed: usize },
-    Remove { node_seed: usize },
+    Add {
+        parent_seed: usize,
+        role_seed: usize,
+        text_seed: usize,
+    },
+    SetText {
+        node_seed: usize,
+        text_seed: usize,
+    },
+    Remove {
+        node_seed: usize,
+    },
 }
 
 fn arb_tree_op() -> impl Strategy<Value = TreeOp> {

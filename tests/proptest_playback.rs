@@ -26,16 +26,14 @@ fn arb_rect() -> impl Strategy<Value = Rect> {
 
 fn arb_command() -> impl Strategy<Value = DisplayCommand> {
     prop_oneof![
-        (arb_rect(), any::<u32>()).prop_map(|(rect, color)| DisplayCommand::SolidFill {
-            rect,
-            color
-        }),
-        (arb_rect(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
-            |(rect, bits, fg, bg)| DisplayCommand::PatternFill {
+        (arb_rect(), any::<u32>())
+            .prop_map(|(rect, color)| DisplayCommand::SolidFill { rect, color }),
+        (arb_rect(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(rect, bits, fg, bg)| {
+            DisplayCommand::PatternFill {
                 rect,
                 pattern: Pattern { bits, fg, bg },
             }
-        ),
+        }),
         (arb_rect(), 0..W, 0..H).prop_map(|(rect, src_x, src_y)| DisplayCommand::CopyArea {
             src_x,
             src_y,
