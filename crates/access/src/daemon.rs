@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dv_obs::{names, Obs};
 use dv_time::{SharedClock, Timestamp};
 
 use crate::mirror::MirrorTree;
@@ -74,6 +75,7 @@ pub struct CaptureDaemon<S: TextSink> {
     live: HashMap<(AppId, NodeId), u64>,
     instance_counter: Arc<AtomicU64>,
     stats: DaemonStats,
+    obs: Obs,
 }
 
 impl<S: TextSink> CaptureDaemon<S> {
@@ -97,7 +99,14 @@ impl<S: TextSink> CaptureDaemon<S> {
             live: HashMap::new(),
             instance_counter,
             stats: DaemonStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs the observability handle: mirror updates are timed and
+    /// emitted intervals counted into the `text.*` metrics.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Returns the daemon's mirror tree.
@@ -145,8 +154,10 @@ impl<S: TextSink> CaptureDaemon<S> {
         };
         self.sink.text_shown(instance);
         self.stats.shown += 1;
+        self.obs.incr(names::TEXT_SHOWN);
         if annotation {
             self.stats.annotations += 1;
+            self.obs.incr(names::TEXT_ANNOTATIONS);
         } else {
             self.live.insert((app, node), id);
         }
@@ -156,6 +167,7 @@ impl<S: TextSink> CaptureDaemon<S> {
         if let Some(id) = self.live.remove(&(app, node)) {
             self.sink.text_hidden(id, now);
             self.stats.hidden += 1;
+            self.obs.incr(names::TEXT_HIDDEN);
         }
     }
 }
@@ -163,6 +175,8 @@ impl<S: TextSink> CaptureDaemon<S> {
 impl<S: TextSink> AccessListener for CaptureDaemon<S> {
     fn on_event(&mut self, tree: Option<&AccessibleTree>, event: &AccessEvent) {
         self.stats.events += 1;
+        self.obs.incr(names::TEXT_EVENTS);
+        let _span = self.obs.span("text", names::TEXT_MIRROR_APPLY);
         let now = self.clock.now();
         match event {
             AccessEvent::AppRegistered { app } => {

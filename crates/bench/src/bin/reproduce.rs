@@ -7,10 +7,12 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             ci | all   (default: all; `ci` is not part of `all`)
+//!             obs | ci | all   (default: all; `ci` and `obs` are not
+//!             part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci` defaults to 1.0)
-//! --out P:      ci: where to write the metrics JSON (BENCH_ci.json)
+//!             `ci` and `obs` default to 1.0)
+//! --out P:      ci/obs: where to write the JSON (BENCH_ci.json /
+//!               BENCH_obs.json)
 //! --baseline P: ci: checked-in baseline to gate against
 //!               (BENCH_baseline.json)
 //! ```
@@ -20,15 +22,25 @@
 //! fractions, never absolute times) to `--out`, and exits nonzero if a
 //! lower-is-better metric regressed more than 20% over the baseline or
 //! a higher-is-better metric dropped below it.
+//!
+//! The `obs` experiment profiles a fully recorded session through
+//! dv-obs, prints the per-stream overhead breakdown, writes the
+//! registry + trace snapshot JSON to `--out`, and exits nonzero if the
+//! instrumentation itself costs more than 5% of wall time on the
+//! deferred-pipeline workload.
 
 use dv_bench::{
     ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
-    fig5_browse_search, fig6_playback, fig7_revive, policy_effectiveness, print_ablation,
-    print_crash, print_deferred, print_faults, print_fig2, print_fig3, print_fig4, print_fig5,
-    print_fig6, print_fig7, print_mirror_ablation, print_policy, print_quality, print_table1,
-    quality_tradeoff, table1,
+    fig5_browse_search, fig6_playback, fig7_revive, obs_experiment, policy_effectiveness,
+    print_ablation, print_crash, print_deferred, print_faults, print_fig2, print_fig3, print_fig4,
+    print_fig5, print_fig6, print_fig7, print_mirror_ablation, print_obs, print_policy,
+    print_quality, print_table1, quality_tradeoff, table1,
 };
+
+/// How much instrumented wall time may exceed uninstrumented wall time
+/// before the `obs` gate fails (5%).
+const OBS_OVERHEAD_LIMIT: f64 = 1.05;
 
 /// How much a lower-is-better metric may grow over its baseline before
 /// the gate fails.
@@ -166,11 +178,38 @@ fn run_ci(scale: f64, out: &str, baseline_path: &str) {
     }
 }
 
+/// Runs the observability experiment: prints the per-stream breakdown,
+/// writes the full snapshot plus the overhead ratio as JSON to `out`,
+/// and exits nonzero if the instrumentation costs more than 5% of wall
+/// time on the deferred-pipeline workload.
+fn run_obs(scale: f64, out: &str) {
+    let report = obs_experiment(scale);
+    print_obs(&report);
+    let json = format!(
+        "{{\n  \"overhead_ratio\": {:.6},\n  \"snapshot\": {}}}\n",
+        report.overhead_ratio(),
+        report.snapshot.to_json(),
+    );
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out} ({} bytes)", json.len());
+    let ratio = report.overhead_ratio();
+    if ratio > OBS_OVERHEAD_LIMIT {
+        eprintln!(
+            "obs gate FAILED: instrumentation overhead {ratio:.3}x exceeds {OBS_OVERHEAD_LIMIT:.2}x"
+        );
+        std::process::exit(1);
+    }
+    println!("obs gate: instrumentation overhead {ratio:.3}x within {OBS_OVERHEAD_LIMIT:.2}x");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut scale: Option<f64> = None;
-    let mut out = "BENCH_ci.json".to_string();
+    let mut out: Option<String> = None;
     let mut baseline = "BENCH_baseline.json".to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -182,10 +221,10 @@ fn main() {
                 }));
             }
             "--out" => {
-                out = iter.next().cloned().unwrap_or_else(|| {
+                out = Some(iter.next().cloned().unwrap_or_else(|| {
                     eprintln!("--out requires a path");
                     std::process::exit(2);
-                });
+                }));
             }
             "--baseline" => {
                 baseline = iter.next().cloned().unwrap_or_else(|| {
@@ -195,15 +234,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|ci|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
             other => experiment = other.to_string(),
         }
     }
-    // `ci` favors a paper-sized deferred run for stable ratios.
-    let scale = scale.unwrap_or(if experiment == "ci" { 1.0 } else { 0.25 });
+    // `ci` and `obs` favor paper-sized runs for stable ratios.
+    let gated = experiment == "ci" || experiment == "obs";
+    let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
         std::process::exit(2);
@@ -214,7 +254,14 @@ fn main() {
     let all = experiment == "all";
     let started = std::time::Instant::now();
     if experiment == "ci" {
+        let out = out.unwrap_or_else(|| "BENCH_ci.json".to_string());
         run_ci(scale, &out, &baseline);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "obs" {
+        let out = out.unwrap_or_else(|| "BENCH_obs.json".to_string());
+        run_obs(scale, &out);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

@@ -6,6 +6,7 @@ use dejaview::{Config, DejaView};
 use dv_checkpoint::PolicyStats;
 use dv_index::{parse_query, RankOrder};
 use dv_lsfs::ReadLatency;
+use dv_obs::Obs;
 use dv_record::PlaybackEngine;
 use dv_time::{Duration, SimClock, Timestamp};
 use dv_workloads::{
@@ -1003,6 +1004,150 @@ pub fn deferred_experiment(scale: f64) -> Vec<DeferredRow> {
         .iter()
         .map(|&workers| deferred_run(workers, scale))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Observability: per-stream profile and instrumentation overhead
+// ---------------------------------------------------------------------
+
+/// The observability experiment's result: a profiled session snapshot
+/// plus the cost of the instrumentation itself.
+pub struct ObsReport {
+    /// Registry + trace-ring snapshot of a fully recorded session,
+    /// profiled with wall-clock spans; the per-stream breakdown table
+    /// is derived entirely from this.
+    pub snapshot: dv_obs::ObsSnapshot,
+    /// Checkpoints the profiled session took (from the registry).
+    pub checkpoints: u64,
+    /// Wall time of the deferred-pipeline workload with instrumentation
+    /// enabled (min of three runs).
+    pub instrumented_wall: std::time::Duration,
+    /// Wall time of the identical workload with instrumentation
+    /// disabled (min of three runs).
+    pub baseline_wall: std::time::Duration,
+}
+
+impl ObsReport {
+    /// Instrumented over baseline wall time; 1.0 means the
+    /// instrumentation was free at this workload's granularity.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.instrumented_wall.as_secs_f64() / self.baseline_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// One deferred-pipeline engine run with instrumentation on or off,
+/// returning its wall time. The work (page dirtying, compression,
+/// deferred commits) is byte-identical in both modes, so the wall-time
+/// ratio isolates what the dv-obs counters, spans, and ring cost.
+fn obs_overhead_run(instrumented: bool, scale: f64) -> std::time::Duration {
+    use dv_vee::{HostPidAllocator, Prot, Vee};
+    const PAGE: usize = 4096;
+    let pages = ((256.0 * scale) as usize).max(32);
+    let rounds = ((10.0 * scale) as u64).max(5);
+
+    let clock = SimClock::new();
+    let obs = if instrumented {
+        Obs::wall(clock.shared())
+    } else {
+        Obs::disabled()
+    };
+    let mut vee = Vee::new(
+        1,
+        clock.shared(),
+        Box::new(dv_lsfs::Lsfs::new()),
+        HostPidAllocator::new(),
+    );
+    let mut engine = dv_checkpoint::Checkpointer::with_sim_clock(
+        dv_checkpoint::EngineConfig {
+            compress: true,
+            full_every: 4,
+            commit_workers: 2,
+            commit_queue_depth: rounds as usize + 1,
+            ..dv_checkpoint::EngineConfig::default()
+        },
+        clock.clone(),
+    );
+    engine.set_obs(obs);
+    let store = dv_lsfs::SharedBlobStore::in_memory();
+
+    let p = vee.spawn(None, "obs-worker").expect("spawn");
+    let addr = vee
+        .mmap(p, (pages * PAGE) as u64, Prot::ReadWrite)
+        .expect("mmap");
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut page_buf = vec![0u8; PAGE];
+    let started = Instant::now();
+    for round in 0..rounds {
+        for page in (0..pages).filter(|pg| (pg + round as usize).is_multiple_of(2)) {
+            for b in page_buf.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *b = x as u8;
+            }
+            vee.mem_write(p, addr + (page * PAGE) as u64, &page_buf)
+                .expect("dirty pages");
+        }
+        engine.checkpoint(&mut vee, &store).expect("checkpoint");
+        clock.advance(Duration::from_secs(1));
+    }
+    engine.flush().expect("flush");
+    started.elapsed()
+}
+
+/// The observability experiment: profiles a fully recorded web session
+/// through dv-obs (wall-clock spans, so busy times are real), then
+/// measures the instrumentation's own cost on the deferred-pipeline
+/// workload, instrumented versus disabled.
+pub fn obs_experiment(scale: f64) -> ObsReport {
+    let mut scenario = scenario_by_name("web", scale).expect("known scenario");
+    let (width, height) = scenario.screen();
+    let clock = SimClock::new();
+    let mut dv = DejaView::with_clock(
+        Config {
+            width,
+            height,
+            obs: Obs::wall(clock.shared()),
+            engine: dv_checkpoint::EngineConfig {
+                compress: true,
+                full_every: 50,
+                ..dv_checkpoint::EngineConfig::default()
+            },
+            ..Config::default()
+        },
+        clock,
+    );
+    run_scenario(
+        &mut dv,
+        &mut *scenario,
+        RunOptions {
+            checkpoints: CheckpointMode::EverySecond,
+            ..RunOptions::default()
+        },
+    );
+    // A search populates the index.query histogram alongside the
+    // recording-side streams.
+    let _ = dv.search("the", RankOrder::Chronological);
+    let snapshot = dv.observability();
+    let checkpoints = snapshot.counter(dv_obs::names::CHECKPOINT_COUNT);
+
+    // Warm up once per mode (allocator growth, lazy init, page faults),
+    // then interleave three timed pairs so drift hits both modes alike;
+    // min-of-3 sheds scheduler noise.
+    obs_overhead_run(false, scale);
+    obs_overhead_run(true, scale);
+    let mut baseline_wall = std::time::Duration::MAX;
+    let mut instrumented_wall = std::time::Duration::MAX;
+    for _ in 0..3 {
+        baseline_wall = baseline_wall.min(obs_overhead_run(false, scale));
+        instrumented_wall = instrumented_wall.min(obs_overhead_run(true, scale));
+    }
+    ObsReport {
+        snapshot,
+        checkpoints,
+        instrumented_wall,
+        baseline_wall,
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -2,9 +2,43 @@
 
 use crate::experiments::{
     AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow,
-    MirrorAblationRow, OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow, Table1Row,
+    MirrorAblationRow, ObsReport, OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow,
+    Table1Row,
 };
 use dv_checkpoint::PolicyStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Mutes every table printer in this module. Tests that drive the
+/// experiment harness flip this on so `cargo test -q` output stays
+/// clean; the `reproduce` binary leaves it off.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether report printing is muted.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// `println!` that respects [`set_quiet`].
+macro_rules! out {
+    ($($arg:tt)*) => {
+        if !is_quiet() {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// `print!` that respects [`set_quiet`].
+macro_rules! outp {
+    ($($arg:tt)*) => {
+        if !is_quiet() {
+            print!($($arg)*);
+        }
+    };
+}
 
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -16,14 +50,21 @@ fn vms(d: dv_time::Duration) -> f64 {
 
 /// Prints the deferred write-back comparison.
 pub fn print_deferred(rows: &[DeferredRow]) {
-    println!("Deferred write-back: per-checkpoint session-thread stall, inline vs pipeline");
-    println!(
+    out!("Deferred write-back: per-checkpoint session-thread stall, inline vs pipeline");
+    out!(
         "{:<14} {:>6} {:>11} {:>11} {:>10} {:>8} {:>9}  {:<18}",
-        "config", "ckpts", "stall(ms)", "max(ms)", "wall(ms)", "MB/s", "fallback", "fingerprint"
+        "config",
+        "ckpts",
+        "stall(ms)",
+        "max(ms)",
+        "wall(ms)",
+        "MB/s",
+        "fallback",
+        "fingerprint"
     );
-    println!("{:-<96}", "");
+    out!("{:-<96}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<14} {:>6} {:>11.3} {:>11.3} {:>10.1} {:>8.1} {:>9}  {:016x}",
             row.config,
             row.checkpoints,
@@ -38,13 +79,13 @@ pub fn print_deferred(rows: &[DeferredRow]) {
     if let Some(inline) = rows.iter().find(|r| r.workers == 0) {
         let matched = rows.iter().all(|r| r.fingerprint == inline.fingerprint);
         for row in rows.iter().filter(|r| r.workers >= 1) {
-            println!(
+            out!(
                 "  {}: stall {:.2}x lower than inline",
                 row.config,
                 inline.mean_stall.as_secs_f64() / row.mean_stall.as_secs_f64().max(1e-12),
             );
         }
-        println!(
+        out!(
             "  restore results across configurations: {}",
             if matched { "identical" } else { "DIVERGED" }
         );
@@ -53,14 +94,20 @@ pub fn print_deferred(rows: &[DeferredRow]) {
 
 /// Prints the fault-injection matrix.
 pub fn print_faults(rows: &[FaultRow]) {
-    println!("Fault injection: every storage site x every fault kind (every 2nd check fails)");
-    println!(
+    out!("Fault injection: every storage site x every fault kind (every 2nd check fails)");
+    out!(
         "{:<26} {:<11} {:>8} {:>8} {:>6} {:>7} {:>7}",
-        "site", "fault", "injected", "degraded", "ckpts", "browse", "search"
+        "site",
+        "fault",
+        "injected",
+        "degraded",
+        "ckpts",
+        "browse",
+        "search"
     );
-    println!("{:-<80}", "");
+    out!("{:-<80}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<26} {:<11} {:>8} {:>8} {:>6} {:>7} {:>7}",
             row.site,
             row.fault,
@@ -75,14 +122,17 @@ pub fn print_faults(rows: &[FaultRow]) {
 
 /// Prints the power-cut recovery sweep.
 pub fn print_crash(rows: &[CrashRow]) {
-    println!("Crash consistency: power cut at increasing log prefixes, then reopen");
-    println!(
+    out!("Crash consistency: power cut at increasing log prefixes, then reopen");
+    out!(
         "{:<10} {:>10} {:>10} {:>10}",
-        "cut", "log-bytes", "recovered", "snapshots"
+        "cut",
+        "log-bytes",
+        "recovered",
+        "snapshots"
     );
-    println!("{:-<44}", "");
+    out!("{:-<44}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<10} {:>10} {:>10} {:>10}",
             format!("{:.0}%", row.cut_fraction * 100.0),
             row.cut_bytes,
@@ -94,27 +144,36 @@ pub fn print_crash(rows: &[CrashRow]) {
 
 /// Prints Table 1.
 pub fn print_table1(rows: &[Table1Row]) {
-    println!("Table 1: Application scenarios");
-    println!("{:-<100}", "");
+    out!("Table 1: Application scenarios");
+    out!("{:-<100}", "");
     for row in rows {
-        println!("{:<8} {}", row.name, row.description);
-        println!(
+        out!("{:<8} {}", row.name, row.description);
+        out!(
             "{:<8}   -> {} steps over {}, {} display commands, {} text instances",
-            "", row.steps, row.duration, row.commands, row.text_instances
+            "",
+            row.steps,
+            row.duration,
+            row.commands,
+            row.text_instances
         );
     }
 }
 
 /// Prints Figure 2 as normalized execution times.
 pub fn print_fig2(rows: &[OverheadRow]) {
-    println!("Figure 2: Recording runtime overhead (normalized execution time, baseline = 1.00)");
-    println!(
+    out!("Figure 2: Recording runtime overhead (normalized execution time, baseline = 1.00)");
+    out!(
         "{:<8} {:>10} {:>9} {:>9} {:>9} {:>9}",
-        "scenario", "base(ms)", "display", "process", "index", "full"
+        "scenario",
+        "base(ms)",
+        "display",
+        "process",
+        "index",
+        "full"
     );
-    println!("{:-<60}", "");
+    out!("{:-<60}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<8} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             row.name,
             ms(row.baseline),
@@ -128,8 +187,8 @@ pub fn print_fig2(rows: &[OverheadRow]) {
 
 /// Prints Figure 3 as per-phase mean latencies.
 pub fn print_fig3(rows: &[CheckpointRow]) {
-    println!("Figure 3: Total checkpoint latency (mean per checkpoint, ms)");
-    println!(
+    out!("Figure 3: Total checkpoint latency (mean per checkpoint, ms)");
+    out!(
         "{:<8} {:>6} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9}",
         "scenario",
         "ckpts",
@@ -141,9 +200,9 @@ pub fn print_fig3(rows: &[CheckpointRow]) {
         "downtime",
         "max-down"
     );
-    println!("{:-<92}", "");
+    out!("{:-<92}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<8} {:>6} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>9.3} {:>9.3}",
             row.name,
             row.checkpoints,
@@ -160,14 +219,21 @@ pub fn print_fig3(rows: &[CheckpointRow]) {
 
 /// Prints Figure 4 as per-stream storage growth rates.
 pub fn print_fig4(rows: &[StorageRow]) {
-    println!("Figure 4: Recording storage growth (MB/s of session time)");
-    println!(
+    out!("Figure 4: Recording storage growth (MB/s of session time)");
+    out!(
         "{:<8} {:>9} {:>7} {:>7} {:>9} {:>11} {:>8} {:>10}",
-        "scenario", "display", "index", "fs", "process", "proc(gz)", "total", "total(gz)"
+        "scenario",
+        "display",
+        "index",
+        "fs",
+        "process",
+        "proc(gz)",
+        "total",
+        "total(gz)"
     );
-    println!("{:-<78}", "");
+    out!("{:-<78}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<8} {:>9.3} {:>7.3} {:>7.3} {:>9.3} {:>11.3} {:>8.3} {:>10.3}",
             row.name,
             row.display_mbps,
@@ -183,14 +249,18 @@ pub fn print_fig4(rows: &[StorageRow]) {
 
 /// Prints Figure 5 as browse/search latencies.
 pub fn print_fig5(rows: &[BrowseSearchRow]) {
-    println!("Figure 5: Browse and search latency (mean, ms)");
-    println!(
+    out!("Figure 5: Browse and search latency (mean, ms)");
+    out!(
         "{:<8} {:>10} {:>9} {:>10} {:>13}",
-        "scenario", "search", "browse", "queries", "browse-points"
+        "scenario",
+        "search",
+        "browse",
+        "queries",
+        "browse-points"
     );
-    println!("{:-<55}", "");
+    out!("{:-<55}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<8} {:>10.3} {:>9.3} {:>10} {:>13}",
             row.name,
             ms(row.search),
@@ -203,14 +273,17 @@ pub fn print_fig5(rows: &[BrowseSearchRow]) {
 
 /// Prints Figure 6 as playback speedups.
 pub fn print_fig6(rows: &[PlaybackRow]) {
-    println!("Figure 6: Playback speedup (entire record, fastest rate)");
-    println!(
+    out!("Figure 6: Playback speedup (entire record, fastest rate)");
+    out!(
         "{:<8} {:>12} {:>12} {:>9}",
-        "scenario", "recorded(s)", "wall(ms)", "speedup"
+        "scenario",
+        "recorded(s)",
+        "wall(ms)",
+        "speedup"
     );
-    println!("{:-<45}", "");
+    out!("{:-<45}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<8} {:>12.2} {:>12.1} {:>8.0}x",
             row.name,
             row.recorded.as_secs_f64(),
@@ -222,33 +295,36 @@ pub fn print_fig6(rows: &[PlaybackRow]) {
 
 /// Prints Figure 7 as five revive points per scenario.
 pub fn print_fig7(rows: &[ReviveRow]) {
-    println!("Figure 7: Revive latency (ms) at five points, uncached / cached");
-    println!("{:-<76}", "");
+    out!("Figure 7: Revive latency (ms) at five points, uncached / cached");
+    out!("{:-<76}", "");
     for row in rows {
-        print!("{:<8}", row.name);
+        outp!("{:<8}", row.name);
         for point in &row.points {
-            print!(
+            outp!(
                 "  [#{} {:.0}/{:.1}]",
                 point.counter,
                 ms(point.uncached),
                 ms(point.cached)
             );
         }
-        println!();
+        out!();
     }
-    println!("(uncached = checkpoint-store cache dropped, 2007-disk latency model)");
+    out!("(uncached = checkpoint-store cache dropped, 2007-disk latency model)");
 }
 
 /// Prints the §5.1.2 optimization ablation.
 pub fn print_ablation(rows: &[AblationRow]) {
-    println!("Ablation: checkpoint downtime with §5.1.2 optimizations disabled (octave, ms)");
-    println!(
+    out!("Ablation: checkpoint downtime with §5.1.2 optimizations disabled (octave, ms)");
+    out!(
         "{:<36} {:>12} {:>12} {:>12}",
-        "configuration", "mean-down", "max-down", "mean-total"
+        "configuration",
+        "mean-down",
+        "max-down",
+        "mean-total"
     );
-    println!("{:-<76}", "");
+    out!("{:-<76}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<36} {:>12.3} {:>12.3} {:>12.3}",
             row.config,
             vms(row.mean_downtime),
@@ -256,20 +332,23 @@ pub fn print_ablation(rows: &[AblationRow]) {
             vms(row.mean_total)
         );
     }
-    println!("(the paper reports the unoptimized mechanism could not sustain 1 checkpoint/s)");
+    out!("(the paper reports the unoptimized mechanism could not sustain 1 checkpoint/s)");
 }
 
 /// Prints the recording-quality trade-off.
 pub fn print_quality(rows: &[QualityRow]) {
-    println!("Recording quality vs storage (§2 trade-off, web workload)");
-    println!(
+    out!("Recording quality vs storage (§2 trade-off, web workload)");
+    out!(
         "{:<26} {:>14} {:>10} {:>10}",
-        "setting", "display(KB)", "commands", "rel-size"
+        "setting",
+        "display(KB)",
+        "commands",
+        "rel-size"
     );
-    println!("{:-<64}", "");
+    out!("{:-<64}", "");
     let full = rows.first().map(|r| r.display_bytes.max(1)).unwrap_or(1);
     for row in rows {
-        println!(
+        out!(
             "{:<26} {:>14.1} {:>10} {:>9.2}x",
             row.setting,
             row.display_bytes as f64 / 1e3,
@@ -281,14 +360,18 @@ pub fn print_quality(rows: &[QualityRow]) {
 
 /// Prints the mirror-tree ablation.
 pub fn print_mirror_ablation(rows: &[MirrorAblationRow]) {
-    println!("Ablation: capture daemon with vs without the mirror tree (§4.2)");
-    println!(
+    out!("Ablation: capture daemon with vs without the mirror tree (§4.2)");
+    out!(
         "{:<32} {:>8} {:>14} {:>12} {:>14}",
-        "daemon", "events", "delivery(ms)", "per-evt(us)", "tree-accesses"
+        "daemon",
+        "events",
+        "delivery(ms)",
+        "per-evt(us)",
+        "tree-accesses"
     );
-    println!("{:-<84}", "");
+    out!("{:-<84}", "");
     for row in rows {
-        println!(
+        out!(
             "{:<32} {:>8} {:>14.3} {:>12.1} {:>14}",
             row.daemon,
             row.events,
@@ -297,23 +380,45 @@ pub fn print_mirror_ablation(rows: &[MirrorAblationRow]) {
             row.tree_accesses
         );
     }
-    println!("(events are delivered synchronously: delivery time blocks the application)");
+    out!("(events are delivered synchronously: delivery time blocks the application)");
+}
+
+/// Prints the dv-obs per-stream profile and the instrumentation
+/// overhead measurement.
+pub fn print_obs(report: &ObsReport) {
+    out!("Observability: per-stream instrumented busy time (wall-clock spans, web workload)");
+    out!("{:-<52}", "");
+    for line in report.snapshot.render_breakdown().lines() {
+        out!("{line}");
+    }
+    out!(
+        "trace ring: {} events ({} dropped), checkpoints profiled: {}",
+        report.snapshot.events.len(),
+        report.snapshot.dropped_events,
+        report.checkpoints,
+    );
+    out!(
+        "instrumentation overhead: {:.3}x wall ({:.1} ms instrumented vs {:.1} ms disabled, deferred-pipeline workload, min of 3)",
+        report.overhead_ratio(),
+        ms(report.instrumented_wall),
+        ms(report.baseline_wall),
+    );
 }
 
 /// Prints the §6 policy-effectiveness analysis.
 pub fn print_policy(stats: &PolicyStats) {
     let total = stats.total() as f64;
     let skips = (stats.total() - stats.checkpoints) as f64;
-    println!("Checkpoint policy effectiveness (desktop trace, §6)");
-    println!("{:-<60}", "");
-    println!(
+    out!("Checkpoint policy effectiveness (desktop trace, §6)");
+    out!("{:-<60}", "");
+    out!(
         "evaluations: {}   checkpoints taken: {} ({:.0}% of the time; paper: ~20%)",
         stats.total(),
         stats.checkpoints,
         100.0 * stats.checkpoint_fraction()
     );
     if skips > 0.0 {
-        println!(
+        out!(
             "skips: {:.0}% no display activity (paper 13%), {:.0}% low display activity (paper 69%), {:.0}% text-edit rate (paper 18%), {:.0}% fullscreen/rate/other",
             100.0 * stats.no_display as f64 / skips,
             100.0 * stats.low_display as f64 / skips,

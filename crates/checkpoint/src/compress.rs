@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn chunked_container_round_trips_to_concatenation() {
-        let sections = vec![
+        let sections = [
             vec![0u8; 5000],
             (0..200u8).collect::<Vec<u8>>(),
             Vec::new(),

@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 
 use dv_fault::{sites, FaultPlane, IoFault};
 use dv_lsfs::{FsError, SharedBlobStore};
+use dv_obs::{names, Obs};
 use dv_time::{Duration, PhaseBreakdown, PhaseTimer, Sleeper, Timestamp};
 use dv_vee::{FdObject, Process, RunState, Signal, SockState, Vee};
 
@@ -190,6 +191,7 @@ pub struct Checkpointer {
     force_full: bool,
     sleeper: Sleeper,
     last_async_error: Option<FsError>,
+    obs: Obs,
 }
 
 impl Checkpointer {
@@ -210,6 +212,7 @@ impl Checkpointer {
             force_full: false,
             sleeper: Sleeper::Wall,
             last_async_error: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -217,7 +220,19 @@ impl Checkpointer {
     /// `checkpoint.image.encode` and `checkpoint.writeback`).
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
         self.teardown_pipeline();
+        plane.set_obs(self.obs.clone());
         self.plane = plane;
+    }
+
+    /// Installs the observability handle: phase latencies, byte
+    /// accounting, and pipeline behavior (queue depth, worker compress
+    /// time, retries, inline fallbacks) report into the `checkpoint.*`
+    /// metrics. Tears down any live pipeline so workers pick up the
+    /// handle on the next checkpoint.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.teardown_pipeline();
+        self.plane.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Creates an engine whose pre-quiesce wait advances a [`dv_time::SimClock`].
@@ -295,6 +310,8 @@ impl Checkpointer {
         };
         for outcome in outcomes {
             self.stats.async_commit_nanos += outcome.commit_nanos;
+            self.obs
+                .add(names::CHECKPOINT_ASYNC_COMMIT_NANOS, outcome.commit_nanos);
             match outcome.result {
                 Ok((raw_bytes, stored_bytes)) => {
                     self.images.insert(
@@ -311,10 +328,14 @@ impl Checkpointer {
                     self.stats.committed += 1;
                     self.stats.stored_bytes += stored_bytes;
                     self.stats.raw_bytes += raw_bytes;
+                    self.obs.incr(names::CHECKPOINT_COMMITTED);
+                    self.obs.add(names::CHECKPOINT_STORED_BYTES, stored_bytes);
+                    self.obs.add(names::CHECKPOINT_RAW_BYTES, raw_bytes);
                     self.note_raw_size(raw_bytes as usize);
                 }
                 Err(e) => {
                     self.stats.write_failures += 1;
+                    self.obs.incr(names::CHECKPOINT_WRITE_FAILURES);
                     self.force_full = true;
                     if self.last_async_error.is_none() {
                         self.last_async_error = Some(e.as_fs_error());
@@ -322,6 +343,10 @@ impl Checkpointer {
                 }
             }
         }
+        self.obs.gauge_set(
+            names::CHECKPOINT_QUEUE_DEPTH,
+            self.pipeline.as_ref().map_or(0, CommitPipeline::inflight) as u64,
+        );
     }
 
     fn note_raw_size(&mut self, raw: usize) {
@@ -353,6 +378,7 @@ impl Checkpointer {
                 store.clone(),
                 self.plane.clone(),
                 self.sleeper.clone(),
+                self.obs.clone(),
             ));
         }
     }
@@ -586,6 +612,7 @@ impl Checkpointer {
                     };
                     vee.fs.link_handle(handle, relink_path)?;
                     self.stats.relinks += 1;
+                    self.obs.incr(names::CHECKPOINT_RELINKS);
                 }
             }
             let process = vee.process_mut(*vpid).expect("listed process");
@@ -695,6 +722,9 @@ impl Checkpointer {
                     encode_fault_of(self.plane.check(sites::CHECKPOINT_IMAGE_ENCODE));
                 pipe.enqueue(image, blob, full, encode_fault);
                 self.stats.queued += 1;
+                self.obs.incr(names::CHECKPOINT_QUEUED);
+                self.obs
+                    .gauge_set(names::CHECKPOINT_QUEUE_DEPTH, pipe.inflight() as u64);
                 self.counter = counter;
                 self.force_full = false;
                 self.stats.checkpoints += 1;
@@ -704,6 +734,7 @@ impl Checkpointer {
                 let phases = timer.finish();
                 let downtime = phases.subset_total(&["quiesce", "capture", "fs-snapshot"]);
                 self.stats.sync_downtime_nanos += downtime.as_nanos();
+                self.observe_checkpoint(&phases, downtime, full);
                 return Ok(CheckpointReport {
                     counter,
                     phases,
@@ -721,11 +752,18 @@ impl Checkpointer {
             pipe.drain();
             self.reap();
             self.stats.inline_fallbacks += 1;
+            self.obs.incr(names::CHECKPOINT_INLINE_FALLBACKS);
+            self.obs.event(
+                "checkpoint",
+                names::EV_INLINE_FALLBACK,
+                format!("counter={counter}"),
+            );
             // A drained failure may have severed this capture's chain;
             // committing it would leave an unrestorable incremental.
             if let ImageKind::Incremental { prev } = image.kind {
                 if !self.images.contains_key(&prev) {
                     self.stats.write_failures += 1;
+                    self.obs.incr(names::CHECKPOINT_WRITE_FAILURES);
                     self.force_full = true;
                     return Err(FsError::Io);
                 }
@@ -743,6 +781,7 @@ impl Checkpointer {
                 // checkpoint is forced full because this capture's
                 // dirty-page set is gone.
                 self.stats.write_failures += 1;
+                self.obs.incr(names::CHECKPOINT_WRITE_FAILURES);
                 self.force_full = true;
                 return Err(e);
             }
@@ -755,8 +794,15 @@ impl Checkpointer {
             downtime += phases.get("writeback");
         } else {
             self.stats.async_commit_nanos += phases.get("writeback").as_nanos();
+            self.obs.add(
+                names::CHECKPOINT_ASYNC_COMMIT_NANOS,
+                phases.get("writeback").as_nanos(),
+            );
         }
         self.stats.sync_downtime_nanos += downtime.as_nanos();
+        self.observe_checkpoint(&phases, downtime, full);
+        self.obs.add(names::CHECKPOINT_STORED_BYTES, stored_bytes);
+        self.obs.add(names::CHECKPOINT_RAW_BYTES, raw_bytes);
         self.counter = counter;
         self.force_full = false;
         self.images.insert(
@@ -786,6 +832,26 @@ impl Checkpointer {
             full,
             deferred: false,
         })
+    }
+
+    /// Folds one checkpoint's phase breakdown into the observability
+    /// registry: per-phase downtime histograms plus the checkpoint
+    /// counters. Called once per successful checkpoint, deferred or not.
+    fn observe_checkpoint(&self, phases: &PhaseBreakdown, downtime: Duration, full: bool) {
+        self.obs.incr(names::CHECKPOINT_COUNT);
+        if full {
+            self.obs.incr(names::CHECKPOINT_FULL);
+        }
+        self.obs
+            .observe(names::CHECKPOINT_QUIESCE, phases.get("quiesce").as_nanos());
+        self.obs
+            .observe(names::CHECKPOINT_CAPTURE, phases.get("capture").as_nanos());
+        self.obs.observe(
+            names::CHECKPOINT_FS_SNAPSHOT,
+            phases.get("fs-snapshot").as_nanos(),
+        );
+        self.obs
+            .add(names::CHECKPOINT_SYNC_DOWNTIME_NANOS, downtime.as_nanos());
     }
 
     /// The synchronous commit: encode, (optionally) compress, fault

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 
 use dv_fault::{sites, FaultPlane, IoFault};
 use dv_lsfs::{FsError, SharedBlobStore};
+use dv_obs::{names, Obs};
 use dv_time::{Duration, Sleeper, Timestamp};
 
 use crate::compress::{assemble_chunks, compress};
@@ -178,13 +179,15 @@ pub struct CommitPipeline {
 
 impl CommitPipeline {
     /// Spawns `config.workers` (at least 1) worker threads writing into
-    /// `store`, with fault checks against `plane` and retry backoff paid
-    /// through `sleeper`.
+    /// `store`, with fault checks against `plane`, retry backoff paid
+    /// through `sleeper`, and per-worker compress time / commit retries
+    /// reported through `obs`.
     pub fn new(
         config: PipelineConfig,
         store: SharedBlobStore,
         plane: FaultPlane,
         sleeper: Sleeper,
+        obs: Obs,
     ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -206,9 +209,10 @@ impl CommitPipeline {
                 let store = store.clone();
                 let plane = plane.clone();
                 let sleeper = sleeper.clone();
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("dv-commit-{i}"))
-                    .spawn(move || worker(shared, store, plane, sleeper, config))
+                    .spawn(move || worker(shared, store, plane, sleeper, config, obs))
                     .expect("spawn commit worker")
             })
             .collect();
@@ -323,6 +327,7 @@ fn worker(
     plane: FaultPlane,
     sleeper: Sleeper,
     config: PipelineConfig,
+    obs: Obs,
 ) {
     loop {
         let step = {
@@ -350,8 +355,8 @@ fn worker(
         };
         match step {
             Step::Run(Task::Encode(seq)) => run_encode(&shared, &plane, &config, seq),
-            Step::Run(Task::Compress(seq, i)) => run_compress(&shared, seq, i),
-            Step::Commit(job) => run_commit(&shared, &store, &plane, &sleeper, &config, *job),
+            Step::Run(Task::Compress(seq, i)) => run_compress(&shared, seq, i, &obs),
+            Step::Commit(job) => run_commit(&shared, &store, &plane, &sleeper, &config, &obs, *job),
             Step::Exit => return,
         }
     }
@@ -405,13 +410,16 @@ fn run_encode(shared: &Arc<Shared>, plane: &FaultPlane, config: &PipelineConfig,
     }
 }
 
-fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize) {
+fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize, obs: &Obs) {
     let section = {
         let mut state = shared.lock();
         let job = state.jobs.get_mut(&seq).expect("compress job present");
         std::mem::take(&mut job.sections[index])
     };
-    let compressed = compress(&section);
+    let compressed = {
+        let _span = obs.span("checkpoint", names::CHECKPOINT_WORKER_COMPRESS);
+        compress(&section)
+    };
     drop(section);
     let mut state = shared.lock();
     let job = state.jobs.get_mut(&seq).expect("compress job present");
@@ -430,6 +438,7 @@ fn run_commit(
     plane: &FaultPlane,
     sleeper: &Sleeper,
     config: &PipelineConfig,
+    obs: &Obs,
     job: Job,
 ) {
     let cascade_from = match job.kind {
@@ -471,8 +480,14 @@ fn run_commit(
             match write {
                 Ok(()) => break Ok((job.raw_bytes, stored_bytes)),
                 Err(e) if attempt >= config.retry_limit => break Err(CommitError::Io(e)),
-                Err(_) => {
+                Err(e) => {
                     attempt += 1;
+                    obs.incr(names::CHECKPOINT_COMMIT_RETRIES);
+                    obs.event(
+                        "checkpoint",
+                        names::EV_COMMIT_RETRY,
+                        format!("counter={} attempt={attempt} error={e:?}", job.counter),
+                    );
                     sleeper.sleep(backoff);
                     backoff = backoff + backoff;
                 }
@@ -543,6 +558,7 @@ mod tests {
             store.clone(),
             FaultPlane::disabled(),
             Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
         );
         for c in 1..=6u64 {
             let kind = if c == 1 {
@@ -577,6 +593,7 @@ mod tests {
             store.clone(),
             plane,
             Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
         );
         pipe.enqueue(
             tiny_image(1, ImageKind::Full),
@@ -622,6 +639,7 @@ mod tests {
             store.clone(),
             FaultPlane::disabled(),
             Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
         );
         pipe.enqueue(
             tiny_image(1, ImageKind::Full),

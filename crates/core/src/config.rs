@@ -9,6 +9,7 @@
 use dv_checkpoint::{EngineConfig, NetworkPolicy, PolicyConfig};
 use dv_fault::FaultPlane;
 use dv_lsfs::ReadLatency;
+use dv_obs::Obs;
 use dv_record::RecorderConfig;
 use dv_time::Duration;
 
@@ -46,6 +47,12 @@ pub struct Config {
     /// persistence, index flush). Disabled by default: the sites are
     /// no-ops until a test arms a plan.
     pub fault_plane: FaultPlane,
+    /// Observability handle threaded through every recording stream.
+    /// Left disabled (the default), the server builds its own
+    /// session-time handle so [`crate::DejaView::observability`] always
+    /// works; pass [`Obs::wall`] to profile with wall-clock span
+    /// durations instead.
+    pub obs: Obs,
     /// How many times a failed checkpoint or index flush is retried
     /// before the server gives up on that attempt and degrades.
     pub io_retry_limit: u32,
@@ -68,6 +75,7 @@ impl Default for Config {
             enable_display_recording: true,
             enable_text_capture: true,
             fault_plane: FaultPlane::disabled(),
+            obs: Obs::disabled(),
             io_retry_limit: 3,
             io_retry_backoff: Duration::from_millis(50),
         }

@@ -20,6 +20,7 @@ use dv_display::{InputEvent, Screenshot, Viewer, VirtualDisplayDriver};
 use dv_fault::FaultPlane;
 use dv_index::{parse_query, RankOrder, SearchHit, TextIndex};
 use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedBlobStore, SharedFs, UnionFs};
+use dv_obs::{names, Obs, ObsSnapshot};
 use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
 use dv_time::{Duration, SimClock, Timestamp};
 use dv_vee::{HostPidAllocator, Vee, Vpid};
@@ -87,7 +88,7 @@ pub struct DejaView {
     fault_plane: FaultPlane,
     io_retry_limit: u32,
     io_retry_backoff: Duration,
-    degraded_events: u64,
+    obs: Obs,
 }
 
 impl DejaView {
@@ -111,32 +112,50 @@ impl DejaView {
             enable_display_recording,
             enable_text_capture,
             fault_plane,
+            obs,
             io_retry_limit,
             io_retry_backoff,
         } = config;
+        // The server always records observability: a disabled config
+        // handle is upgraded to a session-time one so
+        // `DejaView::observability` and the registry-derived breakdowns
+        // work out of the box. A caller-supplied enabled handle (e.g.
+        // `Obs::wall` for profiling) is used as-is.
+        let obs = if obs.is_enabled() {
+            obs
+        } else {
+            Obs::new(clock.shared())
+        };
         let compress = engine.compress;
         let mut driver = VirtualDisplayDriver::new(width, height, clock.shared());
+        driver.set_obs(obs.clone());
         let recorder = Arc::new(Mutex::new(DisplayRecorder::new(width, height, recorder)));
         recorder.lock().set_fault_plane(fault_plane.clone());
+        recorder.lock().set_obs(obs.clone());
         let record = recorder.lock().record();
         if enable_display_recording {
             driver.attach_sink(recorder.clone());
         }
 
         let index = Arc::new(Mutex::new(TextIndex::new()));
+        index.lock().set_obs(obs.clone());
         let instance_counter = Arc::new(std::sync::atomic::AtomicU64::new(1));
         let mut desktop = Desktop::new();
         if enable_text_capture {
-            let daemon = CaptureDaemon::with_instance_counter(
+            let mut daemon = CaptureDaemon::with_instance_counter(
                 clock.shared(),
                 IndexSink::new(index.clone()),
                 instance_counter.clone(),
             );
+            daemon.set_obs(obs.clone());
             desktop.register_listener(Arc::new(Mutex::new(daemon)));
         }
 
         let session_fs = SharedFs::new(Lsfs::new());
-        session_fs.with(|fs| fs.set_fault_plane(fault_plane.clone()));
+        session_fs.with(|fs| {
+            fs.set_fault_plane(fault_plane.clone());
+            fs.set_obs(obs.clone());
+        });
         let host_pids = HostPidAllocator::new();
         let mut vee = Vee::new(
             0,
@@ -152,9 +171,17 @@ impl DejaView {
             Some(latency) => SharedBlobStore::with_latency(latency),
             None => SharedBlobStore::in_memory(),
         };
-        store.with(|s| s.set_fault_plane(fault_plane.clone()));
+        store.with(|s| {
+            s.set_fault_plane(fault_plane.clone());
+            s.set_obs(obs.clone());
+        });
         let mut checkpointer = Checkpointer::with_sim_clock(engine, clock.clone());
         checkpointer.set_fault_plane(fault_plane.clone());
+        checkpointer.set_obs(obs.clone());
+        // The plane is shared state: injections anywhere in the stack
+        // surface as traced events no matter which component installed
+        // its handle last.
+        fault_plane.set_obs(obs.clone());
         let playback = PlaybackEngine::new(record.clone());
         DejaView {
             clipboard: String::new(),
@@ -188,8 +215,23 @@ impl DejaView {
             fault_plane,
             io_retry_limit,
             io_retry_backoff,
-            degraded_events: 0,
+            obs,
         }
+    }
+
+    /// Returns the observability handle shared by every recording
+    /// stream (display, text, index, checkpoint, lsfs, fault plane).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Snapshots the unified observability state: every counter, gauge
+    /// and latency histogram in the registry plus the trace-event ring.
+    /// This replaces the ad-hoc per-component counters; the
+    /// [`DejaView::storage`] and [`DejaView::pipeline_stats`] breakdowns
+    /// are derived from the same registry.
+    pub fn observability(&self) -> ObsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Returns the session clock.
@@ -258,7 +300,7 @@ impl DejaView {
     /// surfaced here and counted as one degradation event.
     pub fn flush_checkpoints(&mut self) -> Result<(), ServerError> {
         self.engine.flush().map_err(|e| {
-            self.degraded_events += 1;
+            self.obs.incr(names::SERVER_DEGRADED_EVENTS);
             ServerError::from(e)
         })
     }
@@ -285,25 +327,53 @@ impl DejaView {
 
     /// Replaces the display record's contents (archive restore); the
     /// recorder continues appending to it and playback state resets.
+    /// The `display.*` byte counters resynchronize to the restored
+    /// store so the registry-derived [`DejaView::storage`] stays exact.
     pub fn install_record(&mut self, store: dv_record::RecordStore) {
         *self.record.write() = store;
         self.playback = PlaybackEngine::new(self.record.clone());
         self.search_cache.clear();
+        let stats = self.recorder.lock().stats();
+        self.obs
+            .set_counter(names::DISPLAY_COMMAND_BYTES, stats.command_bytes);
+        self.obs
+            .set_counter(names::DISPLAY_SCREENSHOT_BYTES, stats.screenshot_bytes);
+        self.obs
+            .set_counter(names::DISPLAY_TIMELINE_BYTES, stats.timeline_bytes);
     }
 
     /// Replaces the text index's contents (archive restore) and bumps
-    /// the capture daemon's instance counter past the archived ids.
+    /// the capture daemon's instance counter past the archived ids. The
+    /// restored index inherits the server's observability handle and
+    /// the `index.bytes` counter resynchronizes to its footprint.
     pub fn install_index(&mut self, index: TextIndex) {
         let next = index.max_instance_id() + 1;
         self.instance_counter
             .store(next, std::sync::atomic::Ordering::Relaxed);
-        *self.index.lock() = index;
+        let bytes = index.stats().bytes;
+        let mut slot = self.index.lock();
+        *slot = index;
+        slot.set_obs(self.obs.clone());
+        drop(slot);
+        self.obs.set_counter(names::INDEX_BYTES, bytes);
     }
 
     /// Replaces the session file system's contents (archive restore);
-    /// the VEE's shared handle observes the restored state.
+    /// the VEE's shared handle observes the restored state. The restored
+    /// file system inherits the server's observability handle and the
+    /// `lsfs.*` accounting resynchronizes to its recovered state.
     pub fn install_session_fs(&mut self, fs: Lsfs) {
         self.session_fs.with(|inner| *inner = fs);
+        let obs = self.obs.clone();
+        let stats = self.session_fs.with(|fs| {
+            fs.set_obs(obs);
+            fs.stats()
+        });
+        self.obs
+            .set_counter(names::LSFS_DATA_BYTES, stats.data_bytes);
+        self.obs
+            .set_counter(names::LSFS_JOURNAL_BYTES, stats.journal_bytes);
+        self.obs.gauge_set(names::LSFS_SNAPSHOTS, stats.snapshots);
     }
 
     /// The shared clipboard: "the user can copy and paste content
@@ -391,11 +461,17 @@ impl DejaView {
             match self.engine.checkpoint(&mut self.vee, &self.store) {
                 Ok(report) => return Ok(report),
                 Err(e) => {
-                    self.degraded_events += 1;
+                    self.obs.incr(names::SERVER_DEGRADED_EVENTS);
                     if attempt >= self.io_retry_limit {
                         return Err(e.into());
                     }
                     attempt += 1;
+                    self.obs.incr(names::SERVER_CHECKPOINT_RETRIES);
+                    self.obs.event(
+                        "server",
+                        names::EV_SERVER_RETRY,
+                        format!("checkpoint attempt={attempt} error={e:?}"),
+                    );
                     self.clock.advance(backoff);
                     backoff = Duration::from_nanos(backoff.as_nanos().saturating_mul(2));
                 }
@@ -420,11 +496,17 @@ impl DejaView {
             match flushed {
                 Ok(bytes) => return Ok(bytes),
                 Err(e) => {
-                    self.degraded_events += 1;
+                    self.obs.incr(names::SERVER_DEGRADED_EVENTS);
                     if attempt >= self.io_retry_limit {
                         return Err(ServerError::Query(dv_index::ParseError(e.to_string())));
                     }
                     attempt += 1;
+                    self.obs.incr(names::SERVER_INDEX_FLUSH_RETRIES);
+                    self.obs.event(
+                        "server",
+                        names::EV_SERVER_RETRY,
+                        format!("index-flush attempt={attempt} error={e:?}"),
+                    );
                     self.clock.advance(backoff);
                     backoff = Duration::from_nanos(backoff.as_nanos().saturating_mul(2));
                 }
@@ -440,9 +522,10 @@ impl DejaView {
 
     /// Counts storage failures the server absorbed without stopping the
     /// session: failed checkpoint attempts and failed index flushes
-    /// (each retry that failed counts once).
+    /// (each retry that failed counts once). Read from the
+    /// observability registry's `server.degraded_events` counter.
     pub fn degraded_events(&self) -> u64 {
-        self.degraded_events
+        self.obs.counter(names::SERVER_DEGRADED_EVENTS)
     }
 
     /// Runs one checkpoint-policy evaluation (the server calls this
@@ -739,33 +822,41 @@ impl DejaView {
     }
 
     /// Returns the deferred write-back pipeline accounting for the main
-    /// session's engine.
+    /// session's engine, derived from the observability registry. Only
+    /// `inflight` is a live queue-depth query; everything else is the
+    /// `checkpoint.*` counters the engine bumps as it works.
     pub fn pipeline_stats(&self) -> PipelineBreakdown {
-        let s = self.engine.stats();
         PipelineBreakdown {
-            queued: s.queued,
-            committed: s.committed,
+            queued: self.obs.counter(names::CHECKPOINT_QUEUED),
+            committed: self.obs.counter(names::CHECKPOINT_COMMITTED),
             inflight: self.engine.inflight() as u64,
-            inline_fallbacks: s.inline_fallbacks,
-            sync_downtime: Duration::from_nanos(s.sync_downtime_nanos),
-            async_commit: Duration::from_nanos(s.async_commit_nanos),
+            inline_fallbacks: self.obs.counter(names::CHECKPOINT_INLINE_FALLBACKS),
+            sync_downtime: Duration::from_nanos(
+                self.obs.counter(names::CHECKPOINT_SYNC_DOWNTIME_NANOS),
+            ),
+            async_commit: Duration::from_nanos(
+                self.obs.counter(names::CHECKPOINT_ASYNC_COMMIT_NANOS),
+            ),
         }
     }
 
     /// Returns the storage breakdown across all four record streams
-    /// (Figure 4).
+    /// (Figure 4), derived entirely from the observability registry:
+    /// every stream bumps its byte counters at the same points it
+    /// mutates its internal accounting, so the registry view is exact.
     pub fn storage(&self) -> StorageBreakdown {
-        let rec = self.recorder.lock().stats();
-        let idx = self.index.lock().stats();
-        let eng = self.engine.stats();
-        let fs = self.session_fs.with(|fs| fs.stats());
+        let c = |name| self.obs.counter(name);
         StorageBreakdown {
-            display_bytes: rec.command_bytes + rec.screenshot_bytes + rec.timeline_bytes,
-            index_bytes: idx.bytes,
-            checkpoint_raw_bytes: eng.raw_bytes,
-            checkpoint_stored_bytes: eng.stored_bytes,
-            fs_bytes: fs.data_bytes + fs.journal_bytes,
-            degraded_events: self.degraded_events + rec.dropped_commands + rec.dropped_keyframes,
+            display_bytes: c(names::DISPLAY_COMMAND_BYTES)
+                + c(names::DISPLAY_SCREENSHOT_BYTES)
+                + c(names::DISPLAY_TIMELINE_BYTES),
+            index_bytes: c(names::INDEX_BYTES),
+            checkpoint_raw_bytes: c(names::CHECKPOINT_RAW_BYTES),
+            checkpoint_stored_bytes: c(names::CHECKPOINT_STORED_BYTES),
+            fs_bytes: c(names::LSFS_DATA_BYTES) + c(names::LSFS_JOURNAL_BYTES),
+            degraded_events: c(names::SERVER_DEGRADED_EVENTS)
+                + c(names::DISPLAY_DROPPED_COMMANDS)
+                + c(names::DISPLAY_DROPPED_KEYFRAMES),
         }
     }
 }

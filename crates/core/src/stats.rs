@@ -52,12 +52,15 @@ impl StorageBreakdown {
 
     /// Converts to per-stream MB/s over `elapsed` session time.
     ///
-    /// # Panics
-    ///
-    /// Panics if `elapsed` is zero.
+    /// A zero `elapsed` yields all-zero rates rather than NaN/infinity:
+    /// a measurement window that never advanced has recorded no growth,
+    /// and callers (reports, JSON exports) must never see non-finite
+    /// numbers.
     pub fn rates(&self, elapsed: Duration) -> StorageRates {
         let secs = elapsed.as_secs_f64();
-        assert!(secs > 0.0, "elapsed time must be positive");
+        if secs <= 0.0 {
+            return StorageRates::default();
+        }
         let mbps = |bytes: u64| bytes as f64 / 1e6 / secs;
         StorageRates {
             display_mbps: mbps(self.display_bytes),
@@ -92,11 +95,13 @@ pub struct PipelineBreakdown {
 
 impl PipelineBreakdown {
     /// Fraction of total checkpoint work overlapped with the running
-    /// session (0.0 when everything was written inline).
+    /// session. A zero denominator (no checkpoint work at all) yields
+    /// 0.0 rather than NaN, so the value is always a finite fraction in
+    /// `[0, 1]`.
     pub fn overlap_fraction(&self) -> f64 {
         let sync = self.sync_downtime.as_secs_f64();
         let async_ = self.async_commit.as_secs_f64();
-        if sync + async_ == 0.0 {
+        if sync + async_ <= 0.0 {
             return 0.0;
         }
         async_ / (sync + async_)
@@ -167,9 +172,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_elapsed_panics() {
-        let _ = StorageBreakdown::default().rates(Duration::ZERO);
+    fn zero_elapsed_yields_zero_rates() {
+        let b = StorageBreakdown {
+            display_bytes: 123,
+            index_bytes: 456,
+            checkpoint_raw_bytes: 789,
+            checkpoint_stored_bytes: 101,
+            fs_bytes: 112,
+            degraded_events: 0,
+        };
+        let r = b.rates(Duration::ZERO);
+        assert_eq!(r.display_mbps, 0.0);
+        assert_eq!(r.index_mbps, 0.0);
+        assert_eq!(r.checkpoint_raw_mbps, 0.0);
+        assert_eq!(r.checkpoint_stored_mbps, 0.0);
+        assert_eq!(r.fs_mbps, 0.0);
+        assert!(r.total_mbps().is_finite());
+        assert!(r.total_raw_mbps().is_finite());
+    }
+
+    #[test]
+    fn overlap_fraction_zero_denominator_is_zero_not_nan() {
+        let p = PipelineBreakdown {
+            queued: 3,
+            committed: 3,
+            sync_downtime: Duration::ZERO,
+            async_commit: Duration::ZERO,
+            ..PipelineBreakdown::default()
+        };
+        let f = p.overlap_fraction();
+        assert_eq!(f, 0.0);
+        assert!(f.is_finite());
     }
 
     #[test]

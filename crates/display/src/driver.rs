@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use dv_obs::{names, Obs};
 use dv_time::{SharedClock, Timestamp};
 
 use crate::command::{DisplayCommand, Pattern, Pixel, YuvFrame};
@@ -62,6 +63,7 @@ pub struct VirtualDisplayDriver {
     sinks: Vec<SharedSink>,
     damage: Region,
     stats: DriverStats,
+    obs: Obs,
 }
 
 impl VirtualDisplayDriver {
@@ -77,7 +79,15 @@ impl VirtualDisplayDriver {
             sinks: Vec::new(),
             damage: Region::new(),
             stats: DriverStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs the observability handle: command generation is counted
+    /// into the `display.driver_*` metrics. Kept to two counter bumps so
+    /// the per-command hot path stays at its wire cost.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Attaches a sink; it receives every subsequent command.
@@ -183,6 +193,9 @@ impl VirtualDisplayDriver {
             .add(cmd.rect().intersect(&self.fb.screen_rect()));
         self.stats.commands += 1;
         self.stats.bytes += cmd.wire_size() as u64;
+        self.obs.incr(names::DISPLAY_DRIVER_COMMANDS);
+        self.obs
+            .add(names::DISPLAY_DRIVER_BYTES, cmd.wire_size() as u64);
         match &cmd {
             DisplayCommand::Raw { .. } => self.stats.raw += 1,
             DisplayCommand::CopyArea { .. } => self.stats.copies += 1,

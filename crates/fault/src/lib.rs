@@ -20,7 +20,9 @@
 //! - [`checksum`] — the CRC32 used by the journal record framing.
 //!
 //! `dv-fault` is a leaf crate: the storage crates depend on it, never
-//! the reverse. The crash harness therefore manipulates the documented
+//! the reverse (its only dependency is the even deeper `dv-obs`
+//! observability spine, so every injected fault can surface as a traced
+//! event). The crash harness therefore manipulates the documented
 //! on-disk container layout directly rather than importing `dv-lsfs`
 //! types; a cross-crate test in `dv-lsfs` pins that contract.
 
@@ -29,6 +31,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use dv_obs::Obs;
 use parking_lot::Mutex;
 
 pub mod checksum;
@@ -123,6 +126,7 @@ struct PlaneState {
     armed: bool,
     rules: BTreeMap<&'static str, Vec<Rule>>,
     stats: BTreeMap<&'static str, SiteStats>,
+    obs: Obs,
 }
 
 #[derive(Debug)]
@@ -165,6 +169,7 @@ impl FaultPlane {
         let entry = state.stats.entry(site).or_default();
         entry.checks += 1;
         let nth = entry.checks;
+        state.obs.incr(dv_obs::names::FAULT_CHECKS);
         if !state.armed {
             return None;
         }
@@ -192,9 +197,32 @@ impl FaultPlane {
         }
         if let Some(fault) = fired {
             state.stats.entry(site).or_default().injected += 1;
+            state.obs.incr(dv_obs::names::FAULT_INJECTED);
+            state.obs.event(
+                "fault",
+                dv_obs::names::EV_FAULT_INJECTED,
+                format!("site={site} fault={fault:?} nth={nth}"),
+            );
             Some(fault)
         } else {
             None
+        }
+    }
+
+    /// Attaches an observability handle: from now on every check is
+    /// counted and every injected fault becomes a traced event, so
+    /// fault tests can assert on observability output. No-op on a
+    /// disabled plane.
+    pub fn set_obs(&self, obs: Obs) {
+        // A disabled handle is ignored: components propagate their own
+        // obs when a plane is installed, and a late-constructed,
+        // un-instrumented component (e.g. a revived session's engine)
+        // must not tear down the wiring on the shared plane state.
+        if !obs.is_enabled() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            inner.state.lock().obs = obs;
         }
     }
 
@@ -345,6 +373,7 @@ impl FaultPlan {
                     armed: true,
                     rules: self.rules,
                     stats: BTreeMap::new(),
+                    obs: Obs::disabled(),
                 }),
             })),
         }
@@ -463,6 +492,27 @@ mod tests {
             .count();
         assert_eq!(diffs, 1);
         plane.mangle(&mut []);
+    }
+
+    #[test]
+    fn injections_surface_in_observability() {
+        let obs = Obs::sim();
+        let plane = FaultPlan::new(1)
+            .fail_nth(sites::LSFS_JOURNAL_COMMIT, 2, IoFault::Enospc)
+            .build();
+        plane.set_obs(obs.clone());
+        assert_eq!(plane.check(sites::LSFS_JOURNAL_COMMIT), None);
+        assert_eq!(
+            plane.check(sites::LSFS_JOURNAL_COMMIT),
+            Some(IoFault::Enospc)
+        );
+        assert_eq!(obs.counter(dv_obs::names::FAULT_CHECKS), 2);
+        assert_eq!(obs.counter(dv_obs::names::FAULT_INJECTED), 1);
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, dv_obs::names::EV_FAULT_INJECTED);
+        assert!(events[0].detail.contains(sites::LSFS_JOURNAL_COMMIT));
+        assert!(events[0].detail.contains("Enospc"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use dv_obs::{names, Obs};
 use dv_time::Timestamp;
 
 use crate::interval::{Interval, IntervalSet};
@@ -82,6 +83,7 @@ pub struct TextIndex {
     focus_history: Vec<(u32, Timestamp)>,
     horizon: Timestamp,
     bytes: u64,
+    obs: Obs,
 }
 
 impl TextIndex {
@@ -90,12 +92,24 @@ impl TextIndex {
         TextIndex::default()
     }
 
+    /// Installs the observability handle: indexed bytes, flushes, and
+    /// query evaluations report into the `index.*` metrics.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The installed observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     fn observe(&mut self, t: Timestamp) {
         self.horizon = self.horizon.max(t);
     }
 
     /// Indexes a new text instance.
     pub fn add_instance(&mut self, instance: IndexedInstance) {
+        let bytes_before = self.bytes;
         self.observe(instance.shown);
         if let Some(hidden) = instance.hidden {
             self.observe(hidden);
@@ -110,6 +124,7 @@ impl TextIndex {
         self.bytes +=
             (instance.text.len() + instance.app.len() + instance.window.len() + 32) as u64;
         self.instances.insert(instance.id, instance);
+        self.obs.add(names::INDEX_BYTES, self.bytes - bytes_before);
     }
 
     /// Marks an instance as hidden at `t`. Unknown ids are ignored (the

@@ -149,6 +149,9 @@ pub enum RankOrder {
 
 /// Evaluates a query and builds ranked hits.
 pub fn search(index: &TextIndex, query: &Query, order: RankOrder) -> Vec<SearchHit> {
+    let obs = index.obs();
+    obs.incr(dv_obs::names::INDEX_QUERIES);
+    let _span = obs.span("index", dv_obs::names::INDEX_QUERY);
     let satisfied = evaluate(index, query);
     let mut term_instances = collect_matching_instances(index, query);
     term_instances.sort_by_key(|i| i.shown);

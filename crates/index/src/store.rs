@@ -89,8 +89,10 @@ pub fn flush_segment(
     plane: &dv_fault::FaultPlane,
 ) -> Result<Vec<u8>, StoreError> {
     use dv_fault::{sites, IoFault};
+    let obs = index.obs().clone();
+    let _span = obs.span("index", dv_obs::names::INDEX_FLUSH);
     let mut out = encode_index(index);
-    match plane.check(sites::INDEX_SEGMENT_FLUSH) {
+    let result = match plane.check(sites::INDEX_SEGMENT_FLUSH) {
         None | Some(IoFault::LatencySpike) => Ok(out),
         Some(IoFault::Enospc) => Err(StoreError("no space left for index segment")),
         Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
@@ -100,7 +102,11 @@ pub fn flush_segment(
             plane.mangle(&mut out);
             Ok(out)
         }
+    };
+    if result.is_ok() {
+        obs.incr(dv_obs::names::INDEX_FLUSHES);
     }
+    result
 }
 
 /// Deserializes an index, rebuilding the inverted postings.

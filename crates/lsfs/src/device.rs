@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dv_fault::{sites, FaultPlane, IoFault};
+use dv_obs::Obs;
 use dv_time::{Duration, Sleeper};
 use parking_lot::{Mutex, MutexGuard};
 
@@ -74,6 +75,7 @@ pub struct BlobStore {
     stats: BlobStats,
     plane: FaultPlane,
     sleeper: Sleeper,
+    obs: Obs,
 }
 
 impl BlobStore {
@@ -86,7 +88,14 @@ impl BlobStore {
             stats: BlobStats::default(),
             plane: FaultPlane::disabled(),
             sleeper: Sleeper::Wall,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs the observability handle (`lsfs.blob_*` metrics).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.plane.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Chooses how modelled latency (the [`ReadLatency`] cost and
@@ -100,6 +109,7 @@ impl BlobStore {
     /// Installs the fault-injection plane (sites `lsfs.blob.put` and
     /// `lsfs.blob.get`).
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        plane.set_obs(self.obs.clone());
         self.plane = plane;
     }
 
@@ -118,6 +128,10 @@ impl BlobStore {
     /// object behind and error; `Corrupt` stores the full length with
     /// one mangled byte and reports success.
     pub fn put(&mut self, name: &str, data: Vec<u8>) -> FsResult<()> {
+        let _span = self.obs.span("lsfs", dv_obs::names::LSFS_BLOB_PUT);
+        self.obs.incr(dv_obs::names::LSFS_BLOB_PUTS);
+        self.obs
+            .add(dv_obs::names::LSFS_BLOB_PUT_BYTES, data.len() as u64);
         let mut data = data;
         match self.plane.check(sites::LSFS_BLOB_PUT) {
             None | Some(IoFault::LatencySpike) => {}
@@ -149,6 +163,7 @@ impl BlobStore {
     /// the page cache stay intact; `Enospc` surfaces as a failed read
     /// (`None`).
     pub fn get(&mut self, name: &str) -> Option<Arc<Vec<u8>>> {
+        self.obs.incr(dv_obs::names::LSFS_BLOB_GETS);
         let fault = self.plane.check(sites::LSFS_BLOB_GET);
         if let Some(IoFault::Enospc) = fault {
             return None;

@@ -64,6 +64,7 @@ impl Lsfs {
         let removed = self.snapshots_mut().remove(&counter).is_some();
         if removed {
             self.stats_mut().snapshots -= 1;
+            self.obs().gauge_sub(dv_obs::names::LSFS_SNAPSHOTS, 1);
         }
         removed
     }

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use dv_fault::{checksum, sites, FaultPlane, IoFault};
+use dv_obs::Obs;
 use dv_time::Timestamp;
 
 use crate::disk::{shared_disk, Disk, SharedDisk};
@@ -249,6 +250,7 @@ pub struct Lsfs {
     last_journal: u64,
     stats: LsfsStats,
     plane: FaultPlane,
+    obs: Obs,
 }
 
 impl Lsfs {
@@ -271,6 +273,7 @@ impl Lsfs {
             last_journal: NO_PREV,
             stats: LsfsStats::default(),
             plane: FaultPlane::disabled(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -278,8 +281,21 @@ impl Lsfs {
     /// checks site `lsfs.journal.commit`; the plane is also installed
     /// into the underlying disk for `lsfs.disk.append`.
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        plane.set_obs(self.obs.clone());
         self.disk.write().set_fault_plane(plane.clone());
         self.plane = plane;
+    }
+
+    /// Installs the observability handle: journal, data, and snapshot
+    /// commits are mirrored into the `lsfs.*` metrics, and injected
+    /// faults on this filesystem's plane become traced events.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.plane.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Recovers a file system by replaying the journal chain whose most
@@ -476,6 +492,9 @@ impl Lsfs {
         let offset = self.disk.write().append(&record)?;
         self.last_journal = offset;
         self.stats.journal_bytes += record.len() as u64;
+        self.obs
+            .add(dv_obs::names::LSFS_JOURNAL_BYTES, record.len() as u64);
+        self.obs.incr(dv_obs::names::LSFS_JOURNAL_COMMITS);
         Ok(())
     }
 
@@ -859,9 +878,13 @@ impl Filesystem for Lsfs {
     /// Buffered data is synced first so the snapshot is self-consistent.
     fn snapshot_point(&mut self, counter: u64) -> FsResult<()> {
         self.sync()?;
+        // Span opens after the sync (which times itself) so the two
+        // histograms don't double-count the same work.
+        let _span = self.obs.span("lsfs", dv_obs::names::LSFS_SNAPSHOT);
         self.log_op(&FsOp::SnapshotMark { counter })?;
         self.snapshots.insert(counter, self.state.clone());
         self.stats.snapshots += 1;
+        self.obs.gauge_add(dv_obs::names::LSFS_SNAPSHOTS, 1);
         Ok(())
     }
 
@@ -869,6 +892,7 @@ impl Filesystem for Lsfs {
         if self.dirty.is_empty() && self.dirty_sizes.is_empty() {
             return Ok(());
         }
+        let _span = self.obs.span("lsfs", dv_obs::names::LSFS_SYNC);
         let mut inos: Vec<u64> = self
             .dirty
             .keys()
@@ -896,6 +920,8 @@ impl Filesystem for Lsfs {
                     match disk.append(block) {
                         Ok(off) => {
                             self.stats.data_bytes += block.len() as u64;
+                            self.obs
+                                .add(dv_obs::names::LSFS_DATA_BYTES, block.len() as u64);
                             extents.push((*idx, off));
                         }
                         Err(e) => {
@@ -925,6 +951,7 @@ impl Filesystem for Lsfs {
             }
         }
         self.stats.syncs += 1;
+        self.obs.incr(dv_obs::names::LSFS_SYNCS);
         Ok(())
     }
 }

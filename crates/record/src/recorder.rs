@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use dv_fault::{sites, FaultPlane, IoFault};
+use dv_obs::{names, Obs};
 
 use dv_display::{
     scale_command, CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Region,
@@ -128,6 +129,7 @@ pub struct DisplayRecorder {
     last_keyframe: Option<Timestamp>,
     damage_since_keyframe: Region,
     plane: FaultPlane,
+    obs: Obs,
     dropped_commands: u64,
     dropped_keyframes: u64,
 }
@@ -158,6 +160,7 @@ impl DisplayRecorder {
             last_keyframe: None,
             damage_since_keyframe: Region::new(),
             plane: FaultPlane::disabled(),
+            obs: Obs::disabled(),
             dropped_commands: 0,
             dropped_keyframes: 0,
         }
@@ -166,7 +169,15 @@ impl DisplayRecorder {
     /// Installs the fault-injection plane (sites `record.log.append`,
     /// `record.screenshot.persist`, `record.timeline.persist`).
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        plane.set_obs(self.obs.clone());
         self.plane = plane;
+    }
+
+    /// Installs the observability handle: log, screenshot, and timeline
+    /// appends are mirrored into the `display.*` metrics.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.plane.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Returns the shared record handle for playback and search.
@@ -204,19 +215,30 @@ impl DisplayRecorder {
         // A failed log append drops the batch but never stops recording;
         // `Corrupt` models silent corruption below this layer and is left
         // to the storage-level checksums, so the append proceeds.
+        let _span = self.obs.span("display", names::DISPLAY_FLUSH);
         match self.plane.check(sites::RECORD_LOG_APPEND) {
             Some(IoFault::Enospc) | Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
                 self.dropped_commands += entries.len() as u64;
+                self.obs
+                    .add(names::DISPLAY_DROPPED_COMMANDS, entries.len() as u64);
                 return;
             }
             None | Some(IoFault::LatencySpike) | Some(IoFault::Corrupt) => {}
         }
         let mut store = self.record.write();
+        let bytes_before = store.log.byte_len();
+        let mut appended = 0u64;
         for entry in entries {
             store.log.append(entry.time, &entry.command);
+            appended += 1;
             self.damage_since_keyframe
                 .add(entry.command.rect().intersect(&self.fb.screen_rect()));
         }
+        self.obs.add(names::DISPLAY_COMMANDS, appended);
+        self.obs.add(
+            names::DISPLAY_COMMAND_BYTES,
+            store.log.byte_len() - bytes_before,
+        );
     }
 
     /// Catches the reconstruction framebuffer up to the log head by
@@ -236,6 +258,9 @@ impl DisplayRecorder {
     pub fn force_keyframe(&mut self, now: Timestamp) {
         self.flush();
         self.sync_fb();
+        // Span opens after the flush (which times itself) so the two
+        // histograms don't double-count the same work.
+        let _span = self.obs.span("display", names::DISPLAY_KEYFRAME);
         // A keyframe that cannot persist its screenshot or timeline entry
         // is skipped: `last_keyframe` still advances so cadence continues,
         // but accumulated damage is kept so the next interval retries.
@@ -245,28 +270,44 @@ impl DisplayRecorder {
         );
         if screenshot_fault {
             self.dropped_keyframes += 1;
+            self.obs.incr(names::DISPLAY_DROPPED_KEYFRAMES);
             self.last_keyframe = Some(now);
             return;
         }
         let mut store = self.record.write();
         let shot = self.fb.snapshot();
+        let shot_bytes_before = store.shots.byte_len();
         let screenshot_offset = store.shots.append(&shot);
+        // Accounted even if the timeline entry below fails: the orphaned
+        // screenshot bytes are still on storage, and `stats()` reads the
+        // store's byte length directly.
+        self.obs.add(
+            names::DISPLAY_SCREENSHOT_BYTES,
+            store.shots.byte_len() - shot_bytes_before,
+        );
         let command_offset = store.log.end_offset();
         match self.plane.check(sites::RECORD_TIMELINE_PERSIST) {
             Some(IoFault::Enospc) | Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
                 // The screenshot bytes are orphaned but unreferenced; the
                 // timeline stays consistent with only complete keyframes.
                 self.dropped_keyframes += 1;
+                self.obs.incr(names::DISPLAY_DROPPED_KEYFRAMES);
                 self.last_keyframe = Some(now);
                 return;
             }
             None | Some(IoFault::LatencySpike) | Some(IoFault::Corrupt) => {}
         }
+        let timeline_bytes_before = store.timeline.byte_len();
         store.timeline.push(TimelineEntry {
             time: now,
             screenshot_offset,
             command_offset,
         });
+        self.obs.incr(names::DISPLAY_KEYFRAMES);
+        self.obs.add(
+            names::DISPLAY_TIMELINE_BYTES,
+            store.timeline.byte_len() - timeline_bytes_before,
+        );
         self.last_keyframe = Some(now);
         self.damage_since_keyframe.clear();
     }
