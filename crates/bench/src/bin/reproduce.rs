@@ -7,12 +7,12 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             obs | ci | all   (default: all; `ci` and `obs` are not
-//!             part of `all`)
+//!             obs | ci | net | all   (default: all; `ci`, `obs`, and
+//!             `net` are not part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci` and `obs` default to 1.0)
-//! --out P:      ci/obs: where to write the JSON (BENCH_ci.json /
-//!               BENCH_obs.json)
+//!             `ci`, `obs`, and `net` default to 1.0)
+//! --out P:      ci/obs/net: where to write the JSON (BENCH_ci.json /
+//!               BENCH_obs.json / BENCH_net.json)
 //! --baseline P: ci: checked-in baseline to gate against
 //!               (BENCH_baseline.json)
 //! ```
@@ -28,14 +28,20 @@
 //! registry + trace snapshot JSON to `--out`, and exits nonzero if the
 //! instrumentation itself costs more than 5% of wall time on the
 //! deferred-pipeline workload.
+//!
+//! The `net` experiment serves one live session to 1/4/16/64 loopback
+//! viewers, prints throughput, tail latency, and coalesce rates, writes
+//! machine-independent metrics to `--out`, and exits nonzero if any
+//! fan-out diverged or the per-client unit cost at fan-out grows more
+//! than 20% over the single-viewer baseline.
 
 use dv_bench::{
     ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
-    fig5_browse_search, fig6_playback, fig7_revive, obs_experiment, policy_effectiveness,
-    print_ablation, print_crash, print_deferred, print_faults, print_fig2, print_fig3, print_fig4,
-    print_fig5, print_fig6, print_fig7, print_mirror_ablation, print_obs, print_policy,
-    print_quality, print_table1, quality_tradeoff, table1,
+    fig5_browse_search, fig6_playback, fig7_revive, net_experiment, obs_experiment,
+    policy_effectiveness, print_ablation, print_crash, print_deferred, print_faults, print_fig2,
+    print_fig3, print_fig4, print_fig5, print_fig6, print_fig7, print_mirror_ablation, print_net,
+    print_obs, print_policy, print_quality, print_table1, quality_tradeoff, table1,
 };
 
 /// How much instrumented wall time may exceed uninstrumented wall time
@@ -45,6 +51,12 @@ const OBS_OVERHEAD_LIMIT: f64 = 1.05;
 /// How much a lower-is-better metric may grow over its baseline before
 /// the gate fails.
 const REGRESSION_TOLERANCE: f64 = 1.20;
+
+/// How much the per-client unit cost at fan-out may exceed the
+/// single-viewer baseline before the `net` gate fails (20%). Fixed
+/// costs amortize across clients, so a healthy multiplexer sits well
+/// under 1.0; creeping past 1.2 means per-client work stopped scaling.
+const NET_OVERHEAD_LIMIT: f64 = 1.20;
 
 /// Serializes metrics as a flat JSON object, one metric per line.
 fn to_flat_json(metrics: &[(String, f64)]) -> String {
@@ -205,6 +217,79 @@ fn run_obs(scale: f64, out: &str) {
     println!("obs gate: instrumentation overhead {ratio:.3}x within {OBS_OVERHEAD_LIMIT:.2}x");
 }
 
+/// Runs the dv-net fan-out experiment: prints the sweep, writes
+/// machine-independent metrics to `out`, and exits nonzero if any
+/// fan-out diverged or per-client overhead at fan-out exceeds the
+/// single-viewer baseline by more than 20%.
+fn run_net(scale: f64, out: &str) {
+    let rows = net_experiment(scale);
+    print_net(&rows);
+
+    let mut metrics = Vec::new();
+    for row in &rows {
+        metrics.push((
+            format!("net_converged_f{}", row.fanout),
+            if row.all_converged { 1.0 } else { 0.0 },
+        ));
+        metrics.push((
+            format!("net_throughput_fps_f{}", row.fanout),
+            row.throughput_fps(),
+        ));
+        metrics.push((
+            format!("net_round_p99_ms_f{}", row.fanout),
+            row.round_p99.as_secs_f64() * 1e3,
+        ));
+        metrics.push((
+            format!("net_coalesce_rate_f{}", row.fanout),
+            row.coalesce_rate(),
+        ));
+    }
+    let single = rows
+        .iter()
+        .find(|r| r.fanout == 1)
+        .expect("single-viewer baseline row");
+    let mut failures = Vec::new();
+    for row in rows.iter().filter(|r| r.fanout > 1) {
+        // Per-client unit cost relative to one viewer: a ratio, so one
+        // machine's run gates another machine's baseline.
+        let ratio = row.per_client_command_us() / single.per_client_command_us().max(1e-9);
+        metrics.push((
+            format!("net_per_client_overhead_f{}_ratio", row.fanout),
+            ratio,
+        ));
+        if ratio > NET_OVERHEAD_LIMIT {
+            failures.push(format!(
+                "fanout {}: per-client overhead {ratio:.3}x exceeds {NET_OVERHEAD_LIMIT:.2}x of single-viewer cost",
+                row.fanout
+            ));
+        }
+    }
+    for row in rows.iter().filter(|r| !r.all_converged) {
+        failures.push(format!(
+            "fanout {}: a viewer diverged from the session",
+            row.fanout
+        ));
+    }
+
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    if failures.is_empty() {
+        println!(
+            "net gate: all fan-outs converged within {NET_OVERHEAD_LIMIT:.2}x per-client overhead"
+        );
+    } else {
+        eprintln!("net gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
@@ -234,15 +319,15 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
             other => experiment = other.to_string(),
         }
     }
-    // `ci` and `obs` favor paper-sized runs for stable ratios.
-    let gated = experiment == "ci" || experiment == "obs";
+    // `ci`, `obs`, and `net` favor paper-sized runs for stable ratios.
+    let gated = experiment == "ci" || experiment == "obs" || experiment == "net";
     let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
@@ -262,6 +347,12 @@ fn main() {
     if experiment == "obs" {
         let out = out.unwrap_or_else(|| "BENCH_obs.json".to_string());
         run_obs(scale, &out);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "net" {
+        let out = out.unwrap_or_else(|| "BENCH_net.json".to_string());
+        run_net(scale, &out);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

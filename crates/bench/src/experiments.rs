@@ -1300,6 +1300,162 @@ pub fn crash_consistency(scale: f64) -> Vec<CrashRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Remote access: client fan-out over dv-net
+// ---------------------------------------------------------------------
+
+/// One dv-net fan-out measurement: a live session served to `fanout`
+/// loopback viewers at once.
+pub struct NetRow {
+    /// Concurrent clients.
+    pub fanout: usize,
+    /// Live display commands the session generated.
+    pub commands: u64,
+    /// Frames fully delivered to client transports (all clients).
+    pub frames_delivered: u64,
+    /// Bytes accepted by client transports.
+    pub bytes_sent: u64,
+    /// Times a slow client's backlog collapsed into a keyframe.
+    pub coalesce_events: u64,
+    /// Wall time of the serving loop.
+    pub wall: std::time::Duration,
+    /// Median per-round delivery latency (draw burst → every client
+    /// caught up).
+    pub round_p50: std::time::Duration,
+    /// 99th-percentile per-round delivery latency.
+    pub round_p99: std::time::Duration,
+    /// Whether every client's final framebuffer fingerprint matched
+    /// the server's local view.
+    pub all_converged: bool,
+}
+
+impl NetRow {
+    /// Frames delivered per wall second, across all clients.
+    pub fn throughput_fps(&self) -> f64 {
+        self.frames_delivered as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Coalesce events per live frame offered (commands x fanout).
+    pub fn coalesce_rate(&self) -> f64 {
+        self.coalesce_events as f64 / (self.commands as f64 * self.fanout as f64).max(1.0)
+    }
+
+    /// Wall microseconds per client per command — the unit cost whose
+    /// growth with fan-out the CI gate bounds.
+    pub fn per_client_command_us(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e6 / (self.commands as f64 * self.fanout as f64).max(1.0)
+    }
+}
+
+/// Serves one live session to `fanout` loopback clients and measures
+/// delivery. Bursty drawing (periodic bursts larger than the send
+/// queue) forces the slow-client coalescing path to run.
+fn net_run(fanout: usize, scale: f64) -> NetRow {
+    use dv_net::{LoopbackTransport, NetClient, NetConfig, NetService};
+
+    const W: u32 = 320;
+    const H: u32 = 240;
+    let rounds = ((240.0 * scale) as usize).max(40);
+
+    let clock = SimClock::new();
+    let mut svc = NetService::new(
+        DejaView::with_clock(
+            Config {
+                width: W,
+                height: H,
+                ..Config::default()
+            },
+            clock.clone(),
+        ),
+        NetConfig {
+            send_queue_frames: 8,
+            ..NetConfig::default()
+        },
+    );
+    let mut clients: Vec<NetClient<LoopbackTransport>> = (0..fanout)
+        .map(|i| {
+            let (server_end, client_end) = LoopbackTransport::pair();
+            svc.accept(server_end);
+            let mut c = NetClient::connect(client_end, &format!("bench-{i}"));
+            c.attach_live();
+            c
+        })
+        .collect();
+    for _ in 0..10 {
+        for c in clients.iter_mut() {
+            c.poll().expect("loopback client");
+        }
+        svc.poll();
+    }
+
+    let mut commands = 0u64;
+    let mut latencies = Vec::with_capacity(rounds);
+    let started = Instant::now();
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        // Every 8th round bursts past the 8-frame queue bound, so slow
+        // clients exercise the coalescing path; other rounds trickle.
+        let burst = if round % 8 == 0 { 12 } else { 2 };
+        for b in 0..burst {
+            let salt = (round * 16 + b) as u32;
+            svc.dv_mut().driver_mut().fill_rect(
+                dv_display::Rect::new(
+                    salt * 13 % (W - 40),
+                    salt * 7 % (H - 24),
+                    24 + salt % 17,
+                    16 + salt % 9,
+                ),
+                0x0051_a5a5u32.wrapping_mul(salt | 1),
+            );
+            commands += 1;
+        }
+        clock.advance(Duration::from_millis(10));
+        svc.poll();
+        for c in clients.iter_mut() {
+            c.poll().expect("loopback client");
+        }
+        latencies.push(t0.elapsed());
+    }
+    // Drain the tail until every viewer has caught up.
+    for _ in 0..200 {
+        let report = svc.poll();
+        let mut applied = 0;
+        for c in clients.iter_mut() {
+            applied += c.poll().expect("loopback client");
+        }
+        if report.bytes_sent == 0 && applied == 0 {
+            break;
+        }
+    }
+    let wall = started.elapsed();
+
+    let local = svc.dv().screen_fingerprint();
+    let all_converged = clients.iter().all(|c| c.fingerprint() == Some(local));
+    let obs = svc.dv().obs().clone();
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    NetRow {
+        fanout,
+        commands,
+        frames_delivered: obs.counter(dv_obs::names::NET_FRAMES_SENT),
+        bytes_sent: obs.counter(dv_obs::names::NET_BYTES_SENT),
+        coalesce_events: obs.counter(dv_obs::names::NET_COALESCE_EVENTS),
+        wall,
+        round_p50: pct(0.50),
+        round_p99: pct(0.99),
+        all_converged,
+    }
+}
+
+/// The dv-net fan-out experiment: 1, 4, 16, and 64 concurrent viewers
+/// of one live session.
+pub fn net_experiment(scale: f64) -> Vec<NetRow> {
+    [1usize, 4, 16, 64]
+        .iter()
+        .map(|&fanout| net_run(fanout, scale))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1353,6 +1509,19 @@ mod tests {
                 assert!(row.downtime <= row.downtime + row.writeback);
             }
         }
+    }
+
+    #[test]
+    fn net_smoke() {
+        let rows = net_experiment(0.05);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.all_converged, "fanout {} diverged", row.fanout);
+            assert!(row.frames_delivered > 0);
+        }
+        // Bursts past the queue bound must exercise coalescing at the
+        // wider fan-outs.
+        assert!(rows.iter().any(|r| r.coalesce_events > 0));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::experiments::{
     AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow,
-    MirrorAblationRow, ObsReport, OverheadRow, PlaybackRow, QualityRow, ReviveRow, StorageRow,
-    Table1Row,
+    MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow, QualityRow, ReviveRow,
+    StorageRow, Table1Row,
 };
 use dv_checkpoint::PolicyStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -403,6 +403,47 @@ pub fn print_obs(report: &ObsReport) {
         ms(report.instrumented_wall),
         ms(report.baseline_wall),
     );
+}
+
+/// Prints the dv-net client fan-out sweep.
+pub fn print_net(rows: &[NetRow]) {
+    out!("Remote access: dv-net loopback fan-out (one live session, N viewers)");
+    out!(
+        "{:<7} {:>9} {:>11} {:>11} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "clients",
+        "commands",
+        "frames",
+        "KB-sent",
+        "p50(ms)",
+        "p99(ms)",
+        "thru(f/s)",
+        "coalesce%",
+        "converged"
+    );
+    out!("{:-<96}", "");
+    for row in rows {
+        out!(
+            "{:<7} {:>9} {:>11} {:>11.1} {:>9.3} {:>9.3} {:>11.0} {:>10.2}% {:>10}",
+            row.fanout,
+            row.commands,
+            row.frames_delivered,
+            row.bytes_sent as f64 / 1e3,
+            ms(row.round_p50),
+            ms(row.round_p99),
+            row.throughput_fps(),
+            100.0 * row.coalesce_rate(),
+            if row.all_converged { "ok" } else { "DIVERGED" },
+        );
+    }
+    if let Some(single) = rows.iter().find(|r| r.fanout == 1) {
+        for row in rows.iter().filter(|r| r.fanout > 1) {
+            out!(
+                "  {} clients: {:.3}x per-client unit cost vs single viewer",
+                row.fanout,
+                row.per_client_command_us() / single.per_client_command_us().max(1e-9),
+            );
+        }
+    }
 }
 
 /// Prints the §6 policy-effectiveness analysis.

@@ -256,6 +256,18 @@ impl DejaView {
         &mut self.driver
     }
 
+    /// Returns the virtual display driver, read-only (remote-access
+    /// service snapshots and fingerprints).
+    pub fn driver(&self) -> &VirtualDisplayDriver {
+        &self.driver
+    }
+
+    /// Content hash of the live screen — the fingerprint a correctly
+    /// synchronized remote viewer must reproduce byte-for-byte.
+    pub fn screen_fingerprint(&self) -> u64 {
+        self.driver.snapshot().content_hash()
+    }
+
     /// Returns the main session's execution environment.
     pub fn vee_mut(&mut self) -> &mut Vee {
         &mut self.vee

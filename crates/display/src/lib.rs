@@ -51,4 +51,6 @@ pub use queue::{CommandQueue, QueuedCommand};
 pub use rect::{Rect, Region};
 pub use scale::{scale_command, scale_screenshot, ScaleFactor};
 pub use viewer::{InputEvent, Viewer, ViewerStats};
-pub use wire::{decode_input, encode_input, ByteChannel, RemoteViewer, StreamEncoder};
+pub use wire::{
+    decode_input, encode_input, ByteChannel, ChannelClosed, PumpStatus, RemoteViewer, StreamEncoder,
+};

@@ -20,10 +20,36 @@ use crate::command::DisplayCommand;
 use crate::driver::CommandSink;
 use crate::viewer::{InputEvent, Viewer};
 
+/// Error returned by [`ByteChannel::try_recv`] once the peer has
+/// closed the channel and every buffered byte has been drained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChannelClosed;
+
+impl std::fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte channel closed by peer")
+    }
+}
+
+impl std::error::Error for ChannelClosed {}
+
+#[derive(Default)]
+struct ChannelState {
+    queue: VecDeque<u8>,
+    closed: bool,
+}
+
 /// A byte channel between server and viewer (a TCP socket stand-in).
+///
+/// The channel has explicit lifecycle semantics: after [`close`]
+/// (`ByteChannel::close`), buffered bytes still drain, but
+/// [`try_recv`](ByteChannel::try_recv) on an empty closed channel
+/// reports [`ChannelClosed`] instead of an empty read — so a consumer
+/// can distinguish "no bytes yet" from "peer gone". Bytes sent after
+/// close are discarded.
 #[derive(Clone, Default)]
 pub struct ByteChannel {
-    inner: Arc<Mutex<VecDeque<u8>>>,
+    inner: Arc<Mutex<ChannelState>>,
 }
 
 impl ByteChannel {
@@ -32,26 +58,62 @@ impl ByteChannel {
         ByteChannel::default()
     }
 
-    /// Appends bytes to the channel.
-    pub fn send(&self, bytes: &[u8]) {
-        self.inner.lock().extend(bytes.iter().copied());
+    /// Appends bytes to the channel. Bytes sent after [`close`]
+    /// (`ByteChannel::close`) are dropped, mirroring a write to a
+    /// half-closed socket; returns how many bytes were accepted.
+    pub fn send(&self, bytes: &[u8]) -> usize {
+        let mut state = self.inner.lock();
+        if state.closed {
+            return 0;
+        }
+        state.queue.extend(bytes.iter().copied());
+        bytes.len()
     }
 
-    /// Removes and returns up to `max` bytes.
+    /// Removes and returns up to `max` bytes (empty when nothing is
+    /// buffered, whether or not the channel is closed). Prefer
+    /// [`try_recv`](ByteChannel::try_recv) when EOF matters.
     pub fn recv(&self, max: usize) -> Vec<u8> {
-        let mut queue = self.inner.lock();
-        let take = max.min(queue.len());
-        queue.drain(..take).collect()
+        let mut state = self.inner.lock();
+        let take = max.min(state.queue.len());
+        state.queue.drain(..take).collect()
+    }
+
+    /// Removes and returns up to `max` bytes, or [`ChannelClosed`] once
+    /// the channel is closed *and* fully drained. An empty `Ok` means
+    /// "no bytes yet, try again".
+    pub fn try_recv(&self, max: usize) -> Result<Vec<u8>, ChannelClosed> {
+        let mut state = self.inner.lock();
+        if state.queue.is_empty() {
+            return if state.closed {
+                Err(ChannelClosed)
+            } else {
+                Ok(Vec::new())
+            };
+        }
+        let take = max.min(state.queue.len());
+        Ok(state.queue.drain(..take).collect())
+    }
+
+    /// Closes the channel: no further bytes are accepted, and readers
+    /// see EOF once the buffer drains.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+    }
+
+    /// Returns whether the channel has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
     }
 
     /// Returns the number of buffered bytes.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().queue.len()
     }
 
     /// Returns whether the channel is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().queue.is_empty()
     }
 }
 
@@ -149,16 +211,43 @@ impl RemoteViewer {
     ///
     /// Propagates stream corruption.
     pub fn pump(&mut self, channel: &ByteChannel) -> Result<usize, CodecError> {
+        Ok(self.poll(channel)?.applied)
+    }
+
+    /// Pumps all currently available bytes from a channel, reporting
+    /// whether the peer is gone. Unlike [`pump`](RemoteViewer::pump),
+    /// which cannot distinguish "no bytes yet" from a closed channel,
+    /// `poll` surfaces EOF so a viewer loop can stop instead of
+    /// spinning on empty reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream corruption.
+    pub fn poll(&mut self, channel: &ByteChannel) -> Result<PumpStatus, CodecError> {
         let mut applied = 0;
         loop {
-            let chunk = channel.recv(1400); // MTU-ish chunks.
-            if chunk.is_empty() {
-                break;
+            match channel.try_recv(1400) {
+                // MTU-ish chunks.
+                Ok(chunk) if chunk.is_empty() => {
+                    return Ok(PumpStatus {
+                        applied,
+                        eof: false,
+                    })
+                }
+                Ok(chunk) => applied += self.feed(&chunk)?,
+                Err(ChannelClosed) => return Ok(PumpStatus { applied, eof: true }),
             }
-            applied += self.feed(&chunk)?;
         }
-        Ok(applied)
     }
+}
+
+/// What one [`RemoteViewer::poll`] pass over a channel produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PumpStatus {
+    /// Complete commands applied during this pass.
+    pub applied: usize,
+    /// Whether the channel reported EOF (peer gone, buffer drained).
+    pub eof: bool,
 }
 
 /// Encodes one input event for the viewer-to-server direction of the
@@ -344,6 +433,68 @@ mod tests {
         let bad = [9u8, 0, 0];
         let mut bad_slice = &bad[..];
         assert!(decode_input(&mut bad_slice).is_err());
+    }
+
+    #[test]
+    fn closed_channel_drains_then_reports_eof() {
+        let channel = ByteChannel::new();
+        let mut encoder = StreamEncoder::new(channel.clone());
+        encoder.submit(
+            Timestamp::ZERO,
+            &DisplayCommand::SolidFill {
+                rect: Rect::new(0, 0, 4, 4),
+                color: 7,
+            },
+        );
+        let mut remote = RemoteViewer::new(8, 8);
+        // Open and empty: "no bytes yet".
+        let pumped = remote.poll(&channel).unwrap();
+        assert_eq!(
+            pumped,
+            PumpStatus {
+                applied: 1,
+                eof: false
+            }
+        );
+        channel.close();
+        // Writes after close are discarded.
+        assert_eq!(channel.send(&[1, 2, 3]), 0);
+        assert!(channel.is_closed());
+        // Closed and drained: EOF, not an empty read.
+        assert_eq!(channel.try_recv(16), Err(ChannelClosed));
+        let pumped = remote.poll(&channel).unwrap();
+        assert_eq!(
+            pumped,
+            PumpStatus {
+                applied: 0,
+                eof: true
+            }
+        );
+    }
+
+    #[test]
+    fn close_with_buffered_bytes_still_delivers_them() {
+        let channel = ByteChannel::new();
+        let mut encoder = StreamEncoder::new(channel.clone());
+        for i in 0..4u32 {
+            encoder.submit(
+                Timestamp::ZERO,
+                &DisplayCommand::SolidFill {
+                    rect: Rect::new(i, 0, 1, 1),
+                    color: i,
+                },
+            );
+        }
+        channel.close();
+        let mut remote = RemoteViewer::new(8, 8);
+        let pumped = remote.poll(&channel).unwrap();
+        assert_eq!(
+            pumped,
+            PumpStatus {
+                applied: 4,
+                eof: true
+            }
+        );
     }
 
     #[test]

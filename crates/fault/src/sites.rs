@@ -22,8 +22,16 @@ pub const RECORD_SCREENSHOT_PERSIST: &str = "record.screenshot.persist";
 pub const RECORD_TIMELINE_PERSIST: &str = "record.timeline.persist";
 /// Index segment flush in `dv-index` (archive save path).
 pub const INDEX_SEGMENT_FLUSH: &str = "index.segment.flush";
+/// Transport send in `dv-net` — torn frames, stalls, resets on the
+/// server-to-client (or client-to-server) byte stream.
+pub const NET_SEND: &str = "net.transport.send";
+/// Transport receive in `dv-net` — short reads, stalls, resets.
+pub const NET_RECV: &str = "net.transport.recv";
 
-/// Every instrumented site, for exhaustive fault-matrix tests.
+/// Every instrumented *storage* site, for exhaustive fault-matrix
+/// tests over the persistence stack. The transport sites live in
+/// [`NET_ALL`]: they fail whole connections, not stored bytes, so the
+/// storage crash/fault matrices don't iterate them.
 pub const ALL: [&str; 10] = [
     LSFS_DISK_APPEND,
     LSFS_JOURNAL_COMMIT,
@@ -37,15 +45,18 @@ pub const ALL: [&str; 10] = [
     INDEX_SEGMENT_FLUSH,
 ];
 
+/// The remote-access transport sites, for connection fault tests.
+pub const NET_ALL: [&str; 2] = [NET_SEND, NET_RECV];
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn site_names_are_unique() {
-        let mut names: Vec<&str> = ALL.to_vec();
+        let mut names: Vec<&str> = ALL.iter().chain(NET_ALL.iter()).copied().collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), ALL.len());
+        assert_eq!(names.len(), ALL.len() + NET_ALL.len());
     }
 }

@@ -1,0 +1,586 @@
+//! The dv-net session protocol.
+//!
+//! One message per frame payload: `[tag: u8][body...]`. The display
+//! command stream reuses the display codec byte-for-byte (the record
+//! format is the wire format, §3 of the paper), screenshots reuse the
+//! record's RLE screenshot encoding, and input events reuse the viewer
+//! wire encoding — dv-net adds only the session envelope: handshake,
+//! stream subscription, RPCs, and liveness.
+//!
+//! Direction conventions: `Hello`, `AttachLive`, `Detach`, `Input`,
+//! `Seek`, `Search`, `Ping`, and `Bye` travel client → server;
+//! `Welcome`, `Reject`, `Command`, `Keyframe`, `SeekReply`,
+//! `SearchReply`, `Pong`, and `Error` travel server → client.
+
+use dv_display::{
+    decode_command, decode_input, encode_command, encode_input, CodecError, DisplayCommand,
+    InputEvent, Screenshot,
+};
+use dv_index::RankOrder;
+use dv_record::{decode_screenshot, encode_screenshot};
+use dv_time::{Duration, Timestamp};
+
+/// Version carried in the handshake; a server rejects clients speaking
+/// a different version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_REJECT: u8 = 3;
+const TAG_ATTACH_LIVE: u8 = 4;
+const TAG_DETACH: u8 = 5;
+const TAG_INPUT: u8 = 6;
+const TAG_SEEK: u8 = 7;
+const TAG_SEEK_REPLY: u8 = 8;
+const TAG_SEARCH: u8 = 9;
+const TAG_SEARCH_REPLY: u8 = 10;
+const TAG_COMMAND: u8 = 11;
+const TAG_KEYFRAME: u8 = 12;
+const TAG_PING: u8 = 13;
+const TAG_PONG: u8 = 14;
+const TAG_BYE: u8 = 15;
+const TAG_ERROR: u8 = 16;
+
+/// Errors produced while decoding a protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtoError {
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The body ended before the message was complete.
+    Truncated,
+    /// A field was internally inconsistent.
+    BadPayload(&'static str),
+    /// An embedded display command failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::Truncated => write!(f, "truncated message body"),
+            ProtoError::BadPayload(why) => write!(f, "malformed message: {why}"),
+            ProtoError::Codec(e) => write!(f, "embedded command: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<CodecError> for ProtoError {
+    fn from(e: CodecError) -> Self {
+        ProtoError::Codec(e)
+    }
+}
+
+/// One search hit as carried on the wire: the index metadata without
+/// the screenshot portals (a client seeks to `time` to view a hit,
+/// keeping replies small).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireHit {
+    /// When the query first became satisfied.
+    pub time: Timestamp,
+    /// When it stopped being satisfied.
+    pub until: Timestamp,
+    /// How long the matching text persisted.
+    pub persistence: Duration,
+    /// Number of matching text instances overlapping the interval.
+    pub matches: u32,
+    /// A text snippet from a matching instance.
+    pub snippet: String,
+    /// Applications contributing matches.
+    pub apps: Vec<String>,
+}
+
+/// One protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Message {
+    /// Client introduction; the server answers `Welcome` or `Reject`.
+    Hello {
+        /// Client protocol version.
+        version: u16,
+        /// Client name (diagnostics only).
+        name: String,
+    },
+    /// Handshake accepted; carries the live screen geometry.
+    Welcome {
+        /// Server protocol version.
+        version: u16,
+        /// Live screen width in pixels.
+        width: u32,
+        /// Live screen height in pixels.
+        height: u32,
+    },
+    /// Handshake refused (version mismatch); the server closes after.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Subscribe to the live display stream; the server replies with a
+    /// `Keyframe` of the current screen, then `Command`s.
+    AttachLive,
+    /// Unsubscribe from the live display stream.
+    Detach,
+    /// One user input event forwarded to the server (never recorded).
+    Input {
+        /// The forwarded event.
+        event: InputEvent,
+    },
+    /// Playback-seek RPC: reconstruct the screen at `t`.
+    Seek {
+        /// Request id echoed in the reply.
+        req_id: u32,
+        /// Target session time.
+        t: Timestamp,
+    },
+    /// Reply to `Seek`.
+    SeekReply {
+        /// Request id from the `Seek`.
+        req_id: u32,
+        /// The reconstructed screen.
+        shot: Screenshot,
+    },
+    /// Text-index search RPC.
+    Search {
+        /// Request id echoed in the reply.
+        req_id: u32,
+        /// Result ordering.
+        order: RankOrder,
+        /// Query in the §4.4 string syntax.
+        query: String,
+    },
+    /// Reply to `Search`.
+    SearchReply {
+        /// Request id from the `Search`.
+        req_id: u32,
+        /// Matching intervals, in the requested order.
+        hits: Vec<WireHit>,
+    },
+    /// One live display command (server → subscribed client).
+    Command {
+        /// Session time the command was generated.
+        ts: Timestamp,
+        /// The command itself, display-codec encoded on the wire.
+        cmd: DisplayCommand,
+    },
+    /// A whole-screen keyframe: sent on attach and after slow-client
+    /// coalescing; the client replaces its framebuffer wholesale.
+    Keyframe {
+        /// Session time of the snapshot.
+        ts: Timestamp,
+        /// The screen contents.
+        shot: Screenshot,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed in the `Pong`.
+        nonce: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Nonce from the `Ping`.
+        nonce: u64,
+    },
+    /// Graceful disconnect (either direction); the sender closes after.
+    Bye,
+    /// An RPC failed server-side.
+    Error {
+        /// Request id of the failed RPC (0 when not tied to one).
+        req_id: u32,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, ProtoError> {
+    let (&first, rest) = buf.split_first().ok_or(ProtoError::Truncated)?;
+    *buf = rest;
+    Ok(first)
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, ProtoError> {
+    if buf.len() < 2 {
+        return Err(ProtoError::Truncated);
+    }
+    let v = u16::from_le_bytes(buf[..2].try_into().expect("2 bytes"));
+    *buf = &buf[2..];
+    Ok(v)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, ProtoError> {
+    if buf.len() < 4 {
+        return Err(ProtoError::Truncated);
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, ProtoError> {
+    if buf.len() < 8 {
+        return Err(ProtoError::Truncated);
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+fn get_bytes<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], ProtoError> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(ProtoError::Truncated);
+    }
+    let (body, rest) = buf.split_at(len);
+    *buf = rest;
+    Ok(body)
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, ProtoError> {
+    let body = get_bytes(buf)?;
+    String::from_utf8(body.to_vec()).map_err(|_| ProtoError::BadPayload("invalid utf-8 string"))
+}
+
+fn order_tag(order: RankOrder) -> u8 {
+    match order {
+        RankOrder::Chronological => 0,
+        RankOrder::ReverseChronological => 1,
+        RankOrder::PersistenceAscending => 2,
+        RankOrder::MatchCount => 3,
+    }
+}
+
+fn order_from_tag(tag: u8) -> Result<RankOrder, ProtoError> {
+    Ok(match tag {
+        0 => RankOrder::Chronological,
+        1 => RankOrder::ReverseChronological,
+        2 => RankOrder::PersistenceAscending,
+        3 => RankOrder::MatchCount,
+        _ => return Err(ProtoError::BadPayload("unknown rank order")),
+    })
+}
+
+/// Appends the encoded form of `msg` to `out`.
+pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Hello { version, name } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&version.to_le_bytes());
+            put_str(name, out);
+        }
+        Message::Welcome {
+            version,
+            width,
+            height,
+        } => {
+            out.push(TAG_WELCOME);
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&width.to_le_bytes());
+            out.extend_from_slice(&height.to_le_bytes());
+        }
+        Message::Reject { reason } => {
+            out.push(TAG_REJECT);
+            put_str(reason, out);
+        }
+        Message::AttachLive => out.push(TAG_ATTACH_LIVE),
+        Message::Detach => out.push(TAG_DETACH),
+        Message::Input { event } => {
+            out.push(TAG_INPUT);
+            encode_input(event, out);
+        }
+        Message::Seek { req_id, t } => {
+            out.push(TAG_SEEK);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&t.as_nanos().to_le_bytes());
+        }
+        Message::SeekReply { req_id, shot } => {
+            out.push(TAG_SEEK_REPLY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            put_bytes(&encode_screenshot(shot), out);
+        }
+        Message::Search {
+            req_id,
+            order,
+            query,
+        } => {
+            out.push(TAG_SEARCH);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(order_tag(*order));
+            put_str(query, out);
+        }
+        Message::SearchReply { req_id, hits } => {
+            out.push(TAG_SEARCH_REPLY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+            for hit in hits {
+                out.extend_from_slice(&hit.time.as_nanos().to_le_bytes());
+                out.extend_from_slice(&hit.until.as_nanos().to_le_bytes());
+                out.extend_from_slice(&hit.persistence.as_nanos().to_le_bytes());
+                out.extend_from_slice(&hit.matches.to_le_bytes());
+                put_str(&hit.snippet, out);
+                out.extend_from_slice(&(hit.apps.len() as u32).to_le_bytes());
+                for app in &hit.apps {
+                    put_str(app, out);
+                }
+            }
+        }
+        Message::Command { ts, cmd } => {
+            out.push(TAG_COMMAND);
+            out.extend_from_slice(&ts.as_nanos().to_le_bytes());
+            encode_command(cmd, out);
+        }
+        Message::Keyframe { ts, shot } => {
+            out.push(TAG_KEYFRAME);
+            out.extend_from_slice(&ts.as_nanos().to_le_bytes());
+            put_bytes(&encode_screenshot(shot), out);
+        }
+        Message::Ping { nonce } => {
+            out.push(TAG_PING);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Message::Pong { nonce } => {
+            out.push(TAG_PONG);
+            out.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Message::Bye => out.push(TAG_BYE),
+        Message::Error { req_id, message } => {
+            out.push(TAG_ERROR);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            put_str(message, out);
+        }
+    }
+}
+
+/// Encodes a message into a fresh buffer.
+pub fn encode_message_vec(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_message(msg, &mut out);
+    out
+}
+
+/// Decodes one message from a complete frame payload.
+///
+/// # Errors
+///
+/// [`ProtoError`] when the payload is malformed; the connection should
+/// be dropped (framing guarantees the payload arrived intact, so a
+/// decode failure is a peer bug, not line noise).
+pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
+    let mut buf = payload;
+    let tag = get_u8(&mut buf)?;
+    let msg = match tag {
+        TAG_HELLO => Message::Hello {
+            version: get_u16(&mut buf)?,
+            name: get_str(&mut buf)?,
+        },
+        TAG_WELCOME => Message::Welcome {
+            version: get_u16(&mut buf)?,
+            width: get_u32(&mut buf)?,
+            height: get_u32(&mut buf)?,
+        },
+        TAG_REJECT => Message::Reject {
+            reason: get_str(&mut buf)?,
+        },
+        TAG_ATTACH_LIVE => Message::AttachLive,
+        TAG_DETACH => Message::Detach,
+        TAG_INPUT => {
+            let event = decode_input(&mut buf)?.ok_or(ProtoError::Truncated)?;
+            Message::Input { event }
+        }
+        TAG_SEEK => Message::Seek {
+            req_id: get_u32(&mut buf)?,
+            t: Timestamp::from_nanos(get_u64(&mut buf)?),
+        },
+        TAG_SEEK_REPLY => {
+            let req_id = get_u32(&mut buf)?;
+            let shot = decode_screenshot(get_bytes(&mut buf)?)
+                .ok_or(ProtoError::BadPayload("undecodable screenshot"))?;
+            Message::SeekReply { req_id, shot }
+        }
+        TAG_SEARCH => {
+            let req_id = get_u32(&mut buf)?;
+            let order = order_from_tag(get_u8(&mut buf)?)?;
+            Message::Search {
+                req_id,
+                order,
+                query: get_str(&mut buf)?,
+            }
+        }
+        TAG_SEARCH_REPLY => {
+            let req_id = get_u32(&mut buf)?;
+            let count = get_u32(&mut buf)? as usize;
+            let mut hits = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let time = Timestamp::from_nanos(get_u64(&mut buf)?);
+                let until = Timestamp::from_nanos(get_u64(&mut buf)?);
+                let persistence = Duration::from_nanos(get_u64(&mut buf)?);
+                let matches = get_u32(&mut buf)?;
+                let snippet = get_str(&mut buf)?;
+                let app_count = get_u32(&mut buf)? as usize;
+                let mut apps = Vec::with_capacity(app_count.min(64));
+                for _ in 0..app_count {
+                    apps.push(get_str(&mut buf)?);
+                }
+                hits.push(WireHit {
+                    time,
+                    until,
+                    persistence,
+                    matches,
+                    snippet,
+                    apps,
+                });
+            }
+            Message::SearchReply { req_id, hits }
+        }
+        TAG_COMMAND => {
+            let ts = Timestamp::from_nanos(get_u64(&mut buf)?);
+            let cmd = decode_command(&mut buf)?;
+            Message::Command { ts, cmd }
+        }
+        TAG_KEYFRAME => {
+            let ts = Timestamp::from_nanos(get_u64(&mut buf)?);
+            let shot = decode_screenshot(get_bytes(&mut buf)?)
+                .ok_or(ProtoError::BadPayload("undecodable screenshot"))?;
+            Message::Keyframe { ts, shot }
+        }
+        TAG_PING => Message::Ping {
+            nonce: get_u64(&mut buf)?,
+        },
+        TAG_PONG => Message::Pong {
+            nonce: get_u64(&mut buf)?,
+        },
+        TAG_BYE => Message::Bye,
+        TAG_ERROR => Message::Error {
+            req_id: get_u32(&mut buf)?,
+            message: get_str(&mut buf)?,
+        },
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    if !buf.is_empty() {
+        return Err(ProtoError::BadPayload("trailing bytes after message"));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_display::Rect;
+
+    fn shot() -> Screenshot {
+        Screenshot {
+            width: 4,
+            height: 2,
+            pixels: vec![0xAA55AA, 0xAA55AA, 1, 2, 3, 3, 3, 0].into(),
+        }
+    }
+
+    fn round_trip(msg: Message) {
+        let bytes = encode_message_vec(&msg);
+        assert_eq!(decode_message(&bytes).expect("decode"), msg);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(Message::Hello {
+            version: PROTOCOL_VERSION,
+            name: "pda-viewer".into(),
+        });
+        round_trip(Message::Welcome {
+            version: PROTOCOL_VERSION,
+            width: 1024,
+            height: 768,
+        });
+        round_trip(Message::Reject {
+            reason: "version mismatch".into(),
+        });
+        round_trip(Message::AttachLive);
+        round_trip(Message::Detach);
+        round_trip(Message::Input {
+            event: InputEvent::Key {
+                ch: 'ф',
+                ctrl: true,
+                alt: false,
+            },
+        });
+        round_trip(Message::Seek {
+            req_id: 7,
+            t: Timestamp::from_millis(1500),
+        });
+        round_trip(Message::SeekReply {
+            req_id: 7,
+            shot: shot(),
+        });
+        round_trip(Message::Search {
+            req_id: 9,
+            order: RankOrder::MatchCount,
+            query: "app:editor quick fox".into(),
+        });
+        round_trip(Message::SearchReply {
+            req_id: 9,
+            hits: vec![WireHit {
+                time: Timestamp::from_secs(1),
+                until: Timestamp::from_secs(3),
+                persistence: Duration::from_secs(2),
+                matches: 4,
+                snippet: "the quick brown fox".into(),
+                apps: vec!["editor".into(), "browser".into()],
+            }],
+        });
+        round_trip(Message::Command {
+            ts: Timestamp::from_millis(250),
+            cmd: DisplayCommand::SolidFill {
+                rect: Rect::new(0, 0, 8, 8),
+                color: 0x123456,
+            },
+        });
+        round_trip(Message::Keyframe {
+            ts: Timestamp::from_secs(2),
+            shot: shot(),
+        });
+        round_trip(Message::Ping { nonce: 99 });
+        round_trip(Message::Pong { nonce: 99 });
+        round_trip(Message::Bye);
+        round_trip(Message::Error {
+            req_id: 3,
+            message: "no checkpoint".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_error_cleanly() {
+        let full = encode_message_vec(&Message::Search {
+            req_id: 1,
+            order: RankOrder::Chronological,
+            query: "hello".into(),
+        });
+        for cut in 0..full.len() {
+            let err = decode_message(&full[..cut]);
+            assert!(err.is_err(), "cut at {cut} decoded: {err:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_message_vec(&Message::Bye);
+        bytes.push(0);
+        assert_eq!(
+            decode_message(&bytes),
+            Err(ProtoError::BadPayload("trailing bytes after message"))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_message(&[200]), Err(ProtoError::BadTag(200)));
+    }
+}

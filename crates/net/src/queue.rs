@@ -1,0 +1,256 @@
+//! Per-client bounded send queue with THINC-style slow-client
+//! coalescing.
+//!
+//! A remote viewer that falls behind the display command stream must
+//! not make the server buffer without bound (memory) or force every
+//! other client to the slowest client's pace (latency). The classic
+//! THINC answer, which DejaView inherits for its viewers, is that
+//! display state is *coalesceable*: any backlog of display commands is
+//! equivalent to one keyframe of the current framebuffer. So when a
+//! client's queue hits its bound, the queue drops **all** pending live
+//! frames and marks the client as needing a keyframe; the service then
+//! enqueues a single fresh keyframe that already embodies every dropped
+//! command. The client never observes a stale command after the
+//! keyframe — the stream it sees is always a prefix of the truth plus
+//! one atomic catch-up.
+//!
+//! Control frames (RPC replies, pings, the goodbye) are never
+//! coalesced: they are small, latency-sensitive, and not expressible as
+//! framebuffer state.
+
+use std::collections::VecDeque;
+
+use crate::transport::{Transport, TransportError};
+
+/// What happened to a frame offered to [`SendQueue::push_live`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushOutcome {
+    /// The frame was queued for delivery.
+    Queued,
+    /// The queue was full: the backlog (including this frame) was
+    /// replaced by a pending-keyframe marker.
+    Coalesced,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Class {
+    /// RPC replies, pings, goodbyes: never coalesced.
+    Control,
+    /// Live display commands: the coalesceable backlog.
+    Live,
+    /// A catch-up keyframe: not counted against the live bound (it is
+    /// the *product* of coalescing) and superseded, not dropped, when
+    /// the client falls behind again.
+    Keyframe,
+}
+
+struct Outbound {
+    bytes: Vec<u8>,
+    class: Class,
+}
+
+/// Bounded outbound frame queue for one client connection.
+pub struct SendQueue {
+    queue: VecDeque<Outbound>,
+    /// Wire bytes of the frame currently being transmitted; a frame is
+    /// popped from `queue` only once these drain, so a mid-frame stall
+    /// never interleaves two frames.
+    in_flight: Vec<u8>,
+    in_flight_off: usize,
+    max_live: usize,
+    needs_keyframe: bool,
+    coalesce_events: u64,
+    dropped_frames: u64,
+    sent_frames: u64,
+    sent_bytes: u64,
+}
+
+impl SendQueue {
+    /// Creates a queue admitting at most `max_live` pending live frames.
+    pub fn new(max_live: usize) -> Self {
+        SendQueue {
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            in_flight_off: 0,
+            max_live: max_live.max(1),
+            needs_keyframe: false,
+            coalesce_events: 0,
+            dropped_frames: 0,
+            sent_frames: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Enqueues a control frame (never coalesced, never dropped).
+    pub fn push_control(&mut self, bytes: Vec<u8>) {
+        self.queue.push_back(Outbound {
+            bytes,
+            class: Class::Control,
+        });
+    }
+
+    /// Offers a live display frame. When the live backlog is at its
+    /// bound, the whole backlog *and this frame* are discarded and the
+    /// client is flagged for one catch-up keyframe instead.
+    pub fn push_live(&mut self, bytes: Vec<u8>) -> PushOutcome {
+        let live_pending = self.queue.iter().filter(|o| o.class == Class::Live).count();
+        if live_pending >= self.max_live {
+            self.dropped_frames += live_pending as u64 + 1;
+            self.queue.retain(|o| o.class != Class::Live);
+            self.needs_keyframe = true;
+            self.coalesce_events += 1;
+            return PushOutcome::Coalesced;
+        }
+        self.queue.push_back(Outbound {
+            bytes,
+            class: Class::Live,
+        });
+        PushOutcome::Queued
+    }
+
+    /// Whether a coalesce left this client waiting for a keyframe.
+    pub fn needs_keyframe(&self) -> bool {
+        self.needs_keyframe
+    }
+
+    /// Consumes the pending-keyframe flag. The fresh keyframe embodies
+    /// every frame ever dropped, so it *supersedes* whatever live state
+    /// is still queued: stale live frames and older keyframes are
+    /// discarded, and nothing newer can outrun it (later commands only
+    /// ever queue behind it).
+    pub fn satisfy_keyframe(&mut self, bytes: Vec<u8>) {
+        self.queue.retain(|o| o.class == Class::Control);
+        self.queue.push_back(Outbound {
+            bytes,
+            class: Class::Keyframe,
+        });
+        self.needs_keyframe = false;
+    }
+
+    /// Frames (live + control) awaiting transmission, including the one
+    /// partially on the wire.
+    pub fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.in_flight_off < self.in_flight.len())
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_flight_off >= self.in_flight.len() && !self.needs_keyframe
+    }
+
+    /// Times the backlog collapsed into a keyframe.
+    pub fn coalesce_events(&self) -> u64 {
+        self.coalesce_events
+    }
+
+    /// Live frames discarded by coalescing.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
+    }
+
+    /// Frames fully handed to the transport.
+    pub fn sent_frames(&self) -> u64 {
+        self.sent_frames
+    }
+
+    /// Bytes accepted by the transport.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Pushes queued bytes into `transport` until it stops accepting
+    /// them or the queue drains. Returns bytes moved this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's terminal errors.
+    pub fn pump(&mut self, transport: &mut dyn Transport) -> Result<u64, TransportError> {
+        let mut moved = 0u64;
+        loop {
+            if self.in_flight_off >= self.in_flight.len() {
+                match self.queue.pop_front() {
+                    Some(next) => {
+                        self.in_flight = next.bytes;
+                        self.in_flight_off = 0;
+                    }
+                    None => return Ok(moved),
+                }
+            }
+            let n = transport.send(&self.in_flight[self.in_flight_off..])?;
+            if n == 0 {
+                return Ok(moved);
+            }
+            self.in_flight_off += n;
+            moved += n as u64;
+            self.sent_bytes += n as u64;
+            if self.in_flight_off >= self.in_flight.len() {
+                self.sent_frames += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LoopbackTransport;
+
+    #[test]
+    fn overflow_collapses_backlog_into_keyframe_marker() {
+        let mut q = SendQueue::new(2);
+        assert_eq!(q.push_live(vec![1]), PushOutcome::Queued);
+        assert_eq!(q.push_live(vec![2]), PushOutcome::Queued);
+        assert_eq!(q.push_live(vec![3]), PushOutcome::Coalesced);
+        assert!(q.needs_keyframe());
+        assert_eq!(q.depth(), 0, "live backlog dropped");
+        assert_eq!(q.coalesce_events(), 1);
+        assert_eq!(q.dropped_frames(), 3);
+        q.satisfy_keyframe(vec![9]);
+        assert!(!q.needs_keyframe());
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn control_frames_survive_coalescing() {
+        let mut q = SendQueue::new(1);
+        q.push_control(vec![0xC0]);
+        q.push_live(vec![1]);
+        q.push_live(vec![2]);
+        assert!(q.needs_keyframe());
+        assert_eq!(q.depth(), 1, "control frame kept");
+    }
+
+    #[test]
+    fn keyframe_goes_out_before_newer_live_frames() {
+        let mut q = SendQueue::new(1);
+        q.push_live(vec![1]);
+        q.push_live(vec![2]); // coalesce
+        q.satisfy_keyframe(vec![0xAB]);
+        q.push_live(vec![3]);
+        let (mut a, mut b) = LoopbackTransport::pair();
+        q.pump(&mut a).unwrap();
+        let mut buf = [0u8; 16];
+        let n = b.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], &[0xAB, 3]);
+    }
+
+    #[test]
+    fn pump_resumes_mid_frame_after_stall() {
+        let mut q = SendQueue::new(4);
+        q.push_live(vec![7; 5000]);
+        let (mut a, mut b) = LoopbackTransport::pair(); // 1400-byte chunks
+        let first = q.pump(&mut a).unwrap();
+        assert!(first >= 1400);
+        let mut total = first;
+        while total < 5000 {
+            let moved = q.pump(&mut a).unwrap();
+            assert!(moved > 0);
+            total += moved;
+            let mut sink = [0u8; 4096];
+            while b.recv(&mut sink).unwrap() > 0 {}
+        }
+        assert_eq!(q.sent_frames(), 1);
+        assert_eq!(q.sent_bytes(), 5000);
+        assert!(q.is_idle());
+    }
+}

@@ -1,0 +1,679 @@
+//! The session-multiplexing remote-access service.
+//!
+//! [`NetService`] wraps an owned [`DejaView`] server and serves three
+//! kinds of traffic to many concurrent clients over any [`Transport`]:
+//!
+//! 1. **Live viewing** — every display command the virtual display
+//!    driver emits is tapped (via a [`CommandSink`] teed next to the
+//!    recorder's) and fanned out to each attached client's bounded
+//!    [`SendQueue`]. A client that falls behind is coalesced to a
+//!    single catch-up keyframe rather than stalling the server or
+//!    other clients.
+//! 2. **Timeline playback** — `Seek` RPCs reconstruct the recorded
+//!    screen at an arbitrary time through the core server's playback
+//!    engine (O(log n) keyframe seek + delta replay).
+//! 3. **Search** — `Search` RPCs run the §4.4 text-index query and
+//!    return ranked hit intervals; the client follows up with `Seek`s
+//!    to portal into results.
+//!
+//! The service is poll-driven and single-threaded over the session
+//! clock: [`NetService::poll`] drains client input, handles RPCs, fans
+//! out live traffic, and pumps transports, all without blocking.
+//! Transport failures are absorbed per client — a reset, stall, or
+//! corrupt stream disconnects *that* client (with a traced event and a
+//! bumped counter) and never disturbs the rest.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dejaview::DejaView;
+use dv_display::driver::CommandSink;
+use dv_display::{DisplayCommand, Screenshot};
+use dv_obs::{names, Obs};
+use dv_time::{Duration, Timestamp};
+use parking_lot::Mutex;
+
+use crate::frame::encode_frame_vec;
+use crate::proto::{encode_message_vec, Message, WireHit, PROTOCOL_VERSION};
+use crate::queue::{PushOutcome, SendQueue};
+use crate::transport::{Transport, TransportError};
+
+/// Tuning knobs for the service.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Connections beyond this are rejected at handshake.
+    pub max_clients: usize,
+    /// Live frames a client may have queued before coalescing.
+    pub send_queue_frames: usize,
+    /// Disconnect a client silent for this long (session time). A
+    /// `Ping` goes out at half this; any inbound frame resets it.
+    pub idle_timeout: Duration,
+    /// First retry delay after a send stall; doubles per consecutive
+    /// stall (bounded exponential backoff on the session clock).
+    pub retry_backoff: Duration,
+    /// Consecutive stalled sends tolerated before disconnecting.
+    pub max_send_retries: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_clients: 64,
+            send_queue_frames: 32,
+            idle_timeout: Duration::from_secs(60),
+            retry_backoff: Duration::from_millis(2),
+            max_send_retries: 8,
+        }
+    }
+}
+
+/// Why a client left, as reported in [`PollReport`] and trace events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The client sent `Bye` or closed its transport in order.
+    Graceful,
+    /// The transport reset under the connection.
+    Reset,
+    /// The inbound stream failed CRC/framing or protocol decode.
+    Corrupt,
+    /// Send retries exhausted against a persistent stall.
+    Stalled,
+    /// The idle timeout elapsed with no inbound traffic.
+    Idle,
+    /// Handshake version mismatch or server full.
+    Rejected,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Graceful => "graceful",
+            DropReason::Reset => "reset",
+            DropReason::Corrupt => "corrupt",
+            DropReason::Stalled => "stalled",
+            DropReason::Idle => "idle",
+            DropReason::Rejected => "rejected",
+        }
+    }
+}
+
+/// What one [`NetService::poll`] accomplished.
+#[derive(Clone, Debug, Default)]
+pub struct PollReport {
+    /// Complete inbound messages handled.
+    pub messages_handled: u64,
+    /// Bytes moved into client transports.
+    pub bytes_sent: u64,
+    /// Clients disconnected this poll, with reasons.
+    pub dropped: Vec<(u64, DropReason)>,
+}
+
+/// Aggregate per-client counters, for tests and the bench.
+#[derive(Clone, Debug, Default)]
+pub struct ClientInfo {
+    /// Service-assigned connection id.
+    pub id: u64,
+    /// Name from the client's `Hello`.
+    pub name: String,
+    /// Whether the client subscribed to the live stream.
+    pub attached: bool,
+    /// Frames fully handed to this client's transport.
+    pub sent_frames: u64,
+    /// Times this client's backlog collapsed into a keyframe.
+    pub coalesce_events: u64,
+    /// Live frames dropped by coalescing.
+    pub dropped_frames: u64,
+    /// Consecutive send retries currently pending.
+    pub retries: u32,
+}
+
+/// Tee sink: captures live display commands for network fan-out.
+///
+/// Attached to the driver alongside the recorder's sink, so recording
+/// and remote viewing observe the identical command stream.
+#[derive(Default)]
+struct CommandTap {
+    buf: VecDeque<(Timestamp, DisplayCommand)>,
+}
+
+impl CommandSink for CommandTap {
+    fn submit(&mut self, ts: Timestamp, cmd: &DisplayCommand) {
+        self.buf.push_back((ts, cmd.clone()));
+    }
+}
+
+struct ClientConn {
+    id: u64,
+    name: String,
+    transport: Box<dyn Transport>,
+    decoder: crate::frame::FrameDecoder,
+    queue: SendQueue,
+    hello_done: bool,
+    attached: bool,
+    closing: bool,
+    last_inbound: Timestamp,
+    pinged: bool,
+    retries: u32,
+    retry_at: Option<Timestamp>,
+    reported_frames: u64,
+}
+
+/// The multiplexing remote-access front end over an owned [`DejaView`].
+pub struct NetService {
+    dv: DejaView,
+    config: NetConfig,
+    obs: Obs,
+    tap: Arc<Mutex<CommandTap>>,
+    clients: Vec<ClientConn>,
+    next_id: u64,
+}
+
+impl NetService {
+    /// Wraps `dv`, teeing its display command stream for fan-out.
+    pub fn new(dv: DejaView, config: NetConfig) -> Self {
+        let mut dv = dv;
+        let obs = dv.obs().clone();
+        let tap: Arc<Mutex<CommandTap>> = Arc::new(Mutex::new(CommandTap::default()));
+        dv.driver_mut().attach_sink(tap.clone());
+        NetService {
+            dv,
+            config,
+            obs,
+            tap,
+            clients: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The wrapped core server (to drive workload, inspect state).
+    pub fn dv(&self) -> &DejaView {
+        &self.dv
+    }
+
+    /// Mutable access to the wrapped core server.
+    pub fn dv_mut(&mut self) -> &mut DejaView {
+        &mut self.dv
+    }
+
+    /// Accepts a connected transport, returning its connection id. The
+    /// handshake completes during subsequent [`poll`](Self::poll)s.
+    pub fn accept(&mut self, transport: impl Transport + 'static) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let now = self.dv.now();
+        self.clients.push(ClientConn {
+            id,
+            name: String::new(),
+            transport: Box::new(transport),
+            decoder: crate::frame::FrameDecoder::new(),
+            queue: SendQueue::new(self.config.send_queue_frames),
+            hello_done: false,
+            attached: false,
+            closing: false,
+            last_inbound: now,
+            pinged: false,
+            retries: 0,
+            retry_at: None,
+            reported_frames: 0,
+        });
+        self.obs
+            .gauge_set(names::NET_CLIENTS, self.clients.len() as u64);
+        id
+    }
+
+    /// Connected client count (handshaken or not).
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Per-client counters, in accept order.
+    pub fn client_info(&self) -> Vec<ClientInfo> {
+        self.clients
+            .iter()
+            .map(|c| ClientInfo {
+                id: c.id,
+                name: c.name.clone(),
+                attached: c.attached,
+                sent_frames: c.queue.sent_frames(),
+                coalesce_events: c.queue.coalesce_events(),
+                dropped_frames: c.queue.dropped_frames(),
+                retries: c.retries,
+            })
+            .collect()
+    }
+
+    /// Queues a graceful `Bye` to every client; they drop on the next
+    /// polls once the goodbye flushes.
+    pub fn shutdown(&mut self) {
+        let bye = encode_frame_vec(&encode_message_vec(&Message::Bye));
+        for conn in &mut self.clients {
+            conn.queue.push_control(bye.clone());
+            conn.closing = true;
+        }
+    }
+
+    /// One non-blocking service turn: drain inbound, handle RPCs, fan
+    /// out live traffic, pump transports, enforce timeouts.
+    pub fn poll(&mut self) -> PollReport {
+        let _flush = self.obs.span("net", names::NET_FLUSH);
+        let mut report = PollReport::default();
+
+        self.drain_inbound(&mut report);
+        self.fan_out_live();
+        self.satisfy_keyframes();
+        self.pump_queues(&mut report);
+        self.enforce_idle(&mut report);
+        self.reap(&mut report);
+
+        let depth: usize = self.clients.iter().map(|c| c.queue.depth()).sum();
+        self.obs.gauge_set(names::NET_QUEUE_DEPTH, depth as u64);
+        self.obs
+            .gauge_set(names::NET_CLIENTS, self.clients.len() as u64);
+        report
+    }
+
+    /// Polls until every client queue drains or `max_polls` elapses.
+    /// Convenience for tests and the bench inner loop.
+    pub fn poll_until_quiet(&mut self, max_polls: usize) -> PollReport {
+        let mut total = PollReport::default();
+        for _ in 0..max_polls {
+            let r = self.poll();
+            let quiet = r.messages_handled == 0 && r.bytes_sent == 0 && r.dropped.is_empty();
+            total.messages_handled += r.messages_handled;
+            total.bytes_sent += r.bytes_sent;
+            total.dropped.extend(r.dropped);
+            if quiet && self.clients.iter().all(|c| c.queue.is_idle()) {
+                break;
+            }
+        }
+        total
+    }
+
+    fn drain_inbound(&mut self, report: &mut PollReport) {
+        let now = self.dv.now();
+        let obs = self.obs.clone();
+        // Messages are collected first, then handled, because handling
+        // needs `&mut self.dv` while draining borrows the clients.
+        let mut todo: Vec<(usize, Message)> = Vec::new();
+        for (ci, conn) in self.clients.iter_mut().enumerate() {
+            if conn.closing {
+                continue;
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.transport.recv(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        obs.add(names::NET_BYTES_RECEIVED, n as u64);
+                        conn.decoder.feed(&buf[..n]);
+                    }
+                    Err(TransportError::Closed) => {
+                        conn.closing = true;
+                        obs.event(
+                            "net",
+                            names::EV_NET_DISCONNECT,
+                            format!("client={} reason=graceful", conn.id),
+                        );
+                        report.dropped.push((conn.id, DropReason::Graceful));
+                        break;
+                    }
+                    Err(TransportError::Reset) => {
+                        conn.closing = true;
+                        obs.incr(names::NET_RESETS);
+                        obs.event(
+                            "net",
+                            names::EV_NET_DISCONNECT,
+                            format!("client={} reason=reset", conn.id),
+                        );
+                        report.dropped.push((conn.id, DropReason::Reset));
+                        break;
+                    }
+                }
+            }
+            loop {
+                let outcome = match conn.decoder.next_frame() {
+                    Ok(Some(payload)) => {
+                        obs.incr(names::NET_FRAMES_RECEIVED);
+                        conn.last_inbound = now;
+                        conn.pinged = false;
+                        crate::proto::decode_message(&payload).map(Some)
+                    }
+                    Ok(None) => Ok(None),
+                    Err(e) => Err(crate::proto::ProtoError::BadPayload(match e {
+                        crate::frame::FrameError::TooLarge(_) => "frame too large",
+                        crate::frame::FrameError::Corrupt { .. } => "frame CRC mismatch",
+                    })),
+                };
+                match outcome {
+                    Ok(Some(msg)) => todo.push((ci, msg)),
+                    Ok(None) => break,
+                    Err(e) => {
+                        conn.closing = true;
+                        obs.incr(names::NET_CORRUPT_FRAMES);
+                        obs.event(
+                            "net",
+                            names::EV_NET_DISCONNECT,
+                            format!("client={} reason=corrupt {e}", conn.id),
+                        );
+                        report.dropped.push((conn.id, DropReason::Corrupt));
+                        break;
+                    }
+                }
+            }
+        }
+        for (ci, msg) in todo {
+            if !self.clients[ci].closing {
+                report.messages_handled += 1;
+                self.handle_message(ci, msg);
+            }
+        }
+    }
+
+    fn handle_message(&mut self, ci: usize, msg: Message) {
+        match msg {
+            Message::Hello { version, name } => {
+                let over_capacity =
+                    self.clients.iter().filter(|c| c.hello_done).count() >= self.config.max_clients;
+                let conn = &mut self.clients[ci];
+                if version != PROTOCOL_VERSION {
+                    conn.push_control_msg(&Message::Reject {
+                        reason: format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    });
+                    conn.closing = true;
+                    return;
+                }
+                if over_capacity {
+                    conn.push_control_msg(&Message::Reject {
+                        reason: "server full".to_string(),
+                    });
+                    conn.closing = true;
+                    return;
+                }
+                conn.name = name;
+                conn.hello_done = true;
+                let (width, height) = self.dv.screen_size();
+                self.clients[ci].push_control_msg(&Message::Welcome {
+                    version: PROTOCOL_VERSION,
+                    width,
+                    height,
+                });
+            }
+            Message::AttachLive => {
+                let ts = self.dv.now();
+                let shot = self.dv.driver().snapshot();
+                let conn = &mut self.clients[ci];
+                if conn.hello_done && !conn.attached {
+                    conn.attached = true;
+                    // Seed the new viewer with the current screen so a
+                    // mid-session attach converges immediately.
+                    conn.queue
+                        .push_live(encode_live(&Message::Keyframe { ts, shot }));
+                }
+            }
+            Message::Detach => {
+                self.clients[ci].attached = false;
+            }
+            Message::Input { event } if self.clients[ci].hello_done => {
+                self.dv.input(event);
+            }
+            Message::Input { .. } => {}
+            Message::Seek { req_id, t } => {
+                let reply = {
+                    let _span = self
+                        .obs
+                        .span("net", names::NET_RPC_SEEK)
+                        .with_event(format!(
+                            "client={} t={}ns",
+                            self.clients[ci].id,
+                            t.as_nanos()
+                        ));
+                    self.dv.browse(t)
+                };
+                let msg = match reply {
+                    Ok(shot) => Message::SeekReply { req_id, shot },
+                    Err(e) => Message::Error {
+                        req_id,
+                        message: format!("seek failed: {e}"),
+                    },
+                };
+                self.clients[ci].push_control_msg(&msg);
+            }
+            Message::Search {
+                req_id,
+                order,
+                query,
+            } => {
+                let reply = {
+                    let _span = self
+                        .obs
+                        .span("net", names::NET_RPC_SEARCH)
+                        .with_event(format!("client={} query={query:?}", self.clients[ci].id));
+                    self.dv.search(&query, order)
+                };
+                let msg = match reply {
+                    Ok(results) => Message::SearchReply {
+                        req_id,
+                        hits: results
+                            .into_iter()
+                            .map(|r| WireHit {
+                                time: r.hit.time,
+                                until: r.hit.until,
+                                persistence: r.hit.persistence,
+                                matches: r.hit.matches.min(u32::MAX as usize) as u32,
+                                snippet: r.hit.snippet,
+                                apps: r.hit.apps,
+                            })
+                            .collect(),
+                    },
+                    Err(e) => Message::Error {
+                        req_id,
+                        message: format!("search failed: {e}"),
+                    },
+                };
+                self.clients[ci].push_control_msg(&msg);
+            }
+            Message::Ping { nonce } => {
+                self.clients[ci].push_control_msg(&Message::Pong { nonce });
+            }
+            Message::Pong { .. } => {
+                // Liveness refreshed by the frame itself (last_inbound).
+            }
+            Message::Bye => {
+                let conn = &mut self.clients[ci];
+                conn.closing = true;
+                self.obs.event(
+                    "net",
+                    names::EV_NET_DISCONNECT,
+                    format!("client={} reason=graceful", conn.id),
+                );
+            }
+            // Server-bound traffic only; ignore echoes of our own
+            // message kinds rather than killing the connection.
+            _ => {}
+        }
+    }
+
+    fn fan_out_live(&mut self) {
+        let drained: Vec<(Timestamp, DisplayCommand)> = {
+            let mut tap = self.tap.lock();
+            tap.buf.drain(..).collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        for (ts, cmd) in drained {
+            let frame = encode_live(&Message::Command { ts, cmd });
+            for conn in &mut self.clients {
+                if !conn.attached || conn.closing || conn.queue.needs_keyframe() {
+                    continue;
+                }
+                if conn.queue.push_live(frame.clone()) == PushOutcome::Coalesced {
+                    self.obs.incr(names::NET_COALESCE_EVENTS);
+                    self.obs.event(
+                        "net",
+                        names::EV_NET_COALESCE,
+                        format!(
+                            "client={} dropped={} backlog collapsed to keyframe",
+                            conn.id,
+                            conn.queue.dropped_frames()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn satisfy_keyframes(&mut self) {
+        if !self
+            .clients
+            .iter()
+            .any(|c| c.queue.needs_keyframe() && !c.closing)
+        {
+            return;
+        }
+        let ts = self.dv.now();
+        let shot: Screenshot = self.dv.driver().snapshot();
+        let frame = encode_live(&Message::Keyframe { ts, shot });
+        for conn in &mut self.clients {
+            if conn.queue.needs_keyframe() && !conn.closing {
+                conn.queue.satisfy_keyframe(frame.clone());
+            }
+        }
+    }
+
+    fn pump_queues(&mut self, report: &mut PollReport) {
+        let now = self.dv.now();
+        for conn in &mut self.clients {
+            if let Some(at) = conn.retry_at {
+                if now < at {
+                    continue;
+                }
+                conn.retry_at = None;
+            }
+            let had_pending = conn.queue.depth() > 0;
+            match conn.queue.pump(&mut *conn.transport) {
+                Ok(moved) => {
+                    report.bytes_sent += moved;
+                    self.obs.add(names::NET_BYTES_SENT, moved);
+                    let frames = conn.queue.sent_frames();
+                    self.obs
+                        .add(names::NET_FRAMES_SENT, frames - conn.reported_frames);
+                    conn.reported_frames = frames;
+                    if moved == 0 && had_pending {
+                        // A stall with data pending: bounded backoff on
+                        // the session clock before the next attempt.
+                        conn.retries += 1;
+                        self.obs.incr(names::NET_SEND_RETRIES);
+                        if conn.retries > self.config.max_send_retries {
+                            conn.closing = true;
+                            self.obs.event(
+                                "net",
+                                names::EV_NET_DISCONNECT,
+                                format!(
+                                    "client={} reason=stalled retries={}",
+                                    conn.id, conn.retries
+                                ),
+                            );
+                            report.dropped.push((conn.id, DropReason::Stalled));
+                        } else {
+                            let exp = conn.retries.saturating_sub(1).min(16);
+                            let backoff =
+                                Duration::from_nanos(self.config.retry_backoff.as_nanos() << exp);
+                            conn.retry_at = Some(now.saturating_add(backoff));
+                            self.obs.event(
+                                "net",
+                                names::EV_NET_RETRY,
+                                format!(
+                                    "client={} retry={} backoff={}ns",
+                                    conn.id,
+                                    conn.retries,
+                                    backoff.as_nanos()
+                                ),
+                            );
+                        }
+                    } else if moved > 0 {
+                        conn.retries = 0;
+                    }
+                }
+                Err(e) => {
+                    conn.closing = true;
+                    let reason = match e {
+                        TransportError::Reset => {
+                            self.obs.incr(names::NET_RESETS);
+                            DropReason::Reset
+                        }
+                        TransportError::Closed => DropReason::Graceful,
+                    };
+                    self.obs.event(
+                        "net",
+                        names::EV_NET_DISCONNECT,
+                        format!("client={} reason={}", conn.id, reason.as_str()),
+                    );
+                    report.dropped.push((conn.id, reason));
+                }
+            }
+        }
+    }
+
+    fn enforce_idle(&mut self, report: &mut PollReport) {
+        let now = self.dv.now();
+        let timeout = self.config.idle_timeout;
+        let half = Duration::from_nanos(timeout.as_nanos() / 2);
+        for conn in &mut self.clients {
+            if conn.closing || !conn.hello_done {
+                continue;
+            }
+            let silent = now.saturating_since(conn.last_inbound);
+            if silent >= timeout {
+                conn.push_control_msg(&Message::Bye);
+                conn.closing = true;
+                self.obs.incr(names::NET_IDLE_DISCONNECTS);
+                self.obs.event(
+                    "net",
+                    names::EV_NET_DISCONNECT,
+                    format!(
+                        "client={} reason=idle silent={}ns",
+                        conn.id,
+                        silent.as_nanos()
+                    ),
+                );
+                report.dropped.push((conn.id, DropReason::Idle));
+            } else if silent >= half && !conn.pinged {
+                conn.pinged = true;
+                conn.push_control_msg(&Message::Ping {
+                    nonce: conn.id ^ now.as_nanos(),
+                });
+            }
+        }
+    }
+
+    fn reap(&mut self, _report: &mut PollReport) {
+        // A closing client lingers until its farewell bytes flush (or
+        // its transport dies), then the connection is torn down.
+        self.clients.retain_mut(|conn| {
+            if !conn.closing {
+                return true;
+            }
+            let dead = conn.queue.pump(&mut *conn.transport).is_err();
+            if dead || conn.queue.depth() == 0 {
+                conn.transport.close();
+                return false;
+            }
+            true
+        });
+    }
+}
+
+impl ClientConn {
+    fn push_control_msg(&mut self, msg: &Message) {
+        self.queue
+            .push_control(encode_frame_vec(&encode_message_vec(msg)));
+    }
+}
+
+/// Encodes a live (coalesceable) message to its wire frame.
+fn encode_live(msg: &Message) -> Vec<u8> {
+    encode_frame_vec(&encode_message_vec(msg))
+}

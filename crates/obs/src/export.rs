@@ -42,7 +42,15 @@ pub struct StreamBreakdown {
 }
 
 /// Preferred ordering of the recording streams in reports.
-const STREAM_ORDER: [&str; 6] = ["display", "text", "index", "checkpoint", "lsfs", "fault"];
+const STREAM_ORDER: [&str; 7] = [
+    "display",
+    "text",
+    "index",
+    "checkpoint",
+    "lsfs",
+    "net",
+    "fault",
+];
 
 impl ObsSnapshot {
     /// Counter value by name (0 when absent).

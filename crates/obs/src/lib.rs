@@ -301,7 +301,7 @@ impl Drop for Span {
 
 /// Metric-name constants shared between the instrumented crates and
 /// the consumers (`Server::storage()`, `reproduce obs`). Streams:
-/// `display`, `text`, `index`, `checkpoint`, `lsfs`, `fault`,
+/// `display`, `text`, `index`, `checkpoint`, `lsfs`, `fault`, `net`,
 /// `server`.
 pub mod names {
     /// Commands generated by the virtual display driver.
@@ -413,6 +413,42 @@ pub mod names {
     pub const FAULT_INJECTED: &str = "fault.injected";
     /// Event name for one injected fault.
     pub const EV_FAULT_INJECTED: &str = "fault.injected";
+
+    /// Frames sent to remote-access clients.
+    pub const NET_FRAMES_SENT: &str = "net.frames_sent";
+    /// Frames received from remote-access clients.
+    pub const NET_FRAMES_RECEIVED: &str = "net.frames_received";
+    /// Wire bytes sent to remote-access clients.
+    pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+    /// Wire bytes received from remote-access clients.
+    pub const NET_BYTES_RECEIVED: &str = "net.bytes_received";
+    /// Gauge: clients currently connected to the remote-access service.
+    pub const NET_CLIENTS: &str = "net.clients";
+    /// Gauge: messages queued across all per-client send queues.
+    pub const NET_QUEUE_DEPTH: &str = "net.queue_depth";
+    /// Slow-client coalesce events (pending damage folded into one
+    /// keyframe).
+    pub const NET_COALESCE_EVENTS: &str = "net.coalesce_events";
+    /// Transport send retries (bounded-backoff recovery from stalls).
+    pub const NET_SEND_RETRIES: &str = "net.send_retries";
+    /// Connections dropped by transport resets or corruption.
+    pub const NET_RESETS: &str = "net.resets";
+    /// Clients disconnected by the idle timeout.
+    pub const NET_IDLE_DISCONNECTS: &str = "net.idle_disconnects";
+    /// Corrupt frames detected by the CRC check.
+    pub const NET_CORRUPT_FRAMES: &str = "net.corrupt_frames";
+    /// Span: one playback-seek RPC served.
+    pub const NET_RPC_SEEK: &str = "net.rpc_seek";
+    /// Span: one search RPC served.
+    pub const NET_RPC_SEARCH: &str = "net.rpc_search";
+    /// Span: one live-stream flush to one client.
+    pub const NET_FLUSH: &str = "net.flush";
+    /// Event name for one remote-access disconnect (any cause).
+    pub const EV_NET_DISCONNECT: &str = "net.disconnect";
+    /// Event name for one slow-client coalesce.
+    pub const EV_NET_COALESCE: &str = "net.coalesce";
+    /// Event name for one transport-fault recovery retry.
+    pub const EV_NET_RETRY: &str = "net.retry";
 
     /// Degraded events observed by the server (failed attempts).
     pub const SERVER_DEGRADED_EVENTS: &str = "server.degraded_events";

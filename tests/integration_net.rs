@@ -1,0 +1,324 @@
+//! dv-net integration: many concurrent remote viewers over the
+//! deterministic loopback transport, against one live DejaView session.
+//!
+//! The claims under test, end to end:
+//!
+//! - A fan-out of clients attaching **mid-session** each converge to a
+//!   framebuffer whose fingerprint is byte-for-byte the server's local
+//!   view, and they track it through further live drawing.
+//! - Input events ride the wire back: a remote keystroke reaches the
+//!   server's desktop (the annotation key combo consumes the current
+//!   selection).
+//! - Playback seeks and text-index searches multiplex over the same
+//!   connection as the live stream and agree with the server's own
+//!   answers.
+//! - An injected transport failure on ONE client surfaces in the
+//!   dv-obs trace ring AND the retry/reset counters while every other
+//!   client stays correct — the blast radius of a bad link is that
+//!   link.
+
+mod common;
+
+use dejaview::{Config, DejaView};
+use dv_display::viewer::InputEvent;
+use dv_display::Rect;
+use dv_fault::{sites, FaultPlan, IoFault};
+use dv_index::RankOrder;
+use dv_net::{
+    decode_message, encode_frame_vec, encode_message_vec, FrameDecoder, LoopbackTransport, Message,
+    NetClient, NetConfig, NetService, Transport, PROTOCOL_VERSION,
+};
+use dv_obs::names;
+use dv_time::{Duration, Timestamp};
+
+const W: u32 = 96;
+const H: u32 = 64;
+
+fn service() -> NetService {
+    NetService::new(
+        DejaView::new(Config {
+            width: W,
+            height: H,
+            ..Config::default()
+        }),
+        NetConfig::default(),
+    )
+}
+
+/// Interleaves client and service polls until traffic settles.
+fn converge(svc: &mut NetService, clients: &mut [NetClient<LoopbackTransport>]) {
+    for _ in 0..40 {
+        for c in clients.iter_mut() {
+            // Faulty clients may die mid-converge; that is the point
+            // of some of these tests, not a harness failure.
+            let _ = c.poll();
+        }
+        svc.poll();
+    }
+}
+
+/// A deterministic splash of drawing, distinct per `salt`.
+fn draw(svc: &mut NetService, salt: u32) {
+    let d = svc.dv_mut().driver_mut();
+    d.fill_rect(
+        Rect::new(salt % 40, (salt * 7) % 30, 16 + salt % 9, 12 + salt % 5),
+        0x00112233u32.wrapping_mul(salt | 1),
+    );
+    d.draw_text(
+        (salt * 3) % 50,
+        (salt * 11) % 40,
+        "live",
+        0xFFFFFF,
+        0x000000,
+    );
+    svc.dv_mut().clock().advance(Duration::from_millis(40));
+}
+
+#[test]
+fn sixteen_clients_attach_mid_session_and_track_the_screen() {
+    let mut svc = service();
+
+    // The session is already underway before anyone connects.
+    for salt in 0..12 {
+        draw(&mut svc, salt);
+    }
+
+    let mut clients: Vec<NetClient<LoopbackTransport>> = (0..16)
+        .map(|i| {
+            let (server_end, client_end) = LoopbackTransport::pair();
+            svc.accept(server_end);
+            let mut c = NetClient::connect(client_end, &format!("viewer-{i}"));
+            c.attach_live();
+            c
+        })
+        .collect();
+    converge(&mut svc, &mut clients);
+
+    let local = svc.dv().screen_fingerprint();
+    for (i, c) in clients.iter().enumerate() {
+        assert!(c.is_welcomed(), "client {i} not welcomed");
+        assert_eq!(
+            c.fingerprint(),
+            Some(local),
+            "client {i} diverged after mid-session attach"
+        );
+        assert!(
+            c.stats().keyframes_applied >= 1,
+            "client {i} never got its attach keyframe"
+        );
+    }
+
+    // The session keeps drawing; every viewer tracks it live.
+    for salt in 100..130 {
+        draw(&mut svc, salt);
+        svc.poll();
+        for c in clients.iter_mut() {
+            let _ = c.poll();
+        }
+    }
+    converge(&mut svc, &mut clients);
+
+    let local = svc.dv().screen_fingerprint();
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.fingerprint(), Some(local), "client {i} diverged live");
+        assert!(
+            c.stats().commands_applied > 0,
+            "client {i} saw only keyframes; live deltas never flowed"
+        );
+    }
+    assert_eq!(svc.client_count(), 16);
+}
+
+#[test]
+fn remote_input_round_trips_to_the_desktop() {
+    let mut svc = service();
+    let app = svc.dv_mut().desktop_mut().register_app("editor");
+    let root = svc.dv_mut().desktop_mut().root(app).unwrap();
+    svc.dv_mut()
+        .desktop_mut()
+        .set_selection(app, root, "ship it friday");
+    assert!(svc.dv_mut().desktop_mut().selection().is_some());
+
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    let mut clients = vec![NetClient::connect(client_end, "typist")];
+    converge(&mut svc, &mut clients);
+    assert!(clients[0].is_welcomed());
+
+    // The annotation combo, pressed remotely, consumes the selection
+    // server-side — proof the event crossed the wire into dv.input().
+    clients[0].send_input(&InputEvent::Key {
+        ch: 'a',
+        ctrl: true,
+        alt: true,
+    });
+    converge(&mut svc, &mut clients);
+    assert!(
+        svc.dv_mut().desktop_mut().selection().is_none(),
+        "remote keystroke never reached the desktop"
+    );
+}
+
+#[test]
+fn seek_and_search_rpcs_agree_with_the_server() {
+    let mut svc = service();
+    let app = svc.dv_mut().desktop_mut().register_app("notes");
+    let root = svc.dv_mut().desktop_mut().root(app).unwrap();
+    svc.dv_mut()
+        .desktop_mut()
+        .add_node(app, root, dv_access::Role::Paragraph, "deadline friday");
+    for salt in 0..10 {
+        draw(&mut svc, salt);
+    }
+    let mid = Timestamp::ZERO + Duration::from_millis(200);
+    for salt in 50..60 {
+        draw(&mut svc, salt);
+    }
+
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    let mut clients = vec![NetClient::connect(client_end, "historian")];
+    converge(&mut svc, &mut clients);
+
+    // Seek: the remote reconstruction is the server's reconstruction.
+    let req = clients[0].seek(mid);
+    converge(&mut svc, &mut clients);
+    let remote_shot = clients[0]
+        .take_seek_reply(req)
+        .expect("seek reply never arrived");
+    let local_shot = svc.dv_mut().browse(mid).unwrap();
+    assert_eq!(remote_shot.content_hash(), local_shot.content_hash());
+
+    // Search: same hits, same order, as asking the server directly.
+    let req = clients[0].search("deadline", RankOrder::Chronological);
+    converge(&mut svc, &mut clients);
+    let remote_hits = clients[0]
+        .take_search_reply(req)
+        .expect("search reply never arrived");
+    let local_hits = svc
+        .dv_mut()
+        .search("deadline", RankOrder::Chronological)
+        .unwrap();
+    assert_eq!(remote_hits.len(), local_hits.len());
+    assert!(!remote_hits.is_empty(), "indexed text not found over RPC");
+    for (r, l) in remote_hits.iter().zip(&local_hits) {
+        assert_eq!(r.time, l.hit.time);
+        assert_eq!(r.snippet, l.hit.snippet);
+        assert_eq!(r.matches as usize, l.hit.matches);
+    }
+
+    // A failed RPC comes back as an Error reply, not a dead connection.
+    let req = clients[0].search("time:notanumber deadline", RankOrder::Chronological);
+    converge(&mut svc, &mut clients);
+    assert!(clients[0].take_rpc_error(req).is_some());
+    assert!(!clients[0].is_closed());
+
+    // Graceful goodbye: the server forgets the client.
+    clients[0].bye();
+    converge(&mut svc, &mut clients);
+    assert_eq!(svc.client_count(), 0);
+}
+
+#[test]
+fn transport_faults_on_one_client_leave_the_rest_untouched() {
+    let mut svc = service();
+    for salt in 0..8 {
+        draw(&mut svc, salt);
+    }
+
+    // Four clean viewers and one whose link stalls probabilistically,
+    // then resets for good.
+    let mut clients: Vec<NetClient<LoopbackTransport>> = (0..4)
+        .map(|i| {
+            let (server_end, client_end) = LoopbackTransport::pair();
+            svc.accept(server_end);
+            let mut c = NetClient::connect(client_end, &format!("healthy-{i}"));
+            c.attach_live();
+            c
+        })
+        .collect();
+    let plane = FaultPlan::new(common::seed_for("net-faulty-client"))
+        .probability(sites::NET_SEND, 0.25, IoFault::LatencySpike)
+        .from_nth(sites::NET_SEND, 60, IoFault::TornWrite)
+        .build();
+    let (server_end, client_end) = LoopbackTransport::faulty_pair(&plane);
+    svc.accept(server_end);
+    let mut faulty = NetClient::connect(client_end, "doomed");
+    faulty.attach_live();
+    clients.push(faulty);
+    converge(&mut svc, &mut clients);
+
+    // Keep the session busy until the injected reset lands.
+    for salt in 200..260 {
+        draw(&mut svc, salt);
+        svc.poll();
+        for c in clients.iter_mut() {
+            let _ = c.poll();
+        }
+    }
+    converge(&mut svc, &mut clients);
+
+    // The doomed client is gone; its failure is observable both as
+    // trace events and as counters.
+    assert_eq!(svc.client_count(), 4, "faulty client not reaped");
+    assert!(plane.injected_at(sites::NET_SEND) > 0, "no fault fired");
+    let obs = svc.dv().obs().clone();
+    assert!(
+        obs.counter(names::NET_SEND_RETRIES) > 0,
+        "stalls never retried"
+    );
+    assert!(obs.counter(names::NET_RESETS) > 0, "reset not counted");
+    let events = obs.events();
+    assert!(
+        events.iter().any(|e| e.name == names::EV_NET_RETRY),
+        "no retry event traced"
+    );
+    assert!(
+        events.iter().any(|e| e.name == names::EV_NET_DISCONNECT),
+        "no disconnect event traced"
+    );
+
+    // Everyone else is byte-for-byte correct.
+    let local = svc.dv().screen_fingerprint();
+    for (i, c) in clients.iter().take(4).enumerate() {
+        assert!(!c.is_closed(), "healthy client {i} dropped");
+        assert_eq!(c.fingerprint(), Some(local), "healthy client {i} diverged");
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected_cleanly() {
+    let mut svc = service();
+    let (server_end, mut wire) = LoopbackTransport::pair();
+    svc.accept(server_end);
+
+    let hello = encode_frame_vec(&encode_message_vec(&Message::Hello {
+        version: PROTOCOL_VERSION + 1,
+        name: "time traveler".to_string(),
+    }));
+    let mut off = 0;
+    while off < hello.len() {
+        off += wire.send(&hello[off..]).unwrap();
+    }
+    for _ in 0..10 {
+        svc.poll();
+    }
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match wire.recv(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => dec.feed(&buf[..n]),
+        }
+    }
+    let reply = dec
+        .next_frame()
+        .unwrap()
+        .expect("no reply to bad handshake");
+    match decode_message(&reply).unwrap() {
+        Message::Reject { reason } => assert!(reason.contains("version")),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    assert_eq!(svc.client_count(), 0, "rejected client lingered");
+}
