@@ -52,7 +52,7 @@ pub use frame::{
 };
 pub use proto::{
     decode_message, encode_message, encode_message_vec, Message, ProtoError, WireHit,
-    PROTOCOL_VERSION,
+    MAX_SEARCH_HITS, PROTOCOL_VERSION,
 };
 pub use queue::{PushOutcome, SendQueue};
 pub use service::{ClientInfo, DropReason, NetConfig, NetService, PollReport};

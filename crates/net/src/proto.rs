@@ -24,6 +24,14 @@ use dv_time::{Duration, Timestamp};
 /// a different version.
 pub const PROTOCOL_VERSION: u16 = 1;
 
+/// Most hits a single `SearchReply` carries. The server truncates to
+/// this bound so a broad query can never frame a payload past
+/// [`MAX_FRAME_LEN`](crate::frame::MAX_FRAME_LEN) — an oversized frame
+/// would pass encoding in release builds and then kill the connection
+/// at the receiving decoder. Hits are ranked, so the tail cut is the
+/// least relevant end.
+pub const MAX_SEARCH_HITS: usize = 1024;
+
 const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
 const TAG_REJECT: u8 = 3;

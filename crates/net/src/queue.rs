@@ -113,6 +113,16 @@ impl SendQueue {
         self.needs_keyframe
     }
 
+    /// Flags this client for a catch-up keyframe without counting a
+    /// coalesce. Used to seed a freshly attached viewer: the flag makes
+    /// the fan-out skip commands tapped *before* the snapshot, and the
+    /// keyframe itself is taken after fan-out, so non-idempotent
+    /// commands (`CopyArea`) already embodied by the snapshot are never
+    /// replayed on top of it.
+    pub fn request_keyframe(&mut self) {
+        self.needs_keyframe = true;
+    }
+
     /// Consumes the pending-keyframe flag. The fresh keyframe embodies
     /// every frame ever dropped, so it *supersedes* whatever live state
     /// is still queued: stale live frames and older keyframes are

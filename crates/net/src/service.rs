@@ -34,7 +34,7 @@ use dv_time::{Duration, Timestamp};
 use parking_lot::Mutex;
 
 use crate::frame::encode_frame_vec;
-use crate::proto::{encode_message_vec, Message, WireHit, PROTOCOL_VERSION};
+use crate::proto::{encode_message_vec, Message, WireHit, MAX_SEARCH_HITS, PROTOCOL_VERSION};
 use crate::queue::{PushOutcome, SendQueue};
 use crate::transport::{Transport, TransportError};
 
@@ -197,10 +197,17 @@ impl NetService {
 
     /// Accepts a connected transport, returning its connection id. The
     /// handshake completes during subsequent [`poll`](Self::poll)s.
+    ///
+    /// Total connections (handshaken or not) are bounded at twice
+    /// `max_clients`: beyond that the connection is immediately queued
+    /// a `Reject` and torn down once it flushes, so a flood of sockets
+    /// that never speak cannot accumulate ahead of the handshake
+    /// deadline.
     pub fn accept(&mut self, transport: impl Transport + 'static) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         let now = self.dv.now();
+        let over_backlog = self.clients.len() >= self.config.max_clients.saturating_mul(2);
         self.clients.push(ClientConn {
             id,
             name: String::new(),
@@ -216,6 +223,18 @@ impl NetService {
             retry_at: None,
             reported_frames: 0,
         });
+        if over_backlog {
+            let conn = self.clients.last_mut().expect("just pushed");
+            conn.push_control_msg(&Message::Reject {
+                reason: "server full".to_string(),
+            });
+            conn.closing = true;
+            self.obs.event(
+                "net",
+                names::EV_NET_DISCONNECT,
+                format!("client={id} reason=rejected accept backlog full"),
+            );
+        }
         self.obs
             .gauge_set(names::NET_CLIENTS, self.clients.len() as u64);
         id
@@ -401,15 +420,15 @@ impl NetService {
                 });
             }
             Message::AttachLive => {
-                let ts = self.dv.now();
-                let shot = self.dv.driver().snapshot();
                 let conn = &mut self.clients[ci];
                 if conn.hello_done && !conn.attached {
                     conn.attached = true;
-                    // Seed the new viewer with the current screen so a
-                    // mid-session attach converges immediately.
-                    conn.queue
-                        .push_live(encode_live(&Message::Keyframe { ts, shot }));
+                    // Seed the new viewer via satisfy_keyframes, which
+                    // runs AFTER fan_out_live: commands tapped before
+                    // the snapshot must not queue behind it, or they
+                    // would be applied twice — fatal for CopyArea,
+                    // which reads the screen it scrolls.
+                    conn.queue.request_keyframe();
                 }
             }
             Message::Detach => {
@@ -419,7 +438,7 @@ impl NetService {
                 self.dv.input(event);
             }
             Message::Input { .. } => {}
-            Message::Seek { req_id, t } => {
+            Message::Seek { req_id, t } if self.clients[ci].hello_done => {
                 let reply = {
                     let _span = self
                         .obs
@@ -444,7 +463,7 @@ impl NetService {
                 req_id,
                 order,
                 query,
-            } => {
+            } if self.clients[ci].hello_done => {
                 let reply = {
                     let _span = self
                         .obs
@@ -453,10 +472,21 @@ impl NetService {
                     self.dv.search(&query, order)
                 };
                 let msg = match reply {
-                    Ok(results) => Message::SearchReply {
-                        req_id,
-                        hits: results
+                    Ok(results) => {
+                        if results.len() > MAX_SEARCH_HITS {
+                            self.obs.event(
+                                "net",
+                                names::NET_RPC_SEARCH,
+                                format!(
+                                    "client={} reply truncated {} -> {MAX_SEARCH_HITS} hits",
+                                    self.clients[ci].id,
+                                    results.len()
+                                ),
+                            );
+                        }
+                        let hits = results
                             .into_iter()
+                            .take(MAX_SEARCH_HITS)
                             .map(|r| WireHit {
                                 time: r.hit.time,
                                 until: r.hit.until,
@@ -465,8 +495,9 @@ impl NetService {
                                 snippet: r.hit.snippet,
                                 apps: r.hit.apps,
                             })
-                            .collect(),
-                    },
+                            .collect();
+                        Message::SearchReply { req_id, hits }
+                    }
                     Err(e) => Message::Error {
                         req_id,
                         message: format!("search failed: {e}"),
@@ -474,7 +505,7 @@ impl NetService {
                 };
                 self.clients[ci].push_control_msg(&msg);
             }
-            Message::Ping { nonce } => {
+            Message::Ping { nonce } if self.clients[ci].hello_done => {
                 self.clients[ci].push_control_msg(&Message::Pong { nonce });
             }
             Message::Pong { .. } => {
@@ -546,6 +577,11 @@ impl NetService {
     fn pump_queues(&mut self, report: &mut PollReport) {
         let now = self.dv.now();
         for conn in &mut self.clients {
+            if conn.closing {
+                // reap() flushes the farewell; pumping here too would
+                // report a second drop with a conflicting reason.
+                continue;
+            }
             if let Some(at) = conn.retry_at {
                 if now < at {
                     continue;
@@ -622,10 +658,30 @@ impl NetService {
         let timeout = self.config.idle_timeout;
         let half = Duration::from_nanos(timeout.as_nanos() / 2);
         for conn in &mut self.clients {
-            if conn.closing || !conn.hello_done {
+            if conn.closing {
                 continue;
             }
             let silent = now.saturating_since(conn.last_inbound);
+            if !conn.hello_done {
+                // A connection that never completes its handshake gets
+                // half the idle budget to produce a Hello, then goes:
+                // silent or hostile sockets must not accumulate.
+                if silent >= half {
+                    conn.closing = true;
+                    self.obs.incr(names::NET_IDLE_DISCONNECTS);
+                    self.obs.event(
+                        "net",
+                        names::EV_NET_DISCONNECT,
+                        format!(
+                            "client={} reason=idle handshake deadline silent={}ns",
+                            conn.id,
+                            silent.as_nanos()
+                        ),
+                    );
+                    report.dropped.push((conn.id, DropReason::Idle));
+                }
+                continue;
+            }
             if silent >= timeout {
                 conn.push_control_msg(&Message::Bye);
                 conn.closing = true;
@@ -649,19 +705,41 @@ impl NetService {
         }
     }
 
-    fn reap(&mut self, _report: &mut PollReport) {
+    fn reap(&mut self, report: &mut PollReport) {
         // A closing client lingers until its farewell bytes flush (or
-        // its transport dies), then the connection is torn down.
+        // its transport dies, or the flush itself stalls out), then the
+        // connection is torn down. Its drop was already reported when
+        // `closing` was set; nothing is re-reported here.
+        let obs = self.obs.clone();
+        let max_retries = self.config.max_send_retries;
         self.clients.retain_mut(|conn| {
             if !conn.closing {
                 return true;
             }
-            let dead = conn.queue.pump(&mut *conn.transport).is_err();
-            if dead || conn.queue.depth() == 0 {
-                conn.transport.close();
-                return false;
+            match conn.queue.pump(&mut *conn.transport) {
+                Ok(moved) => {
+                    report.bytes_sent += moved;
+                    obs.add(names::NET_BYTES_SENT, moved);
+                    if conn.queue.depth() == 0 {
+                        conn.transport.close();
+                        return false;
+                    }
+                    // The farewell is best-effort: a stalled flush must
+                    // not keep the corpse around forever.
+                    if moved == 0 {
+                        conn.retries += 1;
+                        if conn.retries > max_retries {
+                            conn.transport.close();
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Err(_) => {
+                    conn.transport.close();
+                    false
+                }
             }
-            true
         });
     }
 }

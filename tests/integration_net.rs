@@ -130,6 +130,51 @@ fn sixteen_clients_attach_mid_session_and_track_the_screen() {
 }
 
 #[test]
+fn attach_with_pending_scroll_commands_does_not_replay_them() {
+    let mut svc = service();
+    for salt in 0..6 {
+        draw(&mut svc, salt);
+    }
+    svc.poll(); // drain the tap so only post-connect damage is pending
+
+    // The Hello + AttachLive frames are on the wire, waiting to be
+    // handled in the same service poll that fans out the tap.
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    let mut c = NetClient::connect(client_end, "scroller");
+    c.attach_live();
+    let _ = c.poll();
+
+    // Non-idempotent damage lands in the tap BEFORE that poll runs:
+    // CopyArea reads the screen it scrolls, so replaying it on top of
+    // a keyframe that already embodies it corrupts the remote view.
+    let d = svc.dv_mut().driver_mut();
+    d.fill_rect(Rect::new(4, 4, 30, 20), 0xDEADBEEF);
+    d.copy_area(4, 4, Rect::new(10, 10, 24, 14));
+    d.copy_area(0, 0, Rect::new(2, 2, 40, 30));
+    svc.dv_mut().clock().advance(Duration::from_millis(5));
+
+    let mut clients = vec![c];
+    converge(&mut svc, &mut clients);
+    assert_eq!(
+        clients[0].fingerprint(),
+        Some(svc.dv().screen_fingerprint()),
+        "commands tapped before the attach keyframe were replayed on top of it"
+    );
+
+    // And the viewer keeps tracking live scrolls from here on.
+    let d = svc.dv_mut().driver_mut();
+    d.copy_area(1, 1, Rect::new(0, 0, 50, 40));
+    svc.dv_mut().clock().advance(Duration::from_millis(5));
+    converge(&mut svc, &mut clients);
+    assert_eq!(
+        clients[0].fingerprint(),
+        Some(svc.dv().screen_fingerprint()),
+        "viewer lost the live scroll stream after attach"
+    );
+}
+
+#[test]
 fn remote_input_round_trips_to_the_desktop() {
     let mut svc = service();
     let app = svc.dv_mut().desktop_mut().register_app("editor");
@@ -248,15 +293,28 @@ fn transport_faults_on_one_client_leave_the_rest_untouched() {
     clients.push(faulty);
     converge(&mut svc, &mut clients);
 
-    // Keep the session busy until the injected reset lands.
+    // Keep the session busy until the injected reset lands, collecting
+    // every drop the service reports along the way.
+    let mut drops: Vec<(u64, dv_net::DropReason)> = Vec::new();
     for salt in 200..260 {
         draw(&mut svc, salt);
-        svc.poll();
+        drops.extend(svc.poll().dropped);
         for c in clients.iter_mut() {
             let _ = c.poll();
         }
     }
     converge(&mut svc, &mut clients);
+
+    // One client dying is reported exactly once, with one reason — a
+    // drop must not be re-reported by a later pipeline stage.
+    let mut drop_ids: Vec<u64> = drops.iter().map(|(id, _)| *id).collect();
+    drop_ids.sort_unstable();
+    drop_ids.dedup();
+    assert_eq!(
+        drop_ids.len(),
+        drops.len(),
+        "duplicate drop reports: {drops:?}"
+    );
 
     // The doomed client is gone; its failure is observable both as
     // trace events and as counters.
@@ -284,6 +342,109 @@ fn transport_faults_on_one_client_leave_the_rest_untouched() {
         assert!(!c.is_closed(), "healthy client {i} dropped");
         assert_eq!(c.fingerprint(), Some(local), "healthy client {i} diverged");
     }
+}
+
+#[test]
+fn unhandshaken_connection_hits_the_handshake_deadline() {
+    let mut svc = service();
+    let (server_end, _held_open) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    assert_eq!(svc.client_count(), 1);
+
+    // Half the idle budget elapses with no Hello: the silent socket is
+    // dropped, not parked forever outside the idle scan.
+    svc.dv_mut()
+        .clock()
+        .advance(Duration::from_secs(31)); // idle_timeout default 60s
+    let report = svc.poll();
+    assert!(
+        report
+            .dropped
+            .iter()
+            .any(|(_, r)| *r == dv_net::DropReason::Idle),
+        "handshake deadline never fired: {report:?}"
+    );
+    assert_eq!(svc.client_count(), 0, "silent connection lingered");
+}
+
+#[test]
+fn accept_backlog_is_bounded_at_twice_max_clients() {
+    let mut svc = NetService::new(
+        DejaView::new(Config {
+            width: W,
+            height: H,
+            ..Config::default()
+        }),
+        NetConfig {
+            max_clients: 2,
+            ..NetConfig::default()
+        },
+    );
+    let mut clients: Vec<NetClient<LoopbackTransport>> = (0..10)
+        .map(|i| {
+            let (server_end, client_end) = LoopbackTransport::pair();
+            svc.accept(server_end);
+            NetClient::connect(client_end, &format!("flood-{i}"))
+        })
+        .collect();
+    converge(&mut svc, &mut clients);
+
+    // Capacity admits two; everyone else was turned away, whether at
+    // the Hello (slots 3-4 of the backlog) or straight at accept.
+    let welcomed = clients.iter().filter(|c| c.is_welcomed()).count();
+    assert_eq!(welcomed, 2, "capacity check admitted the wrong number");
+    assert_eq!(
+        svc.client_count(),
+        2,
+        "rejected connections were not reaped"
+    );
+    assert!(
+        clients.iter().filter(|c| c.is_closed()).count() >= 8,
+        "turned-away clients never learned their fate"
+    );
+}
+
+#[test]
+fn rpcs_before_the_handshake_are_ignored() {
+    let mut svc = service();
+    for salt in 0..4 {
+        draw(&mut svc, salt);
+    }
+    let (server_end, mut wire) = LoopbackTransport::pair();
+    svc.accept(server_end);
+
+    // Seek + Search straight away, no Hello: neither runs nor replies.
+    let mut bytes = encode_frame_vec(&encode_message_vec(&Message::Seek {
+        req_id: 7,
+        t: Timestamp::ZERO,
+    }));
+    bytes.extend(encode_frame_vec(&encode_message_vec(&Message::Search {
+        req_id: 8,
+        order: RankOrder::Chronological,
+        query: "live".to_string(),
+    })));
+    let mut off = 0;
+    while off < bytes.len() {
+        off += wire.send(&bytes[off..]).unwrap();
+    }
+    for _ in 0..10 {
+        svc.poll();
+    }
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match wire.recv(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => dec.feed(&buf[..n]),
+        }
+    }
+    assert_eq!(
+        dec.next_frame().unwrap(),
+        None,
+        "server answered an RPC from an un-handshaken client"
+    );
+    assert_eq!(svc.client_count(), 1, "connection should survive, parked");
 }
 
 #[test]
