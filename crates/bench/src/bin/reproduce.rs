@@ -7,12 +7,13 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             obs | ci | net | all   (default: all; `ci`, `obs`, and
-//!             `net` are not part of `all`)
+//!             obs | ci | net | host | all   (default: all; `ci`,
+//!             `obs`, `net`, and `host` are not part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci`, `obs`, and `net` default to 1.0)
-//! --out P:      ci/obs/net: where to write the JSON (BENCH_ci.json /
-//!               BENCH_obs.json / BENCH_net.json)
+//!             `ci`, `obs`, `net`, and `host` default to 1.0)
+//! --out P:      ci/obs/net/host: where to write the JSON
+//!               (BENCH_ci.json / BENCH_obs.json / BENCH_net.json /
+//!               BENCH_host.json)
 //! --baseline P: ci: checked-in baseline to gate against
 //!               (BENCH_baseline.json)
 //! ```
@@ -34,14 +35,22 @@
 //! machine-independent metrics to `--out`, and exits nonzero if any
 //! fan-out diverged or the per-client unit cost at fan-out grows more
 //! than 20% over the single-viewer baseline.
+//!
+//! The `host` experiment packs 1/16/128/1024 recording sessions onto
+//! one shared commit pool, prints per-checkpoint unit costs and the
+//! cross-tenant interference measurement, writes machine-independent
+//! metrics to `--out`, and exits nonzero if the per-session unit cost
+//! at scale exceeds 1.25x of the single-session cost, a faulted tenant
+//! degraded a neighbour, or a neighbour's restore fingerprint changed.
 
 use dv_bench::{
     ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
-    fig5_browse_search, fig6_playback, fig7_revive, net_experiment, obs_experiment,
-    policy_effectiveness, print_ablation, print_crash, print_deferred, print_faults, print_fig2,
-    print_fig3, print_fig4, print_fig5, print_fig6, print_fig7, print_mirror_ablation, print_net,
-    print_obs, print_policy, print_quality, print_table1, quality_tradeoff, table1,
+    fig5_browse_search, fig6_playback, fig7_revive, host_experiment, net_experiment,
+    obs_experiment, policy_effectiveness, print_ablation, print_crash, print_deferred,
+    print_faults, print_fig2, print_fig3, print_fig4, print_fig5, print_fig6, print_fig7,
+    print_host, print_mirror_ablation, print_net, print_obs, print_policy, print_quality,
+    print_table1, quality_tradeoff, table1,
 };
 
 /// How much instrumented wall time may exceed uninstrumented wall time
@@ -57,6 +66,17 @@ const REGRESSION_TOLERANCE: f64 = 1.20;
 /// costs amortize across clients, so a healthy multiplexer sits well
 /// under 1.0; creeping past 1.2 means per-client work stopped scaling.
 const NET_OVERHEAD_LIMIT: f64 = 1.20;
+
+/// How much the per-checkpoint unit cost at high session counts may
+/// exceed the single-session baseline before the `host` gate fails.
+/// Machine-independent: both sides of the ratio come from the same run.
+const HOST_OVERHEAD_LIMIT: f64 = 1.25;
+
+/// How much neighbour session-thread stall may grow when one tenant
+/// fails every commit before the `host` gate fails. Fair lane
+/// scheduling keeps a faulted tenant's retry storm off its
+/// neighbours' threads, so a healthy host sits near 1.0.
+const HOST_INTERFERENCE_LIMIT: f64 = 1.50;
 
 /// Serializes metrics as a flat JSON object, one metric per line.
 fn to_flat_json(metrics: &[(String, f64)]) -> String {
@@ -290,6 +310,125 @@ fn run_net(scale: f64, out: &str) {
     }
 }
 
+/// Runs the dv-host experiment: prints the session sweep and the
+/// interference measurement, writes machine-independent metrics to
+/// `out`, and exits nonzero if per-session cost stopped scaling, a
+/// faulted tenant degraded a neighbour, or a neighbour's record
+/// changed under a neighbour's fault.
+fn run_host(scale: f64, out: &str) {
+    let report = host_experiment(scale);
+    print_host(&report);
+
+    let mut metrics = Vec::new();
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        metrics.push((
+            format!("host_checkpoints_s{}", row.sessions),
+            row.checkpoints as f64,
+        ));
+        metrics.push((
+            format!("host_committed_s{}", row.sessions),
+            row.committed as f64,
+        ));
+    }
+    let single = report
+        .rows
+        .iter()
+        .find(|r| r.sessions == 1)
+        .expect("single-session baseline row");
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        // Per-checkpoint unit cost relative to one session: a ratio
+        // computed within the same sweep pass, so one machine's run
+        // gates another machine's baseline and machine drift between
+        // sweep points cancels.
+        let ratio = row.per_session_ratio;
+        metrics.push((
+            format!("host_per_session_overhead_s{}_ratio", row.sessions),
+            ratio,
+        ));
+        if ratio > HOST_OVERHEAD_LIMIT {
+            failures.push(format!(
+                "{} sessions: per-checkpoint cost {ratio:.3}x exceeds {HOST_OVERHEAD_LIMIT:.2}x of single-session cost",
+                row.sessions
+            ));
+        }
+    }
+    let stable = report
+        .rows
+        .iter()
+        .all(|r| r.fingerprint == single.fingerprint);
+    metrics.push((
+        "host_fingerprint_stable".to_string(),
+        if stable { 1.0 } else { 0.0 },
+    ));
+    if !stable {
+        failures.push("a tenant's restore fingerprint varied with neighbour count".to_string());
+    }
+    let interference = &report.interference;
+    let ratio = interference.interference_ratio();
+    metrics.push(("host_interference_ratio".to_string(), ratio));
+    metrics.push((
+        "host_fingerprints_match".to_string(),
+        if interference.fingerprints_match {
+            1.0
+        } else {
+            0.0
+        },
+    ));
+    metrics.push((
+        "host_neighbors_isolated".to_string(),
+        if interference.neighbors_degraded == 0 {
+            1.0
+        } else {
+            0.0
+        },
+    ));
+    if ratio > HOST_INTERFERENCE_LIMIT {
+        failures.push(format!(
+            "neighbour stall grew {ratio:.3}x under a faulted tenant (limit {HOST_INTERFERENCE_LIMIT:.2}x)"
+        ));
+    }
+    if interference.neighbors_degraded > 0 {
+        failures.push(format!(
+            "{} degradation(s) leaked onto clean neighbours",
+            interference.neighbors_degraded
+        ));
+    }
+    if !interference.fingerprints_match {
+        failures.push(
+            "a neighbour's restore fingerprint changed under a neighbour's fault".to_string(),
+        );
+    }
+    if interference.faulted_degraded == 0 {
+        failures.push(
+            "the faulted tenant did not degrade — the interference run proved nothing".to_string(),
+        );
+    }
+    if !interference.faulted_traced {
+        failures.push(
+            "the faulted tenant's failure left no trace in its labelled registry".to_string(),
+        );
+    }
+
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    if failures.is_empty() {
+        println!(
+            "host gate: per-session cost within {HOST_OVERHEAD_LIMIT:.2}x, interference within {HOST_INTERFERENCE_LIMIT:.2}x, tenants isolated"
+        );
+    } else {
+        eprintln!("host gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
@@ -319,15 +458,16 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
             other => experiment = other.to_string(),
         }
     }
-    // `ci`, `obs`, and `net` favor paper-sized runs for stable ratios.
-    let gated = experiment == "ci" || experiment == "obs" || experiment == "net";
+    // The gated experiments favor paper-sized runs for stable ratios.
+    let gated =
+        experiment == "ci" || experiment == "obs" || experiment == "net" || experiment == "host";
     let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
@@ -353,6 +493,12 @@ fn main() {
     if experiment == "net" {
         let out = out.unwrap_or_else(|| "BENCH_net.json".to_string());
         run_net(scale, &out);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "host" {
+        let out = out.unwrap_or_else(|| "BENCH_host.json".to_string());
+        run_host(scale, &out);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

@@ -1,7 +1,7 @@
 //! Paper-style table printing for the `reproduce` binary.
 
 use crate::experiments::{
-    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow,
+    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow, HostReport,
     MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow, QualityRow, ReviveRow,
     StorageRow, Table1Row,
 };
@@ -444,6 +444,64 @@ pub fn print_net(rows: &[NetRow]) {
             );
         }
     }
+}
+
+/// Prints the dv-host session sweep and interference measurement.
+pub fn print_host(report: &HostReport) {
+    out!("Multi-tenant host: N sessions over one shared commit pool");
+    out!(
+        "{:<9} {:>12} {:>11} {:>9} {:>12} {:>18}",
+        "sessions",
+        "checkpoints",
+        "committed",
+        "inline",
+        "us/ckpt",
+        "fingerprint"
+    );
+    out!("{:-<78}", "");
+    for row in &report.rows {
+        out!(
+            "{:<9} {:>12} {:>11} {:>9} {:>12.2} {:>18x}",
+            row.sessions,
+            row.checkpoints,
+            row.committed,
+            row.inline_fallbacks,
+            row.per_checkpoint_us(),
+            row.fingerprint,
+        );
+    }
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        out!(
+            "  {} sessions: {:.3}x per-checkpoint unit cost vs single session",
+            row.sessions,
+            row.per_session_ratio,
+        );
+    }
+    let i = &report.interference;
+    out!(
+        "  interference ({} clean neighbours of 1 faulted tenant): median neighbour \
+         checkpoint {:.2}us clean vs {:.2}us faulted ({:.3}x)",
+        i.neighbors,
+        i.clean_stall_p50.as_secs_f64() * 1e6,
+        i.faulted_stall_p50.as_secs_f64() * 1e6,
+        i.interference_ratio(),
+    );
+    out!(
+        "  neighbour degradations {}, faulted tenant degradations {}, neighbour \
+         fingerprints {}, fault trace {}",
+        i.neighbors_degraded,
+        i.faulted_degraded,
+        if i.fingerprints_match {
+            "unchanged"
+        } else {
+            "CHANGED"
+        },
+        if i.faulted_traced {
+            "labelled"
+        } else {
+            "MISSING"
+        },
+    );
 }
 
 /// Prints the §6 policy-effectiveness analysis.

@@ -31,4 +31,6 @@ pub use policy::{
     SkipReason,
 };
 pub use restore::{load_image, revive, NetworkPolicy, ReviveError, ReviveReport};
-pub use writeback::{CommitError, CommitOutcome, CommitPipeline, PipelineConfig};
+pub use writeback::{
+    CommitError, CommitOutcome, CommitPipeline, FairPolicy, LaneId, PipelineConfig,
+};

@@ -10,21 +10,47 @@
 //! per process section), and writes the blob through the
 //! fault-instrumented store.
 //!
+//! A pipeline serves one or more **lanes**. A single-session engine
+//! owns a pipeline with just lane 0; a multi-tenant host shares one
+//! worker pool across many sessions by registering one lane per tenant
+//! ([`CommitPipeline::register_lane`]). Each lane carries its own
+//! fault plane, observability handle, commit ordering, failure set,
+//! and queue-depth quota, so tenants are isolated even though they
+//! share threads and a store.
+//!
 //! Invariants:
 //!
-//! * **In-order commit.** Blobs land in checkpoint-counter order, one
-//!   at a time, no matter how compression subtasks interleave. A single
-//!   "committer" token plus a next-counter gate serializes the final
-//!   fault-site check and store write, so fault-injection schedules on
-//!   `checkpoint.writeback` observe the same call order as the inline
-//!   path and the incremental chain never references a later image.
-//! * **Bounded queue.** At most `queue_depth` captures may be pending;
-//!   the engine drains and falls back to an inline commit when full, so
-//!   memory stays bounded and ordering stays strict.
-//! * **Failure cascade.** A commit that exhausts its retries marks its
-//!   counter failed; queued incrementals chaining through it are failed
-//!   without touching the store (their pages would be unreachable), and
-//!   the engine re-anchors with a forced full checkpoint.
+//! * **In-order commit per lane.** Blobs land in checkpoint-counter
+//!   order within a lane, one at a time, no matter how compression
+//!   subtasks interleave. A per-lane "committer" token plus a
+//!   next-counter gate serializes the final fault-site check and store
+//!   write, so fault-injection schedules on `checkpoint.writeback`
+//!   observe the same call order as the inline path and the
+//!   incremental chain never references a later image. Different
+//!   lanes commit concurrently.
+//! * **Fair scheduling.** Ready work is drawn from lanes in a
+//!   round-robin ring; with [`FairPolicy::DeficitWeighted`] a lane
+//!   runs up to `weight` consecutive tasks per turn, so commit
+//!   bandwidth follows the configured weights. Commit turns drain a
+//!   FIFO of commit-ready lanes — a lane re-queues behind every other
+//!   waiting lane after each commit it lands — so one tenant's retry
+//!   storm cannot monopolize the committer, and picking work stays
+//!   O(1) no matter how many lanes share the pool.
+//! * **Bounded queue per lane.** At most `quota` captures may be
+//!   pending per lane; the engine drains and falls back to an inline
+//!   commit when full, so memory stays bounded, ordering stays
+//!   strict, and one tenant's backlog never consumes another's queue
+//!   budget.
+//! * **Failure cascade, per lane.** A commit that exhausts its
+//!   retries marks its counter failed *in its lane*; queued
+//!   incrementals chaining through it are failed without touching the
+//!   store (their pages would be unreachable), and that lane's engine
+//!   re-anchors with a forced full checkpoint. Other lanes never see
+//!   the failure.
+//!
+//! All timing in this module goes through [`dv_time::Sleeper`] — both
+//! the retry backoff *and* the enqueue-to-resolve latency measurement
+//! — so a sim-clocked host run is deterministic end to end.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -38,12 +64,28 @@ use dv_time::{Duration, Sleeper, Timestamp};
 use crate::compress::{assemble_chunks, compress};
 use crate::image::{encode_image_sections, CheckpointImage, ImageKind};
 
+/// Identifies one lane (tenant) of a shared pipeline. Single-session
+/// engines use lane 0.
+pub type LaneId = u64;
+
+/// How the worker pool divides its attention between lanes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FairPolicy {
+    /// One task per lane per turn.
+    #[default]
+    RoundRobin,
+    /// Up to `weight` consecutive tasks per lane per turn — a lane
+    /// with weight 2 gets twice the worker bandwidth of weight 1.
+    DeficitWeighted,
+}
+
 /// Commit-pipeline tuning, lifted from the engine config.
 #[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Worker threads encoding, compressing, and committing images.
     pub workers: usize,
-    /// Maximum captures pending before backpressure kicks in.
+    /// Maximum captures pending per lane before backpressure kicks in
+    /// (the default quota for lanes that don't override it).
     pub queue_depth: usize,
     /// Store-write retries before a commit is declared failed.
     pub retry_limit: u32,
@@ -51,6 +93,8 @@ pub struct PipelineConfig {
     pub retry_backoff: Duration,
     /// Whether images are compressed (chunked container format).
     pub compress: bool,
+    /// How worker bandwidth is divided between lanes.
+    pub fairness: FairPolicy,
 }
 
 /// What the engine needs back once a deferred commit resolves.
@@ -68,7 +112,8 @@ pub struct CommitOutcome {
     pub full: bool,
     /// `Ok((raw_bytes, stored_bytes))`, or why the commit failed.
     pub result: Result<(u64, u64), CommitError>,
-    /// Wall nanoseconds from enqueue to commit resolution.
+    /// Nanoseconds from enqueue to commit resolution, measured on the
+    /// pipeline's sleeper timebase (wall or sim).
     pub commit_nanos: u64,
 }
 
@@ -114,10 +159,10 @@ pub fn encode_fault_of(fault: Option<IoFault>) -> Option<EncodeFault> {
 }
 
 enum Task {
-    /// Turn job `seq`'s image into sections, then fan out compression.
-    Encode(u64),
-    /// Compress section `.1` of job `.0`.
-    Compress(u64, usize),
+    /// Turn job `.1`'s image into sections, then fan out compression.
+    Encode(LaneId, u64),
+    /// Compress section `.2` of job `(.0, .1)`.
+    Compress(LaneId, u64, usize),
 }
 
 struct Job {
@@ -135,7 +180,9 @@ struct Job {
     remaining: usize,
     encoded: bool,
     raw_bytes: u64,
-    started: std::time::Instant,
+    /// Sleeper-timebase reading at enqueue (see
+    /// [`dv_time::Sleeper::now_nanos`]).
+    started_nanos: u64,
 }
 
 impl Job {
@@ -144,15 +191,75 @@ impl Job {
     }
 }
 
-struct State {
-    tasks: VecDeque<Task>,
-    jobs: BTreeMap<u64, Job>,
+/// Per-lane scheduling and isolation state.
+struct Lane {
+    /// Tasks waiting for a worker, in arrival order.
+    queue: VecDeque<Task>,
     next_commit: u64,
     committing: bool,
     inflight: usize,
     failed: HashSet<u64>,
     finished: Vec<CommitOutcome>,
+    plane: FaultPlane,
+    obs: Obs,
+    /// Queue-depth quota: captures pending before backpressure.
+    quota: usize,
+    /// Scheduling weight under [`FairPolicy::DeficitWeighted`].
+    weight: u32,
+    /// Task credits remaining in the lane's current turn.
+    credit: u32,
+    /// Whether the lane is already queued in `commit_ready`.
+    commit_queued: bool,
+}
+
+struct State {
+    lanes: BTreeMap<LaneId, Lane>,
+    jobs: BTreeMap<(LaneId, u64), Job>,
+    /// Lanes with queued tasks, in round-robin order.
+    ready: VecDeque<LaneId>,
+    /// Lanes whose next-in-order job is ready to commit, FIFO. Kept
+    /// event-driven (updated when a job finishes encoding or a commit
+    /// lands) so picking a commit is O(1) in the lane count.
+    commit_ready: VecDeque<LaneId>,
+    total_inflight: usize,
     shutdown: bool,
+}
+
+impl State {
+    fn lane(&self, id: LaneId) -> &Lane {
+        self.lanes.get(&id).expect("lane registered")
+    }
+
+    fn lane_mut(&mut self, id: LaneId) -> &mut Lane {
+        self.lanes.get_mut(&id).expect("lane registered")
+    }
+
+    fn mark_ready(&mut self, id: LaneId) {
+        if !self.ready.contains(&id) {
+            self.ready.push_back(id);
+        }
+    }
+
+    /// Queues a lane for a commit turn if its next-in-order job is
+    /// fully encoded and its committer token is free. FIFO arrival
+    /// order is the rotation: a lane that lands a commit re-queues
+    /// behind every other waiting lane.
+    fn mark_commit_ready(&mut self, id: LaneId) {
+        let Some(lane) = self.lanes.get(&id) else {
+            return;
+        };
+        if lane.commit_queued || lane.committing {
+            return;
+        }
+        if self
+            .jobs
+            .get(&(id, lane.next_commit))
+            .is_some_and(Job::ready)
+        {
+            self.lane_mut(id).commit_queued = true;
+            self.commit_ready.push_back(id);
+        }
+    }
 }
 
 struct Shared {
@@ -169,19 +276,22 @@ impl Shared {
     }
 }
 
-/// The worker pool behind deferred checkpoint commits.
+/// The worker pool behind deferred checkpoint commits. One pipeline
+/// can serve many sessions: each registers a lane with its own fault
+/// plane, observability handle, and quota, and the pool schedules work
+/// fairly across lanes.
 pub struct CommitPipeline {
     shared: Arc<Shared>,
     store: SharedBlobStore,
-    config: PipelineConfig,
+    sleeper: Sleeper,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl CommitPipeline {
     /// Spawns `config.workers` (at least 1) worker threads writing into
-    /// `store`, with fault checks against `plane`, retry backoff paid
-    /// through `sleeper`, and per-worker compress time / commit retries
-    /// reported through `obs`.
+    /// `store`, with lane 0 registered against `plane`/`obs` at the
+    /// default quota and weight 1. Retry backoff and job timing go
+    /// through `sleeper`.
     pub fn new(
         config: PipelineConfig,
         store: SharedBlobStore,
@@ -191,13 +301,11 @@ impl CommitPipeline {
     ) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                tasks: VecDeque::new(),
+                lanes: BTreeMap::new(),
                 jobs: BTreeMap::new(),
-                next_commit: 0,
-                committing: false,
-                inflight: 0,
-                failed: HashSet::new(),
-                finished: Vec::new(),
+                ready: VecDeque::new(),
+                commit_ready: VecDeque::new(),
+                total_inflight: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -207,21 +315,78 @@ impl CommitPipeline {
             .map(|i| {
                 let shared = shared.clone();
                 let store = store.clone();
-                let plane = plane.clone();
                 let sleeper = sleeper.clone();
-                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("dv-commit-{i}"))
-                    .spawn(move || worker(shared, store, plane, sleeper, config, obs))
+                    .spawn(move || worker(shared, store, sleeper, config))
                     .expect("spawn commit worker")
             })
             .collect();
-        CommitPipeline {
+        let pipe = CommitPipeline {
             shared,
             store,
-            config,
+            sleeper,
             workers,
+        };
+        pipe.register_lane(0, plane, obs, config.queue_depth, 1);
+        pipe
+    }
+
+    /// Registers (or reconfigures) a lane: its fault plane, its
+    /// observability handle, its queue-depth `quota`, and its
+    /// scheduling `weight`. Safe to call on a live lane — in-flight
+    /// jobs keep the handles they were enqueued under.
+    pub fn register_lane(
+        &self,
+        lane: LaneId,
+        plane: FaultPlane,
+        obs: Obs,
+        quota: usize,
+        weight: u32,
+    ) {
+        let mut state = self.shared.lock();
+        match state.lanes.get_mut(&lane) {
+            Some(existing) => {
+                existing.plane = plane;
+                existing.obs = obs;
+                existing.quota = quota;
+                existing.weight = weight;
+            }
+            None => {
+                state.lanes.insert(
+                    lane,
+                    Lane {
+                        queue: VecDeque::new(),
+                        next_commit: 0,
+                        committing: false,
+                        inflight: 0,
+                        failed: HashSet::new(),
+                        finished: Vec::new(),
+                        plane,
+                        obs,
+                        quota,
+                        weight,
+                        credit: 0,
+                        commit_queued: false,
+                    },
+                );
+            }
         }
+    }
+
+    /// Drains and removes a lane (a dropped tenant). Unreaped outcomes
+    /// are discarded; callers should `take_finished_lane` first.
+    pub fn remove_lane(&self, lane: LaneId) {
+        self.drain_lane(lane);
+        let mut state = self.shared.lock();
+        state.lanes.remove(&lane);
+        state.ready.retain(|id| *id != lane);
+        state.commit_ready.retain(|id| *id != lane);
+    }
+
+    /// Registered lane ids, in order.
+    pub fn lanes(&self) -> Vec<LaneId> {
+        self.shared.lock().lanes.keys().copied().collect()
     }
 
     /// Whether this pipeline writes into `store`.
@@ -229,21 +394,35 @@ impl CommitPipeline {
         self.store.ptr_eq(store)
     }
 
-    /// Captures pending (enqueued, not yet resolved).
+    /// Captures pending across all lanes.
     pub fn inflight(&self) -> usize {
-        self.shared.lock().inflight
+        self.shared.lock().total_inflight
     }
 
-    /// Whether another capture fits under the queue-depth bound.
+    /// Captures pending in one lane.
+    pub fn inflight_lane(&self, lane: LaneId) -> usize {
+        self.shared
+            .lock()
+            .lanes
+            .get(&lane)
+            .map_or(0, |l| l.inflight)
+    }
+
+    /// Whether another capture fits under lane 0's queue-depth quota.
     pub fn has_capacity(&self) -> bool {
-        self.shared.lock().inflight < self.config.queue_depth.max(1)
+        self.has_capacity_lane(0)
     }
 
-    /// Hands a captured image to the workers. `encode_fault` carries the
-    /// session-thread decision for the `checkpoint.image.encode` site.
-    ///
-    /// Counters must be enqueued in increasing order; they commit in
-    /// that order.
+    /// Whether another capture fits under the lane's queue-depth quota.
+    pub fn has_capacity_lane(&self, lane: LaneId) -> bool {
+        self.shared
+            .lock()
+            .lanes
+            .get(&lane)
+            .is_some_and(|l| l.inflight < l.quota.max(1))
+    }
+
+    /// Hands a captured image to the workers on lane 0.
     pub fn enqueue(
         &self,
         image: CheckpointImage,
@@ -251,15 +430,37 @@ impl CommitPipeline {
         full: bool,
         encode_fault: Option<EncodeFault>,
     ) {
+        self.enqueue_lane(0, image, blob, full, encode_fault);
+    }
+
+    /// Hands a captured image to the workers. `encode_fault` carries the
+    /// session-thread decision for the `checkpoint.image.encode` site.
+    ///
+    /// Counters must be enqueued in increasing order within a lane;
+    /// they commit in that order. Lanes are independent.
+    pub fn enqueue_lane(
+        &self,
+        lane: LaneId,
+        image: CheckpointImage,
+        blob: String,
+        full: bool,
+        encode_fault: Option<EncodeFault>,
+    ) {
+        let started_nanos = self.sleeper.now_nanos();
         let mut state = self.shared.lock();
         let seq = image.counter;
-        if state.inflight == 0 {
-            state.next_commit = seq;
-        } else {
-            debug_assert!(seq > state.next_commit, "counters must be monotone");
+        {
+            let l = state.lane_mut(lane);
+            if l.inflight == 0 {
+                l.next_commit = seq;
+            } else {
+                debug_assert!(seq > l.next_commit, "counters must be monotone per lane");
+            }
+            l.inflight += 1;
+            l.queue.push_back(Task::Encode(lane, seq));
         }
         state.jobs.insert(
-            seq,
+            (lane, seq),
             Job {
                 counter: seq,
                 time: image.time,
@@ -273,20 +474,21 @@ impl CommitPipeline {
                 remaining: 0,
                 encoded: false,
                 raw_bytes: 0,
-                started: std::time::Instant::now(),
+                started_nanos,
             },
         );
-        state.inflight += 1;
-        state.tasks.push_back(Task::Encode(seq));
+        state.total_inflight += 1;
+        state.mark_ready(lane);
         drop(state);
         self.shared.work.notify_one();
     }
 
-    /// Blocks until every enqueued capture has resolved (committed or
-    /// failed). Outcomes stay queued for [`CommitPipeline::take_finished`].
+    /// Blocks until every enqueued capture in every lane has resolved
+    /// (committed or failed). Outcomes stay queued for
+    /// [`CommitPipeline::take_finished_lane`].
     pub fn drain(&self) {
         let mut state = self.shared.lock();
-        while state.inflight > 0 {
+        while state.total_inflight > 0 {
             state = self
                 .shared
                 .done
@@ -295,10 +497,31 @@ impl CommitPipeline {
         }
     }
 
-    /// Removes and returns resolved outcomes, oldest first.
-    pub fn take_finished(&self) -> Vec<CommitOutcome> {
+    /// Blocks until one lane's captures have all resolved. Other lanes
+    /// keep flowing.
+    pub fn drain_lane(&self, lane: LaneId) {
         let mut state = self.shared.lock();
-        std::mem::take(&mut state.finished)
+        while state.lanes.get(&lane).is_some_and(|l| l.inflight > 0) {
+            state = self
+                .shared
+                .done
+                .wait(state)
+                .expect("commit pipeline state poisoned");
+        }
+    }
+
+    /// Removes and returns lane 0's resolved outcomes, oldest first.
+    pub fn take_finished(&self) -> Vec<CommitOutcome> {
+        self.take_finished_lane(0)
+    }
+
+    /// Removes and returns one lane's resolved outcomes, oldest first.
+    pub fn take_finished_lane(&self, lane: LaneId) -> Vec<CommitOutcome> {
+        let mut state = self.shared.lock();
+        match state.lanes.get_mut(&lane) {
+            Some(l) => std::mem::take(&mut l.finished),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -317,34 +540,65 @@ impl Drop for CommitPipeline {
 
 enum Step {
     Run(Task),
-    Commit(Box<Job>),
+    Commit(LaneId, Box<Job>),
     Exit,
 }
 
-fn worker(
-    shared: Arc<Shared>,
-    store: SharedBlobStore,
-    plane: FaultPlane,
-    sleeper: Sleeper,
-    config: PipelineConfig,
-    obs: Obs,
-) {
+/// Picks the next unit of work under the fairness policy: one task
+/// from the lane at the head of the ready ring (a deficit-weighted
+/// lane keeps the head for up to `weight` tasks), else a commit turn
+/// from the FIFO of commit-ready lanes. Both picks are O(1) in the
+/// lane count, so the scheduler's cost does not grow with tenants.
+fn pick(state: &mut State, config: &PipelineConfig) -> Option<Step> {
+    if let Some(&lane_id) = state.ready.front() {
+        let fairness = config.fairness;
+        let lane = state.lane_mut(lane_id);
+        let task = lane.queue.pop_front().expect("ready lane has tasks");
+        if lane.credit == 0 {
+            lane.credit = match fairness {
+                FairPolicy::RoundRobin => 1,
+                FairPolicy::DeficitWeighted => lane.weight.max(1),
+            };
+        }
+        lane.credit -= 1;
+        if lane.queue.is_empty() {
+            lane.credit = 0;
+            state.ready.pop_front();
+        } else if lane.credit == 0 {
+            state.ready.rotate_left(1);
+        }
+        return Some(Step::Run(task));
+    }
+    while let Some(id) = state.commit_ready.pop_front() {
+        let Some(next) = state.lanes.get_mut(&id).and_then(|lane| {
+            lane.commit_queued = false;
+            (!lane.committing).then_some(lane.next_commit)
+        }) else {
+            // The lane was removed (or its committer raced busy) after
+            // it was queued; drop the stale entry.
+            continue;
+        };
+        if state.jobs.get(&(id, next)).is_some_and(Job::ready) {
+            let job = state.jobs.remove(&(id, next)).expect("ready job present");
+            state.lane_mut(id).committing = true;
+            return Some(Step::Commit(id, Box::new(job)));
+        }
+    }
+    None
+}
+
+fn worker(shared: Arc<Shared>, store: SharedBlobStore, sleeper: Sleeper, config: PipelineConfig) {
     loop {
         let step = {
             let mut state = shared.lock();
             loop {
-                if let Some(task) = state.tasks.pop_front() {
-                    break Step::Run(task);
+                if let Some(step) = pick(&mut state, &config) {
+                    break step;
                 }
-                let commit_ready =
-                    !state.committing && state.jobs.get(&state.next_commit).is_some_and(Job::ready);
-                if commit_ready {
-                    let next = state.next_commit;
-                    let job = state.jobs.remove(&next).expect("ready job present");
-                    state.committing = true;
-                    break Step::Commit(Box::new(job));
-                }
-                if state.shutdown && state.jobs.is_empty() && !state.committing {
+                if state.shutdown
+                    && state.jobs.is_empty()
+                    && state.lanes.values().all(|l| !l.committing)
+                {
                     break Step::Exit;
                 }
                 state = shared
@@ -354,20 +608,24 @@ fn worker(
             }
         };
         match step {
-            Step::Run(Task::Encode(seq)) => run_encode(&shared, &plane, &config, seq),
-            Step::Run(Task::Compress(seq, i)) => run_compress(&shared, seq, i, &obs),
-            Step::Commit(job) => run_commit(&shared, &store, &plane, &sleeper, &config, &obs, *job),
+            Step::Run(Task::Encode(lane, seq)) => run_encode(&shared, &config, lane, seq),
+            Step::Run(Task::Compress(lane, seq, i)) => run_compress(&shared, lane, seq, i),
+            Step::Commit(lane, job) => run_commit(&shared, &store, &sleeper, &config, lane, *job),
             Step::Exit => return,
         }
     }
 }
 
-fn run_encode(shared: &Arc<Shared>, plane: &FaultPlane, config: &PipelineConfig, seq: u64) {
-    let (image, prefailed) = {
+fn run_encode(shared: &Arc<Shared>, config: &PipelineConfig, lane: LaneId, seq: u64) {
+    let (image, prefailed, plane) = {
         let mut state = shared.lock();
-        let job = state.jobs.get_mut(&seq).expect("encode job present");
+        let plane = state.lane(lane).plane.clone();
+        let job = state
+            .jobs
+            .get_mut(&(lane, seq))
+            .expect("encode job present");
         let prefailed = matches!(job.encode_fault, Some(EncodeFault::Fail(_)));
-        (job.image.take(), prefailed)
+        (job.image.take(), prefailed, plane)
     };
     let mut sections = Vec::new();
     let mut raw_bytes = 0u64;
@@ -377,7 +635,12 @@ fn run_encode(shared: &Arc<Shared>, plane: &FaultPlane, config: &PipelineConfig,
         drop(image); // release the COW page references promptly
         raw_bytes = sections.iter().map(|s| s.len() as u64).sum();
         if matches!(
-            shared.lock().jobs.get(&seq).expect("job").encode_fault,
+            shared
+                .lock()
+                .jobs
+                .get(&(lane, seq))
+                .expect("job")
+                .encode_fault,
             Some(EncodeFault::Corrupt)
         ) {
             // One mangled byte in the largest section, mirroring the
@@ -388,33 +651,52 @@ fn run_encode(shared: &Arc<Shared>, plane: &FaultPlane, config: &PipelineConfig,
         }
     }
     let mut state = shared.lock();
-    let job = state.jobs.get_mut(&seq).expect("encode job present");
-    job.raw_bytes = raw_bytes;
-    job.encoded = true;
-    if prefailed || !config.compress {
-        // Failed jobs have nothing to compress; uncompressed jobs pass
-        // their sections straight through to the commit concatenation.
-        job.chunks = sections.into_iter().map(Some).collect();
-        job.remaining = 0;
+    let fanout = {
+        let job = state
+            .jobs
+            .get_mut(&(lane, seq))
+            .expect("encode job present");
+        job.raw_bytes = raw_bytes;
+        job.encoded = true;
+        if prefailed || !config.compress {
+            // Failed jobs have nothing to compress; uncompressed jobs
+            // pass their sections straight to the commit concatenation.
+            job.chunks = sections.into_iter().map(Some).collect();
+            job.remaining = 0;
+            0
+        } else {
+            job.chunks = vec![None; sections.len()];
+            job.remaining = sections.len();
+            job.sections = sections;
+            job.remaining
+        }
+    };
+    if fanout == 0 {
+        state.mark_commit_ready(lane);
         drop(state);
         shared.work.notify_one();
     } else {
-        job.chunks = vec![None; sections.len()];
-        job.remaining = sections.len();
-        job.sections = sections;
-        for i in 0..job.remaining {
-            state.tasks.push_back(Task::Compress(seq, i));
+        {
+            let l = state.lane_mut(lane);
+            for i in 0..fanout {
+                l.queue.push_back(Task::Compress(lane, seq, i));
+            }
         }
+        state.mark_ready(lane);
         drop(state);
         shared.work.notify_all();
     }
 }
 
-fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize, obs: &Obs) {
-    let section = {
+fn run_compress(shared: &Arc<Shared>, lane: LaneId, seq: u64, index: usize) {
+    let (section, obs) = {
         let mut state = shared.lock();
-        let job = state.jobs.get_mut(&seq).expect("compress job present");
-        std::mem::take(&mut job.sections[index])
+        let obs = state.lane(lane).obs.clone();
+        let job = state
+            .jobs
+            .get_mut(&(lane, seq))
+            .expect("compress job present");
+        (std::mem::take(&mut job.sections[index]), obs)
     };
     let compressed = {
         let _span = obs.span("checkpoint", names::CHECKPOINT_WORKER_COMPRESS);
@@ -422,10 +704,18 @@ fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize, obs: &Obs) {
     };
     drop(section);
     let mut state = shared.lock();
-    let job = state.jobs.get_mut(&seq).expect("compress job present");
-    job.chunks[index] = Some(compressed);
-    job.remaining -= 1;
-    let ready = job.ready();
+    let ready = {
+        let job = state
+            .jobs
+            .get_mut(&(lane, seq))
+            .expect("compress job present");
+        job.chunks[index] = Some(compressed);
+        job.remaining -= 1;
+        job.ready()
+    };
+    if ready {
+        state.mark_commit_ready(lane);
+    }
     drop(state);
     if ready {
         shared.work.notify_one();
@@ -435,15 +725,19 @@ fn run_compress(shared: &Arc<Shared>, seq: u64, index: usize, obs: &Obs) {
 fn run_commit(
     shared: &Arc<Shared>,
     store: &SharedBlobStore,
-    plane: &FaultPlane,
     sleeper: &Sleeper,
     config: &PipelineConfig,
-    obs: &Obs,
+    lane: LaneId,
     job: Job,
 ) {
-    let cascade_from = match job.kind {
-        ImageKind::Incremental { prev } if shared.lock().failed.contains(&prev) => Some(prev),
-        _ => None,
+    let (plane, obs, cascade_from) = {
+        let state = shared.lock();
+        let l = state.lane(lane);
+        let cascade_from = match job.kind {
+            ImageKind::Incremental { prev } if l.failed.contains(&prev) => Some(prev),
+            _ => None,
+        };
+        (l.plane.clone(), l.obs.clone(), cascade_from)
     };
     let result: Result<(u64, u64), CommitError> = if let Some(prev) = cascade_from {
         Err(CommitError::Cascaded(prev))
@@ -500,25 +794,28 @@ fn run_commit(
         kind: job.kind,
         blob: job.blob,
         full: job.full,
-        commit_nanos: job.started.elapsed().as_nanos() as u64,
+        commit_nanos: sleeper.now_nanos().saturating_sub(job.started_nanos),
         result,
     };
     let failed = outcome.result.is_err();
+    let counter = outcome.counter;
     let mut state = shared.lock();
-    if failed {
-        state.failed.insert(job.counter);
+    {
+        let l = state.lane_mut(lane);
+        if failed {
+            l.failed.insert(counter);
+        }
+        l.finished.push(outcome);
+        l.next_commit += 1;
+        l.committing = false;
+        l.inflight -= 1;
     }
-    state.finished.push(outcome);
-    state.next_commit += 1;
-    state.committing = false;
-    state.inflight -= 1;
-    let idle = state.inflight == 0;
+    state.total_inflight -= 1;
+    // The lane's next counter may already be fully compressed.
+    state.mark_commit_ready(lane);
     drop(state);
-    // The next counter may already be fully compressed and waiting.
     shared.work.notify_all();
-    if idle {
-        shared.done.notify_all();
-    }
+    shared.done.notify_all();
 }
 
 #[cfg(test)]
@@ -547,6 +844,7 @@ mod tests {
             retry_limit: 2,
             retry_backoff: Duration::from_millis(1),
             compress: true,
+            fairness: FairPolicy::RoundRobin,
         }
     }
 
@@ -651,5 +949,109 @@ mod tests {
         let outcomes = pipe.take_finished();
         assert_eq!(outcomes[0].result, Err(CommitError::Io(FsError::NoSpace)));
         assert!(!store.lock().contains("ckpt-00000001"));
+    }
+
+    #[test]
+    fn lanes_commit_independently_and_in_order() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(3),
+            store.clone(),
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
+        );
+        for lane in 1..=3u64 {
+            pipe.register_lane(lane, FaultPlane::disabled(), Obs::disabled(), 8, 1);
+        }
+        for c in 1..=4u64 {
+            for lane in 1..=3u64 {
+                let kind = if c == 1 {
+                    ImageKind::Full
+                } else {
+                    ImageKind::Incremental { prev: c - 1 }
+                };
+                pipe.enqueue_lane(
+                    lane,
+                    tiny_image(c, kind),
+                    format!("t{lane}-{c:08}"),
+                    c == 1,
+                    None,
+                );
+            }
+        }
+        pipe.drain();
+        for lane in 1..=3u64 {
+            let outcomes = pipe.take_finished_lane(lane);
+            let counters: Vec<u64> = outcomes.iter().map(|o| o.counter).collect();
+            assert_eq!(counters, vec![1, 2, 3, 4], "lane {lane} in order");
+            for o in &outcomes {
+                assert!(o.result.is_ok());
+                assert!(store.lock().contains(&o.blob));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_failure_does_not_cascade_across_lanes() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(2),
+            store.clone(),
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
+        );
+        // Lane 1 fails every writeback; lane 2 is clean.
+        let faulty = FaultPlan::new(5)
+            .always(sites::CHECKPOINT_WRITEBACK, IoFault::Enospc)
+            .build();
+        pipe.register_lane(1, faulty, Obs::disabled(), 8, 1);
+        pipe.register_lane(2, FaultPlane::disabled(), Obs::disabled(), 8, 1);
+        for c in 1..=3u64 {
+            let kind = if c == 1 {
+                ImageKind::Full
+            } else {
+                ImageKind::Incremental { prev: c - 1 }
+            };
+            pipe.enqueue_lane(1, tiny_image(c, kind), format!("bad-{c:08}"), c == 1, None);
+            pipe.enqueue_lane(2, tiny_image(c, kind), format!("ok-{c:08}"), c == 1, None);
+        }
+        pipe.drain();
+        let bad = pipe.take_finished_lane(1);
+        assert!(bad.iter().all(|o| o.result.is_err()), "faulted lane fails");
+        let ok = pipe.take_finished_lane(2);
+        assert!(
+            ok.iter().all(|o| o.result.is_ok()),
+            "clean lane is untouched by its neighbour's failures"
+        );
+        for o in &ok {
+            assert!(store.lock().contains(&o.blob));
+        }
+    }
+
+    #[test]
+    fn removed_lane_frees_its_state() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(1),
+            store,
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
+        );
+        pipe.register_lane(7, FaultPlane::disabled(), Obs::disabled(), 2, 1);
+        pipe.enqueue_lane(
+            7,
+            tiny_image(1, ImageKind::Full),
+            "x-00000001".into(),
+            true,
+            None,
+        );
+        pipe.drain_lane(7);
+        assert_eq!(pipe.take_finished_lane(7).len(), 1);
+        pipe.remove_lane(7);
+        assert_eq!(pipe.lanes(), vec![0]);
+        assert!(!pipe.has_capacity_lane(7), "unknown lane has no capacity");
     }
 }

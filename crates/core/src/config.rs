@@ -8,7 +8,7 @@
 
 use dv_checkpoint::{EngineConfig, NetworkPolicy, PolicyConfig};
 use dv_fault::FaultPlane;
-use dv_lsfs::ReadLatency;
+use dv_lsfs::{ReadLatency, SharedBlobStore};
 use dv_obs::Obs;
 use dv_record::RecorderConfig;
 use dv_time::Duration;
@@ -53,6 +53,16 @@ pub struct Config {
     /// works; pass [`Obs::wall`] to profile with wall-clock span
     /// durations instead.
     pub obs: Obs,
+    /// Checkpoint blob store to record into. `None` (the default) gives
+    /// the server its own private in-memory store; a multi-tenant host
+    /// passes one shared store to every session it creates, so blobs
+    /// from all tenants land in one host-wide store (namespaced by
+    /// [`Config::blob_prefix`]).
+    pub shared_store: Option<SharedBlobStore>,
+    /// Blob-name prefix for this session's checkpoints. `None` keeps
+    /// the engine default (`ckpt`); a host sets a per-tenant prefix so
+    /// tenants sharing a store can never collide.
+    pub blob_prefix: Option<String>,
     /// How many times a failed checkpoint or index flush is retried
     /// before the server gives up on that attempt and degrades.
     pub io_retry_limit: u32,
@@ -76,6 +86,8 @@ impl Default for Config {
             enable_text_capture: true,
             fault_plane: FaultPlane::disabled(),
             obs: Obs::disabled(),
+            shared_store: None,
+            blob_prefix: None,
             io_retry_limit: 3,
             io_retry_backoff: Duration::from_millis(50),
         }

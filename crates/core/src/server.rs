@@ -113,6 +113,8 @@ impl DejaView {
             enable_text_capture,
             fault_plane,
             obs,
+            shared_store,
+            blob_prefix,
             io_retry_limit,
             io_retry_backoff,
         } = config;
@@ -167,15 +169,27 @@ impl DejaView {
         // (the display server runs inside the environment, §3).
         vee.spawn(None, "session-init").expect("empty namespace");
 
-        let store = match store_latency {
-            Some(latency) => SharedBlobStore::with_latency(latency),
-            None => SharedBlobStore::in_memory(),
+        // A host-provided shared store keeps its own fault plane and
+        // obs wiring (it serves many tenants); a private store is wired
+        // to this session's.
+        let store = match shared_store {
+            Some(store) => store,
+            None => {
+                let store = match store_latency {
+                    Some(latency) => SharedBlobStore::with_latency(latency),
+                    None => SharedBlobStore::in_memory(),
+                };
+                store.with(|s| {
+                    s.set_fault_plane(fault_plane.clone());
+                    s.set_obs(obs.clone());
+                });
+                store
+            }
         };
-        store.with(|s| {
-            s.set_fault_plane(fault_plane.clone());
-            s.set_obs(obs.clone());
-        });
         let mut checkpointer = Checkpointer::with_sim_clock(engine, clock.clone());
+        if let Some(prefix) = &blob_prefix {
+            checkpointer = checkpointer.with_blob_prefix(prefix);
+        }
         checkpointer.set_fault_plane(fault_plane.clone());
         checkpointer.set_obs(obs.clone());
         // The plane is shared state: injections anywhere in the stack
@@ -532,6 +546,14 @@ impl DejaView {
         self.checkpoint_with_retry()
     }
 
+    /// Flushes the text index as a storable segment (with the storage
+    /// retry policy). A multi-tenant host calls this on its fair
+    /// index-flush rotation; single-session embedders normally rely on
+    /// the archive path instead.
+    pub fn flush_index(&mut self) -> Result<Vec<u8>, ServerError> {
+        self.flush_index_with_retry()
+    }
+
     /// Counts storage failures the server absorbed without stopping the
     /// session: failed checkpoint attempts and failed index flushes
     /// (each retry that failed counts once). Read from the
@@ -787,9 +809,17 @@ impl DejaView {
         if let Ok(shot) = self.screenshot_at(revived_from) {
             viewer.present(&shot);
         }
-        // The session's own engine writes under a distinct blob prefix.
+        // The session's own engine writes under a distinct blob prefix,
+        // nested under the server's own prefix when a host namespaced
+        // it (so revived sessions of different tenants sharing one
+        // store cannot collide either).
+        let revived_prefix = if self.engine.blob_prefix() == "ckpt" {
+            format!("s{id}")
+        } else {
+            format!("{}.s{id}", self.engine.blob_prefix())
+        };
         let mut engine = Checkpointer::with_sim_clock(self.engine_config, self.clock.clone())
-            .with_blob_prefix(&format!("s{id}"));
+            .with_blob_prefix(&revived_prefix);
         engine.set_fault_plane(self.fault_plane.clone());
         self.revived.insert(
             id,

@@ -1,0 +1,698 @@
+//! dv-host: a multi-tenant session host.
+//!
+//! DejaView (SOSP 2007) records one user's desktop; the fleet-scale
+//! deployment the ROADMAP targets packs thousands of recorded sessions
+//! onto one node. This crate is that packing layer: a [`Host`] owns a
+//! **session registry** of independent [`dejaview::DejaView`] servers —
+//! each tenant keeps its own display, record, checkpoint, and file
+//! system state — while three resources become host-wide and shared:
+//!
+//! * the **blob store**: one [`dv_lsfs::SharedBlobStore`] holds every
+//!   tenant's checkpoint blobs, namespaced by a per-tenant blob prefix
+//!   so counters can never collide;
+//! * the **commit pool**: one [`dv_checkpoint::CommitPipeline`] worker
+//!   pool serves every tenant's deferred checkpoint commits, one
+//!   *lane* per tenant, scheduled fairly (round-robin or
+//!   deficit-weighted) so a slow or faulted tenant cannot monopolize
+//!   the workers;
+//! * the **index-flush rotation**: [`Host::flush_index_round`] walks
+//!   tenants from a rotating cursor, so flush bandwidth is shared in
+//!   the same round-robin spirit.
+//!
+//! Isolation is the contract: each tenant carries its own
+//! [`dv_fault::FaultPlane`] and [`dv_obs::Obs`] handle, its commit lane
+//! has its own ordering, failure set, and queue-depth quota, and quota
+//! or fault-induced degradation is confined to the tenant that caused
+//! it. The host's own registry records `host.*` lifecycle and quota
+//! metrics; [`Host::observability`] returns per-tenant snapshots plus a
+//! host-level rollup built with [`dv_obs::ObsSnapshot::merge`].
+
+#![deny(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dejaview::{Config, DejaView, ServerError};
+use dv_checkpoint::{CheckpointReport, CommitPipeline, FairPolicy, LaneId, PipelineConfig};
+use dv_lsfs::SharedBlobStore;
+use dv_obs::{names, Obs, ObsSnapshot};
+use dv_time::{Duration, SimClock, Sleeper};
+use dv_vee::Vpid;
+
+/// Per-tenant resource limits.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuotas {
+    /// Captures the tenant may have pending in the shared commit pool
+    /// before backpressure commits inline on its own session thread.
+    pub commit_queue_depth: usize,
+    /// Stored checkpoint bytes after which the host rejects further
+    /// checkpoints for this tenant (enforced against committed bytes,
+    /// so in-flight commits may briefly overshoot).
+    pub storage_bytes: u64,
+    /// Scheduling weight of the tenant's commit lane under
+    /// [`FairPolicy::DeficitWeighted`]; ignored under round-robin.
+    pub commit_weight: u32,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            commit_queue_depth: 4,
+            storage_bytes: u64::MAX,
+            commit_weight: 1,
+        }
+    }
+}
+
+/// Host-wide configuration: the shared commit pool and default quotas.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// Worker threads in the shared commit pool.
+    pub commit_workers: usize,
+    /// How the pool divides bandwidth between tenant lanes.
+    pub fairness: FairPolicy,
+    /// Store-write retries per commit before a commit fails.
+    pub commit_retry_limit: u32,
+    /// Backoff before the first commit retry; doubles per attempt.
+    pub commit_retry_backoff: Duration,
+    /// Whether checkpoint images are compressed.
+    pub compress: bool,
+    /// Quotas applied to tenants created without explicit quotas.
+    pub default_quotas: TenantQuotas,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            commit_workers: 2,
+            fairness: FairPolicy::RoundRobin,
+            commit_retry_limit: 3,
+            commit_retry_backoff: Duration::from_millis(50),
+            compress: true,
+            default_quotas: TenantQuotas::default(),
+        }
+    }
+}
+
+/// Why a host operation failed.
+#[derive(Debug)]
+pub enum HostError {
+    /// No tenant with this id is registered.
+    UnknownTenant(u64),
+    /// The tenant is over a quota; the operation was rejected before
+    /// touching the tenant's session.
+    QuotaExceeded {
+        /// Tenant label.
+        tenant: String,
+        /// Bytes (or units) used.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The tenant's own server failed the operation.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            HostError::QuotaExceeded {
+                tenant,
+                used,
+                limit,
+            } => {
+                write!(f, "tenant {tenant} over quota ({used} used, limit {limit})")
+            }
+            HostError::Server(e) => write!(f, "tenant server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<ServerError> for HostError {
+    fn from(e: ServerError) -> Self {
+        HostError::Server(e)
+    }
+}
+
+/// One registered session and its host-side bookkeeping.
+struct Tenant {
+    label: String,
+    server: DejaView,
+    obs: Obs,
+    quotas: TenantQuotas,
+}
+
+/// Per-tenant observability snapshot plus the host-level rollup.
+pub struct HostObservability {
+    /// The host's own registry (`host.*` lifecycle and quota metrics).
+    pub host: ObsSnapshot,
+    /// The host registry merged with every tenant's, in tenant-id
+    /// order ([`ObsSnapshot::merge`] is associative, so this equals any
+    /// re-association of the same fold).
+    pub rollup: ObsSnapshot,
+    /// `(label, snapshot)` per tenant, in tenant-id order.
+    pub tenants: Vec<(String, ObsSnapshot)>,
+}
+
+impl HostObservability {
+    /// Renders the rollup plus the per-tenant breakdown as
+    /// deterministic JSON: `BTreeMap`-ordered maps inside each
+    /// snapshot, tenants in id order. Two runs performing the same
+    /// operations produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"rollup\": ");
+        out.push_str(&self.rollup.to_json());
+        out.push_str(",\n\"host\": ");
+        out.push_str(&self.host.to_json());
+        out.push_str(",\n\"tenants\": {");
+        for (i, (label, snap)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n\"");
+            out.push_str(&dv_obs::escape_json(label));
+            out.push_str("\": ");
+            out.push_str(&snap.to_json());
+        }
+        out.push_str(if self.tenants.is_empty() {
+            "}\n}\n"
+        } else {
+            "\n}\n}\n"
+        });
+        out
+    }
+}
+
+/// A multi-tenant session host: the session registry plus the shared
+/// blob store and the shared, fairly scheduled commit pool.
+pub struct Host {
+    clock: SimClock,
+    store: SharedBlobStore,
+    pool: Arc<CommitPipeline>,
+    tenants: BTreeMap<u64, Tenant>,
+    next_tenant: u64,
+    obs: Obs,
+    /// Which tenant leads the next index-flush round.
+    flush_cursor: u64,
+    config: HostConfig,
+}
+
+impl Host {
+    /// Creates a host with its own clock.
+    pub fn new(config: HostConfig) -> Self {
+        Host::with_clock(config, SimClock::new())
+    }
+
+    /// Creates a host over an existing clock (shared with the workload
+    /// driver). Every tenant session runs on this clock, and the commit
+    /// pool's retry backoff and latency costs advance it, so host runs
+    /// are deterministic end to end.
+    pub fn with_clock(config: HostConfig, clock: SimClock) -> Self {
+        let store = SharedBlobStore::in_memory();
+        let pool = Arc::new(CommitPipeline::new(
+            PipelineConfig {
+                workers: config.commit_workers,
+                queue_depth: config.default_quotas.commit_queue_depth,
+                retry_limit: config.commit_retry_limit,
+                retry_backoff: config.commit_retry_backoff,
+                compress: config.compress,
+                fairness: config.fairness,
+            },
+            store.clone(),
+            dv_fault::FaultPlane::disabled(),
+            Sleeper::Sim(clock.clone()),
+            Obs::disabled(),
+        ));
+        Host {
+            obs: Obs::new(clock.shared()),
+            clock,
+            store,
+            pool,
+            tenants: BTreeMap::new(),
+            next_tenant: 1,
+            flush_cursor: 0,
+            config,
+        }
+    }
+
+    /// Returns the host clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Returns the shared blob store every tenant records into.
+    pub fn store(&self) -> SharedBlobStore {
+        self.store.clone()
+    }
+
+    /// Returns the host's own observability handle (`host.*` metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Registered tenant ids, in creation order.
+    pub fn tenant_ids(&self) -> Vec<u64> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// A tenant's label.
+    pub fn tenant_label(&self, id: u64) -> Option<&str> {
+        self.tenants.get(&id).map(|t| t.label.as_str())
+    }
+
+    /// Creates a session under the default quotas. See
+    /// [`Host::create_session_with_quotas`].
+    pub fn create_session(&mut self, label: &str, config: Config) -> u64 {
+        self.create_session_with_quotas(label, config, self.config.default_quotas)
+    }
+
+    /// Creates a session: a full [`DejaView`] server on the host clock,
+    /// recording into the shared store under `label` as its blob
+    /// prefix, with its deferred commits flowing through the shared
+    /// pool on a lane of its own. The caller's `config` keeps its
+    /// per-tenant knobs (fault plane, policy, recorder); the host
+    /// overrides the storage wiring, installs a per-tenant
+    /// observability handle if the config's is disabled, and applies
+    /// `quotas`. Returns the tenant id.
+    pub fn create_session_with_quotas(
+        &mut self,
+        label: &str,
+        mut config: Config,
+        quotas: TenantQuotas,
+    ) -> u64 {
+        let id = self.next_tenant;
+        self.next_tenant += 1;
+        let obs = if config.obs.is_enabled() {
+            config.obs.clone()
+        } else {
+            Obs::new(self.clock.shared())
+        };
+        config.obs = obs.clone();
+        config.shared_store = Some(self.store.clone());
+        config.blob_prefix = Some(label.to_string());
+        // Commits go through the shared pool, never a per-session one.
+        config.engine.commit_workers = 0;
+        config.engine.commit_queue_depth = quotas.commit_queue_depth;
+        config.engine.compress = self.config.compress;
+        let mut server = DejaView::with_clock(config, self.clock.clone());
+        server.engine_mut().attach_shared_pipeline(
+            self.pool.clone(),
+            id as LaneId,
+            quotas.commit_weight,
+        );
+        self.tenants.insert(
+            id,
+            Tenant {
+                label: label.to_string(),
+                server,
+                obs,
+                quotas,
+            },
+        );
+        self.obs.incr(names::HOST_SESSIONS_CREATED);
+        self.obs
+            .gauge_set(names::HOST_SESSIONS, self.tenants.len() as u64);
+        self.obs.event(
+            "host",
+            names::EV_HOST_SESSION,
+            format!("tenant={label} id={id} created"),
+        );
+        id
+    }
+
+    /// Drops a session: drains its commit lane, removes the lane from
+    /// the pool, and unregisters the tenant. The tenant's blobs stay in
+    /// the shared store (the record outlives the live session).
+    pub fn drop_session(&mut self, id: u64) -> Result<(), HostError> {
+        let mut tenant = self
+            .tenants
+            .remove(&id)
+            .ok_or(HostError::UnknownTenant(id))?;
+        // A degraded tenant still drops cleanly; its failure was
+        // already counted against its own registry.
+        let _ = tenant.server.flush_checkpoints();
+        tenant.server.engine_mut().detach_shared_pipeline();
+        self.obs.incr(names::HOST_SESSIONS_DROPPED);
+        self.obs
+            .gauge_set(names::HOST_SESSIONS, self.tenants.len() as u64);
+        self.obs.event(
+            "host",
+            names::EV_HOST_SESSION,
+            format!("tenant={} id={id} dropped", tenant.label),
+        );
+        Ok(())
+    }
+
+    /// Borrows a tenant's server.
+    pub fn session(&self, id: u64) -> Result<&DejaView, HostError> {
+        self.tenants
+            .get(&id)
+            .map(|t| &t.server)
+            .ok_or(HostError::UnknownTenant(id))
+    }
+
+    /// Borrows a tenant's server mutably (to drive its workload).
+    pub fn session_mut(&mut self, id: u64) -> Result<&mut DejaView, HostError> {
+        self.tenants
+            .get_mut(&id)
+            .map(|t| &mut t.server)
+            .ok_or(HostError::UnknownTenant(id))
+    }
+
+    /// Takes a checkpoint of one tenant through the shared pool,
+    /// enforcing the tenant's storage quota first.
+    pub fn checkpoint(&mut self, id: u64) -> Result<CheckpointReport, HostError> {
+        let tenant = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(HostError::UnknownTenant(id))?;
+        let used = tenant.server.engine().stats().stored_bytes;
+        if used >= tenant.quotas.storage_bytes {
+            self.obs.incr(names::HOST_QUOTA_REJECTIONS);
+            self.obs.event(
+                "host",
+                names::EV_HOST_QUOTA,
+                format!(
+                    "tenant={} storage_bytes used={used} limit={}",
+                    tenant.label, tenant.quotas.storage_bytes
+                ),
+            );
+            return Err(HostError::QuotaExceeded {
+                tenant: tenant.label.clone(),
+                used,
+                limit: tenant.quotas.storage_bytes,
+            });
+        }
+        tenant.server.checkpoint_now().map_err(HostError::Server)
+    }
+
+    /// Drains one tenant's lane of the shared pool, surfacing its
+    /// first asynchronous commit failure (counted as a degradation on
+    /// the *tenant's* registry, never a neighbour's).
+    pub fn flush_session(&mut self, id: u64) -> Result<(), HostError> {
+        let tenant = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(HostError::UnknownTenant(id))?;
+        tenant.server.flush_checkpoints().map_err(HostError::Server)
+    }
+
+    /// Drains every tenant's lane. Per-tenant failures are returned in
+    /// tenant-id order; a failing tenant never blocks the rest of the
+    /// round.
+    pub fn flush_all(&mut self) -> Vec<(u64, HostError)> {
+        let ids = self.tenant_ids();
+        let mut failures = Vec::new();
+        for id in ids {
+            if let Err(e) = self.flush_session(id) {
+                failures.push((id, e));
+            }
+        }
+        failures
+    }
+
+    /// One fair index-flush round: every tenant's text index is flushed
+    /// as a storable segment, starting from a cursor that rotates by
+    /// one tenant per round, so no tenant permanently goes first (or
+    /// last) in the shared flush schedule. Returns `(tenant,
+    /// segment-or-error)` in the order served.
+    #[allow(clippy::type_complexity)]
+    pub fn flush_index_round(&mut self) -> Vec<(u64, Result<Vec<u8>, HostError>)> {
+        let ids = self.tenant_ids();
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let start = (self.flush_cursor as usize) % ids.len();
+        self.flush_cursor = self.flush_cursor.wrapping_add(1);
+        let mut results = Vec::with_capacity(ids.len());
+        for off in 0..ids.len() {
+            let id = ids[(start + off) % ids.len()];
+            let outcome = self
+                .tenants
+                .get_mut(&id)
+                .expect("registered tenant")
+                .server
+                .flush_index()
+                .map_err(HostError::Server);
+            results.push((id, outcome));
+        }
+        self.obs.incr(names::HOST_INDEX_FLUSH_ROUNDS);
+        results
+    }
+
+    /// A tenant's degradation count (failed checkpoint attempts and
+    /// index flushes), read from its own registry.
+    pub fn degraded_events(&self, id: u64) -> Result<u64, HostError> {
+        self.tenants
+            .get(&id)
+            .map(|t| t.server.degraded_events())
+            .ok_or(HostError::UnknownTenant(id))
+    }
+
+    /// Fingerprints a tenant's committed checkpoint history and the
+    /// state revived from its final checkpoint: FNV-1a over every
+    /// image's counter and decompressed plaintext, then over the
+    /// revived memory of each `(vpid, addr, len)` region. Two runs that
+    /// recorded the same tenant activity at the same session times
+    /// produce the same fingerprint — the oracle equality the
+    /// isolation tests assert.
+    pub fn restore_fingerprint(
+        &mut self,
+        id: u64,
+        regions: &[(Vpid, u64, usize)],
+    ) -> Result<u64, HostError> {
+        // Settle the lane first so the fingerprint covers every commit.
+        let _ = self.flush_session(id);
+        let tenant = self
+            .tenants
+            .get_mut(&id)
+            .ok_or(HostError::UnknownTenant(id))?;
+        let engine = tenant.server.engine();
+        let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+        let metas: Vec<(u64, String)> = engine
+            .images()
+            .map(|m| (m.counter, m.blob.clone()))
+            .collect();
+        let compressed = self.config.compress;
+        for (counter, blob) in &metas {
+            fnv1a(&mut fingerprint, &counter.to_le_bytes());
+            let data =
+                self.store
+                    .with(|s| s.get(blob).map(|d| d.to_vec()))
+                    .ok_or(HostError::Server(ServerError::from(
+                        dv_lsfs::FsError::NotFound,
+                    )))?;
+            let plain = if compressed {
+                dv_checkpoint::decompress(&data)
+                    .ok_or(HostError::Server(ServerError::from(dv_lsfs::FsError::Io)))?
+            } else {
+                data
+            };
+            fnv1a(&mut fingerprint, &plain);
+        }
+        let Some((last, _)) = metas.last() else {
+            return Ok(fingerprint);
+        };
+        let last = *last;
+        let chain = engine
+            .chain_for(last)
+            .ok_or(HostError::Server(ServerError::from(dv_lsfs::FsError::Io)))?;
+        let prefix = engine.blob_prefix().to_string();
+        let (revived, _report) = dv_checkpoint::revive(
+            &mut self.store.lock(),
+            &prefix,
+            &chain,
+            compressed,
+            9_000 + id,
+            self.clock.shared(),
+            Box::new(dv_lsfs::Lsfs::new()),
+            dv_vee::HostPidAllocator::new(),
+            &dv_checkpoint::NetworkPolicy::default(),
+        )
+        .map_err(|_| HostError::Server(ServerError::from(dv_lsfs::FsError::Io)))?;
+        for &(vpid, addr, len) in regions {
+            fnv1a(&mut fingerprint, &vpid.0.to_le_bytes());
+            let memory = revived
+                .mem_read(vpid, addr, len)
+                .map_err(|_| HostError::Server(ServerError::from(dv_lsfs::FsError::Io)))?;
+            fnv1a(&mut fingerprint, &memory);
+        }
+        Ok(fingerprint)
+    }
+
+    /// Snapshots observability across the host: the host's own
+    /// registry, each tenant's registry (labelled, in id order), and
+    /// the rollup merge of all of them.
+    pub fn observability(&self) -> HostObservability {
+        let host = self.obs.snapshot();
+        let tenants: Vec<(String, ObsSnapshot)> = self
+            .tenants
+            .values()
+            .map(|t| (t.label.clone(), t.obs.snapshot()))
+            .collect();
+        let mut rollup = host.clone();
+        for (_, snap) in &tenants {
+            rollup.merge(snap);
+        }
+        HostObservability {
+            host,
+            rollup,
+            tenants,
+        }
+    }
+}
+
+/// FNV-1a over `bytes`, folded into `hash`.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_vee::Prot;
+
+    fn tiny_config() -> Config {
+        Config {
+            width: 64,
+            height: 48,
+            enable_display_recording: false,
+            enable_text_capture: false,
+            ..Config::default()
+        }
+    }
+
+    fn dirty_and_checkpoint(host: &mut Host, id: u64, rounds: u64) -> (Vpid, u64) {
+        let (p, addr) = {
+            let server = host.session_mut(id).unwrap();
+            let p = server.vee_mut().spawn(None, "app").unwrap();
+            let addr = server.vee_mut().mmap(p, 4 * 4096, Prot::ReadWrite).unwrap();
+            (p, addr)
+        };
+        for round in 0..rounds {
+            let fill = vec![(round as u8).wrapping_add(id as u8); 4096];
+            host.session_mut(id)
+                .unwrap()
+                .vee_mut()
+                .mem_write(p, addr + (round % 4) * 4096, &fill)
+                .unwrap();
+            host.checkpoint(id).unwrap();
+        }
+        (p, addr)
+    }
+
+    #[test]
+    fn tenants_share_one_store_without_collisions() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("tenant-a", tiny_config());
+        let b = host.create_session("tenant-b", tiny_config());
+        dirty_and_checkpoint(&mut host, a, 3);
+        dirty_and_checkpoint(&mut host, b, 3);
+        assert!(host.flush_all().is_empty());
+        let store = host.store();
+        for tenant in ["tenant-a", "tenant-b"] {
+            for c in 1..=3u64 {
+                assert!(
+                    store.lock().contains(&format!("{tenant}-{c:08}")),
+                    "{tenant} counter {c} blob present"
+                );
+            }
+        }
+        assert_eq!(host.session(a).unwrap().engine().stats().committed, 3);
+        assert_eq!(host.session(b).unwrap().engine().stats().committed, 3);
+    }
+
+    #[test]
+    fn storage_quota_rejects_only_the_offender() {
+        let mut host = Host::new(HostConfig::default());
+        let capped = host.create_session_with_quotas(
+            "capped",
+            tiny_config(),
+            TenantQuotas {
+                storage_bytes: 1,
+                ..TenantQuotas::default()
+            },
+        );
+        let free = host.create_session("free", tiny_config());
+        dirty_and_checkpoint(&mut host, capped, 1);
+        host.flush_session(capped).unwrap();
+        // The first checkpoint committed >1 byte; the next is rejected.
+        assert!(matches!(
+            host.checkpoint(capped),
+            Err(HostError::QuotaExceeded { .. })
+        ));
+        dirty_and_checkpoint(&mut host, free, 2);
+        host.flush_session(free).unwrap();
+        assert_eq!(host.session(free).unwrap().engine().stats().committed, 2);
+        let snap = host.obs().snapshot();
+        assert_eq!(snap.counter(names::HOST_QUOTA_REJECTIONS), 1);
+        let quota_events = snap.events_named(names::EV_HOST_QUOTA);
+        assert!(quota_events[0].detail.contains("tenant=capped"));
+    }
+
+    #[test]
+    fn index_flush_rotation_rotates_the_leader() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("a", tiny_config());
+        let b = host.create_session("b", tiny_config());
+        let c = host.create_session("c", tiny_config());
+        let leaders: Vec<u64> = (0..4).map(|_| host.flush_index_round()[0].0).collect();
+        assert_eq!(leaders, vec![a, b, c, a], "cursor rotates per round");
+        assert_eq!(
+            host.obs()
+                .snapshot()
+                .counter(names::HOST_INDEX_FLUSH_ROUNDS),
+            4
+        );
+    }
+
+    #[test]
+    fn dropped_session_keeps_its_blobs() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("gone", tiny_config());
+        dirty_and_checkpoint(&mut host, a, 2);
+        host.drop_session(a).unwrap();
+        assert!(host.session(a).is_err());
+        assert!(host.store().lock().contains("gone-00000001"));
+        let snap = host.obs().snapshot();
+        assert_eq!(snap.counter(names::HOST_SESSIONS_DROPPED), 1);
+        assert_eq!(snap.gauge(names::HOST_SESSIONS), 0);
+    }
+
+    #[test]
+    fn rollup_merges_host_and_tenant_registries() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("a", tiny_config());
+        dirty_and_checkpoint(&mut host, a, 2);
+        assert!(host.flush_all().is_empty());
+        let obs = host.observability();
+        assert_eq!(obs.tenants.len(), 1);
+        let tenant_ckpts = obs.tenants[0].1.counter(names::CHECKPOINT_COUNT);
+        assert_eq!(tenant_ckpts, 2);
+        assert_eq!(obs.rollup.counter(names::CHECKPOINT_COUNT), tenant_ckpts);
+        assert_eq!(
+            obs.rollup.counter(names::HOST_SESSIONS_CREATED),
+            obs.host.counter(names::HOST_SESSIONS_CREATED)
+        );
+        // Deterministic rendering.
+        assert_eq!(obs.to_json(), host.observability().to_json());
+    }
+
+    #[test]
+    fn restore_fingerprint_is_stable_across_identical_runs() {
+        let run = || {
+            let mut host = Host::new(HostConfig::default());
+            let id = host.create_session("fp", tiny_config());
+            let (p, addr) = dirty_and_checkpoint(&mut host, id, 3);
+            host.restore_fingerprint(id, &[(p, addr, 4 * 4096)])
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -73,6 +73,33 @@ impl ObsSnapshot {
         self.events.iter().filter(|e| e.name == name).collect()
     }
 
+    /// Merges another snapshot into this one: counters, gauges, and
+    /// dropped-event counts are summed (saturating), histograms are
+    /// merged bucket-wise via [`HistogramSnapshot::merge`], and
+    /// `other`'s events are appended after this snapshot's. Like the
+    /// histogram merge, the operation is associative, so a host-level
+    /// rollup folded over per-tenant snapshots equals any
+    /// re-association of the same fold.
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, h) in &other.histograms {
+            let merged = match self.histograms.get(name) {
+                Some(mine) => mine.merge(h),
+                None => *h,
+            };
+            self.histograms.insert(name.clone(), merged);
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.dropped_events = self.dropped_events.saturating_add(other.dropped_events);
+    }
+
     /// Aggregates histogram time by stream (the leading dot-separated
     /// component of each histogram name), in report order.
     pub fn stream_breakdown(&self) -> Vec<StreamBreakdown> {

@@ -462,6 +462,22 @@ pub mod names {
     pub const EV_INLINE_FALLBACK: &str = "checkpoint.inline_fallback";
     /// Event name for one pipeline commit retry.
     pub const EV_COMMIT_RETRY: &str = "checkpoint.commit_retry";
+
+    /// Sessions currently registered on the host.
+    pub const HOST_SESSIONS: &str = "host.sessions";
+    /// Sessions ever created on the host.
+    pub const HOST_SESSIONS_CREATED: &str = "host.sessions_created";
+    /// Sessions dropped from the host.
+    pub const HOST_SESSIONS_DROPPED: &str = "host.sessions_dropped";
+    /// Checkpoints the host skipped because a tenant hit its
+    /// storage-bytes quota.
+    pub const HOST_QUOTA_REJECTIONS: &str = "host.quota_rejections";
+    /// Index-flush rotations the host completed (all tenants served).
+    pub const HOST_INDEX_FLUSH_ROUNDS: &str = "host.index_flush_rounds";
+    /// Event name for one tenant hitting a quota.
+    pub const EV_HOST_QUOTA: &str = "host.quota_exceeded";
+    /// Event name for one tenant lifecycle change (create/drop).
+    pub const EV_HOST_SESSION: &str = "host.session";
 }
 
 #[cfg(test)]

@@ -37,6 +37,29 @@ impl Sleeper {
     pub fn is_wall(&self) -> bool {
         matches!(self, Sleeper::Wall)
     }
+
+    /// Reads the timebase this sleeper advances, in nanoseconds:
+    /// session time for [`Sleeper::Sim`], wall time since a fixed
+    /// process origin for [`Sleeper::Wall`]. Only *differences* between
+    /// two readings of the same sleeper are meaningful. This lets code
+    /// that measures durations around a sleep (the commit pipeline's
+    /// enqueue-to-resolve latency) stay deterministic under a sim
+    /// clock instead of reaching for `std::time::Instant` directly.
+    pub fn now_nanos(&self) -> u64 {
+        match self {
+            Sleeper::Wall => wall_origin().elapsed().as_nanos() as u64,
+            Sleeper::Sim(clock) => {
+                use crate::Clock;
+                clock.now().as_nanos()
+            }
+        }
+    }
+}
+
+/// Process-wide origin for [`Sleeper::Wall`] readings.
+fn wall_origin() -> &'static std::time::Instant {
+    static ORIGIN: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    ORIGIN.get_or_init(std::time::Instant::now)
 }
 
 #[cfg(test)]
@@ -62,5 +85,23 @@ mod tests {
         sleeper.sleep(Duration::from_millis(5));
         assert!(started.elapsed() >= std::time::Duration::from_millis(5));
         assert!(sleeper.is_wall());
+    }
+
+    #[test]
+    fn sim_sleeper_now_reads_session_time() {
+        let clock = SimClock::new();
+        let sleeper = Sleeper::Sim(clock.clone());
+        let before = sleeper.now_nanos();
+        sleeper.sleep(Duration::from_millis(250));
+        assert_eq!(sleeper.now_nanos() - before, 250_000_000);
+    }
+
+    #[test]
+    fn wall_sleeper_now_advances_monotonically() {
+        let sleeper = Sleeper::Wall;
+        let a = sleeper.now_nanos();
+        sleeper.sleep(Duration::from_millis(2));
+        let b = sleeper.now_nanos();
+        assert!(b > a);
     }
 }

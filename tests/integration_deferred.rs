@@ -136,11 +136,19 @@ fn drain_under_fault_accounts_every_queued_image() {
     engine.set_fault_plane(plane);
     let store = SharedBlobStore::in_memory();
 
+    // Hold the store lock while every round enqueues: the worker's
+    // first commit blocks on the store, so the faulted third commit
+    // cannot resolve (and the engine cannot reap it and re-anchor
+    // full) until the whole incremental chain is queued. Without this
+    // the cascade accounting below would race the worker thread.
     let rounds = 6u64;
-    for round in 1..=rounds {
-        fill(&mut vee, p, addr, round);
-        engine.checkpoint(&mut vee, &store).unwrap();
-        clock.advance(dv_time::Duration::from_secs(1));
+    {
+        let _pin_commits = store.lock();
+        for round in 1..=rounds {
+            fill(&mut vee, p, addr, round);
+            engine.checkpoint(&mut vee, &store).unwrap();
+            clock.advance(dv_time::Duration::from_secs(1));
+        }
     }
     assert_eq!(engine.flush(), Err(FsError::NoSpace));
 

@@ -353,9 +353,7 @@ fn unhandshaken_connection_hits_the_handshake_deadline() {
 
     // Half the idle budget elapses with no Hello: the silent socket is
     // dropped, not parked forever outside the idle scan.
-    svc.dv_mut()
-        .clock()
-        .advance(Duration::from_secs(31)); // idle_timeout default 60s
+    svc.dv_mut().clock().advance(Duration::from_secs(31)); // idle_timeout default 60s
     let report = svc.poll();
     assert!(
         report

@@ -1,0 +1,191 @@
+//! Property tests for the dv-host session registry.
+//!
+//! Two invariants make multi-tenancy trustworthy:
+//!
+//! 1. **No aliasing.** However session create / attach / checkpoint /
+//!    drop operations interleave across tenants, each tenant's restore
+//!    fingerprint equals the one produced by a single-tenant oracle
+//!    host replaying only that tenant's operations on the identical
+//!    clock trajectory. Neighbours sharing the blob store and the
+//!    commit pool must leave no trace in another tenant's record.
+//! 2. **Distinct tenants stay distinct.** Concurrent tenants with
+//!    different workloads never converge to the same fingerprint — a
+//!    collision would mean two sessions share checkpoint state.
+
+use proptest::prelude::*;
+
+use dejaview::Config;
+use dv_host::{Host, HostConfig};
+use dv_time::{Duration, SimClock};
+use dv_vee::{Prot, Vpid};
+
+/// Concurrent tenant slots the interleavings range over.
+const SLOTS: usize = 3;
+/// Pages in each tenant's recorded region.
+const PAGES: u64 = 2;
+
+/// One step of a tenant's life driven by the property.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Dirty every page of the tenant's region with a value derived
+    /// from this byte (and the slot, so slots never write identical
+    /// content).
+    Write(u8),
+    /// Take a checkpoint through the shared pool.
+    Checkpoint,
+    /// Drop the session and create a fresh one in the same slot (a new
+    /// label, so the old record's blobs stay orphaned but unaliased).
+    Recreate,
+}
+
+fn arb_op() -> impl Strategy<Value = (usize, Op)> {
+    (
+        0..SLOTS,
+        prop_oneof![
+            5 => any::<u8>().prop_map(Op::Write),
+            4 => Just(Op::Checkpoint),
+            1 => Just(Op::Recreate),
+        ],
+    )
+}
+
+fn session_config() -> Config {
+    Config {
+        width: 64,
+        height: 48,
+        enable_display_recording: false,
+        enable_text_capture: false,
+        ..Config::default()
+    }
+}
+
+/// One live tenant in a slot: its host id, its recorded process and
+/// region, and which generation of the slot it is.
+struct Slot {
+    id: u64,
+    vpid: Vpid,
+    addr: u64,
+    gen: u32,
+}
+
+fn create_slot(host: &mut Host, slot: usize, gen: u32) -> Slot {
+    let id = host.create_session(&format!("s{slot}g{gen}"), session_config());
+    let server = host.session_mut(id).expect("fresh tenant");
+    let vpid = server.vee_mut().spawn(None, "app").expect("spawn");
+    let addr = server
+        .vee_mut()
+        .mmap(vpid, PAGES * 4096, Prot::ReadWrite)
+        .expect("mmap");
+    Slot {
+        id,
+        vpid,
+        addr,
+        gen,
+    }
+}
+
+fn apply(host: &mut Host, slot: usize, state: &mut Slot, op: Op) {
+    match op {
+        Op::Write(v) => {
+            for page in 0..PAGES {
+                let fill = vec![v.wrapping_add(slot as u8).wrapping_mul(page as u8 + 1); 4096];
+                host.session_mut(state.id)
+                    .expect("live tenant")
+                    .vee_mut()
+                    .mem_write(state.vpid, state.addr + page * 4096, &fill)
+                    .expect("mem_write");
+            }
+        }
+        Op::Checkpoint => {
+            host.checkpoint(state.id).expect("clean checkpoint");
+        }
+        Op::Recreate => {
+            host.drop_session(state.id).expect("drop live tenant");
+            *state = create_slot(host, slot, state.gen + 1);
+        }
+    }
+}
+
+/// Drives `ops` over a fresh host and returns the per-slot restore
+/// fingerprints. With `only = Some(slot)` the host carries that single
+/// tenant and every other slot's operation degrades to the pure clock
+/// advance it would have caused — the single-tenant oracle on the
+/// identical clock trajectory.
+fn run(ops: &[(usize, Op)], only: Option<usize>) -> Vec<u64> {
+    let clock = SimClock::new();
+    let mut host = Host::with_clock(HostConfig::default(), clock.clone());
+    let slots: Vec<usize> = match only {
+        Some(s) => vec![s],
+        None => (0..SLOTS).collect(),
+    };
+    let mut states: Vec<(usize, Slot)> = slots
+        .iter()
+        .map(|&s| (s, create_slot(&mut host, s, 0)))
+        .collect();
+    for &(slot, op) in ops {
+        if let Some((_, state)) = states.iter_mut().find(|(s, _)| *s == slot) {
+            apply(&mut host, slot, state, op);
+        }
+        clock.advance(Duration::from_millis(10));
+    }
+    states
+        .iter_mut()
+        .map(|(_, state)| {
+            host.restore_fingerprint(
+                state.id,
+                &[(state.vpid, state.addr, (PAGES * 4096) as usize)],
+            )
+            .expect("restore fingerprint")
+        })
+        .collect()
+}
+
+/// Appends a deterministic tail that writes and checkpoints every slot
+/// once, so each tenant (whatever its generation) ends with at least
+/// one committed image to fingerprint.
+fn with_settle_tail(ops: Vec<(usize, Op)>) -> Vec<(usize, Op)> {
+    let mut full = ops;
+    for slot in 0..SLOTS {
+        full.push((slot, Op::Write(0xA5)));
+        full.push((slot, Op::Checkpoint));
+    }
+    full
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: every tenant's record under an arbitrary
+    /// multi-tenant interleaving equals the single-tenant oracle's.
+    #[test]
+    fn interleavings_match_single_tenant_oracle(
+        ops in prop::collection::vec(arb_op(), 0..24),
+    ) {
+        let ops = with_settle_tail(ops);
+        let multi = run(&ops, None);
+        for slot in 0..SLOTS {
+            let oracle = run(&ops, Some(slot))[0];
+            prop_assert_eq!(
+                multi[slot], oracle,
+                "slot {} diverged from its single-tenant oracle", slot
+            );
+        }
+    }
+
+    /// Invariant 2: concurrent tenants never alias into the same
+    /// fingerprint (their workloads differ by construction).
+    #[test]
+    fn concurrent_tenants_stay_distinct(
+        ops in prop::collection::vec(arb_op(), 0..24),
+    ) {
+        let multi = run(&with_settle_tail(ops), None);
+        for a in 0..multi.len() {
+            for b in a + 1..multi.len() {
+                prop_assert!(
+                    multi[a] != multi[b],
+                    "slots {} and {} share a fingerprint: {:#x}", a, b, multi[a]
+                );
+            }
+        }
+    }
+}

@@ -140,3 +140,155 @@ fn json_export_is_byte_identical_across_runs() {
     let c = seeded_run(seed ^ 0xDEAD_BEEF);
     assert_ne!(a, c);
 }
+
+// ---------------------------------------------------------------------
+// dv-host rollups: per-tenant registries fold into the host snapshot
+// ---------------------------------------------------------------------
+
+/// Drives a deterministic multi-tenant host: `tenants[i]` checkpoints
+/// that many times, every tenant on the shared clock, then returns the
+/// host observability capture.
+fn host_activity(tenants: &[u8]) -> dv_host::HostObservability {
+    use dv_vee::Prot;
+
+    let clock = SimClock::new();
+    let mut host = dv_host::Host::with_clock(dv_host::HostConfig::default(), clock.clone());
+    let ids: Vec<u64> = tenants
+        .iter()
+        .enumerate()
+        .map(|(slot, _)| {
+            host.create_session(
+                &format!("t{slot}"),
+                dejaview::Config {
+                    width: 64,
+                    height: 48,
+                    enable_display_recording: false,
+                    enable_text_capture: false,
+                    ..dejaview::Config::default()
+                },
+            )
+        })
+        .collect();
+    for (slot, (&id, &rounds)) in ids.iter().zip(tenants).enumerate() {
+        let server = host.session_mut(id).expect("registered tenant");
+        let vpid = server.vee_mut().spawn(None, "app").expect("spawn");
+        let addr = server
+            .vee_mut()
+            .mmap(vpid, 4096, Prot::ReadWrite)
+            .expect("mmap");
+        for round in 0..rounds {
+            host.session_mut(id)
+                .expect("registered tenant")
+                .vee_mut()
+                .mem_write(vpid, addr, &[round.wrapping_add(slot as u8); 4096])
+                .expect("mem_write");
+            host.checkpoint(id).expect("clean checkpoint");
+            clock.advance(Duration::from_millis(10));
+        }
+    }
+    let failures = host.flush_all();
+    assert!(failures.is_empty(), "clean tenants must flush cleanly");
+    host.observability()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The host rollup IS the fold of the host registry with every
+    /// per-tenant registry — aggregation invents nothing and drops
+    /// nothing — and, because `ObsSnapshot::merge` is associative (the
+    /// property established above for its histogram core), any
+    /// re-association of that fold produces the same snapshot.
+    #[test]
+    fn host_rollup_is_the_fold_of_tenant_registries(
+        tenants in prop::collection::vec(0u8..4, 1..4),
+    ) {
+        let obs = host_activity(&tenants);
+
+        // Left fold, the host's own association.
+        let mut refold = obs.host.clone();
+        for (_, snap) in &obs.tenants {
+            refold.merge(snap);
+        }
+        prop_assert_eq!(&refold, &obs.rollup);
+
+        // Right association: host + (t0 + (t1 + ...)).
+        let mut tail = dv_obs::ObsSnapshot::default();
+        for (_, snap) in obs.tenants.iter().rev() {
+            let mut next = snap.clone();
+            next.merge(&tail);
+            tail = next;
+        }
+        let mut reassoc = obs.host.clone();
+        reassoc.merge(&tail);
+        prop_assert_eq!(&reassoc, &obs.rollup);
+    }
+
+    /// Two identical host runs export byte-identical observability
+    /// JSON under the pinned seed: rollups are stable artifacts. The
+    /// tenant registries are driven directly through their session-time
+    /// handles (checkpoint engine spans measure wall time and would
+    /// differ between runs by construction).
+    #[test]
+    fn host_observability_json_is_byte_identical(
+        tenants in prop::collection::vec(0u8..4, 1..4),
+    ) {
+        let seed = common::seed_for("host-observability-json");
+        let a = seeded_host_json(&tenants, seed);
+        let b = seeded_host_json(&tenants, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.contains("\"rollup\""));
+        prop_assert!(a.contains("\"tenants\""));
+        prop_assert!(a.contains("\"t0\""));
+        // A different seed produces different bytes (the comparison is
+        // not vacuous) — unless no tenant performed any operation.
+        if tenants.iter().any(|&r| r > 0) {
+            prop_assert!(a != seeded_host_json(&tenants, seed ^ 0xDEAD_BEEF));
+        }
+    }
+}
+
+/// Registers one session per tenant slot, each with its own
+/// session-time observability handle, drives `rounds` seeded
+/// operations on every handle, and exports the host observability
+/// JSON. A pure function of `(tenants, seed)`.
+fn seeded_host_json(tenants: &[u8], seed: u64) -> String {
+    let clock = SimClock::new();
+    let mut host = dv_host::Host::with_clock(dv_host::HostConfig::default(), clock.clone());
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for (slot, &rounds) in tenants.iter().enumerate() {
+        let obs = Obs::new(clock.shared());
+        host.create_session(
+            &format!("t{slot}"),
+            dejaview::Config {
+                width: 64,
+                height: 48,
+                enable_display_recording: false,
+                enable_text_capture: false,
+                obs: obs.clone(),
+                ..dejaview::Config::default()
+            },
+        );
+        for _ in 0..u64::from(rounds) * 8 {
+            clock.advance(Duration::from_micros(next() % 500));
+            match next() % 4 {
+                0 => obs.add(names::CHECKPOINT_COUNT, next() % 16),
+                1 => obs.gauge_set(names::CHECKPOINT_QUEUE_DEPTH, next() % 8),
+                2 => obs.observe(names::CHECKPOINT_CAPTURE, next() % 2_000_000),
+                _ => obs.event(
+                    "checkpoint",
+                    names::EV_COMMIT_RETRY,
+                    format!("case={}", next() % 100),
+                ),
+            }
+        }
+    }
+    host.observability().to_json()
+}
