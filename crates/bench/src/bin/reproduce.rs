@@ -7,14 +7,15 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             obs | ci | net | host | all   (default: all; `ci`,
-//!             `obs`, `net`, and `host` are not part of `all`)
+//!             obs | ci | net | host | dedup | summary | all
+//!             (default: all; `ci`, `obs`, `net`, `host`, `dedup`,
+//!             and `summary` are not part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci`, `obs`, `net`, and `host` default to 1.0)
-//! --out P:      ci/obs/net/host: where to write the JSON
+//!             `ci`, `obs`, `net`, `host`, and `dedup` default to 1.0)
+//! --out P:      ci/obs/net/host/dedup: where to write the JSON
 //!               (BENCH_ci.json / BENCH_obs.json / BENCH_net.json /
-//!               BENCH_host.json)
-//! --baseline P: ci: checked-in baseline to gate against
+//!               BENCH_host.json / BENCH_dedup.json)
+//! --baseline P: ci/summary: checked-in baseline to gate against
 //!               (BENCH_baseline.json)
 //! ```
 //!
@@ -42,12 +43,24 @@
 //! metrics to `--out`, and exits nonzero if the per-session unit cost
 //! at scale exceeds 1.25x of the single-session cost, a faulted tenant
 //! degraded a neighbour, or a neighbour's restore fingerprint changed.
+//!
+//! The `dedup` experiment drives a repetitive single-tenant and a
+//! 16-tenant-similar checkpoint workload through the dv-cas
+//! content-addressed store, writes dedup ratios, storage throughput,
+//! and restore-identity flags to `--out`, and exits nonzero if either
+//! workload dedups under 2x or any restore fingerprint differs from
+//! the dedup-off run.
+//!
+//! The `summary` experiment runs no workload: it reads every
+//! `BENCH_*.json` in the current directory and prints one GitHub-
+//! flavored markdown table (metric, value, baseline, threshold) for
+//! `$GITHUB_STEP_SUMMARY`.
 
 use dv_bench::{
-    ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency,
+    ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency, dedup_experiment,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
     fig5_browse_search, fig6_playback, fig7_revive, host_experiment, net_experiment,
-    obs_experiment, policy_effectiveness, print_ablation, print_crash, print_deferred,
+    obs_experiment, policy_effectiveness, print_ablation, print_crash, print_dedup, print_deferred,
     print_faults, print_fig2, print_fig3, print_fig4, print_fig5, print_fig6, print_fig7,
     print_host, print_mirror_ablation, print_net, print_obs, print_policy, print_quality,
     print_table1, quality_tradeoff, table1,
@@ -77,6 +90,12 @@ const HOST_OVERHEAD_LIMIT: f64 = 1.25;
 /// scheduling keeps a faulted tenant's retry storm off its
 /// neighbours' threads, so a healthy host sits near 1.0.
 const HOST_INTERFERENCE_LIMIT: f64 = 1.50;
+
+/// The least the content-addressed store must shrink each dedup
+/// workload before the `dedup` gate fails. Both workloads repeat
+/// checkpoint content (across time, then across tenants), so a store
+/// that finds less than half the redundancy has stopped deduping.
+const DEDUP_RATIO_FLOOR: f64 = 2.0;
 
 /// Serializes metrics as a flat JSON object, one metric per line.
 fn to_flat_json(metrics: &[(String, f64)]) -> String {
@@ -429,6 +448,155 @@ fn run_host(scale: f64, out: &str) {
     }
 }
 
+/// Runs the dv-cas dedup experiment: prints the workload table, writes
+/// metrics to `out`, and exits nonzero if either workload dedups under
+/// [`DEDUP_RATIO_FLOOR`] or any tenant's restore fingerprint differs
+/// from the dedup-off run.
+fn run_dedup(scale: f64, out: &str) {
+    let rows = dedup_experiment(scale);
+    print_dedup(&rows);
+
+    let mut metrics = Vec::new();
+    let mut failures = Vec::new();
+    let mut identical = true;
+    for row in &rows {
+        let tag = row.workload.replace('-', "_");
+        // Higher is better, so these deliberately do not carry the
+        // `_ratio` suffix the ci gate treats as lower-is-better.
+        metrics.push((format!("dedup_factor_{tag}"), row.dedup_ratio()));
+        metrics.push((format!("dedup_mbps_{tag}"), row.dedup_mbps));
+        metrics.push((format!("dedup_plain_mbps_{tag}"), row.plain_mbps));
+        if row.dedup_ratio() < DEDUP_RATIO_FLOOR {
+            failures.push(format!(
+                "{}: dedup ratio {:.2}x under the {DEDUP_RATIO_FLOOR:.1}x floor",
+                row.workload,
+                row.dedup_ratio()
+            ));
+        }
+        if !row.fingerprints_match {
+            identical = false;
+            failures.push(format!(
+                "{}: a restore fingerprint differs from the dedup-off run",
+                row.workload
+            ));
+        }
+    }
+    metrics.push((
+        "dedup_restore_identical".to_string(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    if failures.is_empty() {
+        println!(
+            "dedup gate: both workloads dedup >= {DEDUP_RATIO_FLOOR:.1}x with identical restores"
+        );
+    } else {
+        eprintln!("dedup gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The pass condition a gate applies to a metric, as a display string
+/// for the summary table, or `None` when the metric is informational.
+fn threshold_for(source: &str, key: &str) -> Option<String> {
+    match source {
+        "ci" => Some(if key.ends_with("_ratio") {
+            "<= baseline x1.20".to_string()
+        } else {
+            ">= baseline".to_string()
+        }),
+        "obs" if key == "overhead_ratio" => Some(format!("<= {OBS_OVERHEAD_LIMIT:.2}")),
+        "net" if key.ends_with("_ratio") => Some(format!("<= {NET_OVERHEAD_LIMIT:.2}")),
+        "net" if key.starts_with("net_converged") => Some(">= 1".to_string()),
+        "host" if key == "host_interference_ratio" => {
+            Some(format!("<= {HOST_INTERFERENCE_LIMIT:.2}"))
+        }
+        "host" if key.ends_with("_ratio") => Some(format!("<= {HOST_OVERHEAD_LIMIT:.2}")),
+        "host"
+            if key == "host_fingerprint_stable"
+                || key == "host_fingerprints_match"
+                || key == "host_neighbors_isolated" =>
+        {
+            Some(">= 1".to_string())
+        }
+        "dedup" if key.starts_with("dedup_factor") => Some(format!(">= {DEDUP_RATIO_FLOOR:.1}")),
+        "dedup" if key == "dedup_restore_identical" => Some(">= 1".to_string()),
+        _ => None,
+    }
+}
+
+/// Pulls the top-level `overhead_ratio` out of the obs JSON, which
+/// nests the full registry snapshot and so defies [`parse_flat_json`].
+fn extract_obs_overhead(text: &str) -> Option<f64> {
+    let rest = &text[text.find("\"overhead_ratio\"")?..];
+    let (_, after) = rest.split_once(':')?;
+    let end = after.find(',').unwrap_or(after.len());
+    after[..end].trim().parse().ok()
+}
+
+/// Reads every `BENCH_*.json` in the working directory and prints one
+/// markdown table (metric, value, baseline, threshold) meant for
+/// `$GITHUB_STEP_SUMMARY`. Runs no workload.
+fn run_summary(baseline_path: &str) {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .ok()
+        .and_then(|t| parse_flat_json(&t))
+        .unwrap_or_default();
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .map(|dir| {
+            dir.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| {
+                    n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_baseline.json"
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    println!("### Benchmark summary\n");
+    println!("| metric | value | baseline | threshold |");
+    println!("|---|---:|---:|---|");
+    let mut printed = 0usize;
+    for file in &files {
+        let source = file
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let metrics = if source == "obs" {
+            extract_obs_overhead(&text)
+                .map(|v| vec![("overhead_ratio".to_string(), v)])
+                .unwrap_or_default()
+        } else {
+            parse_flat_json(&text).unwrap_or_default()
+        };
+        for (key, value) in &metrics {
+            let base = baseline
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            let threshold = threshold_for(&source, key).unwrap_or_else(|| "-".to_string());
+            println!("| `{key}` | {value:.4} | {base} | {threshold} |");
+            printed += 1;
+        }
+    }
+    if printed == 0 {
+        println!("| _no BENCH_*.json files found_ | | | |");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
@@ -458,16 +626,25 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|dedup|summary|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
             other => experiment = other.to_string(),
         }
     }
+    if experiment == "summary" {
+        // Pure markdown to stdout: no banner, so the output can be
+        // appended to $GITHUB_STEP_SUMMARY as-is.
+        run_summary(&baseline);
+        return;
+    }
     // The gated experiments favor paper-sized runs for stable ratios.
-    let gated =
-        experiment == "ci" || experiment == "obs" || experiment == "net" || experiment == "host";
+    let gated = experiment == "ci"
+        || experiment == "obs"
+        || experiment == "net"
+        || experiment == "host"
+        || experiment == "dedup";
     let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
@@ -499,6 +676,12 @@ fn main() {
     if experiment == "host" {
         let out = out.unwrap_or_else(|| "BENCH_host.json".to_string());
         run_host(scale, &out);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "dedup" {
+        let out = out.unwrap_or_else(|| "BENCH_dedup.json".to_string());
+        run_dedup(scale, &out);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

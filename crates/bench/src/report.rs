@@ -1,9 +1,9 @@
 //! Paper-style table printing for the `reproduce` binary.
 
 use crate::experiments::{
-    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DeferredRow, FaultRow, HostReport,
-    MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow, QualityRow, ReviveRow,
-    StorageRow, Table1Row,
+    AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DedupRow, DeferredRow, FaultRow,
+    HostReport, MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow, QualityRow,
+    ReviveRow, StorageRow, Table1Row,
 };
 use dv_checkpoint::PolicyStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -502,6 +502,52 @@ pub fn print_host(report: &HostReport) {
             "MISSING"
         },
     );
+}
+
+/// Prints the dv-cas dedup measurement.
+pub fn print_dedup(rows: &[DedupRow]) {
+    out!("Dedup: content-addressed chunk store under checkpoint traffic (vs dedup off)");
+    out!(
+        "{:<14} {:>7} {:>6} {:>12} {:>13} {:>7} {:>7} {:>9} {:>10} {:>12}",
+        "workload",
+        "tenants",
+        "ckpts",
+        "logical(KB)",
+        "physical(KB)",
+        "ratio",
+        "chunks",
+        "MB/s",
+        "plain-MB/s",
+        "restores"
+    );
+    out!("{:-<104}", "");
+    for row in rows {
+        out!(
+            "{:<14} {:>7} {:>6} {:>12.1} {:>13.1} {:>6.2}x {:>7} {:>9.1} {:>10.1} {:>12}",
+            row.workload,
+            row.tenants,
+            row.checkpoints,
+            row.logical_bytes as f64 / 1e3,
+            row.physical_bytes as f64 / 1e3,
+            row.dedup_ratio(),
+            row.live_chunks,
+            row.dedup_mbps,
+            row.plain_mbps,
+            if row.fingerprints_match {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    for row in rows {
+        out!(
+            "  {}: {} chunk hits, stored {:.1}x less than dedup-off",
+            row.workload,
+            row.dedup_hits,
+            row.dedup_ratio(),
+        );
+    }
 }
 
 /// Prints the §6 policy-effectiveness analysis.

@@ -981,7 +981,7 @@ impl Checkpointer {
             Some(IoFault::Corrupt) => self.plane.mangle(&mut stored),
         }
         let stored_bytes = stored.len() as u64;
-        store.with(|s| s.put(blob, stored))?;
+        store.put_deduped(blob, stored)?;
         Ok((raw_bytes, stored_bytes))
     }
 }

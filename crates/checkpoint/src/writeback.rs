@@ -769,7 +769,9 @@ fn run_commit(
                     Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => return Err(FsError::Io),
                     Some(IoFault::Corrupt) => plane.mangle(&mut bytes),
                 }
-                store.with(|s| s.put(&job.blob, bytes))
+                // Chunk-split and hash outside the store lock; commit
+                // workers emit chunk manifests when dedup is enabled.
+                store.put_deduped(&job.blob, bytes)
             })();
             match write {
                 Ok(()) => break Ok((job.raw_bytes, stored_bytes)),

@@ -41,8 +41,8 @@ struct ChannelState {
 
 /// A byte channel between server and viewer (a TCP socket stand-in).
 ///
-/// The channel has explicit lifecycle semantics: after [`close`]
-/// (`ByteChannel::close`), buffered bytes still drain, but
+/// The channel has explicit lifecycle semantics: after
+/// [`close`](ByteChannel::close), buffered bytes still drain, but
 /// [`try_recv`](ByteChannel::try_recv) on an empty closed channel
 /// reports [`ChannelClosed`] instead of an empty read — so a consumer
 /// can distinguish "no bytes yet" from "peer gone". Bytes sent after
@@ -58,8 +58,8 @@ impl ByteChannel {
         ByteChannel::default()
     }
 
-    /// Appends bytes to the channel. Bytes sent after [`close`]
-    /// (`ByteChannel::close`) are dropped, mirroring a write to a
+    /// Appends bytes to the channel. Bytes sent after
+    /// [`close`](ByteChannel::close) are dropped, mirroring a write to a
     /// half-closed socket; returns how many bytes were accepted.
     pub fn send(&self, bytes: &[u8]) -> usize {
         let mut state = self.inner.lock();

@@ -48,15 +48,37 @@ pub const ALL: [&str; 10] = [
 /// The remote-access transport sites, for connection fault tests.
 pub const NET_ALL: [&str; 2] = [NET_SEND, NET_RECV];
 
+/// Chunk writes into the content-addressed store in `dv-cas` — torn
+/// multi-chunk writes leave unreferenced orphans, corruption is caught
+/// by the content hash.
+pub const CAS_CHUNK: &str = "cas.chunk";
+/// Root-slot writes in `dv-cas` — torn or corrupted slots are abandoned
+/// and the previous generation stays authoritative.
+pub const CAS_ROOT: &str = "cas.root";
+/// GC sweep steps in `dv-cas` — a faulted step aborts before
+/// reclaiming anything.
+pub const CAS_GC: &str = "cas.gc";
+
+/// The content-addressed-store sites. Kept out of [`ALL`]: the CAS
+/// sits *under* the blob layer, with its own crash/fault matrix in
+/// `dv-cas`, so the storage-stack matrices keep their historical
+/// shape (and baselines).
+pub const CAS_ALL: [&str; 3] = [CAS_CHUNK, CAS_ROOT, CAS_GC];
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn site_names_are_unique() {
-        let mut names: Vec<&str> = ALL.iter().chain(NET_ALL.iter()).copied().collect();
+        let mut names: Vec<&str> = ALL
+            .iter()
+            .chain(NET_ALL.iter())
+            .chain(CAS_ALL.iter())
+            .copied()
+            .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), ALL.len() + NET_ALL.len());
+        assert_eq!(names.len(), ALL.len() + NET_ALL.len() + CAS_ALL.len());
     }
 }

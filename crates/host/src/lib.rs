@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use dejaview::{Config, DejaView, ServerError};
 use dv_checkpoint::{CheckpointReport, CommitPipeline, FairPolicy, LaneId, PipelineConfig};
-use dv_lsfs::SharedBlobStore;
+use dv_lsfs::{CasGcStep, CasStats, FsError, SharedBlobStore};
 use dv_obs::{names, Obs, ObsSnapshot};
 use dv_time::{Duration, SimClock, Sleeper};
 use dv_vee::Vpid;
@@ -77,6 +77,13 @@ pub struct HostConfig {
     pub commit_retry_backoff: Duration,
     /// Whether checkpoint images are compressed.
     pub compress: bool,
+    /// Whether the shared blob store dedups through the `dv-cas`
+    /// content-addressed chunk store. Tenant-visible semantics are
+    /// unchanged — per-tenant `storage_bytes` quotas keep accounting
+    /// *logical* bytes — but the host's physical footprint
+    /// ([`Host::storage_physical_bytes`]) shrinks by whatever
+    /// redundancy exists across checkpoints and tenants.
+    pub dedup: bool,
     /// Quotas applied to tenants created without explicit quotas.
     pub default_quotas: TenantQuotas,
 }
@@ -89,6 +96,7 @@ impl Default for HostConfig {
             commit_retry_limit: 3,
             commit_retry_backoff: Duration::from_millis(50),
             compress: true,
+            dedup: true,
             default_quotas: TenantQuotas::default(),
         }
     }
@@ -211,7 +219,15 @@ impl Host {
     /// pool's retry backoff and latency costs advance it, so host runs
     /// are deterministic end to end.
     pub fn with_clock(config: HostConfig, clock: SimClock) -> Self {
-        let store = SharedBlobStore::in_memory();
+        let obs = Obs::new(clock.shared());
+        let store = if config.dedup {
+            SharedBlobStore::in_memory_deduped()
+        } else {
+            SharedBlobStore::in_memory()
+        };
+        // The shared store reports into the host registry, so `cas.*`
+        // dedup gauges and GC histograms land in the host rollup.
+        store.with(|s| s.set_obs(obs.clone()));
         let pool = Arc::new(CommitPipeline::new(
             PipelineConfig {
                 workers: config.commit_workers,
@@ -227,7 +243,7 @@ impl Host {
             Obs::disabled(),
         ));
         Host {
-            obs: Obs::new(clock.shared()),
+            obs,
             clock,
             store,
             pool,
@@ -251,6 +267,56 @@ impl Host {
     /// Returns the host's own observability handle (`host.*` metrics).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Bytes physically resident in the shared store — under dedup,
+    /// the chunk arena; otherwise the sum of blob lengths. This is the
+    /// number the host reports for capacity planning, while per-tenant
+    /// quotas stay logical.
+    pub fn storage_physical_bytes(&self) -> u64 {
+        self.store.with(|s| match s.cas_stats() {
+            Some(cas) => cas.physical_bytes,
+            None => s
+                .names()
+                .iter()
+                .filter_map(|n| s.get(n))
+                .map(|b| b.len() as u64)
+                .sum(),
+        })
+    }
+
+    /// Sum of the logical lengths of every blob in the shared store.
+    pub fn storage_logical_bytes(&self) -> u64 {
+        self.store.with(|s| match s.cas_stats() {
+            Some(cas) => cas.logical_bytes,
+            None => s
+                .names()
+                .iter()
+                .filter_map(|n| s.get(n))
+                .map(|b| b.len() as u64)
+                .sum(),
+        })
+    }
+
+    /// Statistics of the shared store's content-addressed layer
+    /// (`None` when [`HostConfig::dedup`] is off).
+    pub fn storage_cas_stats(&self) -> Option<CasStats> {
+        self.store.with(|s| s.cas_stats())
+    }
+
+    /// Runs one storage GC round: persists the chunk-store metadata
+    /// root (the durability point that makes retired chunks eligible
+    /// for reclaim), then sweeps them in `batch`-bounded steps. The
+    /// store lock is released between batches, so tenant checkpoints
+    /// and commit workers interleave with the sweep — GC never stops
+    /// writes. Errors with [`FsError::Unsupported`] when dedup is off.
+    pub fn storage_gc(&self, batch: usize) -> Result<CasGcStep, FsError> {
+        self.store.with(|s| s.cas_persist_root())?;
+        let (step, err) = self.store.gc_sweep(batch);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(step),
+        }
     }
 
     /// Registered tenant ids, in creation order.
@@ -606,6 +672,78 @@ mod tests {
         }
         assert_eq!(host.session(a).unwrap().engine().stats().committed, 3);
         assert_eq!(host.session(b).unwrap().engine().stats().committed, 3);
+    }
+
+    #[test]
+    fn similar_tenants_dedup_physical_storage() {
+        // Tenants write *identical* page content (fills keyed by round
+        // only), so their checkpoint images are chunk-for-chunk alike.
+        let run = |dedup: bool| {
+            let mut host = Host::new(HostConfig {
+                dedup,
+                compress: false,
+                ..HostConfig::default()
+            });
+            let ids: Vec<u64> = (0..4)
+                .map(|i| host.create_session(&format!("t{i}"), tiny_config()))
+                .collect();
+            for &id in &ids {
+                let (p, addr) = {
+                    let server = host.session_mut(id).unwrap();
+                    let p = server.vee_mut().spawn(None, "app").unwrap();
+                    let addr = server.vee_mut().mmap(p, 4 * 4096, Prot::ReadWrite).unwrap();
+                    (p, addr)
+                };
+                for round in 0..3u64 {
+                    let fill: Vec<u8> = (0..4096).map(|i| (i as u8) ^ (round as u8)).collect();
+                    host.session_mut(id)
+                        .unwrap()
+                        .vee_mut()
+                        .mem_write(p, addr + (round % 4) * 4096, &fill)
+                        .unwrap();
+                    host.checkpoint(id).unwrap();
+                }
+            }
+            assert!(host.flush_all().is_empty());
+            host
+        };
+        let deduped = run(true);
+        let physical = deduped.storage_physical_bytes();
+        let logical = deduped.storage_logical_bytes();
+        assert!(
+            physical * 2 < logical,
+            "4 identical tenants must dedup >=2x: physical={physical} logical={logical}"
+        );
+        let cas = deduped.storage_cas_stats().unwrap();
+        assert!(cas.dedup_hits > 0);
+        // Logical bytes are mode-independent: a plain host stores the
+        // same logical state.
+        let plain = run(false);
+        assert!(plain.storage_cas_stats().is_none());
+        assert_eq!(plain.storage_logical_bytes(), logical);
+        // And the cas gauges surface in the host rollup.
+        let obs = deduped.observability();
+        assert_eq!(
+            obs.rollup.gauge(dv_obs::names::CAS_PHYSICAL_BYTES),
+            physical
+        );
+    }
+
+    #[test]
+    fn storage_gc_reclaims_deleted_tenant_blobs() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("doomed", tiny_config());
+        dirty_and_checkpoint(&mut host, a, 3);
+        assert!(host.flush_all().is_empty());
+        host.drop_session(a).unwrap();
+        let names: Vec<String> = host.store().with(|s| s.names());
+        for name in &names {
+            host.store().with(|s| s.delete(name));
+        }
+        let step = host.storage_gc(8).unwrap();
+        assert!(step.reclaimed_chunks > 0, "dropped blobs must be swept");
+        assert_eq!(host.storage_physical_bytes(), 0);
+        assert!(host.storage_gc(8).unwrap().reclaimed_chunks == 0);
     }
 
     #[test]

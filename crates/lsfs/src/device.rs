@@ -14,12 +14,20 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dv_cas::{CasError, CasStats, ChunkSpan, ChunkStore, GcStep};
 use dv_fault::{sites, FaultPlane, IoFault};
 use dv_obs::Obs;
 use dv_time::{Duration, Sleeper};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::{FsError, FsResult};
+
+fn cas_err(err: CasError) -> FsError {
+    match err {
+        CasError::NoSpace => FsError::NoSpace,
+        CasError::Io => FsError::Io,
+    }
+}
 
 /// A disk read-latency model applied to cache misses.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +78,7 @@ pub struct BlobStats {
 /// ```
 pub struct BlobStore {
     backing: HashMap<String, Arc<Vec<u8>>>,
+    cas: Option<ChunkStore>,
     cache: HashMap<String, Arc<Vec<u8>>>,
     latency: Option<ReadLatency>,
     stats: BlobStats,
@@ -83,6 +92,7 @@ impl BlobStore {
     pub fn in_memory() -> Self {
         BlobStore {
             backing: HashMap::new(),
+            cas: None,
             cache: HashMap::new(),
             latency: None,
             stats: BlobStats::default(),
@@ -92,9 +102,50 @@ impl BlobStore {
         }
     }
 
+    /// Creates a store backed by the content-addressed chunk store —
+    /// see [`enable_cas`](BlobStore::enable_cas).
+    pub fn in_memory_deduped() -> Self {
+        let mut store = BlobStore::in_memory();
+        store.enable_cas();
+        store
+    }
+
+    /// Layers the store on a [`dv_cas::ChunkStore`]: from now on blobs
+    /// are split into content-defined chunks deduplicated across names
+    /// (and, through [`SharedBlobStore`], across tenants). Existing
+    /// blobs migrate into the chunk store. Logical semantics —
+    /// contents, names, `bytes_written` accounting — are unchanged;
+    /// [`cas_stats`](BlobStore::cas_stats) exposes the physical side.
+    pub fn enable_cas(&mut self) {
+        if self.cas.is_some() {
+            return;
+        }
+        let mut cas = ChunkStore::new();
+        // Migration is internal bookkeeping, not a new write: the
+        // plane and obs are attached only after it, so it neither
+        // triggers fault checks nor counts as `bytes_written`.
+        let mut names: Vec<String> = self.backing.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let data = self.backing.remove(&name).unwrap();
+            let _ = cas.put(&name, &data);
+        }
+        cas.set_obs(self.obs.clone());
+        cas.set_fault_plane(self.plane.clone());
+        self.cas = Some(cas);
+    }
+
+    /// Whether this store dedups through the content-addressed layer.
+    pub fn cas_enabled(&self) -> bool {
+        self.cas.is_some()
+    }
+
     /// Installs the observability handle (`lsfs.blob_*` metrics).
     pub fn set_obs(&mut self, obs: Obs) {
         self.plane.set_obs(obs.clone());
+        if let Some(cas) = &mut self.cas {
+            cas.set_obs(obs.clone());
+        }
         self.obs = obs;
     }
 
@@ -107,9 +158,12 @@ impl BlobStore {
     }
 
     /// Installs the fault-injection plane (sites `lsfs.blob.put` and
-    /// `lsfs.blob.get`).
+    /// `lsfs.blob.get`, plus the `cas.*` sites when dedup is enabled).
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
         plane.set_obs(self.obs.clone());
+        if let Some(cas) = &mut self.cas {
+            cas.set_fault_plane(plane.clone());
+        }
         self.plane = plane;
     }
 
@@ -128,29 +182,67 @@ impl BlobStore {
     /// object behind and error; `Corrupt` stores the full length with
     /// one mangled byte and reports success.
     pub fn put(&mut self, name: &str, data: Vec<u8>) -> FsResult<()> {
+        self.put_inner(name, data, None)
+    }
+
+    /// Stores a blob whose content-defined chunk split was already
+    /// computed (by [`dv_cas::split`]) *outside* whatever lock guards
+    /// this store — the deduplicating fast path used by checkpoint
+    /// commit workers via [`SharedBlobStore::put_deduped`]. Identical
+    /// to [`put`](BlobStore::put) when dedup is disabled.
+    pub fn put_presplit(&mut self, name: &str, data: Vec<u8>, spans: &[ChunkSpan]) -> FsResult<()> {
+        self.put_inner(name, data, Some(spans))
+    }
+
+    fn put_inner(
+        &mut self,
+        name: &str,
+        data: Vec<u8>,
+        spans: Option<&[ChunkSpan]>,
+    ) -> FsResult<()> {
         let _span = self.obs.span("lsfs", dv_obs::names::LSFS_BLOB_PUT);
         self.obs.incr(dv_obs::names::LSFS_BLOB_PUTS);
         self.obs
             .add(dv_obs::names::LSFS_BLOB_PUT_BYTES, data.len() as u64);
         let mut data = data;
+        let mut torn = false;
+        let mut mutated = false;
         match self.plane.check(sites::LSFS_BLOB_PUT) {
             None | Some(IoFault::LatencySpike) => {}
             Some(IoFault::Enospc) => return Err(FsError::NoSpace),
             Some(IoFault::TornWrite) | Some(IoFault::ShortRead) => {
                 let keep = self.plane.short_len(data.len());
                 data.truncate(keep);
-                let torn = Arc::new(data);
-                self.stats.bytes_written += torn.len() as u64;
-                self.backing.insert(name.to_string(), torn);
+                torn = true;
+                mutated = true;
+            }
+            Some(IoFault::Corrupt) => {
+                self.plane.mangle(&mut data);
+                mutated = true;
+            }
+        }
+        self.stats.bytes_written += data.len() as u64;
+        if let Some(cas) = &mut self.cas {
+            // A blob-layer fault invalidates any precomputed split.
+            let result = match spans.filter(|_| !mutated) {
+                Some(spans) => cas.put_presplit(name, &data, spans),
+                None => cas.put(name, &data),
+            };
+            self.cache.remove(name);
+            result.map_err(cas_err)?;
+            if torn {
+                return Err(FsError::Io);
+            }
+            self.cache.insert(name.to_string(), Arc::new(data));
+        } else {
+            let data = Arc::new(data);
+            self.backing.insert(name.to_string(), data.clone());
+            if torn {
                 self.cache.remove(name);
                 return Err(FsError::Io);
             }
-            Some(IoFault::Corrupt) => self.plane.mangle(&mut data),
+            self.cache.insert(name.to_string(), data);
         }
-        let data = Arc::new(data);
-        self.stats.bytes_written += data.len() as u64;
-        self.backing.insert(name.to_string(), data.clone());
-        self.cache.insert(name.to_string(), data);
         Ok(())
     }
 
@@ -172,7 +264,10 @@ impl BlobStore {
             self.stats.cache_hits += 1;
             data.clone()
         } else {
-            let data = self.backing.get(name)?.clone();
+            let data = match &mut self.cas {
+                Some(cas) => Arc::new(cas.get(name)?),
+                None => self.backing.get(name)?.clone(),
+            };
             self.stats.cache_misses += 1;
             if let Some(model) = self.latency {
                 let mut cost = model.cost(data.len());
@@ -200,13 +295,41 @@ impl BlobStore {
 
     /// Returns whether a blob exists (no latency, metadata only).
     pub fn contains(&self, name: &str) -> bool {
-        self.backing.contains_key(name)
+        match &self.cas {
+            Some(cas) => cas.contains(name),
+            None => self.backing.contains_key(name),
+        }
     }
 
-    /// Removes a blob.
+    /// Removes a blob. Under dedup, its now-unreferenced chunks are
+    /// retired for the concurrent GC rather than freed in place.
     pub fn delete(&mut self, name: &str) -> bool {
         self.cache.remove(name);
-        self.backing.remove(name).is_some()
+        match &mut self.cas {
+            Some(cas) => cas.delete(name),
+            None => self.backing.remove(name).is_some(),
+        }
+    }
+
+    /// Clones a blob to a new name in O(1) — under dedup a manifest
+    /// refcount bump (the rucksdb snapshot trick), otherwise an `Arc`
+    /// clone. Returns `false` if `src` does not exist. Clones are not
+    /// writes: `bytes_written` is unchanged.
+    pub fn clone_blob(&mut self, src: &str, dst: &str) -> bool {
+        let ok = match &mut self.cas {
+            Some(cas) => cas.clone_blob(src, dst),
+            None => match self.backing.get(src).cloned() {
+                Some(data) => {
+                    self.backing.insert(dst.to_string(), data);
+                    true
+                }
+                None => false,
+            },
+        };
+        if ok && src != dst {
+            self.cache.remove(dst);
+        }
+        ok
     }
 
     /// Drops the read cache: subsequent reads pay backing-store latency,
@@ -222,23 +345,75 @@ impl BlobStore {
 
     /// Lists blob names in unspecified order.
     pub fn names(&self) -> Vec<String> {
-        self.backing.keys().cloned().collect()
+        match &self.cas {
+            Some(cas) => cas.names(),
+            None => self.backing.keys().cloned().collect(),
+        }
     }
 
-    /// Serializes every blob (names sorted for determinism).
+    /// Serializes every blob (names sorted for determinism). The image
+    /// is logical — deduplicated blobs are materialized — so exports
+    /// round-trip between deduped and plain stores.
     pub fn export(&self) -> Vec<u8> {
         let mut names = self.names();
         names.sort();
         let mut out = Vec::new();
         out.extend_from_slice(&(names.len() as u64).to_le_bytes());
         for name in names {
-            let data = &self.backing[&name];
+            let data = match &self.cas {
+                Some(cas) => cas.peek(&name).unwrap_or_default(),
+                None => self.backing[&name].to_vec(),
+            };
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(&(data.len() as u64).to_le_bytes());
-            out.extend_from_slice(data);
+            out.extend_from_slice(&data);
         }
         out
+    }
+
+    /// Statistics of the content-addressed layer, when enabled.
+    pub fn cas_stats(&self) -> Option<CasStats> {
+        self.cas.as_ref().map(|cas| cas.stats())
+    }
+
+    /// Persists the chunk-store metadata root (generation-numbered,
+    /// CRC'd, torn-write safe) — the checkpoint that makes retired
+    /// chunks eligible for GC. Errors with
+    /// [`FsError::Unsupported`] when dedup is disabled.
+    pub fn cas_persist_root(&mut self) -> FsResult<u64> {
+        match &mut self.cas {
+            Some(cas) => cas.persist_root().map_err(cas_err),
+            None => Err(FsError::Unsupported),
+        }
+    }
+
+    /// Runs one bounded GC sweep step over retired chunks; see
+    /// [`dv_cas::ChunkStore::gc_step`]. Errors with
+    /// [`FsError::Unsupported`] when dedup is disabled.
+    pub fn cas_gc_step(&mut self, max_chunks: usize) -> FsResult<GcStep> {
+        match &mut self.cas {
+            Some(cas) => cas.gc_step(max_chunks).map_err(cas_err),
+            None => Err(FsError::Unsupported),
+        }
+    }
+
+    /// Simulates a power cut of the deduplicating layer: caches and
+    /// volatile chunk-store metadata are dropped, and the store is
+    /// rebuilt from the durable root slots plus the chunk arena.
+    /// No-op (returning `false`) when dedup is disabled.
+    pub fn simulate_cas_crash(&mut self) -> bool {
+        match &self.cas {
+            Some(cas) => {
+                let mut recovered = cas.crash();
+                recovered.set_obs(self.obs.clone());
+                recovered.set_fault_plane(self.plane.clone());
+                self.cas = Some(recovered);
+                self.cache.clear();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Loads blobs from an [`BlobStore::export`] image into this store
@@ -304,6 +479,12 @@ impl SharedBlobStore {
         SharedBlobStore::new(BlobStore::in_memory())
     }
 
+    /// A shared store layered on the content-addressed chunk store, so
+    /// writes dedup across blobs, checkpoints, and tenants.
+    pub fn in_memory_deduped() -> Self {
+        SharedBlobStore::new(BlobStore::in_memory_deduped())
+    }
+
     /// A shared store whose cache misses pay `latency`.
     pub fn with_latency(latency: ReadLatency) -> Self {
         SharedBlobStore::new(BlobStore::with_latency(latency))
@@ -322,6 +503,46 @@ impl SharedBlobStore {
     /// Runs `f` with the store locked.
     pub fn with<R>(&self, f: impl FnOnce(&mut BlobStore) -> R) -> R {
         f(&mut self.inner.lock())
+    }
+
+    /// Stores a blob, doing the expensive half of deduplication —
+    /// content-defined chunking and hashing — *before* taking the store
+    /// lock, so concurrent commit workers only serialize on the cheap
+    /// index insert. Equivalent to a plain `put` when the underlying
+    /// store has dedup disabled.
+    pub fn put_deduped(&self, name: &str, data: Vec<u8>) -> FsResult<()> {
+        if self.lock().cas_enabled() {
+            let spans = dv_cas::split(&data);
+            self.with(|s| s.put_presplit(name, data, &spans))
+        } else {
+            self.with(|s| s.put(name, data))
+        }
+    }
+
+    /// Sweeps all currently-eligible retired chunks in bounded batches,
+    /// releasing the store lock between batches so writers interleave —
+    /// the concurrent-GC entry point. Stops early (returning what was
+    /// reclaimed so far plus the error) if a step faults.
+    pub fn gc_sweep(&self, batch: usize) -> (GcStep, Option<FsError>) {
+        let batch = batch.max(1);
+        let mut total = GcStep {
+            done: false,
+            ..GcStep::default()
+        };
+        loop {
+            match self.with(|s| s.cas_gc_step(batch)) {
+                Ok(step) => {
+                    total.scanned += step.scanned;
+                    total.reclaimed_chunks += step.reclaimed_chunks;
+                    total.reclaimed_bytes += step.reclaimed_bytes;
+                    if step.done {
+                        total.done = true;
+                        return (total, None);
+                    }
+                }
+                Err(err) => return (total, Some(err)),
+            }
+        }
     }
 }
 
@@ -428,5 +649,156 @@ mod tests {
         store.put("b", vec![0; 30]).unwrap();
         store.put("a", vec![0; 5]).unwrap();
         assert_eq!(store.stats().bytes_written, 45);
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut s = seed;
+        while out.len() < len {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    #[test]
+    fn deduped_store_keeps_logical_semantics() {
+        let data = pseudo_random(100_000, 1);
+        let mut store = BlobStore::in_memory_deduped();
+        store.put("a", data.clone()).unwrap();
+        store.put("b", data.clone()).unwrap();
+        store.put("a", vec![0; 10]).unwrap();
+        assert_eq!(
+            store.stats().bytes_written,
+            2 * data.len() as u64 + 10,
+            "bytes_written stays logical under dedup"
+        );
+        store.drop_caches();
+        assert_eq!(&**store.get("b").unwrap(), &data);
+        assert_eq!(&**store.get("a").unwrap(), &[0; 10]);
+        assert!(store.contains("b") && !store.contains("c"));
+        let mut names = store.names();
+        names.sort();
+        assert_eq!(names, ["a", "b"]);
+        assert!(store.delete("b"));
+        assert!(store.get("b").is_none());
+        let cas = store.cas_stats().unwrap();
+        assert_eq!(cas.physical_bytes as usize, data.len() + 10);
+    }
+
+    #[test]
+    fn deduped_store_dedups_identical_blobs() {
+        let data = pseudo_random(200_000, 2);
+        let mut store = BlobStore::in_memory_deduped();
+        for i in 0..8 {
+            store.put(&format!("ckpt-{i}"), data.clone()).unwrap();
+        }
+        let cas = store.cas_stats().unwrap();
+        assert!(cas.dedup_ratio() > 7.0, "ratio {}", cas.dedup_ratio());
+        assert_eq!(cas.logical_bytes, 8 * data.len() as u64);
+        assert_eq!(cas.physical_bytes, data.len() as u64);
+    }
+
+    #[test]
+    fn enable_cas_migrates_existing_blobs() {
+        let mut store = BlobStore::in_memory();
+        let data = pseudo_random(50_000, 3);
+        store.put("pre", data.clone()).unwrap();
+        store.enable_cas();
+        assert!(store.cas_enabled());
+        store.drop_caches();
+        assert_eq!(&**store.get("pre").unwrap(), &data);
+        store.put("post", data.clone()).unwrap();
+        assert_eq!(
+            store.cas_stats().unwrap().physical_bytes,
+            data.len() as u64,
+            "migrated blob dedups against new writes"
+        );
+    }
+
+    #[test]
+    fn clone_blob_works_in_both_modes() {
+        let data = pseudo_random(60_000, 4);
+        for deduped in [false, true] {
+            let mut store = if deduped {
+                BlobStore::in_memory_deduped()
+            } else {
+                BlobStore::in_memory()
+            };
+            store.put("src", data.clone()).unwrap();
+            let written = store.stats().bytes_written;
+            assert!(store.clone_blob("src", "snap"));
+            assert!(!store.clone_blob("missing", "x"));
+            assert_eq!(store.stats().bytes_written, written, "clone is not a write");
+            store.drop_caches();
+            assert_eq!(&**store.get("snap").unwrap(), &data);
+            assert!(store.delete("src"));
+            assert_eq!(&**store.get("snap").unwrap(), &data);
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_across_modes() {
+        let mut deduped = BlobStore::in_memory_deduped();
+        let data = pseudo_random(80_000, 5);
+        deduped.put("a", data.clone()).unwrap();
+        deduped.put("b", data.clone()).unwrap();
+        let image = deduped.export();
+        let mut plain = BlobStore::in_memory();
+        assert_eq!(plain.import(&image), Some(2));
+        assert_eq!(&**plain.get("a").unwrap(), &data);
+        assert_eq!(
+            plain.export(),
+            image,
+            "logical image identical across modes"
+        );
+    }
+
+    #[test]
+    fn gc_reclaims_after_root_and_crash_recovers_durable_state() {
+        let store = SharedBlobStore::in_memory_deduped();
+        let data = pseudo_random(120_000, 6);
+        store.with(|s| s.put("keep", data.clone())).unwrap();
+        store
+            .with(|s| s.put("drop", pseudo_random(120_000, 7)))
+            .unwrap();
+        store.with(|s| s.delete("drop"));
+        // Nothing eligible before the root is durable.
+        let (step, err) = store.gc_sweep(4);
+        assert!(err.is_none() && step.reclaimed_chunks == 0);
+        store.with(|s| s.cas_persist_root()).unwrap();
+        let (step, err) = store.gc_sweep(4);
+        assert!(err.is_none());
+        assert!(step.reclaimed_chunks > 0);
+        store.with(|s| assert!(s.simulate_cas_crash()));
+        assert_eq!(&**store.lock().get("keep").unwrap(), &data);
+        assert!(store.lock().get("drop").is_none());
+    }
+
+    #[test]
+    fn cas_ops_unsupported_on_plain_store() {
+        let mut store = BlobStore::in_memory();
+        assert_eq!(store.cas_persist_root(), Err(FsError::Unsupported));
+        assert_eq!(store.cas_gc_step(1).unwrap_err(), FsError::Unsupported);
+        assert!(!store.simulate_cas_crash());
+        assert!(store.cas_stats().is_none());
+    }
+
+    #[test]
+    fn put_deduped_matches_put() {
+        let shared = SharedBlobStore::in_memory_deduped();
+        let data = pseudo_random(90_000, 8);
+        shared.put_deduped("a", data.clone()).unwrap();
+        shared.put_deduped("b", data.clone()).unwrap();
+        assert_eq!(&**shared.lock().get("a").unwrap(), &data);
+        let cas = shared.lock().cas_stats().unwrap();
+        assert_eq!(cas.physical_bytes, data.len() as u64);
+        // And degrades to a plain put without dedup.
+        let plain = SharedBlobStore::in_memory();
+        plain.put_deduped("a", data.clone()).unwrap();
+        assert_eq!(&**plain.lock().get("a").unwrap(), &data);
     }
 }

@@ -15,7 +15,10 @@
 //! * [`MemFs`] — a plain in-memory file system, used standalone and as
 //!   the semantic oracle in property tests.
 //! * [`BlobStore`] — checkpoint-image storage with a droppable cache and
-//!   a disk-latency model (the cached/uncached axis of Figure 7).
+//!   a disk-latency model (the cached/uncached axis of Figure 7),
+//!   optionally layered on the `dv-cas` content-addressed chunk store
+//!   ([`BlobStore::enable_cas`]) so blobs dedup across checkpoints and
+//!   tenants.
 
 #![deny(unsafe_code)]
 
@@ -36,6 +39,7 @@ pub mod vfs;
 
 pub use device::{BlobStats, BlobStore, ReadLatency, SharedBlobStore};
 pub use disk::{shared_disk, Disk, SharedDisk};
+pub use dv_cas::{CasStats, GcStep as CasGcStep};
 pub use error::{FsError, FsResult};
 pub use gc::GcStats;
 pub use lsfs::{Lsfs, LsfsStats, BLOCK_SIZE};

@@ -478,6 +478,46 @@ pub mod names {
     pub const EV_HOST_QUOTA: &str = "host.quota_exceeded";
     /// Event name for one tenant lifecycle change (create/drop).
     pub const EV_HOST_SESSION: &str = "host.session";
+
+    /// Gauge: live chunks in the content-addressed store.
+    pub const CAS_CHUNKS: &str = "cas.chunks";
+    /// Gauge: bytes resident in the chunk arena (live + retired).
+    pub const CAS_PHYSICAL_BYTES: &str = "cas.physical_bytes";
+    /// Gauge: sum of logical blob lengths in the content-addressed
+    /// store.
+    pub const CAS_LOGICAL_BYTES: &str = "cas.logical_bytes";
+    /// Gauge: the durable root generation.
+    pub const CAS_GENERATION: &str = "cas.generation";
+    /// Deduplicating blob writes completed.
+    pub const CAS_PUTS: &str = "cas.puts";
+    /// Chunk writes absorbed by an already-resident chunk.
+    pub const CAS_DEDUP_HITS: &str = "cas.dedup_hits";
+    /// Chunk writes that stored new data.
+    pub const CAS_DEDUP_MISSES: &str = "cas.dedup_misses";
+    /// Root generations made durable.
+    pub const CAS_ROOT_WRITES: &str = "cas.root_writes";
+    /// GC sweep steps executed.
+    pub const CAS_GC_SWEEPS: &str = "cas.gc_sweeps";
+    /// Chunks physically reclaimed by GC.
+    pub const CAS_GC_RECLAIMED_CHUNKS: &str = "cas.gc_reclaimed_chunks";
+    /// Bytes physically reclaimed by GC.
+    pub const CAS_GC_RECLAIMED_BYTES: &str = "cas.gc_reclaimed_bytes";
+    /// Chunk reads whose content hash did not match.
+    pub const CAS_VERIFY_FAILURES: &str = "cas.verify_failures";
+    /// Span: one deduplicating blob write.
+    pub const CAS_PUT: &str = "cas.put";
+    /// Span: one root-slot write (including read-back verification).
+    pub const CAS_ROOT_WRITE: &str = "cas.root_write";
+    /// Span: one bounded GC sweep step.
+    pub const CAS_GC_SWEEP: &str = "cas.gc_sweep";
+    /// Histogram: chunks reclaimed per GC sweep step.
+    pub const CAS_GC_BATCH: &str = "cas.gc_batch";
+    /// Event name for one abandoned root write (failed verification).
+    pub const EV_CAS_ROOT_ABANDONED: &str = "cas.root_abandoned";
+    /// Event name for one detected chunk-content mismatch.
+    pub const EV_CAS_VERIFY_FAILURE: &str = "cas.verify_failure";
+    /// Event name for one aborted GC sweep step.
+    pub const EV_CAS_GC_ABORT: &str = "cas.gc_abort";
 }
 
 #[cfg(test)]

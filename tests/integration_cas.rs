@@ -1,0 +1,240 @@
+//! Concurrent-GC integration tests for the dv-cas content-addressed
+//! layer: a sweeper thread racing live writers on the shared blob
+//! store, and the dedup path end to end through the multi-tenant host.
+//!
+//! The contract under test is recycle-only-after-checkpoint (DESIGN.md
+//! §11): the sweeper persists the metadata root and reclaims retired
+//! chunks in bounded batches, releasing the store lock between
+//! batches, while writers keep storing and deleting blobs whose
+//! chunks they share with each other. However the interleaving lands,
+//! no chunk a surviving blob references may ever be reclaimed, and
+//! nothing unreachable may survive the final drain.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dv_lsfs::SharedBlobStore;
+use dv_vee::Prot;
+
+const WRITERS: usize = 4;
+const ROUNDS: usize = 48;
+/// Blobs each writer keeps live; older ones are deleted as it goes.
+const KEEP: usize = 4;
+
+/// Synthesizes one round's blob. Content is keyed by `round % 5` only,
+/// so every writer stores the same bytes in the same round and rounds
+/// recur — chunks are shared across threads and deleted chunks are
+/// re-put (resurrected) a few rounds later, exactly the traffic that
+/// races refcounts against the sweeper.
+fn round_data(round: usize) -> Vec<u8> {
+    let key = (round % 5) as u64;
+    (0..24_000u64)
+        .map(|i| {
+            let mut x = i ^ (key << 40);
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn gc_sweeps_concurrently_without_losing_reachable_chunks() {
+    let store = SharedBlobStore::in_memory_deduped();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // The sweeper: persist the root (the durability point that makes
+    // earlier retirements eligible), then sweep in small batches. The
+    // store lock is taken per batch, never across the loop, so writers
+    // interleave with every sweep.
+    let sweeper = {
+        let store = store.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut reclaimed = 0u64;
+            while !done.load(Ordering::Acquire) {
+                store.with(|s| s.cas_persist_root()).expect("persist root");
+                let (step, err) = store.gc_sweep(8);
+                assert!(err.is_none(), "sweep failed: {err:?}");
+                reclaimed += step.reclaimed_chunks;
+                std::thread::yield_now();
+            }
+            reclaimed
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    store
+                        .put_deduped(&format!("w{t}-{round:04}"), round_data(round))
+                        .expect("put");
+                    if round >= KEEP {
+                        store.with(|s| s.delete(&format!("w{t}-{:04}", round - KEEP)));
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    done.store(true, Ordering::Release);
+    let swept_live = sweeper.join().expect("sweeper thread");
+
+    // Every surviving blob must assemble byte-identical — a reclaimed
+    // reachable chunk would fail the content-hash re-check or vanish.
+    for t in 0..WRITERS {
+        for round in ROUNDS - KEEP..ROUNDS {
+            let got = store
+                .with(|s| s.get(&format!("w{t}-{round:04}")).map(|b| (*b).clone()))
+                .unwrap_or_else(|| panic!("w{t}-{round:04} lost"));
+            assert_eq!(got, round_data(round), "w{t}-{round:04} bytes diverged");
+        }
+    }
+    let stats = store.with(|s| s.cas_stats()).expect("cas layer enabled");
+    assert_eq!(stats.verify_failures, 0, "a chunk failed its hash check");
+    assert!(stats.dedup_hits > 0, "writers never shared a chunk");
+
+    // Drain: with writers stopped, one persist plus a full sweep must
+    // reclaim every retired chunk...
+    store.with(|s| s.cas_persist_root()).expect("persist root");
+    loop {
+        let (step, err) = store.gc_sweep(8);
+        assert!(err.is_none(), "drain sweep failed: {err:?}");
+        if step.done && step.reclaimed_chunks == 0 {
+            break;
+        }
+    }
+    assert_eq!(store.with(|s| s.cas_stats()).unwrap().retired_chunks, 0);
+
+    // ...and deleting the survivors must take the arena to exactly
+    // empty: no leaked chunk, no double reclaim, whatever the earlier
+    // interleaving was. The concurrent phase itself must have swept
+    // (the per-writer deletes retire far more than the final KEEP).
+    store.with(|s| {
+        for name in s.names() {
+            s.delete(&name);
+        }
+        s.cas_persist_root().expect("persist root");
+    });
+    loop {
+        let (step, err) = store.gc_sweep(8);
+        assert!(err.is_none(), "final sweep failed: {err:?}");
+        if step.done && step.reclaimed_chunks == 0 {
+            break;
+        }
+    }
+    let stats = store.with(|s| s.cas_stats()).expect("cas layer enabled");
+    assert_eq!(stats.live_chunks, 0, "unreachable chunks survived");
+    assert_eq!(stats.physical_bytes, 0, "arena bytes leaked");
+    assert!(
+        swept_live + stats.reclaimed_chunks > 0,
+        "nothing was ever reclaimed"
+    );
+}
+
+/// The dedup path end to end through the host: tenants with identical
+/// workloads share chunks, restores are byte-identical to a dedup-off
+/// host, and GC after a tenant is dropped reclaims only its garbage.
+#[test]
+fn host_dedup_is_invisible_to_restores_and_gc_respects_survivors() {
+    let run = |dedup: bool| {
+        let mut host = dv_host::Host::new(dv_host::HostConfig {
+            dedup,
+            compress: false,
+            commit_retry_backoff: dv_time::Duration::from_millis(0),
+            ..dv_host::HostConfig::default()
+        });
+        let config = || dejaview::Config {
+            width: 64,
+            height: 48,
+            enable_display_recording: false,
+            enable_text_capture: false,
+            io_retry_backoff: dv_time::Duration::from_millis(0),
+            ..dejaview::Config::default()
+        };
+        let ids: Vec<u64> = (0..4)
+            .map(|i| host.create_session(&format!("t{i}"), config()))
+            .collect();
+        let mut procs = Vec::new();
+        for &id in &ids {
+            let server = host.session_mut(id).expect("tenant");
+            let p = server.vee_mut().spawn(None, "app").expect("spawn");
+            let addr = server
+                .vee_mut()
+                .mmap(p, 8 * 4096, Prot::ReadWrite)
+                .expect("mmap");
+            procs.push((p, addr));
+        }
+        for round in 0..6u64 {
+            for (slot, &id) in ids.iter().enumerate() {
+                let (p, addr) = procs[slot];
+                // Keyed by round only: every tenant's images repeat
+                // across tenants and across time.
+                let fill = round_data(round as usize);
+                host.session_mut(id)
+                    .expect("tenant")
+                    .vee_mut()
+                    .mem_write(p, addr, &fill[..4096])
+                    .expect("mem_write");
+                host.checkpoint(id).expect("checkpoint");
+            }
+        }
+        assert!(host.flush_all().is_empty());
+        let fingerprints: Vec<u64> = ids
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| {
+                let (p, addr) = procs[slot];
+                host.restore_fingerprint(id, &[(p, addr, 8 * 4096)])
+                    .expect("fingerprint")
+            })
+            .collect();
+        (host, ids, fingerprints)
+    };
+
+    let (deduped, ids, dedup_fps) = run(true);
+    let (_, _, plain_fps) = run(false);
+    assert_eq!(dedup_fps, plain_fps, "dedup changed restored state");
+    let logical = deduped.storage_logical_bytes();
+    let physical = deduped.storage_physical_bytes();
+    assert!(
+        physical * 2 < logical,
+        "identical tenants must dedup >=2x: physical={physical} logical={logical}"
+    );
+
+    // Drop one tenant, delete its blobs, sweep: survivors' shared
+    // chunks must stay resident even though the dropped tenant also
+    // referenced them.
+    let mut deduped = deduped;
+    let victim = ids[0];
+    let victim_label = deduped.tenant_label(victim).expect("label").to_string();
+    deduped.drop_session(victim).expect("drop tenant");
+    deduped.store().with(|s| {
+        for name in s.names() {
+            if name.starts_with(&victim_label) {
+                s.delete(&name);
+            }
+        }
+    });
+    let step = deduped.storage_gc(64).expect("gc");
+    // Identical workloads: the victim's chunks are all still reachable
+    // through its neighbours' manifests, so nothing is reclaimable.
+    assert_eq!(
+        step.reclaimed_chunks, 0,
+        "GC reclaimed chunks that surviving tenants still reference"
+    );
+    for &id in &ids[1..] {
+        deduped
+            .session(id)
+            .expect("survivor still registered")
+            .engine();
+    }
+    let stats = deduped.storage_cas_stats().expect("cas enabled");
+    assert_eq!(stats.verify_failures, 0);
+}

@@ -265,7 +265,7 @@ fn latency_spike_tenant_stalls_alone() {
     assert_eq!(faulted.degraded[0], 0, "a spike is slow, not failed");
     // Each pooled commit of tenant 0 paid SPIKE_COST on the pipeline
     // sleeper, so its enqueue-to-resolve time reflects the stall.
-    let spike_floor = SPIKE_COST.as_nanos() as u64 * faulted.committed[0];
+    let spike_floor = SPIKE_COST.as_nanos() * faulted.committed[0];
     assert!(
         faulted.async_commit_nanos[0] >= spike_floor,
         "spiked tenant's commit latency {} below the injected stall {}",

@@ -163,10 +163,10 @@ proptest! {
     ) {
         let ops = with_settle_tail(ops);
         let multi = run(&ops, None);
-        for slot in 0..SLOTS {
+        for (slot, fingerprint) in multi.iter().enumerate().take(SLOTS) {
             let oracle = run(&ops, Some(slot))[0];
             prop_assert_eq!(
-                multi[slot], oracle,
+                *fingerprint, oracle,
                 "slot {} diverged from its single-tenant oracle", slot
             );
         }
