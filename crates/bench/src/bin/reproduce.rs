@@ -7,15 +7,16 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             obs | ci | net | host | dedup | summary | all
+//!             obs | ci | net | host | dedup | index | summary | all
 //!             (default: all; `ci`, `obs`, `net`, `host`, `dedup`,
-//!             and `summary` are not part of `all`)
+//!             `index`, and `summary` are not part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci`, `obs`, `net`, `host`, and `dedup` default to 1.0)
-//! --out P:      ci/obs/net/host/dedup: where to write the JSON
+//!             `ci`, `obs`, `net`, `host`, `dedup`, and `index`
+//!             default to 1.0)
+//! --out P:      ci/obs/net/host/dedup/index: where to write the JSON
 //!               (BENCH_ci.json / BENCH_obs.json / BENCH_net.json /
-//!               BENCH_host.json / BENCH_dedup.json)
-//! --baseline P: ci/summary: checked-in baseline to gate against
+//!               BENCH_host.json / BENCH_dedup.json / BENCH_index.json)
+//! --baseline P: ci/index/summary: checked-in baseline to gate against
 //!               (BENCH_baseline.json)
 //! ```
 //!
@@ -51,6 +52,16 @@
 //! workload dedups under 2x or any restore fingerprint differs from
 //! the dedup-off run.
 //!
+//! The `index` experiment sweeps the sharded text index over 1/16/128
+//! recording sessions (ingest through checkpoint-sealed shards, then
+//! cross-session queries merged by global rank), measures query-probe
+//! counts with and without background compaction, revives a session
+//! from an archive to verify snapshot-consistent search, writes
+//! machine-independent metrics to `--out`, and exits nonzero if the
+//! p99 per-tenant query unit cost at scale exceeds its limit or the
+//! baseline by 20%, compaction stopped reducing probes or changed an
+//! answer, or a revived query saw hits not sealed by its checkpoint.
+//!
 //! The `summary` experiment runs no workload: it reads every
 //! `BENCH_*.json` in the current directory and prints one GitHub-
 //! flavored markdown table (metric, value, baseline, threshold) for
@@ -59,11 +70,11 @@
 use dv_bench::{
     ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency, dedup_experiment,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
-    fig5_browse_search, fig6_playback, fig7_revive, host_experiment, net_experiment,
-    obs_experiment, policy_effectiveness, print_ablation, print_crash, print_dedup, print_deferred,
-    print_faults, print_fig2, print_fig3, print_fig4, print_fig5, print_fig6, print_fig7,
-    print_host, print_mirror_ablation, print_net, print_obs, print_policy, print_quality,
-    print_table1, quality_tradeoff, table1,
+    fig5_browse_search, fig6_playback, fig7_revive, host_experiment, index_experiment,
+    net_experiment, obs_experiment, policy_effectiveness, print_ablation, print_crash, print_dedup,
+    print_deferred, print_faults, print_fig2, print_fig3, print_fig4, print_fig5, print_fig6,
+    print_fig7, print_host, print_index, print_mirror_ablation, print_net, print_obs, print_policy,
+    print_quality, print_table1, quality_tradeoff, table1,
 };
 
 /// How much instrumented wall time may exceed uninstrumented wall time
@@ -96,6 +107,17 @@ const HOST_INTERFERENCE_LIMIT: f64 = 1.50;
 /// checkpoint content (across time, then across tenants), so a store
 /// that finds less than half the redundancy has stopped deduping.
 const DEDUP_RATIO_FLOOR: f64 = 2.0;
+
+/// How much the per-tenant p99 query unit cost at 16/128 sessions may
+/// exceed N x the single-session p99 before the `index` gate fails.
+/// Unit-cost ratios computed within one sweep pass, so one machine's
+/// run gates another machine's baseline.
+const INDEX_QUERY_LIMIT: f64 = 1.50;
+
+/// The least compaction must shrink the mean shards-probed-per-query
+/// before the `index` gate fails. Merging four-way over dozens of
+/// sealed segments should at least halve the probe count.
+const INDEX_PROBE_FLOOR: f64 = 1.5;
 
 /// Serializes metrics as a flat JSON object, one metric per line.
 fn to_flat_json(metrics: &[(String, f64)]) -> String {
@@ -505,6 +527,97 @@ fn run_dedup(scale: f64, out: &str) {
     }
 }
 
+/// Runs the sharded-index experiment: prints the session sweep, the
+/// compaction comparison, and the revive snapshot check, writes
+/// machine-independent metrics to `out`, gates the query-latency ratios
+/// against `baseline_path` (20% tolerance), and exits nonzero on any
+/// failure.
+fn run_index(scale: f64, out: &str, baseline_path: &str) {
+    let report = index_experiment(scale);
+    print_index(&report);
+
+    let mut metrics = Vec::new();
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        metrics.push((format!("index_states_s{}", row.sessions), row.states as f64));
+        metrics.push((
+            format!("index_segments_s{}", row.sessions),
+            row.segments as f64,
+        ));
+    }
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        let ratio = row.unit_ratio;
+        metrics.push((format!("index_query_p99_s{}_ratio", row.sessions), ratio));
+        if ratio > INDEX_QUERY_LIMIT {
+            failures.push(format!(
+                "{} sessions: p99 query unit cost {ratio:.3}x exceeds {INDEX_QUERY_LIMIT:.2}x of single-session cost",
+                row.sessions
+            ));
+        }
+    }
+    let c = &report.compaction;
+    metrics.push(("index_probe_reduction".to_string(), c.probe_reduction()));
+    metrics.push((
+        "index_compaction_identical".to_string(),
+        if c.results_identical { 1.0 } else { 0.0 },
+    ));
+    metrics.push((
+        "index_snapshot_consistent".to_string(),
+        if report.snapshot_consistent { 1.0 } else { 0.0 },
+    ));
+    if c.probe_reduction() < INDEX_PROBE_FLOOR {
+        failures.push(format!(
+            "compaction reduced probes/query only {:.2}x ({:.1} -> {:.1}), under the {INDEX_PROBE_FLOOR:.1}x floor",
+            c.probe_reduction(),
+            c.probes_before,
+            c.probes_after
+        ));
+    }
+    if c.segments_after >= c.segments_before {
+        failures.push(format!(
+            "compaction did not reduce live segments ({} -> {})",
+            c.segments_before, c.segments_after
+        ));
+    }
+    if !c.results_identical {
+        failures.push("compaction changed a query answer".to_string());
+    }
+    if !report.snapshot_consistent {
+        failures.push(
+            "a revived session answered with hits not sealed at or before its checkpoint"
+                .to_string(),
+        );
+    }
+
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    if let Ok(text) = std::fs::read_to_string(baseline_path) {
+        if let Some(baseline) = parse_flat_json(&text) {
+            failures.extend(gate(&metrics, &baseline));
+        } else {
+            eprintln!("{baseline_path} is not valid metrics JSON");
+            std::process::exit(2);
+        }
+    } else {
+        eprintln!("no baseline at {baseline_path}; skipping the baseline gate");
+    }
+    if failures.is_empty() {
+        println!(
+            "index gate: query unit cost within {INDEX_QUERY_LIMIT:.2}x, probes reduced >= {INDEX_PROBE_FLOOR:.1}x, answers stable, revive snapshot-consistent"
+        );
+    } else {
+        eprintln!("index gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// The pass condition a gate applies to a metric, as a display string
 /// for the summary table, or `None` when the metric is informational.
 fn threshold_for(source: &str, key: &str) -> Option<String> {
@@ -530,6 +643,11 @@ fn threshold_for(source: &str, key: &str) -> Option<String> {
         }
         "dedup" if key.starts_with("dedup_factor") => Some(format!(">= {DEDUP_RATIO_FLOOR:.1}")),
         "dedup" if key == "dedup_restore_identical" => Some(">= 1".to_string()),
+        "index" if key.ends_with("_ratio") => Some(format!("<= {INDEX_QUERY_LIMIT:.2}")),
+        "index" if key == "index_probe_reduction" => Some(format!(">= {INDEX_PROBE_FLOOR:.1}")),
+        "index" if key == "index_snapshot_consistent" || key == "index_compaction_identical" => {
+            Some(">= 1".to_string())
+        }
         _ => None,
     }
 }
@@ -626,7 +744,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|dedup|summary|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|dedup|index|summary|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
@@ -644,7 +762,8 @@ fn main() {
         || experiment == "obs"
         || experiment == "net"
         || experiment == "host"
-        || experiment == "dedup";
+        || experiment == "dedup"
+        || experiment == "index";
     let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
@@ -682,6 +801,12 @@ fn main() {
     if experiment == "dedup" {
         let out = out.unwrap_or_else(|| "BENCH_dedup.json".to_string());
         run_dedup(scale, &out);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "index" {
+        let out = out.unwrap_or_else(|| "BENCH_index.json".to_string());
+        run_index(scale, &out, &baseline);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

@@ -2040,6 +2040,429 @@ pub fn dedup_experiment(scale: f64) -> Vec<DedupRow> {
     ]
 }
 
+// ---------------------------------------------------------------------
+// Sharded index: ingest, fan-out query latency, compaction
+// ---------------------------------------------------------------------
+
+/// One point of the sharded-index session sweep: `sessions` tenants
+/// ingesting text states through checkpoint-sealed shards, then served
+/// cross-session queries merged by global rank.
+pub struct IndexRow {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Text states indexed across all tenants in the kept repetition.
+    pub states: u64,
+    /// Sealed segments across all tenants at the end of ingest.
+    pub segments: u64,
+    /// Ingest throughput (states routed through capture, sealing
+    /// included) of the best repetition.
+    pub ingest_per_s: f64,
+    /// Median cross-session query latency.
+    pub query_p50: std::time::Duration,
+    /// 99th-percentile cross-session query latency.
+    pub query_p99: std::time::Duration,
+    /// Per-tenant p99 unit cost vs the single-session point — p99(N)
+    /// over N x p99(1), computed within each interleaved sweep pass and
+    /// minimised across passes so machine drift cancels. 1.0 for the
+    /// single-session row itself.
+    pub unit_ratio: f64,
+}
+
+/// The with/without-compaction comparison on one engine whose sealed
+/// segments would otherwise accumulate without bound.
+pub struct IndexCompactionRow {
+    /// Live sealed segments before background compaction.
+    pub segments_before: usize,
+    /// Live sealed segments after compaction runs to quiescence.
+    pub segments_after: usize,
+    /// Mean shards probed per query before compaction.
+    pub probes_before: f64,
+    /// Mean shards probed per query after compaction.
+    pub probes_after: f64,
+    /// 99th-percentile query latency before compaction.
+    pub query_p99_before: std::time::Duration,
+    /// 99th-percentile query latency after compaction.
+    pub query_p99_after: std::time::Duration,
+    /// Whether every probe query returned identical hits before and
+    /// after — compaction must never change an answer.
+    pub results_identical: bool,
+}
+
+impl IndexCompactionRow {
+    /// How many fewer shards a query probes after compaction.
+    pub fn probe_reduction(&self) -> f64 {
+        self.probes_before / self.probes_after.max(1e-9)
+    }
+}
+
+/// The full sharded-index report.
+pub struct IndexReport {
+    /// One row per session-sweep point.
+    pub rows: Vec<IndexRow>,
+    /// The compaction comparison.
+    pub compaction: IndexCompactionRow,
+    /// Whether a revive from an archive answered queries with exactly
+    /// the hits sealed at or before the revived checkpoint.
+    pub snapshot_consistent: bool,
+}
+
+/// Session counts the index sweep visits.
+pub const INDEX_SWEEP: &[usize] = &[1, 16, 128];
+
+fn index_session_config() -> Config {
+    Config {
+        width: 64,
+        height: 48,
+        enable_display_recording: false,
+        enable_text_capture: true,
+        // One-second shard windows so every lockstep round's checkpoint
+        // seals a segment.
+        index_shard_window: Duration::from_millis(1000),
+        io_retry_backoff: Duration::from_millis(0),
+        ..Config::default()
+    }
+}
+
+/// What one index ingest+query run over a fresh host produced.
+struct IndexRunOutcome {
+    ingest_per_s: f64,
+    /// Per-query latencies, sorted ascending.
+    samples: Vec<std::time::Duration>,
+    states: u64,
+    segments: u64,
+}
+
+/// Runs one index workload: every tenant shows one fresh corpus
+/// sentence per round (hiding the previous one) and checkpoints — which
+/// seals the round's shard — then `queries` cross-session term queries
+/// fan out over all tenants' shards and merge by global rank.
+fn index_run_once(sessions: usize, rounds: u64, queries: usize) -> IndexRunOutcome {
+    let clock = SimClock::new();
+    let mut host = dv_host::Host::with_clock(host_pool_config(), clock.clone());
+    let ids: Vec<u64> = (0..sessions)
+        .map(|slot| host.create_session(&format!("q{slot:04}"), index_session_config()))
+        .collect();
+    let mut apps = Vec::with_capacity(sessions);
+    for &id in &ids {
+        let server = host.session_mut(id).expect("registered tenant");
+        let app = server.desktop_mut().register_app("editor");
+        let root = server.desktop_mut().root(app).expect("app root");
+        apps.push((app, root));
+    }
+
+    // Lift an idle core out of its low-frequency state before timing.
+    let warm = Instant::now();
+    let mut spin = 0u64;
+    while warm.elapsed() < std::time::Duration::from_millis(5) {
+        spin = spin.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(spin);
+    }
+
+    let mut prev: Vec<Option<dv_access::NodeId>> = vec![None; sessions];
+    let mut states = 0u64;
+    let started = Instant::now();
+    for round in 0..rounds {
+        for (slot, &id) in ids.iter().enumerate() {
+            let (app, root) = apps[slot];
+            let server = host.session_mut(id).expect("registered tenant");
+            if let Some(node) = prev[slot].take() {
+                server.desktop_mut().remove_subtree(app, node);
+            }
+            let text = dv_workloads::corpus_sentence(round * sessions as u64 + slot as u64, 6);
+            prev[slot] = Some(server.desktop_mut().add_node(
+                app,
+                root,
+                dv_access::Role::Paragraph,
+                &text,
+            ));
+            states += 1;
+        }
+        // Past the shard window, so every tenant's checkpoint seals.
+        clock.advance(Duration::from_millis(1100));
+        for &id in &ids {
+            host.checkpoint(id).expect("checkpoint");
+        }
+    }
+    for &id in &ids {
+        host.flush_session(id).expect("flush");
+    }
+    let ingest_wall = started.elapsed();
+
+    let mut samples: Vec<std::time::Duration> = Vec::with_capacity(queries);
+    for qi in 0..queries {
+        let term = dv_workloads::common::WORDS[qi % dv_workloads::common::WORDS.len()];
+        let t0 = Instant::now();
+        let hits = host
+            .search_all(term, RankOrder::PersistenceWeighted, 1024)
+            .expect("cross-session query");
+        std::hint::black_box(hits.len());
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+
+    let mut segments = 0u64;
+    for &id in &ids {
+        let server = host.session_mut(id).expect("registered tenant");
+        if let Some(tidx) = server.tidx() {
+            segments += tidx.stats().live_segments as u64;
+        }
+    }
+    IndexRunOutcome {
+        ingest_per_s: states as f64 / ingest_wall.as_secs_f64().max(1e-9),
+        samples,
+        states,
+        segments,
+    }
+}
+
+fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The 1/16/128-session sweep, run as interleaved passes like the host
+/// sweep: each point's unit ratio is computed against the
+/// single-session p99 *of the same pass* and minimised across passes,
+/// so frequency scaling and CPU steal between passes cancel.
+fn index_sweep(scale: f64) -> Vec<IndexRow> {
+    let rounds = ((10.0 * scale) as u64).max(4);
+    let queries = ((64.0 * scale) as usize).max(16);
+    const PASSES: usize = 3;
+    let mut p99s = vec![vec![0f64; INDEX_SWEEP.len()]; PASSES];
+    let mut kept: Vec<Option<IndexRunOutcome>> = INDEX_SWEEP.iter().map(|_| None).collect();
+    for pass in p99s.iter_mut() {
+        for (point, &sessions) in INDEX_SWEEP.iter().enumerate() {
+            // Small points produce few samples per run; repeat them and
+            // pool every sample into one per-pass percentile.
+            let inner = (8 / sessions).max(1);
+            let mut pooled: Vec<std::time::Duration> = Vec::new();
+            for _ in 0..inner {
+                let outcome = index_run_once(sessions, rounds, queries);
+                pooled.extend_from_slice(&outcome.samples);
+                if kept[point].as_ref().is_none_or(|k| {
+                    percentile(&outcome.samples, 0.99) < percentile(&k.samples, 0.99)
+                }) {
+                    kept[point] = Some(outcome);
+                }
+            }
+            pooled.sort_unstable();
+            pass[point] = percentile(&pooled, 0.99).as_secs_f64();
+        }
+    }
+    INDEX_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(point, &sessions)| {
+            let best = kept[point].take().expect("every point ran");
+            let unit_ratio = if point == 0 {
+                1.0
+            } else {
+                p99s.iter()
+                    .map(|pass| pass[point] / (pass[0] * sessions as f64).max(1e-12))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            IndexRow {
+                sessions,
+                states: best.states,
+                segments: best.segments,
+                ingest_per_s: best.ingest_per_s,
+                query_p50: percentile(&best.samples, 0.50),
+                query_p99: percentile(&best.samples, 0.99),
+                unit_ratio,
+            }
+        })
+        .collect()
+}
+
+/// The compaction comparison: one engine accumulates many small sealed
+/// segments; queries are measured (latency and shards probed, via the
+/// `tidx.segment_probes` histogram) before and after compaction runs to
+/// quiescence, and every probe query's hits must be identical.
+fn index_compaction(scale: f64) -> IndexCompactionRow {
+    use dv_index::{IndexedInstance, TextIndex};
+    use std::sync::Arc;
+
+    let clock = SimClock::new();
+    let obs = Obs::new(clock.shared());
+    let open = Arc::new(parking_lot::Mutex::new(TextIndex::new()));
+    let engine = dv_tidx::TidxEngine::new(
+        open.clone(),
+        dv_lsfs::SharedBlobStore::in_memory(),
+        dv_fault::FaultPlane::disabled(),
+        obs.clone(),
+        dv_tidx::TidxConfig {
+            compact_fanin: 4,
+            ..dv_tidx::TidxConfig::default()
+        },
+    );
+
+    let segs = ((24.0 * scale) as u64).max(8);
+    let per_seg = ((40.0 * scale) as u64).max(10);
+    let mut id = 1u64;
+    let mut now_ms = 0u64;
+    for s in 0..segs {
+        for _ in 0..per_seg {
+            let text = dv_workloads::corpus_sentence(id, 6);
+            let shown = now_ms;
+            now_ms += 3;
+            open.lock().add_instance(IndexedInstance {
+                id,
+                app_id: 1,
+                app: "editor".to_string(),
+                window: "editor window".to_string(),
+                role: "paragraph".to_string(),
+                text,
+                shown: Timestamp::from_millis(shown),
+                hidden: Some(Timestamp::from_millis(now_ms)),
+                annotation: false,
+            });
+            id += 1;
+        }
+        open.lock().advance_horizon(Timestamp::from_millis(now_ms));
+        engine.seal(s + 1).expect("seal");
+    }
+    let segments_before = engine.stats().live_segments;
+
+    let queries = ((128.0 * scale) as usize).max(32);
+    let run_queries = |engine: &dv_tidx::TidxEngine| {
+        let mut latencies = Vec::with_capacity(queries);
+        let mut answers: Vec<Vec<(Timestamp, usize)>> = Vec::with_capacity(queries);
+        for qi in 0..queries {
+            let term = dv_workloads::common::WORDS[qi % dv_workloads::common::WORDS.len()];
+            let query = parse_query(term).expect("vocab term parses");
+            let t0 = Instant::now();
+            let hits = engine
+                .search(&query, RankOrder::PersistenceWeighted)
+                .expect("query");
+            latencies.push(t0.elapsed());
+            answers.push(hits.into_iter().map(|h| (h.time, h.matches)).collect());
+        }
+        latencies.sort_unstable();
+        (latencies, answers)
+    };
+
+    let probes_at = |obs: &Obs| {
+        let h = obs
+            .histogram(dv_obs::names::TIDX_SEGMENT_PROBES)
+            .unwrap_or_default();
+        (h.sum_nanos, h.count)
+    };
+
+    let (probe_sum0, probe_n0) = probes_at(&obs);
+    let (lat_before, answers_before) = run_queries(&engine);
+    let (probe_sum1, probe_n1) = probes_at(&obs);
+    let probes_before = (probe_sum1 - probe_sum0) as f64 / ((probe_n1 - probe_n0) as f64).max(1.0);
+
+    // Compaction to quiescence: each round merges the lowest level with
+    // enough fan-in, exactly as the host's background rounds would.
+    while engine.maybe_compact().expect("compact") {}
+    // Retired inputs recycle only once a manifest at or past the next
+    // checkpoint is durable — mirror that by sealing once more.
+    open.lock()
+        .advance_horizon(Timestamp::from_millis(now_ms + 10));
+    engine.seal(segs + 1).expect("post-compaction seal");
+    let segments_after = engine.stats().live_segments;
+
+    let (probe_sum2, probe_n2) = probes_at(&obs);
+    let (lat_after, answers_after) = run_queries(&engine);
+    let (probe_sum3, probe_n3) = probes_at(&obs);
+    let probes_after = (probe_sum3 - probe_sum2) as f64 / ((probe_n3 - probe_n2) as f64).max(1.0);
+
+    IndexCompactionRow {
+        segments_before,
+        segments_after,
+        probes_before,
+        probes_after,
+        query_p99_before: percentile(&lat_before, 0.99),
+        query_p99_after: percentile(&lat_after, 0.99),
+        results_identical: answers_before == answers_after,
+    }
+}
+
+/// The snapshot-consistency check: a session seals shards across
+/// several checkpoints, archives, and revives; the revived session must
+/// answer exactly like the original — both the full query and the
+/// per-checkpoint `search_at_checkpoint` views.
+fn index_snapshot_consistent() -> bool {
+    let mut dv = DejaView::with_clock(index_session_config(), SimClock::new());
+    let app = dv.desktop_mut().register_app("editor");
+    let root = dv.desktop_mut().root(app).expect("app root");
+
+    let mut counters = Vec::new();
+    let mut prev: Option<dv_access::NodeId> = None;
+    for batch in 0..4u64 {
+        if let Some(node) = prev.take() {
+            dv.desktop_mut().remove_subtree(app, node);
+        }
+        // A real gap between hide and show, so each batch's visibility
+        // interval stays disjoint (adjacent intervals would coalesce
+        // into one hit).
+        dv.clock().advance(Duration::from_millis(100));
+        let text = format!("snapshot evidence batch{batch}");
+        prev = Some(
+            dv.desktop_mut()
+                .add_node(app, root, dv_access::Role::Paragraph, &text),
+        );
+        dv.clock().advance(Duration::from_millis(1100));
+        let report = dv.checkpoint_now().expect("checkpoint");
+        counters.push(report.counter);
+    }
+
+    let order = RankOrder::Chronological;
+    let query = parse_query("evidence").expect("query parses");
+    let expect_full: Vec<(Timestamp, usize)> = dv
+        .search_hits(&query, order)
+        .map(|hits| hits.into_iter().map(|h| (h.time, h.matches)).collect())
+        .unwrap_or_default();
+    let expect_at: Vec<Vec<_>> = counters
+        .iter()
+        .map(|&c| {
+            dv.search_at_checkpoint(c, "evidence", order)
+                .map(|hits| hits.into_iter().map(|h| (h.time, h.matches)).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let archive = match dv.save_archive() {
+        Ok(bytes) => bytes,
+        Err(_) => return false,
+    };
+    let mut revived = match DejaView::load_archive(index_session_config(), &archive) {
+        Ok(dv) => dv,
+        Err(_) => return false,
+    };
+    let got_full: Vec<(Timestamp, usize)> = match revived.search_hits(&query, order) {
+        Ok(hits) => hits.into_iter().map(|h| (h.time, h.matches)).collect(),
+        Err(_) => return false,
+    };
+    if got_full != expect_full || got_full.len() != counters.len() {
+        return false;
+    }
+    for (i, &c) in counters.iter().enumerate() {
+        let got: Vec<(Timestamp, usize)> = match revived.search_at_checkpoint(c, "evidence", order)
+        {
+            Ok(hits) => hits.into_iter().map(|h| (h.time, h.matches)).collect(),
+            Err(_) => return false,
+        };
+        // A revive at checkpoint c sees exactly the batches sealed at
+        // or before c: one hit per earlier batch, nothing later.
+        if got != expect_at[i] || got.len() != i + 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The dv-tidx experiment: the 1/16/128-session ingest+query sweep, the
+/// with/without-compaction comparison, and the revive snapshot check.
+pub fn index_experiment(scale: f64) -> IndexReport {
+    IndexReport {
+        rows: index_sweep(scale),
+        compaction: index_compaction(scale),
+        snapshot_consistent: index_snapshot_consistent(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2147,6 +2570,34 @@ mod tests {
         // The multi-tenant point must dedup harder than the single
         // tenant: 16 identical histories share one chunk set.
         assert!(rows[1].dedup_ratio() > rows[0].dedup_ratio());
+    }
+
+    #[test]
+    fn index_experiment_compacts_and_revives_consistently() {
+        let report = index_experiment(0.1);
+        assert_eq!(report.rows.len(), INDEX_SWEEP.len());
+        for row in &report.rows {
+            assert!(row.states > 0 && row.segments > 0);
+            assert!(row.query_p50 <= row.query_p99);
+        }
+        let c = &report.compaction;
+        assert!(
+            c.segments_after < c.segments_before,
+            "compaction left {} of {} segments",
+            c.segments_after,
+            c.segments_before
+        );
+        assert!(
+            c.probe_reduction() > 1.0,
+            "probes/query {:.1} -> {:.1}",
+            c.probes_before,
+            c.probes_after
+        );
+        assert!(c.results_identical, "compaction changed a query answer");
+        assert!(
+            report.snapshot_consistent,
+            "revive saw hits not sealed at or before its checkpoint"
+        );
     }
 
     #[test]

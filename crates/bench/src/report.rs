@@ -2,8 +2,8 @@
 
 use crate::experiments::{
     AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DedupRow, DeferredRow, FaultRow,
-    HostReport, MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow, QualityRow,
-    ReviveRow, StorageRow, Table1Row,
+    HostReport, IndexReport, MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow,
+    QualityRow, ReviveRow, StorageRow, Table1Row,
 };
 use dv_checkpoint::PolicyStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -500,6 +500,64 @@ pub fn print_host(report: &HostReport) {
             "labelled"
         } else {
             "MISSING"
+        },
+    );
+}
+
+/// Prints the sharded-index measurement.
+pub fn print_index(report: &IndexReport) {
+    out!("Sharded index: ingest + cross-session query fan-out");
+    out!(
+        "{:<9} {:>8} {:>9} {:>12} {:>11} {:>11}",
+        "sessions",
+        "states",
+        "segments",
+        "states/s",
+        "qry p50 us",
+        "qry p99 us"
+    );
+    out!("{:-<66}", "");
+    for row in &report.rows {
+        out!(
+            "{:<9} {:>8} {:>9} {:>12.0} {:>11.2} {:>11.2}",
+            row.sessions,
+            row.states,
+            row.segments,
+            row.ingest_per_s,
+            row.query_p50.as_secs_f64() * 1e6,
+            row.query_p99.as_secs_f64() * 1e6,
+        );
+    }
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        out!(
+            "  {} sessions: {:.3}x per-tenant p99 unit cost vs single session",
+            row.sessions,
+            row.unit_ratio,
+        );
+    }
+    let c = &report.compaction;
+    out!(
+        "  compaction: {} -> {} live segments, {:.1} -> {:.1} probes/query ({:.2}x fewer), \
+         p99 {:.2}us -> {:.2}us, answers {}",
+        c.segments_before,
+        c.segments_after,
+        c.probes_before,
+        c.probes_after,
+        c.probe_reduction(),
+        c.query_p99_before.as_secs_f64() * 1e6,
+        c.query_p99_after.as_secs_f64() * 1e6,
+        if c.results_identical {
+            "identical"
+        } else {
+            "CHANGED"
+        },
+    );
+    out!(
+        "  revive snapshot consistency: {}",
+        if report.snapshot_consistent {
+            "exactly the hits sealed at or before each checkpoint"
+        } else {
+            "VIOLATED"
         },
     );
 }

@@ -32,5 +32,5 @@ pub use policy::{
 };
 pub use restore::{load_image, revive, NetworkPolicy, ReviveError, ReviveReport};
 pub use writeback::{
-    CommitError, CommitOutcome, CommitPipeline, FairPolicy, LaneId, PipelineConfig,
+    AuxTask, CommitError, CommitOutcome, CommitPipeline, FairPolicy, LaneId, PipelineConfig,
 };

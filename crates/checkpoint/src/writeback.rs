@@ -158,11 +158,20 @@ pub fn encode_fault_of(fault: Option<IoFault>) -> Option<EncodeFault> {
     }
 }
 
+/// An auxiliary unit of work scheduled on the pool (index compaction,
+/// maintenance sweeps). Runs outside the pipeline lock.
+pub type AuxTask = Box<dyn FnOnce() + Send>;
+
 enum Task {
     /// Turn job `.1`'s image into sections, then fan out compression.
     Encode(LaneId, u64),
     /// Compress section `.2` of job `(.0, .1)`.
     Compress(LaneId, u64, usize),
+    /// Run an auxiliary closure on lane `.0`'s budget. Aux work shares
+    /// the fairness ring with commit work but is accounted separately
+    /// (`aux_pending`, not `inflight`), so it never perturbs commit
+    /// ordering or queue-depth backpressure.
+    Aux(LaneId, AuxTask),
 }
 
 struct Job {
@@ -210,6 +219,10 @@ struct Lane {
     credit: u32,
     /// Whether the lane is already queued in `commit_ready`.
     commit_queued: bool,
+    /// Auxiliary tasks queued or running on this lane. Kept apart from
+    /// `inflight`: aux work must not reset `next_commit` on enqueue or
+    /// consume the capture queue-depth quota.
+    aux_pending: usize,
 }
 
 struct State {
@@ -222,6 +235,8 @@ struct State {
     /// lands) so picking a commit is O(1) in the lane count.
     commit_ready: VecDeque<LaneId>,
     total_inflight: usize,
+    /// Auxiliary tasks queued or running across all lanes.
+    aux_inflight: usize,
     shutdown: bool,
 }
 
@@ -306,6 +321,7 @@ impl CommitPipeline {
                 ready: VecDeque::new(),
                 commit_ready: VecDeque::new(),
                 total_inflight: 0,
+                aux_inflight: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -368,6 +384,7 @@ impl CommitPipeline {
                         weight,
                         credit: 0,
                         commit_queued: false,
+                        aux_pending: 0,
                     },
                 );
             }
@@ -483,12 +500,41 @@ impl CommitPipeline {
         self.shared.work.notify_one();
     }
 
+    /// Schedules an auxiliary closure on `lane`'s budget. The closure
+    /// runs on a pool worker, drawn from the same fairness ring as the
+    /// lane's commit work, so heavy maintenance (segment compaction)
+    /// competes fairly with — and never starves — other tenants'
+    /// commits. Aux work is accounted apart from captures: it neither
+    /// consumes the queue-depth quota nor perturbs commit ordering.
+    /// Returns `false` (and drops the task) if the lane is unknown.
+    pub fn submit_aux(&self, lane: LaneId, task: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.shared.lock();
+        if !state.lanes.contains_key(&lane) {
+            return false;
+        }
+        {
+            let l = state.lane_mut(lane);
+            l.aux_pending += 1;
+            l.queue.push_back(Task::Aux(lane, Box::new(task)));
+        }
+        state.aux_inflight += 1;
+        state.mark_ready(lane);
+        drop(state);
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Auxiliary tasks queued or running across all lanes.
+    pub fn aux_inflight(&self) -> usize {
+        self.shared.lock().aux_inflight
+    }
+
     /// Blocks until every enqueued capture in every lane has resolved
-    /// (committed or failed). Outcomes stay queued for
-    /// [`CommitPipeline::take_finished_lane`].
+    /// (committed or failed) and every auxiliary task has run. Outcomes
+    /// stay queued for [`CommitPipeline::take_finished_lane`].
     pub fn drain(&self) {
         let mut state = self.shared.lock();
-        while state.total_inflight > 0 {
+        while state.total_inflight > 0 || state.aux_inflight > 0 {
             state = self
                 .shared
                 .done
@@ -501,7 +547,11 @@ impl CommitPipeline {
     /// keep flowing.
     pub fn drain_lane(&self, lane: LaneId) {
         let mut state = self.shared.lock();
-        while state.lanes.get(&lane).is_some_and(|l| l.inflight > 0) {
+        while state
+            .lanes
+            .get(&lane)
+            .is_some_and(|l| l.inflight > 0 || l.aux_pending > 0)
+        {
             state = self
                 .shared
                 .done
@@ -597,6 +647,7 @@ fn worker(shared: Arc<Shared>, store: SharedBlobStore, sleeper: Sleeper, config:
                 }
                 if state.shutdown
                     && state.jobs.is_empty()
+                    && state.aux_inflight == 0
                     && state.lanes.values().all(|l| !l.committing)
                 {
                     break Step::Exit;
@@ -610,6 +661,7 @@ fn worker(shared: Arc<Shared>, store: SharedBlobStore, sleeper: Sleeper, config:
         match step {
             Step::Run(Task::Encode(lane, seq)) => run_encode(&shared, &config, lane, seq),
             Step::Run(Task::Compress(lane, seq, i)) => run_compress(&shared, lane, seq, i),
+            Step::Run(Task::Aux(lane, task)) => run_aux(&shared, lane, task),
             Step::Commit(lane, job) => run_commit(&shared, &store, &sleeper, &config, lane, *job),
             Step::Exit => return,
         }
@@ -720,6 +772,18 @@ fn run_compress(shared: &Arc<Shared>, lane: LaneId, seq: u64, index: usize) {
     if ready {
         shared.work.notify_one();
     }
+}
+
+fn run_aux(shared: &Arc<Shared>, lane: LaneId, task: AuxTask) {
+    task();
+    let mut state = shared.lock();
+    if let Some(l) = state.lanes.get_mut(&lane) {
+        l.aux_pending = l.aux_pending.saturating_sub(1);
+    }
+    state.aux_inflight = state.aux_inflight.saturating_sub(1);
+    drop(state);
+    shared.work.notify_all();
+    shared.done.notify_all();
 }
 
 fn run_commit(
@@ -1030,6 +1094,76 @@ mod tests {
         for o in &ok {
             assert!(store.lock().contains(&o.blob));
         }
+    }
+
+    #[test]
+    fn aux_tasks_run_without_perturbing_commit_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(2),
+            store.clone(),
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
+        );
+        let ran = Arc::new(AtomicUsize::new(0));
+        // Aux before any capture: must not claim the committer gate or
+        // reset next_commit for the captures that follow.
+        for _ in 0..3 {
+            let ran = ran.clone();
+            assert!(pipe.submit_aux(0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for c in 1..=4u64 {
+            let kind = if c == 1 {
+                ImageKind::Full
+            } else {
+                ImageKind::Incremental { prev: c - 1 }
+            };
+            pipe.enqueue(tiny_image(c, kind), format!("ckpt-{c:08}"), c == 1, None);
+            let ran = ran.clone();
+            pipe.submit_aux(0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pipe.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 7, "all aux tasks ran");
+        let counters: Vec<u64> = pipe.take_finished().iter().map(|o| o.counter).collect();
+        assert_eq!(counters, vec![1, 2, 3, 4], "commit order undisturbed");
+        assert_eq!(pipe.aux_inflight(), 0);
+    }
+
+    #[test]
+    fn aux_tasks_do_not_consume_capture_quota() {
+        let store = SharedBlobStore::in_memory();
+        let pipe = CommitPipeline::new(
+            config(1),
+            store,
+            FaultPlane::disabled(),
+            Sleeper::Sim(SimClock::new()),
+            Obs::disabled(),
+        );
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let held = gate.clone();
+        // Park the single worker inside an aux task; capacity must
+        // still read full (quota tracks captures, not aux work).
+        pipe.submit_aux(0, move || {
+            let (lock, cv) = &*held;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        assert!(pipe.has_capacity(), "aux work leaves the capture quota");
+        assert!(!pipe.submit_aux(99, || {}), "unknown lane refuses aux");
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pipe.drain();
     }
 
     #[test]

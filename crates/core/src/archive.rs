@@ -144,6 +144,10 @@ impl DejaView {
             return Err(ArchiveError("corrupt engine metadata").into());
         }
         dv.install_session_fs(fs);
+        // Sealed index segments and their manifests travel inside the
+        // blob store export; rebuild the shard layout from the newest
+        // manifest so multi-shard search works over the archive.
+        dv.recover_index_shards()?;
         Ok(dv)
     }
 }

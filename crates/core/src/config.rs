@@ -42,6 +42,24 @@ pub struct Config {
     pub enable_display_recording: bool,
     /// Attach the text-capture daemon and index.
     pub enable_text_capture: bool,
+    /// Shard the text index along the time axis: seal the open shard
+    /// into immutable segments at checkpoint boundaries and fan
+    /// queries out across shards. Disable to keep the whole record in
+    /// one in-memory index (the pre-sharding behavior).
+    pub enable_sharded_index: bool,
+    /// Session-time width of the open index shard; once the horizon
+    /// has advanced this far past the shard's start, the next
+    /// checkpoint seals it.
+    pub index_shard_window: Duration,
+    /// FOCAL-style capture-time filtering (the paper's §4.2 lineage):
+    /// skip indexing a text state whose fingerprint equals the last
+    /// indexed state, so redundant re-captures cost nothing.
+    pub index_filter_redundant: bool,
+    /// How many same-level sealed segments one background compaction
+    /// merges (minimum 2).
+    pub index_compact_fanin: usize,
+    /// Decoded sealed segments kept hot for queries.
+    pub index_segment_cache: usize,
     /// Fault-injection plane installed into every storage component
     /// (disk log, journal, blob store, checkpoint writeback, recorder
     /// persistence, index flush). Disabled by default: the sites are
@@ -84,6 +102,11 @@ impl Default for Config {
             store_latency: None,
             enable_display_recording: true,
             enable_text_capture: true,
+            enable_sharded_index: true,
+            index_shard_window: Duration::from_secs(30),
+            index_filter_redundant: true,
+            index_compact_fanin: 4,
+            index_segment_cache: 16,
             fault_plane: FaultPlane::disabled(),
             obs: Obs::disabled(),
             shared_store: None,
@@ -108,6 +131,12 @@ mod tests {
         assert!((config.policy.min_display_fraction - 0.05).abs() < 1e-9);
         assert!(!config.revive_network.default_enabled);
         assert!(config.revive_network.new_apps_enabled);
+        // Sharding ships on with a window far wider than the policy's
+        // checkpoint cadence, so short sessions behave exactly like the
+        // single-index path.
+        assert!(config.enable_sharded_index);
+        assert_eq!(config.index_shard_window.as_millis(), 30_000);
+        assert!(config.index_filter_redundant);
         // Deferred write-back ships disabled: the synchronous path stays
         // the default until a deployment opts into commit workers.
         assert_eq!(config.engine.commit_workers, 0);

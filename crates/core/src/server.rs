@@ -22,6 +22,7 @@ use dv_index::{parse_query, RankOrder, SearchHit, TextIndex};
 use dv_lsfs::{BlobStore, Lsfs, ReadOnlyFs, SharedBlobStore, SharedFs, UnionFs};
 use dv_obs::{names, Obs, ObsSnapshot};
 use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
+use dv_tidx::{TidxConfig, TidxEngine};
 use dv_time::{Duration, SimClock, Timestamp};
 use dv_vee::{HostPidAllocator, Vee, Vpid};
 
@@ -61,6 +62,9 @@ pub struct DejaView {
     recorder: Arc<Mutex<DisplayRecorder>>,
     record: DisplayRecord,
     index: Arc<Mutex<TextIndex>>,
+    /// The sharded temporal index over `index` (None when disabled:
+    /// the whole record stays in the single in-memory index).
+    tidx: Option<Arc<TidxEngine>>,
     /// The main session's virtual execution environment.
     vee: Vee,
     session_fs: SharedFs<Lsfs>,
@@ -111,6 +115,11 @@ impl DejaView {
             store_latency,
             enable_display_recording,
             enable_text_capture,
+            enable_sharded_index,
+            index_shard_window,
+            index_filter_redundant,
+            index_compact_fanin,
+            index_segment_cache,
             fault_plane,
             obs,
             shared_store,
@@ -144,9 +153,11 @@ impl DejaView {
         let instance_counter = Arc::new(std::sync::atomic::AtomicU64::new(1));
         let mut desktop = Desktop::new();
         if enable_text_capture {
+            let mut sink = IndexSink::new(index.clone()).with_filter(index_filter_redundant);
+            sink.set_obs(obs.clone());
             let mut daemon = CaptureDaemon::with_instance_counter(
                 clock.shared(),
-                IndexSink::new(index.clone()),
+                sink,
                 instance_counter.clone(),
             );
             daemon.set_obs(obs.clone());
@@ -196,6 +207,28 @@ impl DejaView {
         // surface as traced events no matter which component installed
         // its handle last.
         fault_plane.set_obs(obs.clone());
+        // The sharded index shares the open index with the capture
+        // sink and seals segments into the checkpoint store, under the
+        // tenant's namespace when a host assigned one.
+        let tidx = if enable_sharded_index && enable_text_capture {
+            Some(Arc::new(TidxEngine::new(
+                index.clone(),
+                store.clone(),
+                fault_plane.clone(),
+                obs.clone(),
+                TidxConfig {
+                    shard_window: index_shard_window,
+                    compact_fanin: index_compact_fanin,
+                    segment_cache: index_segment_cache,
+                    blob_prefix: match &blob_prefix {
+                        Some(prefix) => format!("{prefix}."),
+                        None => String::new(),
+                    },
+                },
+            )))
+        } else {
+            None
+        };
         let playback = PlaybackEngine::new(record.clone());
         DejaView {
             clipboard: String::new(),
@@ -208,6 +241,7 @@ impl DejaView {
             recorder,
             record,
             index,
+            tidx,
             vee,
             session_fs,
             store,
@@ -485,7 +519,10 @@ impl DejaView {
         let mut attempt = 0u32;
         loop {
             match self.engine.checkpoint(&mut self.vee, &self.store) {
-                Ok(report) => return Ok(report),
+                Ok(report) => {
+                    self.maybe_seal_index(report.counter);
+                    return Ok(report);
+                }
                 Err(e) => {
                     self.obs.incr(names::SERVER_DEGRADED_EVENTS);
                     if attempt >= self.io_retry_limit {
@@ -501,6 +538,25 @@ impl DejaView {
                     self.clock.advance(backoff);
                     backoff = Duration::from_nanos(backoff.as_nanos().saturating_mul(2));
                 }
+            }
+        }
+    }
+
+    /// Seals the open index shard at a just-durable checkpoint when
+    /// its window has elapsed. A failed seal degrades (the open shard
+    /// stays authoritative and the seal retries at the next
+    /// checkpoint) but never fails the checkpoint itself.
+    fn maybe_seal_index(&mut self, counter: u64) {
+        let now = self.now();
+        if let Some(tidx) = &self.tidx {
+            self.index.lock().advance_horizon(now);
+            if let Err(e) = tidx.maybe_seal(counter) {
+                self.obs.incr(names::SERVER_DEGRADED_EVENTS);
+                self.obs.event(
+                    "server",
+                    names::EV_SERVER_RETRY,
+                    format!("index-seal ckpt={counter} error={e:?}"),
+                );
             }
         }
     }
@@ -647,11 +703,7 @@ impl DejaView {
         query: &dv_index::Query,
         order: RankOrder,
     ) -> Result<Vec<SearchResult>, ServerError> {
-        let hits = {
-            let mut index = self.index.lock();
-            index.advance_horizon(self.now());
-            dv_index::search(&index, query, order)
-        };
+        let hits = self.search_hits(query, order)?;
         let mut results = Vec::with_capacity(hits.len());
         for hit in hits {
             let screenshot = self.screenshot_at(hit.time)?;
@@ -669,6 +721,74 @@ impl DejaView {
             });
         }
         Ok(results)
+    }
+
+    /// Searches the record returning raw ranked hits without
+    /// reconstructing screenshot portals — the cheap path a
+    /// multi-tenant host uses for cross-session queries. Routes
+    /// through the sharded engine when enabled (fanning out across the
+    /// open shard and the overlapping sealed segments), else the
+    /// single in-memory index.
+    pub fn search_hits(
+        &mut self,
+        query: &dv_index::Query,
+        order: RankOrder,
+    ) -> Result<Vec<SearchHit>, ServerError> {
+        let now = self.now();
+        self.index.lock().advance_horizon(now);
+        match &self.tidx {
+            Some(tidx) => tidx
+                .search(query, order)
+                .map_err(|e| ServerError::Query(dv_index::ParseError(e.to_string()))),
+            None => {
+                let index = self.index.lock();
+                Ok(dv_index::search(&index, query, order))
+            }
+        }
+    }
+
+    /// Returns the sharded temporal index engine, when enabled.
+    pub fn tidx(&self) -> Option<Arc<TidxEngine>> {
+        self.tidx.clone()
+    }
+
+    /// Searches the shard layout as of checkpoint `counter` — exactly
+    /// the segments sealed at or before it, not the open shard. This
+    /// is the WYSIWYS guarantee a revived session gets: its index view
+    /// is snapshot-consistent with its file system and memory.
+    pub fn search_at_checkpoint(
+        &self,
+        counter: u64,
+        query: &str,
+        order: RankOrder,
+    ) -> Result<Vec<SearchHit>, ServerError> {
+        let query = parse_query(query)?;
+        let Some(tidx) = &self.tidx else {
+            return Err(ServerError::Query(dv_index::ParseError(
+                "sharded index disabled".into(),
+            )));
+        };
+        tidx.search_at(counter, &query, order)
+            .map_err(|e| ServerError::Query(dv_index::ParseError(e.to_string())))
+    }
+
+    /// Rebuilds the sharded-index layout from the manifests in the
+    /// checkpoint store (archive restore). The capture daemon's
+    /// instance counter is bumped past every archived segment so new
+    /// instances can never collide with sealed ones.
+    pub fn recover_index_shards(&mut self) -> Result<Option<u64>, ServerError> {
+        let Some(tidx) = self.tidx.clone() else {
+            return Ok(None);
+        };
+        let as_err =
+            |e: dv_tidx::TidxError| ServerError::Query(dv_index::ParseError(e.to_string()));
+        let recovered = tidx.recover_latest().map_err(as_err)?;
+        if recovered.is_some() {
+            let max = tidx.max_instance_id().map_err(as_err)?;
+            self.instance_counter
+                .fetch_max(max + 1, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(recovered)
     }
 
     fn screenshot_at(&mut self, t: Timestamp) -> Result<Screenshot, ServerError> {
@@ -1336,6 +1456,59 @@ mod tests {
         assert!(dv.browse(Timestamp::from_millis(500)).is_ok());
         // An explicit checkpoint propagates the error instead.
         assert!(dv.checkpoint_now().is_err());
+    }
+
+    #[test]
+    fn checkpoints_seal_index_shards_and_search_spans_them() {
+        let mut dv = DejaView::new(Config {
+            width: 64,
+            height: 64,
+            index_shard_window: Duration::from_secs(2),
+            ..Config::default()
+        });
+        let clock = dv.clock();
+        let app = dv.desktop_mut().register_app("editor");
+        let root = dv.desktop_mut().root(app).unwrap();
+        let win = dv.desktop_mut().add_node(app, root, Role::Window, "w");
+        for i in 0..6u32 {
+            dv.desktop_mut()
+                .add_node(app, win, Role::Paragraph, &format!("batch{i} marker"));
+            dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), i);
+            clock.advance(Duration::from_secs(1));
+            let tick = dv.policy_tick().unwrap();
+            assert!(tick.report.is_some(), "round {i} checkpointed");
+        }
+        let tidx = dv.tidx().expect("sharding on by default");
+        assert!(
+            tidx.stats().live_segments >= 2,
+            "2s window over 6s of checkpoints sealed multiple shards, got {:?}",
+            tidx.stats()
+        );
+        // Live search spans every shard plus the open one.
+        for i in 0..6u32 {
+            let hits = dv
+                .search(&format!("batch{i}"), RankOrder::Chronological)
+                .unwrap();
+            assert_eq!(hits.len(), 1, "batch{i} findable across shards");
+        }
+        // Snapshot consistency: at the first sealing checkpoint, later
+        // batches do not exist yet.
+        let first_sealed = tidx.segments()[0].sealed_at;
+        assert!(dv
+            .search_at_checkpoint(first_sealed, "batch5", RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            dv.search_at_checkpoint(first_sealed, "batch0", RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Before anything sealed: no hits at all.
+        assert!(dv
+            .search_at_checkpoint(first_sealed - 1, "batch0", RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! The bridge from the capture daemon to the text index.
+//!
+//! Includes FOCAL-style capture-time filtering: consecutive text
+//! states with identical content fingerprints are skipped before they
+//! ever reach the index, so a workload that re-renders the same screen
+//! costs no index growth (the lineage is FOCAL's redundant-state
+//! suppression; see PAPERS.md).
 
 use std::sync::Arc;
 
@@ -6,6 +12,7 @@ use parking_lot::Mutex;
 
 use dv_access::{AppId, Role, TextInstance, TextSink};
 use dv_index::{IndexedInstance, TextIndex};
+use dv_obs::{names, Obs};
 use dv_time::Timestamp;
 
 /// Returns the index tag for an accessibility role — the "special
@@ -26,20 +33,67 @@ pub fn role_tag(role: Role) -> &'static str {
     }
 }
 
+/// Content fingerprint of a captured text state (FNV-1a over the
+/// fields that determine what the user saw).
+fn fingerprint(instance: &TextInstance) -> u64 {
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for b in bytes {
+            h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = eat(h, &instance.app.0.to_le_bytes());
+    h = eat(h, instance.window.as_bytes());
+    h = eat(h, &[instance.role as u8]);
+    eat(h, instance.text.as_bytes())
+}
+
 /// A [`TextSink`] writing into a shared [`TextIndex`].
 pub struct IndexSink {
     index: Arc<Mutex<TextIndex>>,
+    filter_redundant: bool,
+    last_fp: Option<u64>,
+    obs: Obs,
 }
 
 impl IndexSink {
-    /// Creates a sink over the shared index.
+    /// Creates a sink over the shared index (redundant-state filtering
+    /// off).
     pub fn new(index: Arc<Mutex<TextIndex>>) -> Self {
-        IndexSink { index }
+        IndexSink {
+            index,
+            filter_redundant: false,
+            last_fp: None,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Enables or disables FOCAL-style redundant-state filtering.
+    pub fn with_filter(mut self, enabled: bool) -> Self {
+        self.filter_redundant = enabled;
+        self
+    }
+
+    /// Installs the observability handle (`tidx.filtered` /
+    /// `tidx.ingested` accounting).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 }
 
 impl TextSink for IndexSink {
     fn text_shown(&mut self, instance: TextInstance) {
+        // Annotations are deliberate user actions, never redundant.
+        if self.filter_redundant && !instance.annotation {
+            let fp = fingerprint(&instance);
+            if self.last_fp == Some(fp) {
+                self.obs.incr(names::TIDX_FILTERED);
+                return;
+            }
+            self.last_fp = Some(fp);
+        }
+        self.obs.incr(names::TIDX_INGESTED);
         self.index.lock().add_instance(IndexedInstance {
             id: instance.id,
             app_id: instance.app.0,
@@ -54,10 +108,14 @@ impl TextSink for IndexSink {
     }
 
     fn text_hidden(&mut self, id: u64, time: Timestamp) {
+        // The display state changed: whatever shows next is new
+        // information even if its content fingerprint repeats.
+        self.last_fp = None;
         self.index.lock().close_instance(id, time);
     }
 
     fn focus_changed(&mut self, app: AppId, time: Timestamp) {
+        self.last_fp = None;
         self.index.lock().focus_change(app.0, time);
     }
 }
@@ -89,6 +147,54 @@ mod tests {
         assert_eq!(hits[0].role, "link");
         assert_eq!(hits[0].hidden, Some(Timestamp::from_secs(5)));
         assert_eq!(index.focus_history(), &[(7, Timestamp::from_secs(2))]);
+    }
+
+    fn shown(id: u64, secs: u64, text: &str) -> TextInstance {
+        TextInstance {
+            id,
+            time: Timestamp::from_secs(secs),
+            app: AppId(7),
+            app_name: "firefox".into(),
+            window: "tab".into(),
+            role: Role::Paragraph,
+            text: text.into(),
+            annotation: false,
+        }
+    }
+
+    #[test]
+    fn redundant_states_are_filtered_at_capture_time() {
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let obs = Obs::wall(dv_time::SimClock::new().shared());
+        let mut sink = IndexSink::new(index.clone()).with_filter(true);
+        sink.set_obs(obs.clone());
+        // The same display state re-captured three times: one instance.
+        sink.text_shown(shown(1, 1, "same content"));
+        sink.text_shown(shown(2, 2, "same content"));
+        sink.text_shown(shown(3, 3, "same content"));
+        // Different content indexes normally.
+        sink.text_shown(shown(4, 4, "new content"));
+        assert_eq!(index.lock().stats().instances, 2);
+        assert_eq!(obs.counter(names::TIDX_FILTERED), 2);
+        assert_eq!(obs.counter(names::TIDX_INGESTED), 2);
+        // A hide event resets the filter: the re-shown state is a new
+        // visibility interval, not a redundant capture.
+        sink.text_hidden(4, Timestamp::from_secs(5));
+        sink.text_shown(shown(5, 6, "new content"));
+        assert_eq!(index.lock().stats().instances, 3);
+        // Closing a filtered instance id is harmless (the daemon may
+        // hide an instance the filter never indexed).
+        sink.text_hidden(2, Timestamp::from_secs(7));
+        assert_eq!(obs.counter(names::TIDX_FILTERED), 2);
+    }
+
+    #[test]
+    fn filter_disabled_indexes_everything() {
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let mut sink = IndexSink::new(index.clone());
+        sink.text_shown(shown(1, 1, "same content"));
+        sink.text_shown(shown(2, 2, "same content"));
+        assert_eq!(index.lock().stats().instances, 2);
     }
 
     #[test]

@@ -65,6 +65,19 @@ pub const CAS_GC: &str = "cas.gc";
 /// shape (and baselines).
 pub const CAS_ALL: [&str; 3] = [CAS_CHUNK, CAS_ROOT, CAS_GC];
 
+/// Shard seal in `dv-tidx` — the open shard's encode-and-persist into
+/// an immutable segment at a checkpoint boundary.
+pub const TIDX_SEAL: &str = "tidx.seal";
+/// Segment compaction in `dv-tidx` — merging small sealed segments
+/// into one; a faulted merge leaves the inputs authoritative.
+pub const TIDX_COMPACT: &str = "tidx.compact";
+
+/// The temporal-index sites. Kept out of [`ALL`]: sealing and
+/// compaction sit *above* the blob layer with their own fault tests in
+/// `dv-tidx`, so the storage-stack matrices keep their historical
+/// shape (and baselines).
+pub const TIDX_ALL: [&str; 2] = [TIDX_SEAL, TIDX_COMPACT];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,10 +88,14 @@ mod tests {
             .iter()
             .chain(NET_ALL.iter())
             .chain(CAS_ALL.iter())
+            .chain(TIDX_ALL.iter())
             .copied()
             .collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), ALL.len() + NET_ALL.len() + CAS_ALL.len());
+        assert_eq!(
+            names.len(),
+            ALL.len() + NET_ALL.len() + CAS_ALL.len() + TIDX_ALL.len()
+        );
     }
 }

@@ -34,6 +34,7 @@ use std::sync::Arc;
 
 use dejaview::{Config, DejaView, ServerError};
 use dv_checkpoint::{CheckpointReport, CommitPipeline, FairPolicy, LaneId, PipelineConfig};
+use dv_index::{parse_query, RankOrder, SearchHit};
 use dv_lsfs::{CasGcStep, CasStats, FsError, SharedBlobStore};
 use dv_obs::{names, Obs, ObsSnapshot};
 use dv_time::{Duration, SimClock, Sleeper};
@@ -145,6 +146,18 @@ impl From<ServerError> for HostError {
     }
 }
 
+/// One hit of a cross-session query: which tenant's record satisfied
+/// the query, and when.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrossHit {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Tenant label.
+    pub label: String,
+    /// The underlying index hit (times are on the shared host clock).
+    pub hit: SearchHit,
+}
+
 /// One registered session and its host-side bookkeeping.
 struct Tenant {
     label: String,
@@ -205,6 +218,8 @@ pub struct Host {
     obs: Obs,
     /// Which tenant leads the next index-flush round.
     flush_cursor: u64,
+    /// Which tenant leads the next background-compaction round.
+    compact_cursor: u64,
     config: HostConfig,
 }
 
@@ -250,6 +265,7 @@ impl Host {
             tenants: BTreeMap::new(),
             next_tenant: 1,
             flush_cursor: 0,
+            compact_cursor: 0,
             config,
         }
     }
@@ -507,6 +523,80 @@ impl Host {
         }
         self.obs.incr(names::HOST_INDEX_FLUSH_ROUNDS);
         results
+    }
+
+    /// Evaluates one query against **every** tenant's record — the
+    /// fleet-scale "which of my sessions saw this?" operation. The
+    /// query is parsed once; each tenant's sharded engine (or single
+    /// index) evaluates it independently; then the tagged hits are
+    /// merged by **global rank** under `order` and truncated to
+    /// `limit`. Per-tenant failures (e.g. a corrupt sealed segment)
+    /// degrade that tenant only: its hits are skipped, everyone else's
+    /// still return.
+    pub fn search_all(
+        &mut self,
+        query: &str,
+        order: RankOrder,
+        limit: usize,
+    ) -> Result<Vec<CrossHit>, HostError> {
+        let query = parse_query(query).map_err(|e| HostError::Server(ServerError::Query(e)))?;
+        let mut merged: Vec<CrossHit> = Vec::new();
+        for (&id, tenant) in self.tenants.iter_mut() {
+            match tenant.server.search_hits(&query, order) {
+                Ok(hits) => merged.extend(hits.into_iter().map(|hit| CrossHit {
+                    tenant: id,
+                    label: tenant.label.clone(),
+                    hit,
+                })),
+                Err(e) => {
+                    self.obs.event(
+                        "host",
+                        names::EV_HOST_SESSION,
+                        format!("tenant={} cross-query error={e:?}", tenant.label),
+                    );
+                }
+            }
+        }
+        dv_tidx::rank_by(&mut merged, order, |c| &c.hit);
+        merged.truncate(limit);
+        self.obs.incr(names::HOST_CROSS_QUERIES);
+        Ok(merged)
+    }
+
+    /// One fair background-compaction round: walks tenants from a
+    /// rotating cursor and schedules each tenant's segment compaction
+    /// as an **aux task on that tenant's commit lane** of the shared
+    /// worker pool — compaction shares the pool's fair schedule with
+    /// checkpoint commits but consumes no capture quota, so it can
+    /// never block ingest. With a worker-less pool the compactions run
+    /// inline. Returns how many tenants had a compaction scheduled.
+    pub fn compact_round(&mut self) -> usize {
+        let ids = self.tenant_ids();
+        if ids.is_empty() {
+            return 0;
+        }
+        let start = (self.compact_cursor as usize) % ids.len();
+        self.compact_cursor = self.compact_cursor.wrapping_add(1);
+        let mut scheduled = 0;
+        for off in 0..ids.len() {
+            let id = ids[(start + off) % ids.len()];
+            let tenant = self.tenants.get(&id).expect("registered tenant");
+            let Some(engine) = tenant.server.tidx() else {
+                continue;
+            };
+            scheduled += 1;
+            if self.config.commit_workers == 0 {
+                let _ = engine.maybe_compact();
+            } else if !self.pool.submit_aux(id as LaneId, move || {
+                // A compaction failure leaves the inputs authoritative;
+                // the tenant's own registry records the fault.
+                let _ = engine.maybe_compact();
+            }) {
+                scheduled -= 1;
+            }
+        }
+        self.obs.incr(names::HOST_COMPACTION_ROUNDS);
+        scheduled
     }
 
     /// A tenant's degradation count (failed checkpoint attempts and
@@ -820,6 +910,128 @@ mod tests {
         );
         // Deterministic rendering.
         assert_eq!(obs.to_json(), host.observability().to_json());
+    }
+
+    /// A tenant config with text capture on and a 1s shard window, so
+    /// every 1s-spaced checkpoint seals a segment.
+    fn texty_config() -> Config {
+        Config {
+            width: 64,
+            height: 48,
+            enable_display_recording: false,
+            index_shard_window: Duration::from_secs(1),
+            ..Config::default()
+        }
+    }
+
+    /// Shows `text` in tenant `id`'s session (hiding `prev` first so
+    /// hits stay distinct intervals), then checkpoints — which seals
+    /// the shard once the window has elapsed. Returns the shown node.
+    fn show_and_checkpoint(
+        host: &mut Host,
+        id: u64,
+        prev: Option<dv_access::NodeId>,
+        text: &str,
+    ) -> dv_access::NodeId {
+        let server = host.session_mut(id).unwrap();
+        let app = match server.desktop_mut().apps().first().copied() {
+            Some(app) => app,
+            None => server.desktop_mut().register_app("editor"),
+        };
+        if let Some(node) = prev {
+            server.desktop_mut().remove_subtree(app, node);
+        }
+        host.clock().advance(Duration::from_millis(100));
+        let server = host.session_mut(id).unwrap();
+        let root = server.desktop_mut().root(app).unwrap();
+        let node = server
+            .desktop_mut()
+            .add_node(app, root, dv_access::Role::Paragraph, text);
+        host.clock().advance(Duration::from_secs(1));
+        host.checkpoint(id).unwrap();
+        node
+    }
+
+    #[test]
+    fn cross_session_search_merges_by_global_rank() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("alice", texty_config());
+        let b = host.create_session("bob", texty_config());
+        // Interleave: alice sees the needle first and last, bob in the
+        // middle; chronological merge must interleave the tenants.
+        let first = show_and_checkpoint(&mut host, a, None, "needle one");
+        show_and_checkpoint(&mut host, b, None, "needle two");
+        show_and_checkpoint(&mut host, a, Some(first), "needle three");
+        let hits = host
+            .search_all("needle", RankOrder::Chronological, 16)
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(
+            hits.iter().map(|h| h.label.as_str()).collect::<Vec<_>>(),
+            vec!["alice", "bob", "alice"],
+            "merged chronologically across tenants, not per-tenant"
+        );
+        assert!(hits.windows(2).all(|w| w[0].hit.time <= w[1].hit.time));
+        // Truncation keeps the top of the *global* ranking.
+        let top = host
+            .search_all("needle", RankOrder::Chronological, 1)
+            .unwrap();
+        assert_eq!(top[0].label, "alice");
+        assert_eq!(top[0].hit.time, hits[0].hit.time);
+        assert_eq!(host.obs().snapshot().counter(names::HOST_CROSS_QUERIES), 2);
+        // A query matching nobody is empty, not an error.
+        assert!(host
+            .search_all("absent", RankOrder::Chronological, 16)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn compaction_rounds_run_on_the_shared_pool_without_blocking_ingest() {
+        let mut host = Host::new(HostConfig::default());
+        let id = host.create_session(
+            "compacted",
+            Config {
+                index_compact_fanin: 3,
+                ..texty_config()
+            },
+        );
+        let mut prev = None;
+        for i in 0..6 {
+            prev = Some(show_and_checkpoint(
+                &mut host,
+                id,
+                prev,
+                &format!("page{i} words"),
+            ));
+        }
+        host.flush_session(id).unwrap();
+        let engine = host.session(id).unwrap().tidx().unwrap();
+        let before = engine.stats().live_segments;
+        assert!(before >= 3, "1s window sealed per checkpoint: {before}");
+        let scheduled = host.compact_round();
+        assert_eq!(scheduled, 1);
+        // Ingest keeps flowing while compaction is queued/running.
+        show_and_checkpoint(&mut host, id, prev, "page6 words");
+        // Draining the lane waits for aux tasks too.
+        host.flush_session(id).unwrap();
+        assert!(
+            engine.stats().live_segments < before,
+            "compaction merged a batch: {} -> {}",
+            before,
+            engine.stats().live_segments
+        );
+        // Every page is still findable after compaction.
+        for i in 0..7 {
+            let hits = host
+                .search_all(&format!("page{i}"), RankOrder::Chronological, 8)
+                .unwrap();
+            assert_eq!(hits.len(), 1, "page{i} survived compaction");
+        }
+        assert_eq!(
+            host.obs().snapshot().counter(names::HOST_COMPACTION_ROUNDS),
+            1
+        );
     }
 
     #[test]

@@ -21,5 +21,7 @@ pub mod tokenizer;
 pub use index::{IndexStats, IndexedInstance, TextIndex};
 pub use interval::{Interval, IntervalSet};
 pub use query::{parse_query, ParseError, Query};
-pub use search::{evaluate, search, RankOrder, SearchHit};
+pub use search::{
+    contains_phrase, evaluate, query_terms, search, snippet_of, RankOrder, SearchHit,
+};
 pub use store::{decode_index, encode_index, flush_segment, StoreError};

@@ -145,6 +145,19 @@ pub enum RankOrder {
     PersistenceAscending,
     /// Most matching instances first.
     MatchCount,
+    /// Highest persistence-weighted score first (ScreenTrack-style):
+    /// content that stayed on screen longest, weighted by how many
+    /// instances matched, is what the user most likely remembers.
+    PersistenceWeighted,
+}
+
+impl RankOrder {
+    /// The persistence-weighted score used by
+    /// [`RankOrder::PersistenceWeighted`]; exposed so multi-shard
+    /// mergers rank globally with the same key.
+    pub fn weighted_score(hit: &SearchHit) -> u128 {
+        hit.persistence.as_nanos() as u128 * hit.matches.max(1) as u128
+    }
 }
 
 /// Evaluates a query and builds ranked hits.
@@ -165,14 +178,16 @@ pub fn search(index: &TextIndex, query: &Query, order: RankOrder) -> Vec<SearchH
         RankOrder::ReverseChronological => hits.sort_by_key(|h| std::cmp::Reverse(h.time)),
         RankOrder::PersistenceAscending => hits.sort_by_key(|h| h.persistence),
         RankOrder::MatchCount => hits.sort_by_key(|h| std::cmp::Reverse(h.matches)),
+        RankOrder::PersistenceWeighted => {
+            hits.sort_by_key(|h| std::cmp::Reverse(RankOrder::weighted_score(h)))
+        }
     }
     hits
 }
 
 fn collect_matching_instances<'a>(index: &'a TextIndex, query: &Query) -> Vec<&'a IndexedInstance> {
     let mut out = Vec::new();
-    let mut terms = Vec::new();
-    collect_terms(query, &mut terms);
+    let terms = query_terms(query);
     if terms.is_empty() {
         out.extend(index.all_instances());
     } else {
@@ -185,9 +200,19 @@ fn collect_matching_instances<'a>(index: &'a TextIndex, query: &Query) -> Vec<&'
     out
 }
 
+/// The positive terms a query can match snippets against, in query
+/// order. Public so multi-shard engines collect hit candidates with
+/// the same rules as [`search`].
+pub fn query_terms(query: &Query) -> Vec<String> {
+    let mut terms = Vec::new();
+    collect_terms(query, &mut terms);
+    terms
+}
+
 /// Returns whether `text` contains the words adjacently (ignoring
-/// stopwords, matching the indexing-side normalization).
-fn contains_phrase(text: &str, words: &[String]) -> bool {
+/// stopwords, matching the indexing-side normalization). Public so
+/// multi-shard engines verify phrase adjacency identically.
+pub fn contains_phrase(text: &str, words: &[String]) -> bool {
     let tokens = crate::tokenizer::index_tokens(text);
     if words.is_empty() || tokens.len() < words.len() {
         return false;
@@ -244,7 +269,9 @@ fn build_hit(index: &TextIndex, iv: Interval, candidates: &[&IndexedInstance]) -
     }
 }
 
-fn snippet_of(text: &str) -> String {
+/// Truncates instance text to a display snippet (shared with
+/// multi-shard hit builders).
+pub fn snippet_of(text: &str) -> String {
     const MAX: usize = 120;
     if text.len() <= MAX {
         return text.to_string();
@@ -423,6 +450,22 @@ mod tests {
         let hits = search(&index, &q, RankOrder::PersistenceAscending);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].time, Timestamp::from_millis(200_000), "brief first");
+    }
+
+    #[test]
+    fn persistence_weighted_ranking_puts_long_lived_matches_first() {
+        let mut index = TextIndex::new();
+        index.add_instance(inst(1, 1, "a", "w", "needle brief", 0, Some(1_000)));
+        index.add_instance(inst(2, 1, "a", "w", "needle long", 10_000, Some(110_000)));
+        index.advance_horizon(Timestamp::from_millis(200_000));
+        let q = parse_query("needle").unwrap();
+        let hits = search(&index, &q, RankOrder::PersistenceWeighted);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(
+            hits[0].time,
+            Timestamp::from_millis(10_000),
+            "long-lived match outranks the brief one"
+        );
     }
 
     #[test]

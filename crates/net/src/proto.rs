@@ -264,6 +264,7 @@ fn order_tag(order: RankOrder) -> u8 {
         RankOrder::ReverseChronological => 1,
         RankOrder::PersistenceAscending => 2,
         RankOrder::MatchCount => 3,
+        RankOrder::PersistenceWeighted => 4,
     }
 }
 
@@ -273,6 +274,7 @@ fn order_from_tag(tag: u8) -> Result<RankOrder, ProtoError> {
         1 => RankOrder::ReverseChronological,
         2 => RankOrder::PersistenceAscending,
         3 => RankOrder::MatchCount,
+        4 => RankOrder::PersistenceWeighted,
         _ => return Err(ProtoError::BadPayload("unknown rank order")),
     })
 }

@@ -518,6 +518,38 @@ pub mod names {
     pub const EV_CAS_VERIFY_FAILURE: &str = "cas.verify_failure";
     /// Event name for one aborted GC sweep step.
     pub const EV_CAS_GC_ABORT: &str = "cas.gc_abort";
+
+    /// Text states skipped by the capture-time redundancy filter.
+    pub const TIDX_FILTERED: &str = "tidx.filtered";
+    /// Text states accepted into the open shard.
+    pub const TIDX_INGESTED: &str = "tidx.ingested";
+    /// Open-shard seals completed (one immutable segment each).
+    pub const TIDX_SEALS: &str = "tidx.seals";
+    /// Gauge: live (sealed, not yet superseded) segments.
+    pub const TIDX_SEALED_SEGMENTS: &str = "tidx.sealed_segments";
+    /// Compaction merges completed.
+    pub const TIDX_COMPACTIONS: &str = "tidx.compactions";
+    /// Superseded segments physically reclaimed by GC.
+    pub const TIDX_GC_RECLAIMED: &str = "tidx.gc_reclaimed";
+    /// Sharded queries evaluated.
+    pub const TIDX_QUERIES: &str = "tidx.queries";
+    /// Histogram: segments probed per sharded query (open shard
+    /// included); compaction must push this down.
+    pub const TIDX_SEGMENT_PROBES: &str = "tidx.segment_probes";
+    /// Span: one open-shard seal.
+    pub const TIDX_SEAL: &str = "tidx.seal";
+    /// Span: one compaction merge.
+    pub const TIDX_COMPACT: &str = "tidx.compact";
+    /// Span: one sharded query fan-out.
+    pub const TIDX_QUERY: &str = "tidx.query";
+    /// Event name for one sealed segment.
+    pub const EV_TIDX_SEAL: &str = "tidx.sealed";
+    /// Event name for one compaction (inputs -> output).
+    pub const EV_TIDX_COMPACT: &str = "tidx.compacted";
+    /// Host: cross-session queries served.
+    pub const HOST_CROSS_QUERIES: &str = "host.cross_queries";
+    /// Host: compaction rounds scheduled on the shared pool.
+    pub const HOST_COMPACTION_ROUNDS: &str = "host.compaction_rounds";
 }
 
 #[cfg(test)]

@@ -1,0 +1,890 @@
+//! The sharded temporal index engine.
+//!
+//! One engine serves one session (tenant). Text states route into the
+//! **open shard** — the same mutable [`TextIndex`] the capture daemon
+//! already writes into — and at checkpoint boundaries the open shard
+//! **seals** into an immutable CRC-framed segment blob plus a manifest
+//! naming the checkpoint counter, so index durability is
+//! snapshot-consistent with the filesystem: a revive at checkpoint N
+//! queries exactly the segments sealed at or before N
+//! ([`TidxEngine::search_at`]). Small sealed segments are merged by
+//! background **compaction** ([`TidxEngine::maybe_compact`], designed
+//! to run as an aux task on the shared commit worker pool), and
+//! superseded inputs are reclaimed only after a *newer* checkpoint's
+//! manifest is durable — the dv-cas recycle discipline — so crash or
+//! revive at the latest sealed checkpoint never loses index state.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dv_fault::{sites, FaultPlane, IoFault};
+use dv_index::{
+    decode_index, flush_segment, IndexedInstance, Query, RankOrder, SearchHit, TextIndex,
+};
+use dv_lsfs::SharedBlobStore;
+use dv_obs::{names, Obs};
+use dv_time::{Duration, Timestamp};
+
+use crate::search::{build_ranked_hits, eval_sharded, query_bounds};
+use crate::segment::{
+    decode_manifest, encode_manifest, frame_segment, unframe_segment, Manifest, SegmentMeta,
+};
+
+/// A sharded-index operation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TidxError(pub String);
+
+impl std::fmt::Display for TidxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tidx error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TidxError {}
+
+/// Engine tuning.
+#[derive(Clone, Debug)]
+pub struct TidxConfig {
+    /// Session-time width of the open shard: once the index horizon
+    /// has advanced this far past the shard's start, the next
+    /// checkpoint seals it.
+    pub shard_window: Duration,
+    /// How many same-level segments one compaction merges (min 2).
+    pub compact_fanin: usize,
+    /// Decoded segments kept hot for queries (FIFO eviction).
+    pub segment_cache: usize,
+    /// Namespace prepended to segment/manifest blob names, so many
+    /// tenants share one blob store without collisions.
+    pub blob_prefix: String,
+}
+
+impl Default for TidxConfig {
+    fn default() -> Self {
+        TidxConfig {
+            shard_window: Duration::from_secs(30),
+            compact_fanin: 4,
+            segment_cache: 16,
+            blob_prefix: String::new(),
+        }
+    }
+}
+
+/// Aggregate shard-layout accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TidxStats {
+    /// Sealed segments serving queries.
+    pub live_segments: usize,
+    /// Superseded segments awaiting GC.
+    pub retired_segments: usize,
+    /// The checkpoint counter of the newest durable manifest (0 when
+    /// nothing has sealed).
+    pub last_sealed: u64,
+    /// Next segment id to allocate.
+    pub next_segment: u64,
+}
+
+struct ShardState {
+    /// Sealed segments serving queries, ordered by start time.
+    live: Vec<SegmentMeta>,
+    /// Superseded segments and the checkpoint counter after which each
+    /// may be physically reclaimed.
+    retired: Vec<(SegmentMeta, u64)>,
+    next_segment: u64,
+    /// Where the open shard's time window began.
+    open_start: Timestamp,
+    /// Counter of the newest durable manifest.
+    last_sealed_ckpt: u64,
+    /// At most one compaction runs at a time.
+    compacting: bool,
+    /// Decoded-segment cache, FIFO-evicted.
+    cache: HashMap<u64, Arc<TextIndex>>,
+    cache_order: VecDeque<u64>,
+}
+
+/// The sharded temporal index engine for one session.
+pub struct TidxEngine {
+    open: Arc<Mutex<TextIndex>>,
+    store: SharedBlobStore,
+    plane: FaultPlane,
+    obs: Obs,
+    config: TidxConfig,
+    state: Mutex<ShardState>,
+}
+
+impl TidxEngine {
+    /// Wraps an existing open index (shared with the capture daemon)
+    /// over `store`.
+    pub fn new(
+        open: Arc<Mutex<TextIndex>>,
+        store: SharedBlobStore,
+        plane: FaultPlane,
+        obs: Obs,
+        config: TidxConfig,
+    ) -> Self {
+        TidxEngine {
+            open,
+            store,
+            plane,
+            obs,
+            config,
+            state: Mutex::new(ShardState {
+                live: Vec::new(),
+                retired: Vec::new(),
+                next_segment: 0,
+                open_start: Timestamp::ZERO,
+                last_sealed_ckpt: 0,
+                compacting: false,
+                cache: HashMap::new(),
+                cache_order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The open-shard index handle (the capture daemon's sink target).
+    pub fn open_index(&self) -> Arc<Mutex<TextIndex>> {
+        self.open.clone()
+    }
+
+    /// Shard-layout accounting.
+    pub fn stats(&self) -> TidxStats {
+        let st = self.state.lock();
+        TidxStats {
+            live_segments: st.live.len(),
+            retired_segments: st.retired.len(),
+            last_sealed: st.last_sealed_ckpt,
+            next_segment: st.next_segment,
+        }
+    }
+
+    /// Live segment metadata, ordered by start time.
+    pub fn segments(&self) -> Vec<SegmentMeta> {
+        self.state.lock().live.clone()
+    }
+
+    fn seg_blob(&self, id: u64) -> String {
+        format!("{}tidxseg-{id:08}", self.config.blob_prefix)
+    }
+
+    fn man_blob(&self, counter: u64) -> String {
+        format!("{}tidxman-{counter:08}", self.config.blob_prefix)
+    }
+
+    /// Seals the open shard if its window has elapsed, anchoring the
+    /// segment to checkpoint `counter`. Call after each durable
+    /// checkpoint. An empty shard slides its window without sealing.
+    pub fn maybe_seal(&self, counter: u64) -> Result<Option<SegmentMeta>, TidxError> {
+        {
+            let idx = self.open.lock();
+            let horizon = idx.horizon();
+            let mut st = self.state.lock();
+            if horizon < st.open_start.saturating_add(self.config.shard_window) {
+                return Ok(None);
+            }
+            if idx.stats().instances == 0 {
+                st.open_start = horizon;
+                return Ok(None);
+            }
+        }
+        self.seal(counter).map(Some)
+    }
+
+    /// Unconditionally seals the open shard into an immutable segment
+    /// anchored to checkpoint `counter`, writes the manifest, swaps in
+    /// a fresh open shard carrying still-visible instances (original
+    /// ids and `shown` times) plus the current focus state, and
+    /// reclaims any retired segments whose window has passed.
+    ///
+    /// On any error the open shard and the previous layout stay
+    /// authoritative; the seal retries at the next checkpoint.
+    pub fn seal(&self, counter: u64) -> Result<SegmentMeta, TidxError> {
+        let _span = self.obs.span("tidx", names::TIDX_SEAL);
+        let mut idx = self.open.lock();
+        let horizon = idx.horizon();
+        let stats = idx.stats();
+        // Reuse the index flush path — and its `index.segment.flush`
+        // fault site — for the payload encoding.
+        let payload = flush_segment(&idx, &self.plane).map_err(|e| TidxError(e.to_string()))?;
+        let mut framed = frame_segment(&payload);
+        match self.plane.check(sites::TIDX_SEAL) {
+            None | Some(IoFault::LatencySpike) => {}
+            // A mangled seal is caught by the CRC on first probe.
+            Some(IoFault::Corrupt) => self.plane.mangle(&mut framed),
+            Some(_) => return Err(TidxError("seal write faulted".into())),
+        }
+        let mut st = self.state.lock();
+        let id = st.next_segment;
+        let min_shown = idx
+            .all_instances()
+            .map(|i| i.shown)
+            .min()
+            .unwrap_or(st.open_start);
+        let meta = SegmentMeta {
+            id,
+            level: 0,
+            start: min_shown.min(st.open_start),
+            end: horizon,
+            sealed_at: counter,
+            bytes: framed.len() as u64,
+            instances: stats.instances,
+        };
+        let mut live = st.live.clone();
+        live.push(meta.clone());
+        live.sort_by_key(|m| (m.start, m.id));
+        let manifest = Manifest {
+            counter,
+            next_segment: id + 1,
+            open_start: horizon,
+            live: live.clone(),
+            retired: st.retired.clone(),
+        };
+        self.store
+            .put_deduped(&self.seg_blob(id), framed)
+            .map_err(|e| TidxError(format!("segment write failed: {e:?}")))?;
+        if let Err(e) = self
+            .store
+            .put_deduped(&self.man_blob(counter), encode_manifest(&manifest))
+        {
+            // The layout never became durable; drop the orphan segment.
+            self.store.lock().delete(&self.seg_blob(id));
+            return Err(TidxError(format!("manifest write failed: {e:?}")));
+        }
+        st.live = live;
+        st.next_segment = id + 1;
+        st.last_sealed_ckpt = counter;
+        st.open_start = horizon;
+        let reclaimed = self.gc_with(&mut st, counter);
+        let live_count = st.live.len();
+        drop(st);
+        // Rebuild the open shard: still-visible instances carry over
+        // with their original ids and shown times, so their global
+        // visibility is the contiguous union across shards.
+        let carried: Vec<IndexedInstance> = idx
+            .all_instances()
+            .filter(|i| i.hidden.is_none() && !i.annotation)
+            .cloned()
+            .collect();
+        let last_focus = idx.focus_history().last().map(|&(app, _)| app);
+        let obs_handle = idx.obs().clone();
+        let mut fresh = TextIndex::new();
+        for instance in carried {
+            fresh.add_instance(instance);
+        }
+        if let Some(app) = last_focus {
+            fresh.focus_change(app, horizon);
+        }
+        fresh.advance_horizon(horizon);
+        // Carried bytes were already counted when first indexed; reset
+        // the gauge-like byte counter to the fresh shard's footprint.
+        obs_handle.set_counter(names::INDEX_BYTES, fresh.stats().bytes);
+        fresh.set_obs(obs_handle);
+        *idx = fresh;
+        drop(idx);
+        self.obs.incr(names::TIDX_SEALS);
+        self.obs
+            .gauge_set(names::TIDX_SEALED_SEGMENTS, live_count as u64);
+        self.obs.event(
+            "tidx",
+            names::EV_TIDX_SEAL,
+            format!(
+                "segment={id} ckpt={counter} instances={} reclaimed={reclaimed}",
+                stats.instances
+            ),
+        );
+        Ok(meta)
+    }
+
+    /// Reclaims retired segments whose recycle window has passed: a
+    /// manifest with counter >= the segment's `reclaim_after` is
+    /// durable, so no revive at or after that checkpoint references
+    /// it. Returns the number of segments reclaimed.
+    pub fn gc(&self, durable_counter: u64) -> usize {
+        let mut st = self.state.lock();
+        self.gc_with(&mut st, durable_counter)
+    }
+
+    fn gc_with(&self, st: &mut ShardState, durable_counter: u64) -> usize {
+        let mut reclaimed = 0;
+        let mut keep = Vec::with_capacity(st.retired.len());
+        for (meta, reclaim_after) in st.retired.drain(..) {
+            if reclaim_after <= durable_counter {
+                self.store.lock().delete(&self.seg_blob(meta.id));
+                st.cache.remove(&meta.id);
+                st.cache_order.retain(|id| *id != meta.id);
+                self.obs.incr(names::TIDX_GC_RECLAIMED);
+                reclaimed += 1;
+            } else {
+                keep.push((meta, reclaim_after));
+            }
+        }
+        st.retired = keep;
+        reclaimed
+    }
+
+    /// Merges one batch of small same-level segments into a
+    /// higher-level segment if any level has at least `compact_fanin`
+    /// of them. Inputs stay authoritative until the merged segment is
+    /// durably written, then retire under the recycle-after-checkpoint
+    /// discipline. Returns whether a compaction ran.
+    ///
+    /// Heavy work (decode, merge, re-encode) happens outside both the
+    /// open-shard lock and the layout lock, so ingest and queries are
+    /// never blocked; designed to run as an aux task on the shared
+    /// commit worker pool.
+    pub fn maybe_compact(&self) -> Result<bool, TidxError> {
+        let inputs = {
+            let mut st = self.state.lock();
+            if st.compacting {
+                return Ok(false);
+            }
+            let fanin = self.config.compact_fanin.max(2);
+            let mut by_level: BTreeMap<u32, Vec<SegmentMeta>> = BTreeMap::new();
+            for meta in &st.live {
+                by_level.entry(meta.level).or_default().push(meta.clone());
+            }
+            let Some((_, mut batch)) = by_level.into_iter().find(|(_, v)| v.len() >= fanin) else {
+                return Ok(false);
+            };
+            batch.sort_by_key(|m| (m.start, m.id));
+            batch.truncate(fanin);
+            st.compacting = true;
+            batch
+        };
+        let result = self.compact(&inputs);
+        self.state.lock().compacting = false;
+        result.map(|_| true)
+    }
+
+    fn compact(&self, inputs: &[SegmentMeta]) -> Result<SegmentMeta, TidxError> {
+        let _span = self.obs.span("tidx", names::TIDX_COMPACT);
+        let mut indexes = Vec::with_capacity(inputs.len());
+        for meta in inputs {
+            indexes.push(self.segment_index(meta.id)?);
+        }
+        // Merge: a carried instance appears in consecutive inputs with
+        // the same id; the copy with the latest (or still-open) end
+        // covers the union of its per-segment visibility.
+        let mut merged: BTreeMap<u64, IndexedInstance> = BTreeMap::new();
+        let mut focus: Vec<(u32, Timestamp)> = Vec::new();
+        let mut horizon = Timestamp::ZERO;
+        for index in &indexes {
+            horizon = horizon.max(index.horizon());
+            for instance in index.all_instances() {
+                let end = |i: &IndexedInstance| i.hidden.map_or(u64::MAX, |t| t.as_nanos());
+                match merged.entry(instance.id) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(instance.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        if end(instance) > end(o.get()) {
+                            o.insert(instance.clone());
+                        }
+                    }
+                }
+            }
+            focus.extend_from_slice(index.focus_history());
+        }
+        focus.sort_by_key(|&(_, t)| t);
+        focus.dedup();
+        let mut out = TextIndex::new();
+        for instance in merged.into_values() {
+            out.add_instance(instance);
+        }
+        for (app, t) in focus {
+            out.focus_change(app, t);
+        }
+        out.advance_horizon(horizon);
+        let payload = flush_segment(&out, &self.plane).map_err(|e| TidxError(e.to_string()))?;
+        let mut framed = frame_segment(&payload);
+        match self.plane.check(sites::TIDX_COMPACT) {
+            None | Some(IoFault::LatencySpike) => {}
+            Some(IoFault::Corrupt) => self.plane.mangle(&mut framed),
+            Some(_) => return Err(TidxError("compaction write faulted".into())),
+        }
+        let (id, meta, reclaim_after) = {
+            let mut st = self.state.lock();
+            let id = st.next_segment;
+            st.next_segment = id + 1;
+            let meta = SegmentMeta {
+                id,
+                level: inputs.iter().map(|m| m.level).max().unwrap_or(0) + 1,
+                start: inputs.iter().map(|m| m.start).min().expect("inputs"),
+                end: inputs.iter().map(|m| m.end).max().expect("inputs"),
+                sealed_at: inputs.iter().map(|m| m.sealed_at).max().expect("inputs"),
+                bytes: framed.len() as u64,
+                instances: out.stats().instances,
+            };
+            (id, meta, st.last_sealed_ckpt + 1)
+        };
+        self.store
+            .put_deduped(&self.seg_blob(id), framed)
+            .map_err(|e| TidxError(format!("compacted segment write failed: {e:?}")))?;
+        let mut st = self.state.lock();
+        let input_ids: Vec<u64> = inputs.iter().map(|m| m.id).collect();
+        st.live.retain(|m| !input_ids.contains(&m.id));
+        st.live.push(meta.clone());
+        st.live.sort_by_key(|m| (m.start, m.id));
+        for input in inputs {
+            st.retired.push((input.clone(), reclaim_after));
+            st.cache.remove(&input.id);
+            st.cache_order.retain(|id| *id != input.id);
+        }
+        let live_count = st.live.len();
+        drop(st);
+        self.obs.incr(names::TIDX_COMPACTIONS);
+        self.obs
+            .gauge_set(names::TIDX_SEALED_SEGMENTS, live_count as u64);
+        self.obs.event(
+            "tidx",
+            names::EV_TIDX_COMPACT,
+            format!(
+                "inputs={input_ids:?} output={id} level={} instances={}",
+                meta.level, meta.instances
+            ),
+        );
+        Ok(meta)
+    }
+
+    fn segment_index(&self, id: u64) -> Result<Arc<TextIndex>, TidxError> {
+        if let Some(index) = self.state.lock().cache.get(&id) {
+            return Ok(index.clone());
+        }
+        let blob = self
+            .store
+            .lock()
+            .get(&self.seg_blob(id))
+            .ok_or_else(|| TidxError(format!("segment {id} missing")))?;
+        let payload = unframe_segment(&blob).map_err(|e| TidxError(e.to_string()))?;
+        let index = Arc::new(decode_index(payload).map_err(|e| TidxError(e.to_string()))?);
+        let mut st = self.state.lock();
+        if st.cache.len() >= self.config.segment_cache.max(1) {
+            if let Some(victim) = st.cache_order.pop_front() {
+                st.cache.remove(&victim);
+            }
+        }
+        st.cache.insert(id, index.clone());
+        st.cache_order.push_back(id);
+        Ok(index)
+    }
+
+    /// Evaluates `query` over the open shard plus every live segment
+    /// overlapping the query's time bounds, returning globally ranked
+    /// hits.
+    pub fn search(&self, query: &Query, order: RankOrder) -> Result<Vec<SearchHit>, TidxError> {
+        self.obs.incr(names::TIDX_QUERIES);
+        let _span = self.obs.span("tidx", names::TIDX_QUERY);
+        let bounds = query_bounds(query);
+        let metas: Vec<SegmentMeta> = {
+            let st = self.state.lock();
+            st.live
+                .iter()
+                .filter(|m| match bounds {
+                    Some((s, e)) => m.start < e && s < m.end,
+                    None => true,
+                })
+                .cloned()
+                .collect()
+        };
+        let mut segments = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            segments.push(self.segment_index(meta.id)?);
+        }
+        let open = self.open.lock();
+        self.obs
+            .observe(names::TIDX_SEGMENT_PROBES, segments.len() as u64 + 1);
+        // Oldest first, open shard last: the dedup in hit building
+        // keeps the most recent copy of a carried instance.
+        let mut shards: Vec<&TextIndex> = segments.iter().map(|a| a.as_ref()).collect();
+        shards.push(&open);
+        let horizon = shards
+            .iter()
+            .map(|s| s.horizon())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        let satisfied = eval_sharded(&shards, horizon, query);
+        Ok(build_ranked_hits(
+            &shards, &satisfied, query, horizon, order,
+        ))
+    }
+
+    /// Evaluates `query` against the shard layout as of checkpoint
+    /// `counter` — the newest durable manifest at or before it — and
+    /// *not* the open shard. A revived session sees exactly the hits
+    /// sealed at or before its checkpoint.
+    pub fn search_at(
+        &self,
+        counter: u64,
+        query: &Query,
+        order: RankOrder,
+    ) -> Result<Vec<SearchHit>, TidxError> {
+        self.obs.incr(names::TIDX_QUERIES);
+        let _span = self.obs.span("tidx", names::TIDX_QUERY);
+        let Some(manifest) = self.manifest_at_or_before(counter)? else {
+            return Ok(Vec::new());
+        };
+        let bounds = query_bounds(query);
+        let metas: Vec<&SegmentMeta> = manifest
+            .live
+            .iter()
+            .filter(|m| match bounds {
+                Some((s, e)) => m.start < e && s < m.end,
+                None => true,
+            })
+            .collect();
+        let mut segments = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            segments.push(self.segment_index(meta.id)?);
+        }
+        self.obs
+            .observe(names::TIDX_SEGMENT_PROBES, segments.len() as u64);
+        let shards: Vec<&TextIndex> = segments.iter().map(|a| a.as_ref()).collect();
+        let horizon = shards
+            .iter()
+            .map(|s| s.horizon())
+            .max()
+            .unwrap_or(Timestamp::ZERO);
+        let satisfied = eval_sharded(&shards, horizon, query);
+        Ok(build_ranked_hits(
+            &shards, &satisfied, query, horizon, order,
+        ))
+    }
+
+    /// The highest instance id stored in any live segment (0 when none
+    /// are sealed) — an archive restore bumps the capture daemon's id
+    /// allocator past this so new instances never collide.
+    pub fn max_instance_id(&self) -> Result<u64, TidxError> {
+        let mut max = 0;
+        for meta in self.segments() {
+            max = max.max(self.segment_index(meta.id)?.max_instance_id());
+        }
+        Ok(max)
+    }
+
+    fn manifest_at_or_before(&self, counter: u64) -> Result<Option<Manifest>, TidxError> {
+        let prefix = format!("{}tidxman-", self.config.blob_prefix);
+        let best = self
+            .store
+            .lock()
+            .names()
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&prefix).and_then(|s| s.parse::<u64>().ok()))
+            .filter(|c| *c <= counter)
+            .max();
+        let Some(found) = best else {
+            return Ok(None);
+        };
+        let blob = self
+            .store
+            .lock()
+            .get(&self.man_blob(found))
+            .ok_or_else(|| TidxError(format!("manifest {found} missing")))?;
+        decode_manifest(&blob)
+            .map(Some)
+            .map_err(|e| TidxError(e.to_string()))
+    }
+
+    /// Rebuilds the shard layout from the newest durable manifest (an
+    /// archive import or restored store). Returns the manifest's
+    /// checkpoint counter, or `None` when the store has no manifests.
+    pub fn recover_latest(&self) -> Result<Option<u64>, TidxError> {
+        let Some(manifest) = self.manifest_at_or_before(u64::MAX)? else {
+            return Ok(None);
+        };
+        let mut st = self.state.lock();
+        st.live = manifest.live;
+        st.retired = manifest.retired;
+        st.next_segment = manifest.next_segment;
+        st.last_sealed_ckpt = manifest.counter;
+        st.open_start = manifest.open_start;
+        st.cache.clear();
+        st.cache_order.clear();
+        self.obs
+            .gauge_set(names::TIDX_SEALED_SEGMENTS, st.live.len() as u64);
+        Ok(Some(manifest.counter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_fault::{FaultPlan, IoFault};
+    use dv_index::parse_query;
+
+    fn engine(config: TidxConfig) -> TidxEngine {
+        TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            SharedBlobStore::in_memory(),
+            FaultPlane::disabled(),
+            Obs::disabled(),
+            config,
+        )
+    }
+
+    fn inst(
+        id: u64,
+        app: &str,
+        text: &str,
+        shown_ms: u64,
+        hidden_ms: Option<u64>,
+    ) -> IndexedInstance {
+        IndexedInstance {
+            id,
+            app_id: app.len() as u32,
+            app: app.into(),
+            window: format!("{app} window"),
+            role: "paragraph".into(),
+            text: text.into(),
+            shown: Timestamp::from_millis(shown_ms),
+            hidden: hidden_ms.map(Timestamp::from_millis),
+            annotation: false,
+        }
+    }
+
+    /// Feeds the same stream to a sharded engine (sealing mid-way) and
+    /// a single oracle index; queries must agree exactly.
+    #[test]
+    fn sharded_search_matches_unsharded_oracle() {
+        let eng = engine(TidxConfig::default());
+        let mut oracle = TextIndex::new();
+        let stream = [
+            inst(1, "firefox", "alpha beta conference", 0, Some(5_000)),
+            inst(2, "editor", "gamma delta notes", 1_000, None), // crosses both seals
+            inst(3, "firefox", "alpha gamma", 6_000, Some(9_000)),
+            inst(4, "acroread", "beta delta paper", 11_000, Some(14_000)),
+            inst(5, "editor", "alpha delta final", 16_000, None),
+        ];
+        let feed = |eng: &TidxEngine, oracle: &mut TextIndex, i: &IndexedInstance| {
+            eng.open_index().lock().add_instance(i.clone());
+            oracle.add_instance(i.clone());
+        };
+        for i in &stream[..3] {
+            feed(&eng, &mut oracle, i);
+        }
+        eng.open_index()
+            .lock()
+            .advance_horizon(Timestamp::from_millis(10_000));
+        oracle.advance_horizon(Timestamp::from_millis(10_000));
+        eng.seal(1).unwrap();
+        for i in &stream[3..] {
+            feed(&eng, &mut oracle, i);
+        }
+        eng.open_index()
+            .lock()
+            .advance_horizon(Timestamp::from_millis(20_000));
+        oracle.advance_horizon(Timestamp::from_millis(20_000));
+        eng.seal(2).unwrap();
+        assert_eq!(eng.stats().live_segments, 2);
+        for q in [
+            "alpha",
+            "delta",
+            "alpha delta",
+            "alpha OR beta",
+            "delta -alpha",
+            "app:editor delta",
+            "\"alpha beta\"",
+            "from:2 to:12 gamma",
+        ] {
+            let query = parse_query(q).unwrap();
+            for order in [
+                RankOrder::Chronological,
+                RankOrder::ReverseChronological,
+                RankOrder::PersistenceAscending,
+                RankOrder::MatchCount,
+                RankOrder::PersistenceWeighted,
+            ] {
+                let sharded = eng.search(&query, order).unwrap();
+                let single = dv_index::search(&oracle, &query, order);
+                assert_eq!(sharded, single, "query {q:?} order {order:?} diverged");
+            }
+        }
+    }
+
+    /// A revive at checkpoint N sees exactly the segments sealed at or
+    /// before N.
+    #[test]
+    fn search_at_is_snapshot_consistent() {
+        let eng = engine(TidxConfig::default());
+        let open = eng.open_index();
+        open.lock()
+            .add_instance(inst(1, "a", "early needle", 0, Some(1_000)));
+        open.lock().advance_horizon(Timestamp::from_millis(2_000));
+        eng.seal(3).unwrap();
+        open.lock()
+            .add_instance(inst(2, "a", "late needle", 3_000, Some(4_000)));
+        open.lock().advance_horizon(Timestamp::from_millis(5_000));
+        eng.seal(7).unwrap();
+        let query = parse_query("needle").unwrap();
+        assert!(eng
+            .search_at(2, &query, RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
+        let at3 = eng.search_at(3, &query, RankOrder::Chronological).unwrap();
+        assert_eq!(at3.len(), 1, "checkpoint 3 sees only the first seal");
+        assert_eq!(at3[0].time, Timestamp::ZERO);
+        // Counters between manifests resolve to the newest at-or-before.
+        assert_eq!(
+            eng.search_at(5, &query, RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            1
+        );
+        let at7 = eng.search_at(7, &query, RankOrder::Chronological).unwrap();
+        assert_eq!(at7.len(), 2, "checkpoint 7 sees both seals");
+        // The live query also sees everything.
+        assert_eq!(
+            eng.search(&query, RankOrder::Chronological).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_results_and_reclaims_after_checkpoint() {
+        let eng = engine(TidxConfig {
+            compact_fanin: 3,
+            ..TidxConfig::default()
+        });
+        let open = eng.open_index();
+        for k in 0..3u64 {
+            let base = k * 10_000;
+            open.lock().add_instance(inst(
+                k + 1,
+                "app",
+                &format!("needle batch{k}"),
+                base,
+                Some(base + 1_000),
+            ));
+            open.lock()
+                .advance_horizon(Timestamp::from_millis(base + 2_000));
+            eng.seal(k + 1).unwrap();
+        }
+        let query = parse_query("needle").unwrap();
+        let before = eng.search(&query, RankOrder::Chronological).unwrap();
+        assert_eq!(before.len(), 3);
+        assert_eq!(eng.stats().live_segments, 3);
+        assert!(eng.maybe_compact().unwrap());
+        assert_eq!(eng.stats().live_segments, 1);
+        assert_eq!(eng.stats().retired_segments, 3);
+        let after = eng.search(&query, RankOrder::Chronological).unwrap();
+        assert_eq!(before, after, "compaction must not change results");
+        assert!(!eng.maybe_compact().unwrap(), "nothing left to merge");
+        // Inputs are reclaimed only once a newer manifest is durable.
+        open.lock()
+            .add_instance(inst(9, "app", "needle fresh", 40_000, Some(41_000)));
+        open.lock().advance_horizon(Timestamp::from_millis(42_000));
+        eng.seal(4).unwrap();
+        assert_eq!(eng.stats().retired_segments, 0, "GC ran at the next seal");
+        let final_hits = eng.search(&query, RankOrder::Chronological).unwrap();
+        assert_eq!(final_hits.len(), 4);
+    }
+
+    #[test]
+    fn seal_faults_leave_the_open_shard_authoritative() {
+        let plane = FaultPlan::new(11)
+            .always(sites::TIDX_SEAL, IoFault::Enospc)
+            .build();
+        let eng = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            SharedBlobStore::in_memory(),
+            plane,
+            Obs::disabled(),
+            TidxConfig::default(),
+        );
+        let open = eng.open_index();
+        open.lock()
+            .add_instance(inst(1, "a", "survivor text", 0, Some(500)));
+        open.lock().advance_horizon(Timestamp::from_millis(1_000));
+        assert!(eng.seal(1).is_err());
+        assert_eq!(eng.stats().live_segments, 0);
+        let query = parse_query("survivor").unwrap();
+        assert_eq!(
+            eng.search(&query, RankOrder::Chronological).unwrap().len(),
+            1,
+            "failed seal keeps serving from the open shard"
+        );
+    }
+
+    #[test]
+    fn corrupt_seal_is_detected_on_probe() {
+        let plane = FaultPlan::new(13)
+            .always(sites::TIDX_SEAL, IoFault::Corrupt)
+            .build();
+        let eng = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            SharedBlobStore::in_memory(),
+            plane,
+            Obs::disabled(),
+            TidxConfig::default(),
+        );
+        let open = eng.open_index();
+        open.lock()
+            .add_instance(inst(1, "a", "mangled words", 0, Some(500)));
+        open.lock().advance_horizon(Timestamp::from_millis(1_000));
+        eng.seal(1).unwrap();
+        let query = parse_query("mangled").unwrap();
+        assert!(
+            eng.search(&query, RankOrder::Chronological).is_err(),
+            "CRC framing catches the mangled segment"
+        );
+    }
+
+    #[test]
+    fn recover_latest_rebuilds_layout_from_manifest() {
+        let store = SharedBlobStore::in_memory();
+        let eng = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            store.clone(),
+            FaultPlane::disabled(),
+            Obs::disabled(),
+            TidxConfig::default(),
+        );
+        let open = eng.open_index();
+        open.lock()
+            .add_instance(inst(1, "a", "persisted needle", 0, Some(500)));
+        open.lock().advance_horizon(Timestamp::from_millis(1_000));
+        eng.seal(5).unwrap();
+        // A second engine over the same store recovers the layout.
+        let fresh = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            store,
+            FaultPlane::disabled(),
+            Obs::disabled(),
+            TidxConfig::default(),
+        );
+        assert_eq!(fresh.recover_latest().unwrap(), Some(5));
+        assert_eq!(fresh.stats().live_segments, 1);
+        assert_eq!(fresh.stats().next_segment, 1);
+        let query = parse_query("needle").unwrap();
+        assert_eq!(
+            fresh
+                .search(&query, RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn during_queries_prune_the_probe_set() {
+        let eng = engine(TidxConfig::default());
+        let open = eng.open_index();
+        for k in 0..4u64 {
+            let base = k * 10_000;
+            open.lock().add_instance(inst(
+                k + 1,
+                "app",
+                &format!("word{k} needle"),
+                base,
+                Some(base + 1_000),
+            ));
+            open.lock()
+                .advance_horizon(Timestamp::from_millis(base + 2_000));
+            eng.seal(k + 1).unwrap();
+        }
+        // Bounded query: only the first segment overlaps 0..2s.
+        let query = parse_query("from:0 to:2 needle").unwrap();
+        let hits = eng.search(&query, RankOrder::Chronological).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].time, Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+//! Time-sharded WYSIWYS search for DejaView.
+//!
+//! `dv-index` answers "what was I looking at when …?" over a single
+//! in-memory [`TextIndex`](dv_index::TextIndex); this crate scales that
+//! model to long-running, multi-tenant deployments by sharding the
+//! index along the time axis:
+//!
+//! - text states route into the mutable **open shard** (the same index
+//!   the capture daemon already writes into);
+//! - at checkpoint boundaries the open shard **seals** into an
+//!   immutable CRC-framed segment blob plus a manifest named by the
+//!   checkpoint counter, so index durability is snapshot-consistent
+//!   with the recorded execution: a revive at checkpoint N queries
+//!   exactly the segments sealed at or before N;
+//! - background **compaction** merges small same-level segments into
+//!   higher levels to bound per-query probe counts, retiring inputs
+//!   under the recycle-only-after-checkpoint discipline dv-cas uses;
+//! - queries fan out across the open shard plus the overlapping sealed
+//!   segments, evaluating the boolean structure once globally and
+//!   merging per-shard interval sets, then rank hits with
+//!   persistence-weighted ordering.
+//!
+//! The crate is deliberately storage-agnostic: segments and manifests
+//! are blobs in a [`SharedBlobStore`](dv_lsfs::SharedBlobStore), which
+//! may be plain in-memory, latency-modelled, or layered on the dv-cas
+//! deduplicating chunk store.
+
+#![deny(unsafe_code)]
+
+mod engine;
+mod search;
+mod segment;
+
+pub use engine::{TidxConfig, TidxEngine, TidxError, TidxStats};
+pub use search::{rank_by, rank_hits};
+pub use segment::{
+    decode_manifest, encode_manifest, frame_segment, unframe_segment, FrameError, Manifest,
+    SegmentMeta,
+};

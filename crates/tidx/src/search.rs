@@ -1,0 +1,272 @@
+//! Query evaluation fanned out across time shards.
+//!
+//! Each shard (the open index plus every probed sealed segment) is a
+//! complete [`TextIndex`] over one window of time; an instance that
+//! stayed visible across a seal appears in consecutive shards with the
+//! same id and its original `shown` time, so the union of its
+//! per-shard visibility intervals is exactly its global visibility.
+//! Leaves (`Term`/`Phrase`/`Any`) therefore union their
+//! [`IntervalSet`]s across shards, while the boolean structure —
+//! `And`/`Or`/`Not`/`During` and the context modifiers — is applied
+//! once, globally. `Not` in particular must complement against the
+//! *global* horizon, never per shard: a per-shard complement would
+//! claim times a later shard knows nothing about.
+
+use dv_index::{
+    contains_phrase, query_terms, snippet_of, IndexedInstance, Interval, IntervalSet, Query,
+    RankOrder, SearchHit, TextIndex,
+};
+use dv_time::{Duration, Timestamp};
+
+/// How long a point annotation is considered visible (mirrors
+/// `dv-index`'s query window).
+const ANNOTATION_WINDOW_MS: u64 = 1;
+
+/// Context filters accumulated while descending the query tree
+/// (mirrors `dv-index`'s evaluation context).
+#[derive(Clone, Default, Debug)]
+struct Ctx {
+    app: Option<String>,
+    window: Option<String>,
+    focused: bool,
+    annotated: bool,
+}
+
+impl Ctx {
+    fn admits(&self, instance: &IndexedInstance) -> bool {
+        if let Some(app) = &self.app {
+            if !instance.app.to_lowercase().contains(app) {
+                return false;
+            }
+        }
+        if let Some(window) = &self.window {
+            if !instance.window.to_lowercase().contains(window) {
+                return false;
+            }
+        }
+        if self.annotated && !instance.annotation {
+            return false;
+        }
+        true
+    }
+}
+
+fn instance_times(shard: &TextIndex, instance: &IndexedInstance, ctx: &Ctx) -> IntervalSet {
+    let visible = IntervalSet::from_intervals([shard.visibility(instance)]);
+    if ctx.focused {
+        visible.intersect(&shard.focus_intervals(instance.app_id))
+    } else {
+        visible
+    }
+}
+
+fn leaf_union<'a, F, I>(shards: &[&'a TextIndex], ctx: &Ctx, f: F) -> IntervalSet
+where
+    F: Fn(&'a TextIndex) -> I,
+    I: IntoIterator<Item = &'a IndexedInstance>,
+{
+    let mut acc = IntervalSet::new();
+    for shard in shards {
+        for instance in f(shard) {
+            if ctx.admits(instance) {
+                acc = acc.union(&instance_times(shard, instance, ctx));
+            }
+        }
+    }
+    acc
+}
+
+/// Evaluates `query` over the shard set to the global set of satisfied
+/// times. `horizon` is the latest time any shard knows about.
+pub(crate) fn eval_sharded(
+    shards: &[&TextIndex],
+    horizon: Timestamp,
+    query: &Query,
+) -> IntervalSet {
+    eval(shards, horizon, query, &Ctx::default())
+}
+
+fn eval(shards: &[&TextIndex], horizon: Timestamp, query: &Query, ctx: &Ctx) -> IntervalSet {
+    match query {
+        Query::Any => leaf_union(shards, ctx, |s| s.all_instances()),
+        Query::Term(term) => leaf_union(shards, ctx, |s| s.term_instances(term)),
+        Query::Phrase(words) => {
+            let Some(first) = words.first() else {
+                return IntervalSet::new();
+            };
+            leaf_union(shards, ctx, |s| {
+                s.term_instances(first)
+                    .into_iter()
+                    .filter(|i| contains_phrase(&i.text, words))
+            })
+        }
+        Query::And(a, b) => eval(shards, horizon, a, ctx).intersect(&eval(shards, horizon, b, ctx)),
+        Query::Or(a, b) => eval(shards, horizon, a, ctx).union(&eval(shards, horizon, b, ctx)),
+        Query::Not(q) => eval(shards, horizon, q, ctx).complement(Timestamp::ZERO, horizon),
+        Query::App(name, q) => {
+            let mut ctx = ctx.clone();
+            ctx.app = Some(name.clone());
+            eval(shards, horizon, q, &ctx)
+        }
+        Query::Window(title, q) => {
+            let mut ctx = ctx.clone();
+            ctx.window = Some(title.clone());
+            eval(shards, horizon, q, &ctx)
+        }
+        Query::Focused(q) => {
+            let mut ctx = ctx.clone();
+            ctx.focused = true;
+            eval(shards, horizon, q, &ctx)
+        }
+        Query::Annotated(q) => {
+            let mut ctx = ctx.clone();
+            ctx.annotated = true;
+            eval(shards, horizon, q, &ctx)
+        }
+        Query::During { from, to, q } => eval(shards, horizon, q, ctx).clip(*from, *to),
+    }
+}
+
+/// The time window a query can possibly be satisfied in, used to prune
+/// the segment probe set. `None` means unbounded (any `Not` — absence
+/// is checkable anywhere — or a bare leaf). Conservative by design:
+/// pruning only ever shrinks work, never results.
+pub(crate) fn query_bounds(query: &Query) -> Option<(Timestamp, Timestamp)> {
+    fn meet(
+        a: Option<(Timestamp, Timestamp)>,
+        b: Option<(Timestamp, Timestamp)>,
+    ) -> Option<(Timestamp, Timestamp)> {
+        match (a, b) {
+            (None, other) | (other, None) => other,
+            (Some((s1, e1)), Some((s2, e2))) => {
+                let s = s1.max(s2);
+                Some((s, e1.min(e2).max(s)))
+            }
+        }
+    }
+    match query {
+        Query::During { from, to, q } => meet(Some((*from, *to)), query_bounds(q)),
+        Query::And(a, b) => meet(query_bounds(a), query_bounds(b)),
+        Query::Or(a, b) => match (query_bounds(a), query_bounds(b)) {
+            (Some((s1, e1)), Some((s2, e2))) => Some((s1.min(s2), e1.max(e2))),
+            _ => None,
+        },
+        Query::App(_, q) | Query::Window(_, q) | Query::Focused(q) | Query::Annotated(q) => {
+            query_bounds(q)
+        }
+        Query::Any | Query::Term(_) | Query::Phrase(_) | Query::Not(_) => None,
+    }
+}
+
+/// Visibility of a candidate instance against the *global* horizon
+/// (its owning shard may have sealed earlier; the deduped copy we keep
+/// is the one with the latest end).
+fn visibility_global(instance: &IndexedInstance, horizon: Timestamp) -> Interval {
+    if instance.annotation {
+        return Interval::new(
+            instance.shown,
+            instance
+                .shown
+                .saturating_add(Duration::from_millis(ANNOTATION_WINDOW_MS)),
+        );
+    }
+    let end = instance.hidden.unwrap_or(horizon);
+    let end = if end <= instance.shown {
+        instance.shown.saturating_add(Duration::from_millis(1))
+    } else {
+        end
+    };
+    Interval::new(instance.shown, end)
+}
+
+/// Collects the hit candidates for `query` across shards, deduped by
+/// instance id. Shards must be ordered oldest-first so a carried
+/// instance's most-recent copy (the one with the latest — or still
+/// open — end) wins.
+fn collect_candidates(shards: &[&TextIndex], query: &Query) -> Vec<IndexedInstance> {
+    let terms = query_terms(query);
+    let mut by_id: std::collections::BTreeMap<u64, IndexedInstance> = Default::default();
+    let mut keep = |inst: &IndexedInstance| {
+        by_id.insert(inst.id, inst.clone());
+    };
+    for shard in shards {
+        if terms.is_empty() {
+            let mut all: Vec<&IndexedInstance> = shard.all_instances().collect();
+            all.sort_by_key(|i| i.id);
+            all.into_iter().for_each(&mut keep);
+        } else {
+            for term in &terms {
+                shard.term_instances(term).into_iter().for_each(&mut keep);
+            }
+        }
+    }
+    let mut out: Vec<IndexedInstance> = by_id.into_values().collect();
+    out.sort_by_key(|i| (i.shown, i.id));
+    out
+}
+
+/// Builds ranked hits from the globally satisfied interval set — the
+/// multi-shard analogue of `dv_index::search`'s hit construction.
+pub(crate) fn build_ranked_hits(
+    shards: &[&TextIndex],
+    satisfied: &IntervalSet,
+    query: &Query,
+    horizon: Timestamp,
+    order: RankOrder,
+) -> Vec<SearchHit> {
+    let candidates = collect_candidates(shards, query);
+    let mut hits: Vec<SearchHit> = satisfied
+        .intervals()
+        .iter()
+        .map(|iv| {
+            let mut snippet = String::new();
+            let mut apps: Vec<String> = Vec::new();
+            let mut matches = 0;
+            for instance in &candidates {
+                let vis = visibility_global(instance, horizon);
+                if vis.start < iv.end && iv.start < vis.end {
+                    matches += 1;
+                    if snippet.is_empty() {
+                        snippet = snippet_of(&instance.text);
+                    }
+                    if !apps.contains(&instance.app) {
+                        apps.push(instance.app.clone());
+                    }
+                }
+            }
+            SearchHit {
+                time: iv.start,
+                until: iv.end,
+                persistence: iv.end.saturating_since(iv.start),
+                matches,
+                snippet,
+                apps,
+            }
+        })
+        .collect();
+    rank_hits(&mut hits, order);
+    hits
+}
+
+/// Sorts hits under `order` with the same keys as `dv_index::search`,
+/// so a merged multi-shard (or multi-tenant) result list is ordered by
+/// global rank.
+pub fn rank_hits(hits: &mut [SearchHit], order: RankOrder) {
+    rank_by(hits, order, |h| h);
+}
+
+/// Sorts any carrier type (e.g. a `(tenant, hit)` pair) by the rank of
+/// the [`SearchHit`] that `hit` projects out, with the same keys as
+/// `dv_index::search`. A stable sort, so equal-ranked items keep their
+/// input order — merge in tenant order for deterministic results.
+pub fn rank_by<T>(items: &mut [T], order: RankOrder, hit: impl Fn(&T) -> &SearchHit) {
+    match order {
+        RankOrder::Chronological => items.sort_by_key(|t| hit(t).time),
+        RankOrder::ReverseChronological => items.sort_by_key(|t| std::cmp::Reverse(hit(t).time)),
+        RankOrder::PersistenceAscending => items.sort_by_key(|t| hit(t).persistence),
+        RankOrder::MatchCount => items.sort_by_key(|t| std::cmp::Reverse(hit(t).matches)),
+        RankOrder::PersistenceWeighted => {
+            items.sort_by_key(|t| std::cmp::Reverse(RankOrder::weighted_score(hit(t))))
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Immutable segment and manifest blob formats.
+//!
+//! A sealed segment is a [`dv_index::flush_segment`] payload wrapped
+//! in CRC framing (the same IEEE CRC32 that guards the lsfs journal
+//! and the dv-net wire), so a mangled blob is detected on probe
+//! rather than silently returning wrong hits:
+//!
+//! ```text
+//! [magic "DVTSEG01"][crc32(payload) u32 LE][len u64 LE][payload ...]
+//! ```
+//!
+//! A manifest records the shard layout as of one checkpoint counter —
+//! the live segments, the retired segments awaiting GC, and the
+//! allocator state — under the same framing with magic `DVTMAN01`.
+//! Manifests are written at seal time, named by checkpoint counter, so
+//! a revive at checkpoint N reads the newest manifest at or before N
+//! and sees exactly the segments sealed by then.
+
+use bytes::{Buf, BufMut};
+
+use dv_fault::checksum::crc32;
+use dv_time::Timestamp;
+
+const SEG_MAGIC: &[u8; 8] = b"DVTSEG01";
+const MAN_MAGIC: &[u8; 8] = b"DVTMAN01";
+
+/// A segment- or manifest-blob decoding error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FrameError(pub &'static str);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tidx frame error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Everything the engine needs to know about one immutable segment
+/// without decoding it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SegmentMeta {
+    /// Monotonic segment id; names the blob.
+    pub id: u64,
+    /// 0 for freshly sealed shards; compaction merges level-`n` inputs
+    /// into one level-`n+1` output.
+    pub level: u32,
+    /// Earliest visibility start covered (instances carried across a
+    /// seal keep their original `shown`, so this can precede the
+    /// shard's window).
+    pub start: Timestamp,
+    /// The seal horizon (exclusive): no instance in the segment is
+    /// visible at or after it.
+    pub end: Timestamp,
+    /// The checkpoint counter whose manifest first referenced this
+    /// segment — the snapshot-consistency anchor.
+    pub sealed_at: u64,
+    /// Framed blob size.
+    pub bytes: u64,
+    /// Instances stored.
+    pub instances: u64,
+}
+
+/// One parsed manifest: the shard layout as of `counter`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Manifest {
+    /// Checkpoint counter this layout is consistent with.
+    pub counter: u64,
+    /// Next segment id to allocate.
+    pub next_segment: u64,
+    /// Where the open shard's window began when this was written.
+    pub open_start: Timestamp,
+    /// Segments serving queries, ordered by `start`.
+    pub live: Vec<SegmentMeta>,
+    /// Superseded segments and the checkpoint counter after which each
+    /// may be reclaimed (the dv-cas recycle-only-after-checkpoint
+    /// discipline).
+    pub retired: Vec<(SegmentMeta, u64)>,
+}
+
+/// Wraps a payload in magic + CRC framing.
+fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(magic);
+    out.put_u32_le(crc32(payload));
+    out.put_u64_le(payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies framing and returns the payload slice.
+fn unframe<'a>(magic: &[u8; 8], mut buf: &'a [u8]) -> Result<&'a [u8], FrameError> {
+    if buf.len() < 20 || &buf[..8] != magic {
+        return Err(FrameError("bad magic"));
+    }
+    buf.advance(8);
+    let crc = buf.get_u32_le();
+    let len = buf.get_u64_le() as usize;
+    if buf.len() != len {
+        return Err(FrameError("length mismatch"));
+    }
+    if crc32(buf) != crc {
+        return Err(FrameError("crc mismatch"));
+    }
+    Ok(buf)
+}
+
+/// Frames an encoded-index payload as a segment blob.
+pub fn frame_segment(payload: &[u8]) -> Vec<u8> {
+    frame(SEG_MAGIC, payload)
+}
+
+/// Verifies a segment blob and returns the encoded-index payload.
+pub fn unframe_segment(buf: &[u8]) -> Result<&[u8], FrameError> {
+    unframe(SEG_MAGIC, buf)
+}
+
+fn put_meta(out: &mut Vec<u8>, meta: &SegmentMeta) {
+    out.put_u64_le(meta.id);
+    out.put_u32_le(meta.level);
+    out.put_u64_le(meta.start.as_nanos());
+    out.put_u64_le(meta.end.as_nanos());
+    out.put_u64_le(meta.sealed_at);
+    out.put_u64_le(meta.bytes);
+    out.put_u64_le(meta.instances);
+}
+
+fn get_meta(buf: &mut &[u8]) -> Result<SegmentMeta, FrameError> {
+    if buf.len() < 52 {
+        return Err(FrameError("truncated segment meta"));
+    }
+    Ok(SegmentMeta {
+        id: buf.get_u64_le(),
+        level: buf.get_u32_le(),
+        start: Timestamp::from_nanos(buf.get_u64_le()),
+        end: Timestamp::from_nanos(buf.get_u64_le()),
+        sealed_at: buf.get_u64_le(),
+        bytes: buf.get_u64_le(),
+        instances: buf.get_u64_le(),
+    })
+}
+
+/// Serializes a manifest as a framed blob.
+pub fn encode_manifest(man: &Manifest) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.put_u64_le(man.counter);
+    payload.put_u64_le(man.next_segment);
+    payload.put_u64_le(man.open_start.as_nanos());
+    payload.put_u64_le(man.live.len() as u64);
+    for meta in &man.live {
+        put_meta(&mut payload, meta);
+    }
+    payload.put_u64_le(man.retired.len() as u64);
+    for (meta, reclaim_after) in &man.retired {
+        put_meta(&mut payload, meta);
+        payload.put_u64_le(*reclaim_after);
+    }
+    frame(MAN_MAGIC, &payload)
+}
+
+/// Verifies and parses a manifest blob.
+pub fn decode_manifest(buf: &[u8]) -> Result<Manifest, FrameError> {
+    let mut payload = unframe(MAN_MAGIC, buf)?;
+    if payload.len() < 32 {
+        return Err(FrameError("truncated manifest header"));
+    }
+    let counter = payload.get_u64_le();
+    let next_segment = payload.get_u64_le();
+    let open_start = Timestamp::from_nanos(payload.get_u64_le());
+    let live_count = payload.get_u64_le();
+    let mut live = Vec::new();
+    for _ in 0..live_count {
+        live.push(get_meta(&mut payload)?);
+    }
+    if payload.len() < 8 {
+        return Err(FrameError("truncated retired count"));
+    }
+    let retired_count = payload.get_u64_le();
+    let mut retired = Vec::new();
+    for _ in 0..retired_count {
+        let meta = get_meta(&mut payload)?;
+        if payload.len() < 8 {
+            return Err(FrameError("truncated reclaim counter"));
+        }
+        retired.push((meta, payload.get_u64_le()));
+    }
+    if !payload.is_empty() {
+        return Err(FrameError("trailing bytes"));
+    }
+    Ok(Manifest {
+        counter,
+        next_segment,
+        open_start,
+        live,
+        retired,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64) -> SegmentMeta {
+        SegmentMeta {
+            id,
+            level: 1,
+            start: Timestamp::from_millis(id * 10),
+            end: Timestamp::from_millis(id * 10 + 10),
+            sealed_at: id,
+            bytes: 100 + id,
+            instances: id * 3,
+        }
+    }
+
+    #[test]
+    fn segment_framing_round_trips_and_detects_corruption() {
+        let payload = b"pretend this is an encoded index".to_vec();
+        let framed = frame_segment(&payload);
+        assert_eq!(unframe_segment(&framed).unwrap(), &payload[..]);
+        let mut mangled = framed.clone();
+        let last = mangled.len() - 1;
+        mangled[last] ^= 0xFF;
+        assert_eq!(unframe_segment(&mangled), Err(FrameError("crc mismatch")));
+        assert!(unframe_segment(&framed[..10]).is_err());
+        assert!(unframe_segment(b"DVTMAN01 nope").is_err());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let man = Manifest {
+            counter: 42,
+            next_segment: 7,
+            open_start: Timestamp::from_millis(500),
+            live: vec![meta(1), meta(4)],
+            retired: vec![(meta(2), 43), (meta(3), 44)],
+        };
+        let decoded = decode_manifest(&encode_manifest(&man)).unwrap();
+        assert_eq!(decoded, man);
+    }
+
+    #[test]
+    fn manifest_rejects_truncation() {
+        let man = Manifest {
+            counter: 1,
+            next_segment: 2,
+            open_start: Timestamp::ZERO,
+            live: vec![meta(1)],
+            retired: Vec::new(),
+        };
+        let encoded = encode_manifest(&man);
+        for cut in [0, 12, 25, encoded.len() - 1] {
+            assert!(decode_manifest(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

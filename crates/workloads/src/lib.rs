@@ -22,7 +22,7 @@ pub mod video;
 pub mod web;
 
 pub use cat::CatScenario;
-pub use common::TermWindow;
+pub use common::{corpus_sentence, TermWindow};
 pub use desktop::DesktopScenario;
 pub use gzip::GzipScenario;
 pub use make::MakeScenario;

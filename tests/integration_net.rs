@@ -26,7 +26,7 @@ use dv_fault::{sites, FaultPlan, IoFault};
 use dv_index::RankOrder;
 use dv_net::{
     decode_message, encode_frame_vec, encode_message_vec, FrameDecoder, LoopbackTransport, Message,
-    NetClient, NetConfig, NetService, Transport, PROTOCOL_VERSION,
+    NetClient, NetConfig, NetService, Transport, MAX_SEARCH_HITS, PROTOCOL_VERSION,
 };
 use dv_obs::names;
 use dv_time::{Duration, Timestamp};
@@ -480,4 +480,99 @@ fn version_mismatch_is_rejected_cleanly() {
         other => panic!("expected Reject, got {other:?}"),
     }
     assert_eq!(svc.client_count(), 0, "rejected client lingered");
+}
+
+#[test]
+fn oversize_cross_shard_search_truncates_by_global_rank() {
+    let mut svc = service();
+    let tidx = svc.dv_mut().tidx().expect("sharded index is on by default");
+
+    // A little display activity so per-hit screenshot portals have a
+    // record to reconstruct from.
+    for salt in 0..3 {
+        draw(&mut svc, salt);
+    }
+    let app = svc.dv_mut().desktop_mut().register_app("log");
+    let root = svc.dv_mut().desktop_mut().root(app).unwrap();
+
+    // More disjoint hits than the reply cap. Hit i persists
+    // (2 + TOTAL-1-i) ms, so the earliest states — the ones landing in
+    // the OLDEST shards — persist longest.
+    const TOTAL: usize = MAX_SEARCH_HITS + 40;
+    let mut counter = 1;
+    for i in 0..TOTAL {
+        let text = format!("marker t{i}");
+        let node =
+            svc.dv_mut()
+                .desktop_mut()
+                .add_node(app, root, dv_access::Role::Paragraph, &text);
+        let persist = Duration::from_millis(2 + (TOTAL - 1 - i) as u64);
+        svc.dv_mut().clock().advance(persist);
+        svc.dv_mut().desktop_mut().remove_subtree(app, node);
+        svc.dv_mut().clock().advance(Duration::from_millis(1));
+        // Seal every 128 states so the hits span many immutable
+        // segments rather than one big open shard.
+        if (i + 1) % 128 == 0 {
+            tidx.seal(counter).expect("seal");
+            counter += 1;
+        }
+    }
+    assert!(
+        tidx.stats().live_segments >= 4,
+        "test setup must spread hits across sealed shards"
+    );
+
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    let mut clients = vec![NetClient::connect(client_end, "archivist")];
+    converge(&mut svc, &mut clients);
+
+    // PersistenceAscending ranks the SHORTEST-lived states first —
+    // exactly the ones in the NEWEST shards. A truncation by per-shard
+    // arrival order (oldest shard first) would keep the longest-lived
+    // hits instead, so every kept hit proves global ranking.
+    let req = clients[0].search("marker", RankOrder::PersistenceAscending);
+    converge(&mut svc, &mut clients);
+    if let Some(err) = clients[0].take_rpc_error(req) {
+        panic!("search failed over RPC: {err}");
+    }
+    assert!(!clients[0].is_closed(), "client connection died");
+    let hits = clients[0]
+        .take_search_reply(req)
+        .expect("search reply never arrived");
+    assert_eq!(
+        hits.len(),
+        MAX_SEARCH_HITS,
+        "reply must truncate at the cap"
+    );
+    let cutoff = Duration::from_millis(2 + (MAX_SEARCH_HITS - 1) as u64);
+    for h in &hits {
+        assert!(
+            h.persistence <= cutoff,
+            "truncation kept a low-rank (long-lived, early-shard) hit: {:?}",
+            h.persistence
+        );
+    }
+    for pair in hits.windows(2) {
+        assert!(
+            pair[0].persistence <= pair[1].persistence,
+            "reply is not in global rank order"
+        );
+    }
+
+    // The persistence-weighted order rides the wire too (tag 4): with
+    // one match per interval the weighted score IS the persistence, so
+    // the same oversize query comes back descending.
+    let req = clients[0].search("marker", RankOrder::PersistenceWeighted);
+    converge(&mut svc, &mut clients);
+    let hits = clients[0]
+        .take_search_reply(req)
+        .expect("weighted search reply never arrived");
+    assert_eq!(hits.len(), MAX_SEARCH_HITS);
+    for pair in hits.windows(2) {
+        assert!(
+            pair[0].persistence >= pair[1].persistence,
+            "weighted reply is not descending by score"
+        );
+    }
 }

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use dv_access::{AccessibleTree, AppId, MirrorTree, NodeId, Role};
-use dv_index::{evaluate, IndexedInstance, Interval, IntervalSet, Query, TextIndex};
+use dv_index::{evaluate, parse_query, IndexedInstance, Interval, IntervalSet, Query, TextIndex};
 use dv_time::Timestamp;
 
 // ---------------------------------------------------------------------
@@ -298,5 +298,130 @@ proptest! {
             }
             prop_assert!(mirror.matches(app, &tree), "mirror drift after {:?}", op);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query-parser error paths.
+// ---------------------------------------------------------------------
+
+/// Strings the parser must reject, one strategy arm per `ParseError`
+/// construction site in `dv_index::parse_query`.
+fn arb_malformed_query() -> impl Strategy<Value = String> {
+    const WORDS: &[&str] = &["alpha", "beta", "gamma", "query", "x7"];
+    const BAD_KEYS: &[&str] = &["zzz", "tag", "color", "shape"];
+    const MOD_KEYS: &[&str] = &["app", "window", "focused", "from", "to"];
+    const BAD_TIMES: &[&str] = &["abc", "-1", "-0.5", "inf", "nan", "1e999", "12x", ""];
+    const PUNCT: &[&str] = &["...", "!!!", "?;", ",."];
+    prop_oneof![
+        // Whitespace-only input: no group survives -> "empty query".
+        (0..3usize).prop_map(|n| " ".repeat(n)),
+        // Unknown modifier key.
+        (0..BAD_KEYS.len(), 0..WORDS.len())
+            .prop_map(|(k, v)| format!("{}:{}", BAD_KEYS[k], WORDS[v])),
+        // Negating a modifier is meaningless.
+        (0..MOD_KEYS.len(), 0..WORDS.len())
+            .prop_map(|(k, v)| format!("-{}:{}", MOD_KEYS[k], WORDS[v])),
+        // Malformed, negative, or non-finite time values.
+        (0..2usize, 0..BAD_TIMES.len()).prop_map(|(k, v)| format!(
+            "alpha {}:{}",
+            ["from", "to"][k],
+            BAD_TIMES[v]
+        )),
+        // Unterminated quote.
+        (0..WORDS.len()).prop_map(|w| format!("\"{}", WORDS[w])),
+        // Phrases that tokenize to nothing (stopwords / punctuation).
+        Just("\"the of a\"".to_string()),
+        Just("\"...\"".to_string()),
+        // Terms that normalize to nothing.
+        (0..PUNCT.len()).prop_map(|p| PUNCT[p].to_string()),
+    ]
+}
+
+proptest! {
+    /// Every malformed shape is rejected with an error, never a panic
+    /// and never a silently-empty accepted query.
+    #[test]
+    fn malformed_queries_are_rejected(q in arb_malformed_query()) {
+        prop_assert!(
+            parse_query(&q).is_err(),
+            "parser accepted malformed query {:?}",
+            q
+        );
+    }
+
+    /// The parser is total: arbitrary input parses or errors, never
+    /// panics (the shim runner converts panics into failures).
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..60)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_query(&input);
+    }
+}
+
+// ---------------------------------------------------------------------
+// IntervalSet merge properties.
+// ---------------------------------------------------------------------
+
+fn arb_interval_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((0..HORIZON_MS, 1..50u64), 0..8).prop_map(|pairs| {
+        IntervalSet::from_intervals(pairs.into_iter().map(|(start, len)| {
+            Interval::new(
+                Timestamp::from_millis(start),
+                Timestamp::from_millis(start + len),
+            )
+        }))
+    })
+}
+
+/// A normalized set's intervals are non-empty, sorted, and separated by
+/// real gaps (adjacent intervals must have been coalesced).
+fn check_normalized(set: &IntervalSet) -> Result<(), String> {
+    for iv in set.intervals() {
+        if iv.start >= iv.end {
+            return Err(format!("empty interval {iv:?} in output"));
+        }
+    }
+    for pair in set.intervals().windows(2) {
+        if pair[0].end >= pair[1].start {
+            return Err(format!(
+                "overlapping or adjacent intervals {pair:?} in output"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Union is associative and commutative — the order a sharded query
+    /// merges per-shard leaf results in cannot change the answer.
+    #[test]
+    fn interval_union_is_associative(
+        a in arb_interval_set(),
+        b in arb_interval_set(),
+        c in arb_interval_set(),
+    ) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    /// Every algebra operation yields a normalized set: no empty, no
+    /// overlapping, no merely-adjacent intervals.
+    #[test]
+    fn interval_operations_normalize_their_output(
+        a in arb_interval_set(),
+        b in arb_interval_set(),
+    ) {
+        check_normalized(&a)?;
+        check_normalized(&a.union(&b))?;
+        check_normalized(&a.intersect(&b))?;
+        check_normalized(&a.complement(
+            Timestamp::ZERO,
+            Timestamp::from_millis(HORIZON_MS + 100),
+        ))?;
+        check_normalized(&a.clip(
+            Timestamp::from_millis(10),
+            Timestamp::from_millis(HORIZON_MS / 2),
+        ))?;
     }
 }
