@@ -1,11 +1,16 @@
 //! The bridge from the capture daemon to the text index.
 //!
-//! Includes FOCAL-style capture-time filtering: consecutive text
-//! states with identical content fingerprints are skipped before they
-//! ever reach the index, so a workload that re-renders the same screen
-//! costs no index growth (the lineage is FOCAL's redundant-state
-//! suppression; see PAPERS.md).
+//! Includes FOCAL-style capture-time filtering: a text state whose
+//! content fingerprint is already visible on screen is skipped before
+//! it ever reaches the index, so a workload that re-renders the same
+//! screen costs no index growth (the lineage is FOCAL's
+//! redundant-state suppression; see PAPERS.md). Suppressed captures
+//! coalesce into the one indexed representative of their fingerprint,
+//! which stays open until the *last* capture showing that content
+//! hides — so visible content is always searchable even when several
+//! nodes showed the same text.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -49,11 +54,26 @@ fn fingerprint(instance: &TextInstance) -> u64 {
     eat(h, instance.text.as_bytes())
 }
 
+/// The live captures sharing one content fingerprint: the indexed
+/// representative and how many shown-but-not-yet-hidden captures
+/// (including the representative) it stands in for.
+struct FpGroup {
+    rep: u64,
+    members: usize,
+}
+
 /// A [`TextSink`] writing into a shared [`TextIndex`].
 pub struct IndexSink {
     index: Arc<Mutex<TextIndex>>,
     filter_redundant: bool,
-    last_fp: Option<u64>,
+    /// Fingerprint → its live group. An incoming state matching a live
+    /// fingerprint is redundant: that content is already on screen and
+    /// indexed.
+    live: HashMap<u64, FpGroup>,
+    /// Capture id → the fingerprint group it belongs to (suppressed
+    /// ids included, so their hide events keep the group's count
+    /// honest).
+    by_id: HashMap<u64, u64>,
     obs: Obs,
 }
 
@@ -64,7 +84,8 @@ impl IndexSink {
         IndexSink {
             index,
             filter_redundant: false,
-            last_fp: None,
+            live: HashMap::new(),
+            by_id: HashMap::new(),
             obs: Obs::disabled(),
         }
     }
@@ -87,11 +108,23 @@ impl TextSink for IndexSink {
         // Annotations are deliberate user actions, never redundant.
         if self.filter_redundant && !instance.annotation {
             let fp = fingerprint(&instance);
-            if self.last_fp == Some(fp) {
+            if let Some(group) = self.live.get_mut(&fp) {
+                // Identical content is already visible — a re-capture
+                // of the same node, or a second node showing the same
+                // text. The representative keeps covering it.
+                group.members += 1;
+                self.by_id.insert(instance.id, fp);
                 self.obs.incr(names::TIDX_FILTERED);
                 return;
             }
-            self.last_fp = Some(fp);
+            self.live.insert(
+                fp,
+                FpGroup {
+                    rep: instance.id,
+                    members: 1,
+                },
+            );
+            self.by_id.insert(instance.id, fp);
         }
         self.obs.incr(names::TIDX_INGESTED);
         self.index.lock().add_instance(IndexedInstance {
@@ -108,14 +141,25 @@ impl TextSink for IndexSink {
     }
 
     fn text_hidden(&mut self, id: u64, time: Timestamp) {
-        // The display state changed: whatever shows next is new
-        // information even if its content fingerprint repeats.
-        self.last_fp = None;
+        if let Some(fp) = self.by_id.remove(&id) {
+            if let Some(group) = self.live.get_mut(&fp) {
+                group.members -= 1;
+                if group.members > 0 {
+                    // The same content is still on screen via another
+                    // live capture; the representative stays open so
+                    // visible content remains searchable.
+                    return;
+                }
+                let rep = group.rep;
+                self.live.remove(&fp);
+                self.index.lock().close_instance(rep, time);
+                return;
+            }
+        }
         self.index.lock().close_instance(id, time);
     }
 
     fn focus_changed(&mut self, app: AppId, time: Timestamp) {
-        self.last_fp = None;
         self.index.lock().focus_change(app.0, time);
     }
 }
@@ -177,14 +221,60 @@ mod tests {
         assert_eq!(index.lock().stats().instances, 2);
         assert_eq!(obs.counter(names::TIDX_FILTERED), 2);
         assert_eq!(obs.counter(names::TIDX_INGESTED), 2);
-        // A hide event resets the filter: the re-shown state is a new
-        // visibility interval, not a redundant capture.
+        // Hiding the last copy retires its fingerprint: the re-shown
+        // state is a new visibility interval, not a redundant capture.
         sink.text_hidden(4, Timestamp::from_secs(5));
         sink.text_shown(shown(5, 6, "new content"));
         assert_eq!(index.lock().stats().instances, 3);
         // Closing a filtered instance id is harmless (the daemon may
         // hide an instance the filter never indexed).
         sink.text_hidden(2, Timestamp::from_secs(7));
+        assert_eq!(obs.counter(names::TIDX_FILTERED), 2);
+    }
+
+    /// Two distinct nodes showing identical content coalesce into one
+    /// indexed instance that stays open until the *last* copy hides —
+    /// visible content must never become unsearchable because an
+    /// identical sibling was filtered.
+    #[test]
+    fn duplicate_content_stays_visible_until_the_last_copy_hides() {
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let mut sink = IndexSink::new(index.clone()).with_filter(true);
+        sink.text_shown(shown(1, 1, "dup content"));
+        sink.text_shown(shown(2, 1, "dup content"));
+        // The first node hides; the duplicate is still on screen.
+        sink.text_hidden(1, Timestamp::from_secs(5));
+        {
+            let idx = index.lock();
+            let hits = idx.term_instances("dup");
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].hidden, None, "content is still on screen");
+        }
+        // The last copy hiding closes the coalesced instance there.
+        sink.text_hidden(2, Timestamp::from_secs(9));
+        let idx = index.lock();
+        assert_eq!(
+            idx.term_instances("dup")[0].hidden,
+            Some(Timestamp::from_secs(9))
+        );
+    }
+
+    /// The filter keys per fingerprint, not on the single most recent
+    /// capture, so a multi-node screen re-captured wholesale still
+    /// dedups every node.
+    #[test]
+    fn interleaved_nodes_filter_independently() {
+        let index = Arc::new(Mutex::new(TextIndex::new()));
+        let obs = Obs::wall(dv_time::SimClock::new().shared());
+        let mut sink = IndexSink::new(index.clone()).with_filter(true);
+        sink.set_obs(obs.clone());
+        sink.text_shown(shown(1, 1, "pane left"));
+        sink.text_shown(shown(2, 1, "pane right"));
+        // A re-capture of the whole screen: both states are redundant
+        // even though neither was the most recent capture.
+        sink.text_shown(shown(3, 2, "pane left"));
+        sink.text_shown(shown(4, 2, "pane right"));
+        assert_eq!(index.lock().stats().instances, 2);
         assert_eq!(obs.counter(names::TIDX_FILTERED), 2);
     }
 

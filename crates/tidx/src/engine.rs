@@ -34,11 +34,29 @@ use crate::segment::{
 
 /// A sharded-index operation failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct TidxError(pub String);
+pub enum TidxError {
+    /// The requested checkpoint predates the retention floor: GC has
+    /// reclaimed its manifest and segments, so the layout at that
+    /// checkpoint can no longer be revived. Not a corruption.
+    OutOfRetention {
+        /// The checkpoint counter that was asked for.
+        requested: u64,
+        /// The oldest counter that can still be revived.
+        oldest: u64,
+    },
+    /// An I/O, fault-injection, or blob-decoding failure.
+    Failed(String),
+}
 
 impl std::fmt::Display for TidxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tidx error: {}", self.0)
+        match self {
+            TidxError::OutOfRetention { requested, oldest } => write!(
+                f,
+                "tidx error: checkpoint {requested} is out of retention (oldest revivable: {oldest})"
+            ),
+            TidxError::Failed(msg) => write!(f, "tidx error: {msg}"),
+        }
     }
 }
 
@@ -96,6 +114,9 @@ struct ShardState {
     open_start: Timestamp,
     /// Counter of the newest durable manifest.
     last_sealed_ckpt: u64,
+    /// The retention floor: checkpoints below this counter reference
+    /// segments GC has reclaimed and can no longer be revived.
+    oldest_revivable: u64,
     /// At most one compaction runs at a time.
     compacting: bool,
     /// Decoded-segment cache, FIFO-evicted.
@@ -135,6 +156,7 @@ impl TidxEngine {
                 next_segment: 0,
                 open_start: Timestamp::ZERO,
                 last_sealed_ckpt: 0,
+                oldest_revivable: 0,
                 compacting: false,
                 cache: HashMap::new(),
                 cache_order: VecDeque::new(),
@@ -205,13 +227,13 @@ impl TidxEngine {
         let stats = idx.stats();
         // Reuse the index flush path — and its `index.segment.flush`
         // fault site — for the payload encoding.
-        let payload = flush_segment(&idx, &self.plane).map_err(|e| TidxError(e.to_string()))?;
+        let payload = flush_segment(&idx, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
         let mut framed = frame_segment(&payload);
         match self.plane.check(sites::TIDX_SEAL) {
             None | Some(IoFault::LatencySpike) => {}
             // A mangled seal is caught by the CRC on first probe.
             Some(IoFault::Corrupt) => self.plane.mangle(&mut framed),
-            Some(_) => return Err(TidxError("seal write faulted".into())),
+            Some(_) => return Err(TidxError::Failed("seal write faulted".into())),
         }
         let mut st = self.state.lock();
         let id = st.next_segment;
@@ -232,23 +254,33 @@ impl TidxEngine {
         let mut live = st.live.clone();
         live.push(meta.clone());
         live.sort_by_key(|m| (m.start, m.id));
+        // The GC below will reclaim every retired segment whose window
+        // has passed; bake the resulting retention floor into this
+        // manifest so a recovered engine knows it too.
+        let oldest_revivable = st
+            .retired
+            .iter()
+            .filter(|(_, reclaim_after)| *reclaim_after <= counter)
+            .map(|(_, reclaim_after)| *reclaim_after)
+            .fold(st.oldest_revivable, u64::max);
         let manifest = Manifest {
             counter,
             next_segment: id + 1,
             open_start: horizon,
+            oldest_revivable,
             live: live.clone(),
             retired: st.retired.clone(),
         };
         self.store
             .put_deduped(&self.seg_blob(id), framed)
-            .map_err(|e| TidxError(format!("segment write failed: {e:?}")))?;
+            .map_err(|e| TidxError::Failed(format!("segment write failed: {e:?}")))?;
         if let Err(e) = self
             .store
             .put_deduped(&self.man_blob(counter), encode_manifest(&manifest))
         {
             // The layout never became durable; drop the orphan segment.
             self.store.lock().delete(&self.seg_blob(id));
-            return Err(TidxError(format!("manifest write failed: {e:?}")));
+            return Err(TidxError::Failed(format!("manifest write failed: {e:?}")));
         }
         st.live = live;
         st.next_segment = id + 1;
@@ -312,6 +344,9 @@ impl TidxEngine {
                 self.store.lock().delete(&self.seg_blob(meta.id));
                 st.cache.remove(&meta.id);
                 st.cache_order.retain(|id| *id != meta.id);
+                // Manifests below `reclaim_after` list this segment as
+                // live; once it is gone they can never be revived.
+                st.oldest_revivable = st.oldest_revivable.max(reclaim_after);
                 self.obs.incr(names::TIDX_GC_RECLAIMED);
                 reclaimed += 1;
             } else {
@@ -319,6 +354,23 @@ impl TidxEngine {
             }
         }
         st.retired = keep;
+        if reclaimed > 0 {
+            // Reclaim the manifests that fell below the retention
+            // floor, so manifest storage stays bounded and a query
+            // there reports out-of-retention instead of missing blobs.
+            let prefix = format!("{}tidxman-", self.config.blob_prefix);
+            let stale: Vec<u64> = self
+                .store
+                .lock()
+                .names()
+                .into_iter()
+                .filter_map(|n| n.strip_prefix(&prefix).and_then(|s| s.parse::<u64>().ok()))
+                .filter(|c| *c < st.oldest_revivable)
+                .collect();
+            for counter in stale {
+                self.store.lock().delete(&self.man_blob(counter));
+            }
+        }
         reclaimed
     }
 
@@ -358,30 +410,26 @@ impl TidxEngine {
 
     fn compact(&self, inputs: &[SegmentMeta]) -> Result<SegmentMeta, TidxError> {
         let _span = self.obs.span("tidx", names::TIDX_COMPACT);
-        let mut indexes = Vec::with_capacity(inputs.len());
-        for meta in inputs {
+        // Merge in seal order: a carried instance appears in several
+        // inputs with the same id, and only the newest copy knows
+        // whether (and when) it was eventually hidden — a segment
+        // sealed while it was still open says `hidden: None` forever.
+        // The newest copy therefore overwrites older ones
+        // unconditionally (never by "latest end", which would let a
+        // stale open copy outrank the real close time).
+        let mut ordered: Vec<&SegmentMeta> = inputs.iter().collect();
+        ordered.sort_by_key(|m| (m.sealed_at, m.id));
+        let mut indexes = Vec::with_capacity(ordered.len());
+        for meta in &ordered {
             indexes.push(self.segment_index(meta.id)?);
         }
-        // Merge: a carried instance appears in consecutive inputs with
-        // the same id; the copy with the latest (or still-open) end
-        // covers the union of its per-segment visibility.
         let mut merged: BTreeMap<u64, IndexedInstance> = BTreeMap::new();
         let mut focus: Vec<(u32, Timestamp)> = Vec::new();
         let mut horizon = Timestamp::ZERO;
         for index in &indexes {
             horizon = horizon.max(index.horizon());
             for instance in index.all_instances() {
-                let end = |i: &IndexedInstance| i.hidden.map_or(u64::MAX, |t| t.as_nanos());
-                match merged.entry(instance.id) {
-                    std::collections::btree_map::Entry::Vacant(v) => {
-                        v.insert(instance.clone());
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut o) => {
-                        if end(instance) > end(o.get()) {
-                            o.insert(instance.clone());
-                        }
-                    }
-                }
+                merged.insert(instance.id, instance.clone());
             }
             focus.extend_from_slice(index.focus_history());
         }
@@ -395,14 +443,14 @@ impl TidxEngine {
             out.focus_change(app, t);
         }
         out.advance_horizon(horizon);
-        let payload = flush_segment(&out, &self.plane).map_err(|e| TidxError(e.to_string()))?;
+        let payload = flush_segment(&out, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
         let mut framed = frame_segment(&payload);
         match self.plane.check(sites::TIDX_COMPACT) {
             None | Some(IoFault::LatencySpike) => {}
             Some(IoFault::Corrupt) => self.plane.mangle(&mut framed),
-            Some(_) => return Err(TidxError("compaction write faulted".into())),
+            Some(_) => return Err(TidxError::Failed("compaction write faulted".into())),
         }
-        let (id, meta, reclaim_after) = {
+        let (id, meta) = {
             let mut st = self.state.lock();
             let id = st.next_segment;
             st.next_segment = id + 1;
@@ -415,12 +463,19 @@ impl TidxEngine {
                 bytes: framed.len() as u64,
                 instances: out.stats().instances,
             };
-            (id, meta, st.last_sealed_ckpt + 1)
+            (id, meta)
         };
         self.store
             .put_deduped(&self.seg_blob(id), framed)
-            .map_err(|e| TidxError(format!("compacted segment write failed: {e:?}")))?;
+            .map_err(|e| TidxError::Failed(format!("compacted segment write failed: {e:?}")))?;
         let mut st = self.state.lock();
+        // Read the recycle window only now, under the same lock that
+        // publishes the merged output: a seal that landed while the
+        // blob was being written bumped `last_sealed_ckpt`, and its
+        // manifest lists the inputs but not the output — so the inputs
+        // must stay revivable until a manifest written *after* this
+        // point (which includes the output) is durable.
+        let reclaim_after = st.last_sealed_ckpt + 1;
         let input_ids: Vec<u64> = inputs.iter().map(|m| m.id).collect();
         st.live.retain(|m| !input_ids.contains(&m.id));
         st.live.push(meta.clone());
@@ -454,9 +509,9 @@ impl TidxEngine {
             .store
             .lock()
             .get(&self.seg_blob(id))
-            .ok_or_else(|| TidxError(format!("segment {id} missing")))?;
-        let payload = unframe_segment(&blob).map_err(|e| TidxError(e.to_string()))?;
-        let index = Arc::new(decode_index(payload).map_err(|e| TidxError(e.to_string()))?);
+            .ok_or_else(|| TidxError::Failed(format!("segment {id} missing")))?;
+        let payload = unframe_segment(&blob).map_err(|e| TidxError::Failed(e.to_string()))?;
+        let index = Arc::new(decode_index(payload).map_err(|e| TidxError::Failed(e.to_string()))?);
         let mut st = self.state.lock();
         if st.cache.len() >= self.config.segment_cache.max(1) {
             if let Some(victim) = st.cache_order.pop_front() {
@@ -562,6 +617,16 @@ impl TidxEngine {
     }
 
     fn manifest_at_or_before(&self, counter: u64) -> Result<Option<Manifest>, TidxError> {
+        let oldest = self.state.lock().oldest_revivable;
+        if counter < oldest {
+            // The manifest that would answer this was GC'd along with
+            // the segments it referenced — a clean retention miss, not
+            // a corruption.
+            return Err(TidxError::OutOfRetention {
+                requested: counter,
+                oldest,
+            });
+        }
         let prefix = format!("{}tidxman-", self.config.blob_prefix);
         let best = self
             .store
@@ -578,10 +643,10 @@ impl TidxEngine {
             .store
             .lock()
             .get(&self.man_blob(found))
-            .ok_or_else(|| TidxError(format!("manifest {found} missing")))?;
+            .ok_or_else(|| TidxError::Failed(format!("manifest {found} missing")))?;
         decode_manifest(&blob)
             .map(Some)
-            .map_err(|e| TidxError(e.to_string()))
+            .map_err(|e| TidxError::Failed(e.to_string()))
     }
 
     /// Rebuilds the shard layout from the newest durable manifest (an
@@ -596,6 +661,7 @@ impl TidxEngine {
         st.retired = manifest.retired;
         st.next_segment = manifest.next_segment;
         st.last_sealed_ckpt = manifest.counter;
+        st.oldest_revivable = manifest.oldest_revivable;
         st.open_start = manifest.open_start;
         st.cache.clear();
         st.cache_order.clear();
@@ -776,6 +842,128 @@ mod tests {
         assert_eq!(eng.stats().retired_segments, 0, "GC ran at the next seal");
         let final_hits = eng.search(&query, RankOrder::Chronological).unwrap();
         assert_eq!(final_hits.len(), 4);
+    }
+
+    /// An instance carried open across one seal and closed before the
+    /// next must stay closed after compaction: the newest copy (the
+    /// one that saw the hide) is authoritative, even though the older
+    /// segment's still-open copy has a "later" (unbounded) end.
+    #[test]
+    fn compaction_keeps_the_closed_copy_of_a_carried_instance() {
+        let eng = engine(TidxConfig {
+            compact_fanin: 2,
+            ..TidxConfig::default()
+        });
+        let open = eng.open_index();
+        // Still open at the first seal: segment 0 records hidden=None.
+        open.lock()
+            .add_instance(inst(1, "app", "carried needle", 0, None));
+        open.lock().advance_horizon(Timestamp::from_millis(5_000));
+        eng.seal(1).unwrap();
+        // Closed before the second seal: segment 1 records hidden=6s.
+        open.lock().close_instance(1, Timestamp::from_millis(6_000));
+        open.lock()
+            .add_instance(inst(2, "app", "later needle", 8_000, Some(9_000)));
+        open.lock().advance_horizon(Timestamp::from_millis(10_000));
+        eng.seal(2).unwrap();
+        let all = parse_query("needle").unwrap();
+        let window = parse_query("from:6 to:8 carried").unwrap();
+        let before = eng.search(&all, RankOrder::Chronological).unwrap();
+        assert!(eng
+            .search(&window, RankOrder::Chronological)
+            .unwrap()
+            .is_empty());
+        assert!(eng.maybe_compact().unwrap());
+        assert_eq!(eng.stats().live_segments, 1);
+        let after = eng.search(&all, RankOrder::Chronological).unwrap();
+        assert_eq!(before, after, "compaction must not change results");
+        assert!(
+            eng.search(&window, RankOrder::Chronological)
+                .unwrap()
+                .is_empty(),
+            "the carried instance stays hidden after its close time"
+        );
+    }
+
+    /// GC reclaims manifests along with the segments they reference,
+    /// and queries below the retention floor report a clean
+    /// out-of-retention error instead of a missing-blob failure.
+    #[test]
+    fn gc_reclaims_stale_manifests_and_flags_out_of_retention() {
+        let store = SharedBlobStore::in_memory();
+        let eng = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            store.clone(),
+            FaultPlane::disabled(),
+            Obs::disabled(),
+            TidxConfig {
+                compact_fanin: 3,
+                ..TidxConfig::default()
+            },
+        );
+        let open = eng.open_index();
+        for k in 0..3u64 {
+            let base = k * 10_000;
+            open.lock().add_instance(inst(
+                k + 1,
+                "app",
+                &format!("needle batch{k}"),
+                base,
+                Some(base + 1_000),
+            ));
+            open.lock()
+                .advance_horizon(Timestamp::from_millis(base + 2_000));
+            eng.seal(k + 1).unwrap();
+        }
+        assert!(eng.maybe_compact().unwrap());
+        let query = parse_query("needle").unwrap();
+        // The inputs are still on disk, so old checkpoints revive.
+        assert_eq!(
+            eng.search_at(1, &query, RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Seal 4 makes a manifest referencing the compacted output
+        // durable; GC then reclaims the inputs and every manifest that
+        // still listed them as live.
+        open.lock()
+            .add_instance(inst(9, "app", "needle fresh", 40_000, Some(41_000)));
+        open.lock().advance_horizon(Timestamp::from_millis(42_000));
+        eng.seal(4).unwrap();
+        assert_eq!(eng.stats().retired_segments, 0, "GC ran at the seal");
+        match eng.search_at(3, &query, RankOrder::Chronological) {
+            Err(TidxError::OutOfRetention {
+                requested: 3,
+                oldest: 4,
+            }) => {}
+            other => panic!("expected out-of-retention, got {other:?}"),
+        }
+        // The floor checkpoint and the live view still serve.
+        assert_eq!(
+            eng.search_at(4, &query, RankOrder::Chronological)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            eng.search(&query, RankOrder::Chronological).unwrap().len(),
+            4
+        );
+        // A recovered engine learns the retention floor from the
+        // manifest and reports the same clean error.
+        let fresh = TidxEngine::new(
+            Arc::new(Mutex::new(TextIndex::new())),
+            store,
+            FaultPlane::disabled(),
+            Obs::disabled(),
+            TidxConfig::default(),
+        );
+        assert_eq!(fresh.recover_latest().unwrap(), Some(4));
+        assert!(matches!(
+            fresh.search_at(2, &query, RankOrder::Chronological),
+            Err(TidxError::OutOfRetention { .. })
+        ));
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! ```
 //!
 //! A manifest records the shard layout as of one checkpoint counter —
-//! the live segments, the retired segments awaiting GC, and the
-//! allocator state — under the same framing with magic `DVTMAN01`.
-//! Manifests are written at seal time, named by checkpoint counter, so
-//! a revive at checkpoint N reads the newest manifest at or before N
-//! and sees exactly the segments sealed by then.
+//! the live segments, the retired segments awaiting GC, the retention
+//! floor, and the allocator state — under the same framing with magic
+//! `DVTMAN02`. Manifests are written at seal time, named by checkpoint
+//! counter, so a revive at checkpoint N reads the newest manifest at
+//! or before N and sees exactly the segments sealed by then. Manifests
+//! below the retention floor reference segments GC has physically
+//! reclaimed, so GC deletes them too; a query there reports a clean
+//! out-of-retention error rather than a missing-blob failure.
 
 use bytes::{Buf, BufMut};
 
@@ -22,7 +25,7 @@ use dv_fault::checksum::crc32;
 use dv_time::Timestamp;
 
 const SEG_MAGIC: &[u8; 8] = b"DVTSEG01";
-const MAN_MAGIC: &[u8; 8] = b"DVTMAN01";
+const MAN_MAGIC: &[u8; 8] = b"DVTMAN02";
 
 /// A segment- or manifest-blob decoding error.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -70,6 +73,9 @@ pub struct Manifest {
     pub next_segment: u64,
     /// Where the open shard's window began when this was written.
     pub open_start: Timestamp,
+    /// The retention floor: checkpoints below this counter reference
+    /// segments GC has reclaimed and can no longer be revived.
+    pub oldest_revivable: u64,
     /// Segments serving queries, ordered by `start`.
     pub live: Vec<SegmentMeta>,
     /// Superseded segments and the checkpoint counter after which each
@@ -146,6 +152,7 @@ pub fn encode_manifest(man: &Manifest) -> Vec<u8> {
     payload.put_u64_le(man.counter);
     payload.put_u64_le(man.next_segment);
     payload.put_u64_le(man.open_start.as_nanos());
+    payload.put_u64_le(man.oldest_revivable);
     payload.put_u64_le(man.live.len() as u64);
     for meta in &man.live {
         put_meta(&mut payload, meta);
@@ -161,12 +168,13 @@ pub fn encode_manifest(man: &Manifest) -> Vec<u8> {
 /// Verifies and parses a manifest blob.
 pub fn decode_manifest(buf: &[u8]) -> Result<Manifest, FrameError> {
     let mut payload = unframe(MAN_MAGIC, buf)?;
-    if payload.len() < 32 {
+    if payload.len() < 40 {
         return Err(FrameError("truncated manifest header"));
     }
     let counter = payload.get_u64_le();
     let next_segment = payload.get_u64_le();
     let open_start = Timestamp::from_nanos(payload.get_u64_le());
+    let oldest_revivable = payload.get_u64_le();
     let live_count = payload.get_u64_le();
     let mut live = Vec::new();
     for _ in 0..live_count {
@@ -191,6 +199,7 @@ pub fn decode_manifest(buf: &[u8]) -> Result<Manifest, FrameError> {
         counter,
         next_segment,
         open_start,
+        oldest_revivable,
         live,
         retired,
     })
@@ -231,6 +240,7 @@ mod tests {
             counter: 42,
             next_segment: 7,
             open_start: Timestamp::from_millis(500),
+            oldest_revivable: 40,
             live: vec![meta(1), meta(4)],
             retired: vec![(meta(2), 43), (meta(3), 44)],
         };
@@ -244,6 +254,7 @@ mod tests {
             counter: 1,
             next_segment: 2,
             open_start: Timestamp::ZERO,
+            oldest_revivable: 0,
             live: vec![meta(1)],
             retired: Vec::new(),
         };
