@@ -16,8 +16,8 @@
 //! --out P:      ci/obs/net/host/dedup/index: where to write the JSON
 //!               (BENCH_ci.json / BENCH_obs.json / BENCH_net.json /
 //!               BENCH_host.json / BENCH_dedup.json / BENCH_index.json)
-//! --baseline P: ci/index/summary: checked-in baseline to gate against
-//!               (BENCH_baseline.json)
+//! --baseline P: ci/net/index/summary: checked-in baseline to gate
+//!               against (BENCH_baseline.json)
 //! ```
 //!
 //! The `ci` experiment runs the deferred write-back comparison and the
@@ -33,10 +33,14 @@
 //! deferred-pipeline workload.
 //!
 //! The `net` experiment serves one live session to 1/4/16/64 loopback
-//! viewers, prints throughput, tail latency, and coalesce rates, writes
+//! viewers at full resolution, then runs the wide 64/256/1024-viewer
+//! sweep that stresses the readiness reactor. It prints throughput,
+//! tail latency, coalesce rates, and encodes-per-batch, writes
 //! machine-independent metrics to `--out`, and exits nonzero if any
-//! fan-out diverged or the per-client unit cost at fan-out grows more
-//! than 20% over the single-viewer baseline.
+//! viewer diverged, any live batch was encoded more than once (the
+//! zero-copy fan-out invariant), the per-viewer unit cost grows more
+//! than 20% over the sweep's baseline point (1 viewer classic, 64
+//! wide), or a wide per-viewer ratio regressed 20% over `--baseline`.
 //!
 //! The `host` experiment packs 1/16/128/1024 recording sessions onto
 //! one shared commit pool, prints per-checkpoint unit costs and the
@@ -71,10 +75,10 @@ use dv_bench::{
     ablation_checkpoint_optimizations, ablation_mirror_tree, crash_consistency, dedup_experiment,
     deferred_experiment, faults_experiment, fig2_overhead, fig3_checkpoint_latency, fig4_storage,
     fig5_browse_search, fig6_playback, fig7_revive, host_experiment, index_experiment,
-    net_experiment, obs_experiment, policy_effectiveness, print_ablation, print_crash, print_dedup,
-    print_deferred, print_faults, print_fig2, print_fig3, print_fig4, print_fig5, print_fig6,
-    print_fig7, print_host, print_index, print_mirror_ablation, print_net, print_obs, print_policy,
-    print_quality, print_table1, quality_tradeoff, table1,
+    net_experiment, net_wide_experiment, obs_experiment, policy_effectiveness, print_ablation,
+    print_crash, print_dedup, print_deferred, print_faults, print_fig2, print_fig3, print_fig4,
+    print_fig5, print_fig6, print_fig7, print_host, print_index, print_mirror_ablation, print_net,
+    print_obs, print_policy, print_quality, print_table1, quality_tradeoff, table1,
 };
 
 /// How much instrumented wall time may exceed uninstrumented wall time
@@ -278,15 +282,20 @@ fn run_obs(scale: f64, out: &str) {
     println!("obs gate: instrumentation overhead {ratio:.3}x within {OBS_OVERHEAD_LIMIT:.2}x");
 }
 
-/// Runs the dv-net fan-out experiment: prints the sweep, writes
-/// machine-independent metrics to `out`, and exits nonzero if any
-/// fan-out diverged or per-client overhead at fan-out exceeds the
-/// single-viewer baseline by more than 20%.
-fn run_net(scale: f64, out: &str) {
+/// Runs both dv-net fan-out sweeps — the classic 1/4/16/64 sweep at
+/// full resolution and the wide 64/256/1024 sweep that stresses the
+/// readiness reactor — prints them, writes machine-independent metrics
+/// to `out`, and exits nonzero if any viewer diverged, any live batch
+/// was encoded more than once, or per-viewer overhead grows beyond
+/// 20% of the sweep's baseline point (1 viewer classic, 64 wide).
+fn run_net(scale: f64, out: &str, baseline_path: &str) {
     let rows = net_experiment(scale);
     print_net(&rows);
+    let wide = net_wide_experiment(scale);
+    print_net(&wide);
 
     let mut metrics = Vec::new();
+    let mut failures = Vec::new();
     for row in &rows {
         metrics.push((
             format!("net_converged_f{}", row.fanout),
@@ -309,7 +318,6 @@ fn run_net(scale: f64, out: &str) {
         .iter()
         .find(|r| r.fanout == 1)
         .expect("single-viewer baseline row");
-    let mut failures = Vec::new();
     for row in rows.iter().filter(|r| r.fanout > 1) {
         // Per-client unit cost relative to one viewer: a ratio, so one
         // machine's run gates another machine's baseline.
@@ -325,11 +333,55 @@ fn run_net(scale: f64, out: &str) {
             ));
         }
     }
-    for row in rows.iter().filter(|r| !r.all_converged) {
-        failures.push(format!(
-            "fanout {}: a viewer diverged from the session",
-            row.fanout
+
+    // Wide sweep: the 64-viewer row anchors per-viewer ratios so the
+    // 256- and 1024-viewer points gate reactor scaling, not absolute
+    // machine speed.
+    let anchor = wide
+        .iter()
+        .min_by_key(|r| r.fanout)
+        .expect("wide sweep anchor row");
+    for row in wide.iter().filter(|r| r.fanout > anchor.fanout) {
+        metrics.push((
+            format!("net_wide_converged_f{}", row.fanout),
+            if row.all_converged { 1.0 } else { 0.0 },
         ));
+        metrics.push((
+            format!("net_encodes_per_batch_f{}", row.fanout),
+            row.encode_ratio(),
+        ));
+        let cpu_ratio = row.per_client_command_us() / anchor.per_client_command_us().max(1e-9);
+        metrics.push((
+            format!("net_per_viewer_cpu_f{}_ratio", row.fanout),
+            cpu_ratio,
+        ));
+        if cpu_ratio > NET_OVERHEAD_LIMIT {
+            failures.push(format!(
+                "fanout {}: per-viewer CPU {cpu_ratio:.3}x exceeds {NET_OVERHEAD_LIMIT:.2}x of the {}-viewer cost",
+                row.fanout, anchor.fanout
+            ));
+        }
+        metrics.push((
+            format!("net_round_p99_per_viewer_f{}_ratio", row.fanout),
+            row.p99_per_viewer_us() / anchor.p99_per_viewer_us().max(1e-9),
+        ));
+    }
+
+    // Cross-sweep invariants: every viewer converged, and every live
+    // batch was encoded exactly once however many viewers tapped it.
+    for row in rows.iter().chain(wide.iter()) {
+        if !row.all_converged {
+            failures.push(format!(
+                "fanout {}: a viewer diverged from the session",
+                row.fanout
+            ));
+        }
+        if (row.encode_ratio() - 1.0).abs() > 1e-9 {
+            failures.push(format!(
+                "fanout {}: {} encodes for {} live batches — fan-out is re-encoding",
+                row.fanout, row.live_encodes, row.live_batches
+            ));
+        }
     }
 
     let json = to_flat_json(&metrics);
@@ -338,9 +390,19 @@ fn run_net(scale: f64, out: &str) {
         std::process::exit(2);
     }
     println!("wrote {out}:\n{json}");
+    if let Ok(text) = std::fs::read_to_string(baseline_path) {
+        if let Some(baseline) = parse_flat_json(&text) {
+            failures.extend(gate(&metrics, &baseline));
+        } else {
+            eprintln!("{baseline_path} is not valid metrics JSON");
+            std::process::exit(2);
+        }
+    } else {
+        eprintln!("no baseline at {baseline_path}; skipping the baseline gate");
+    }
     if failures.is_empty() {
         println!(
-            "net gate: all fan-outs converged within {NET_OVERHEAD_LIMIT:.2}x per-client overhead"
+            "net gate: all fan-outs converged, one encode per live batch, within {NET_OVERHEAD_LIMIT:.2}x per-viewer overhead up to 1024 viewers"
         );
     } else {
         eprintln!("net gate FAILED:");
@@ -629,7 +691,10 @@ fn threshold_for(source: &str, key: &str) -> Option<String> {
         }),
         "obs" if key == "overhead_ratio" => Some(format!("<= {OBS_OVERHEAD_LIMIT:.2}")),
         "net" if key.ends_with("_ratio") => Some(format!("<= {NET_OVERHEAD_LIMIT:.2}")),
-        "net" if key.starts_with("net_converged") => Some(">= 1".to_string()),
+        "net" if key.starts_with("net_encodes_per_batch") => Some("= 1.00".to_string()),
+        "net" if key.starts_with("net_converged") || key.starts_with("net_wide_converged") => {
+            Some(">= 1".to_string())
+        }
         "host" if key == "host_interference_ratio" => {
             Some(format!("<= {HOST_INTERFERENCE_LIMIT:.2}"))
         }
@@ -788,7 +853,7 @@ fn main() {
     }
     if experiment == "net" {
         let out = out.unwrap_or_else(|| "BENCH_net.json".to_string());
-        run_net(scale, &out);
+        run_net(scale, &out, &baseline);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

@@ -1317,10 +1317,21 @@ pub struct NetRow {
     pub bytes_sent: u64,
     /// Times a slow client's backlog collapsed into a keyframe.
     pub coalesce_events: u64,
-    /// Wall time of the serving loop.
+    /// Tapped command batches that reached at least one live viewer.
+    pub live_batches: u64,
+    /// Wire encodes performed for those batches. With identity-scale
+    /// viewers this must equal `live_batches` whatever the fan-out:
+    /// the zero-copy invariant.
+    pub live_encodes: u64,
+    /// Wall time of the whole serving loop, including the simulated
+    /// viewers applying their frames.
     pub wall: std::time::Duration,
-    /// Median per-round delivery latency (draw burst → every client
-    /// caught up).
+    /// Wall time spent inside the server's `poll` — the server-side
+    /// cost of fanning the session out, excluding work that in a real
+    /// deployment runs on the viewers' own machines.
+    pub server_wall: std::time::Duration,
+    /// Median per-round delivery latency: one server poll from draw
+    /// burst to every frame handed to its client transport.
     pub round_p50: std::time::Duration,
     /// 99th-percentile per-round delivery latency.
     pub round_p99: std::time::Duration,
@@ -1340,34 +1351,49 @@ impl NetRow {
         self.coalesce_events as f64 / (self.commands as f64 * self.fanout as f64).max(1.0)
     }
 
-    /// Wall microseconds per client per command — the unit cost whose
-    /// growth with fan-out the CI gate bounds.
+    /// Server-side microseconds per client per command — the unit cost
+    /// whose growth with fan-out the CI gate bounds. Server time only:
+    /// the harness simulates every viewer in-process, and a viewer's
+    /// own framebuffer application is not the server's scaling story.
     pub fn per_client_command_us(&self) -> f64 {
-        self.wall.as_secs_f64() * 1e6 / (self.commands as f64 * self.fanout as f64).max(1.0)
+        self.server_wall.as_secs_f64() * 1e6 / (self.commands as f64 * self.fanout as f64).max(1.0)
+    }
+
+    /// Wire encodes per live batch. Exactly 1.0 when every viewer
+    /// shares the session scale — the proof that fan-out is refcount
+    /// bumps, not per-viewer encodes.
+    pub fn encode_ratio(&self) -> f64 {
+        self.live_encodes as f64 / self.live_batches.max(1) as f64
+    }
+
+    /// p99 round latency divided by fan-out — the per-viewer share of
+    /// a delivery round, comparable across sweep points.
+    pub fn p99_per_viewer_us(&self) -> f64 {
+        self.round_p99.as_secs_f64() * 1e6 / self.fanout.max(1) as f64
     }
 }
 
-/// Serves one live session to `fanout` loopback clients and measures
-/// delivery. Bursty drawing (periodic bursts larger than the send
-/// queue) forces the slow-client coalescing path to run.
-fn net_run(fanout: usize, scale: f64) -> NetRow {
+/// Serves one live session at `w` x `h` to `fanout` loopback clients
+/// for `rounds` draw rounds and measures delivery. With `bursty`,
+/// periodic bursts larger than the send queue force the slow-client
+/// coalescing path to run; without it, drawing trickles inside the
+/// queue bound so the measurement isolates fan-out delivery cost from
+/// keyframe bandwidth.
+fn net_run_at(fanout: usize, rounds: usize, w: u32, h: u32, bursty: bool) -> NetRow {
     use dv_net::{LoopbackTransport, NetClient, NetConfig, NetService};
-
-    const W: u32 = 320;
-    const H: u32 = 240;
-    let rounds = ((240.0 * scale) as usize).max(40);
 
     let clock = SimClock::new();
     let mut svc = NetService::new(
         DejaView::with_clock(
             Config {
-                width: W,
-                height: H,
+                width: w,
+                height: h,
                 ..Config::default()
             },
             clock.clone(),
         ),
         NetConfig {
+            max_clients: fanout,
             send_queue_frames: 8,
             ..NetConfig::default()
         },
@@ -1390,18 +1416,18 @@ fn net_run(fanout: usize, scale: f64) -> NetRow {
 
     let mut commands = 0u64;
     let mut latencies = Vec::with_capacity(rounds);
+    let mut server_wall = std::time::Duration::ZERO;
     let started = Instant::now();
     for round in 0..rounds {
-        let t0 = Instant::now();
         // Every 8th round bursts past the 8-frame queue bound, so slow
         // clients exercise the coalescing path; other rounds trickle.
-        let burst = if round % 8 == 0 { 12 } else { 2 };
+        let burst = if bursty && round % 8 == 0 { 12 } else { 2 };
         for b in 0..burst {
             let salt = (round * 16 + b) as u32;
             svc.dv_mut().driver_mut().fill_rect(
                 dv_display::Rect::new(
-                    salt * 13 % (W - 40),
-                    salt * 7 % (H - 24),
+                    salt * 13 % (w - 40),
+                    salt * 7 % (h - 24),
                     24 + salt % 17,
                     16 + salt % 9,
                 ),
@@ -1410,15 +1436,23 @@ fn net_run(fanout: usize, scale: f64) -> NetRow {
             commands += 1;
         }
         clock.advance(Duration::from_millis(10));
+        // One server poll hands the whole round to every transport
+        // (loopback accepts everything); its duration is the round's
+        // server-side delivery latency.
+        let t0 = Instant::now();
         svc.poll();
+        let served = t0.elapsed();
+        server_wall += served;
+        latencies.push(served);
         for c in clients.iter_mut() {
             c.poll().expect("loopback client");
         }
-        latencies.push(t0.elapsed());
     }
     // Drain the tail until every viewer has caught up.
     for _ in 0..200 {
+        let t0 = Instant::now();
         let report = svc.poll();
+        server_wall += t0.elapsed();
         let mut applied = 0;
         for c in clients.iter_mut() {
             applied += c.poll().expect("loopback client");
@@ -1440,7 +1474,10 @@ fn net_run(fanout: usize, scale: f64) -> NetRow {
         frames_delivered: obs.counter(dv_obs::names::NET_FRAMES_SENT),
         bytes_sent: obs.counter(dv_obs::names::NET_BYTES_SENT),
         coalesce_events: obs.counter(dv_obs::names::NET_COALESCE_EVENTS),
+        live_batches: obs.counter(dv_obs::names::NET_LIVE_BATCHES),
+        live_encodes: obs.counter(dv_obs::names::NET_ENCODES_PER_BATCH),
         wall,
+        server_wall,
         round_p50: pct(0.50),
         round_p99: pct(0.99),
         all_converged,
@@ -1450,9 +1487,33 @@ fn net_run(fanout: usize, scale: f64) -> NetRow {
 /// The dv-net fan-out experiment: 1, 4, 16, and 64 concurrent viewers
 /// of one live session.
 pub fn net_experiment(scale: f64) -> Vec<NetRow> {
+    let rounds = ((240.0 * scale) as usize).max(40);
     [1usize, 4, 16, 64]
         .iter()
-        .map(|&fanout| net_run(fanout, scale))
+        .map(|&fanout| net_run_at(fanout, rounds, 320, 240, true))
+        .collect()
+}
+
+/// The wide dv-net sweep: 64, 256, and 1024 live viewers of one
+/// smaller session. The 64-viewer point anchors the per-viewer
+/// unit-cost and per-viewer p99 ratios the CI gate bounds. The screen
+/// is smaller, the rounds fewer, and the drawing trickles inside the
+/// queue bound (no coalescing keyframes) because the cost under test
+/// is reactor and fan-out bookkeeping per connection, not pixel
+/// bandwidth — the classic sweep already gates the coalescing path.
+pub fn net_wide_experiment(scale: f64) -> Vec<NetRow> {
+    let rounds = ((80.0 * scale) as usize).max(24);
+    [64usize, 256, 1024]
+        .iter()
+        .map(|&fanout| {
+            // Min of 3 (the obs experiment's de-noising): a p99 over
+            // ~80 rounds of tens-of-microsecond polls is hostage to
+            // one scheduler preemption, and noise only ever inflates.
+            (0..3)
+                .map(|_| net_run_at(fanout, rounds, 160, 120, false))
+                .min_by(|a, b| (a.round_p99, a.server_wall).cmp(&(b.round_p99, b.server_wall)))
+                .expect("three wide runs")
+        })
         .collect()
 }
 
@@ -2529,6 +2590,33 @@ mod tests {
         // Bursts past the queue bound must exercise coalescing at the
         // wider fan-outs.
         assert!(rows.iter().any(|r| r.coalesce_events > 0));
+        // Identity-scale viewers: one encode per live batch, whatever
+        // the fan-out.
+        for row in &rows {
+            assert!(
+                (row.encode_ratio() - 1.0).abs() < 1e-9,
+                "fanout {}: {} encodes for {} batches",
+                row.fanout,
+                row.live_encodes,
+                row.live_batches
+            );
+        }
+    }
+
+    #[test]
+    fn net_wide_smoke() {
+        let rows = net_wide_experiment(0.02);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.all_converged, "fanout {} diverged", row.fanout);
+            assert!(
+                (row.encode_ratio() - 1.0).abs() < 1e-9,
+                "fanout {}: {} encodes for {} batches",
+                row.fanout,
+                row.live_encodes,
+                row.live_batches
+            );
+        }
     }
 
     #[test]

@@ -405,11 +405,11 @@ pub fn print_obs(report: &ObsReport) {
     );
 }
 
-/// Prints the dv-net client fan-out sweep.
+/// Prints a dv-net fan-out sweep (classic or wide).
 pub fn print_net(rows: &[NetRow]) {
     out!("Remote access: dv-net loopback fan-out (one live session, N viewers)");
     out!(
-        "{:<7} {:>9} {:>11} {:>11} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "{:<7} {:>9} {:>11} {:>11} {:>9} {:>9} {:>11} {:>11} {:>10} {:>10}",
         "clients",
         "commands",
         "frames",
@@ -418,12 +418,13 @@ pub fn print_net(rows: &[NetRow]) {
         "p99(ms)",
         "thru(f/s)",
         "coalesce%",
+        "enc/batch",
         "converged"
     );
-    out!("{:-<96}", "");
+    out!("{:-<107}", "");
     for row in rows {
         out!(
-            "{:<7} {:>9} {:>11} {:>11.1} {:>9.3} {:>9.3} {:>11.0} {:>10.2}% {:>10}",
+            "{:<7} {:>9} {:>11} {:>11.1} {:>9.3} {:>9.3} {:>11.0} {:>10.2}% {:>10.3} {:>10}",
             row.fanout,
             row.commands,
             row.frames_delivered,
@@ -432,15 +433,19 @@ pub fn print_net(rows: &[NetRow]) {
             ms(row.round_p99),
             row.throughput_fps(),
             100.0 * row.coalesce_rate(),
+            row.encode_ratio(),
             if row.all_converged { "ok" } else { "DIVERGED" },
         );
     }
-    if let Some(single) = rows.iter().find(|r| r.fanout == 1) {
-        for row in rows.iter().filter(|r| r.fanout > 1) {
+    // Unit-cost growth vs the sweep's smallest point (1 viewer in the
+    // classic sweep, 64 in the wide one).
+    if let Some(base) = rows.iter().min_by_key(|r| r.fanout) {
+        for row in rows.iter().filter(|r| r.fanout > base.fanout) {
             out!(
-                "  {} clients: {:.3}x per-client unit cost vs single viewer",
+                "  {} clients: {:.3}x per-client unit cost vs {}-viewer baseline",
                 row.fanout,
-                row.per_client_command_us() / single.per_client_command_us().max(1e-9),
+                row.per_client_command_us() / base.per_client_command_us().max(1e-9),
+                base.fanout,
             );
         }
     }

@@ -37,6 +37,7 @@ pub mod command;
 pub mod driver;
 pub mod font;
 pub mod framebuffer;
+pub mod output;
 pub mod queue;
 pub mod rect;
 pub mod scale;
@@ -47,6 +48,7 @@ pub use codec::{decode_command, encode_command, encode_command_vec, CodecError, 
 pub use command::{rgb, DisplayCommand, Pattern, Pixel, YuvFrame};
 pub use driver::{CommandSink, DriverStats, SharedSink, VirtualDisplayDriver};
 pub use framebuffer::{Framebuffer, Screenshot};
+pub use output::{OutputPool, VirtualOutput};
 pub use queue::{CommandQueue, QueuedCommand};
 pub use rect::{Rect, Region};
 pub use scale::{scale_command, scale_screenshot, ScaleFactor};

@@ -14,9 +14,10 @@
 //! completes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dv_display::viewer::InputEvent;
-use dv_display::{Framebuffer, Screenshot};
+use dv_display::{DisplayCommand, Framebuffer, Screenshot};
 use dv_index::RankOrder;
 use dv_time::Timestamp;
 
@@ -78,6 +79,9 @@ pub struct ClientStats {
     /// Catch-up keyframes applied (each one implies the server
     /// coalesced this client's backlog).
     pub keyframes_applied: u64,
+    /// Of those keyframes, how many arrived as damage deltas rather
+    /// than whole screens.
+    pub delta_keyframes_applied: u64,
     /// Complete frames received, of any kind.
     pub frames_received: u64,
     /// Raw bytes received off the transport.
@@ -138,6 +142,14 @@ impl<T: Transport> NetClient<T> {
     /// keyframe, then deltas).
     pub fn attach_live(&mut self) {
         self.queue(&Message::AttachLive);
+    }
+
+    /// Requests the live stream scaled by `num`/`den` — the server
+    /// sends scale-adjusted commands and keyframes sized for the
+    /// smaller (or larger) screen. The local framebuffer adopts the
+    /// scaled geometry from the first keyframe.
+    pub fn attach_scaled(&mut self, num: u32, den: u32) {
+        self.queue(&Message::AttachScaled { num, den });
     }
 
     /// Stops the live stream without dropping the connection.
@@ -292,6 +304,21 @@ impl<T: Transport> NetClient<T> {
             Message::Keyframe { shot, .. } => {
                 self.fb = Some(Framebuffer::from_screenshot(&shot));
                 self.stats.keyframes_applied += 1;
+            }
+            Message::KeyframeDelta { rects, .. } => {
+                // A delta keyframe patches only the damaged rects; the
+                // server guarantees the rest of our framebuffer already
+                // matches the screen (it saw our epoch ack).
+                if let Some(fb) = &mut self.fb {
+                    for (rect, pixels) in rects {
+                        fb.apply(&DisplayCommand::Raw {
+                            rect,
+                            pixels: Arc::new(pixels),
+                        });
+                    }
+                    self.stats.keyframes_applied += 1;
+                    self.stats.delta_keyframes_applied += 1;
+                }
             }
             Message::SeekReply { req_id, shot } => {
                 self.seek_replies.insert(req_id, shot);

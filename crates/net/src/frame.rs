@@ -74,6 +74,13 @@ pub fn encode_frame_vec(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Frames `payload` into a shared slice, the currency of zero-copy
+/// fan-out: the service encodes once and every viewer's queue holds a
+/// refcount on the same wire bytes.
+pub fn encode_frame_shared(payload: &[u8]) -> std::sync::Arc<[u8]> {
+    encode_frame_vec(payload).into()
+}
+
 /// Incremental frame reassembler: feed bytes in whatever chunks the
 /// transport produced, take complete payloads out.
 #[derive(Default)]

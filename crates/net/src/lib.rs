@@ -16,17 +16,22 @@
 //! The stack, bottom to top:
 //!
 //! ```text
-//! transport  — ordered non-blocking byte stream (Transport trait):
+//! transport  — ordered non-blocking byte stream (Transport trait)
+//!              with an edge-level Readiness facet:
 //!              LoopbackTransport (deterministic, fault-injectable),
 //!              TcpTransport (real std::net), ByteChannel (legacy)
 //! frame      — length-prefixed CRC32 framing; torn/corrupt bytes
 //!              become clean errors, never garbage messages
 //! proto      — tagged message vocabulary (handshake, live stream,
-//!              input, seek/search RPCs, liveness, goodbye)
-//! queue      — per-client bounded SendQueue with THINC-style
-//!              slow-client coalescing to a single catch-up keyframe
-//! service    — NetService: session multiplexer, RPC dispatch, idle
-//!              timeout, bounded-backoff stall recovery, dv-obs
+//!              scaled outputs, input, seek/search RPCs, liveness,
+//!              delta keyframes, goodbye)
+//! queue      — per-client bounded SendQueue of shared Arc<[u8]>
+//!              frames with THINC-style slow-client coalescing to a
+//!              single catch-up keyframe
+//! service    — NetService: readiness reactor visiting only ready
+//!              connections, zero-copy fan-out (one encode per tapped
+//!              batch), damage-delta catch-up keyframes, RPC dispatch,
+//!              idle timeout, bounded-backoff stall recovery, dv-obs
 //!              instrumentation
 //! client     — NetClient: poll-driven remote viewer + RPC client
 //! ```
@@ -48,7 +53,8 @@ pub mod transport;
 
 pub use client::{ClientError, ClientStats, NetClient};
 pub use frame::{
-    encode_frame, encode_frame_vec, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    encode_frame, encode_frame_shared, encode_frame_vec, FrameDecoder, FrameError,
+    FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 pub use proto::{
     decode_message, encode_message, encode_message_vec, Message, ProtoError, WireHit,
@@ -56,4 +62,4 @@ pub use proto::{
 };
 pub use queue::{PushOutcome, SendQueue};
 pub use service::{ClientInfo, DropReason, NetConfig, NetService, PollReport};
-pub use transport::{LoopbackTransport, TcpTransport, Transport, TransportError};
+pub use transport::{LoopbackTransport, Readiness, TcpTransport, Transport, TransportError};

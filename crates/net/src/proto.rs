@@ -7,14 +7,15 @@
 //! wire encoding — dv-net adds only the session envelope: handshake,
 //! stream subscription, RPCs, and liveness.
 //!
-//! Direction conventions: `Hello`, `AttachLive`, `Detach`, `Input`,
-//! `Seek`, `Search`, `Ping`, and `Bye` travel client → server;
-//! `Welcome`, `Reject`, `Command`, `Keyframe`, `SeekReply`,
-//! `SearchReply`, `Pong`, and `Error` travel server → client.
+//! Direction conventions: `Hello`, `AttachLive`, `AttachScaled`,
+//! `Detach`, `Input`, `Seek`, `Search`, `Ping`, and `Bye` travel
+//! client → server; `Welcome`, `Reject`, `Command`, `Keyframe`,
+//! `KeyframeDelta`, `SeekReply`, `SearchReply`, `Pong`, and `Error`
+//! travel server → client.
 
 use dv_display::{
     decode_command, decode_input, encode_command, encode_input, CodecError, DisplayCommand,
-    InputEvent, Screenshot,
+    InputEvent, Pixel, Rect, Screenshot,
 };
 use dv_index::RankOrder;
 use dv_record::{decode_screenshot, encode_screenshot};
@@ -22,7 +23,12 @@ use dv_time::{Duration, Timestamp};
 
 /// Version carried in the handshake; a server rejects clients speaking
 /// a different version.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added `KeyframeDelta` (damage-rect catch-ups) and
+/// `AttachScaled` (independently-sized virtual outputs); both change
+/// the wire vocabulary a peer must understand, so the bump is
+/// incompatible by design.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Most hits a single `SearchReply` carries. The server truncates to
 /// this bound so a broad query can never frame a payload past
@@ -48,6 +54,8 @@ const TAG_PING: u8 = 13;
 const TAG_PONG: u8 = 14;
 const TAG_BYE: u8 = 15;
 const TAG_ERROR: u8 = 16;
+const TAG_KEYFRAME_DELTA: u8 = 17;
+const TAG_ATTACH_SCALED: u8 = 18;
 
 /// Errors produced while decoding a protocol message.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -127,6 +135,17 @@ pub enum Message {
     /// Subscribe to the live display stream; the server replies with a
     /// `Keyframe` of the current screen, then `Command`s.
     AttachLive,
+    /// Subscribe to the live display stream through a virtual output
+    /// scaled by the rational factor `num/den` — a PDA attaching at
+    /// 1/2, a projector at 3/2. The server drives a headless output at
+    /// the scaled geometry and sends its keyframes and commands, so
+    /// one session feeds several independently-sized remote screens.
+    AttachScaled {
+        /// Scale numerator (nonzero).
+        num: u32,
+        /// Scale denominator (nonzero).
+        den: u32,
+    },
     /// Unsubscribe from the live display stream.
     Detach,
     /// One user input event forwarded to the server (never recorded).
@@ -178,6 +197,19 @@ pub enum Message {
         ts: Timestamp,
         /// The screen contents.
         shot: Screenshot,
+    },
+    /// A catch-up keyframe expressed as a delta against the client's
+    /// last fully-delivered keyframe epoch: only the rects damaged
+    /// since that epoch's base snapshot, carrying their *current*
+    /// pixels. The client overwrites those rects in place — everything
+    /// outside them is untouched since the base, so the result is
+    /// exactly the current screen at a cost proportional to the
+    /// damage, not the screen.
+    KeyframeDelta {
+        /// Session time of the underlying snapshot.
+        ts: Timestamp,
+        /// Damaged rects with their current contents (row-major).
+        rects: Vec<(Rect, Vec<Pixel>)>,
     },
     /// Liveness probe.
     Ping {
@@ -302,6 +334,11 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             put_str(reason, out);
         }
         Message::AttachLive => out.push(TAG_ATTACH_LIVE),
+        Message::AttachScaled { num, den } => {
+            out.push(TAG_ATTACH_SCALED);
+            out.extend_from_slice(&num.to_le_bytes());
+            out.extend_from_slice(&den.to_le_bytes());
+        }
         Message::Detach => out.push(TAG_DETACH),
         Message::Input { event } => {
             out.push(TAG_INPUT);
@@ -353,6 +390,21 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
             out.extend_from_slice(&ts.as_nanos().to_le_bytes());
             put_bytes(&encode_screenshot(shot), out);
         }
+        Message::KeyframeDelta { ts, rects } => {
+            out.push(TAG_KEYFRAME_DELTA);
+            out.extend_from_slice(&ts.as_nanos().to_le_bytes());
+            out.extend_from_slice(&(rects.len() as u32).to_le_bytes());
+            for (rect, pixels) in rects {
+                debug_assert_eq!(rect.area() as usize, pixels.len());
+                out.extend_from_slice(&rect.x.to_le_bytes());
+                out.extend_from_slice(&rect.y.to_le_bytes());
+                out.extend_from_slice(&rect.w.to_le_bytes());
+                out.extend_from_slice(&rect.h.to_le_bytes());
+                for px in pixels {
+                    out.extend_from_slice(&px.to_le_bytes());
+                }
+            }
+        }
         Message::Ping { nonce } => {
             out.push(TAG_PING);
             out.extend_from_slice(&nonce.to_le_bytes());
@@ -401,6 +453,14 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
             reason: get_str(&mut buf)?,
         },
         TAG_ATTACH_LIVE => Message::AttachLive,
+        TAG_ATTACH_SCALED => {
+            let num = get_u32(&mut buf)?;
+            let den = get_u32(&mut buf)?;
+            if num == 0 || den == 0 {
+                return Err(ProtoError::BadPayload("zero scale component"));
+            }
+            Message::AttachScaled { num, den }
+        }
         TAG_DETACH => Message::Detach,
         TAG_INPUT => {
             let event = decode_input(&mut buf)?.ok_or(ProtoError::Truncated)?;
@@ -462,6 +522,32 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
                 .ok_or(ProtoError::BadPayload("undecodable screenshot"))?;
             Message::Keyframe { ts, shot }
         }
+        TAG_KEYFRAME_DELTA => {
+            let ts = Timestamp::from_nanos(get_u64(&mut buf)?);
+            let count = get_u32(&mut buf)? as usize;
+            let mut rects = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let x = get_u32(&mut buf)?;
+                let y = get_u32(&mut buf)?;
+                let w = get_u32(&mut buf)?;
+                let h = get_u32(&mut buf)?;
+                let rect = Rect::new(x, y, w, h);
+                let need = (rect.area() as usize)
+                    .checked_mul(4)
+                    .ok_or(ProtoError::BadPayload("delta rect overflows"))?;
+                if buf.len() < need {
+                    return Err(ProtoError::Truncated);
+                }
+                let (body, rest) = buf.split_at(need);
+                buf = rest;
+                let pixels = body
+                    .chunks_exact(4)
+                    .map(|c| Pixel::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                rects.push((rect, pixels));
+            }
+            Message::KeyframeDelta { ts, rects }
+        }
         TAG_PING => Message::Ping {
             nonce: get_u64(&mut buf)?,
         },
@@ -514,6 +600,7 @@ mod tests {
             reason: "version mismatch".into(),
         });
         round_trip(Message::AttachLive);
+        round_trip(Message::AttachScaled { num: 1, den: 2 });
         round_trip(Message::Detach);
         round_trip(Message::Input {
             event: InputEvent::Key {
@@ -557,6 +644,17 @@ mod tests {
             ts: Timestamp::from_secs(2),
             shot: shot(),
         });
+        round_trip(Message::KeyframeDelta {
+            ts: Timestamp::from_secs(3),
+            rects: vec![
+                (Rect::new(0, 0, 2, 2), vec![1, 2, 3, 4]),
+                (Rect::new(5, 1, 3, 1), vec![7, 8, 9]),
+            ],
+        });
+        round_trip(Message::KeyframeDelta {
+            ts: Timestamp::from_secs(4),
+            rects: Vec::new(),
+        });
         round_trip(Message::Ping { nonce: 99 });
         round_trip(Message::Pong { nonce: 99 });
         round_trip(Message::Bye);
@@ -592,5 +690,29 @@ mod tests {
     #[test]
     fn unknown_tag_is_rejected() {
         assert_eq!(decode_message(&[200]), Err(ProtoError::BadTag(200)));
+    }
+
+    #[test]
+    fn zero_scale_component_is_rejected() {
+        for (num, den) in [(0u32, 2u32), (1, 0)] {
+            let mut bytes = vec![18]; // TAG_ATTACH_SCALED
+            bytes.extend_from_slice(&num.to_le_bytes());
+            bytes.extend_from_slice(&den.to_le_bytes());
+            assert_eq!(
+                decode_message(&bytes),
+                Err(ProtoError::BadPayload("zero scale component"))
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_delta_pixels_error_cleanly() {
+        let full = encode_message_vec(&Message::KeyframeDelta {
+            ts: Timestamp::from_secs(1),
+            rects: vec![(Rect::new(0, 0, 2, 2), vec![1, 2, 3, 4])],
+        });
+        for cut in 0..full.len() {
+            assert!(decode_message(&full[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -22,21 +22,62 @@
 //! Transport failures are absorbed per client — a reset, stall, or
 //! corrupt stream disconnects *that* client (with a traced event and a
 //! bumped counter) and never disturbs the rest.
+//!
+//! Three structural decisions let one poll turn scale to a thousand
+//! mostly-idle viewers:
+//!
+//! - **Readiness reactor.** Each turn consults the transport's
+//!   [`Readiness`](crate::transport::Readiness) edge before touching a
+//!   connection: quiet inbound sides are skipped without a recv, and
+//!   empty queues without a send. The `net.conn_visits` /
+//!   `net.conn_skips` counters expose the ratio.
+//! - **Zero-copy fan-out.** Each tapped command batch is encoded into
+//!   its wire frame exactly once per active output scale, as an
+//!   `Arc<[u8]>`; every viewer's [`SendQueue`] holds a refcount, not a
+//!   copy. `net.encodes_per_batch` against `net.live_batches` proves
+//!   the single encode regardless of viewer count.
+//! - **Delta keyframes.** Catch-up keyframes are delta-encoded against
+//!   the client's last fully-delivered keyframe *epoch*: the service
+//!   accumulates a damage [`Region`] since the epoch's base snapshot
+//!   and sends only those rects' current pixels, so the cost of
+//!   re-syncing a slow viewer tracks the damage, not the screen. A
+//!   client whose last keyframe predates the current epoch (or who
+//!   never completed one) gets a full keyframe, and the epoch re-bases
+//!   once damage stops earning the delta.
+//!
+//! Viewers may also attach through a scaled virtual output
+//! ([`Message::AttachScaled`]): the service registers a headless
+//! [`OutputPool`] output at the requested rational scale and feeds
+//! that viewer scaled keyframes and commands, so one session drives
+//! several independently-sized remote screens.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dejaview::DejaView;
 use dv_display::driver::CommandSink;
-use dv_display::{DisplayCommand, Screenshot};
+use dv_display::{
+    scale_command, DisplayCommand, OutputPool, Rect, Region, ScaleFactor, Screenshot,
+};
 use dv_obs::{names, Obs};
 use dv_time::{Duration, Timestamp};
 use parking_lot::Mutex;
 
-use crate::frame::encode_frame_vec;
+use crate::frame::{encode_frame_shared, encode_frame_vec};
 use crate::proto::{encode_message_vec, Message, WireHit, MAX_SEARCH_HITS, PROTOCOL_VERSION};
 use crate::queue::{PushOutcome, SendQueue};
 use crate::transport::{Transport, TransportError};
+
+/// Damage coverage of the screen beyond which a catch-up is sent as a
+/// full keyframe (and the epoch re-based) rather than a delta — past
+/// this point the delta would carry most of the screen anyway, without
+/// the RLE compression a full keyframe gets.
+const REBASE_DAMAGE_FRACTION: f64 = 0.5;
+
+/// Accumulated damage-rect count beyond which the epoch re-bases: the
+/// region stays disjoint by splitting, so a long-lived epoch under
+/// scattered damage fragments without bound otherwise.
+const MAX_DELTA_RECTS: usize = 96;
 
 /// Tuning knobs for the service.
 #[derive(Clone, Debug)]
@@ -148,6 +189,9 @@ struct ClientConn {
     transport: Box<dyn Transport>,
     decoder: crate::frame::FrameDecoder,
     queue: SendQueue,
+    /// Output scale this viewer attached at; identity for plain
+    /// `AttachLive`.
+    scale: ScaleFactor,
     hello_done: bool,
     attached: bool,
     closing: bool,
@@ -164,8 +208,20 @@ pub struct NetService {
     config: NetConfig,
     obs: Obs,
     tap: Arc<Mutex<CommandTap>>,
+    /// Headless outputs for scaled viewers, teed off the driver like
+    /// the tap so they observe the identical command stream.
+    outputs: Arc<Mutex<OutputPool>>,
     clients: Vec<ClientConn>,
     next_id: u64,
+    /// Current keyframe epoch; zero until the first keyframe is cut.
+    /// Bumped on every re-base, at which point all older epochs stop
+    /// earning deltas.
+    epoch_id: u64,
+    /// Screen damage accumulated since the current epoch's base
+    /// snapshot, in session-geometry coordinates. Only grows (modulo
+    /// re-base), so a client holding *any* command prefix from this
+    /// epoch differs from the current screen only inside it.
+    epoch_damage: Region,
 }
 
 impl NetService {
@@ -175,13 +231,18 @@ impl NetService {
         let obs = dv.obs().clone();
         let tap: Arc<Mutex<CommandTap>> = Arc::new(Mutex::new(CommandTap::default()));
         dv.driver_mut().attach_sink(tap.clone());
+        let outputs: Arc<Mutex<OutputPool>> = Arc::new(Mutex::new(OutputPool::new()));
+        dv.driver_mut().attach_sink(outputs.clone());
         NetService {
             dv,
             config,
             obs,
             tap,
+            outputs,
             clients: Vec::new(),
             next_id: 1,
+            epoch_id: 0,
+            epoch_damage: Region::new(),
         }
     }
 
@@ -214,6 +275,7 @@ impl NetService {
             transport: Box::new(transport),
             decoder: crate::frame::FrameDecoder::new(),
             queue: SendQueue::new(self.config.send_queue_frames),
+            scale: ScaleFactor::ONE,
             hello_done: false,
             attached: false,
             closing: false,
@@ -228,7 +290,7 @@ impl NetService {
             conn.push_control_msg(&Message::Reject {
                 reason: "server full".to_string(),
             });
-            conn.closing = true;
+            conn.begin_close();
             self.obs.event(
                 "net",
                 names::EV_NET_DISCONNECT,
@@ -264,11 +326,29 @@ impl NetService {
     /// Queues a graceful `Bye` to every client; they drop on the next
     /// polls once the goodbye flushes.
     pub fn shutdown(&mut self) {
-        let bye = encode_frame_vec(&encode_message_vec(&Message::Bye));
+        let bye = encode_frame_shared(&encode_message_vec(&Message::Bye));
         for conn in &mut self.clients {
             conn.queue.push_control(bye.clone());
-            conn.closing = true;
+            conn.begin_close();
         }
+    }
+
+    /// Fingerprint of the virtual output at exactly `num`/`den`, if a
+    /// viewer ever attached at that scale. The authoritative answer to
+    /// "what should a converged same-scale viewer's screen hash to".
+    pub fn output_fingerprint(&self, num: u32, den: u32) -> Option<u64> {
+        self.outputs
+            .lock()
+            .get(ScaleFactor::new(num, den))
+            .map(|o| o.fingerprint())
+    }
+
+    /// Pixel geometry of the virtual output at exactly `num`/`den`.
+    pub fn output_size(&self, num: u32, den: u32) -> Option<(u32, u32)> {
+        self.outputs
+            .lock()
+            .get(ScaleFactor::new(num, den))
+            .map(|o| o.size())
     }
 
     /// One non-blocking service turn: drain inbound, handle RPCs, fan
@@ -311,6 +391,8 @@ impl NetService {
     fn drain_inbound(&mut self, report: &mut PollReport) {
         let now = self.dv.now();
         let obs = self.obs.clone();
+        let mut visited = 0u64;
+        let mut skipped = 0u64;
         // Messages are collected first, then handled, because handling
         // needs `&mut self.dv` while draining borrows the clients.
         let mut todo: Vec<(usize, Message)> = Vec::new();
@@ -318,6 +400,15 @@ impl NetService {
             if conn.closing {
                 continue;
             }
+            // The reactor edge: a connection with nothing readable and
+            // no pending EOF gets no recv at all. Any buffered frames
+            // were decoded the same poll their bytes were fed, so a
+            // quiet transport really does mean nothing to do.
+            if conn.transport.readiness().inbound_quiet() {
+                skipped += 1;
+                continue;
+            }
+            visited += 1;
             let mut buf = [0u8; 4096];
             loop {
                 match conn.transport.recv(&mut buf) {
@@ -327,7 +418,7 @@ impl NetService {
                         conn.decoder.feed(&buf[..n]);
                     }
                     Err(TransportError::Closed) => {
-                        conn.closing = true;
+                        conn.begin_close();
                         obs.event(
                             "net",
                             names::EV_NET_DISCONNECT,
@@ -337,7 +428,7 @@ impl NetService {
                         break;
                     }
                     Err(TransportError::Reset) => {
-                        conn.closing = true;
+                        conn.begin_close();
                         obs.incr(names::NET_RESETS);
                         obs.event(
                             "net",
@@ -367,7 +458,7 @@ impl NetService {
                     Ok(Some(msg)) => todo.push((ci, msg)),
                     Ok(None) => break,
                     Err(e) => {
-                        conn.closing = true;
+                        conn.begin_close();
                         obs.incr(names::NET_CORRUPT_FRAMES);
                         obs.event(
                             "net",
@@ -383,14 +474,24 @@ impl NetService {
         for (ci, msg) in todo {
             if !self.clients[ci].closing {
                 report.messages_handled += 1;
-                self.handle_message(ci, msg);
+                self.handle_message(ci, msg, report);
             }
         }
+        self.obs.add(names::NET_CONN_VISITS, visited);
+        self.obs.add(names::NET_CONN_SKIPS, skipped);
     }
 
-    fn handle_message(&mut self, ci: usize, msg: Message) {
+    fn handle_message(&mut self, ci: usize, msg: Message, report: &mut PollReport) {
         match msg {
             Message::Hello { version, name } => {
+                // A retransmitted Hello from an admitted client is
+                // dropped on the floor: re-admitting would count the
+                // client against capacity a second time (getting it
+                // Rejected at a full server) or re-send Welcome
+                // mid-stream.
+                if self.clients[ci].hello_done {
+                    return;
+                }
                 let over_capacity =
                     self.clients.iter().filter(|c| c.hello_done).count() >= self.config.max_clients;
                 let conn = &mut self.clients[ci];
@@ -400,14 +501,16 @@ impl NetService {
                             "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
                         ),
                     });
-                    conn.closing = true;
+                    conn.begin_close();
+                    report.dropped.push((conn.id, DropReason::Rejected));
                     return;
                 }
                 if over_capacity {
                     conn.push_control_msg(&Message::Reject {
                         reason: "server full".to_string(),
                     });
-                    conn.closing = true;
+                    conn.begin_close();
+                    report.dropped.push((conn.id, DropReason::Rejected));
                     return;
                 }
                 conn.name = name;
@@ -422,6 +525,7 @@ impl NetService {
             Message::AttachLive => {
                 let conn = &mut self.clients[ci];
                 if conn.hello_done && !conn.attached {
+                    conn.scale = ScaleFactor::ONE;
                     conn.attached = true;
                     // Seed the new viewer via satisfy_keyframes, which
                     // runs AFTER fan_out_live: commands tapped before
@@ -430,6 +534,23 @@ impl NetService {
                     // which reads the screen it scrolls.
                     conn.queue.request_keyframe();
                 }
+            }
+            Message::AttachScaled { num, den }
+                if self.clients[ci].hello_done && !self.clients[ci].attached =>
+            {
+                // num/den are validated nonzero at decode.
+                let scale = ScaleFactor::new(num, den);
+                if !scale.is_identity() {
+                    // Register (or reuse) the headless output for
+                    // this scale, seeded from the current screen so
+                    // its first keyframe is the present, not black.
+                    let seed = self.dv.driver().snapshot();
+                    self.outputs.lock().ensure(scale, &seed);
+                }
+                let conn = &mut self.clients[ci];
+                conn.scale = scale;
+                conn.attached = true;
+                conn.queue.request_keyframe();
             }
             Message::Detach => {
                 self.clients[ci].attached = false;
@@ -513,12 +634,17 @@ impl NetService {
             }
             Message::Bye => {
                 let conn = &mut self.clients[ci];
-                conn.closing = true;
+                conn.begin_close();
                 self.obs.event(
                     "net",
                     names::EV_NET_DISCONNECT,
                     format!("client={} reason=graceful", conn.id),
                 );
+                // A Bye departure is as real as a transport EOF: it
+                // must appear in PollReport.dropped exactly like one,
+                // or departure accounting silently misses these
+                // clients.
+                report.dropped.push((conn.id, DropReason::Graceful));
             }
             // Server-bound traffic only; ignore echoes of our own
             // message kinds rather than killing the connection.
@@ -534,13 +660,46 @@ impl NetService {
         if drained.is_empty() {
             return;
         }
+        let (w, h) = self.dv.screen_size();
+        let screen = Rect::new(0, 0, w, h);
+        let mut batches = 0u64;
+        let mut encodes = 0u64;
         for (ts, cmd) in drained {
-            let frame = encode_live(&Message::Command { ts, cmd });
+            // Every drained command's footprint joins the epoch damage
+            // (receivers or not): a viewer catching up later must cover
+            // everything since the base, including what it never saw.
+            if self.epoch_id > 0 {
+                self.epoch_damage.add(cmd.rect().intersect(&screen));
+            }
+            // Zero-copy fan-out: the wire frame is encoded lazily, at
+            // most once per active output scale, and shared by Arc —
+            // a thousand identity viewers cost one encode and a
+            // thousand refcount bumps.
+            let mut frames: Vec<(ScaleFactor, Arc<[u8]>)> = Vec::new();
             for conn in &mut self.clients {
                 if !conn.attached || conn.closing || conn.queue.needs_keyframe() {
                     continue;
                 }
-                if conn.queue.push_live(frame.clone()) == PushOutcome::Coalesced {
+                let frame = match frames.iter().find(|(s, _)| *s == conn.scale) {
+                    Some((_, f)) => f.clone(),
+                    None => {
+                        let wire = if conn.scale.is_identity() {
+                            encode_live(&Message::Command {
+                                ts,
+                                cmd: cmd.clone(),
+                            })
+                        } else {
+                            encode_live(&Message::Command {
+                                ts,
+                                cmd: scale_command(&cmd, conn.scale),
+                            })
+                        };
+                        encodes += 1;
+                        frames.push((conn.scale, wire.clone()));
+                        wire
+                    }
+                };
+                if conn.queue.push_live(frame) == PushOutcome::Coalesced {
                     self.obs.incr(names::NET_COALESCE_EVENTS);
                     self.obs.event(
                         "net",
@@ -553,7 +712,12 @@ impl NetService {
                     );
                 }
             }
+            if !frames.is_empty() {
+                batches += 1;
+            }
         }
+        self.obs.add(names::NET_LIVE_BATCHES, batches);
+        self.obs.add(names::NET_ENCODES_PER_BATCH, encodes);
     }
 
     fn satisfy_keyframes(&mut self) {
@@ -566,20 +730,102 @@ impl NetService {
         }
         let ts = self.dv.now();
         let shot: Screenshot = self.dv.driver().snapshot();
-        let frame = encode_live(&Message::Keyframe { ts, shot });
-        for conn in &mut self.clients {
-            if conn.queue.needs_keyframe() && !conn.closing {
-                conn.queue.satisfy_keyframe(frame.clone());
-            }
+        // Re-base when there is no epoch yet, or the accumulated
+        // damage no longer earns a delta. Bumping the epoch id is what
+        // retires deltas: no client can have acked the new epoch, so
+        // everyone needing a catch-up this turn gets a full keyframe.
+        if self.epoch_id == 0
+            || self.epoch_damage.coverage_of(shot.width, shot.height) >= REBASE_DAMAGE_FRACTION
+            || self.epoch_damage.rects().len() > MAX_DELTA_RECTS
+        {
+            self.epoch_id += 1;
+            self.epoch_damage.clear();
         }
+        let epoch = self.epoch_id;
+        // Encoded at most once each per poll, shared across all takers.
+        let mut delta_frame: Option<Arc<[u8]>> = None;
+        let mut full_frames: Vec<(ScaleFactor, Arc<[u8]>)> = Vec::new();
+        let mut encodes = 0u64;
+        let mut deltas = 0u64;
+        let fb = self.dv.driver().framebuffer();
+        let outputs = self.outputs.clone();
+        for conn in &mut self.clients {
+            if !conn.queue.needs_keyframe() || conn.closing {
+                continue;
+            }
+            // Delta soundness: an identity-scale client whose last
+            // fully-delivered keyframe belongs to the *current* epoch
+            // has applied that keyframe plus some prefix of the
+            // since-base command stream, so its screen differs from
+            // the present only inside epoch_damage (the region only
+            // grows). Overwriting those rects with their current
+            // pixels is therefore exact, whatever prefix the client
+            // reached.
+            let delta_ok =
+                conn.scale.is_identity() && conn.queue.acked_keyframe_epoch() == Some(epoch);
+            let frame = if delta_ok {
+                deltas += 1;
+                match &delta_frame {
+                    Some(f) => f.clone(),
+                    None => {
+                        let rects = self
+                            .epoch_damage
+                            .rects()
+                            .iter()
+                            .map(|r| (*r, fb.read_rect(r)))
+                            .collect();
+                        let f = encode_live(&Message::KeyframeDelta { ts, rects });
+                        encodes += 1;
+                        delta_frame = Some(f.clone());
+                        f
+                    }
+                }
+            } else {
+                match full_frames.iter().find(|(s, _)| *s == conn.scale) {
+                    Some((_, f)) => f.clone(),
+                    None => {
+                        // Scaled viewers get the headless output's
+                        // screen — the same state their scaled command
+                        // stream reproduces — never a resampled session
+                        // snapshot, which would disagree pixel-for-
+                        // pixel with the command-scaled stream.
+                        let key_shot = if conn.scale.is_identity() {
+                            shot.clone()
+                        } else {
+                            outputs
+                                .lock()
+                                .get(conn.scale)
+                                .map(|o| o.snapshot())
+                                .expect("scaled viewer always has its output registered")
+                        };
+                        let f = encode_live(&Message::Keyframe { ts, shot: key_shot });
+                        encodes += 1;
+                        full_frames.push((conn.scale, f.clone()));
+                        f
+                    }
+                }
+            };
+            conn.queue.satisfy_keyframe(frame, epoch);
+        }
+        self.obs.add(names::NET_KEYFRAME_ENCODES, encodes);
+        self.obs.add(names::NET_DELTA_KEYFRAMES, deltas);
     }
 
     fn pump_queues(&mut self, report: &mut PollReport) {
         let now = self.dv.now();
+        let mut visited = 0u64;
+        let mut skipped = 0u64;
         for conn in &mut self.clients {
             if conn.closing {
                 // reap() flushes the farewell; pumping here too would
                 // report a second drop with a conflicting reason.
+                continue;
+            }
+            // The outbound reactor edge: nothing queued means no send
+            // call, no stall bookkeeping, nothing. This is what keeps
+            // per-poll cost proportional to *active* viewers.
+            if conn.queue.depth() == 0 {
+                skipped += 1;
                 continue;
             }
             if let Some(at) = conn.retry_at {
@@ -588,6 +834,7 @@ impl NetService {
                 }
                 conn.retry_at = None;
             }
+            visited += 1;
             let had_pending = conn.queue.depth() > 0;
             match conn.queue.pump(&mut *conn.transport) {
                 Ok(moved) => {
@@ -603,14 +850,12 @@ impl NetService {
                         conn.retries += 1;
                         self.obs.incr(names::NET_SEND_RETRIES);
                         if conn.retries > self.config.max_send_retries {
-                            conn.closing = true;
+                            let retries = conn.retries;
+                            conn.begin_close();
                             self.obs.event(
                                 "net",
                                 names::EV_NET_DISCONNECT,
-                                format!(
-                                    "client={} reason=stalled retries={}",
-                                    conn.id, conn.retries
-                                ),
+                                format!("client={} reason=stalled retries={retries}", conn.id),
                             );
                             report.dropped.push((conn.id, DropReason::Stalled));
                         } else {
@@ -634,7 +879,7 @@ impl NetService {
                     }
                 }
                 Err(e) => {
-                    conn.closing = true;
+                    conn.begin_close();
                     let reason = match e {
                         TransportError::Reset => {
                             self.obs.incr(names::NET_RESETS);
@@ -651,6 +896,8 @@ impl NetService {
                 }
             }
         }
+        self.obs.add(names::NET_CONN_VISITS, visited);
+        self.obs.add(names::NET_CONN_SKIPS, skipped);
     }
 
     fn enforce_idle(&mut self, report: &mut PollReport) {
@@ -667,7 +914,7 @@ impl NetService {
                 // half the idle budget to produce a Hello, then goes:
                 // silent or hostile sockets must not accumulate.
                 if silent >= half {
-                    conn.closing = true;
+                    conn.begin_close();
                     self.obs.incr(names::NET_IDLE_DISCONNECTS);
                     self.obs.event(
                         "net",
@@ -684,7 +931,7 @@ impl NetService {
             }
             if silent >= timeout {
                 conn.push_control_msg(&Message::Bye);
-                conn.closing = true;
+                conn.begin_close();
                 self.obs.incr(names::NET_IDLE_DISCONNECTS);
                 self.obs.event(
                     "net",
@@ -749,9 +996,20 @@ impl ClientConn {
         self.queue
             .push_control(encode_frame_vec(&encode_message_vec(msg)));
     }
+
+    /// Moves the connection into the closing state. The retry budget
+    /// is reset here so `reap`'s farewell flush starts fresh: retries
+    /// inherited from pre-close live stalls would truncate (possibly
+    /// to zero) the budget for flushing the goodbye.
+    fn begin_close(&mut self) {
+        self.closing = true;
+        self.retries = 0;
+        self.retry_at = None;
+    }
 }
 
-/// Encodes a live (coalesceable) message to its wire frame.
-fn encode_live(msg: &Message) -> Vec<u8> {
-    encode_frame_vec(&encode_message_vec(msg))
+/// Encodes a message to its shared wire frame, the unit of zero-copy
+/// fan-out.
+fn encode_live(msg: &Message) -> Arc<[u8]> {
+    encode_frame_shared(&encode_message_vec(msg))
 }

@@ -1,7 +1,9 @@
 //! The byte-stream transport abstraction.
 //!
 //! dv-net speaks to clients through [`Transport`]: an ordered,
-//! unframed, non-blocking byte stream with explicit lifecycle. Two
+//! unframed, non-blocking byte stream with explicit lifecycle and an
+//! edge-level [`Readiness`] facet the service's reactor uses to skip
+//! quiet connections without issuing a single syscall. Two
 //! implementations ship here:
 //!
 //! * [`LoopbackTransport`] — an in-memory duplex pipe over two
@@ -43,6 +45,45 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Edge-level readiness of a transport endpoint, in the poll(2) sense.
+///
+/// The service's reactor consults this before doing any real work on a
+/// connection: a quiet endpoint (`!readable && !closed`) is skipped
+/// without a single `recv` call, which is what lets one `poll` turn
+/// scale to a thousand mostly-idle viewers. Readiness is a *hint*
+/// about whether an operation could make progress right now — it never
+/// replaces the operation's own result. Spurious readiness is
+/// harmless (the visit finds `Ok(0)` and moves on); a transport must
+/// only guarantee it never reports *unready* while bytes or an EOF are
+/// actually pending.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Readiness {
+    /// Bytes (or a pending EOF) are available to `recv`.
+    pub readable: bool,
+    /// A `send` could accept bytes right now.
+    pub writable: bool,
+    /// The endpoint is dead: the next operation will surface
+    /// [`TransportError`]. Closed endpoints must still be visited so
+    /// the error (and the drop report behind it) isn't deferred.
+    pub closed: bool,
+}
+
+impl Readiness {
+    /// The conservative "always visit me" answer: readable and
+    /// writable, not closed.
+    pub const READY: Readiness = Readiness {
+        readable: true,
+        writable: true,
+        closed: false,
+    };
+
+    /// Whether the reactor may skip this connection's inbound side.
+    #[must_use]
+    pub fn inbound_quiet(&self) -> bool {
+        !self.readable && !self.closed
+    }
+}
+
 /// An ordered non-blocking byte stream with explicit lifecycle.
 ///
 /// `Ok(0)` from [`send`](Transport::send) or [`recv`](Transport::recv)
@@ -70,6 +111,25 @@ pub trait Transport: Send {
 
     /// Whether this endpoint is still open.
     fn is_open(&self) -> bool;
+
+    /// Reports edge-level readiness without moving any bytes.
+    ///
+    /// The default claims [`Readiness::READY`] — always visit — which
+    /// is correct (if wasteful) for any transport: readiness may be
+    /// spuriously true, never falsely quiet. Implementations that can
+    /// answer cheaply (a buffered channel's length, a socket `peek`)
+    /// should override so the reactor can skip them when idle.
+    fn readiness(&mut self) -> Readiness {
+        if self.is_open() {
+            Readiness::READY
+        } else {
+            Readiness {
+                readable: true,
+                writable: false,
+                closed: true,
+            }
+        }
+    }
 }
 
 impl Transport for ByteChannel {
@@ -221,6 +281,37 @@ impl Transport for LoopbackTransport {
     fn is_open(&self) -> bool {
         !self.tx.is_closed()
     }
+
+    /// Deterministic readiness from the channel buffers: readable iff
+    /// bytes are queued (or the peer closed, so EOF is pending),
+    /// writable until this side closes. No fault-plane check — probing
+    /// readiness is not an I/O operation and must not consume injected
+    /// faults out from under the operation they were scheduled for.
+    fn readiness(&mut self) -> Readiness {
+        let tx_closed = self.tx.is_closed();
+        let rx_closed = self.rx.is_closed();
+        Readiness {
+            readable: !self.rx.is_empty() || rx_closed,
+            writable: !tx_closed,
+            closed: tx_closed || rx_closed,
+        }
+    }
+}
+
+/// Retries `op` for as long as it fails with `ErrorKind::Interrupted`.
+///
+/// EINTR means the syscall was interrupted by a signal before moving
+/// any data; it is immediately retryable. Surfacing it as a zero-byte
+/// "stall" (as this module once did) feeds the service's exponential
+/// backoff and can escalate a perfectly healthy connection into a
+/// `Stalled` disconnect.
+fn io_retry<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
 }
 
 /// A [`Transport`] over a real non-blocking [`std::net::TcpStream`].
@@ -258,10 +349,9 @@ impl Transport for TcpTransport {
         if !self.open {
             return Err(TransportError::Closed);
         }
-        match self.stream.write(bytes) {
+        match io_retry(|| self.stream.write(bytes)) {
             Ok(n) => Ok(n),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
             Err(_) => {
                 self.open = false;
                 Err(TransportError::Reset)
@@ -274,14 +364,13 @@ impl Transport for TcpTransport {
         if !self.open {
             return Err(TransportError::Closed);
         }
-        match self.stream.read(buf) {
+        match io_retry(|| self.stream.read(buf)) {
             Ok(0) if !buf.is_empty() => {
                 self.open = false;
                 Err(TransportError::Closed)
             }
             Ok(n) => Ok(n),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
             Err(_) => {
                 self.open = false;
                 Err(TransportError::Reset)
@@ -296,6 +385,41 @@ impl Transport for TcpTransport {
 
     fn is_open(&self) -> bool {
         self.open
+    }
+
+    /// Poll-style readiness from a one-byte non-blocking `peek`:
+    /// `Ok(n>0)` means bytes are buffered, `Ok(0)` means EOF is
+    /// pending (readable so `recv` surfaces it), `WouldBlock` means
+    /// quiet. Writability is claimed optimistically while the socket
+    /// is open — a full send buffer still answers `Ok(0)` from `send`
+    /// and rides the service's retry backoff, exactly as before.
+    fn readiness(&mut self) -> Readiness {
+        if !self.open {
+            return Readiness {
+                readable: true,
+                writable: false,
+                closed: true,
+            };
+        }
+        let mut probe = [0u8; 1];
+        match io_retry(|| self.stream.peek(&mut probe)) {
+            Ok(0) => Readiness {
+                readable: true,
+                writable: true,
+                closed: true,
+            },
+            Ok(_) => Readiness::READY,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Readiness {
+                readable: false,
+                writable: true,
+                closed: false,
+            },
+            Err(_) => Readiness {
+                readable: true,
+                writable: false,
+                closed: true,
+            },
+        }
     }
 }
 
@@ -369,6 +493,71 @@ mod tests {
     }
 
     #[test]
+    fn loopback_readiness_is_deterministic() {
+        let (mut a, mut b) = LoopbackTransport::pair();
+        // Fresh pair: quiet inbound, writable, alive.
+        let r = a.readiness();
+        assert!(r.inbound_quiet());
+        assert!(!r.readable && r.writable && !r.closed);
+        // Peer bytes flip the readable edge without being consumed.
+        b.send(b"knock").unwrap();
+        let r = a.readiness();
+        assert!(r.readable && !r.closed);
+        assert!(!r.inbound_quiet());
+        let mut buf = [0u8; 16];
+        assert_eq!(a.recv(&mut buf).unwrap(), 5);
+        assert!(a.readiness().inbound_quiet(), "drained means quiet again");
+        // Peer close: readable (EOF pending) and closed — never quiet,
+        // so the reactor still visits and surfaces the drop.
+        b.close();
+        let r = a.readiness();
+        assert!(r.readable && r.closed);
+        assert!(!r.inbound_quiet());
+        assert_eq!(a.recv(&mut buf), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn readiness_probe_consumes_no_injected_faults() {
+        let plane = FaultPlan::new(9)
+            .fail_nth(sites::NET_RECV, 1, IoFault::LatencySpike)
+            .build();
+        let (mut a, mut b) = LoopbackTransport::faulty_pair(&plane);
+        b.send(b"x").unwrap();
+        // However often readiness is probed, the scheduled fault still
+        // lands on the first real recv.
+        for _ in 0..10 {
+            assert!(a.readiness().readable);
+        }
+        let mut buf = [0u8; 4];
+        assert_eq!(a.recv(&mut buf).unwrap(), 0, "fault fires on the op");
+        assert_eq!(a.recv(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn io_retry_absorbs_eintr_without_burning_a_call() {
+        // Regression: EINTR used to map to Ok(0), which pump_queues
+        // counts as a stall. It must be retried inline instead.
+        let mut calls = 0;
+        let got = io_retry(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+            } else {
+                Ok(5usize)
+            }
+        })
+        .unwrap();
+        assert_eq!(got, 5);
+        assert_eq!(calls, 3, "retried exactly until the syscall landed");
+        // Other errors pass straight through.
+        let err = io_retry(|| -> std::io::Result<usize> {
+            Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
     fn byte_channel_is_a_one_directional_transport() {
         let mut writer = ByteChannel::new();
         let mut reader = writer.clone();
@@ -394,7 +583,16 @@ mod tests {
         let mut client = TcpTransport::connect(addr).unwrap();
         let (server_stream, _) = listener.accept().unwrap();
         let mut server = TcpTransport::new(server_stream).unwrap();
+        let r = server.readiness();
+        assert!(!r.readable && r.writable && !r.closed, "quiet fresh socket");
         assert_eq!(client.send(b"over tcp").unwrap(), 8);
+        for _ in 0..1000 {
+            if server.readiness().readable {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(server.readiness().readable, "peek sees buffered bytes");
         let mut buf = [0u8; 16];
         let mut got = 0;
         for _ in 0..1000 {

@@ -443,6 +443,24 @@ pub mod names {
     pub const NET_RPC_SEARCH: &str = "net.rpc_search";
     /// Span: one live-stream flush to one client.
     pub const NET_FLUSH: &str = "net.flush";
+    /// Live command batches fanned out (a tapped command with at least
+    /// one eligible viewer).
+    pub const NET_LIVE_BATCHES: &str = "net.live_batches";
+    /// Wire encodes performed for live batches. Zero-copy fan-out
+    /// makes this equal `net.live_batches` per active output scale —
+    /// one encode shared by every viewer — regardless of viewer count.
+    pub const NET_ENCODES_PER_BATCH: &str = "net.encodes_per_batch";
+    /// Catch-up keyframe wire encodes (full or delta); shared across
+    /// every viewer needing one in the same poll.
+    pub const NET_KEYFRAME_ENCODES: &str = "net.keyframe_encodes";
+    /// Catch-up keyframes sent as damage deltas rather than full
+    /// screens.
+    pub const NET_DELTA_KEYFRAMES: &str = "net.delta_keyframes";
+    /// Connections the reactor visited (readiness or queued work).
+    pub const NET_CONN_VISITS: &str = "net.conn_visits";
+    /// Connections the reactor skipped without a syscall (quiet
+    /// inbound, empty queue).
+    pub const NET_CONN_SKIPS: &str = "net.conn_skips";
     /// Event name for one remote-access disconnect (any cause).
     pub const EV_NET_DISCONNECT: &str = "net.disconnect";
     /// Event name for one slow-client coalesce.

@@ -227,7 +227,8 @@ impl TidxEngine {
         let stats = idx.stats();
         // Reuse the index flush path — and its `index.segment.flush`
         // fault site — for the payload encoding.
-        let payload = flush_segment(&idx, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
+        let payload =
+            flush_segment(&idx, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
         let mut framed = frame_segment(&payload);
         match self.plane.check(sites::TIDX_SEAL) {
             None | Some(IoFault::LatencySpike) => {}
@@ -443,7 +444,8 @@ impl TidxEngine {
             out.focus_change(app, t);
         }
         out.advance_horizon(horizon);
-        let payload = flush_segment(&out, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
+        let payload =
+            flush_segment(&out, &self.plane).map_err(|e| TidxError::Failed(e.to_string()))?;
         let mut framed = frame_segment(&payload);
         match self.plane.check(sites::TIDX_COMPACT) {
             None | Some(IoFault::LatencySpike) => {}

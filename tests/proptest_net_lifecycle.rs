@@ -1,0 +1,296 @@
+//! Property test: drop accounting over random client lifecycles.
+//!
+//! Every way a client can leave the service — protocol goodbye,
+//! transport EOF, transport reset, corrupt framing, exhausted send
+//! stalls, idle timeout — must surface in `PollReport.dropped` exactly
+//! once, with the right reason, and clients that stay must never
+//! appear there. The service pipeline has several stages that can all
+//! notice a dead connection (drain, pump, idle scan, reap); the
+//! invariant under test is that exactly one of them reports it.
+//!
+//! Each case spins up one service and a shuffled population of clients
+//! covering all five drop paths (plus survivors), runs them through a
+//! scripted lifecycle over the deterministic loopback transport, and
+//! audits the union of every poll's drop reports.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dejaview::{Config, DejaView};
+use dv_display::Rect;
+use dv_net::{
+    encode_frame_vec, encode_message_vec, DropReason, LoopbackTransport, Message, NetClient,
+    NetConfig, NetService, Readiness, Transport, TransportError, PROTOCOL_VERSION,
+};
+use dv_time::Duration;
+use proptest::prelude::*;
+
+/// How a scripted client ends (or doesn't).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fate {
+    /// Stays connected and responsive for the whole run.
+    Stay,
+    /// Sends a protocol `Bye`.
+    Bye,
+    /// Closes its transport end (EOF in order).
+    Eof,
+    /// Its transport resets under the server.
+    Reset,
+    /// Sends a frame that fails framing validation.
+    Corrupt,
+    /// Its link stalls permanently until retries exhaust.
+    Stall,
+    /// Goes silent until the idle deadline.
+    Idle,
+}
+
+const ALL_FATES: [Fate; 7] = [
+    Fate::Stay,
+    Fate::Bye,
+    Fate::Eof,
+    Fate::Reset,
+    Fate::Corrupt,
+    Fate::Stall,
+    Fate::Idle,
+];
+
+impl Fate {
+    fn expected_drop(self) -> Option<DropReason> {
+        match self {
+            Fate::Stay => None,
+            Fate::Bye | Fate::Eof => Some(DropReason::Graceful),
+            Fate::Reset => Some(DropReason::Reset),
+            Fate::Corrupt => Some(DropReason::Corrupt),
+            Fate::Stall => Some(DropReason::Stalled),
+            Fate::Idle => Some(DropReason::Idle),
+        }
+    }
+}
+
+/// Server-side transport wrapper whose failure mode flips on under
+/// test control: a permanent send stall or an inbound reset. The
+/// reset also forces the readiness edge readable, the way a real
+/// dead socket reports — a reset must not hide behind the reactor's
+/// quiet-skip.
+struct ScriptedTransport {
+    inner: LoopbackTransport,
+    stalled: Arc<AtomicBool>,
+    reset: Arc<AtomicBool>,
+}
+
+impl Transport for ScriptedTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, TransportError> {
+        if self.stalled.load(Ordering::Relaxed) {
+            return Ok(0);
+        }
+        self.inner.send(bytes)
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        if self.reset.load(Ordering::Relaxed) {
+            return Err(TransportError::Reset);
+        }
+        self.inner.recv(buf)
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn is_open(&self) -> bool {
+        self.inner.is_open()
+    }
+
+    fn readiness(&mut self) -> Readiness {
+        let mut r = self.inner.readiness();
+        if self.reset.load(Ordering::Relaxed) {
+            r.readable = true;
+            r.closed = true;
+        }
+        r
+    }
+}
+
+/// One scripted participant: either a full `NetClient` (polled every
+/// round) or a raw wire end driven by hand.
+struct Scripted {
+    id: u64,
+    fate: Fate,
+    /// Round at which the fate's trigger fires.
+    step: usize,
+    fired: bool,
+    client: Option<NetClient<LoopbackTransport>>,
+    wire: Option<LoopbackTransport>,
+    stalled: Arc<AtomicBool>,
+    reset: Arc<AtomicBool>,
+}
+
+fn send_all(wire: &mut LoopbackTransport, bytes: &[u8]) {
+    let mut off = 0;
+    while off < bytes.len() {
+        off += wire.send(&bytes[off..]).expect("scripted wire send");
+    }
+}
+
+fn hello_bytes(name: &str) -> Vec<u8> {
+    encode_frame_vec(&encode_message_vec(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        name: name.to_string(),
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_departure_is_reported_exactly_once(
+        extra in prop::collection::vec(0usize..ALL_FATES.len(), 0..6),
+        steps in prop::collection::vec(0usize..4, 16),
+        rotate in 0usize..16,
+    ) {
+        // One of each fate guarantees all five drop paths are covered
+        // every case; the extras and the rotation vary population and
+        // accept order.
+        let mut fates: Vec<Fate> = ALL_FATES.to_vec();
+        fates.extend(extra.iter().map(|&i| ALL_FATES[i]));
+        let pivot = rotate % fates.len();
+        fates.rotate_left(pivot);
+
+        let mut svc = NetService::new(
+            DejaView::new(Config { width: 64, height: 48, ..Config::default() }),
+            NetConfig {
+                max_send_retries: 3,
+                retry_backoff: Duration::from_millis(1),
+                idle_timeout: Duration::from_millis(2000),
+                ..NetConfig::default()
+            },
+        );
+
+        let mut pop: Vec<Scripted> = Vec::new();
+        for (i, &fate) in fates.iter().enumerate() {
+            let stalled = Arc::new(AtomicBool::new(false));
+            let reset = Arc::new(AtomicBool::new(false));
+            let (server_end, mut client_end) = LoopbackTransport::pair();
+            let id = svc.accept(ScriptedTransport {
+                inner: server_end,
+                stalled: stalled.clone(),
+                reset: reset.clone(),
+            });
+            // Bye/Stall/Reset/Stay ride a real NetClient; Eof, Corrupt
+            // and Idle need raw control of the wire (close mid-stream,
+            // garbage bytes, true silence).
+            let (client, wire) = match fate {
+                Fate::Eof | Fate::Corrupt | Fate::Idle => {
+                    send_all(&mut client_end, &hello_bytes(&format!("raw-{i}")));
+                    (None, Some(client_end))
+                }
+                _ => {
+                    let mut c = NetClient::connect(client_end, &format!("client-{i}"));
+                    // Attach the stall-fated (queued live frames are what
+                    // stalls exhaust against) and half the rest.
+                    if fate == Fate::Stall || i % 2 == 0 {
+                        c.attach_live();
+                    }
+                    (Some(c), None)
+                }
+            };
+            pop.push(Scripted {
+                id,
+                fate,
+                step: steps[i % steps.len()],
+                fired: false,
+                client,
+                wire,
+                stalled,
+                reset,
+            });
+        }
+
+        let mut drops: Vec<(u64, DropReason)> = Vec::new();
+        // Trigger steps land in rounds 0..4; the remaining rounds give
+        // stalls time to exhaust their retry budget (4 polls at 40ms
+        // against 1-2-4ms backoffs) and farewells time to flush.
+        for round in 0..12 {
+            let d = svc.dv_mut().driver_mut();
+            d.fill_rect(
+                Rect::new((round * 5) as u32 % 40, (round * 3) as u32 % 30, 9, 7),
+                0x0F0F0F ^ round as u32,
+            );
+            svc.dv_mut().clock().advance(Duration::from_millis(40));
+
+            for s in pop.iter_mut() {
+                if round == s.step && !s.fired {
+                    s.fired = true;
+                    match s.fate {
+                        Fate::Stay | Fate::Idle => {}
+                        Fate::Bye => s.client.as_mut().unwrap().bye(),
+                        Fate::Eof => s.wire.as_mut().unwrap().close(),
+                        Fate::Reset => s.reset.store(true, Ordering::Relaxed),
+                        Fate::Stall => s.stalled.store(true, Ordering::Relaxed),
+                        Fate::Corrupt => {
+                            // An impossible length prefix: framing
+                            // rejects it without waiting for a body.
+                            send_all(s.wire.as_mut().unwrap(), &[0xFF; 8]);
+                        }
+                    }
+                }
+                if let Some(c) = s.client.as_mut() {
+                    let _ = c.poll();
+                }
+            }
+            drops.extend(svc.poll().dropped);
+            for s in pop.iter_mut() {
+                if let Some(c) = s.client.as_mut() {
+                    let _ = c.poll();
+                }
+            }
+        }
+
+        // Idle phase: advance in sub-half-timeout hops so survivors
+        // keep answering pings while true silence crosses the
+        // deadline. Two client polls per hop because a received Ping
+        // queues the Pong on the first poll and flushes it on the
+        // second; the trailing service poll drains it.
+        for _ in 0..8 {
+            drops.extend(svc.poll().dropped);
+            for s in pop.iter_mut() {
+                if let Some(c) = s.client.as_mut() {
+                    let _ = c.poll();
+                    let _ = c.poll();
+                }
+            }
+            drops.extend(svc.poll().dropped);
+            svc.dv_mut().clock().advance(Duration::from_millis(400));
+        }
+
+        // The audit: exactly one report per departed client, with the
+        // fate's reason; survivors never reported, never disconnected.
+        for s in &pop {
+            let mine: Vec<DropReason> =
+                drops.iter().filter(|(id, _)| *id == s.id).map(|&(_, r)| r).collect();
+            match s.fate.expected_drop() {
+                Some(reason) => prop_assert_eq!(
+                    &mine[..],
+                    &[reason][..],
+                    "client {} (fate {:?}) misreported",
+                    s.id,
+                    s.fate
+                ),
+                None => {
+                    prop_assert!(
+                        mine.is_empty(),
+                        "surviving client {} reported dropped: {:?}",
+                        s.id,
+                        mine
+                    );
+                    let c = s.client.as_ref().unwrap();
+                    prop_assert!(!c.is_closed(), "surviving client {} lost its link", s.id);
+                }
+            }
+        }
+        let stays = pop.iter().filter(|s| s.fate == Fate::Stay).count();
+        prop_assert_eq!(svc.client_count(), stays, "departed clients not reaped");
+    }
+}
