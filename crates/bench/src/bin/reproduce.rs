@@ -7,17 +7,19 @@
 //!
 //! EXPERIMENT: table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 |
 //!             policy | quality | faults | deferred | ablation |
-//!             obs | ci | net | host | dedup | index | summary | all
+//!             obs | ci | net | host | dedup | index | visual |
+//!             summary | all
 //!             (default: all; `ci`, `obs`, `net`, `host`, `dedup`,
-//!             `index`, and `summary` are not part of `all`)
+//!             `index`, `visual`, and `summary` are not part of `all`)
 //! --scale S:  workload scale factor, 1.0 = paper-sized (default 0.25;
-//!             `ci`, `obs`, `net`, `host`, `dedup`, and `index`
-//!             default to 1.0)
-//! --out P:      ci/obs/net/host/dedup/index: where to write the JSON
-//!               (BENCH_ci.json / BENCH_obs.json / BENCH_net.json /
-//!               BENCH_host.json / BENCH_dedup.json / BENCH_index.json)
-//! --baseline P: ci/net/index/summary: checked-in baseline to gate
-//!               against (BENCH_baseline.json)
+//!             `ci`, `obs`, `net`, `host`, `dedup`, `index`, and
+//!             `visual` default to 1.0)
+//! --out P:      ci/obs/net/host/dedup/index/visual: where to write
+//!               the JSON (BENCH_ci.json / BENCH_obs.json /
+//!               BENCH_net.json / BENCH_host.json / BENCH_dedup.json /
+//!               BENCH_index.json / BENCH_visual.json)
+//! --baseline P: ci/net/index/visual/summary: checked-in baseline to
+//!               gate against (BENCH_baseline.json)
 //! ```
 //!
 //! The `ci` experiment runs the deferred write-back comparison and the
@@ -66,6 +68,20 @@
 //! baseline by 20%, compaction stopped reducing probes or changed an
 //! answer, or a revived query saw hits not sealed by its checkpoint.
 //!
+//! The `visual` experiment sweeps the thumbnail-keyed visual index
+//! over 1/16/128 recording sessions (keyframe fingerprints ingested
+//! through checkpoint-sealed strips, then cross-session
+//! nearest-thumbnail queries merged by global distance-then-recency
+//! order), checks every reply against a per-tenant linear-scan
+//! oracle, accounts fingerprint comparisons saved by the band index,
+//! revives a session from an archive to verify snapshot-consistent
+//! recall, writes machine-independent metrics to `--out`, and exits
+//! nonzero if recall drops under its floor, a reply diverges from the
+//! oracle, the band index stops probing sub-linearly, the p99
+//! per-tenant query unit cost at scale exceeds its limit or the
+//! baseline by 20%, or a revived query saw instances not sealed by
+//! its checkpoint.
+//!
 //! The `summary` experiment runs no workload: it reads every
 //! `BENCH_*.json` in the current directory and prints one GitHub-
 //! flavored markdown table (metric, value, baseline, threshold) for
@@ -78,7 +94,8 @@ use dv_bench::{
     net_experiment, net_wide_experiment, obs_experiment, policy_effectiveness, print_ablation,
     print_crash, print_dedup, print_deferred, print_faults, print_fig2, print_fig3, print_fig4,
     print_fig5, print_fig6, print_fig7, print_host, print_index, print_mirror_ablation, print_net,
-    print_obs, print_policy, print_quality, print_table1, quality_tradeoff, table1,
+    print_obs, print_policy, print_quality, print_table1, print_visual, quality_tradeoff, table1,
+    visual_experiment,
 };
 
 /// How much instrumented wall time may exceed uninstrumented wall time
@@ -122,6 +139,26 @@ const INDEX_QUERY_LIMIT: f64 = 1.50;
 /// before the `index` gate fails. Merging four-way over dozens of
 /// sealed segments should at least halve the probe count.
 const INDEX_PROBE_FLOOR: f64 = 1.5;
+
+/// How much the per-tenant p99 visual-query unit cost at 16/128
+/// sessions may exceed N x the single-session p99 before the `visual`
+/// gate fails. Unit-cost ratios computed within one sweep pass, so one
+/// machine's run gates another machine's baseline.
+const VISUAL_QUERY_LIMIT: f64 = 1.50;
+
+/// The least the band index must shrink fingerprint comparisons
+/// against a full linear scan at the 128-session point before the
+/// `visual` gate fails. Sixteen-band bucket probes over recurring
+/// scenes should touch a small constant candidate set per strip, so a
+/// healthy index sits far above 2x.
+const VISUAL_PROBE_FLOOR: f64 = 2.0;
+
+/// The least fraction of nearest-thumbnail queries that must return
+/// the linear-scan oracle's nearest instance before the `visual` gate
+/// fails. The pigeonhole exactness rule makes the engine byte-exact,
+/// so anything under 1.0 is a real regression; the floor leaves slack
+/// only for a deliberately weakened future index.
+const VISUAL_RECALL_FLOOR: f64 = 0.9;
 
 /// Serializes metrics as a flat JSON object, one metric per line.
 fn to_flat_json(metrics: &[(String, f64)]) -> String {
@@ -680,6 +717,105 @@ fn run_index(scale: f64, out: &str, baseline_path: &str) {
     }
 }
 
+/// Runs the visual-recall experiment: prints the session sweep and the
+/// revive snapshot check, writes machine-independent metrics to `out`,
+/// gates recall, oracle-exactness, probe reduction, and the
+/// query-latency ratios against `baseline_path` (20% tolerance), and
+/// exits nonzero on any failure.
+fn run_visual(scale: f64, out: &str, baseline_path: &str) {
+    let report = visual_experiment(scale);
+    print_visual(&report);
+
+    let mut metrics = Vec::new();
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        metrics.push((
+            format!("visual_keyframes_s{}", row.sessions),
+            row.keyframes as f64,
+        ));
+        metrics.push((
+            format!("visual_instances_s{}", row.sessions),
+            row.instances as f64,
+        ));
+        metrics.push((
+            format!("visual_segments_s{}", row.sessions),
+            row.segments as f64,
+        ));
+    }
+    // Recall and exactness gate on the weakest sweep point: one bad
+    // point is a correctness bug however the others look.
+    let recall = report.rows.iter().map(|r| r.recall).fold(1.0, f64::min);
+    let identical = report.rows.iter().map(|r| r.identical).fold(1.0, f64::min);
+    metrics.push(("visual_recall".to_string(), recall));
+    metrics.push(("visual_identical".to_string(), identical));
+    if recall < VISUAL_RECALL_FLOOR {
+        failures.push(format!(
+            "recall@1 {recall:.3} against the linear-scan oracle, under the {VISUAL_RECALL_FLOOR:.2} floor"
+        ));
+    }
+    if identical < 1.0 {
+        failures.push(format!(
+            "only {identical:.3} of replies matched the oracle merge exactly (pigeonhole exactness broken)"
+        ));
+    }
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        let ratio = row.unit_ratio;
+        metrics.push((format!("visual_query_p99_s{}_ratio", row.sessions), ratio));
+        if ratio > VISUAL_QUERY_LIMIT {
+            failures.push(format!(
+                "{} sessions: p99 query unit cost {ratio:.3}x exceeds {VISUAL_QUERY_LIMIT:.2}x of single-session cost",
+                row.sessions
+            ));
+        }
+    }
+    let widest = report.rows.last().expect("sweep has points");
+    metrics.push(("visual_probe_reduction".to_string(), widest.probe_reduction));
+    if widest.probe_reduction < VISUAL_PROBE_FLOOR {
+        failures.push(format!(
+            "{} sessions: band index cut fingerprint comparisons only {:.2}x, under the {VISUAL_PROBE_FLOOR:.1}x floor",
+            widest.sessions, widest.probe_reduction
+        ));
+    }
+    metrics.push((
+        "visual_snapshot_consistent".to_string(),
+        if report.snapshot_consistent { 1.0 } else { 0.0 },
+    ));
+    if !report.snapshot_consistent {
+        failures.push(
+            "a revived session answered with instances not sealed at or before its checkpoint"
+                .to_string(),
+        );
+    }
+
+    let json = to_flat_json(&metrics);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}:\n{json}");
+    if let Ok(text) = std::fs::read_to_string(baseline_path) {
+        if let Some(baseline) = parse_flat_json(&text) {
+            failures.extend(gate(&metrics, &baseline));
+        } else {
+            eprintln!("{baseline_path} is not valid metrics JSON");
+            std::process::exit(2);
+        }
+    } else {
+        eprintln!("no baseline at {baseline_path}; skipping the baseline gate");
+    }
+    if failures.is_empty() {
+        println!(
+            "visual gate: oracle-exact recall, probes cut >= {VISUAL_PROBE_FLOOR:.1}x, query unit cost within {VISUAL_QUERY_LIMIT:.2}x, revive snapshot-consistent"
+        );
+    } else {
+        eprintln!("visual gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// The pass condition a gate applies to a metric, as a display string
 /// for the summary table, or `None` when the metric is informational.
 fn threshold_for(source: &str, key: &str) -> Option<String> {
@@ -711,6 +847,12 @@ fn threshold_for(source: &str, key: &str) -> Option<String> {
         "index" if key.ends_with("_ratio") => Some(format!("<= {INDEX_QUERY_LIMIT:.2}")),
         "index" if key == "index_probe_reduction" => Some(format!(">= {INDEX_PROBE_FLOOR:.1}")),
         "index" if key == "index_snapshot_consistent" || key == "index_compaction_identical" => {
+            Some(">= 1".to_string())
+        }
+        "visual" if key.ends_with("_ratio") => Some(format!("<= {VISUAL_QUERY_LIMIT:.2}")),
+        "visual" if key == "visual_probe_reduction" => Some(format!(">= {VISUAL_PROBE_FLOOR:.1}")),
+        "visual" if key == "visual_recall" => Some(format!(">= {VISUAL_RECALL_FLOOR:.2}")),
+        "visual" if key == "visual_identical" || key == "visual_snapshot_consistent" => {
             Some(">= 1".to_string())
         }
         _ => None,
@@ -809,7 +951,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|dedup|index|summary|all] [--scale S] [--out P] [--baseline P]"
+                    "usage: reproduce [table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|quality|faults|deferred|ablation|obs|ci|net|host|dedup|index|visual|summary|all] [--scale S] [--out P] [--baseline P]"
                 );
                 return;
             }
@@ -828,7 +970,8 @@ fn main() {
         || experiment == "net"
         || experiment == "host"
         || experiment == "dedup"
-        || experiment == "index";
+        || experiment == "index"
+        || experiment == "visual";
     let scale = scale.unwrap_or(if gated { 1.0 } else { 0.25 });
     if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         eprintln!("scale must be positive");
@@ -872,6 +1015,12 @@ fn main() {
     if experiment == "index" {
         let out = out.unwrap_or_else(|| "BENCH_index.json".to_string());
         run_index(scale, &out, &baseline);
+        eprintln!("done in {:?}", started.elapsed());
+        return;
+    }
+    if experiment == "visual" {
+        let out = out.unwrap_or_else(|| "BENCH_visual.json".to_string());
+        run_visual(scale, &out, &baseline);
         eprintln!("done in {:?}", started.elapsed());
         return;
     }

@@ -2524,6 +2524,376 @@ pub fn index_experiment(scale: f64) -> IndexReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Visual recall: fingerprint ingest, nearest-thumbnail query fan-out
+// ---------------------------------------------------------------------
+
+/// One point of the visual-recall session sweep: `sessions` tenants
+/// each recording distinct scenes through keyframes and checkpoints,
+/// then served cross-tenant nearest-thumbnail queries merged by global
+/// (distance, recency) order and checked against a per-tenant
+/// linear-scan oracle.
+pub struct VisualRow {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Keyframes forced across all tenants in the kept repetition.
+    pub keyframes: u64,
+    /// Visual instances (open + sealed) across all tenants.
+    pub instances: u64,
+    /// Sealed strip segments across all tenants.
+    pub segments: u64,
+    /// Fraction of queries whose nearest hit matched the linear-scan
+    /// oracle's nearest hit (recall@1).
+    pub recall: f64,
+    /// Fraction of queries whose full reply was byte-identical to the
+    /// oracle merge, deterministic tie-break included.
+    pub identical: f64,
+    /// Fingerprint comparisons a full linear scan would have made over
+    /// the same queries, divided by the comparisons the band index
+    /// actually made (from the `vidx.probes` histogram).
+    pub probe_reduction: f64,
+    /// Median cross-session query latency.
+    pub query_p50: std::time::Duration,
+    /// 99th-percentile cross-session query latency.
+    pub query_p99: std::time::Duration,
+    /// Per-tenant p99 unit cost vs the single-session point, computed
+    /// within each interleaved sweep pass and minimised across passes.
+    /// 1.0 for the single-session row itself.
+    pub unit_ratio: f64,
+}
+
+/// The full visual-recall report.
+pub struct VisualReport {
+    /// One row per session-sweep point.
+    pub rows: Vec<VisualRow>,
+    /// Whether an archive+revive answered `visual_at_checkpoint` with
+    /// exactly the hits sealed at or before each checkpoint.
+    pub snapshot_consistent: bool,
+}
+
+/// Session counts the visual sweep visits.
+pub const VISUAL_SWEEP: &[usize] = &[1, 16, 128];
+
+fn visual_session_config(obs: Obs) -> Config {
+    Config {
+        width: 64,
+        height: 48,
+        enable_display_recording: true,
+        enable_text_capture: false,
+        // One-second strip windows so every lockstep round's checkpoint
+        // seals a segment.
+        index_shard_window: Duration::from_millis(1000),
+        io_retry_backoff: Duration::from_millis(0),
+        obs,
+        ..Config::default()
+    }
+}
+
+/// Fills the whole screen with an 8x8 tile mosaic whose colors hash
+/// from `seed`. Every fingerprint grid row sees pseudo-random content,
+/// so no two scenes share an accidentally-blank band (a blank band is
+/// one bucket holding every scene — zero selectivity).
+fn paint_visual_scene(server: &mut DejaView, seed: u64) {
+    for ty in 0..6u32 {
+        for tx in 0..8u32 {
+            let h = seed
+                .wrapping_add(((ty as u64) << 32) | tx as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let color = ((h >> 40) & 0x00FF_FFFF) as u32;
+            server
+                .driver_mut()
+                .fill_rect(dv_display::Rect::new(tx * 8, ty * 8, 8, 8), color);
+        }
+    }
+}
+
+/// What one visual ingest+query run over a fresh host produced.
+struct VisualRunOutcome {
+    /// Per-query latencies, sorted ascending.
+    samples: Vec<std::time::Duration>,
+    keyframes: u64,
+    instances: u64,
+    segments: u64,
+    recall: f64,
+    identical: f64,
+    probe_reduction: f64,
+}
+
+/// Runs one visual workload: every round, every tenant shows the
+/// round's mosaic (fresh each round, shared across tenants — the
+/// recurring application screen a recall query actually hunts for),
+/// forces a keyframe, and checkpoints — which seals the round's strip
+/// — then `queries` recorded-screen probes fan out over all tenants'
+/// strips through [`dv_host::Host::visual_all`]. Every timed reply is
+/// compared afterwards against a per-tenant linear-scan oracle merged
+/// with the same global order. Because the probed scene recurs in
+/// every tenant, each engine holds a within-radius candidate and the
+/// pigeonhole rule never forces a full scan — the sweep measures the
+/// band index, not the fallback.
+fn visual_run_once(sessions: usize, rounds: u64, queries: usize) -> VisualRunOutcome {
+    let clock = SimClock::new();
+    // One shared obs across tenants, so every engine's probe counts
+    // land in a single `vidx.probes` histogram this run can read.
+    let obs = Obs::new(clock.shared());
+    let mut host = dv_host::Host::with_clock(host_pool_config(), clock.clone());
+    let ids: Vec<u64> = (0..sessions)
+        .map(|slot| host.create_session(&format!("v{slot:04}"), visual_session_config(obs.clone())))
+        .collect();
+
+    let mut keyframes = 0u64;
+    for round in 0..rounds {
+        clock.advance(Duration::from_millis(1100));
+        for &id in &ids {
+            let server = host.session_mut(id).expect("registered tenant");
+            paint_visual_scene(server, round + 1);
+            server.force_keyframe();
+            keyframes += 1;
+        }
+        // Past the strip window, so every tenant's checkpoint seals.
+        for &id in &ids {
+            host.checkpoint(id).expect("checkpoint");
+        }
+    }
+
+    // Probes reconstruct recorded screens across tenants and rounds —
+    // collected before timing so playback cost stays out of the query
+    // measurement.
+    let mut probes = Vec::with_capacity(queries);
+    for qi in 0..queries {
+        let slot = qi % sessions;
+        let round = qi as u64 % rounds;
+        let t = Timestamp::from_millis((round + 1) * 1100);
+        let server = host.session_mut(ids[slot]).expect("registered tenant");
+        probes.push(server.browse(t).expect("recorded screen"));
+    }
+
+    // The comparisons one query would cost without the band index.
+    let mut linear_cost = 0u64;
+    for &id in &ids {
+        let server = host.session_mut(id).expect("registered tenant");
+        linear_cost += server.vidx().expect("visual index on").linear_probe_cost();
+    }
+
+    // Lift an idle core out of its low-frequency state before timing.
+    let warm = Instant::now();
+    let mut spin = 0u64;
+    while warm.elapsed() < std::time::Duration::from_millis(5) {
+        spin = spin.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(spin);
+    }
+
+    let probes_before = obs
+        .histogram(dv_obs::names::VIDX_PROBES)
+        .unwrap_or_default();
+    let mut samples = Vec::with_capacity(queries);
+    let mut answers = Vec::with_capacity(queries);
+    for shot in &probes {
+        let t0 = Instant::now();
+        let hits = host.visual_all(shot, 1);
+        samples.push(t0.elapsed());
+        std::hint::black_box(hits.len());
+        answers.push(hits);
+    }
+    let probes_after = obs
+        .histogram(dv_obs::names::VIDX_PROBES)
+        .unwrap_or_default();
+    let probed = (probes_after.sum_nanos - probes_before.sum_nanos) as f64;
+    let probe_reduction = (linear_cost as f64 * probes.len() as f64) / probed.max(1.0);
+    samples.sort_unstable();
+
+    // The oracle: every tenant linear-scanned, merged with the same
+    // global (distance, recency, tenant, id) order `visual_all` uses.
+    let mut recalled = 0usize;
+    let mut matched = 0usize;
+    for (shot, got) in probes.iter().zip(&answers) {
+        let mut oracle: Vec<dv_host::CrossVisualHit> = Vec::new();
+        for (slot, &id) in ids.iter().enumerate() {
+            let server = host.session_mut(id).expect("registered tenant");
+            let hits = server
+                .vidx()
+                .expect("visual index on")
+                .query_linear(shot, 1)
+                .expect("linear scan");
+            oracle.extend(hits.into_iter().map(|hit| dv_host::CrossVisualHit {
+                tenant: id,
+                label: format!("v{slot:04}"),
+                hit,
+            }));
+        }
+        oracle.sort_by(|a, b| {
+            (a.hit.distance, std::cmp::Reverse(a.hit.last), a.tenant)
+                .cmp(&(b.hit.distance, std::cmp::Reverse(b.hit.last), b.tenant))
+                .then(std::cmp::Reverse(a.hit.id).cmp(&std::cmp::Reverse(b.hit.id)))
+        });
+        oracle.truncate(1);
+        let got_top = got.first().map(|h| (h.tenant, h.hit.id));
+        let want_top = oracle.first().map(|h| (h.tenant, h.hit.id));
+        if got_top == want_top {
+            recalled += 1;
+        }
+        if *got == oracle {
+            matched += 1;
+        }
+    }
+
+    let mut instances = 0u64;
+    let mut segments = 0u64;
+    for &id in &ids {
+        let server = host.session_mut(id).expect("registered tenant");
+        let stats = server.vidx().expect("visual index on").stats();
+        instances += stats.open_instances as u64 + stats.sealed_instances;
+        segments += stats.live_segments as u64;
+    }
+    VisualRunOutcome {
+        samples,
+        keyframes,
+        instances,
+        segments,
+        recall: recalled as f64 / probes.len().max(1) as f64,
+        identical: matched as f64 / probes.len().max(1) as f64,
+        probe_reduction,
+    }
+}
+
+/// The 1/16/128-session visual sweep, run as interleaved passes like
+/// the index sweep: each point's unit ratio is computed against the
+/// single-session p99 *of the same pass* and minimised across passes,
+/// so frequency scaling and CPU steal between passes cancel.
+fn visual_sweep(scale: f64) -> Vec<VisualRow> {
+    let rounds = ((10.0 * scale) as u64).max(4);
+    let queries = ((64.0 * scale) as usize).max(16);
+    const PASSES: usize = 3;
+    let mut p99s = vec![vec![0f64; VISUAL_SWEEP.len()]; PASSES];
+    let mut kept: Vec<Option<VisualRunOutcome>> = VISUAL_SWEEP.iter().map(|_| None).collect();
+    for pass in p99s.iter_mut() {
+        for (point, &sessions) in VISUAL_SWEEP.iter().enumerate() {
+            let inner = (8 / sessions).max(1);
+            let mut pooled: Vec<std::time::Duration> = Vec::new();
+            for _ in 0..inner {
+                let outcome = visual_run_once(sessions, rounds, queries);
+                pooled.extend_from_slice(&outcome.samples);
+                if kept[point].as_ref().is_none_or(|k| {
+                    percentile(&outcome.samples, 0.99) < percentile(&k.samples, 0.99)
+                }) {
+                    kept[point] = Some(outcome);
+                }
+            }
+            pooled.sort_unstable();
+            pass[point] = percentile(&pooled, 0.99).as_secs_f64();
+        }
+    }
+    VISUAL_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(point, &sessions)| {
+            let best = kept[point].take().expect("every point ran");
+            let unit_ratio = if point == 0 {
+                1.0
+            } else {
+                p99s.iter()
+                    .map(|pass| pass[point] / (pass[0] * sessions as f64).max(1e-12))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            VisualRow {
+                sessions,
+                keyframes: best.keyframes,
+                instances: best.instances,
+                segments: best.segments,
+                recall: best.recall,
+                identical: best.identical,
+                probe_reduction: best.probe_reduction,
+                query_p50: percentile(&best.samples, 0.50),
+                query_p99: percentile(&best.samples, 0.99),
+                unit_ratio,
+            }
+        })
+        .collect()
+}
+
+/// The visual snapshot-consistency check: a session seals strips
+/// across several checkpoints, archives, and revives; the revived
+/// session's `visual_at_checkpoint` must answer exactly like the
+/// original at every counter — each checkpoint seeing its own batch
+/// and every earlier one, never a later one.
+fn visual_snapshot_consistent() -> bool {
+    let mut dv = DejaView::with_clock(visual_session_config(Obs::disabled()), SimClock::new());
+    let clock = dv.clock();
+    let batches = 4u64;
+    let mut counters = Vec::new();
+    let mut probes = Vec::new();
+    for batch in 0..batches {
+        // Past the strip window before each keyframe, so the
+        // checkpoint that follows seals exactly this batch.
+        clock.advance(Duration::from_millis(1100));
+        paint_visual_scene(&mut dv, batch + 1);
+        dv.force_keyframe();
+        match dv.browse(Timestamp::from_millis((batch + 1) * 1100)) {
+            Ok(shot) => probes.push(shot),
+            Err(_) => return false,
+        }
+        match dv.checkpoint_now() {
+            Ok(report) => counters.push(report.counter),
+            Err(_) => return false,
+        }
+    }
+
+    let view = |dv: &DejaView, counter: u64| -> Option<Vec<Vec<(u64, u32)>>> {
+        probes
+            .iter()
+            .map(|shot| {
+                dv.visual_at_checkpoint(counter, shot, batches as usize)
+                    .map(|hits| hits.into_iter().map(|h| (h.id, h.distance)).collect())
+                    .ok()
+            })
+            .collect()
+    };
+    let mut expect_at = Vec::new();
+    for (i, &c) in counters.iter().enumerate() {
+        let Some(views) = view(&dv, c) else {
+            return false;
+        };
+        // Checkpoint i sees a distance-0 instance for its own batch
+        // and every earlier one, and for no later batch.
+        for (j, hits) in views.iter().enumerate() {
+            let exact = hits.iter().any(|&(_, d)| d == 0);
+            if exact != (j <= i) {
+                return false;
+            }
+        }
+        expect_at.push(views);
+    }
+
+    let archive = match dv.save_archive() {
+        Ok(bytes) => bytes,
+        Err(_) => return false,
+    };
+    let revived = match DejaView::load_archive(visual_session_config(Obs::disabled()), &archive) {
+        Ok(dv) => dv,
+        Err(_) => return false,
+    };
+    for (i, &c) in counters.iter().enumerate() {
+        match view(&revived, c) {
+            Some(views) => {
+                if views != expect_at[i] {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// The dv-vidx experiment: the 1/16/128-session ingest+query sweep
+/// with oracle-exactness and probe accounting, and the archive+revive
+/// snapshot check.
+pub fn visual_experiment(scale: f64) -> VisualReport {
+    VisualReport {
+        rows: visual_sweep(scale),
+        snapshot_consistent: visual_snapshot_consistent(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2685,6 +3055,39 @@ mod tests {
         assert!(
             report.snapshot_consistent,
             "revive saw hits not sealed at or before its checkpoint"
+        );
+    }
+
+    #[test]
+    fn visual_experiment_is_oracle_exact_and_revives_consistently() {
+        let report = visual_experiment(0.1);
+        assert_eq!(report.rows.len(), VISUAL_SWEEP.len());
+        for row in &report.rows {
+            assert!(row.keyframes > 0 && row.instances > 0 && row.segments > 0);
+            assert!(row.query_p50 <= row.query_p99);
+            assert!(
+                row.recall >= 1.0 - 1e-9,
+                "{} sessions: recall@1 {:.3} against the linear-scan oracle",
+                row.sessions,
+                row.recall
+            );
+            assert!(
+                row.identical >= 1.0 - 1e-9,
+                "{} sessions: {:.3} of replies matched the oracle merge exactly",
+                row.sessions,
+                row.identical
+            );
+        }
+        // The widest point must show the band index earning its keep.
+        let widest = report.rows.last().unwrap();
+        assert!(
+            widest.probe_reduction > 1.0,
+            "128 sessions: probe reduction {:.2}x",
+            widest.probe_reduction
+        );
+        assert!(
+            report.snapshot_consistent,
+            "revive saw visual hits not sealed at or before its checkpoint"
         );
     }
 

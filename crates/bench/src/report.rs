@@ -3,7 +3,7 @@
 use crate::experiments::{
     AblationRow, BrowseSearchRow, CheckpointRow, CrashRow, DedupRow, DeferredRow, FaultRow,
     HostReport, IndexReport, MirrorAblationRow, NetRow, ObsReport, OverheadRow, PlaybackRow,
-    QualityRow, ReviveRow, StorageRow, Table1Row,
+    QualityRow, ReviveRow, StorageRow, Table1Row, VisualReport,
 };
 use dv_checkpoint::PolicyStats;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -561,6 +561,53 @@ pub fn print_index(report: &IndexReport) {
         "  revive snapshot consistency: {}",
         if report.snapshot_consistent {
             "exactly the hits sealed at or before each checkpoint"
+        } else {
+            "VIOLATED"
+        },
+    );
+}
+
+/// Prints the dv-vidx visual-recall measurement.
+pub fn print_visual(report: &VisualReport) {
+    out!("Visual recall: nearest-thumbnail query fan-out vs the linear-scan oracle");
+    out!(
+        "{:<9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9} {:>11} {:>11}",
+        "sessions",
+        "keyframes",
+        "instances",
+        "segments",
+        "recall",
+        "identical",
+        "probe dn",
+        "qry p50 us",
+        "qry p99 us"
+    );
+    out!("{:-<92}", "");
+    for row in &report.rows {
+        out!(
+            "{:<9} {:>9} {:>9} {:>9} {:>8.3} {:>9.3} {:>8.1}x {:>11.2} {:>11.2}",
+            row.sessions,
+            row.keyframes,
+            row.instances,
+            row.segments,
+            row.recall,
+            row.identical,
+            row.probe_reduction,
+            row.query_p50.as_secs_f64() * 1e6,
+            row.query_p99.as_secs_f64() * 1e6,
+        );
+    }
+    for row in report.rows.iter().filter(|r| r.sessions > 1) {
+        out!(
+            "  {} sessions: {:.3}x per-tenant p99 unit cost vs single session",
+            row.sessions,
+            row.unit_ratio,
+        );
+    }
+    out!(
+        "  revive snapshot consistency: {}",
+        if report.snapshot_consistent {
+            "exactly the instances sealed at or before each checkpoint"
         } else {
             "VIOLATED"
         },

@@ -146,8 +146,11 @@ impl DejaView {
         dv.install_session_fs(fs);
         // Sealed index segments and their manifests travel inside the
         // blob store export; rebuild the shard layout from the newest
-        // manifest so multi-shard search works over the archive.
+        // manifest so multi-shard search works over the archive. The
+        // visual strip rides the same store, so its layout recovers
+        // the same way.
         dv.recover_index_shards()?;
+        dv.recover_visual()?;
         Ok(dv)
     }
 }

@@ -60,6 +60,19 @@ pub struct Config {
     pub index_compact_fanin: usize,
     /// Decoded sealed segments kept hot for queries.
     pub index_segment_cache: usize,
+    /// Thumbnail-keyed visual recall: fingerprint every persisted
+    /// keyframe into the dv-vidx strip, sealed at checkpoint
+    /// boundaries like the sharded text index. Requires display
+    /// recording.
+    pub enable_visual_index: bool,
+    /// Width every keyframe thumbnail is resampled to.
+    pub thumbnail_w: u32,
+    /// Height every keyframe thumbnail is resampled to.
+    pub thumbnail_h: u32,
+    /// Hamming threshold under which consecutive keyframes coalesce
+    /// into one visual instance (must stay at or below
+    /// [`dv_vidx::EXACT_RADIUS`] so instances remain separable).
+    pub visual_near_dup_bits: u32,
     /// Fault-injection plane installed into every storage component
     /// (disk log, journal, blob store, checkpoint writeback, recorder
     /// persistence, index flush). Disabled by default: the sites are
@@ -107,6 +120,10 @@ impl Default for Config {
             index_filter_redundant: true,
             index_compact_fanin: 4,
             index_segment_cache: 16,
+            enable_visual_index: true,
+            thumbnail_w: 64,
+            thumbnail_h: 48,
+            visual_near_dup_bits: 8,
             fault_plane: FaultPlane::disabled(),
             obs: Obs::disabled(),
             shared_store: None,
@@ -137,6 +154,12 @@ mod tests {
         assert!(config.enable_sharded_index);
         assert_eq!(config.index_shard_window.as_millis(), 30_000);
         assert!(config.index_filter_redundant);
+        // Visual recall ships on with a PDA-sized thumbnail and a
+        // coalescing threshold safely inside the exact-recall radius.
+        assert!(config.enable_visual_index);
+        assert_eq!((config.thumbnail_w, config.thumbnail_h), (64, 48));
+        assert_eq!(config.visual_near_dup_bits, 8);
+        assert!(config.visual_near_dup_bits <= dv_vidx::EXACT_RADIUS);
         // Deferred write-back ships disabled: the synchronous path stays
         // the default until a deployment opts into commit workers.
         assert_eq!(config.engine.commit_workers, 0);

@@ -62,6 +62,7 @@ pub mod ui;
 pub use archive::ArchiveError;
 pub use config::Config;
 pub use dv_obs::{Obs, ObsSnapshot};
+pub use dv_vidx::{VidxStats, VisualHit};
 pub use error::ServerError;
 pub use server::{DejaView, PolicyTick, SearchResult};
 pub use session::{BranchFs, RevivedSession};

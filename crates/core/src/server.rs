@@ -25,6 +25,7 @@ use dv_record::{DisplayRecord, DisplayRecorder, LruCache, PlaybackEngine};
 use dv_tidx::{TidxConfig, TidxEngine};
 use dv_time::{Duration, SimClock, Timestamp};
 use dv_vee::{HostPidAllocator, Vee, Vpid};
+use dv_vidx::{VidxConfig, VidxEngine, VisualHit};
 
 use crate::config::Config;
 use crate::error::ServerError;
@@ -65,6 +66,9 @@ pub struct DejaView {
     /// The sharded temporal index over `index` (None when disabled:
     /// the whole record stays in the single in-memory index).
     tidx: Option<Arc<TidxEngine>>,
+    /// Thumbnail-keyed visual recall over the keyframe stream (None
+    /// when disabled or when display recording is off).
+    vidx: Option<Arc<VidxEngine>>,
     /// The main session's virtual execution environment.
     vee: Vee,
     session_fs: SharedFs<Lsfs>,
@@ -120,6 +124,10 @@ impl DejaView {
             index_filter_redundant,
             index_compact_fanin,
             index_segment_cache,
+            enable_visual_index,
+            thumbnail_w,
+            thumbnail_h,
+            visual_near_dup_bits,
             fault_plane,
             obs,
             shared_store,
@@ -229,6 +237,35 @@ impl DejaView {
         } else {
             None
         };
+        // Visual recall hangs off the recorder's keyframe hook: every
+        // *persisted* keyframe (suppressed duplicates never fire it)
+        // is thumbnailed and fingerprinted into the strip, which seals
+        // into the same checkpoint store under the tenant namespace.
+        let vidx = if enable_visual_index && enable_display_recording {
+            let engine = Arc::new(VidxEngine::new(
+                store.clone(),
+                fault_plane.clone(),
+                obs.clone(),
+                VidxConfig {
+                    thumb_w: thumbnail_w,
+                    thumb_h: thumbnail_h,
+                    near_dup_bits: visual_near_dup_bits,
+                    strip_window: index_shard_window,
+                    segment_cache: index_segment_cache,
+                    blob_prefix: match &blob_prefix {
+                        Some(prefix) => format!("{prefix}."),
+                        None => String::new(),
+                    },
+                },
+            ));
+            let hook = engine.clone();
+            recorder
+                .lock()
+                .set_keyframe_hook(Box::new(move |now, shot| hook.observe(now, shot)));
+            Some(engine)
+        } else {
+            None
+        };
         let playback = PlaybackEngine::new(record.clone());
         DejaView {
             clipboard: String::new(),
@@ -242,6 +279,7 @@ impl DejaView {
             record,
             index,
             tidx,
+            vidx,
             vee,
             session_fs,
             store,
@@ -521,6 +559,7 @@ impl DejaView {
             match self.engine.checkpoint(&mut self.vee, &self.store) {
                 Ok(report) => {
                     self.maybe_seal_index(report.counter);
+                    self.maybe_seal_visual(report.counter);
                     return Ok(report);
                 }
                 Err(e) => {
@@ -556,6 +595,23 @@ impl DejaView {
                     "server",
                     names::EV_SERVER_RETRY,
                     format!("index-seal ckpt={counter} error={e:?}"),
+                );
+            }
+        }
+    }
+
+    /// Seals the open visual strip at a just-durable checkpoint when
+    /// its window has elapsed. Degrades like the index seal: the open
+    /// strip stays authoritative and the seal retries at the next
+    /// checkpoint, never failing the checkpoint itself.
+    fn maybe_seal_visual(&mut self, counter: u64) {
+        if let Some(vidx) = &self.vidx {
+            if let Err(e) = vidx.maybe_seal(counter) {
+                self.obs.incr(names::SERVER_DEGRADED_EVENTS);
+                self.obs.event(
+                    "server",
+                    names::EV_SERVER_RETRY,
+                    format!("visual-seal ckpt={counter} error={e:?}"),
                 );
             }
         }
@@ -750,6 +806,89 @@ impl DejaView {
     /// Returns the sharded temporal index engine, when enabled.
     pub fn tidx(&self) -> Option<Arc<TidxEngine>> {
         self.tidx.clone()
+    }
+
+    /// Returns the visual-recall engine, when enabled.
+    pub fn vidx(&self) -> Option<Arc<VidxEngine>> {
+        self.vidx.clone()
+    }
+
+    /// Visual recall (§4.4's search portal, keyed by appearance): the
+    /// `k` visual instances nearest to a query screenshot, across
+    /// every sealed strip segment plus the open strip. Results match
+    /// a linear scan exactly (the dv-vidx pigeonhole rule) while
+    /// probing sub-linearly.
+    pub fn visual_hits(&self, probe: &Screenshot, k: usize) -> Result<Vec<VisualHit>, ServerError> {
+        let Some(vidx) = &self.vidx else {
+            return Err(ServerError::Query(dv_index::ParseError(
+                "visual index disabled".into(),
+            )));
+        };
+        vidx.query(probe, k)
+            .map_err(|e| ServerError::Query(dv_index::ParseError(e.to_string())))
+    }
+
+    /// Visual recall as of checkpoint `counter` — exactly the
+    /// instances sealed at or before it, not the open strip. The
+    /// WYSIWYS guarantee for a revived session's visual view.
+    pub fn visual_at_checkpoint(
+        &self,
+        counter: u64,
+        probe: &Screenshot,
+        k: usize,
+    ) -> Result<Vec<VisualHit>, ServerError> {
+        let Some(vidx) = &self.vidx else {
+            return Err(ServerError::Query(dv_index::ParseError(
+                "visual index disabled".into(),
+            )));
+        };
+        vidx.query_at(counter, probe, k)
+            .map_err(|e| ServerError::Query(dv_index::ParseError(e.to_string())))
+    }
+
+    /// Visual recall keyed by a past moment instead of a supplied
+    /// image: "find when the screen looked like it did at `t`".
+    pub fn visual_hits_at_time(
+        &mut self,
+        t: Timestamp,
+        k: usize,
+    ) -> Result<Vec<VisualHit>, ServerError> {
+        let probe = self.screenshot_at(t)?;
+        self.visual_hits(&probe, k)
+    }
+
+    /// Pivots a visual hit into playback: the timeline keyframe
+    /// anchoring the hit's interval plus the reconstructed full-
+    /// resolution screen, so the UI can drop straight from a
+    /// thumbnail onto the PVR slider.
+    pub fn visual_pivot(
+        &mut self,
+        hit: &VisualHit,
+    ) -> Result<(dv_record::TimelineEntry, Screenshot), ServerError> {
+        let entry = {
+            let store = self.record.read();
+            store.timeline.entry_at_or_before(hit.last).copied()
+        }
+        .ok_or(ServerError::NoCheckpoint)?;
+        let screenshot = self.screenshot_at(hit.last)?;
+        Ok((entry, screenshot))
+    }
+
+    /// Pivots a visual hit into a revive: "Take me back" to when the
+    /// screen last looked like this.
+    pub fn visual_revive(&mut self, hit: &VisualHit) -> Result<u64, ServerError> {
+        let last = hit.last;
+        self.take_me_back(last)
+    }
+
+    /// Rebuilds the visual-strip layout from the manifests in the
+    /// checkpoint store (archive restore).
+    pub fn recover_visual(&mut self) -> Result<Option<u64>, ServerError> {
+        let Some(vidx) = &self.vidx else {
+            return Ok(None);
+        };
+        vidx.recover_latest()
+            .map_err(|e| ServerError::Query(dv_index::ParseError(e.to_string())))
     }
 
     /// Searches the shard layout as of checkpoint `counter` — exactly
@@ -1540,5 +1679,134 @@ mod tests {
             .search("annotation:quick", RankOrder::Chronological)
             .unwrap()
             .is_empty());
+    }
+
+    /// Paints a visually distinct scene (seeded block pattern over a
+    /// dark background — uniform fills all share the zero gradient
+    /// fingerprint, so scenes need structure).
+    fn paint_scene(dv: &mut DejaView, seed: u32) {
+        dv.driver_mut().fill_rect(Rect::new(0, 0, 64, 64), 0x101010);
+        for i in 0..8u32 {
+            let x = seed.wrapping_mul(31).wrapping_add(i * 13) % 48;
+            let y = seed.wrapping_mul(17).wrapping_add(i * 7) % 48;
+            let color = 0xFFu32 << (8 * ((seed + i) % 3));
+            dv.driver_mut().fill_rect(Rect::new(x, y, 12, 12), color);
+        }
+    }
+
+    #[test]
+    fn visual_recall_finds_past_scenes_and_pivots() {
+        let mut dv = server();
+        let clock = dv.clock();
+        // Three distinct scenes, one keyframe + checkpoint each.
+        for seed in 0..3u32 {
+            clock.advance(Duration::from_secs(1));
+            paint_scene(&mut dv, seed);
+            dv.force_keyframe();
+            dv.policy_tick().unwrap();
+        }
+        // At least one instance per scene (the recorder's own keyframe
+        // cadence may contribute extras; near-duplicates coalesce).
+        assert!(dv.vidx().unwrap().stats().open_instances >= 3);
+
+        // "Find when the screen looked like it did at t=1s."
+        let hits = dv.visual_hits_at_time(Timestamp::from_secs(1), 1).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 0, "exact scene re-probe");
+        assert_eq!(hits[0].first, Timestamp::from_secs(1));
+
+        // The hit pivots onto the PVR timeline: the anchoring keyframe
+        // and the reconstructed full screen at the hit's moment.
+        let (entry, shot) = dv.visual_pivot(&hits[0].clone()).unwrap();
+        assert!(entry.time <= hits[0].last);
+        let expected = dv.browse(hits[0].last).unwrap();
+        assert_eq!(shot.content_hash(), expected.content_hash());
+
+        // ...and into a revive at that moment.
+        let sid = dv.visual_revive(&hits[0].clone()).unwrap();
+        assert!(dv.session(sid).is_ok());
+    }
+
+    #[test]
+    fn visual_index_seals_and_survives_archives() {
+        // A strip window of one second forces a seal at nearly every
+        // checkpoint, exercising the sealed path end to end.
+        let mut dv = DejaView::new(Config {
+            width: 64,
+            height: 64,
+            index_shard_window: Duration::from_secs(1),
+            ..Config::default()
+        });
+        let clock = dv.clock();
+        for seed in 0..6u32 {
+            clock.advance(Duration::from_secs(1));
+            paint_scene(&mut dv, seed);
+            dv.force_keyframe();
+            dv.policy_tick().unwrap();
+        }
+        let vidx = dv.vidx().unwrap();
+        assert!(vidx.stats().live_segments >= 2, "{:?}", vidx.stats());
+
+        // Every scene is findable across sealed segments + open strip,
+        // and matches the linear-scan oracle exactly.
+        for t in 1..=6u64 {
+            let probe = dv.browse(Timestamp::from_secs(t)).unwrap();
+            let hits = dv.visual_hits(&probe, 2).unwrap();
+            assert_eq!(hits[0].distance, 0, "scene at t={t}s");
+            assert_eq!(hits[0].first, Timestamp::from_secs(t));
+            assert_eq!(hits, vidx.query_linear(&probe, 2).unwrap());
+        }
+
+        // Checkpoint-sealed visibility: a probe for a late scene is
+        // invisible at an early checkpoint.
+        let probe5 = dv.browse(Timestamp::from_secs(5)).unwrap();
+        let early = dv.visual_at_checkpoint(2, &probe5, 1).unwrap();
+        assert!(early.is_empty() || early[0].distance > 0);
+        let late = dv.visual_at_checkpoint(6, &probe5, 1).unwrap();
+        assert_eq!(late[0].distance, 0);
+
+        // The sealed strip travels inside the archive, and the
+        // restored server answers checkpoint-scoped queries
+        // identically.
+        let at6: Vec<_> = (1..=6u64)
+            .map(|t| {
+                let probe = dv.browse(Timestamp::from_secs(t)).unwrap();
+                dv.visual_at_checkpoint(6, &probe, 2).unwrap()
+            })
+            .collect();
+        let archive = dv.save_archive().unwrap();
+        let mut restored = DejaView::load_archive(
+            Config {
+                index_shard_window: Duration::from_secs(1),
+                ..Config::default()
+            },
+            &archive,
+        )
+        .unwrap();
+        for (i, expected) in at6.iter().enumerate() {
+            let t = i as u64 + 1;
+            let probe = restored.browse(Timestamp::from_secs(t)).unwrap();
+            assert_eq!(
+                &restored.visual_at_checkpoint(6, &probe, 2).unwrap(),
+                expected,
+                "restored visual view at t={t}s"
+            );
+        }
+    }
+
+    #[test]
+    fn visual_recall_respects_the_disable_switch() {
+        let mut dv = DejaView::new(Config {
+            width: 64,
+            height: 64,
+            enable_visual_index: false,
+            ..Config::default()
+        });
+        paint_scene(&mut dv, 1);
+        dv.force_keyframe();
+        assert!(dv.vidx().is_none());
+        let probe = dv.browse(Timestamp::ZERO).unwrap();
+        assert!(dv.visual_hits(&probe, 1).is_err());
+        assert!(dv.visual_at_checkpoint(1, &probe, 1).is_err());
     }
 }

@@ -51,7 +51,7 @@ pub use framebuffer::{Framebuffer, Screenshot};
 pub use output::{OutputPool, VirtualOutput};
 pub use queue::{CommandQueue, QueuedCommand};
 pub use rect::{Rect, Region};
-pub use scale::{scale_command, scale_screenshot, ScaleFactor};
+pub use scale::{resample_screenshot, scale_command, scale_screenshot, ScaleFactor};
 pub use viewer::{InputEvent, Viewer, ViewerStats};
 pub use wire::{
     decode_input, encode_input, ByteChannel, ChannelClosed, PumpStatus, RemoteViewer, StreamEncoder,

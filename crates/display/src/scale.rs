@@ -112,6 +112,29 @@ pub fn scale_screenshot(shot: &Screenshot, scale: ScaleFactor) -> Screenshot {
     }
 }
 
+/// Resamples a screenshot to an exact target geometry, independently
+/// per axis (nearest-neighbour, like [`scale_screenshot`] but
+/// anisotropic). This is the thumbnail path: a fixed-size thumbnail of
+/// an arbitrary-aspect screen needs `w x h` exactly, not one rational
+/// factor applied to both axes.
+pub fn resample_screenshot(shot: &Screenshot, w: u32, h: u32) -> Screenshot {
+    let w = w.max(1);
+    let h = h.max(1);
+    if w == shot.width && h == shot.height {
+        return shot.clone();
+    }
+    let pixels = if shot.width == 0 || shot.height == 0 {
+        vec![0; (w * h) as usize]
+    } else {
+        resample_pixels(&shot.pixels, shot.width, shot.height, w, h)
+    };
+    Screenshot {
+        width: w,
+        height: h,
+        pixels: Arc::new(pixels),
+    }
+}
+
 fn resample_pixels(src: &[Pixel], sw: u32, sh: u32, dw: u32, dh: u32) -> Vec<Pixel> {
     if dw == 0 || dh == 0 || sw == 0 || sh == 0 {
         return Vec::new();
@@ -249,5 +272,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_rejected() {
         let _ = ScaleFactor::new(0, 2);
+    }
+
+    #[test]
+    fn resample_hits_exact_target_geometry() {
+        let shot = Screenshot {
+            width: 10,
+            height: 7,
+            pixels: Arc::new((0..70).collect()),
+        };
+        let thumb = resample_screenshot(&shot, 4, 4);
+        assert_eq!((thumb.width, thumb.height), (4, 4));
+        assert_eq!(thumb.pixels.len(), 16);
+        // Top-left sample survives; identity is a cheap clone.
+        assert_eq!(thumb.pixels[0], 0);
+        let same = resample_screenshot(&shot, 10, 7);
+        assert_eq!(same, shot);
+        // Upscaling a tiny screen fills the full target.
+        let up = resample_screenshot(&thumb, 8, 2);
+        assert_eq!(up.pixels.len(), 16);
     }
 }

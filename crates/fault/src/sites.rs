@@ -78,6 +78,16 @@ pub const TIDX_COMPACT: &str = "tidx.compact";
 /// shape (and baselines).
 pub const TIDX_ALL: [&str; 2] = [TIDX_SEAL, TIDX_COMPACT];
 
+/// Thumbnail-strip seal in `dv-vidx` — the open visual strip's
+/// encode-and-persist into an immutable segment at a checkpoint
+/// boundary.
+pub const VIDX_FLUSH: &str = "vidx.flush";
+
+/// The visual-index sites. Kept out of [`ALL`] for the same reason as
+/// [`TIDX_ALL`]: the strip seals above the blob layer with its own
+/// fault tests in `dv-vidx`.
+pub const VIDX_ALL: [&str; 1] = [VIDX_FLUSH];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,13 +99,14 @@ mod tests {
             .chain(NET_ALL.iter())
             .chain(CAS_ALL.iter())
             .chain(TIDX_ALL.iter())
+            .chain(VIDX_ALL.iter())
             .copied()
             .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(
             names.len(),
-            ALL.len() + NET_ALL.len() + CAS_ALL.len() + TIDX_ALL.len()
+            ALL.len() + NET_ALL.len() + CAS_ALL.len() + TIDX_ALL.len() + VIDX_ALL.len()
         );
     }
 }

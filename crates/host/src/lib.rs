@@ -34,11 +34,13 @@ use std::sync::Arc;
 
 use dejaview::{Config, DejaView, ServerError};
 use dv_checkpoint::{CheckpointReport, CommitPipeline, FairPolicy, LaneId, PipelineConfig};
+use dv_display::Screenshot;
 use dv_index::{parse_query, RankOrder, SearchHit};
 use dv_lsfs::{CasGcStep, CasStats, FsError, SharedBlobStore};
 use dv_obs::{names, Obs, ObsSnapshot};
 use dv_time::{Duration, SimClock, Sleeper};
 use dv_vee::Vpid;
+use dv_vidx::VisualHit;
 
 /// Per-tenant resource limits.
 #[derive(Clone, Copy, Debug)]
@@ -156,6 +158,19 @@ pub struct CrossHit {
     pub label: String,
     /// The underlying index hit (times are on the shared host clock).
     pub hit: SearchHit,
+}
+
+/// One hit of a cross-session visual query: which tenant's record
+/// looked like the probe, and when.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrossVisualHit {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Tenant label.
+    pub label: String,
+    /// The underlying visual instance (times are on the shared host
+    /// clock).
+    pub hit: VisualHit,
 }
 
 /// One registered session and its host-side bookkeeping.
@@ -311,6 +326,23 @@ impl Host {
                 .filter_map(|n| s.get(n))
                 .map(|b| b.len() as u64)
                 .sum(),
+        })
+    }
+
+    /// Logical bytes of sealed thumbnail-strip blobs (dv-vidx segments
+    /// and manifests) across every tenant — the visual-recall share of
+    /// [`Host::storage_logical_bytes`]. Strips land in the shared
+    /// store through the same deduplicating `put_deduped` path as
+    /// checkpoints, so their physical share also benefits from
+    /// cross-tenant dedup.
+    pub fn storage_visual_bytes(&self) -> u64 {
+        self.store.with(|s| {
+            s.names()
+                .iter()
+                .filter(|n| n.contains("vidxseg-") || n.contains("vidxman-"))
+                .filter_map(|n| s.get(n))
+                .map(|b| b.len() as u64)
+                .sum()
         })
     }
 
@@ -561,6 +593,45 @@ impl Host {
         merged.truncate(limit);
         self.obs.incr(names::HOST_CROSS_QUERIES);
         Ok(merged)
+    }
+
+    /// Evaluates one visual probe against **every** tenant's thumbnail
+    /// strip — "which of my sessions ever looked like this?". Each
+    /// tenant's dv-vidx engine answers independently (oracle-exact,
+    /// sub-linear); the tagged hits are merged by global distance,
+    /// most-recent-first among ties, with the tenant id as the final
+    /// deterministic tie-break, and truncated to `k`. Tenants with the
+    /// visual index disabled contribute nothing; a tenant whose query
+    /// fails (e.g. a corrupt sealed strip) degrades that tenant only.
+    pub fn visual_all(&mut self, probe: &Screenshot, k: usize) -> Vec<CrossVisualHit> {
+        let mut merged: Vec<CrossVisualHit> = Vec::new();
+        for (&id, tenant) in self.tenants.iter_mut() {
+            if tenant.server.vidx().is_none() {
+                continue;
+            }
+            match tenant.server.visual_hits(probe, k) {
+                Ok(hits) => merged.extend(hits.into_iter().map(|hit| CrossVisualHit {
+                    tenant: id,
+                    label: tenant.label.clone(),
+                    hit,
+                })),
+                Err(e) => {
+                    self.obs.event(
+                        "host",
+                        names::EV_HOST_SESSION,
+                        format!("tenant={} visual-query error={e:?}", tenant.label),
+                    );
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
+            (a.hit.distance, std::cmp::Reverse(a.hit.last), a.tenant)
+                .cmp(&(b.hit.distance, std::cmp::Reverse(b.hit.last), b.tenant))
+                .then(std::cmp::Reverse(a.hit.id).cmp(&std::cmp::Reverse(b.hit.id)))
+        });
+        merged.truncate(k);
+        self.obs.incr(names::HOST_VISUAL_QUERIES);
+        merged
     }
 
     /// One fair background-compaction round: walks tenants from a
@@ -1044,5 +1115,102 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    fn visual_config() -> Config {
+        Config {
+            width: 64,
+            height: 48,
+            enable_text_capture: false,
+            index_shard_window: Duration::from_secs(1),
+            ..Config::default()
+        }
+    }
+
+    /// Paints a seeded, visually structured scene on a tenant's screen
+    /// and records a keyframe of it.
+    fn paint_tenant_scene(host: &mut Host, id: u64, seed: u32) {
+        use dv_display::Rect;
+        let server = host.session_mut(id).unwrap();
+        server
+            .driver_mut()
+            .fill_rect(Rect::new(0, 0, 64, 48), 0x101010);
+        for i in 0..8u32 {
+            let x = seed.wrapping_mul(31).wrapping_add(i * 13) % 48;
+            let y = seed.wrapping_mul(17).wrapping_add(i * 7) % 32;
+            let color = 0xFFu32 << (8 * ((seed + i) % 3));
+            server
+                .driver_mut()
+                .fill_rect(Rect::new(x, y, 12, 12), color);
+        }
+        server.force_keyframe();
+    }
+
+    #[test]
+    fn visual_all_merges_tenant_strips_by_distance() {
+        let mut host = Host::new(HostConfig::default());
+        let a = host.create_session("alpha", visual_config());
+        let b = host.create_session("beta", visual_config());
+        // A third tenant with visual recall off contributes nothing.
+        let c = host.create_session(
+            "gamma",
+            Config {
+                enable_visual_index: false,
+                ..visual_config()
+            },
+        );
+        for round in 0..3u32 {
+            host.clock().advance(Duration::from_secs(1));
+            paint_tenant_scene(&mut host, a, round);
+            paint_tenant_scene(&mut host, b, round + 100);
+            paint_tenant_scene(&mut host, c, round);
+            for id in [a, b, c] {
+                host.checkpoint(id).unwrap();
+            }
+        }
+        // Probe with tenant alpha's second scene: alpha's instance is
+        // the global best at distance 0; every returned hit is tagged
+        // with its tenant.
+        let probe = host
+            .session_mut(a)
+            .unwrap()
+            .browse(dv_time::Timestamp::from_secs(2))
+            .unwrap();
+        let hits = host.visual_all(&probe, 4);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].tenant, a);
+        assert_eq!(hits[0].label, "alpha");
+        assert_eq!(hits[0].hit.distance, 0);
+        assert!(hits.iter().all(|h| h.tenant != c), "gamma has no strip");
+        // Global order: distance ascending, ties most-recent-first.
+        for pair in hits.windows(2) {
+            assert!(
+                (pair[0].hit.distance, std::cmp::Reverse(pair[0].hit.last))
+                    <= (pair[1].hit.distance, std::cmp::Reverse(pair[1].hit.last))
+            );
+        }
+        assert_eq!(host.obs().snapshot().counter(names::HOST_VISUAL_QUERIES), 1);
+    }
+
+    #[test]
+    fn sealed_strips_surface_in_storage_accounting() {
+        let mut host = Host::new(HostConfig::default());
+        let id = host.create_session("vis", visual_config());
+        assert_eq!(host.storage_visual_bytes(), 0);
+        // The one-second strip window seals at nearly every checkpoint.
+        for round in 0..4u32 {
+            host.clock().advance(Duration::from_secs(1));
+            paint_tenant_scene(&mut host, id, round);
+            host.checkpoint(id).unwrap();
+        }
+        let vidx = host.session(id).unwrap().vidx().unwrap();
+        assert!(vidx.stats().live_segments >= 1);
+        // Strip blobs are namespaced by the tenant label and counted
+        // in the host's visual-storage share of the logical total.
+        let store = host.store();
+        assert!(store.lock().contains("vis.vidxseg-00000001"));
+        let visual = host.storage_visual_bytes();
+        assert!(visual > 0);
+        assert!(visual <= host.storage_logical_bytes());
     }
 }

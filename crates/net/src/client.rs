@@ -23,7 +23,8 @@ use dv_time::Timestamp;
 
 use crate::frame::{encode_frame, FrameDecoder, FrameError};
 use crate::proto::{
-    decode_message, encode_message_vec, Message, ProtoError, WireHit, PROTOCOL_VERSION,
+    decode_message, encode_message_vec, Message, ProtoError, VisualProbe, WireHit, WireVisualHit,
+    PROTOCOL_VERSION,
 };
 use crate::transport::{Transport, TransportError};
 
@@ -101,6 +102,7 @@ pub struct NetClient<T: Transport> {
     next_req: u32,
     seek_replies: HashMap<u32, Screenshot>,
     search_replies: HashMap<u32, Vec<WireHit>>,
+    visual_replies: HashMap<u32, Vec<WireVisualHit>>,
     rpc_errors: HashMap<u32, String>,
     stats: ClientStats,
 }
@@ -119,6 +121,7 @@ impl<T: Transport> NetClient<T> {
             next_req: 1,
             seek_replies: HashMap::new(),
             search_replies: HashMap::new(),
+            visual_replies: HashMap::new(),
             rpc_errors: HashMap::new(),
             stats: ClientStats::default(),
         };
@@ -184,6 +187,17 @@ impl<T: Transport> NetClient<T> {
         req_id
     }
 
+    /// Submits a visual-recall query — an image, or a recorded moment
+    /// via [`VisualProbe::At`] — for the `k` nearest instances; the
+    /// reply is matched by the returned request id (see
+    /// [`take_visual_reply`](Self::take_visual_reply)).
+    pub fn visual_query(&mut self, probe: VisualProbe, k: u32) -> u32 {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.queue(&Message::VisualQuery { req_id, k, probe });
+        req_id
+    }
+
     /// Announces a graceful disconnect.
     pub fn bye(&mut self) {
         self.queue(&Message::Bye);
@@ -197,6 +211,11 @@ impl<T: Transport> NetClient<T> {
     /// Takes a completed search reply, if it has arrived.
     pub fn take_search_reply(&mut self, req_id: u32) -> Option<Vec<WireHit>> {
         self.search_replies.remove(&req_id)
+    }
+
+    /// Takes a completed visual reply, if it has arrived.
+    pub fn take_visual_reply(&mut self, req_id: u32) -> Option<Vec<WireVisualHit>> {
+        self.visual_replies.remove(&req_id)
     }
 
     /// Takes a server-side error reply for `req_id`, if one arrived.
@@ -325,6 +344,9 @@ impl<T: Transport> NetClient<T> {
             }
             Message::SearchReply { req_id, hits } => {
                 self.search_replies.insert(req_id, hits);
+            }
+            Message::VisualReply { req_id, hits } => {
+                self.visual_replies.insert(req_id, hits);
             }
             Message::Error { req_id, message } => {
                 self.rpc_errors.insert(req_id, message);

@@ -57,8 +57,8 @@ pub use frame::{
     FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 pub use proto::{
-    decode_message, encode_message, encode_message_vec, Message, ProtoError, WireHit,
-    MAX_SEARCH_HITS, PROTOCOL_VERSION,
+    decode_message, encode_message, encode_message_vec, Message, ProtoError, VisualProbe, WireHit,
+    WireVisualHit, MAX_SEARCH_HITS, MAX_VISUAL_HITS, PROTOCOL_VERSION,
 };
 pub use queue::{PushOutcome, SendQueue};
 pub use service::{ClientInfo, DropReason, NetConfig, NetService, PollReport};

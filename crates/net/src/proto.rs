@@ -25,10 +25,11 @@ use dv_time::{Duration, Timestamp};
 /// a different version.
 ///
 /// Version 2 added `KeyframeDelta` (damage-rect catch-ups) and
-/// `AttachScaled` (independently-sized virtual outputs); both change
-/// the wire vocabulary a peer must understand, so the bump is
-/// incompatible by design.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// `AttachScaled` (independently-sized virtual outputs); version 3
+/// added the visual-recall RPC pair (`VisualQuery`/`VisualReply`).
+/// Each changes the wire vocabulary a peer must understand, so the
+/// bumps are incompatible by design.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Most hits a single `SearchReply` carries. The server truncates to
 /// this bound so a broad query can never frame a payload past
@@ -37,6 +38,12 @@ pub const PROTOCOL_VERSION: u16 = 2;
 /// at the receiving decoder. Hits are ranked, so the tail cut is the
 /// least relevant end.
 pub const MAX_SEARCH_HITS: usize = 1024;
+
+/// Most hits a single `VisualReply` carries. Visual hits embed an RLE
+/// thumbnail each, so the bound is far lower than
+/// [`MAX_SEARCH_HITS`]; hits are distance-ranked and the tail cut is
+/// the least similar end.
+pub const MAX_VISUAL_HITS: usize = 64;
 
 const TAG_HELLO: u8 = 1;
 const TAG_WELCOME: u8 = 2;
@@ -56,6 +63,8 @@ const TAG_BYE: u8 = 15;
 const TAG_ERROR: u8 = 16;
 const TAG_KEYFRAME_DELTA: u8 = 17;
 const TAG_ATTACH_SCALED: u8 = 18;
+const TAG_VISUAL_QUERY: u8 = 19;
+const TAG_VISUAL_REPLY: u8 = 20;
 
 /// Errors produced while decoding a protocol message.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -106,6 +115,38 @@ pub struct WireHit {
     pub snippet: String,
     /// Applications contributing matches.
     pub apps: Vec<String>,
+}
+
+/// What a `VisualQuery` probes with.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VisualProbe {
+    /// An image carried by the client (any geometry; the server
+    /// resamples it into fingerprint space).
+    Thumb(Screenshot),
+    /// A moment in the record: "find when the screen looked like it
+    /// did at this time" — the server reconstructs the probe itself,
+    /// so the query costs a timestamp, not a screenshot, on the wire.
+    At(Timestamp),
+}
+
+/// One visual hit as carried on the wire: the instance metadata plus
+/// its RLE-encoded representative thumbnail
+/// ([`dv_record::decode_screenshot`] renders it). A client seeks to
+/// `last` to view the full-resolution moment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireVisualHit {
+    /// Visual instance id (stable across seals).
+    pub id: u64,
+    /// Hamming distance from the query fingerprint.
+    pub distance: u32,
+    /// When the screen first looked like this.
+    pub first: Timestamp,
+    /// The last keyframe that still looked like this.
+    pub last: Timestamp,
+    /// Keyframes coalesced into the instance.
+    pub frames: u64,
+    /// The representative thumbnail, RLE-encoded.
+    pub thumb: Vec<u8>,
 }
 
 /// One protocol message.
@@ -182,6 +223,24 @@ pub enum Message {
         req_id: u32,
         /// Matching intervals, in the requested order.
         hits: Vec<WireHit>,
+    },
+    /// Visual-recall RPC: the `k` recorded moments nearest to the
+    /// probe.
+    VisualQuery {
+        /// Request id echoed in the reply.
+        req_id: u32,
+        /// How many hits the client wants (the server additionally
+        /// truncates to [`MAX_VISUAL_HITS`]).
+        k: u32,
+        /// The query image or moment.
+        probe: VisualProbe,
+    },
+    /// Reply to `VisualQuery`: nearest instances, distance-ranked.
+    VisualReply {
+        /// Request id from the `VisualQuery`.
+        req_id: u32,
+        /// Nearest visual instances, most similar first.
+        hits: Vec<WireVisualHit>,
     },
     /// One live display command (server → subscribed client).
     Command {
@@ -380,6 +439,34 @@ pub fn encode_message(msg: &Message, out: &mut Vec<u8>) {
                 }
             }
         }
+        Message::VisualQuery { req_id, k, probe } => {
+            out.push(TAG_VISUAL_QUERY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+            match probe {
+                VisualProbe::Thumb(shot) => {
+                    out.push(0);
+                    put_bytes(&encode_screenshot(shot), out);
+                }
+                VisualProbe::At(t) => {
+                    out.push(1);
+                    out.extend_from_slice(&t.as_nanos().to_le_bytes());
+                }
+            }
+        }
+        Message::VisualReply { req_id, hits } => {
+            out.push(TAG_VISUAL_REPLY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+            for hit in hits {
+                out.extend_from_slice(&hit.id.to_le_bytes());
+                out.extend_from_slice(&hit.distance.to_le_bytes());
+                out.extend_from_slice(&hit.first.as_nanos().to_le_bytes());
+                out.extend_from_slice(&hit.last.as_nanos().to_le_bytes());
+                out.extend_from_slice(&hit.frames.to_le_bytes());
+                put_bytes(&hit.thumb, out);
+            }
+        }
         Message::Command { ts, cmd } => {
             out.push(TAG_COMMAND);
             out.extend_from_slice(&ts.as_nanos().to_le_bytes());
@@ -511,6 +598,45 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
             }
             Message::SearchReply { req_id, hits }
         }
+        TAG_VISUAL_QUERY => {
+            let req_id = get_u32(&mut buf)?;
+            let k = get_u32(&mut buf)?;
+            let probe = match get_u8(&mut buf)? {
+                0 => {
+                    let shot = decode_screenshot(get_bytes(&mut buf)?)
+                        .ok_or(ProtoError::BadPayload("undecodable probe"))?;
+                    VisualProbe::Thumb(shot)
+                }
+                1 => VisualProbe::At(Timestamp::from_nanos(get_u64(&mut buf)?)),
+                _ => return Err(ProtoError::BadPayload("unknown probe kind")),
+            };
+            Message::VisualQuery { req_id, k, probe }
+        }
+        TAG_VISUAL_REPLY => {
+            let req_id = get_u32(&mut buf)?;
+            let count = get_u32(&mut buf)? as usize;
+            let mut hits = Vec::with_capacity(count.min(MAX_VISUAL_HITS));
+            for _ in 0..count {
+                let id = get_u64(&mut buf)?;
+                let distance = get_u32(&mut buf)?;
+                let first = Timestamp::from_nanos(get_u64(&mut buf)?);
+                let last = Timestamp::from_nanos(get_u64(&mut buf)?);
+                let frames = get_u64(&mut buf)?;
+                let thumb = get_bytes(&mut buf)?.to_vec();
+                if decode_screenshot(&thumb).is_none() {
+                    return Err(ProtoError::BadPayload("undecodable thumbnail"));
+                }
+                hits.push(WireVisualHit {
+                    id,
+                    distance,
+                    first,
+                    last,
+                    frames,
+                    thumb,
+                });
+            }
+            Message::VisualReply { req_id, hits }
+        }
         TAG_COMMAND => {
             let ts = Timestamp::from_nanos(get_u64(&mut buf)?);
             let cmd = decode_command(&mut buf)?;
@@ -633,6 +759,31 @@ mod tests {
                 apps: vec!["editor".into(), "browser".into()],
             }],
         });
+        round_trip(Message::VisualQuery {
+            req_id: 11,
+            k: 5,
+            probe: VisualProbe::Thumb(shot()),
+        });
+        round_trip(Message::VisualQuery {
+            req_id: 12,
+            k: 3,
+            probe: VisualProbe::At(Timestamp::from_millis(4500)),
+        });
+        round_trip(Message::VisualReply {
+            req_id: 11,
+            hits: vec![WireVisualHit {
+                id: 42,
+                distance: 7,
+                first: Timestamp::from_secs(1),
+                last: Timestamp::from_secs(3),
+                frames: 4,
+                thumb: encode_screenshot(&shot()),
+            }],
+        });
+        round_trip(Message::VisualReply {
+            req_id: 13,
+            hits: Vec::new(),
+        });
         round_trip(Message::Command {
             ts: Timestamp::from_millis(250),
             cmd: DisplayCommand::SolidFill {
@@ -703,6 +854,58 @@ mod tests {
                 Err(ProtoError::BadPayload("zero scale component"))
             );
         }
+    }
+
+    #[test]
+    fn truncated_visual_messages_error_cleanly() {
+        let query = encode_message_vec(&Message::VisualQuery {
+            req_id: 1,
+            k: 4,
+            probe: VisualProbe::Thumb(shot()),
+        });
+        for cut in 0..query.len() {
+            assert!(decode_message(&query[..cut]).is_err(), "query cut at {cut}");
+        }
+        let reply = encode_message_vec(&Message::VisualReply {
+            req_id: 1,
+            hits: vec![WireVisualHit {
+                id: 1,
+                distance: 0,
+                first: Timestamp::ZERO,
+                last: Timestamp::from_secs(1),
+                frames: 1,
+                thumb: encode_screenshot(&shot()),
+            }],
+        });
+        for cut in 0..reply.len() {
+            assert!(decode_message(&reply[..cut]).is_err(), "reply cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn undecodable_visual_thumbnail_is_rejected() {
+        let mut bytes = vec![20u8]; // TAG_VISUAL_REPLY
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // req_id
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // count
+        bytes.extend_from_slice(&[0u8; 36]); // id/distance/first/last/frames
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // thumb len
+        bytes.extend_from_slice(&[9, 9, 9]); // not RLE
+        assert_eq!(
+            decode_message(&bytes),
+            Err(ProtoError::BadPayload("undecodable thumbnail"))
+        );
+    }
+
+    #[test]
+    fn unknown_probe_kind_is_rejected() {
+        let mut bytes = vec![19u8]; // TAG_VISUAL_QUERY
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.push(7); // bogus discriminant
+        assert_eq!(
+            decode_message(&bytes),
+            Err(ProtoError::BadPayload("unknown probe kind"))
+        );
     }
 
     #[test]

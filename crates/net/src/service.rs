@@ -64,7 +64,10 @@ use dv_time::{Duration, Timestamp};
 use parking_lot::Mutex;
 
 use crate::frame::{encode_frame_shared, encode_frame_vec};
-use crate::proto::{encode_message_vec, Message, WireHit, MAX_SEARCH_HITS, PROTOCOL_VERSION};
+use crate::proto::{
+    encode_message_vec, Message, VisualProbe, WireHit, WireVisualHit, MAX_SEARCH_HITS,
+    MAX_VISUAL_HITS, PROTOCOL_VERSION,
+};
 use crate::queue::{PushOutcome, SendQueue};
 use crate::transport::{Transport, TransportError};
 
@@ -622,6 +625,50 @@ impl NetService {
                     Err(e) => Message::Error {
                         req_id,
                         message: format!("search failed: {e}"),
+                    },
+                };
+                self.clients[ci].push_control_msg(&msg);
+            }
+            Message::VisualQuery { req_id, k, probe } if self.clients[ci].hello_done => {
+                if k as usize > MAX_VISUAL_HITS {
+                    self.obs.event(
+                        "net",
+                        names::NET_RPC_VISUAL,
+                        format!(
+                            "client={} k clamped {k} -> {MAX_VISUAL_HITS}",
+                            self.clients[ci].id
+                        ),
+                    );
+                }
+                let want = (k as usize).min(MAX_VISUAL_HITS);
+                let reply = {
+                    let _span = self
+                        .obs
+                        .span("net", names::NET_RPC_VISUAL)
+                        .with_event(format!("client={} k={k}", self.clients[ci].id));
+                    match probe {
+                        VisualProbe::Thumb(shot) => self.dv.visual_hits(&shot, want),
+                        VisualProbe::At(t) => self.dv.visual_hits_at_time(t, want),
+                    }
+                };
+                let msg = match reply {
+                    Ok(hits) => Message::VisualReply {
+                        req_id,
+                        hits: hits
+                            .into_iter()
+                            .map(|h| WireVisualHit {
+                                id: h.id,
+                                distance: h.distance,
+                                first: h.first,
+                                last: h.last,
+                                frames: h.frames,
+                                thumb: h.thumb,
+                            })
+                            .collect(),
+                    },
+                    Err(e) => Message::Error {
+                        req_id,
+                        message: format!("visual query failed: {e}"),
                     },
                 };
                 self.clients[ci].push_control_msg(&msg);

@@ -441,6 +441,8 @@ pub mod names {
     pub const NET_RPC_SEEK: &str = "net.rpc_seek";
     /// Span: one search RPC served.
     pub const NET_RPC_SEARCH: &str = "net.rpc_search";
+    /// Span: one visual-recall RPC served.
+    pub const NET_RPC_VISUAL: &str = "net.rpc_visual";
     /// Span: one live-stream flush to one client.
     pub const NET_FLUSH: &str = "net.flush";
     /// Live command batches fanned out (a tapped command with at least
@@ -568,6 +570,31 @@ pub mod names {
     pub const HOST_CROSS_QUERIES: &str = "host.cross_queries";
     /// Host: compaction rounds scheduled on the shared pool.
     pub const HOST_COMPACTION_ROUNDS: &str = "host.compaction_rounds";
+
+    /// Keyframes fingerprinted into the visual strip.
+    pub const VIDX_KEYFRAMES: &str = "vidx.keyframes";
+    /// Near-duplicate keyframes coalesced into the previous visual
+    /// instance (interval extended instead of a new instance).
+    pub const VIDX_COALESCED: &str = "vidx.coalesced";
+    /// Open-strip seals completed (one immutable strip segment each).
+    pub const VIDX_SEALS: &str = "vidx.seals";
+    /// Gauge: live sealed strip segments.
+    pub const VIDX_SEALED_SEGMENTS: &str = "vidx.sealed_segments";
+    /// Gauge: bytes of sealed thumbnail-strip segments in the store.
+    pub const VIDX_STRIP_BYTES: &str = "vidx.strip_bytes";
+    /// Nearest-thumbnail queries evaluated.
+    pub const VIDX_QUERIES: &str = "vidx.queries";
+    /// Histogram: fingerprint comparisons per query; the band index
+    /// must keep this sub-linear in the instance count.
+    pub const VIDX_PROBES: &str = "vidx.probes";
+    /// Span: one open-strip seal.
+    pub const VIDX_SEAL: &str = "vidx.seal";
+    /// Span: one nearest-thumbnail query.
+    pub const VIDX_QUERY: &str = "vidx.query";
+    /// Event name for one sealed strip segment.
+    pub const EV_VIDX_SEAL: &str = "vidx.sealed";
+    /// Host: cross-session visual queries served.
+    pub const HOST_VISUAL_QUERIES: &str = "host.visual_queries";
 }
 
 #[cfg(test)]

@@ -17,13 +17,16 @@ use dv_obs::{names, Obs};
 
 use dv_display::{
     scale_command, CommandQueue, CommandSink, DisplayCommand, Framebuffer, Rect, Region,
-    ScaleFactor,
+    ScaleFactor, Screenshot,
 };
 use dv_time::{Duration, Timestamp};
 
 use crate::log::CommandLog;
 use crate::screenshot::ScreenshotStore;
 use crate::timeline::{Timeline, TimelineEntry};
+
+/// Callback invoked with every *persisted* keyframe (time + screenshot).
+pub type KeyframeHook = Box<dyn FnMut(Timestamp, &Screenshot) + Send>;
 
 /// The persistent display record: command log, keyframes and timeline.
 ///
@@ -109,6 +112,10 @@ pub struct RecordStats {
     /// Keyframes skipped because persisting the screenshot or timeline
     /// entry failed.
     pub dropped_keyframes: u64,
+    /// Keyframes skipped because the screen content was byte-identical
+    /// to the previous keyframe (a full-screen redraw of unchanged
+    /// content passes the damage gate but stores nothing new).
+    pub skipped_identical_keyframes: u64,
 }
 
 /// The display recorder sink.
@@ -127,11 +134,19 @@ pub struct DisplayRecorder {
     queue: CommandQueue,
     last_flush: Option<Timestamp>,
     last_keyframe: Option<Timestamp>,
+    /// Content hash of the last *persisted* keyframe; a new keyframe
+    /// whose screen hashes identically is suppressed.
+    last_keyframe_hash: Option<u64>,
     damage_since_keyframe: Region,
     plane: FaultPlane,
     obs: Obs,
     dropped_commands: u64,
     dropped_keyframes: u64,
+    skipped_identical_keyframes: u64,
+    /// Called with every persisted keyframe (time + screenshot); the
+    /// visual-recall index hangs off this without the recorder knowing
+    /// about it.
+    keyframe_hook: Option<KeyframeHook>,
 }
 
 impl DisplayRecorder {
@@ -158,12 +173,22 @@ impl DisplayRecorder {
             queue: CommandQueue::new(),
             last_flush: None,
             last_keyframe: None,
+            last_keyframe_hash: None,
             damage_since_keyframe: Region::new(),
             plane: FaultPlane::disabled(),
             obs: Obs::disabled(),
             dropped_commands: 0,
             dropped_keyframes: 0,
+            skipped_identical_keyframes: 0,
+            keyframe_hook: None,
         }
+    }
+
+    /// Installs a hook called with every *persisted* keyframe, after the
+    /// screenshot and timeline entry have been stored. Suppressed
+    /// (identical) and dropped (faulted) keyframes never reach it.
+    pub fn set_keyframe_hook(&mut self, hook: KeyframeHook) {
+        self.keyframe_hook = Some(hook);
     }
 
     /// Installs the fault-injection plane (sites `record.log.append`,
@@ -197,6 +222,7 @@ impl DisplayRecorder {
             timeline_bytes: store.timeline.byte_len(),
             dropped_commands: self.dropped_commands,
             dropped_keyframes: self.dropped_keyframes,
+            skipped_identical_keyframes: self.skipped_identical_keyframes,
         }
     }
 
@@ -261,6 +287,19 @@ impl DisplayRecorder {
         // Span opens after the flush (which times itself) so the two
         // histograms don't double-count the same work.
         let _span = self.obs.span("display", names::DISPLAY_KEYFRAME);
+        // A full-screen redraw of unchanged content (window refresh,
+        // tab-switch round trip) passes the damage gate but would store a
+        // byte-identical screenshot; suppress it. The damage is cleared —
+        // the screen provably matches the last keyframe — so the next
+        // interval does not retry a no-op.
+        let shot = self.fb.snapshot();
+        let hash = shot.content_hash();
+        if self.last_keyframe_hash == Some(hash) {
+            self.skipped_identical_keyframes += 1;
+            self.last_keyframe = Some(now);
+            self.damage_since_keyframe.clear();
+            return;
+        }
         // A keyframe that cannot persist its screenshot or timeline entry
         // is skipped: `last_keyframe` still advances so cadence continues,
         // but accumulated damage is kept so the next interval retries.
@@ -275,7 +314,6 @@ impl DisplayRecorder {
             return;
         }
         let mut store = self.record.write();
-        let shot = self.fb.snapshot();
         let shot_bytes_before = store.shots.byte_len();
         let screenshot_offset = store.shots.append(&shot);
         // Accounted even if the timeline entry below fails: the orphaned
@@ -309,7 +347,12 @@ impl DisplayRecorder {
             store.timeline.byte_len() - timeline_bytes_before,
         );
         self.last_keyframe = Some(now);
+        self.last_keyframe_hash = Some(hash);
         self.damage_since_keyframe.clear();
+        drop(store);
+        if let Some(hook) = self.keyframe_hook.as_mut() {
+            hook(now, &shot);
+        }
     }
 
     fn maybe_keyframe(&mut self, now: Timestamp) {
@@ -471,6 +514,57 @@ mod tests {
             rec.stats().command_bytes
         };
         assert!(half * 3 < full, "half-res record should be ~4x smaller");
+    }
+
+    /// Regression: a forced keyframe over unchanged screen content used
+    /// to append a full byte-identical screenshot copy; it must be
+    /// suppressed and counted instead.
+    #[test]
+    fn identical_keyframes_are_suppressed() {
+        let mut rec = DisplayRecorder::new(64, 64, RecorderConfig::default());
+        rec.submit(ts(0), &fill(Rect::new(0, 0, 64, 64), 7));
+        rec.force_keyframe(ts(1_000));
+        let before = rec.stats();
+        assert_eq!(before.skipped_identical_keyframes, 0);
+        // Nothing drew since the last keyframe: identical content.
+        rec.force_keyframe(ts(2_000));
+        rec.force_keyframe(ts(3_000));
+        let stats = rec.stats();
+        assert_eq!(stats.keyframes, before.keyframes);
+        assert_eq!(stats.screenshot_bytes, before.screenshot_bytes);
+        assert_eq!(stats.skipped_identical_keyframes, 2);
+        // Changed content records again.
+        rec.submit(ts(4_000), &fill(Rect::new(0, 0, 32, 32), 9));
+        rec.force_keyframe(ts(5_000));
+        let after = rec.stats();
+        assert_eq!(after.keyframes, before.keyframes + 1);
+        assert_eq!(after.skipped_identical_keyframes, 2);
+    }
+
+    #[test]
+    fn keyframe_hook_sees_persisted_keyframes_only() {
+        use parking_lot::Mutex;
+        let seen: Arc<Mutex<Vec<(Timestamp, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let mut rec = DisplayRecorder::new(64, 64, RecorderConfig::default());
+        rec.set_keyframe_hook(Box::new(move |t, shot| {
+            sink.lock().push((t, shot.content_hash()));
+        }));
+        rec.submit(ts(0), &fill(Rect::new(0, 0, 64, 64), 7));
+        rec.force_keyframe(ts(1_000));
+        // Suppressed: identical content never reaches the hook.
+        rec.force_keyframe(ts(2_000));
+        let calls = seen.lock().clone();
+        assert_eq!(calls.len(), 2, "initial + forced keyframe");
+        assert_eq!(calls[0].0, ts(0));
+        assert_eq!(calls[1].0, ts(1_000));
+        // The hook saw exactly what the store persisted.
+        let record = rec.record();
+        let store = record.read();
+        for (call, entry) in calls.iter().zip(store.timeline.entries()) {
+            let shot = store.shots.load(entry.screenshot_offset).unwrap();
+            assert_eq!(call.1, shot.content_hash());
+        }
     }
 
     #[test]

@@ -101,13 +101,20 @@ impl ScreenshotStore {
     }
 
     /// Loads the screenshot stored at `offset`.
+    ///
+    /// All offset arithmetic is checked: a corrupt or huge offset (e.g.
+    /// from a damaged timeline) or a corrupt length prefix returns
+    /// `None` instead of overflowing.
     pub fn load(&self, offset: u64) -> Option<Screenshot> {
-        let start = offset as usize;
-        if start + 8 > self.data.len() {
+        let start = usize::try_from(offset).ok()?;
+        let body = start.checked_add(8)?;
+        if body > self.data.len() {
             return None;
         }
-        let len = u64::from_le_bytes(self.data[start..start + 8].try_into().ok()?) as usize;
-        decode_screenshot(self.data.get(start + 8..start + 8 + len)?)
+        let len =
+            usize::try_from(u64::from_le_bytes(self.data[start..body].try_into().ok()?)).ok()?;
+        let end = body.checked_add(len)?;
+        decode_screenshot(self.data.get(body..end)?)
     }
 
     /// Returns the number of stored screenshots.
@@ -136,13 +143,13 @@ impl ScreenshotStore {
         let mut store = ScreenshotStore { data, count: 0 };
         let mut offset = 0u64;
         while offset < store.data.len() as u64 {
+            // `load` validates that `offset + 8` and the record body fit
+            // within the data (checked arithmetic), so the slice below
+            // cannot overflow or go out of bounds.
             store.load(offset)?;
-            let len = u64::from_le_bytes(
-                store.data[offset as usize..offset as usize + 8]
-                    .try_into()
-                    .ok()?,
-            );
-            offset += 8 + len;
+            let start = usize::try_from(offset).ok()?;
+            let len = u64::from_le_bytes(store.data[start..start + 8].try_into().ok()?);
+            offset = offset.checked_add(8)?.checked_add(len)?;
             store.count += 1;
         }
         Some(store)
@@ -219,6 +226,21 @@ mod tests {
             assert_eq!(restored.load(off).unwrap(), shot);
         }
         assert!(ScreenshotStore::from_bytes(store.as_bytes()[..5].to_vec()).is_none());
+    }
+
+    /// A length prefix of `u64::MAX` used to overflow `start + 8 + len`
+    /// in debug builds; checked arithmetic must reject it instead.
+    #[test]
+    fn corrupt_huge_length_prefix_is_rejected_not_overflowed() {
+        let data = u64::MAX.to_le_bytes().to_vec();
+        assert!(ScreenshotStore::from_bytes(data.clone()).is_none());
+        let store = ScreenshotStore { data, count: 1 };
+        assert!(store.load(0).is_none());
+        // A huge *offset* (damaged timeline entry) is equally harmless.
+        let mut good = ScreenshotStore::new();
+        good.append(&test_shot());
+        assert!(good.load(u64::MAX).is_none());
+        assert!(good.load(u64::MAX - 4).is_none());
     }
 
     #[test]

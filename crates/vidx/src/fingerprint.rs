@@ -1,0 +1,179 @@
+//! Perceptual gradient fingerprints of keyframe thumbnails.
+//!
+//! A fingerprint is a 256-bit dHash: the thumbnail is reduced to a
+//! 17x16 grid of block-averaged luma values and each bit records
+//! whether luma increases left-to-right between horizontally adjacent
+//! cells. Gradients survive the distortions visual recall must shrug
+//! off — brightness shifts, thumbnail rescaling, small redraws —
+//! while distinct screens land far apart in Hamming distance.
+//!
+//! The bit layout is chosen for the band-partitioned index: row `r`'s
+//! sixteen gradient bits are exactly band `r` ([`Fingerprint::band`]),
+//! so two fingerprints within Hamming distance [`EXACT_RADIUS`] must
+//! agree on at least one whole band (pigeonhole over [`BANDS`]
+//! disjoint 16-bit bands).
+
+use dv_display::Screenshot;
+
+/// Total fingerprint bits.
+pub const FP_BITS: usize = 256;
+
+/// Disjoint 16-bit bands the index partitions a fingerprint into.
+pub const BANDS: usize = 16;
+
+/// Bits per band.
+pub const BAND_BITS: usize = FP_BITS / BANDS;
+
+/// Pigeonhole radius: any two fingerprints with Hamming distance at
+/// most `BANDS - 1` share at least one exact band, so band-bucket
+/// candidate sets provably contain every neighbour this close.
+pub const EXACT_RADIUS: u32 = (BANDS - 1) as u32;
+
+/// Grid geometry: `GRID_ROWS` rows of `GRID_COLS` luma samples give
+/// `GRID_ROWS x (GRID_COLS - 1)` horizontal gradients = [`FP_BITS`].
+const GRID_ROWS: usize = 16;
+const GRID_COLS: usize = 17;
+
+/// A 256-bit perceptual thumbnail fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Fingerprint(pub [u64; 4]);
+
+impl Fingerprint {
+    /// Hamming distance to `other`.
+    pub fn distance(&self, other: &Fingerprint) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The `i`-th 16-bit band (`i < BANDS`); band `i` is row `i`'s
+    /// gradient bits.
+    pub fn band(&self, i: usize) -> u16 {
+        ((self.0[i / 4] >> ((i % 4) * 16)) & 0xFFFF) as u16
+    }
+
+    /// Derives the fingerprint of a screenshot (normally an
+    /// already-downscaled thumbnail; any geometry works — the grid
+    /// averages whatever pixels each cell covers).
+    pub fn from_screenshot(shot: &Screenshot) -> Fingerprint {
+        let grid = luma_grid(shot);
+        let mut words = [0u64; 4];
+        for (r, row) in grid.iter().enumerate() {
+            for c in 0..GRID_COLS - 1 {
+                if row[c + 1] > row[c] {
+                    let bit = r * (GRID_COLS - 1) + c;
+                    words[bit / 64] |= 1 << (bit % 64);
+                }
+            }
+        }
+        Fingerprint(words)
+    }
+}
+
+/// Block-averaged luma over a `GRID_ROWS x GRID_COLS` grid. Integer
+/// ITU-R 601 weights (77, 150, 29 out of 256) — no floats, so the
+/// same screen always hashes identically.
+fn luma_grid(shot: &Screenshot) -> [[u32; GRID_COLS]; GRID_ROWS] {
+    let mut grid = [[0u32; GRID_COLS]; GRID_ROWS];
+    let (w, h) = (shot.width as usize, shot.height as usize);
+    if w == 0 || h == 0 || shot.pixels.is_empty() {
+        return grid;
+    }
+    for (r, row) in grid.iter_mut().enumerate() {
+        // Cell bounds round to cover the whole image; a degenerate
+        // (too-small) axis clamps to at least one source pixel.
+        let y0 = (r * h / GRID_ROWS).min(h - 1);
+        let y1 = (((r + 1) * h).div_ceil(GRID_ROWS)).clamp(y0 + 1, h);
+        for (c, cell) in row.iter_mut().enumerate() {
+            let x0 = (c * w / GRID_COLS).min(w - 1);
+            let x1 = (((c + 1) * w).div_ceil(GRID_COLS)).clamp(x0 + 1, w);
+            let mut sum = 0u64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let px = shot.pixels[y * w + x];
+                    let (red, green, blue) = (px >> 16 & 0xFF, px >> 8 & 0xFF, px & 0xFF);
+                    sum += (77 * red + 150 * green + 29 * blue) as u64 >> 8;
+                }
+            }
+            *cell = (sum / ((y1 - y0) * (x1 - x0)) as u64) as u32;
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn shot(w: u32, h: u32, f: impl Fn(u32, u32) -> u32) -> Screenshot {
+        let f = &f;
+        let pixels = (0..h).flat_map(|y| (0..w).map(move |x| f(x, y))).collect();
+        Screenshot {
+            width: w,
+            height: h,
+            pixels: Arc::new(pixels),
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero_and_distance_is_symmetric() {
+        let a = Fingerprint::from_screenshot(&shot(64, 48, |x, y| x * 7 + y * 3));
+        let b = Fingerprint::from_screenshot(&shot(64, 48, |x, y| x ^ y));
+        assert_eq!(a.distance(&a), 0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn bands_partition_all_bits() {
+        let fp = Fingerprint([u64::MAX, 0, 0xDEAD_BEEF_0123_4567, 42]);
+        let total: u32 = (0..BANDS).map(|i| fp.band(i).count_ones()).sum();
+        assert_eq!(total, fp.0.iter().map(|w| w.count_ones()).sum::<u32>());
+        assert_eq!(fp.band(0), 0xFFFF);
+        assert_eq!(fp.band(4), 0);
+    }
+
+    #[test]
+    fn gradients_ignore_uniform_brightness_shift() {
+        let dark = shot(68, 48, |x, y| {
+            let v = (x * 2 + y) & 0x7F;
+            v << 16 | v << 8 | v
+        });
+        let bright = shot(68, 48, |x, y| {
+            let v = ((x * 2 + y) & 0x7F) + 0x60;
+            v << 16 | v << 8 | v
+        });
+        let a = Fingerprint::from_screenshot(&dark);
+        let b = Fingerprint::from_screenshot(&bright);
+        assert!(
+            a.distance(&b) <= 4,
+            "brightness shift moved {} bits",
+            a.distance(&b)
+        );
+    }
+
+    #[test]
+    fn distinct_screens_are_far_apart() {
+        let grey = |v: u32| v << 16 | v << 8 | v;
+        let rising = shot(64, 48, |x, _| grey((x * 4).min(255)));
+        let falling = shot(64, 48, |x, _| grey(255u32.saturating_sub(x * 4)));
+        let a = Fingerprint::from_screenshot(&rising);
+        let b = Fingerprint::from_screenshot(&falling);
+        assert_eq!(
+            a.distance(&b),
+            FP_BITS as u32,
+            "opposite ramps disagree everywhere"
+        );
+        assert!(a.distance(&b) > EXACT_RADIUS);
+    }
+
+    #[test]
+    fn degenerate_screens_hash_without_panicking() {
+        for (w, h) in [(0, 0), (1, 1), (3, 2), (16, 1), (1, 300)] {
+            let fp = Fingerprint::from_screenshot(&shot(w, h, |x, y| x + y));
+            let _ = fp.distance(&Fingerprint::default());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The band-partitioned Hamming index.
+//!
+//! A fingerprint splits into [`BANDS`] disjoint 16-bit bands; each
+//! band hashes instances by its exact band value. A query probes all
+//! sixteen buckets and unions the members: by pigeonhole, every
+//! fingerprint within Hamming distance
+//! [`EXACT_RADIUS`](crate::fingerprint::EXACT_RADIUS) of the query
+//! agrees with it on at least one whole band, so the union provably
+//! contains every neighbour that close. The engine compares distances
+//! only against this candidate set — sub-linear when buckets are
+//! selective — and falls back to a full scan only when the candidates
+//! cannot prove the top-k exact (see `VidxEngine::query`).
+
+use std::collections::HashMap;
+
+#[cfg(test)]
+use crate::fingerprint::EXACT_RADIUS;
+use crate::fingerprint::{Fingerprint, BANDS};
+
+/// Band-bucket index over fingerprint positions.
+#[derive(Clone, Debug, Default)]
+pub struct BandIndex {
+    buckets: Vec<HashMap<u16, Vec<u32>>>,
+}
+
+impl BandIndex {
+    /// Builds the index over a slice of fingerprints (position = slice
+    /// index).
+    pub fn build(fps: impl Iterator<Item = Fingerprint>) -> Self {
+        let mut index = BandIndex::default();
+        for (pos, fp) in fps.enumerate() {
+            index.insert(pos as u32, &fp);
+        }
+        index
+    }
+
+    /// Adds one fingerprint at `pos`.
+    pub fn insert(&mut self, pos: u32, fp: &Fingerprint) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![HashMap::new(); BANDS];
+        }
+        for (b, bucket) in self.buckets.iter_mut().enumerate() {
+            bucket.entry(fp.band(b)).or_default().push(pos);
+        }
+    }
+
+    /// Positions sharing at least one exact band with `query` — a
+    /// superset of every position within
+    /// [`EXACT_RADIUS`](crate::fingerprint::EXACT_RADIUS). Sorted and
+    /// deduplicated.
+    pub fn candidates(&self, query: &Fingerprint) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(members) = bucket.get(&query.band(b)) {
+                out.extend_from_slice(members);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_cover_the_exact_radius() {
+        // 100 spread-out fingerprints plus near neighbours of one.
+        let base: Vec<Fingerprint> = (0..100u64)
+            .map(|i| {
+                Fingerprint([
+                    i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    i.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                    i.wrapping_mul(0x94D0_49BB_1331_11EB),
+                    i.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+                ])
+            })
+            .collect();
+        let index = BandIndex::build(base.iter().copied());
+        let query = base[42];
+        let candidates = index.candidates(&query);
+        // Every fingerprint within the pigeonhole radius MUST appear.
+        for (pos, fp) in base.iter().enumerate() {
+            if fp.distance(&query) <= EXACT_RADIUS {
+                assert!(
+                    candidates.contains(&(pos as u32)),
+                    "near neighbour {pos} missing from candidates"
+                );
+            }
+        }
+        assert!(candidates.contains(&42), "the point itself is a candidate");
+        // Selectivity: spread-out fingerprints should not all collide.
+        assert!(
+            candidates.len() < base.len() / 2,
+            "{} of {} candidates — index not selective",
+            candidates.len(),
+            base.len()
+        );
+    }
+
+    #[test]
+    fn perturbed_neighbour_lands_in_candidates() {
+        let a = Fingerprint([0xAAAA_AAAA_AAAA_AAAA; 4]);
+        // Flip 15 bits spread across words: still shares band(s).
+        let mut b = a;
+        for bit in [
+            0usize, 17, 34, 51, 68, 85, 102, 119, 136, 153, 170, 187, 204, 221, 238,
+        ] {
+            b.0[bit / 64] ^= 1 << (bit % 64);
+        }
+        assert_eq!(a.distance(&b), EXACT_RADIUS);
+        let index = BandIndex::build([a].into_iter());
+        assert_eq!(index.candidates(&b), vec![0]);
+    }
+
+    #[test]
+    fn empty_index_yields_no_candidates() {
+        let index = BandIndex::default();
+        assert!(index.candidates(&Fingerprint::default()).is_empty());
+    }
+}

@@ -273,3 +273,161 @@ fn latency_spike_tenant_stalls_alone() {
         spike_floor
     );
 }
+
+/// Two controllers' sessions record distinct visual histories side by
+/// side on one shared store; one is archived and revived as a third
+/// branch. All three views must stay query-consistent: every
+/// controller recalls its own scenes exactly (checkpoint-scoped and
+/// live), neither sees the other's scenes despite the shared store,
+/// and the revived branch answers `visual_at_checkpoint` identically
+/// to its source at every counter — then pivots a hit back into
+/// playback.
+#[test]
+fn visual_views_agree_across_controllers_and_a_revived_branch() {
+    fn visual_config() -> Config {
+        Config {
+            width: 64,
+            height: 48,
+            enable_display_recording: true,
+            enable_text_capture: false,
+            index_shard_window: Duration::from_millis(1000),
+            io_retry_backoff: Duration::from_millis(0),
+            ..Config::default()
+        }
+    }
+    // Per-grid-cell noise (4x3 tiles over 64x48 land one tile per
+    // fingerprint cell), so distinct seeds give far-apart scenes.
+    fn paint(server: &mut dejaview::DejaView, seed: u64) {
+        for ty in 0..16u32 {
+            for tx in 0..16u32 {
+                let hash = seed
+                    .wrapping_add(((ty as u64) << 32) | tx as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let color = ((hash >> 40) & 0x00FF_FFFF) as u32;
+                server
+                    .driver_mut()
+                    .fill_rect(dv_display::Rect::new(tx * 4, ty * 3, 4, 3), color);
+            }
+        }
+    }
+
+    let clock = SimClock::new();
+    let mut host = Host::with_clock(pool_config(Duration::from_millis(0)), clock.clone());
+    let alpha = host.create_session("ctrl-alpha", visual_config());
+    let beta = host.create_session("ctrl-beta", visual_config());
+
+    let rounds = 4u64;
+    let mut counters = Vec::new();
+    let mut alpha_probes = Vec::new();
+    let mut beta_probes = Vec::new();
+    for round in 0..rounds {
+        // Past the strip window before each keyframe, so the
+        // checkpoint that follows seals exactly this round.
+        clock.advance(Duration::from_millis(1100));
+        let t = dv_time::Timestamp::from_millis((round + 1) * 1100);
+        for (&id, salt, probes) in [
+            (&alpha, 0u64, &mut alpha_probes),
+            (&beta, 1000, &mut beta_probes),
+        ] {
+            let server = host.session_mut(id).expect("registered tenant");
+            paint(server, round + 1 + salt);
+            server.force_keyframe();
+            probes.push(server.browse(t).expect("recorded screen"));
+        }
+        counters.push(host.checkpoint(alpha).expect("alpha checkpoint").counter);
+        host.checkpoint(beta).expect("beta checkpoint");
+    }
+
+    // Each controller recalls its own scenes at distance 0, and never
+    // the other's — the shared store does not bleed across prefixes.
+    let view = |server: &dejaview::DejaView, c: u64, probes: &[dv_display::Screenshot]| {
+        probes
+            .iter()
+            .map(|shot| {
+                server
+                    .visual_at_checkpoint(c, shot, rounds as usize)
+                    .expect("scoped visual query")
+                    .into_iter()
+                    .map(|h| (h.id, h.distance, h.first, h.last))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    for own in [alpha, beta] {
+        let own_probes = if own == alpha {
+            &alpha_probes
+        } else {
+            &beta_probes
+        };
+        let other_probes = if own == alpha {
+            &beta_probes
+        } else {
+            &alpha_probes
+        };
+        let server = host.session(own).expect("registered tenant");
+        for shot in own_probes {
+            let hits = server.visual_hits(shot, 1).expect("visual query");
+            assert_eq!(hits[0].distance, 0, "a controller lost its own scene");
+        }
+        for shot in other_probes {
+            let hits = server.visual_hits(shot, 1).expect("visual query");
+            assert_ne!(
+                hits[0].distance, 0,
+                "a controller recalled its neighbour's scene"
+            );
+        }
+    }
+
+    // Archive alpha and revive it as a third branch.
+    let mut expect_at = Vec::new();
+    {
+        let server = host.session(alpha).expect("registered tenant");
+        for &c in &counters {
+            expect_at.push(view(server, c, &alpha_probes));
+        }
+    }
+    let archive = host
+        .session_mut(alpha)
+        .expect("registered tenant")
+        .save_archive()
+        .expect("archive");
+    let mut branch = dejaview::DejaView::load_archive(
+        Config {
+            blob_prefix: Some("ctrl-alpha".to_string()),
+            ..visual_config()
+        },
+        &archive,
+    )
+    .expect("revive branch");
+
+    // The branch's checkpoint-scoped views are byte-identical to the
+    // source controller's, at every counter: each checkpoint sees
+    // exactly its own round and the earlier ones.
+    for (i, &c) in counters.iter().enumerate() {
+        let got = view(&branch, c, &alpha_probes);
+        assert_eq!(got, expect_at[i], "branch diverged at checkpoint {c}");
+        for (j, hits) in got.iter().enumerate() {
+            let exact = hits.iter().any(|&(_, d, ..)| d == 0);
+            assert_eq!(
+                exact,
+                j <= i,
+                "checkpoint {c} visibility wrong for round {j}"
+            );
+        }
+    }
+
+    // And the branch pivots a hit straight back into playback: the
+    // reconstructed screen is the recorded one.
+    let hit = branch
+        .visual_hits(&alpha_probes[1], 1)
+        .expect("branch query")
+        .remove(0);
+    assert_eq!(hit.distance, 0);
+    let (entry, screen) = branch.visual_pivot(&hit).expect("pivot");
+    assert!(entry.time <= hit.last);
+    assert_eq!(
+        screen.content_hash(),
+        alpha_probes[1].content_hash(),
+        "pivot reconstructed a different screen"
+    );
+}

@@ -26,7 +26,7 @@ use dv_fault::{sites, FaultPlan, IoFault};
 use dv_index::RankOrder;
 use dv_net::{
     decode_message, encode_frame_vec, encode_message_vec, FrameDecoder, LoopbackTransport, Message,
-    NetClient, NetConfig, NetService, Transport, MAX_SEARCH_HITS, PROTOCOL_VERSION,
+    NetClient, NetConfig, NetService, Transport, VisualProbe, MAX_SEARCH_HITS, PROTOCOL_VERSION,
 };
 use dv_obs::names;
 use dv_time::{Duration, Timestamp};
@@ -262,6 +262,77 @@ fn seek_and_search_rpcs_agree_with_the_server() {
     clients[0].bye();
     converge(&mut svc, &mut clients);
     assert_eq!(svc.client_count(), 0);
+}
+
+#[test]
+fn visual_rpcs_agree_with_the_server() {
+    let mut svc = service();
+    // Three distinct recorded scenes, one keyframe each.
+    for round in 0..3u32 {
+        for salt in round * 10..round * 10 + 5 {
+            draw(&mut svc, salt);
+        }
+        svc.dv_mut().clock().advance(Duration::from_secs(1));
+        svc.dv_mut().force_keyframe();
+        svc.dv_mut().policy_tick().unwrap();
+    }
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc.accept(server_end);
+    let mut clients = vec![NetClient::connect(client_end, "visual-historian")];
+    converge(&mut svc, &mut clients);
+
+    // Probe by moment: "when did the screen look like it did at t?"
+    let t = svc.dv_mut().now();
+    let req = clients[0].visual_query(VisualProbe::At(t), 4);
+    converge(&mut svc, &mut clients);
+    let remote = clients[0]
+        .take_visual_reply(req)
+        .expect("visual reply never arrived");
+    let local = svc.dv_mut().visual_hits_at_time(t, 4).unwrap();
+    assert_eq!(remote.len(), local.len());
+    assert!(!remote.is_empty(), "recorded scenes not found over RPC");
+    for (r, l) in remote.iter().zip(&local) {
+        assert_eq!(
+            (r.id, r.distance, r.first, r.last),
+            (l.id, l.distance, l.first, l.last)
+        );
+        assert_eq!(r.thumb, l.thumb);
+    }
+    // The best hit is the probed moment itself, and its wire thumbnail
+    // decodes into the configured geometry.
+    assert_eq!(remote[0].distance, 0);
+    let thumb = dv_record::decode_screenshot(&remote[0].thumb).expect("thumb decodes");
+    assert_eq!((thumb.width, thumb.height), (64, 48));
+
+    // Probe by image: shipping the screenshot itself gives the same
+    // answer as naming its moment.
+    let probe_shot = svc.dv_mut().browse(t).unwrap();
+    let req = clients[0].visual_query(VisualProbe::Thumb(probe_shot), 4);
+    converge(&mut svc, &mut clients);
+    let by_image = clients[0]
+        .take_visual_reply(req)
+        .expect("image-probe reply never arrived");
+    assert_eq!(by_image, remote);
+
+    // With the visual index disabled the RPC fails as an Error reply,
+    // not a dead connection.
+    let mut svc2 = NetService::new(
+        DejaView::new(Config {
+            width: W,
+            height: H,
+            enable_visual_index: false,
+            ..Config::default()
+        }),
+        NetConfig::default(),
+    );
+    let (server_end, client_end) = LoopbackTransport::pair();
+    svc2.accept(server_end);
+    let mut blind = vec![NetClient::connect(client_end, "blind")];
+    converge(&mut svc2, &mut blind);
+    let req = blind[0].visual_query(VisualProbe::At(Timestamp::ZERO), 1);
+    converge(&mut svc2, &mut blind);
+    assert!(blind[0].take_rpc_error(req).is_some());
+    assert!(!blind[0].is_closed());
 }
 
 #[test]
